@@ -1,0 +1,65 @@
+//! Experiment E2 (Figure 2, §2.1): Requirements Elicitor suggestion latency
+//! over the TPC-H ontology and synthetic ontologies of growing size, plus
+//! the paper's concrete Lineitem example.
+
+use criterion::{BenchmarkId, Criterion};
+use quarry_elicitor::Elicitor;
+use quarry_ontology::synthetic::{generate, SyntheticSpec};
+use quarry_ontology::tpch;
+use std::hint::black_box;
+
+fn print_series() {
+    println!("\n# E2: Elicitor suggestions");
+    let domain = tpch::domain();
+    let elicitor = Elicitor::new(&domain.ontology);
+    let lineitem = domain.ontology.concept_by_name("Lineitem").expect("present");
+    let suggestions = elicitor.suggest_dimensions(lineitem);
+    println!("TPC-H focus Lineitem → top suggestions (paper: Supplier, Nation, Part):");
+    for s in suggestions.iter().take(6) {
+        println!("  {:<10} distance {} score {:.2}", s.name, s.distance, s.score);
+    }
+    println!("\n{:>9} {:>12} {:>12}", "concepts", "suggest", "rank-foci");
+    for n in [8usize, 32, 128, 512] {
+        let d = generate(&SyntheticSpec::with_concepts(n, 3));
+        let e = Elicitor::new(&d.ontology);
+        let t0 = std::time::Instant::now();
+        let s = e.suggest_dimensions(d.hubs[0]);
+        let suggest = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let f = e.suggest_foci();
+        let foci = t1.elapsed();
+        println!("{:>9} {:>12?} {:>12?}", d.ontology.concept_count(), suggest, foci);
+        black_box((s, f));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let tpch_domain = tpch::domain();
+    let lineitem = tpch_domain.ontology.concept_by_name("Lineitem").expect("present");
+    c.bench_function("elicitor_suggest_tpch_lineitem", |b| {
+        let e = Elicitor::new(&tpch_domain.ontology);
+        b.iter(|| black_box(e.suggest_dimensions(lineitem)));
+    });
+
+    let mut group = c.benchmark_group("elicitor_suggest_synthetic");
+    for n in [32usize, 128, 512] {
+        let d = generate(&SyntheticSpec::with_concepts(n, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &d, |b, d| {
+            let e = Elicitor::new(&d.ontology);
+            b.iter(|| black_box(e.suggest_dimensions(d.hubs[0])));
+        });
+    }
+    group.finish();
+
+    c.bench_function("elicitor_rank_foci_tpch", |b| {
+        let e = Elicitor::new(&tpch_domain.ontology);
+        b.iter(|| black_box(e.suggest_foci()));
+    });
+}
+
+fn main() {
+    print_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,111 @@
+//! Experiment E7 — the demo's headline measured claim (§3): "reduced overall
+//! execution time for integrated ETL processes". Executes the consolidated
+//! unified flow vs the N separate partial flows on generated TPC-H data and
+//! reports the wall-clock gap.
+
+use criterion::{BenchmarkId, Criterion};
+use quarry::Quarry;
+use quarry_bench::requirement_family;
+use quarry_engine::{tpch, Engine};
+use quarry_etl::Flow;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn run_flows(catalog: &quarry_engine::Catalog, flows: &[&Flow]) -> Duration {
+    let mut engine = Engine::new(catalog.clone());
+    let t0 = Instant::now();
+    for f in flows {
+        engine.run(f).expect("flow executes");
+    }
+    t0.elapsed()
+}
+
+fn series_for(label: &str, families: impl Fn(usize) -> Vec<quarry_formats::Requirement>) {
+    println!("\n# E7 ({label}): integrated vs separate ETL execution (wall clock)");
+    println!("{:>6} {:>4} {:>14} {:>14} {:>8}", "sf", "N", "integrated", "separate", "speedup");
+    for sf in [0.005f64, 0.01] {
+        let catalog = tpch::generate(sf, 42);
+        for n in [2usize, 4, 8] {
+            let family = families(n);
+            let probe = Quarry::tpch();
+            let partials: Vec<Flow> = family.iter().map(|r| probe.interpret(r).expect("valid").etl).collect();
+            let mut q = Quarry::tpch();
+            for r in family {
+                q.add_requirement(r).expect("integrates");
+            }
+            let unified = q.unified().1.clone();
+
+            let integrated = run_flows(&catalog, &[&unified]);
+            let separate = run_flows(&catalog, &partials.iter().collect::<Vec<_>>());
+            println!(
+                "{:>6} {:>4} {:>14?} {:>14?} {:>7.2}x",
+                sf,
+                n,
+                integrated,
+                separate,
+                separate.as_secs_f64() / integrated.as_secs_f64()
+            );
+        }
+    }
+}
+
+fn print_series() {
+    // The paper's demo scenario is the high-overlap case: evolving
+    // requirements over the same analytical contexts. The low-overlap sweep
+    // is the honest counterpoint: with little shared work, consolidation
+    // cannot win wall-clock (it saves design effort, not cycles).
+    series_for("high overlap — the demo scenario", quarry_bench::high_overlap_family);
+    series_for("low overlap — counterpoint", requirement_family);
+}
+
+fn bench(c: &mut Criterion) {
+    let catalog = tpch::generate(0.005, 42);
+    let family = quarry_bench::high_overlap_family(4);
+    let probe = Quarry::tpch();
+    let partials: Vec<Flow> = family.iter().map(|r| probe.interpret(r).expect("valid").etl).collect();
+    let mut q = Quarry::tpch();
+    for r in family {
+        q.add_requirement(r).expect("integrates");
+    }
+    let unified = q.unified().1.clone();
+
+    let mut group = c.benchmark_group("etl_execution_sf0.005_n4");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("integrated"), &unified, |b, unified| {
+        b.iter(|| black_box(run_flows(&catalog, &[unified])));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("separate"), &partials, |b, partials| {
+        b.iter(|| black_box(run_flows(&catalog, &partials.iter().collect::<Vec<_>>())));
+    });
+    group.finish();
+
+    // Raw engine throughput on a single generated flow.
+    c.bench_function("engine_run_figure4_sf0.005", |b| {
+        let design = probe.interpret(&quarry_formats::xrq::figure4_requirement()).expect("valid");
+        b.iter(|| black_box(run_flows(&catalog, &[&design.etl])));
+    });
+
+    // Parallel vs sequential execution of the consolidated flow.
+    let mut group = c.benchmark_group("engine_parallelism_n4");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(catalog.clone());
+            black_box(engine.run(&unified).expect("runs"))
+        });
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(catalog.clone());
+            black_box(engine.run_parallel(&unified).expect("runs"))
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    print_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,78 @@
+//! Experiment E9: Communication & Metadata layer throughput — xRQ/xMD/xLM
+//! parse/emit and the generic XML↔JSON↔XML conversion, over document sizes.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use quarry_bench::quarry_with;
+use quarry_formats::{xlm, xmd};
+use quarry_repository::convert;
+use std::hint::black_box;
+
+fn documents(n: usize) -> (String, String) {
+    let q = quarry_with(n);
+    let (md, etl) = q.unified();
+    (xmd::to_string(md), xlm::to_string(etl))
+}
+
+fn print_series() {
+    println!("\n# E9: format layer throughput");
+    println!("{:>4} {:>10} {:>10} {:>12} {:>12} {:>14}", "N", "xmd-bytes", "xlm-bytes", "xmd-parse", "xlm-parse", "xml-json-xml");
+    for n in [1usize, 8, 32] {
+        let (xmd_doc, xlm_doc) = documents(n);
+        let t0 = std::time::Instant::now();
+        let parsed_md = xmd::parse(&xmd_doc).expect("roundtrip");
+        let t_md = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let parsed_etl = xlm::parse(&xlm_doc).expect("roundtrip");
+        let t_etl = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let json = convert::xml_string_to_json(&xlm_doc).expect("converts");
+        let back = convert::json_to_xml_string(&json).expect("converts back");
+        let t_conv = t2.elapsed();
+        println!(
+            "{:>4} {:>10} {:>10} {:>12?} {:>12?} {:>14?}",
+            n,
+            xmd_doc.len(),
+            xlm_doc.len(),
+            t_md,
+            t_etl,
+            t_conv
+        );
+        black_box((parsed_md, parsed_etl, back));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for n in [1usize, 16] {
+        let (xmd_doc, xlm_doc) = documents(n);
+
+        let mut group = c.benchmark_group(format!("formats_n{n}"));
+        group.throughput(Throughput::Bytes(xmd_doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter("xmd_parse"), &xmd_doc, |b, doc| {
+            b.iter(|| black_box(xmd::parse(doc).expect("valid")));
+        });
+        group.throughput(Throughput::Bytes(xlm_doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter("xlm_parse"), &xlm_doc, |b, doc| {
+            b.iter(|| black_box(xlm::parse(doc).expect("valid")));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("xml_json_roundtrip"), &xlm_doc, |b, doc| {
+            b.iter(|| {
+                let json = convert::xml_string_to_json(doc).expect("converts");
+                black_box(convert::json_to_xml_string(&json).expect("converts back"))
+            });
+        });
+        group.finish();
+    }
+
+    // Emission side.
+    let q = quarry_with(16);
+    let (md, etl) = (q.unified().0.clone(), q.unified().1.clone());
+    c.bench_function("xmd_emit_n16", |b| b.iter(|| black_box(xmd::to_string(&md))));
+    c.bench_function("xlm_emit_n16", |b| b.iter(|| black_box(xlm::to_string(&etl))));
+}
+
+fn main() {
+    print_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,92 @@
+//! Experiment E3 (Figure 4): Requirements Interpreter latency — xRQ →
+//! partial MD schema + ETL flow — swept over requirement complexity.
+
+use criterion::{BenchmarkId, Criterion};
+use quarry_bench::requirement;
+use quarry_formats::xrq::figure4_requirement;
+use quarry_formats::Requirement;
+use quarry_interpreter::Interpreter;
+use quarry_ontology::tpch;
+use std::hint::black_box;
+
+/// Requirements of growing breadth: 1..=4 dimension contexts, deeper chains.
+fn complexity_ladder() -> Vec<(&'static str, Requirement)> {
+    vec![
+        ("1-dim", requirement("IRa", ("qty", "Lineitem_l_quantityATRIBUT"), &["Part_p_nameATRIBUT"], None)),
+        (
+            "2-dim",
+            requirement(
+                "IRb",
+                ("qty", "Lineitem_l_quantityATRIBUT"),
+                &["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT"],
+                None,
+            ),
+        ),
+        (
+            "3-dim+slicer",
+            requirement(
+                "IRc",
+                ("rev", "Lineitem_l_extendedpriceATRIBUT * (1 - Lineitem_l_discountATRIBUT)"),
+                &["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT", "Customer_c_mktsegmentATRIBUT"],
+                Some(("Nation_n_nameATRIBUT", "=", "Spain")),
+            ),
+        ),
+        (
+            "4-dim+hierarchy",
+            requirement(
+                "IRd",
+                ("netprofit", "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT"),
+                &[
+                    "Part_p_nameATRIBUT",
+                    "Customer_c_nameATRIBUT",
+                    "Nation_n_nameATRIBUT",
+                    "Region_r_nameATRIBUT",
+                ],
+                Some(("Orders_o_orderpriorityATRIBUT", "=", "1-URGENT")),
+            ),
+        ),
+    ]
+}
+
+fn print_series() {
+    println!("\n# E3: interpretation latency vs requirement complexity");
+    println!("{:>16} {:>12} {:>8} {:>8} {:>8}", "requirement", "time", "md-dims", "etl-ops", "edges");
+    let domain = tpch::domain();
+    let interp = Interpreter::new(&domain.ontology, &domain.sources);
+    for (label, req) in complexity_ladder() {
+        let t0 = std::time::Instant::now();
+        let design = interp.interpret(&req).expect("ladder is MD-compliant");
+        let t = t0.elapsed();
+        println!(
+            "{:>16} {:>12?} {:>8} {:>8} {:>8}",
+            label,
+            t,
+            design.md.dimensions.len(),
+            design.etl.op_count(),
+            design.etl.edge_count()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let domain = tpch::domain();
+    let interp = Interpreter::new(&domain.ontology, &domain.sources);
+    c.bench_function("interpret_figure4", |b| {
+        let req = figure4_requirement();
+        b.iter(|| black_box(interp.interpret(&req).expect("valid")));
+    });
+    let mut group = c.benchmark_group("interpret_complexity");
+    for (label, req) in complexity_ladder() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &req, |b, req| {
+            b.iter(|| black_box(interp.interpret(req).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

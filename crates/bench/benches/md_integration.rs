@@ -1,0 +1,94 @@
+//! Experiments E4 + E6: MD Schema Integrator — integration latency and the
+//! *structural design complexity* quality factor of the integrated schema vs
+//! the naive per-requirement union (demo scenario 2's headline MD claim).
+
+use criterion::{BenchmarkId, Criterion};
+use quarry::Quarry;
+use quarry_bench::{figure3_pair, requirement_family};
+use quarry_integrator::md::integrate_md;
+use quarry_md::{CostModel, MdSchema, OpCountComplexity, StructuralComplexity};
+use std::hint::black_box;
+
+fn print_series() {
+    let model = StructuralComplexity::new();
+    println!("\n# E6: structural complexity — integrated vs naive union");
+    println!("{:>4} {:>12} {:>12} {:>8} {:>8} {:>12}", "N", "integrated", "naive-union", "facts", "dims", "ratio");
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        let family = requirement_family(n);
+        let probe = Quarry::tpch();
+        let mut naive = 0.0;
+        for r in &family {
+            naive += model.cost(&probe.interpret(r).expect("valid").md);
+        }
+        let mut q = Quarry::tpch();
+        for r in family {
+            q.add_requirement(r).expect("integrates");
+        }
+        let integrated = model.cost(q.unified().0);
+        let (facts, dims, _, _, _) = q.unified().0.size();
+        println!(
+            "{:>4} {:>12.1} {:>12.1} {:>8} {:>8} {:>11.0}%",
+            n,
+            integrated,
+            naive,
+            facts,
+            dims,
+            100.0 * integrated / naive
+        );
+    }
+
+    println!("\n# E4: figure 3 integration (revenue + netprofit)");
+    let (a, b) = figure3_pair();
+    let q = Quarry::tpch();
+    let pa = q.interpret(&a).expect("valid").md;
+    let pb = q.interpret(&b).expect("valid").md;
+    let merged = integrate_md(&pa, &pb, &model).expect("integrates");
+    println!(
+        "matches: {}, alternatives considered: {}, cost {:.1} (parts: {:.1} + {:.1})",
+        merged.report.matches.len(),
+        merged.report.alternatives_considered,
+        merged.report.cost,
+        model.cost(&pa),
+        model.cost(&pb),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Pairwise integration step cost, by unified-schema size.
+    let mut group = c.benchmark_group("md_integrate_step");
+    group.sample_size(20);
+    for n in [1usize, 8, 24] {
+        let base = {
+            let q = quarry_bench::quarry_with(n);
+            q.unified().0.clone()
+        };
+        let partial = {
+            let q = Quarry::tpch();
+            q.interpret(&figure3_pair().1).expect("valid").md
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(base, partial), |b, (base, partial)| {
+            b.iter(|| black_box(integrate_md(base, partial, &StructuralComplexity::new()).expect("integrates")));
+        });
+    }
+    group.finish();
+
+    // Ablation: cost-model choice (structural complexity vs element count).
+    let base = MdSchema::new("unified");
+    let partial = {
+        let q = Quarry::tpch();
+        q.interpret(&figure3_pair().0).expect("valid").md
+    };
+    c.bench_function("md_integrate_structural_complexity", |b| {
+        b.iter(|| black_box(integrate_md(&base, &partial, &StructuralComplexity::new()).expect("ok")));
+    });
+    c.bench_function("md_integrate_element_count", |b| {
+        b.iter(|| black_box(integrate_md(&base, &partial, &OpCountComplexity).expect("ok")));
+    });
+}
+
+fn main() {
+    print_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

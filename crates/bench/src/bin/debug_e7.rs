@@ -1,0 +1,23 @@
+//! Diagnostic: where does the integrated flow spend its time?
+
+use quarry::Quarry;
+use quarry_bench::requirement_family;
+use quarry_engine::{tpch, Engine};
+
+fn main() {
+    let family = requirement_family(4);
+    let mut q = Quarry::tpch();
+    for r in family {
+        q.add_requirement(r).expect("integrates");
+    }
+    let unified = q.unified().1.clone();
+    let catalog = tpch::generate(0.005, 42);
+    let mut engine = Engine::new(catalog);
+    let report = engine.run(&unified).expect("runs");
+    let mut timings = report.timings.clone();
+    timings.sort_by_key(|t| std::cmp::Reverse(t.elapsed));
+    println!("total {:?}, rows {}", report.total, report.rows_processed);
+    for t in timings.iter().take(15) {
+        println!("{:>12?} {:>9} rows  {} [{}]", t.elapsed, t.rows_out, t.op, t.kind);
+    }
+}

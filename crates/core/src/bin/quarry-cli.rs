@@ -1,0 +1,290 @@
+//! `quarry-cli` — a line-oriented console over the Quarry service layer.
+//!
+//! The original demo drove Quarry through a web UI over REST services; this
+//! binary is the equivalent headless front end: each input line is one
+//! service request, each output block one response. It reads commands from
+//! stdin (or from files passed as arguments), so demo scripts are plain text:
+//!
+//! ```text
+//! $ cargo run --bin quarry-cli
+//! quarry> suggest Lineitem
+//! quarry> add examples/requirements/figure4_revenue.xrq
+//! quarry> list
+//! quarry> deploy postgres-pdi
+//! quarry> run 0.01
+//! quarry> quit
+//! ```
+
+use quarry::service::{handle, ServiceRequest, ServiceResponse};
+use quarry::Quarry;
+use std::io::{BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  suggest <Concept>        rank analysis dimensions for a focus concept
+  foci                     rank analysis-focus candidates
+  add <file.xrq>           interpret + integrate a requirement document
+  remove <IRid>            retract a requirement
+  change <file.xrq>        replace a requirement (same id)
+  list                     list integrated requirement ids
+  md                       print the unified MD schema (xMD)
+  etl                      print the unified ETL process (xLM)
+  deploy <platform>        generate platform executables (postgres-pdi)
+  export <format>          export the unified design via the format registry
+                           (xmd, xlm, sql, summary)
+  diff                     structural changes of the last lifecycle step
+  run <scale-factor>       execute the unified flow on generated TPC-H data
+  query <file.xrq>         answer a requirement from the loaded warehouse
+  json (on|off)            toggle JSON response encoding
+  help                     this text
+  quit                     exit";
+
+/// Dispatches one command line. Returns `None` on `quit`.
+fn dispatch(
+    quarry: &mut Quarry,
+    line: &str,
+    json: &mut bool,
+    engine: &mut Option<quarry_engine::Engine>,
+) -> Option<String> {
+    let line = line.trim();
+    let (cmd, arg) = match line.split_once(char::is_whitespace) {
+        Some((c, a)) => (c, a.trim()),
+        None => (line, ""),
+    };
+    let request = match cmd {
+        "" | "#" => return Some(String::new()),
+        _ if cmd.starts_with('#') => return Some(String::new()),
+        "quit" | "exit" => return None,
+        "help" => return Some(HELP.to_string()),
+        "json" => {
+            *json = arg != "off";
+            return Some(format!("json encoding {}", if *json { "on" } else { "off" }));
+        }
+        "foci" => {
+            let mut out = String::new();
+            for f in quarry.elicitor().suggest_foci().iter().take(8) {
+                out.push_str(&format!("{:<12} score {:.1}\n", f.name, f.score));
+            }
+            return Some(out);
+        }
+        "run" => {
+            let sf: f64 = match arg.parse() {
+                Ok(v) => v,
+                Err(_) => return Some(format!("run: `{arg}` is not a scale factor")),
+            };
+            return Some(match quarry.run_etl(quarry_engine::tpch::generate(sf, 42)) {
+                Ok((loaded_engine, report)) => {
+                    let mut out = format!(
+                        "executed {} operations in {:?}; {} rows processed\n",
+                        report.timings.len(),
+                        report.total,
+                        report.rows_processed
+                    );
+                    for (table, rows) in &report.loaded {
+                        out.push_str(&format!("  {table}: {rows} rows\n"));
+                    }
+                    *engine = Some(loaded_engine); // keep the warehouse queryable
+                    out
+                }
+                Err(e) => format!("run failed: {e}"),
+            });
+        }
+        "query" => {
+            let Some(warehouse) = engine.as_mut() else {
+                return Some("query: no warehouse loaded yet — `run <sf>` first".to_string());
+            };
+            let req = match std::fs::read_to_string(arg)
+                .map_err(|e| e.to_string())
+                .and_then(|xrq| quarry_formats::Requirement::parse(&xrq).map_err(|e| e.to_string()))
+            {
+                Ok(r) => r,
+                Err(e) => return Some(format!("query: {e}")),
+            };
+            return Some(match quarry::olap::query_flow(quarry.unified().0, quarry.ontology(), &req) {
+                Ok(flow) => match warehouse.run(&flow) {
+                    Ok(_) => {
+                        let answer = warehouse
+                            .catalog
+                            .get(&format!("answer_{}", req.id))
+                            .expect("query flows end in their answer loader");
+                        format!("{answer}")
+                    }
+                    Err(e) => format!("query failed: {e}"),
+                },
+                Err(e) => format!("query: {e}"),
+            });
+        }
+        "export" => {
+            let registry = quarry.formats();
+            let mut out = String::new();
+            let md = quarry_formats::registry::Artifact::Md(quarry.unified().0.clone());
+            let etl = quarry_formats::registry::Artifact::Etl(quarry.unified().1.clone());
+            for artifact in [md, etl] {
+                match registry.export(arg, &artifact) {
+                    Ok(text) => out.push_str(&text),
+                    Err(e) => out.push_str(&format!("-- {e}\n")),
+                }
+                out.push('\n');
+            }
+            return Some(out);
+        }
+        "diff" => {
+            let history = quarry
+                .repository()
+                .history(quarry_repository::ArtifactKind::MdSchema, "unified");
+            return Some(match history.as_slice() {
+                [] => "no design versions yet".to_string(),
+                [_only] => "only one version so far — everything is new".to_string(),
+                [.., prev, last] => {
+                    let old = quarry_formats::xmd::parse(&prev.content).expect("stored versions parse");
+                    let new = quarry_formats::xmd::parse(&last.content).expect("stored versions parse");
+                    format!("v{} → v{}:\n{}", prev.version, last.version, quarry_md::diff::diff(&old, &new))
+                }
+            });
+        }
+        "suggest" => ServiceRequest::SuggestDimensions { focus: arg.to_string() },
+        "add" | "change" => match std::fs::read_to_string(arg) {
+            Ok(xrq) => {
+                if cmd == "add" {
+                    ServiceRequest::AddRequirement { xrq }
+                } else {
+                    ServiceRequest::ChangeRequirement { xrq }
+                }
+            }
+            Err(e) => return Some(format!("{cmd}: cannot read `{arg}`: {e}")),
+        },
+        "remove" => ServiceRequest::RemoveRequirement { id: arg.to_string() },
+        "list" => ServiceRequest::ListRequirements,
+        "md" => ServiceRequest::GetUnifiedMd,
+        "etl" => ServiceRequest::GetUnifiedEtl,
+        "deploy" => ServiceRequest::Deploy { platform: arg.to_string() },
+        other => return Some(format!("unknown command `{other}` — try `help`")),
+    };
+    let response = handle(quarry, request);
+    Some(if *json { response.to_json().to_pretty_string() } else { render(response) })
+}
+
+fn render(response: ServiceResponse) -> String {
+    match response {
+        ServiceResponse::Updated { requirement_id, md_cost, etl_cost } => {
+            format!("ok: {requirement_id} (structural complexity {md_cost:.1}, estimated ETL time {etl_cost:.0})")
+        }
+        ServiceResponse::Requirements(ids) => {
+            if ids.is_empty() {
+                "no requirements integrated yet".to_string()
+            } else {
+                ids.join("\n")
+            }
+        }
+        ServiceResponse::Document(doc) => doc,
+        ServiceResponse::Artifacts(files) => {
+            let mut out = String::new();
+            for (name, content) in files {
+                out.push_str(&format!("───── {name} ─────\n{content}\n"));
+            }
+            out
+        }
+        ServiceResponse::Suggestions(names) => names.join("\n"),
+        ServiceResponse::Error(e) => format!("error: {e}"),
+    }
+}
+
+fn main() {
+    let mut quarry = Quarry::tpch();
+    let mut json = false;
+    let mut engine: Option<quarry_engine::Engine> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let stdin;
+    let file_input;
+    let reader: Box<dyn BufRead> = if args.is_empty() {
+        stdin = std::io::stdin();
+        Box::new(stdin.lock())
+    } else {
+        let mut combined = String::new();
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(text) => combined.push_str(&text),
+                Err(e) => {
+                    eprintln!("cannot read script `{path}`: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        file_input = std::io::Cursor::new(combined);
+        Box::new(file_input)
+    };
+
+    let interactive = args.is_empty();
+    let mut out = std::io::stdout();
+    if interactive {
+        println!("Quarry over TPC-H — `help` lists commands.");
+        print!("quarry> ");
+        let _ = out.flush();
+    }
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match dispatch(&mut quarry, &line, &mut json, &mut engine) {
+            Some(output) => {
+                if !output.is_empty() {
+                    println!("{}", output.trim_end());
+                }
+            }
+            None => break,
+        }
+        if interactive {
+            print!("quarry> ");
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_session_covers_every_command() {
+        let mut quarry = Quarry::tpch();
+        let mut json = false;
+        let mut engine: Option<quarry_engine::Engine> = None;
+        let mut run = |q: &mut Quarry, j: &mut bool, line: &str| dispatch(q, line, j, &mut engine).expect("not quit");
+
+        assert!(run(&mut quarry, &mut json, "help").contains("commands"));
+        assert!(run(&mut quarry, &mut json, "suggest Lineitem").contains("Part"));
+        assert!(run(&mut quarry, &mut json, "foci").contains("Lineitem"));
+        let xrq_path = format!("{}/../../examples/requirements/figure4_revenue.xrq", env!("CARGO_MANIFEST_DIR"));
+        let add = run(&mut quarry, &mut json, &format!("add {xrq_path}"));
+        assert!(add.starts_with("ok: IR1"), "{add}");
+        assert_eq!(run(&mut quarry, &mut json, "list"), "IR1");
+        assert!(run(&mut quarry, &mut json, "md").contains("fact_table_revenue"));
+        assert!(run(&mut quarry, &mut json, "etl").contains("DATASTORE_Lineitem"));
+        assert!(run(&mut quarry, &mut json, "deploy postgres-pdi").contains("CREATE TABLE"));
+        assert!(run(&mut quarry, &mut json, "query nowhere.xrq").contains("no warehouse"), "query before run");
+        let executed = run(&mut quarry, &mut json, "run 0.001");
+        assert!(executed.contains("rows processed"), "{executed}");
+        let answered = run(&mut quarry, &mut json, &format!("query {xrq_path}"));
+        assert!(answered.contains("revenue"), "{answered}");
+        let exported = run(&mut quarry, &mut json, "export sql");
+        assert!(exported.contains("CREATE TABLE") && exported.contains("INSERT INTO"), "{exported}");
+        let netprofit = format!("{}/../../examples/requirements/netprofit.xrq", env!("CARGO_MANIFEST_DIR"));
+        run(&mut quarry, &mut json, &format!("add {netprofit}"));
+        let delta = run(&mut quarry, &mut json, "diff");
+        assert!(delta.contains("+ "), "{delta}");
+        assert!(run(&mut quarry, &mut json, "remove IR1").starts_with("ok: IR1"));
+        // JSON mode.
+        assert!(run(&mut quarry, &mut json, "json on").contains("on"));
+        let listing = run(&mut quarry, &mut json, "list");
+        assert!(listing.contains("\"requirements\""), "{listing}");
+        // Errors render, never panic.
+        assert!(run(&mut quarry, &mut json, "bogus").contains("unknown command"));
+        let mut plain = false;
+        assert!(run(&mut quarry, &mut plain, "add /no/such/file.xrq").contains("cannot read"));
+        assert!(run(&mut quarry, &mut plain, "run NaNx").contains("not a scale factor"));
+        // Quit terminates.
+        assert!(dispatch(&mut quarry, "quit", &mut plain, &mut engine).is_none());
+    }
+}

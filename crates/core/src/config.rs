@@ -1,0 +1,77 @@
+//! Lifecycle configuration: the user-specified quality factors (paper §1:
+//! "Quarry accounts for user-specified quality factors") and integration
+//! options.
+
+use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
+use quarry_integrator::etl::EtlIntegrationOptions;
+use quarry_md::{CostModel, StructuralComplexity};
+
+/// Configuration of a [`crate::Quarry`] instance.
+pub struct QuarryConfig {
+    /// Quality factor for MD schema integration (default: structural design
+    /// complexity, the paper's demonstrated factor).
+    pub md_cost: Box<dyn CostModel + Send + Sync>,
+    /// Quality factor for ETL integration (default: estimated overall
+    /// execution time).
+    pub etl_cost: Box<dyn EtlCostModel + Send + Sync>,
+    /// Source statistics feeding the ETL cost model.
+    pub stats: SourceStats,
+    /// ETL consolidation options (equivalence-rule alignment on by default).
+    pub etl_options: EtlIntegrationOptions,
+    /// Name of the unified design (used in artifact keys and DDL).
+    pub design_name: String,
+    /// Interpreter options (e.g. derived time dimensions).
+    pub interpreter: quarry_interpreter::InterpreterOptions,
+}
+
+impl Default for QuarryConfig {
+    fn default() -> Self {
+        QuarryConfig {
+            md_cost: Box::new(StructuralComplexity::new()),
+            etl_cost: Box::new(EstimatedTime::new()),
+            stats: SourceStats::new(),
+            etl_options: EtlIntegrationOptions::default(),
+            design_name: "unified".to_string(),
+            interpreter: quarry_interpreter::InterpreterOptions::default(),
+        }
+    }
+}
+
+impl QuarryConfig {
+    /// TPC-H-flavoured defaults: source statistics matching the generator's
+    /// cardinalities at the given scale factor.
+    pub fn tpch(scale_factor: f64) -> Self {
+        let mut cfg = QuarryConfig::default();
+        let (supplier, part, partsupp, customer, orders) = quarry_engine::tpch::row_counts(scale_factor);
+        cfg.stats.set_table("region", 5.0);
+        cfg.stats.set_table("nation", 25.0);
+        cfg.stats.set_table("supplier", supplier as f64);
+        cfg.stats.set_table("part", part as f64);
+        cfg.stats.set_table("partsupp", partsupp as f64);
+        cfg.stats.set_table("customer", customer as f64);
+        cfg.stats.set_table("orders", orders as f64);
+        cfg.stats.set_table("lineitem", orders as f64 * 4.0);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_the_paper_quality_factors() {
+        let cfg = QuarryConfig::default();
+        assert_eq!(cfg.md_cost.name(), "structural-design-complexity");
+        assert_eq!(cfg.etl_cost.name(), "estimated-execution-time");
+        assert!(cfg.etl_options.align_with_rules);
+    }
+
+    #[test]
+    fn tpch_stats_scale_with_sf() {
+        let small = QuarryConfig::tpch(0.01);
+        let large = QuarryConfig::tpch(0.1);
+        assert!(small.stats.table_rows("lineitem") < large.stats.table_rows("lineitem"));
+        assert_eq!(small.stats.table_rows("nation"), 25.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # Quarry
+//!
+//! An end-to-end system for managing the design lifecycle of a data
+//! warehouse — a from-scratch Rust reproduction of *"Quarry: Digging Up the
+//! Gems of Your Data Treasury"* (EDBT 2015).
+//!
+//! Quarry assists users of various technical skills in the incremental
+//! design and deployment of multidimensional (MD) schemata and ETL
+//! processes:
+//!
+//! 1. **Requirements Elicitor** — explore the domain ontology, get
+//!    suggested analytical perspectives, assemble validated requirements
+//!    ([`Quarry::elicitor`], [`Quarry::session`]);
+//! 2. **Requirements Interpreter** — translate each requirement into a
+//!    validated partial MD schema + ETL flow;
+//! 3. **Design Integrator** — consolidate partials into unified design
+//!    solutions satisfying every requirement posed so far, guided by
+//!    configurable quality factors ([`Quarry::add_requirement`]);
+//! 4. **Design Deployer** — emit executables for the registered platforms
+//!    (PostgreSQL DDL + Pentaho PDI out of the box,
+//!    [`Quarry::deploy`]), or run the unified flow directly on the
+//!    embedded engine ([`Quarry::run_etl`]);
+//! 5. **Communication & Metadata layer** — every artifact version and
+//!    requirement↔design link is recorded in the metadata repository
+//!    ([`Quarry::repository`]).
+//!
+//! ```
+//! use quarry::Quarry;
+//!
+//! let mut quarry = Quarry::tpch();
+//! let req = quarry_formats::xrq::figure4_requirement();
+//! let update = quarry.add_requirement(req).expect("figure 4 is MD-compliant");
+//! assert_eq!(update.requirement_id, "IR1");
+//! let (md, etl) = quarry.unified();
+//! assert!(md.fact("fact_table_revenue").is_some());
+//! assert!(etl.op_by_name("LOADER_fact_table_revenue").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod config;
+mod lifecycle;
+pub mod native;
+pub mod olap;
+pub mod service;
+
+pub use config::QuarryConfig;
+pub use lifecycle::{DesignUpdate, Quarry, QuarryError};

@@ -1,0 +1,618 @@
+//! The Quarry façade: incremental DW design lifecycle management.
+
+use crate::config::QuarryConfig;
+use quarry_deployer::{DeployError, DeploymentArtifacts, PlatformRegistry};
+use quarry_elicitor::{Elicitor, Session};
+use quarry_engine::{Catalog, Engine, EngineError, RunReport};
+use quarry_etl::Flow;
+use quarry_formats::registry::FormatRegistry;
+use quarry_formats::{FormatError, Requirement};
+use quarry_integrator::etl::{integrate_etl, EtlIntegrationReport};
+use quarry_integrator::md::{integrate_md, MdIntegrationReport};
+use quarry_integrator::IntegrateError;
+use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
+use quarry_md::{MdSchema, MdViolation};
+use quarry_ontology::mappings::SourceRegistry;
+use quarry_ontology::Ontology;
+use quarry_repository::{ArtifactKind, Repository};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Lifecycle failures.
+#[derive(Debug)]
+pub enum QuarryError {
+    /// The requirement failed mapping/MD validation.
+    Interpret(Vec<InterpretError>),
+    /// The integration could not produce a sound unified design.
+    Integrate(IntegrateError),
+    /// Requirement id not part of the current set.
+    UnknownRequirement(String),
+    /// Requirement id already in the current set.
+    DuplicateRequirement(String),
+    Deploy(DeployError),
+    Engine(EngineError),
+    Format(FormatError),
+}
+
+impl fmt::Display for QuarryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarryError::Interpret(errors) => {
+                write!(f, "requirement rejected: ")?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            QuarryError::Integrate(e) => write!(f, "{e}"),
+            QuarryError::UnknownRequirement(id) => write!(f, "no requirement `{id}` in the current design"),
+            QuarryError::DuplicateRequirement(id) => write!(f, "requirement `{id}` is already part of the design"),
+            QuarryError::Deploy(e) => write!(f, "{e}"),
+            QuarryError::Engine(e) => write!(f, "{e}"),
+            QuarryError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuarryError {}
+
+/// The SQL export plug-in (paper §2.5 names SQL among the supported external
+/// notations): renders MD schemata as PostgreSQL DDL and ETL flows as SQL
+/// scripts.
+struct SqlExporter;
+
+impl quarry_formats::registry::Exporter for SqlExporter {
+    fn format(&self) -> &str {
+        "sql"
+    }
+
+    fn export(&self, artifact: &quarry_formats::registry::Artifact) -> Option<String> {
+        match artifact {
+            quarry_formats::registry::Artifact::Md(schema) => {
+                Some(quarry_deployer::postgres::generate_ddl(schema, "demo"))
+            }
+            quarry_formats::registry::Artifact::Etl(flow) => quarry_deployer::sql::generate_sql(flow).ok(),
+            quarry_formats::registry::Artifact::Req(_) => None,
+        }
+    }
+}
+
+impl From<IntegrateError> for QuarryError {
+    fn from(e: IntegrateError) -> Self {
+        QuarryError::Integrate(e)
+    }
+}
+
+impl From<DeployError> for QuarryError {
+    fn from(e: DeployError) -> Self {
+        QuarryError::Deploy(e)
+    }
+}
+
+impl From<EngineError> for QuarryError {
+    fn from(e: EngineError) -> Self {
+        QuarryError::Engine(e)
+    }
+}
+
+impl From<FormatError> for QuarryError {
+    fn from(e: FormatError) -> Self {
+        QuarryError::Format(e)
+    }
+}
+
+/// What one lifecycle step changed.
+#[derive(Debug, Default)]
+pub struct DesignUpdate {
+    pub requirement_id: String,
+    /// MD integration report (None for removals).
+    pub md_report: Option<MdIntegrationReport>,
+    /// ETL integration report (None for removals).
+    pub etl_report: Option<EtlIntegrationReport>,
+    /// Cost of the unified MD schema after the step.
+    pub md_cost: f64,
+    /// Cost of the unified ETL flow after the step.
+    pub etl_cost: f64,
+    /// Non-fatal MD validation warnings on the unified schema.
+    pub warnings: Vec<MdViolation>,
+}
+
+/// The Quarry system: one instance manages one DW design lifecycle over one
+/// domain.
+pub struct Quarry {
+    ontology: Ontology,
+    sources: SourceRegistry,
+    repository: Repository,
+    formats: FormatRegistry,
+    platforms: PlatformRegistry,
+    config: QuarryConfig,
+    unified_md: MdSchema,
+    unified_etl: Flow,
+    requirements: BTreeMap<String, Requirement>,
+}
+
+impl Quarry {
+    /// Creates a Quarry instance over a domain ontology and its source
+    /// mappings, with default quality factors.
+    pub fn new(ontology: Ontology, sources: SourceRegistry) -> Self {
+        Quarry::with_config(ontology, sources, QuarryConfig::default())
+    }
+
+    /// Creates a Quarry instance with explicit configuration.
+    pub fn with_config(ontology: Ontology, sources: SourceRegistry, config: QuarryConfig) -> Self {
+        let repository = Repository::new();
+        // Persist the domain ontology as the first metadata artifact.
+        repository.put_artifact(ArtifactKind::Ontology, "domain", &quarry_ontology::owlx::to_string(&ontology));
+        let mut formats = FormatRegistry::with_builtins();
+        formats.register_exporter(Box::new(SqlExporter));
+        Quarry {
+            unified_md: MdSchema::new(config.design_name.clone()),
+            unified_etl: Flow::new(config.design_name.clone()),
+            ontology,
+            sources,
+            repository,
+            formats,
+            platforms: PlatformRegistry::with_builtins(),
+            config,
+            requirements: BTreeMap::new(),
+        }
+    }
+
+    /// A Quarry instance over the paper's running example: the TPC-H domain.
+    pub fn tpch() -> Self {
+        let domain = quarry_ontology::tpch::domain();
+        Quarry::with_config(domain.ontology, domain.sources, QuarryConfig::tpch(0.01))
+    }
+
+    // ---- component access ---------------------------------------------------
+
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    pub fn sources(&self) -> &SourceRegistry {
+        &self.sources
+    }
+
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    pub fn formats(&self) -> &FormatRegistry {
+        &self.formats
+    }
+
+    pub fn formats_mut(&mut self) -> &mut FormatRegistry {
+        &mut self.formats
+    }
+
+    pub fn platforms_mut(&mut self) -> &mut PlatformRegistry {
+        &mut self.platforms
+    }
+
+    pub fn config(&self) -> &QuarryConfig {
+        &self.config
+    }
+
+    /// The Requirements Elicitor over this instance's ontology.
+    pub fn elicitor(&self) -> Elicitor<'_> {
+        Elicitor::new(&self.ontology)
+    }
+
+    /// Starts an elicitation session for a new requirement.
+    pub fn session(&self, id: &str) -> Session<'_> {
+        Session::new(&self.ontology, id)
+    }
+
+    /// The current unified design.
+    pub fn unified(&self) -> (&MdSchema, &Flow) {
+        (&self.unified_md, &self.unified_etl)
+    }
+
+    /// The requirement ids satisfied by the current design.
+    pub fn requirement_ids(&self) -> Vec<&str> {
+        self.requirements.keys().map(String::as_str).collect()
+    }
+
+    pub fn requirement(&self, id: &str) -> Option<&Requirement> {
+        self.requirements.get(id)
+    }
+
+    // ---- lifecycle ------------------------------------------------------------
+
+    /// Interprets a requirement in isolation (no change to the design).
+    pub fn interpret(&self, req: &Requirement) -> Result<PartialDesign, QuarryError> {
+        Interpreter::with_options(&self.ontology, &self.sources, self.config.interpreter)
+            .interpret(req)
+            .map_err(QuarryError::Interpret)
+    }
+
+    /// Adds a requirement: interpret → store partials → integrate → validate
+    /// → store unified artifacts.
+    pub fn add_requirement(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
+        if self.requirements.contains_key(&req.id) {
+            return Err(QuarryError::DuplicateRequirement(req.id.clone()));
+        }
+        let partial = self.interpret(&req)?;
+
+        // Persist the requirement and its partial designs.
+        self.repository.put_artifact(ArtifactKind::Requirement, &req.id, &req.to_string_pretty());
+        self.repository.put_artifact(
+            ArtifactKind::MdSchema,
+            &format!("partial-{}", req.id),
+            &quarry_formats::xmd::to_string(&partial.md),
+        );
+        self.repository.put_artifact(
+            ArtifactKind::EtlFlow,
+            &format!("partial-{}", req.id),
+            &quarry_formats::xlm::to_string(&partial.etl),
+        );
+        self.repository.link_requirement(&req.id, ArtifactKind::MdSchema, &format!("partial-{}", req.id));
+        self.repository.link_requirement(&req.id, ArtifactKind::EtlFlow, &format!("partial-{}", req.id));
+
+        // Integrate.
+        let md_result = integrate_md(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
+        let etl_result = integrate_etl(
+            &self.unified_etl,
+            &partial.etl,
+            self.config.etl_cost.as_ref(),
+            &self.config.stats,
+            self.config.etl_options,
+        )?;
+
+        self.unified_md = md_result.schema.clone();
+        self.unified_etl = etl_result.flow.clone();
+        self.requirements.insert(req.id.clone(), req.clone());
+        self.persist_unified();
+
+        let warnings = self.unified_md.validate();
+        Ok(DesignUpdate {
+            requirement_id: req.id,
+            md_cost: md_result.report.cost,
+            etl_cost: etl_result.report.cost,
+            md_report: Some(md_result.report),
+            etl_report: Some(etl_result.report),
+            warnings,
+        })
+    }
+
+    /// Integrates an externally produced partial design (paper §2.2: "Quarry
+    /// allows plugging in other external design tools, with the assumption
+    /// that the provided partial designs are sound"). The design is
+    /// validated, stamped with `requirement_id`, and consolidated exactly
+    /// like an interpreter-produced partial.
+    pub fn add_partial_design(
+        &mut self,
+        requirement_id: &str,
+        mut md: MdSchema,
+        mut etl: Flow,
+    ) -> Result<DesignUpdate, QuarryError> {
+        if self.requirements.contains_key(requirement_id) {
+            return Err(QuarryError::DuplicateRequirement(requirement_id.to_string()));
+        }
+        // Trust but verify: external partials must be sound.
+        let violations = md.validate();
+        if violations.iter().any(|v| v.kind.is_error()) {
+            return Err(QuarryError::Integrate(IntegrateError::InvalidResult(
+                violations.iter().map(ToString::to_string).collect(),
+            )));
+        }
+        etl.validate().map_err(|e| QuarryError::Integrate(IntegrateError::MalformedPartial(e.to_string())))?;
+        md.stamp_requirement(requirement_id);
+        etl.stamp_requirement(requirement_id);
+
+        self.repository.put_artifact(
+            ArtifactKind::MdSchema,
+            &format!("partial-{requirement_id}"),
+            &quarry_formats::xmd::to_string(&md),
+        );
+        self.repository.put_artifact(
+            ArtifactKind::EtlFlow,
+            &format!("partial-{requirement_id}"),
+            &quarry_formats::xlm::to_string(&etl),
+        );
+        self.repository.link_requirement(requirement_id, ArtifactKind::MdSchema, &format!("partial-{requirement_id}"));
+        self.repository.link_requirement(requirement_id, ArtifactKind::EtlFlow, &format!("partial-{requirement_id}"));
+
+        let md_result = integrate_md(&self.unified_md, &md, self.config.md_cost.as_ref())?;
+        let etl_result = integrate_etl(
+            &self.unified_etl,
+            &etl,
+            self.config.etl_cost.as_ref(),
+            &self.config.stats,
+            self.config.etl_options,
+        )?;
+        self.unified_md = md_result.schema.clone();
+        self.unified_etl = etl_result.flow.clone();
+        // Record a marker requirement so lifecycle bookkeeping (removal,
+        // listing) treats the external design like any other.
+        self.requirements.insert(requirement_id.to_string(), Requirement::new(requirement_id));
+        self.persist_unified();
+        let warnings = self.unified_md.validate();
+        Ok(DesignUpdate {
+            requirement_id: requirement_id.to_string(),
+            md_cost: md_result.report.cost,
+            etl_cost: etl_result.report.cost,
+            md_report: Some(md_result.report),
+            etl_report: Some(etl_result.report),
+            warnings,
+        })
+    }
+
+    /// Removes a requirement: every design element serving only it is
+    /// pruned, then the shrunken design is re-validated and persisted.
+    pub fn remove_requirement(&mut self, id: &str) -> Result<DesignUpdate, QuarryError> {
+        if self.requirements.remove(id).is_none() {
+            return Err(QuarryError::UnknownRequirement(id.to_string()));
+        }
+        self.unified_md.retract_requirement(id);
+        self.unified_etl.retract_requirement(id);
+        self.repository.unlink_requirement(id);
+
+        let violations = self.unified_md.validate();
+        if violations.iter().any(|v| v.kind.is_error()) {
+            return Err(QuarryError::Integrate(IntegrateError::InvalidResult(
+                violations.iter().map(ToString::to_string).collect(),
+            )));
+        }
+        if self.unified_etl.op_count() > 0 {
+            self.unified_etl
+                .validate()
+                .map_err(|e| QuarryError::Integrate(IntegrateError::InvalidResult(vec![e.to_string()])))?;
+        }
+        self.persist_unified();
+        Ok(DesignUpdate {
+            requirement_id: id.to_string(),
+            md_cost: self.config.md_cost.cost(&self.unified_md),
+            etl_cost: self
+                .config
+                .etl_cost
+                .cost(&self.unified_etl, &self.config.stats)
+                .unwrap_or_default(),
+            warnings: violations,
+            ..DesignUpdate::default()
+        })
+    }
+
+    /// Changes a requirement: retract the old version, integrate the new one
+    /// (same id).
+    pub fn change_requirement(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
+        if !self.requirements.contains_key(&req.id) {
+            return Err(QuarryError::UnknownRequirement(req.id.clone()));
+        }
+        self.remove_requirement(&req.id.clone())?;
+        self.add_requirement(req)
+    }
+
+    fn persist_unified(&self) {
+        self.repository.put_artifact(
+            ArtifactKind::MdSchema,
+            &self.config.design_name,
+            &quarry_formats::xmd::to_string(&self.unified_md),
+        );
+        self.repository.put_artifact(
+            ArtifactKind::EtlFlow,
+            &self.config.design_name,
+            &quarry_formats::xlm::to_string(&self.unified_etl),
+        );
+    }
+
+    // ---- deployment & execution -----------------------------------------------
+
+    /// Generates deployment artifacts for a registered platform and records
+    /// them in the repository.
+    pub fn deploy(&self, platform: &str) -> Result<DeploymentArtifacts, QuarryError> {
+        let artifacts = self.platforms.deploy(platform, &self.unified_md, &self.unified_etl)?;
+        for (name, content) in &artifacts.files {
+            self.repository.put_artifact(ArtifactKind::Deployment, &format!("{platform}/{name}"), content);
+        }
+        Ok(artifacts)
+    }
+
+    /// Runs the unified ETL flow on the embedded engine over `catalog`,
+    /// returning the populated engine and the run report. This is the
+    /// "native" execution platform.
+    pub fn run_etl(&self, catalog: Catalog) -> Result<(Engine, RunReport), QuarryError> {
+        let mut engine = crate::native::deploy(&self.unified_md, catalog);
+        let report = engine.run(&self.unified_etl)?;
+        Ok((engine, report))
+    }
+
+    /// Like [`Quarry::run_etl`] but with intra-level parallelism: operations
+    /// whose inputs are ready execute concurrently. Results are identical.
+    pub fn run_etl_parallel(&self, catalog: Catalog) -> Result<(Engine, RunReport), QuarryError> {
+        let mut engine = crate::native::deploy(&self.unified_md, catalog);
+        let report = engine.run_parallel(&self.unified_etl)?;
+        Ok((engine, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_formats::xrq::figure4_requirement;
+    use quarry_formats::MeasureSpec;
+
+    fn netprofit_requirement() -> Requirement {
+        let mut req = Requirement::new("IR2");
+        req.measures.push(MeasureSpec {
+            id: "netprofit".into(),
+            function: "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT".into(),
+        });
+        req.dimensions.push("Part_p_nameATRIBUT".into());
+        req.dimensions.push("Supplier_s_nameATRIBUT".into());
+        req
+    }
+
+    #[test]
+    fn add_requirement_builds_the_initial_design() {
+        let mut q = Quarry::tpch();
+        let update = q.add_requirement(figure4_requirement()).unwrap();
+        assert_eq!(update.requirement_id, "IR1");
+        assert!(update.md_cost > 0.0);
+        let (md, etl) = q.unified();
+        assert_eq!(md.facts.len(), 1);
+        assert!(etl.op_count() > 5);
+        assert_eq!(q.requirement_ids(), ["IR1"]);
+    }
+
+    #[test]
+    fn duplicate_requirements_are_rejected() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        assert!(matches!(
+            q.add_requirement(figure4_requirement()),
+            Err(QuarryError::DuplicateRequirement(_))
+        ));
+    }
+
+    #[test]
+    fn second_requirement_reuses_conformed_dimensions() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let update = q.add_requirement(netprofit_requirement()).unwrap();
+        let md_report = update.md_report.expect("integration ran");
+        assert!(
+            !md_report.matches.is_empty(),
+            "Part/Supplier dimensions must be matched: {:?}",
+            md_report.matches
+        );
+        let etl_report = update.etl_report.expect("integration ran");
+        assert!(etl_report.reused_ops > 0, "source extractions must be shared");
+        let (md, _) = q.unified();
+        assert_eq!(md.dimensions.len(), 2, "conformed Part and Supplier");
+        assert!(md.satisfied_requirements().contains("IR1") && md.satisfied_requirements().contains("IR2"));
+    }
+
+    #[test]
+    fn remove_requirement_prunes_exclusive_elements() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+        let before_ops = q.unified().1.op_count();
+        q.remove_requirement("IR2").unwrap();
+        let (md, etl) = q.unified();
+        assert_eq!(md.facts.len(), 1, "netprofit fact gone");
+        assert!(md.fact("fact_table_revenue").is_some());
+        assert!(etl.op_count() < before_ops);
+        assert!(!md.satisfied_requirements().contains("IR2"));
+        // The remaining design still validates and deploys.
+        q.deploy("postgres-pdi").unwrap();
+    }
+
+    #[test]
+    fn removing_the_last_requirement_empties_the_design() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.remove_requirement("IR1").unwrap();
+        let (md, etl) = q.unified();
+        assert!(md.facts.is_empty() && md.dimensions.is_empty());
+        assert_eq!(etl.op_count(), 0);
+    }
+
+    #[test]
+    fn unknown_removal_and_change_are_rejected() {
+        let mut q = Quarry::tpch();
+        assert!(matches!(q.remove_requirement("IRX"), Err(QuarryError::UnknownRequirement(_))));
+        assert!(matches!(
+            q.change_requirement(figure4_requirement()),
+            Err(QuarryError::UnknownRequirement(_))
+        ));
+    }
+
+    #[test]
+    fn change_requirement_replaces_in_place() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let mut v2 = figure4_requirement();
+        v2.slicers.clear(); // drop the Spain filter
+        q.change_requirement(v2).unwrap();
+        let (_, etl) = q.unified();
+        assert!(
+            !etl.ops().any(|o| o.name.contains("SELECTION_1_n_name")),
+            "slicer selection must disappear after the change"
+        );
+        assert_eq!(q.requirement_ids(), ["IR1"]);
+    }
+
+    #[test]
+    fn invalid_requirements_do_not_touch_the_design() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let before = q.unified().0.clone();
+        let mut bad = Requirement::new("IRB");
+        bad.measures.push(MeasureSpec { id: "m".into(), function: "Ghost_xATRIBUT".into() });
+        bad.dimensions.push("Part_p_nameATRIBUT".into());
+        assert!(matches!(q.add_requirement(bad), Err(QuarryError::Interpret(_))));
+        assert_eq!(*q.unified().0, before);
+        assert_eq!(q.requirement_ids(), ["IR1"]);
+    }
+
+    #[test]
+    fn repository_records_the_full_history() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+        let repo = q.repository();
+        assert_eq!(repo.keys(ArtifactKind::Requirement), ["IR1", "IR2"]);
+        assert_eq!(repo.history(ArtifactKind::MdSchema, "unified").len(), 2, "one version per step");
+        assert!(repo.latest(ArtifactKind::Ontology, "domain").is_ok());
+        assert_eq!(repo.links_for("IR1").len(), 2);
+        // The stored unified xMD parses back to the live design.
+        let stored = repo.latest(ArtifactKind::MdSchema, "unified").unwrap();
+        let parsed = quarry_formats::xmd::parse(&stored.content).unwrap();
+        assert_eq!(parsed, *q.unified().0);
+    }
+
+    #[test]
+    fn sql_exporter_is_registered() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let md = quarry_formats::registry::Artifact::Md(q.unified().0.clone());
+        let ddl = q.formats().export("sql", &md).unwrap();
+        assert!(ddl.contains("CREATE TABLE fact_table_revenue"));
+        let etl = quarry_formats::registry::Artifact::Etl(q.unified().1.clone());
+        let script = q.formats().export("sql", &etl).unwrap();
+        assert!(script.contains("INSERT INTO fact_table_revenue"), "{script}");
+        assert!(script.contains("WITH "));
+    }
+
+    #[test]
+    fn deploy_produces_and_records_artifacts() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let artifacts = q.deploy("postgres-pdi").unwrap();
+        let sql = artifacts.file("schema.sql").unwrap();
+        assert!(sql.contains("CREATE TABLE fact_table_revenue"));
+        assert!(q.repository().latest(ArtifactKind::Deployment, "postgres-pdi/schema.sql").is_ok());
+    }
+
+    #[test]
+    fn run_etl_populates_the_warehouse() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let catalog = quarry_engine::tpch::generate(0.002, 42);
+        let (engine, report) = q.run_etl(catalog).unwrap();
+        assert!(report.rows_loaded("fact_table_revenue") > 0, "Spain rows exist at sf 0.002");
+        assert!(engine.catalog.get("dim_part").is_some());
+        assert!(engine.catalog.get("dim_supplier").is_some());
+        let fact = engine.catalog.get("fact_table_revenue").unwrap();
+        assert_eq!(fact.schema.names().collect::<Vec<_>>(), ["Part_PartID", "Supplier_SupplierID", "revenue"]);
+    }
+
+    #[test]
+    fn fact_fk_values_match_dimension_keys() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let (engine, _) = q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let fact = engine.catalog.get("fact_table_revenue").unwrap();
+        let dim = engine.catalog.get("dim_part").unwrap();
+        let dim_keys: std::collections::HashSet<_> = dim.column_values("PartID").into_iter().collect();
+        for fk in fact.column_values("Part_PartID") {
+            assert!(dim_keys.contains(&fk), "fact FK {fk} must exist in dim_part");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The native execution platform: deploy a unified design straight onto the
+//! embedded `quarry-engine` and run it.
+//!
+//! The paper deploys onto PostgreSQL + Pentaho PDI; the native platform is
+//! what makes the demo's *measured* claims (reduced overall execution time
+//! of integrated flows, §3) reproducible in-process.
+
+use quarry_engine::{Catalog, Engine};
+use quarry_md::MdSchema;
+
+/// Creates an engine over the source catalog. Target tables are *not*
+/// pre-created: loaders create them on first write, so the physical layout
+/// always matches what the flow actually produces. The MD schema is accepted
+/// for symmetry with [`quarry_deployer::ExecutionPlatform::deploy`] and for
+/// forward compatibility (pre-creating indexed tables is a tuning step the
+/// paper leaves to expert users).
+pub fn deploy(_md: &MdSchema, catalog: Catalog) -> Engine {
+    Engine::new(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_wraps_the_catalog() {
+        let catalog = quarry_engine::tpch::generate(0.001, 1);
+        let tables = catalog.len();
+        let engine = deploy(&MdSchema::new("unified"), catalog);
+        assert_eq!(engine.catalog.len(), tables);
+    }
+}

@@ -1,0 +1,243 @@
+//! The in-process service layer: Quarry's components exposed as a
+//! request/response message protocol.
+//!
+//! The original system runs its modules on Apache Tomcat behind HTTP-based
+//! RESTful APIs (paper §2.6). This module preserves that architecture
+//! in-process: every interaction is a serializable [`ServiceRequest`] routed
+//! to the façade, and every answer a [`ServiceResponse`] carrying document
+//! payloads (xRQ/xMD/xLM/SQL text), so an embedder can put any transport in
+//! front of it.
+
+use crate::lifecycle::{Quarry, QuarryError};
+use quarry_formats::Requirement;
+
+/// A request to the Quarry service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRequest {
+    /// POST /requirements — body: an xRQ document.
+    AddRequirement { xrq: String },
+    /// DELETE /requirements/{id}
+    RemoveRequirement { id: String },
+    /// PUT /requirements/{id} — body: an xRQ document (same id).
+    ChangeRequirement { xrq: String },
+    /// GET /requirements
+    ListRequirements,
+    /// GET /design/md — the unified MD schema as xMD.
+    GetUnifiedMd,
+    /// GET /design/etl — the unified ETL process as xLM.
+    GetUnifiedEtl,
+    /// POST /deploy/{platform}
+    Deploy { platform: String },
+    /// GET /elicitor/suggestions?focus={concept}
+    SuggestDimensions { focus: String },
+}
+
+/// A response from the Quarry service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResponse {
+    /// The step succeeded; the payload summarizes the design update.
+    Updated { requirement_id: String, md_cost: f64, etl_cost: f64 },
+    Requirements(Vec<String>),
+    /// An xMD/xLM document.
+    Document(String),
+    /// Deployment artifacts (file name, content).
+    Artifacts(Vec<(String, String)>),
+    /// Ranked dimension suggestions for a focus concept.
+    Suggestions(Vec<String>),
+    /// The request failed; the payload is the error report.
+    Error(String),
+}
+
+impl ServiceResponse {
+    /// Encodes the response as a JSON document (what an HTTP transport in
+    /// front of this layer would put on the wire). Uses the repository's
+    /// own JSON model — no serialization framework involved.
+    pub fn to_json(&self) -> quarry_repository::Json {
+        use quarry_repository::Json;
+        let mut obj = Json::object();
+        match self {
+            ServiceResponse::Updated { requirement_id, md_cost, etl_cost } => {
+                obj.set("status", Json::String("updated".into()));
+                obj.set("requirement", Json::String(requirement_id.clone()));
+                obj.set("mdCost", Json::Number(*md_cost));
+                obj.set("etlCost", Json::Number(*etl_cost));
+            }
+            ServiceResponse::Requirements(ids) => {
+                obj.set("status", Json::String("ok".into()));
+                obj.set("requirements", Json::Array(ids.iter().map(|i| Json::String(i.clone())).collect()));
+            }
+            ServiceResponse::Document(doc) => {
+                obj.set("status", Json::String("ok".into()));
+                obj.set("document", Json::String(doc.clone()));
+            }
+            ServiceResponse::Artifacts(files) => {
+                obj.set("status", Json::String("ok".into()));
+                let mut arr = Vec::new();
+                for (name, content) in files {
+                    let mut f = Json::object();
+                    f.set("name", Json::String(name.clone()));
+                    f.set("content", Json::String(content.clone()));
+                    arr.push(f);
+                }
+                obj.set("artifacts", Json::Array(arr));
+            }
+            ServiceResponse::Suggestions(names) => {
+                obj.set("status", Json::String("ok".into()));
+                obj.set("suggestions", Json::Array(names.iter().map(|n| Json::String(n.clone())).collect()));
+            }
+            ServiceResponse::Error(message) => {
+                obj.set("status", Json::String("error".into()));
+                obj.set("message", Json::String(message.clone()));
+            }
+        }
+        obj
+    }
+}
+
+/// Routes one request to a Quarry instance. Errors are captured into
+/// [`ServiceResponse::Error`] — the transport never panics.
+pub fn handle(quarry: &mut Quarry, request: ServiceRequest) -> ServiceResponse {
+    match try_handle(quarry, request) {
+        Ok(r) => r,
+        Err(e) => ServiceResponse::Error(e.to_string()),
+    }
+}
+
+fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceResponse, QuarryError> {
+    match request {
+        ServiceRequest::AddRequirement { xrq } => {
+            let req = Requirement::parse(&xrq)?;
+            let update = quarry.add_requirement(req)?;
+            Ok(ServiceResponse::Updated {
+                requirement_id: update.requirement_id,
+                md_cost: update.md_cost,
+                etl_cost: update.etl_cost,
+            })
+        }
+        ServiceRequest::RemoveRequirement { id } => {
+            let update = quarry.remove_requirement(&id)?;
+            Ok(ServiceResponse::Updated {
+                requirement_id: update.requirement_id,
+                md_cost: update.md_cost,
+                etl_cost: update.etl_cost,
+            })
+        }
+        ServiceRequest::ChangeRequirement { xrq } => {
+            let req = Requirement::parse(&xrq)?;
+            let update = quarry.change_requirement(req)?;
+            Ok(ServiceResponse::Updated {
+                requirement_id: update.requirement_id,
+                md_cost: update.md_cost,
+                etl_cost: update.etl_cost,
+            })
+        }
+        ServiceRequest::ListRequirements => {
+            Ok(ServiceResponse::Requirements(quarry.requirement_ids().iter().map(|s| s.to_string()).collect()))
+        }
+        ServiceRequest::GetUnifiedMd => {
+            Ok(ServiceResponse::Document(quarry_formats::xmd::to_string(quarry.unified().0)))
+        }
+        ServiceRequest::GetUnifiedEtl => {
+            Ok(ServiceResponse::Document(quarry_formats::xlm::to_string(quarry.unified().1)))
+        }
+        ServiceRequest::Deploy { platform } => {
+            let artifacts = quarry.deploy(&platform)?;
+            Ok(ServiceResponse::Artifacts(artifacts.files))
+        }
+        ServiceRequest::SuggestDimensions { focus } => {
+            let concept = quarry
+                .ontology()
+                .concept_by_name(&focus)
+                .ok_or_else(|| QuarryError::UnknownRequirement(format!("concept `{focus}`")))?;
+            let suggestions =
+                quarry.elicitor().suggest_dimensions(concept).into_iter().map(|s| s.name).collect();
+            Ok(ServiceResponse::Suggestions(suggestions))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_formats::xrq::figure4_requirement;
+
+    #[test]
+    fn full_protocol_round() {
+        let mut q = Quarry::tpch();
+        // Elicitor assistance.
+        match handle(&mut q, ServiceRequest::SuggestDimensions { focus: "Lineitem".into() }) {
+            ServiceResponse::Suggestions(s) => assert!(s.contains(&"Part".to_string())),
+            other => panic!("{other:?}"),
+        }
+        // Add a requirement via its xRQ document.
+        let xrq = figure4_requirement().to_string_pretty();
+        match handle(&mut q, ServiceRequest::AddRequirement { xrq }) {
+            ServiceResponse::Updated { requirement_id, md_cost, .. } => {
+                assert_eq!(requirement_id, "IR1");
+                assert!(md_cost > 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::ListRequirements) {
+            ServiceResponse::Requirements(ids) => assert_eq!(ids, ["IR1"]),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::GetUnifiedMd) {
+            ServiceResponse::Document(doc) => assert!(doc.contains("fact_table_revenue")),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::GetUnifiedEtl) {
+            ServiceResponse::Document(doc) => assert!(doc.contains("DATASTORE_Lineitem")),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::Deploy { platform: "postgres-pdi".into() }) {
+            ServiceResponse::Artifacts(files) => assert_eq!(files.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::RemoveRequirement { id: "IR1".into() }) {
+            ServiceResponse::Updated { requirement_id, .. } => assert_eq!(requirement_id, "IR1"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_encode_as_json() {
+        let mut q = Quarry::tpch();
+        let xrq = figure4_requirement().to_string_pretty();
+        let resp = handle(&mut q, ServiceRequest::AddRequirement { xrq });
+        let json = resp.to_json();
+        assert_eq!(json.path("status").and_then(|v| v.as_str()), Some("updated"));
+        assert_eq!(json.path("requirement").and_then(|v| v.as_str()), Some("IR1"));
+        assert!(json.path("mdCost").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0);
+        // The encoding is valid JSON text.
+        let text = json.to_pretty_string();
+        quarry_repository::Json::parse(&text).expect("well-formed");
+
+        let err = handle(&mut q, ServiceRequest::RemoveRequirement { id: "nope".into() }).to_json();
+        assert_eq!(err.path("status").and_then(|v| v.as_str()), Some("error"));
+
+        let suggestions = handle(&mut q, ServiceRequest::SuggestDimensions { focus: "Lineitem".into() }).to_json();
+        assert!(suggestions.path("suggestions").and_then(|v| v.as_array()).map_or(0, |a| a.len()) > 0);
+    }
+
+    #[test]
+    fn errors_become_error_responses() {
+        let mut q = Quarry::tpch();
+        match handle(&mut q, ServiceRequest::AddRequirement { xrq: "<not-xrq/>".into() }) {
+            ServiceResponse::Error(e) => assert!(e.contains("cube"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::RemoveRequirement { id: "IRX".into() }) {
+            ServiceResponse::Error(e) => assert!(e.contains("IRX")),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::SuggestDimensions { focus: "Ghost".into() }) {
+            ServiceResponse::Error(e) => assert!(e.contains("Ghost")),
+            other => panic!("{other:?}"),
+        }
+        match handle(&mut q, ServiceRequest::Deploy { platform: "hadoop".into() }) {
+            ServiceResponse::Error(e) => assert!(e.contains("hadoop")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

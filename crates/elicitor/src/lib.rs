@@ -1,0 +1,438 @@
+//! The Requirements Elicitor (paper §2.1).
+//!
+//! The original component is a D3-based web UI over the domain ontology;
+//! its *logic* — what this crate implements — is the assistance behind it:
+//!
+//! - "analyzing the relationships in the domain ontology, and automatically
+//!   suggesting potentially interesting analytical perspectives": given a
+//!   focus of analysis (e.g. *Lineitem*), [`Elicitor::suggest_dimensions`]
+//!   ranks the concepts functionally reachable from it (Supplier, Nation,
+//!   Part, … in the paper's example) and
+//!   [`Elicitor::suggest_measures`] ranks its numeric properties;
+//! - ranking which concepts make good analysis foci in the first place
+//!   ([`Elicitor::suggest_foci`]);
+//! - assembling a *validated* xRQ requirement from domain-vocabulary terms
+//!   ([`Session`]), resolving business aliases through the ontology.
+
+#![forbid(unsafe_code)]
+
+use quarry_formats::{Aggregation, MeasureSpec, Requirement, Slicer};
+use quarry_ontology::{ConceptId, Ontology, OntologyError, PropertyId};
+use std::fmt;
+
+/// A suggested analysis dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionSuggestion {
+    pub concept: ConceptId,
+    pub name: String,
+    /// Hops from the focus along functional associations.
+    pub distance: usize,
+    /// Concepts on the path, focus first.
+    pub via: Vec<String>,
+    /// Higher is more interesting.
+    pub score: f64,
+}
+
+/// A suggested measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureSuggestion {
+    pub property: PropertyId,
+    /// Figure-4-style reference (`Lineitem_l_extendedpriceATRIBUT`).
+    pub reference: String,
+    pub score: f64,
+}
+
+/// A suggested analysis focus (fact candidate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FocusSuggestion {
+    pub concept: ConceptId,
+    pub name: String,
+    pub score: f64,
+}
+
+/// A full analytical perspective for one focus.
+#[derive(Debug, Clone)]
+pub struct Perspective {
+    pub focus: ConceptId,
+    pub measures: Vec<MeasureSuggestion>,
+    pub dimensions: Vec<DimensionSuggestion>,
+}
+
+/// The suggestion engine over a domain ontology.
+pub struct Elicitor<'a> {
+    onto: &'a Ontology,
+}
+
+impl<'a> Elicitor<'a> {
+    pub fn new(onto: &'a Ontology) -> Self {
+        Elicitor { onto }
+    }
+
+    /// Ranks dimension candidates for a focus: every concept reachable via
+    /// functional (to-one) paths, scored by proximity and descriptive
+    /// richness (descriptor properties make a concept a useful dimension).
+    pub fn suggest_dimensions(&self, focus: ConceptId) -> Vec<DimensionSuggestion> {
+        let mut out = Vec::new();
+        for (target, path) in self.onto.functional_paths(focus) {
+            if target == focus {
+                continue;
+            }
+            let descriptors = self
+                .onto
+                .all_properties(target)
+                .into_iter()
+                .filter(|&p| !self.onto.property_def(p).identifier)
+                .count();
+            let score = (1.0 + descriptors as f64) / (1.0 + path.len() as f64);
+            out.push(DimensionSuggestion {
+                concept: target,
+                name: self.onto.concept(target).name.clone(),
+                distance: path.len(),
+                via: path.concepts(self.onto).iter().map(|&c| self.onto.concept(c).name.clone()).collect(),
+                score,
+            });
+        }
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name)));
+        out
+    }
+
+    /// Ranks measure candidates for a focus: numeric, non-identifier
+    /// properties of the focus concept itself (properties of dimension
+    /// concepts describe contexts, not quantities to aggregate).
+    pub fn suggest_measures(&self, focus: ConceptId) -> Vec<MeasureSuggestion> {
+        let mut out: Vec<MeasureSuggestion> = self
+            .onto
+            .all_properties(focus)
+            .into_iter()
+            .filter(|&p| {
+                let def = self.onto.property_def(p);
+                def.datatype.is_numeric() && !def.identifier
+            })
+            .map(|p| MeasureSuggestion { property: p, reference: self.onto.property_ref(p), score: 1.0 })
+            .collect();
+        out.sort_by(|a, b| a.reference.cmp(&b.reference));
+        out
+    }
+
+    /// Ranks analysis-focus candidates: concepts scored by how many
+    /// dimension concepts they functionally reach and how many numeric
+    /// properties they carry — the classic "fact table smell".
+    pub fn suggest_foci(&self) -> Vec<FocusSuggestion> {
+        let mut out: Vec<FocusSuggestion> = self
+            .onto
+            .concept_ids()
+            .map(|c| {
+                let reach = self.onto.functional_paths(c).len() - 1;
+                let numeric = self
+                    .onto
+                    .all_properties(c)
+                    .into_iter()
+                    .filter(|&p| {
+                        let def = self.onto.property_def(p);
+                        def.datatype.is_numeric() && !def.identifier
+                    })
+                    .count();
+                FocusSuggestion {
+                    concept: c,
+                    name: self.onto.concept(c).name.clone(),
+                    score: reach as f64 + 2.0 * numeric as f64,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name)));
+        out
+    }
+
+    /// The complete perspective for one focus — what the UI would render
+    /// after the user clicks a concept.
+    pub fn explore(&self, focus: ConceptId) -> Perspective {
+        Perspective { focus, measures: self.suggest_measures(focus), dimensions: self.suggest_dimensions(focus) }
+    }
+}
+
+/// Errors raised while assembling a requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    Ontology(OntologyError),
+    /// The term resolved to a concept where a property was needed.
+    NotAProperty(String),
+    /// A measure expression references something unresolvable.
+    BadMeasure { measure: String, detail: String },
+    /// The requirement has no measures or no dimensions.
+    Incomplete(String),
+    UnknownAggregation(String),
+    /// An aggregation references an unknown measure/dimension.
+    DanglingAggregation(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Ontology(e) => write!(f, "{e}"),
+            SessionError::NotAProperty(t) => write!(f, "`{t}` names a concept; pick one of its properties"),
+            SessionError::BadMeasure { measure, detail } => write!(f, "measure `{measure}`: {detail}"),
+            SessionError::Incomplete(what) => write!(f, "requirement is incomplete: {what}"),
+            SessionError::UnknownAggregation(a) => write!(f, "unknown aggregation function `{a}`"),
+            SessionError::DanglingAggregation(d) => write!(f, "aggregation references unknown element `{d}`"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<OntologyError> for SessionError {
+    fn from(e: OntologyError) -> Self {
+        SessionError::Ontology(e)
+    }
+}
+
+/// An elicitation session: builds one validated [`Requirement`] from
+/// vocabulary terms (concept/property names or business aliases).
+pub struct Session<'a> {
+    onto: &'a Ontology,
+    req: Requirement,
+}
+
+impl<'a> Session<'a> {
+    pub fn new(onto: &'a Ontology, id: impl Into<String>) -> Self {
+        Session { onto, req: Requirement::new(id) }
+    }
+
+    pub fn describe(&mut self, text: impl Into<String>) -> &mut Self {
+        self.req.description = text.into();
+        self
+    }
+
+    /// Resolves a term to a property reference.
+    fn resolve_property(&self, term: &str) -> Result<PropertyId, SessionError> {
+        // Accept qualified references directly.
+        if let Ok(p) = self.onto.resolve_property_ref(term) {
+            return Ok(p);
+        }
+        match self.onto.resolve_term(term)? {
+            quarry_ontology::Term::Property(p) => Ok(p),
+            quarry_ontology::Term::Concept(_) => Err(SessionError::NotAProperty(term.to_string())),
+        }
+    }
+
+    /// Adds an analysis dimension by vocabulary term or qualified reference.
+    pub fn add_dimension(&mut self, term: &str) -> Result<&mut Self, SessionError> {
+        let p = self.resolve_property(term)?;
+        let reference = self.onto.property_ref(p);
+        if !self.req.dimensions.contains(&reference) {
+            self.req.dimensions.push(reference);
+        }
+        Ok(self)
+    }
+
+    /// Adds a measure: `expression` is an arithmetic formula over qualified
+    /// property references (or vocabulary terms for single properties).
+    pub fn add_measure(&mut self, name: &str, expression: &str) -> Result<&mut Self, SessionError> {
+        let expr = quarry_etl::parse_expr(expression)
+            .map_err(|e| SessionError::BadMeasure { measure: name.to_string(), detail: e.to_string() })?;
+        // Every referenced column must resolve to an ontology property;
+        // rewrite vocabulary terms to canonical references.
+        let mut rewritten = expr.clone();
+        for col in expr.columns() {
+            let p = self.resolve_property(&col).map_err(|e| SessionError::BadMeasure {
+                measure: name.to_string(),
+                detail: e.to_string(),
+            })?;
+            let canonical = self.onto.property_ref(p);
+            rewritten.rename_columns(&|c| (c == col).then(|| canonical.clone()));
+        }
+        self.req.measures.push(MeasureSpec { id: name.to_string(), function: rewritten.to_string() });
+        Ok(self)
+    }
+
+    /// Adds a slicer on a property term.
+    pub fn add_slicer(&mut self, term: &str, operator: &str, value: &str) -> Result<&mut Self, SessionError> {
+        let p = self.resolve_property(term)?;
+        self.req.slicers.push(Slicer {
+            concept: self.onto.property_ref(p),
+            operator: operator.to_string(),
+            value: value.to_string(),
+        });
+        Ok(self)
+    }
+
+    /// Requests an aggregation of a measure along a dimension.
+    pub fn aggregate(&mut self, measure: &str, dimension_term: &str, function: &str) -> Result<&mut Self, SessionError> {
+        if quarry_md::AggFn::parse(function).is_none() {
+            return Err(SessionError::UnknownAggregation(function.to_string()));
+        }
+        let p = self.resolve_property(dimension_term)?;
+        self.req.aggregations.push(Aggregation {
+            order: 1,
+            dimension: self.onto.property_ref(p),
+            measure: measure.to_string(),
+            function: function.to_string(),
+        });
+        Ok(self)
+    }
+
+    /// Validates completeness and returns the requirement.
+    pub fn build(self) -> Result<Requirement, SessionError> {
+        if self.req.measures.is_empty() {
+            return Err(SessionError::Incomplete("no measures".into()));
+        }
+        if self.req.dimensions.is_empty() {
+            return Err(SessionError::Incomplete("no dimensions".into()));
+        }
+        for a in &self.req.aggregations {
+            if !self.req.measures.iter().any(|m| m.id == a.measure) {
+                return Err(SessionError::DanglingAggregation(a.measure.clone()));
+            }
+            if !self.req.dimensions.contains(&a.dimension) {
+                return Err(SessionError::DanglingAggregation(a.dimension.clone()));
+            }
+        }
+        Ok(self.req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_ontology::tpch;
+
+    #[test]
+    fn lineitem_focus_suggests_the_paper_dimensions() {
+        // Paper §2.1: "a user may choose the focus of an analysis (e.g.,
+        // Lineitem), while the system then automatically suggests useful
+        // dimensions (e.g., Supplier, Nation, Part)".
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let names: Vec<String> = e.suggest_dimensions(li).into_iter().map(|s| s.name).collect();
+        for expected in ["Supplier", "Nation", "Part"] {
+            assert!(names.iter().any(|n| n == expected), "{expected} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn closer_and_richer_concepts_rank_higher() {
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let suggestions = e.suggest_dimensions(li);
+        let pos = |name: &str| suggestions.iter().position(|s| s.name == name).unwrap();
+        assert!(pos("Part") < pos("Region"), "direct, attribute-rich Part beats 3-hop Region");
+    }
+
+    #[test]
+    fn suggestion_paths_are_reported() {
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let nation = e.suggest_dimensions(li).into_iter().find(|s| s.name == "Nation").unwrap();
+        assert!(nation.distance >= 2, "Nation is at least two hops from Lineitem");
+        assert_eq!(nation.via.first().map(String::as_str), Some("Lineitem"));
+        assert_eq!(nation.via.last().map(String::as_str), Some("Nation"));
+    }
+
+    #[test]
+    fn measure_suggestions_are_numeric_non_keys() {
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let refs: Vec<String> = e.suggest_measures(li).into_iter().map(|m| m.reference).collect();
+        assert!(refs.contains(&"Lineitem_l_extendedpriceATRIBUT".to_string()));
+        assert!(refs.contains(&"Lineitem_l_discountATRIBUT".to_string()));
+        assert!(!refs.iter().any(|r| r.contains("l_orderkey")), "keys are not measures");
+        assert!(!refs.iter().any(|r| r.contains("l_comment")), "text is not a measure");
+    }
+
+    #[test]
+    fn lineitem_is_the_top_focus_of_tpch() {
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let foci = e.suggest_foci();
+        assert_eq!(foci[0].name, "Lineitem", "{foci:?}");
+    }
+
+    #[test]
+    fn explore_bundles_both_lists() {
+        let d = tpch::domain();
+        let e = Elicitor::new(&d.ontology);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let p = e.explore(li);
+        assert!(!p.measures.is_empty() && !p.dimensions.is_empty());
+    }
+
+    #[test]
+    fn session_builds_figure4_requirement_from_vocabulary() {
+        let d = tpch::domain();
+        let mut s = Session::new(&d.ontology, "IR1");
+        s.describe("average revenue per part and supplier, Spain only");
+        s.add_dimension("Part.p_name").unwrap();
+        s.add_dimension("Supplier.s_name").unwrap();
+        s.add_measure("revenue", "Lineitem_l_extendedpriceATRIBUT * Lineitem_l_discountATRIBUT").unwrap();
+        s.add_slicer("Nation.n_name", "=", "Spain").unwrap();
+        s.aggregate("revenue", "Part.p_name", "AVERAGE").unwrap();
+        s.aggregate("revenue", "Supplier.s_name", "AVERAGE").unwrap();
+        let req = s.build().unwrap();
+        let reference = quarry_formats::xrq::figure4_requirement();
+        assert_eq!(req.dimensions, reference.dimensions);
+        assert_eq!(req.measures, reference.measures);
+        assert_eq!(req.slicers, reference.slicers);
+        assert_eq!(req.aggregations, reference.aggregations);
+    }
+
+    #[test]
+    fn session_resolves_business_aliases() {
+        let d = tpch::domain();
+        let mut s = Session::new(&d.ontology, "IR5");
+        // "extended price" and "discount rate" are aliases registered by the
+        // TPC-H domain builder.
+        assert!(s.add_measure("gross", "'x' +").is_err(), "syntax error rejected");
+        let mut s = Session::new(&d.ontology, "IR5");
+        assert!(s.add_measure("gross", "extended_price_alias_not_registered").is_err());
+        let mut s = Session::new(&d.ontology, "IR5");
+        s.add_dimension("Part.p_brand").unwrap();
+        s.add_measure("gross", "Lineitem.l_extendedprice").unwrap();
+        let req = s.build().unwrap();
+        assert_eq!(req.measures[0].function, "Lineitem_l_extendedpriceATRIBUT");
+    }
+
+    #[test]
+    fn duplicate_dimensions_are_deduped() {
+        let d = tpch::domain();
+        let mut s = Session::new(&d.ontology, "IR5");
+        s.add_dimension("Part.p_name").unwrap();
+        s.add_dimension("Part_p_nameATRIBUT").unwrap();
+        s.add_measure("m", "Lineitem.l_quantity").unwrap();
+        assert_eq!(s.build().unwrap().dimensions.len(), 1);
+    }
+
+    #[test]
+    fn session_errors() {
+        let d = tpch::domain();
+        // Concept where a property is needed.
+        let mut s = Session::new(&d.ontology, "X");
+        assert!(matches!(s.add_dimension("Part"), Err(SessionError::NotAProperty(_))));
+        // Unknown aggregation function.
+        assert!(matches!(s.aggregate("m", "Part.p_name", "MEDIAN"), Err(SessionError::UnknownAggregation(_))));
+        // Incomplete builds.
+        let s = Session::new(&d.ontology, "X");
+        assert!(matches!(s.build(), Err(SessionError::Incomplete(_))));
+        let mut s = Session::new(&d.ontology, "X");
+        s.add_measure("m", "Lineitem.l_quantity").unwrap();
+        assert!(matches!(s.build(), Err(SessionError::Incomplete(_))));
+        // Dangling aggregation.
+        let mut s = Session::new(&d.ontology, "X");
+        s.add_dimension("Part.p_name").unwrap();
+        s.add_measure("m", "Lineitem.l_quantity").unwrap();
+        s.aggregate("ghost", "Part.p_name", "SUM").unwrap();
+        assert!(matches!(s.build(), Err(SessionError::DanglingAggregation(_))));
+    }
+
+    #[test]
+    fn scales_to_synthetic_ontologies() {
+        let d = quarry_ontology::synthetic::generate(&quarry_ontology::synthetic::SyntheticSpec::with_concepts(128, 3));
+        let e = Elicitor::new(&d.ontology);
+        let sugg = e.suggest_dimensions(d.hubs[0]);
+        assert!(sugg.len() >= 16, "hub reaches its chains: {}", sugg.len());
+        assert!(!e.suggest_foci().is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Evaluation of the logical expression language over runtime rows.
+
+use crate::value::Value;
+use quarry_etl::{BinOp, Expr, Schema, UnOp};
+use std::fmt;
+
+/// Runtime evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    UnknownColumn(String),
+    Type(String),
+    UnknownFunction(String),
+    Arity { function: String, expected: usize, found: usize },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::Arity { function, expected, found } => {
+                write!(f, "function `{function}` takes {expected} argument(s), found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// SQL-style three-valued truthiness for predicates: NULL is not true.
+pub fn truthy(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Evaluates an expression against one row.
+pub fn eval(expr: &Expr, schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Column(name) => {
+            let i = schema.index_of(name).ok_or_else(|| EvalError::UnknownColumn(name.clone()))?;
+            Ok(row[i].clone())
+        }
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Float(v) => Ok(Value::Float(*v)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Null => Ok(Value::Null),
+        Expr::Unary(op, e) => {
+            let v = eval(e, schema, row)?;
+            match (op, v) {
+                (_, Value::Null) => Ok(Value::Null),
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Not, other) => Err(EvalError::Type(format!("NOT of non-boolean `{other}`"))),
+                (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+                (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+                (UnOp::Neg, other) => Err(EvalError::Type(format!("negation of non-numeric `{other}`"))),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            // Short-circuit with SQL NULL semantics for AND/OR.
+            if matches!(op, BinOp::And | BinOp::Or) {
+                return eval_logical(*op, l, r, schema, row);
+            }
+            let lv = eval(l, schema, row)?;
+            let rv = eval(r, schema, row)?;
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &lv, &rv),
+                BinOp::Eq => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Equal)),
+                BinOp::Ne => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Equal)),
+                BinOp::Lt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Less)),
+                BinOp::Le => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Greater)),
+                BinOp::Gt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Greater)),
+                BinOp::Ge => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Less)),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::Call(name, args) => call(name, args, schema, row),
+    }
+}
+
+fn eval_logical(op: BinOp, l: &Expr, r: &Expr, schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
+    let lv = eval(l, schema, row)?;
+    match (op, &lv) {
+        (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let rv = eval(r, schema, row)?;
+    let as_bool = |v: &Value| -> Result<Option<bool>, EvalError> {
+        match v {
+            Value::Bool(b) => Ok(Some(*b)),
+            Value::Null => Ok(None),
+            other => Err(EvalError::Type(format!("logical op on non-boolean `{other}`"))),
+        }
+    };
+    let (a, b) = (as_bool(&lv)?, as_bool(&rv)?);
+    let out = match op {
+        BinOp::And => match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!(),
+    };
+    Ok(out.map_or(Value::Null, Value::Bool))
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    // Integer arithmetic stays integral except division.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*a as f64 / *b as f64)
+                }
+            }
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(EvalError::Type(format!("arithmetic on `{l}` and `{r}`"))),
+    };
+    Ok(match op {
+        BinOp::Add => Value::Float(a + b),
+        BinOp::Sub => Value::Float(a - b),
+        BinOp::Mul => Value::Float(a * b),
+        BinOp::Div => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        _ => unreachable!(),
+    })
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EvalError> {
+    use Value::*;
+    match (l, r) {
+        (Int(_) | Float(_), Int(_) | Float(_))
+        | (Str(_), Str(_))
+        | (Bool(_), Bool(_))
+        | (Date(_), Date(_)) => Ok(l.total_cmp(r)),
+        // Dates compare against their textual literal form, so xRQ slicers
+        // like `l_shipdate >= '1995-01-01'` work without a cast syntax.
+        (Date(_), Str(s)) => match Value::parse_date(s) {
+            Some(d) => Ok(l.total_cmp(&d)),
+            None => Err(EvalError::Type(format!("cannot compare date with `{s}`"))),
+        },
+        (Str(s), Date(_)) => match Value::parse_date(s) {
+            Some(d) => Ok(d.total_cmp(r)),
+            None => Err(EvalError::Type(format!("cannot compare `{s}` with date"))),
+        },
+        _ => Err(EvalError::Type(format!("cannot compare `{l}` with `{r}`"))),
+    }
+}
+
+fn call(name: &str, args: &[Expr], schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
+    let upper = name.to_ascii_uppercase();
+    let expect = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::Arity { function: upper.clone(), expected: n, found: args.len() })
+        }
+    };
+    match upper.as_str() {
+        "YEAR" | "MONTH" | "DAY" => {
+            expect(1)?;
+            let v = eval(&args[0], schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let (y, m, d) = v.date_parts().ok_or_else(|| EvalError::Type(format!("{upper} of non-date `{v}`")))?;
+            Ok(Value::Int(match upper.as_str() {
+                "YEAR" => y as i64,
+                "MONTH" => m as i64,
+                _ => d as i64,
+            }))
+        }
+        "ABS" => {
+            expect(1)?;
+            match eval(&args[0], schema, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(EvalError::Type(format!("ABS of `{other}`"))),
+            }
+        }
+        "CONCAT" => {
+            let mut out = String::new();
+            for a in args {
+                let v = eval(a, schema, row)?;
+                if !v.is_null() {
+                    out.push_str(&v.to_string());
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        "COALESCE" => {
+            for a in args {
+                let v = eval(a, schema, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::{parse_expr, ColType, Column};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("price", ColType::Decimal),
+            Column::new("qty", ColType::Integer),
+            Column::new("name", ColType::Text),
+            Column::new("ship", ColType::Date),
+            Column::new("maybe", ColType::Decimal),
+        ])
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Float(10.5),
+            Value::Int(3),
+            Value::Str("Spain".into()),
+            Value::date(1995, 6, 17),
+            Value::Null,
+        ]
+    }
+
+    fn run(src: &str) -> Value {
+        eval(&parse_expr(src).unwrap(), &schema(), &row()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("price * qty"), Value::Float(31.5));
+        assert_eq!(run("qty + 2"), Value::Int(5));
+        assert_eq!(run("qty / 2"), Value::Float(1.5));
+        assert_eq!(run("qty - 5"), Value::Int(-2));
+    }
+
+    #[test]
+    fn division_by_zero_yields_null() {
+        assert_eq!(run("qty / 0"), Value::Null);
+        assert_eq!(run("price / 0.0"), Value::Null);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run("price > 10"), Value::Bool(true));
+        assert_eq!(run("qty = 3"), Value::Bool(true));
+        assert_eq!(run("name = 'Spain'"), Value::Bool(true));
+        assert_eq!(run("name <> 'France'"), Value::Bool(true));
+        assert_eq!(run("qty <= 2"), Value::Bool(false));
+    }
+
+    #[test]
+    fn date_string_comparison() {
+        assert_eq!(run("ship >= '1995-01-01'"), Value::Bool(true));
+        assert_eq!(run("ship < '1995-01-01'"), Value::Bool(false));
+        assert_eq!(run("YEAR(ship)"), Value::Int(1995));
+        assert_eq!(run("MONTH(ship)"), Value::Int(6));
+        assert_eq!(run("DAY(ship)"), Value::Int(17));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(run("maybe + 1"), Value::Null);
+        assert_eq!(run("maybe = maybe"), Value::Null, "NULL = NULL is NULL");
+        assert!(!truthy(&run("maybe > 0")));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(run("maybe > 0 OR price > 0"), Value::Bool(true));
+        assert_eq!(run("maybe > 0 AND price > 0"), Value::Null);
+        assert_eq!(run("maybe > 0 AND price < 0"), Value::Bool(false));
+        assert_eq!(run("NOT (maybe > 0)"), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // false AND <error> must not evaluate the rhs.
+        let e = parse_expr("qty < 0 AND MYSTERY(qty) = 1").unwrap();
+        assert_eq!(eval(&e, &schema(), &row()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(run("ABS(0 - qty)"), Value::Int(3));
+        assert_eq!(run("CONCAT(name, '!')"), Value::Str("Spain!".into()));
+        assert_eq!(run("COALESCE(maybe, price)"), Value::Float(10.5));
+        assert_eq!(run("CONCAT(maybe, name)"), Value::Str("Spain".into()), "NULL contributes nothing");
+    }
+
+    #[test]
+    fn error_cases() {
+        let s = schema();
+        let r = row();
+        assert!(matches!(
+            eval(&parse_expr("ghost + 1").unwrap(), &s, &r),
+            Err(EvalError::UnknownColumn(_))
+        ));
+        assert!(matches!(eval(&parse_expr("name + 1").unwrap(), &s, &r), Err(EvalError::Type(_))));
+        assert!(matches!(
+            eval(&parse_expr("MYSTERY(1)").unwrap(), &s, &r),
+            Err(EvalError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            eval(&parse_expr("YEAR(ship, ship)").unwrap(), &s, &r),
+            Err(EvalError::Arity { .. })
+        ));
+        assert!(matches!(eval(&parse_expr("YEAR(qty)").unwrap(), &s, &r), Err(EvalError::Type(_))));
+    }
+
+    #[test]
+    fn not_of_boolean() {
+        assert_eq!(run("NOT (qty = 3)"), Value::Bool(false));
+    }
+}

@@ -1,0 +1,1067 @@
+//! The flow executor: runs a validated logical flow against a catalog.
+
+use crate::catalog::Catalog;
+use crate::eval::{eval, truthy, EvalError};
+use crate::relation::{Relation, Row};
+use crate::value::Value;
+use quarry_etl::{AggSpec, Flow, FlowError, JoinKind, OpId, OpKind};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors raised during execution.
+#[derive(Debug)]
+pub enum EngineError {
+    Flow(FlowError),
+    Eval { op: String, error: EvalError },
+    UnknownTable(String),
+    /// A datastore asks for a column the catalog table does not have.
+    SourceSchemaMismatch { table: String, column: String },
+    LoadSchemaMismatch { table: String, detail: String },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Flow(e) => write!(f, "{e}"),
+            EngineError::Eval { op, error } => write!(f, "evaluating `{op}`: {error}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown source table `{t}`"),
+            EngineError::SourceSchemaMismatch { table, column } => {
+                write!(f, "source table `{table}` has no column `{column}`")
+            }
+            EngineError::LoadSchemaMismatch { table, detail } => {
+                write!(f, "loading into `{table}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<FlowError> for EngineError {
+    fn from(e: FlowError) -> Self {
+        EngineError::Flow(e)
+    }
+}
+
+/// Wall-clock timing and row counts of one executed operation.
+#[derive(Debug, Clone)]
+pub struct OpTiming {
+    pub op: String,
+    pub kind: &'static str,
+    pub rows_out: usize,
+    pub elapsed: Duration,
+}
+
+/// The result of executing a flow.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Rows loaded per target table, in load order.
+    pub loaded: Vec<(String, usize)>,
+    /// Per-operation timings in execution order.
+    pub timings: Vec<OpTiming>,
+    /// Total wall-clock time of the run.
+    pub total: Duration,
+    /// Total rows emitted across all operations (work proxy).
+    pub rows_processed: usize,
+}
+
+impl RunReport {
+    pub fn rows_loaded(&self, table: &str) -> usize {
+        self.loaded.iter().filter(|(t, _)| t == table).map(|(_, n)| n).sum()
+    }
+}
+
+/// The execution engine: owns a catalog and runs flows against it.
+#[derive(Debug, Default)]
+pub struct Engine {
+    pub catalog: Catalog,
+}
+
+impl Engine {
+    pub fn new(catalog: Catalog) -> Self {
+        Engine { catalog }
+    }
+
+    /// Executes a flow: sources read from the catalog, loaders append to
+    /// (auto-creating) target tables. Returns the run report.
+    pub fn run(&mut self, flow: &Flow) -> Result<RunReport, EngineError> {
+        let order = flow.topo_order()?;
+        flow.schemas()?; // full static validation before touching data
+        let start = Instant::now();
+        let mut results: HashMap<OpId, Arc<Relation>> = HashMap::with_capacity(order.len());
+        let mut report = RunReport::default();
+        for id in order {
+            let op = flow.op(id);
+            let inputs: Vec<Arc<Relation>> = flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
+            let t0 = Instant::now();
+            let out = match &op.kind {
+                OpKind::Loader { table, key } => self.load(table, key, &inputs[0], &mut report)?,
+                pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
+            };
+            let elapsed = t0.elapsed();
+            report.rows_processed += out.len();
+            report.timings.push(OpTiming { op: op.name.clone(), kind: op.kind.type_name(), rows_out: out.len(), elapsed });
+            results.insert(id, Arc::new(out));
+        }
+        report.total = start.elapsed();
+        Ok(report)
+    }
+
+    /// Executes a flow with intra-level parallelism: operations whose inputs
+    /// are all available run concurrently on crossbeam's scoped threads.
+    /// Loaders execute at level boundaries with exclusive catalog access, so
+    /// results are identical to [`Engine::run`].
+    pub fn run_parallel(&mut self, flow: &Flow) -> Result<RunReport, EngineError> {
+        flow.schemas()?;
+        let order = flow.topo_order()?;
+        // Level assignment: level(op) = 1 + max(level(inputs)).
+        let mut level_of: HashMap<OpId, usize> = HashMap::with_capacity(order.len());
+        let mut levels: Vec<Vec<OpId>> = Vec::new();
+        for &id in &order {
+            let level = flow.inputs_of(id).iter().map(|i| level_of[i] + 1).max().unwrap_or(0);
+            level_of.insert(id, level);
+            if levels.len() <= level {
+                levels.resize_with(level + 1, Vec::new);
+            }
+            levels[level].push(id);
+        }
+
+        let start = Instant::now();
+        let mut results: HashMap<OpId, Arc<Relation>> = HashMap::with_capacity(order.len());
+        let mut report = RunReport::default();
+        for level in levels {
+            let (pure, sinks): (Vec<OpId>, Vec<OpId>) =
+                level.into_iter().partition(|&id| !flow.op(id).kind.is_sink());
+            // Pure operations of one level run in parallel.
+            let catalog = &self.catalog;
+            type OpOutcome = Result<(Relation, Duration), EngineError>;
+            let outputs: Vec<(OpId, OpOutcome)> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = pure
+                        .iter()
+                        .map(|&id| {
+                            let op = flow.op(id);
+                            let inputs: Vec<Arc<Relation>> =
+                                flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
+                            scope.spawn(move |_| {
+                                let t0 = Instant::now();
+                                let out = execute_pure(catalog, &op.name, &op.kind, &inputs)?;
+                                Ok((out, t0.elapsed()))
+                            })
+                        })
+                        .collect();
+                    pure.iter()
+                        .zip(handles)
+                        .map(|(&id, h)| (id, h.join().expect("operation threads do not panic")))
+                        .collect()
+                })
+                .expect("crossbeam scope does not panic");
+            for (id, outcome) in outputs {
+                let (out, elapsed) = outcome?;
+                let op = flow.op(id);
+                report.rows_processed += out.len();
+                report.timings.push(OpTiming {
+                    op: op.name.clone(),
+                    kind: op.kind.type_name(),
+                    rows_out: out.len(),
+                    elapsed,
+                });
+                results.insert(id, Arc::new(out));
+            }
+            // Sinks take exclusive catalog access, in deterministic order.
+            for id in sinks {
+                let op = flow.op(id);
+                let inputs: Vec<Arc<Relation>> =
+                    flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
+                let t0 = Instant::now();
+                let out = match &op.kind {
+                    OpKind::Loader { table, key } => self.load(table, key, &inputs[0], &mut report)?,
+                    pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
+                };
+                report.rows_processed += out.len();
+                report.timings.push(OpTiming {
+                    op: op.name.clone(),
+                    kind: op.kind.type_name(),
+                    rows_out: out.len(),
+                    elapsed: t0.elapsed(),
+                });
+                results.insert(id, Arc::new(out));
+            }
+        }
+        report.total = start.elapsed();
+        Ok(report)
+    }
+
+    /// Loader execution: append (empty key, strict schema) or upsert.
+    fn load(&mut self, table: &str, key: &[String], input: &Relation, report: &mut RunReport) -> Result<Relation, EngineError> {
+        if key.is_empty() {
+            match self.catalog.get_mut(table) {
+                Some(existing) => {
+                    if existing.schema.names().collect::<Vec<_>>() != input.schema.names().collect::<Vec<_>>() {
+                        return Err(EngineError::LoadSchemaMismatch {
+                            table: table.to_string(),
+                            detail: format!("target is {}, input is {}", existing.schema, input.schema),
+                        });
+                    }
+                    existing.rows.extend(input.rows.iter().cloned());
+                }
+                None => {
+                    self.catalog.put(table.to_string(), input.clone());
+                }
+            }
+        } else {
+            upsert(&mut self.catalog, table, input, key)
+                .map_err(|detail| EngineError::LoadSchemaMismatch { table: table.to_string(), detail })?;
+        }
+        report.loaded.push((table.to_string(), input.len()));
+        Ok(input.clone())
+    }
+
+}
+
+/// Executes one catalog-read-only operation (everything but loaders).
+fn execute_pure(
+    catalog: &Catalog,
+    name: &str,
+    kind: &OpKind,
+    inputs: &[Arc<Relation>],
+) -> Result<Relation, EngineError> {
+    {
+        let eval_err = |e: EvalError| EngineError::Eval { op: name.to_string(), error: e };
+        match kind {
+            OpKind::Datastore { datastore, schema } => {
+                let table = catalog.get(datastore).ok_or_else(|| EngineError::UnknownTable(datastore.clone()))?;
+                // Project the catalog table onto the declared extraction
+                // schema (catalog tables may carry more columns, e.g. FKs).
+                let indices: Vec<usize> = schema
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        table.schema.index_of(&c.name).ok_or_else(|| EngineError::SourceSchemaMismatch {
+                            table: datastore.clone(),
+                            column: c.name.clone(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let rows = table.rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
+                Ok(Relation::with_rows(schema.clone(), rows))
+            }
+            OpKind::Extraction { columns } | OpKind::Projection { columns } => {
+                let input = &inputs[0];
+                let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
+                let schema = input.schema.project(columns).expect("validated");
+                let rows = input.rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
+                Ok(Relation::with_rows(schema, rows))
+            }
+            OpKind::Selection { predicate } => {
+                let input = &inputs[0];
+                let mut rows = Vec::new();
+                for r in &input.rows {
+                    if truthy(&eval(predicate, &input.schema, r).map_err(eval_err)?) {
+                        rows.push(r.clone());
+                    }
+                }
+                Ok(Relation::with_rows(input.schema.clone(), rows))
+            }
+            OpKind::Derivation { column: _, expr } => {
+                let input = &inputs[0];
+                let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
+                let mut rows = Vec::with_capacity(input.len());
+                for r in &input.rows {
+                    let v = eval(expr, &input.schema, r).map_err(eval_err)?;
+                    let mut row = r.clone();
+                    row.push(v);
+                    rows.push(row);
+                }
+                Ok(Relation::with_rows(schema, rows))
+            }
+            OpKind::Join { kind: jk, left_on, right_on } => {
+                Ok(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk))
+            }
+            OpKind::Aggregation { group_by, aggregates } => {
+                hash_aggregate(&inputs[0], group_by, aggregates, name).map_err(|e| EngineError::Eval { op: name.to_string(), error: e })
+            }
+            OpKind::Union => {
+                let mut rows = inputs[0].rows.clone();
+                // Align the right input positionally by column name.
+                let indices: Vec<usize> = inputs[0].schema.names().map(|n| inputs[1].col(n)).collect();
+                rows.extend(inputs[1].rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect::<Row>()));
+                Ok(Relation::with_rows(inputs[0].schema.clone(), rows))
+            }
+            OpKind::Distinct => {
+                let input = &inputs[0];
+                let mut seen = std::collections::HashSet::with_capacity(input.len());
+                let mut rows = Vec::new();
+                for r in &input.rows {
+                    if seen.insert(r.clone()) {
+                        rows.push(r.clone());
+                    }
+                }
+                Ok(Relation::with_rows(input.schema.clone(), rows))
+            }
+            OpKind::Sort { columns } => {
+                let input = &inputs[0];
+                let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
+                let mut rows = input.rows.clone();
+                rows.sort_by(|a, b| {
+                    for &i in &indices {
+                        let c = a[i].total_cmp(&b[i]);
+                        if c != std::cmp::Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(Relation::with_rows(input.schema.clone(), rows))
+            }
+            OpKind::SurrogateKey { natural, output: _ } => {
+                let input = &inputs[0];
+                let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
+                let indices: Vec<usize> = natural.iter().map(|c| input.col(c)).collect();
+                let mut rows = Vec::with_capacity(input.len());
+                for r in &input.rows {
+                    // Content-addressed surrogate (FNV-1a over the natural
+                    // key): the same natural key yields the same surrogate in
+                    // *any* flow, so fact FKs computed in the fact pipeline
+                    // match dimension keys computed in dimension pipelines.
+                    let sk = surrogate_of(indices.iter().map(|&i| &r[i]));
+                    let mut row = r.clone();
+                    row.push(Value::Int(sk));
+                    rows.push(row);
+                }
+                Ok(Relation::with_rows(schema, rows))
+            }
+            OpKind::Loader { .. } => unreachable!("loaders are executed by Engine::load"),
+        }
+    }
+}
+
+/// Upsert-merges `input` into the catalog table `table` keyed on `key`:
+/// the target schema takes the union of columns (old rows padded with NULL),
+/// and input rows overwrite/fill the columns they carry for matching keys.
+fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) -> Result<(), String> {
+    if !catalog.contains(table) {
+        // Create empty, then run the merge below: the input itself may
+        // carry several rows per key (e.g. a fact-grain recomputation), and
+        // the table must end up deduplicated by key either way.
+        catalog.put(table.to_string(), Relation::new(input.schema.clone()));
+    }
+    let existing = catalog.get_mut(table).expect("created above");
+    // Widen the schema to the union; check types of shared columns.
+    for c in &input.schema.columns {
+        match existing.schema.column(&c.name) {
+            Some(prev) if prev.ty != c.ty => {
+                return Err(format!("column `{}` is {} in the target but {} in the input", c.name, prev.ty, c.ty));
+            }
+            Some(_) => {}
+            None => {
+                existing.schema.columns.push(c.clone());
+                for row in &mut existing.rows {
+                    row.push(Value::Null);
+                }
+            }
+        }
+    }
+    let key_idx_target: Vec<usize> = key
+        .iter()
+        .map(|k| existing.schema.index_of(k).ok_or_else(|| format!("upsert key `{k}` missing from target")))
+        .collect::<Result<_, _>>()?;
+    let key_idx_input: Vec<usize> = key
+        .iter()
+        .map(|k| input.schema.index_of(k).ok_or_else(|| format!("upsert key `{k}` missing from input")))
+        .collect::<Result<_, _>>()?;
+    let mut index: HashMap<Row, usize> = existing
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (key_idx_target.iter().map(|&c| r[c].clone()).collect::<Row>(), i))
+        .collect();
+    // Input column → target position.
+    let positions: Vec<usize> = input
+        .schema
+        .columns
+        .iter()
+        .map(|c| existing.schema.index_of(&c.name).expect("widened above"))
+        .collect();
+    let width = existing.schema.len();
+    for r in &input.rows {
+        let k: Row = key_idx_input.iter().map(|&c| r[c].clone()).collect();
+        match index.get(&k) {
+            Some(&slot) => {
+                for (v, &pos) in r.iter().zip(&positions) {
+                    existing.rows[slot][pos] = v.clone();
+                }
+            }
+            None => {
+                let mut row = vec![Value::Null; width];
+                for (v, &pos) in r.iter().zip(&positions) {
+                    row[pos] = v.clone();
+                }
+                index.insert(k, existing.rows.len());
+                existing.rows.push(row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic surrogate key: FNV-1a over the display forms of the natural
+/// key values, masked positive. Stable across flows and runs.
+pub fn surrogate_of<'a>(values: impl Iterator<Item = &'a Value>) -> i64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for v in values {
+        for b in v.to_string().bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        // Separator between key parts so ("ab","c") != ("a","bc").
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    (hash & 0x7fff_ffff_ffff_ffff) as i64
+}
+
+fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[String], kind: JoinKind) -> Relation {
+    let l_idx: Vec<usize> = left_on.iter().map(|c| left.col(c)).collect();
+    let r_idx: Vec<usize> = right_on.iter().map(|c| right.col(c)).collect();
+    // Build on the right side, probe with the left (FK joins probe the big
+    // side in DW flows).
+    let mut build: HashMap<Row, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, r) in right.rows.iter().enumerate() {
+        let key: Row = r_idx.iter().map(|&c| r[c].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // NULL keys never match
+        }
+        build.entry(key).or_default().push(i);
+    }
+    // Same-name equi-joined key columns are kept once (left copy), matching
+    // the logical schema propagation.
+    let kept = quarry_etl::join_kept_right_indices(&right.schema, left_on, right_on);
+    let mut schema = left.schema.clone();
+    schema.columns.extend(kept.iter().map(|&i| right.schema.columns[i].clone()));
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let key: Row = l_idx.iter().map(|&c| l[c].clone()).collect();
+        let matches = if key.iter().any(Value::is_null) { None } else { build.get(&key) };
+        match matches {
+            Some(ms) => {
+                for &m in ms {
+                    let mut row = l.clone();
+                    row.extend(kept.iter().map(|&i| right.rows[m][i].clone()));
+                    rows.push(row);
+                }
+            }
+            None => {
+                if kind == JoinKind::Left {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, kept.len()));
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    Relation::with_rows(schema, rows)
+}
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum(f64, bool),
+    Avg(f64, u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Count(u64),
+}
+
+fn hash_aggregate(
+    input: &Relation,
+    group_by: &[String],
+    aggregates: &[AggSpec],
+    op_name: &str,
+) -> Result<Relation, EvalError> {
+    let schema = OpKind::Aggregation { group_by: group_by.to_vec(), aggregates: aggregates.to_vec() }
+        .output_schema(op_name, std::slice::from_ref(&input.schema))
+        .expect("validated before execution");
+    let g_idx: Vec<usize> = group_by.iter().map(|c| input.col(c)).collect();
+    let make_states = || -> Vec<AggState> {
+        aggregates
+            .iter()
+            .map(|a| match a.function.to_ascii_uppercase().as_str() {
+                "SUM" => AggState::Sum(0.0, false),
+                "AVG" | "AVERAGE" => AggState::Avg(0.0, 0),
+                "MIN" => AggState::Min(None),
+                "MAX" => AggState::Max(None),
+                _ => AggState::Count(0),
+            })
+            .collect()
+    };
+    // Insertion-ordered groups for deterministic output.
+    let mut index: HashMap<Row, usize> = HashMap::new();
+    let mut groups: Vec<(Row, Vec<AggState>)> = Vec::new();
+    for r in &input.rows {
+        let key: Row = g_idx.iter().map(|&c| r[c].clone()).collect();
+        let slot = match index.get(&key) {
+            Some(&s) => s,
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, make_states()));
+                groups.len() - 1
+            }
+        };
+        for (state, spec) in groups[slot].1.iter_mut().zip(aggregates) {
+            let v = eval(&spec.input, &input.schema, r)?;
+            match state {
+                AggState::Count(n) => *n += 1,
+                _ if v.is_null() => {}
+                AggState::Sum(acc, any) => {
+                    *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("SUM of `{v}`")))?;
+                    *any = true;
+                }
+                AggState::Avg(acc, n) => {
+                    *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("AVERAGE of `{v}`")))?;
+                    *n += 1;
+                }
+                AggState::Min(cur) => {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less) {
+                        *cur = Some(v);
+                    }
+                }
+                AggState::Max(cur) => {
+                    if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+        }
+    }
+    // A global aggregation over zero rows still yields one row of neutral
+    // values, matching SQL semantics.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push((Vec::new(), make_states()));
+    }
+    let rows = groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            for state in states {
+                key.push(match state {
+                    AggState::Sum(acc, any) => {
+                        if any {
+                            Value::Float(acc)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                    AggState::Avg(acc, n) => {
+                        if n > 0 {
+                            Value::Float(acc / n as f64)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                    AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+                    AggState::Count(n) => Value::Int(n as i64),
+                });
+            }
+            key
+        })
+        .collect();
+    Ok(Relation::with_rows(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::{parse_expr, ColType, Column, Schema};
+
+    fn li_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("l_orderkey", ColType::Integer),
+            Column::new("l_extendedprice", ColType::Decimal),
+            Column::new("l_discount", ColType::Decimal),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.put(
+            "lineitem",
+            Relation::with_rows(
+                li_schema(),
+                vec![
+                    vec![Value::Int(1), Value::Float(100.0), Value::Float(0.05)],
+                    vec![Value::Int(1), Value::Float(200.0), Value::Float(0.00)],
+                    vec![Value::Int(2), Value::Float(50.0), Value::Float(0.10)],
+                ],
+            ),
+        );
+        c.put(
+            "orders",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
+                vec![
+                    vec![Value::Int(1), Value::Str("O".into())],
+                    vec![Value::Int(3), Value::Str("F".into())],
+                ],
+            ),
+        );
+        c
+    }
+
+    fn ds_lineitem() -> OpKind {
+        OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema() }
+    }
+
+    #[test]
+    fn scan_filter_aggregate_load() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
+        let a = f
+            .append(
+                s,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice * (1 - l_discount)").unwrap(), "rev")],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "fact".into(), key: vec![] }).unwrap();
+
+        let mut engine = Engine::new(catalog());
+        let report = engine.run(&f).unwrap();
+        assert_eq!(report.rows_loaded("fact"), 2);
+        let fact = engine.catalog.get("fact").unwrap();
+        assert_eq!(fact.len(), 2);
+        let rev = fact.column_values("rev");
+        assert_eq!(rev[0], Value::Float(95.0));
+        assert_eq!(rev[1], Value::Float(45.0));
+        assert!(report.total >= Duration::ZERO);
+        assert_eq!(report.timings.len(), 4);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let s1 = f.append(d, "SEL1", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
+        let s2 = f.append(d, "SEL2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 60").unwrap() }).unwrap();
+        let a1 = f
+            .append(s1, "AGG1", OpKind::Aggregation {
+                group_by: vec!["l_orderkey".into()],
+                aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev")],
+            })
+            .unwrap();
+        let a2 = f
+            .append(s2, "AGG2", OpKind::Aggregation {
+                group_by: vec!["l_orderkey".into()],
+                aggregates: vec![AggSpec::new("COUNT", parse_expr("1").unwrap(), "n")],
+            })
+            .unwrap();
+        f.append(a1, "L1", OpKind::Loader { table: "out1".into(), key: vec![] }).unwrap();
+        f.append(a2, "L2", OpKind::Loader { table: "out2".into(), key: vec![] }).unwrap();
+
+        let mut seq = Engine::new(catalog());
+        seq.run(&f).unwrap();
+        let mut par = Engine::new(catalog());
+        let report = par.run_parallel(&f).unwrap();
+        for t in ["out1", "out2"] {
+            crate::relation::assert_same_rows(seq.catalog.get(t).unwrap(), par.catalog.get(t).unwrap());
+        }
+        assert_eq!(report.timings.len(), f.op_count());
+        assert_eq!(report.loaded.len(), 2);
+    }
+
+    #[test]
+    fn parallel_run_surfaces_errors() {
+        let mut f = Flow::new("t");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() })
+            .unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        assert!(matches!(engine.run_parallel(&f), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn datastore_projects_catalog_columns() {
+        // Extraction schema narrower than the stored table works.
+        let mut f = Flow::new("t");
+        let d = f
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: Schema::new(vec![Column::new("l_discount", ColType::Decimal)]),
+                },
+            )
+            .unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        assert_eq!(engine.catalog.get("out").unwrap().schema.len(), 1);
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let mut f = Flow::new("t");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() })
+            .unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        assert!(matches!(engine.run(&f), Err(EngineError::UnknownTable(t)) if t == "ghost"));
+
+        let mut f2 = Flow::new("t2");
+        let d2 = f2
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: Schema::new(vec![Column::new("nope", ColType::Integer)]),
+                },
+            )
+            .unwrap();
+        f2.append(d2, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine2 = Engine::new(catalog());
+        assert!(matches!(engine2.run(&f2), Err(EngineError::SourceSchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn inner_and_left_join() {
+        for (kind, expected) in [(JoinKind::Inner, 2usize), (JoinKind::Left, 3usize)] {
+            let mut f = Flow::new("t");
+            let l = f.add_op("L", ds_lineitem()).unwrap();
+            let o = f
+                .add_op(
+                    "O",
+                    OpKind::Datastore {
+                        datastore: "orders".into(),
+                        schema: Schema::new(vec![
+                            Column::new("o_orderkey", ColType::Integer),
+                            Column::new("o_status", ColType::Text),
+                        ]),
+                    },
+                )
+                .unwrap();
+            let j = f
+                .add_op("J", OpKind::Join { kind, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+                .unwrap();
+            f.connect(l, j).unwrap();
+            f.connect(o, j).unwrap();
+            f.append(j, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+            let mut engine = Engine::new(catalog());
+            engine.run(&f).unwrap();
+            assert_eq!(engine.catalog.get("out").unwrap().len(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn left_join_pads_with_nulls() {
+        let mut f = Flow::new("t");
+        let l = f.add_op("L", ds_lineitem()).unwrap();
+        let o = f
+            .add_op(
+                "O",
+                OpKind::Datastore {
+                    datastore: "orders".into(),
+                    schema: Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
+                },
+            )
+            .unwrap();
+        let j = f
+            .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .unwrap();
+        f.connect(l, j).unwrap();
+        f.connect(o, j).unwrap();
+        f.append(j, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        let unmatched: Vec<_> = out.rows.iter().filter(|r| r[0] == Value::Int(2)).collect();
+        assert_eq!(unmatched.len(), 1);
+        assert!(unmatched[0][3].is_null() && unmatched[0][4].is_null());
+    }
+
+    #[test]
+    fn aggregation_functions() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let a = f
+            .append(
+                d,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec![],
+                    aggregates: vec![
+                        AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "s"),
+                        AggSpec::new("AVERAGE", parse_expr("l_extendedprice").unwrap(), "a"),
+                        AggSpec::new("MIN", parse_expr("l_extendedprice").unwrap(), "lo"),
+                        AggSpec::new("MAX", parse_expr("l_extendedprice").unwrap(), "hi"),
+                        AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
+                    ],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        assert_eq!(out.len(), 1);
+        let r = &out.rows[0];
+        assert_eq!(r[0], Value::Float(350.0));
+        assert_eq!(r[1], Value::Float(350.0 / 3.0));
+        assert_eq!(r[2], Value::Float(50.0));
+        assert_eq!(r[3], Value::Float(200.0));
+        assert_eq!(r[4], Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_of_empty_input_yields_neutral_row() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 9").unwrap() }).unwrap();
+        let a = f
+            .append(
+                s,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec![],
+                    aggregates: vec![
+                        AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
+                        AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "s"),
+                    ],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn surrogate_keys_are_deterministic_per_natural_key() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let k = f
+            .append(d, "SK", OpKind::SurrogateKey { natural: vec!["l_orderkey".into()], output: "sk".into() })
+            .unwrap();
+        f.append(k, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        let sk = out.column_values("sk");
+        assert_eq!(sk[0], sk[1], "same natural key, same surrogate");
+        assert_ne!(sk[0], sk[2], "different natural key, different surrogate");
+        // Cross-flow stability: the same key hashed anywhere matches.
+        assert_eq!(sk[0], Value::Int(surrogate_of([Value::Int(1)].iter())));
+    }
+
+    #[test]
+    fn surrogate_hash_separates_key_parts() {
+        let a = surrogate_of([Value::Str("ab".into()), Value::Str("c".into())].iter());
+        let b = surrogate_of([Value::Str("a".into()), Value::Str("bc".into())].iter());
+        assert_ne!(a, b);
+        assert!(a >= 0 && b >= 0);
+    }
+
+    #[test]
+    fn union_aligns_columns_by_name() {
+        let mut f = Flow::new("t");
+        let a = f.add_op("A", ds_lineitem()).unwrap();
+        let b = f.add_op("B", ds_lineitem()).unwrap();
+        let u = f.add_op("U", OpKind::Union).unwrap();
+        f.connect(a, u).unwrap();
+        f.connect(b, u).unwrap();
+        f.append(u, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        assert_eq!(engine.catalog.get("out").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sort_and_distinct() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        let p = f.append(d, "P", OpKind::Projection { columns: vec!["l_orderkey".into()] }).unwrap();
+        let dd = f.append(p, "D", OpKind::Distinct).unwrap();
+        let s = f.append(dd, "S", OpKind::Sort { columns: vec!["l_orderkey".into()] }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn loader_appends_to_existing_table_and_checks_schema() {
+        let mut f = Flow::new("t");
+        let d = f.add_op("DS", ds_lineitem()).unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "sink".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(catalog());
+        engine.run(&f).unwrap();
+        engine.run(&f).unwrap();
+        assert_eq!(engine.catalog.get("sink").unwrap().len(), 6, "two runs append");
+
+        // Pre-created with a different schema → load error.
+        let mut engine2 = Engine::new(catalog());
+        engine2.catalog.create_table("sink", Schema::new(vec![Column::new("x", ColType::Integer)]));
+        assert!(matches!(engine2.run(&f), Err(EngineError::LoadSchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn join_with_empty_build_side() {
+        let mut c = catalog();
+        c.put("orders", Relation::new(c.get("orders").unwrap().schema.clone()));
+        let mut f = Flow::new("t");
+        let l = f.add_op("L", ds_lineitem()).unwrap();
+        let o = f
+            .add_op(
+                "O",
+                OpKind::Datastore {
+                    datastore: "orders".into(),
+                    schema: Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
+                },
+            )
+            .unwrap();
+        let j = f
+            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .unwrap();
+        f.connect(l, j).unwrap();
+        f.connect(o, j).unwrap();
+        f.append(j, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(c);
+        engine.run(&f).unwrap();
+        assert_eq!(engine.catalog.get("out").unwrap().len(), 0, "inner join with empty build side is empty");
+    }
+
+    #[test]
+    fn null_group_keys_form_their_own_group() {
+        let mut c = Catalog::new();
+        c.put(
+            "t",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("g", ColType::Integer), Column::new("v", ColType::Decimal)]),
+                vec![
+                    vec![Value::Null, Value::Float(1.0)],
+                    vec![Value::Null, Value::Float(2.0)],
+                    vec![Value::Int(1), Value::Float(3.0)],
+                ],
+            ),
+        );
+        let mut f = Flow::new("x");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("g", ColType::Integer), Column::new("v", ColType::Decimal)]) })
+            .unwrap();
+        let a = f
+            .append(d, "AGG", OpKind::Aggregation {
+                group_by: vec!["g".into()],
+                aggregates: vec![AggSpec::new("SUM", parse_expr("v").unwrap(), "s")],
+            })
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(c);
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        assert_eq!(out.len(), 2, "NULL keys group together");
+        let null_group = out.rows.iter().find(|r| r[0].is_null()).expect("null group exists");
+        assert_eq!(null_group[1], Value::Float(3.0));
+    }
+
+    #[test]
+    fn upsert_first_load_dedupes_by_key() {
+        let mut c = Catalog::new();
+        c.put(
+            "t",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]),
+                vec![
+                    vec![Value::Int(1), Value::Float(1.0)],
+                    vec![Value::Int(1), Value::Float(2.0)],
+                    vec![Value::Int(2), Value::Float(3.0)],
+                ],
+            ),
+        );
+        let mut f = Flow::new("x");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]) })
+            .unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec!["k".into()] }).unwrap();
+        let mut engine = Engine::new(c);
+        engine.run(&f).unwrap();
+        let out = engine.catalog.get("out").unwrap();
+        assert_eq!(out.len(), 2, "duplicate keys in the very first load collapse");
+        // Last write wins within the batch.
+        let k1 = out.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(k1[1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn upsert_widens_schema_and_pads_old_rows() {
+        let schema_a = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("a", ColType::Decimal)]);
+        let schema_b = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("b", ColType::Text)]);
+        let mut c = Catalog::new();
+        c.put("src_a", Relation::with_rows(schema_a.clone(), vec![vec![Value::Int(1), Value::Float(9.0)]]));
+        c.put("src_b", Relation::with_rows(schema_b.clone(), vec![vec![Value::Int(1), Value::Str("x".into())], vec![Value::Int(2), Value::Str("y".into())]]));
+        let mut engine = Engine::new(c);
+        for (src, schema) in [("src_a", schema_a), ("src_b", schema_b)] {
+            let mut f = Flow::new("x");
+            let d = f.add_op("DS", OpKind::Datastore { datastore: src.into(), schema }).unwrap();
+            f.append(d, "LOAD", OpKind::Loader { table: "dim".into(), key: vec!["k".into()] }).unwrap();
+            engine.run(&f).unwrap();
+        }
+        let dim = engine.catalog.get("dim").unwrap();
+        assert_eq!(dim.schema.names().collect::<Vec<_>>(), ["k", "a", "b"]);
+        assert_eq!(dim.len(), 2);
+        let k1 = dim.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(k1[1], Value::Float(9.0), "existing column kept");
+        assert_eq!(k1[2], Value::Str("x".into()), "new column filled");
+        let k2 = dim.rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert!(k2[1].is_null(), "missing column padded with NULL");
+    }
+
+    #[test]
+    fn upsert_rejects_type_conflicts() {
+        let mut c = Catalog::new();
+        c.put("src", Relation::with_rows(Schema::new(vec![Column::new("k", ColType::Integer)]), vec![vec![Value::Int(1)]]));
+        let mut engine = Engine::new(c);
+        engine.catalog.put(
+            "dim",
+            Relation::new(Schema::new(vec![Column::new("k", ColType::Text)])),
+        );
+        let mut f = Flow::new("x");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "src".into(), schema: Schema::new(vec![Column::new("k", ColType::Integer)]) })
+            .unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "dim".into(), key: vec!["k".into()] }).unwrap();
+        assert!(matches!(engine.run(&f), Err(EngineError::LoadSchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn runtime_eval_errors_carry_op_name() {
+        // Dirty data: the column is declared Date but a row carries text.
+        // Static validation passes; YEAR() fails at runtime on that row.
+        let mut c = Catalog::new();
+        c.put(
+            "t",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("d", ColType::Date)]),
+                vec![vec![Value::Str("not-a-date".into())]], // dirty data
+            ),
+        );
+        let mut f = Flow::new("x");
+        let d = f
+            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("d", ColType::Date)]) })
+            .unwrap();
+        let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("YEAR(d) >= 1995").unwrap() }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(c);
+        match engine.run(&f) {
+            Err(EngineError::Eval { op, .. }) => assert_eq!(op, "SEL"),
+            other => panic!("expected eval error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! An in-memory relational execution engine for Quarry's logical ETL flows,
+//! plus the TPC-H-shaped data generator behind the paper's running example.
+//!
+//! The original demo deploys generated designs onto PostgreSQL (storage) and
+//! Pentaho PDI (ETL execution) and shows "reduced overall execution time for
+//! integrated ETL processes, executed in Pentaho PDI" (§3). Neither system
+//! is assumed here; instead this crate *is* the execution platform: it runs
+//! xLM flows directly over in-memory relations, which is what makes the
+//! execution-time quality factor measurable end-to-end (experiment E7).
+//!
+//! Components:
+//!
+//! - [`Value`], [`Relation`] — the runtime data model;
+//! - [`eval`] — evaluator for the `quarry-etl` expression language;
+//! - [`Engine`], [`Catalog`] — the flow executor (hash joins, hash
+//!   aggregation, surrogate-key assignment, loaders) with per-operation
+//!   timing in its [`RunReport`];
+//! - [`tpch`] — a deterministic, scale-factor-parameterized generator for
+//!   the eight TPC-H tables.
+
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod eval;
+mod exec;
+mod relation;
+pub mod tpch;
+mod value;
+
+pub use catalog::Catalog;
+pub use eval::{eval, truthy, EvalError};
+pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport};
+pub use relation::{assert_same_rows, Relation, Row};
+pub use value::Value;

@@ -1,0 +1,160 @@
+//! Relations: schemas plus row vectors.
+
+use crate::value::Value;
+use quarry_etl::Schema;
+use std::fmt;
+
+/// A row of values, positionally aligned with a schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    pub fn with_rows(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.len()));
+        Relation { schema, rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name; panics if missing (executor-internal,
+    /// schemas were validated by the flow before execution).
+    pub fn col(&self, name: &str) -> usize {
+        self.schema.index_of(name).unwrap_or_else(|| panic!("column `{name}` missing from {}", self.schema))
+    }
+
+    /// All values of one column (cloned).
+    pub fn column_values(&self, name: &str) -> Vec<Value> {
+        let i = self.col(name);
+        self.rows.iter().map(|r| r[i].clone()).collect()
+    }
+
+    /// Rows sorted by the full row, for order-insensitive comparisons.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b) {
+                let c = x.total_cmp(y);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in self.rows.iter().take(20) {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … {} more rows", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+/// Asserts two relations hold the same bag of rows (order-insensitive) over
+/// the same column names. Panics with a readable diff otherwise — the
+/// backbone of the equivalence-rule correctness property tests.
+pub fn assert_same_rows(a: &Relation, b: &Relation) {
+    assert_eq!(
+        a.schema.names().collect::<Vec<_>>(),
+        b.schema.names().collect::<Vec<_>>(),
+        "schemas differ"
+    );
+    let (sa, sb) = (a.sorted_rows(), b.sorted_rows());
+    if sa != sb {
+        panic!("relations differ:\nleft ({} rows):\n{a}\nright ({} rows):\n{b}", a.len(), b.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::{ColType, Column};
+
+    fn rel() -> Relation {
+        Relation::with_rows(
+            Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Text)]),
+            vec![
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(1), Value::Str("a".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_access() {
+        let r = rel();
+        assert_eq!(r.col("v"), 1);
+        assert_eq!(r.column_values("k"), [Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn missing_column_panics() {
+        rel().col("zzz");
+    }
+
+    #[test]
+    fn sorted_rows_orders_by_full_row() {
+        let rows = rel().sorted_rows();
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn same_rows_ignores_order() {
+        let a = rel();
+        let mut b = rel();
+        b.rows.reverse();
+        assert_same_rows(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "relations differ")]
+    fn different_bags_panic() {
+        let a = rel();
+        let mut b = rel();
+        b.rows.pop();
+        assert_same_rows(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "schemas differ")]
+    fn different_schemas_panic() {
+        let a = rel();
+        let b = Relation::new(Schema::new(vec![Column::new("x", ColType::Integer)]));
+        assert_same_rows(&a, &b);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let mut r = rel();
+        for i in 0..30 {
+            r.rows.push(vec![Value::Int(i), Value::Str("x".into())]);
+        }
+        let text = r.to_string();
+        assert!(text.contains("more rows"));
+    }
+}

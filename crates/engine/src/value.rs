@@ -1,0 +1,253 @@
+//! Runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A runtime value. Dates are days since 1970-01-01 (proleptic Gregorian).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Date(i32),
+    Null,
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int promotes to f64); None for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Builds a date value from a calendar date.
+    pub fn date(year: i32, month: u32, day: u32) -> Value {
+        Value::Date(days_from_civil(year, month, day))
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse_date(s: &str) -> Option<Value> {
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next()?.parse().ok()?;
+        let m: u32 = parts.next()?.parse().ok()?;
+        let d: u32 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return None;
+        }
+        Some(Value::date(y, m, d))
+    }
+
+    /// Calendar (year, month, day) of a date value.
+    pub fn date_parts(&self) -> Option<(i32, u32, u32)> {
+        match self {
+            Value::Date(days) => Some(civil_from_days(*days)),
+            _ => None,
+        }
+    }
+
+    /// Total order used for sorting and comparisons: Null sorts first,
+    /// numerics compare across Int/Float, then by type.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Cross-type comparisons order by type tag for determinism.
+            (a, b) => type_tag(a).cmp(&type_tag(b)),
+        }
+    }
+}
+
+fn type_tag(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2, // same family as Int for comparison purposes
+        Value::Date(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64).to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            (Date(a), Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash identically when they compare equal.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(_) => {
+                let (y, m, d) = self.date_parts().expect("Date variant");
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date from days since 1970-01-01.
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn date_roundtrip_known_values() {
+        assert_eq!(Value::date(1970, 1, 1), Value::Date(0));
+        assert_eq!(Value::date(1970, 1, 2), Value::Date(1));
+        assert_eq!(Value::date(1995, 6, 17).date_parts(), Some((1995, 6, 17)));
+        assert_eq!(Value::date(2000, 2, 29).date_parts(), Some((2000, 2, 29)), "leap day");
+        assert_eq!(Value::date(1900, 3, 1).date_parts(), Some((1900, 3, 1)));
+    }
+
+    #[test]
+    fn date_parse_and_display() {
+        let d = Value::parse_date("1995-06-17").unwrap();
+        assert_eq!(d.to_string(), "1995-06-17");
+        assert!(Value::parse_date("1995-13-01").is_none());
+        assert!(Value::parse_date("junk").is_none());
+    }
+
+    #[test]
+    fn date_roundtrip_sweep() {
+        for days in (-30000..60000).step_by(97) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "roundtrip for {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        assert_eq!(Value::Int(5), Value::Float(5.0));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Float(5.0)));
+        assert_ne!(Value::Int(5), Value::Float(5.5));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vs = [Value::Int(1), Value::Null, Value::Int(-3)];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Int(-3));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(Value::Str("Spain".into()).total_cmp(&Value::Str("France".into())), Ordering::Greater);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,361 @@
+//! Configurable cost models over logical ETL flows.
+//!
+//! The ETL Process Integrator "accounts for the cost of produced ETL flows …
+//! by applying configurable cost models that may consider different quality
+//! factors of an ETL process (e.g., overall execution time)" (paper §2.3).
+//! This module estimates cardinalities through the DAG and derives per-op
+//! costs from them; [`EstimatedTime`] is the default quality factor, and
+//! [`OpCount`] the trivial ablation alternative (experiment E8).
+
+use crate::expr::{BinOp, Expr};
+use crate::flow::{Flow, FlowError, OpId};
+use crate::ops::OpKind;
+use std::collections::HashMap;
+
+/// Row-count statistics for source datastores.
+#[derive(Debug, Clone, Default)]
+pub struct SourceStats {
+    rows: HashMap<String, f64>,
+    /// Assumed number of distinct groups per aggregation when nothing better
+    /// is known, as a fraction of input rows.
+    pub group_fraction: f64,
+    /// Rows assumed for a datastore missing from `rows`.
+    pub default_rows: f64,
+}
+
+impl SourceStats {
+    pub fn new() -> Self {
+        SourceStats { rows: HashMap::new(), group_fraction: 0.1, default_rows: 1_000.0 }
+    }
+
+    pub fn with_table(mut self, datastore: impl Into<String>, rows: f64) -> Self {
+        self.rows.insert(datastore.into(), rows);
+        self
+    }
+
+    pub fn set_table(&mut self, datastore: impl Into<String>, rows: f64) {
+        self.rows.insert(datastore.into(), rows);
+    }
+
+    pub fn table_rows(&self, datastore: &str) -> f64 {
+        self.rows.get(datastore).copied().unwrap_or(self.default_rows)
+    }
+}
+
+/// Default selectivity of a predicate: a small calculus over comparison kinds
+/// (equality is selective, ranges moderate, disjunction additive).
+pub fn selectivity(predicate: &Expr) -> f64 {
+    match predicate {
+        Expr::Binary(BinOp::And, l, r) => (selectivity(l) * selectivity(r)).max(1e-6),
+        Expr::Binary(BinOp::Or, l, r) => (selectivity(l) + selectivity(r)).min(1.0),
+        Expr::Binary(BinOp::Eq, _, _) => 0.1,
+        Expr::Binary(BinOp::Ne, _, _) => 0.9,
+        Expr::Binary(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _, _) => 0.33,
+        Expr::Unary(crate::expr::UnOp::Not, e) => (1.0 - selectivity(e)).max(0.0),
+        Expr::Bool(true) => 1.0,
+        Expr::Bool(false) => 0.0,
+        _ => 0.5,
+    }
+}
+
+/// Estimated output cardinality for every operation of a flow.
+///
+/// Each operation tracks `(rows, retained)` where `retained` is the product
+/// of selectivities applied upstream. Joins are treated as key/foreign-key
+/// joins (the DW case): the output follows the probing (left) side, scaled
+/// by the *build* side's retained fraction — so a filter pushed into either
+/// branch correctly shrinks the join output.
+pub fn cardinalities(flow: &Flow, stats: &SourceStats) -> Result<HashMap<OpId, f64>, FlowError> {
+    let order = flow.topo_order()?;
+    let mut state: HashMap<OpId, (f64, f64)> = HashMap::with_capacity(order.len());
+    for id in order {
+        let inputs: Vec<(f64, f64)> = flow.inputs_of(id).into_iter().map(|i| state[&i]).collect();
+        let (rows, retained) = match &flow.op(id).kind {
+            OpKind::Datastore { datastore, .. } => (stats.table_rows(datastore), 1.0),
+            OpKind::Selection { predicate } => {
+                let s = selectivity(predicate);
+                (inputs[0].0 * s, inputs[0].1 * s)
+            }
+            OpKind::Join { .. } => {
+                let (probe, build) = (inputs[0], inputs[1]);
+                ((probe.0 * build.1).max(1.0), probe.1 * build.1)
+            }
+            OpKind::Aggregation { group_by, .. } => {
+                if group_by.is_empty() {
+                    (1.0, inputs[0].1)
+                } else {
+                    ((inputs[0].0 * stats.group_fraction).max(1.0), inputs[0].1)
+                }
+            }
+            OpKind::Union => (inputs[0].0 + inputs[1].0, (inputs[0].1 + inputs[1].1) / 2.0),
+            OpKind::Distinct => (inputs[0].0 * 0.9, inputs[0].1),
+            _ => inputs.first().copied().unwrap_or((0.0, 1.0)),
+        };
+        state.insert(id, (rows, retained));
+    }
+    Ok(state.into_iter().map(|(k, (rows, _))| (k, rows)).collect())
+}
+
+/// A quality factor over ETL flows: lower is better.
+pub trait EtlCostModel {
+    fn name(&self) -> &str;
+
+    /// Cost of the whole flow given source statistics.
+    fn cost(&self, flow: &Flow, stats: &SourceStats) -> Result<f64, FlowError>;
+}
+
+/// Per-row weights of operation classes for the time model, loosely shaped
+/// after row-at-a-time engine behaviour: joins/aggregations hash (heavier),
+/// sorts dominate, filters/projections stream.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeights {
+    pub scan: f64,
+    pub filter: f64,
+    pub project: f64,
+    pub derive: f64,
+    pub join_build: f64,
+    pub join_probe: f64,
+    pub aggregate: f64,
+    pub sort: f64,
+    pub load: f64,
+    pub key_gen: f64,
+}
+
+impl Default for TimeWeights {
+    fn default() -> Self {
+        TimeWeights {
+            scan: 1.0,
+            filter: 0.5,
+            project: 0.3,
+            derive: 0.6,
+            join_build: 2.0,
+            join_probe: 1.2,
+            aggregate: 1.8,
+            sort: 3.0,
+            load: 1.5,
+            key_gen: 1.0,
+        }
+    }
+}
+
+/// The paper's demonstrated ETL quality factor: estimated overall execution
+/// time. The estimate is Σ over operations of (rows processed × class
+/// weight) with cardinalities propagated from the sources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EstimatedTime {
+    pub weights: TimeWeights,
+}
+
+impl EstimatedTime {
+    pub fn new() -> Self {
+        EstimatedTime::default()
+    }
+}
+
+impl EtlCostModel for EstimatedTime {
+    fn name(&self) -> &str {
+        "estimated-execution-time"
+    }
+
+    fn cost(&self, flow: &Flow, stats: &SourceStats) -> Result<f64, FlowError> {
+        let cards = cardinalities(flow, stats)?;
+        let w = &self.weights;
+        let mut total = 0.0;
+        for op in flow.ops() {
+            let in_rows: f64 = flow.inputs_of(op.id).iter().map(|i| cards[i]).sum();
+            let out_rows = cards[&op.id];
+            total += match &op.kind {
+                OpKind::Datastore { .. } => out_rows * w.scan,
+                OpKind::Extraction { .. } => in_rows * w.project,
+                OpKind::Selection { .. } => in_rows * w.filter,
+                OpKind::Projection { .. } => in_rows * w.project,
+                OpKind::Derivation { .. } => in_rows * w.derive,
+                OpKind::Join { .. } => {
+                    let inputs = flow.inputs_of(op.id);
+                    let build = cards[&inputs[1]];
+                    let probe = cards[&inputs[0]];
+                    build * w.join_build + probe * w.join_probe
+                }
+                OpKind::Aggregation { .. } => in_rows * w.aggregate,
+                OpKind::Union => in_rows * w.project,
+                OpKind::Distinct => in_rows * w.aggregate,
+                OpKind::Sort { .. } => in_rows * w.sort * (in_rows.max(2.0)).log2(),
+                OpKind::SurrogateKey { .. } => in_rows * w.key_gen,
+                OpKind::Loader { .. } => in_rows * w.load,
+            };
+        }
+        Ok(total)
+    }
+}
+
+/// Trivial model: the number of operations. Useful as an ablation and for
+/// minimizing flow footprint rather than runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpCount;
+
+impl EtlCostModel for OpCount {
+    fn name(&self) -> &str {
+        "operation-count"
+    }
+
+    fn cost(&self, flow: &Flow, _stats: &SourceStats) -> Result<f64, FlowError> {
+        Ok(flow.op_count() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_expr;
+    use crate::ops::{AggSpec, JoinKind};
+    use crate::schema::{ColType, Column, Schema};
+
+    fn li() -> OpKind {
+        OpKind::Datastore {
+            datastore: "lineitem".into(),
+            schema: Schema::new(vec![
+                Column::new("l_orderkey", ColType::Integer),
+                Column::new("l_extendedprice", ColType::Decimal),
+                Column::new("l_discount", ColType::Decimal),
+            ]),
+        }
+    }
+
+    fn stats() -> SourceStats {
+        SourceStats::new().with_table("lineitem", 60_000.0).with_table("orders", 15_000.0)
+    }
+
+    fn pipeline() -> Flow {
+        let mut f = Flow::new("p");
+        let d = f.add_op("DS", li()).unwrap();
+        let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+        let a = f
+            .append(
+                s,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev")],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        f
+    }
+
+    #[test]
+    fn selectivity_calculus() {
+        assert_eq!(selectivity(&parse_expr("a = 1").unwrap()), 0.1);
+        let and = selectivity(&parse_expr("a = 1 AND b = 2").unwrap());
+        assert!((and - 0.01).abs() < 1e-9);
+        let or = selectivity(&parse_expr("a = 1 OR b = 2").unwrap());
+        assert!((or - 0.2).abs() < 1e-9);
+        assert!(selectivity(&parse_expr("NOT (a = 1)").unwrap()) > 0.8);
+        assert_eq!(selectivity(&Expr::Bool(true)), 1.0);
+    }
+
+    #[test]
+    fn cardinalities_propagate() {
+        let f = pipeline();
+        let cards = cardinalities(&f, &stats()).unwrap();
+        let sel = f.id_by_name("SEL").unwrap();
+        assert!((cards[&sel] - 60_000.0 * 0.33).abs() < 1.0);
+        let agg = f.id_by_name("AGG").unwrap();
+        assert!(cards[&agg] < cards[&sel]);
+    }
+
+    #[test]
+    fn unknown_table_uses_default_rows() {
+        let f = pipeline();
+        let mut s = SourceStats::new();
+        s.default_rows = 500.0;
+        let cards = cardinalities(&f, &s).unwrap();
+        assert_eq!(cards[&f.id_by_name("DS").unwrap()], 500.0);
+    }
+
+    #[test]
+    fn estimated_time_decreases_with_earlier_filters() {
+        // filter-then-aggregate must be cheaper than aggregate-then-filter
+        // (on group keys) because the aggregate sees fewer rows.
+        let cheap = pipeline();
+        let mut expensive = Flow::new("p2");
+        let d = expensive.add_op("DS", li()).unwrap();
+        let a = expensive
+            .append(
+                d,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into(), "l_discount".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev")],
+                },
+            )
+            .unwrap();
+        let s = expensive
+            .append(a, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() })
+            .unwrap();
+        expensive.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+
+        let m = EstimatedTime::new();
+        let c1 = m.cost(&cheap, &stats()).unwrap();
+        let c2 = m.cost(&expensive, &stats()).unwrap();
+        assert!(c1 < c2, "filter-early {c1} should beat filter-late {c2}");
+    }
+
+    #[test]
+    fn shared_flow_costs_less_than_two_copies() {
+        // One source feeding two loaders vs. two whole pipelines: the
+        // integrated form scans once.
+        let mut shared = Flow::new("shared");
+        let d = shared.add_op("DS", li()).unwrap();
+        let s = shared
+            .append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() })
+            .unwrap();
+        shared.append(s, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
+        shared.append(s, "LOAD2", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
+
+        let single = {
+            let mut f = Flow::new("single");
+            let d = f.add_op("DS", li()).unwrap();
+            let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+            f.append(s, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
+            f
+        };
+        let m = EstimatedTime::new();
+        let shared_cost = m.cost(&shared, &stats()).unwrap();
+        let two_copies = 2.0 * m.cost(&single, &stats()).unwrap();
+        assert!(shared_cost < two_copies, "{shared_cost} !< {two_copies}");
+    }
+
+    #[test]
+    fn join_cost_uses_build_and_probe_sides() {
+        let mut f = Flow::new("j");
+        let l = f.add_op("L", li()).unwrap();
+        let o = f
+            .add_op(
+                "O",
+                OpKind::Datastore {
+                    datastore: "orders".into(),
+                    schema: Schema::new(vec![Column::new("o_orderkey", ColType::Integer)]),
+                },
+            )
+            .unwrap();
+        let j = f
+            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .unwrap();
+        f.connect(l, j).unwrap();
+        f.connect(o, j).unwrap();
+        f.append(j, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        let cost = EstimatedTime::new().cost(&f, &stats()).unwrap();
+        assert!(cost > 0.0);
+        let cards = cardinalities(&f, &stats()).unwrap();
+        assert_eq!(cards[&j], 60_000.0, "FK join keeps probe-side cardinality");
+    }
+
+    #[test]
+    fn op_count_model_counts() {
+        let f = pipeline();
+        assert_eq!(OpCount.cost(&f, &stats()).unwrap(), 4.0);
+        assert_eq!(OpCount.name(), "operation-count");
+        assert_eq!(EstimatedTime::new().name(), "estimated-execution-time");
+    }
+}

@@ -1,0 +1,665 @@
+//! The expression language of the logical layer.
+//!
+//! Selections carry predicates, derivations and measures carry arithmetic
+//! (e.g. the paper's revenue function
+//! `Lineitem_l_extendedpriceATRIBUT * Lineitem_l_discountATRIBUT`), and
+//! aggregations carry input expressions. One small language serves them all:
+//! column references, literals, arithmetic, comparisons, boolean connectives
+//! and a few scalar functions. The engine evaluates it; the equivalence
+//! rules reason over its column footprint.
+
+use crate::schema::{ColType, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators, grouped by precedence (low to high: OR, AND,
+/// comparisons, additive, multiplicative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+
+    pub fn is_comparison(self) -> bool {
+        self.precedence() == 3
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Scalar function call: `YEAR(date)`, `MONTH(date)`, `CONCAT(a, b)`,
+    /// `COALESCE(a, b)`, `ABS(x)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    pub fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::binary(BinOp::And, l, r)
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, l, r)
+    }
+
+    /// All column names referenced anywhere in the expression — the footprint
+    /// the equivalence rules use to decide commutativity.
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(c) => {
+                out.insert(c.clone());
+            }
+            Expr::Unary(_, e) => e.collect_columns(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Renames column references in place (used when aligning two flows whose
+    /// extractions expose the same data under different names).
+    pub fn rename_columns(&mut self, rename: &dyn Fn(&str) -> Option<String>) {
+        match self {
+            Expr::Column(c) => {
+                if let Some(n) = rename(c) {
+                    *c = n;
+                }
+            }
+            Expr::Unary(_, e) => e.rename_columns(rename),
+            Expr::Binary(_, l, r) => {
+                l.rename_columns(rename);
+                r.rename_columns(rename);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.rename_columns(rename);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Infers the result type against a schema; errors on unknown columns or
+    /// obvious type mismatches.
+    pub fn infer_type(&self, schema: &Schema) -> Result<ColType, ExprError> {
+        match self {
+            Expr::Column(c) => schema
+                .column(c)
+                .map(|col| col.ty)
+                .ok_or_else(|| ExprError::UnknownColumn(c.clone())),
+            Expr::Int(_) => Ok(ColType::Integer),
+            Expr::Float(_) => Ok(ColType::Decimal),
+            Expr::Str(_) => Ok(ColType::Text),
+            Expr::Bool(_) => Ok(ColType::Boolean),
+            Expr::Null => Ok(ColType::Text),
+            Expr::Unary(UnOp::Not, e) => {
+                e.infer_type(schema)?;
+                Ok(ColType::Boolean)
+            }
+            Expr::Unary(UnOp::Neg, e) => {
+                let t = e.infer_type(schema)?;
+                if t.is_numeric() {
+                    Ok(t)
+                } else {
+                    Err(ExprError::TypeMismatch(format!("cannot negate {t}")))
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                let lt = l.infer_type(schema)?;
+                let rt = r.infer_type(schema)?;
+                match op {
+                    BinOp::And | BinOp::Or => Ok(ColType::Boolean),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => Ok(ColType::Boolean),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        if !lt.is_numeric() || !rt.is_numeric() {
+                            return Err(ExprError::TypeMismatch(format!(
+                                "arithmetic `{}` on {lt} and {rt}",
+                                op.as_str()
+                            )));
+                        }
+                        if lt == ColType::Integer && rt == ColType::Integer && *op != BinOp::Div {
+                            Ok(ColType::Integer)
+                        } else {
+                            Ok(ColType::Decimal)
+                        }
+                    }
+                }
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    a.infer_type(schema)?;
+                }
+                match name.to_ascii_uppercase().as_str() {
+                    "YEAR" | "MONTH" | "DAY" | "ABS" => Ok(if name.eq_ignore_ascii_case("ABS") {
+                        ColType::Decimal
+                    } else {
+                        ColType::Integer
+                    }),
+                    "CONCAT" => Ok(ColType::Text),
+                    "COALESCE" => args
+                        .first()
+                        .map(|a| a.infer_type(schema))
+                        .transpose()
+                        .map(|t| t.unwrap_or(ColType::Text)),
+                    other => Err(ExprError::UnknownFunction(other.to_string())),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Expr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Null => write!(f, "NULL"),
+            Expr::Unary(UnOp::Not, e) => {
+                write!(f, "NOT ")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Unary(UnOp::Neg, e) => {
+                write!(f, "-")?;
+                e.fmt_prec(f, 6)
+            }
+            Expr::Binary(op, l, r) => {
+                let prec = op.precedence();
+                if prec < parent {
+                    write!(f, "(")?;
+                }
+                l.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.as_str())?;
+                // Right side binds one tighter to keep left associativity.
+                r.fmt_prec(f, prec + 1)?;
+                if prec < parent {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Errors from parsing or typing expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    Syntax { offset: usize, message: String },
+    UnknownColumn(String),
+    UnknownFunction(String),
+    TypeMismatch(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Syntax { offset, message } => write!(f, "syntax error at offset {offset}: {message}"),
+            ExprError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            ExprError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            ExprError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Parses an expression from its textual form (the syntax used inside xLM
+/// and xRQ documents).
+pub fn parse_expr(input: &str) -> Result<Expr, ExprError> {
+    let mut p = ExprParser { src: input, i: 0 };
+    let e = p.parse_binary(0)?;
+    p.skip_ws();
+    if p.i < p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct ExprParser<'a> {
+    src: &'a str,
+    i: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ExprError {
+        ExprError::Syntax { offset: self.i, message: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src[self.i..].starts_with(|c: char| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn peek_op(&mut self) -> Option<(BinOp, usize)> {
+        self.skip_ws();
+        let rest = &self.src[self.i..];
+        let upper = rest.to_ascii_uppercase();
+        // Order matters: longest spellings first.
+        for (tok, op) in [
+            ("<>", BinOp::Ne),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("=", BinOp::Eq),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+            ("+", BinOp::Add),
+            ("-", BinOp::Sub),
+            ("*", BinOp::Mul),
+            ("/", BinOp::Div),
+        ] {
+            if rest.starts_with(tok) {
+                return Some((op, tok.len()));
+            }
+        }
+        for (tok, op) in [("AND", BinOp::And), ("OR", BinOp::Or)] {
+            if upper.starts_with(tok) {
+                // Must be a word boundary.
+                let after = rest[tok.len()..].chars().next();
+                if !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                    return Some((op, tok.len()));
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ExprError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, len)) = self.peek_op() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.i += len;
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ExprError> {
+        self.skip_ws();
+        let rest = &self.src[self.i..];
+        if rest.to_ascii_uppercase().starts_with("NOT")
+            && !matches!(rest[3..].chars().next(), Some(c) if c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.i += 3;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)));
+        }
+        if rest.starts_with('-') {
+            self.i += 1;
+            self.skip_ws();
+            // Fold negative numeric literals so display→parse is the
+            // identity (`-1` is Int(-1), not Neg(Int(1))).
+            if self.src[self.i..].starts_with(|c: char| c.is_ascii_digit()) {
+                return Ok(match self.parse_number()? {
+                    Expr::Int(v) => Expr::Int(-v),
+                    Expr::Float(v) => Expr::Float(-v),
+                    other => other,
+                });
+            }
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ExprError> {
+        self.skip_ws();
+        let rest = &self.src[self.i..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            None => Err(self.err("unexpected end of expression")),
+            Some('(') => {
+                self.i += 1;
+                let e = self.parse_binary(0)?;
+                self.skip_ws();
+                if !self.src[self.i..].starts_with(')') {
+                    return Err(self.err("expected `)`"));
+                }
+                self.i += 1;
+                Ok(e)
+            }
+            Some('\'') => {
+                // String literal with '' escaping.
+                let mut out = String::new();
+                let mut j = self.i + 1;
+                let bytes = self.src.as_bytes();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            out.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        let ch_start = j;
+                        j += 1;
+                        while j < bytes.len() && bytes[j] & 0xc0 == 0x80 {
+                            j += 1;
+                        }
+                        out.push_str(&self.src[ch_start..j]);
+                    }
+                }
+                self.i = j;
+                Ok(Expr::Str(out))
+            }
+            Some(c) if c.is_ascii_digit() => self.parse_number(),
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => self.parse_ident(),
+            Some(c) => Err(self.err(format!("unexpected character `{c}`"))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, ExprError> {
+        let start = self.i;
+        let bytes = self.src.as_bytes();
+        while self.i < bytes.len() && bytes[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        let mut is_float = false;
+        if self.i < bytes.len() && bytes[self.i] == b'.' && bytes.get(self.i + 1).is_some_and(u8::is_ascii_digit) {
+            is_float = true;
+            self.i += 1;
+            while self.i < bytes.len() && bytes[self.i].is_ascii_digit() {
+                self.i += 1;
+            }
+        }
+        let text = &self.src[start..self.i];
+        if is_float {
+            text.parse::<f64>().map(Expr::Float).map_err(|e| self.err(e.to_string()))
+        } else {
+            text.parse::<i64>().map(Expr::Int).map_err(|e| self.err(e.to_string()))
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<Expr, ExprError> {
+        let start = self.i;
+        let bytes = self.src.as_bytes();
+        while self.i < bytes.len() && (bytes[self.i].is_ascii_alphanumeric() || bytes[self.i] == b'_' || bytes[self.i] == b'.') {
+            self.i += 1;
+        }
+        let name = &self.src[start..self.i];
+        match name.to_ascii_uppercase().as_str() {
+            "TRUE" => return Ok(Expr::Bool(true)),
+            "FALSE" => return Ok(Expr::Bool(false)),
+            "NULL" => return Ok(Expr::Null),
+            _ => {}
+        }
+        self.skip_ws();
+        if self.src[self.i..].starts_with('(') {
+            self.i += 1;
+            let mut args = Vec::new();
+            self.skip_ws();
+            if self.src[self.i..].starts_with(')') {
+                self.i += 1;
+            } else {
+                loop {
+                    args.push(self.parse_binary(0)?);
+                    self.skip_ws();
+                    if self.src[self.i..].starts_with(',') {
+                        self.i += 1;
+                    } else if self.src[self.i..].starts_with(')') {
+                        self.i += 1;
+                        break;
+                    } else {
+                        return Err(self.err("expected `,` or `)` in argument list"));
+                    }
+                }
+            }
+            Ok(Expr::Call(name.to_string(), args))
+        } else {
+            Ok(Expr::Column(name.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Column, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("l_extendedprice", ColType::Decimal),
+            Column::new("l_discount", ColType::Decimal),
+            Column::new("l_quantity", ColType::Integer),
+            Column::new("n_name", ColType::Text),
+            Column::new("l_shipdate", ColType::Date),
+            Column::new("flag", ColType::Boolean),
+        ])
+    }
+
+    #[test]
+    fn parses_paper_revenue_expression() {
+        let e = parse_expr("l_extendedprice * l_discount").unwrap();
+        assert_eq!(e, Expr::binary(BinOp::Mul, Expr::col("l_extendedprice"), Expr::col("l_discount")));
+        assert_eq!(e.infer_type(&schema()).unwrap(), ColType::Decimal);
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp_over_and() {
+        let e = parse_expr("a + b * c = d AND e < f").unwrap();
+        // (((a + (b*c)) = d) AND (e < f))
+        match e {
+            Expr::Binary(BinOp::And, l, _) => match *l {
+                Expr::Binary(BinOp::Eq, add, _) => match *add {
+                    Expr::Binary(BinOp::Add, _, mul) => assert!(matches!(*mul, Expr::Binary(BinOp::Mul, _, _))),
+                    other => panic!("expected Add, got {other:?}"),
+                },
+                other => panic!("expected Eq, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        let e = parse_expr("10 - 3 - 2").unwrap();
+        assert_eq!(e.to_string(), "10 - 3 - 2");
+        match e {
+            Expr::Binary(BinOp::Sub, l, r) => {
+                assert!(matches!(*l, Expr::Binary(BinOp::Sub, _, _)));
+                assert_eq!(*r, Expr::Int(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_literals_with_escapes() {
+        let e = parse_expr("n_name = 'Spain'").unwrap();
+        assert_eq!(e, Expr::eq(Expr::col("n_name"), Expr::Str("Spain".into())));
+        let e = parse_expr("x = 'O''Brien'").unwrap();
+        assert_eq!(e, Expr::eq(Expr::col("x"), Expr::Str("O'Brien".into())));
+    }
+
+    #[test]
+    fn parses_not_and_negation() {
+        let e = parse_expr("NOT flag AND -l_quantity < 0").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_function_calls() {
+        let e = parse_expr("YEAR(l_shipdate) = 1995").unwrap();
+        assert_eq!(e.infer_type(&schema()).unwrap(), ColType::Boolean);
+        let e = parse_expr("CONCAT(n_name, '!')").unwrap();
+        assert_eq!(e.infer_type(&schema()).unwrap(), ColType::Text);
+    }
+
+    #[test]
+    fn keyword_prefix_identifiers_are_columns() {
+        // `ANDy`, `ORder`, `NOTe` must parse as identifiers, not operators.
+        let e = parse_expr("ORder_total + NOTe").unwrap();
+        assert_eq!(e.columns().len(), 2);
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let e = parse_expr("l_extendedprice * (1 - l_discount)").unwrap();
+        assert_eq!(e.to_string(), "l_extendedprice * (1 - l_discount)");
+        assert_eq!(e.infer_type(&schema()).unwrap(), ColType::Decimal);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a = 1 AND b = 2 OR c = 3",
+            "(a = 1 OR b = 2) AND c = 3",
+            "NOT (x = 'y')",
+            "YEAR(d) >= 1995",
+            "a / b / c",
+            "1.5 * quantity - 2",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("{printed}: {err}"));
+            assert_eq!(reparsed, e, "roundtrip failed for `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn columns_footprint() {
+        let e = parse_expr("l_extendedprice * (1 - l_discount) + ABS(l_quantity)").unwrap();
+        let cols = e.columns();
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), ["l_discount", "l_extendedprice", "l_quantity"]);
+    }
+
+    #[test]
+    fn rename_columns_applies_mapping() {
+        let mut e = parse_expr("a + b").unwrap();
+        e.rename_columns(&|c| (c == "a").then(|| "x".to_string()));
+        assert_eq!(e.to_string(), "x + b");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let e = parse_expr("n_name + 1").unwrap();
+        assert!(matches!(e.infer_type(&schema()), Err(ExprError::TypeMismatch(_))));
+        let e = parse_expr("ghost = 1").unwrap();
+        assert!(matches!(e.infer_type(&schema()), Err(ExprError::UnknownColumn(_))));
+        let e = parse_expr("MYSTERY(n_name)").unwrap();
+        assert!(matches!(e.infer_type(&schema()), Err(ExprError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_offset() {
+        for bad in ["", "a +", "(a", "'unterminated", "a ++ b", "F(a,", "1 2"] {
+            let err = parse_expr(bad).unwrap_err();
+            assert!(matches!(err, ExprError::Syntax { .. }), "`{bad}` should be a syntax error, got {err:?}");
+        }
+    }
+
+    #[test]
+    fn integer_division_yields_decimal() {
+        let s = schema();
+        assert_eq!(parse_expr("l_quantity / 2").unwrap().infer_type(&s).unwrap(), ColType::Decimal);
+        assert_eq!(parse_expr("l_quantity * 2").unwrap().infer_type(&s).unwrap(), ColType::Integer);
+    }
+}

@@ -1,0 +1,565 @@
+//! The ETL flow graph: operations, edges, topological evaluation order,
+//! schema propagation, and requirement traceability.
+
+use crate::ops::OpKind;
+use crate::schema::Schema;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Identifier of an operation within a flow. Ids are assigned on insertion
+/// and never reused, so they stay stable across removals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+/// The set of requirement IDs an operation serves (mirrors the MD side).
+pub type ReqSet = BTreeSet<String>;
+
+/// One operation of a flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    pub id: OpId,
+    /// Unique name within the flow, e.g. `DATASTORE_Partsupp`.
+    pub name: String,
+    pub kind: OpKind,
+    pub satisfies: ReqSet,
+}
+
+/// Errors raised by flow construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    UnknownOp(String),
+    DuplicateName(String),
+    DuplicateEdge { from: String, to: String },
+    Cycle,
+    /// Wrong number of inputs for an operation.
+    Arity { op: String, expected: usize, found: usize },
+    /// Operation parameters inconsistent with its input schemas.
+    InvalidOp { op: String, detail: String },
+    /// An operation (other than a loader) whose output nobody consumes.
+    DanglingOutput(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnknownOp(n) => write!(f, "unknown operation `{n}`"),
+            FlowError::DuplicateName(n) => write!(f, "duplicate operation name `{n}`"),
+            FlowError::DuplicateEdge { from, to } => write!(f, "duplicate edge `{from}` → `{to}`"),
+            FlowError::Cycle => write!(f, "the flow graph contains a cycle"),
+            FlowError::Arity { op, expected, found } => {
+                write!(f, "operation `{op}` expects {expected} input(s), found {found}")
+            }
+            FlowError::InvalidOp { op, detail } => write!(f, "operation `{op}` is invalid: {detail}"),
+            FlowError::DanglingOutput(n) => write!(f, "operation `{n}` produces output nobody consumes"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A logical ETL process: a named DAG of operations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Flow {
+    pub name: String,
+    ops: Vec<Operation>,
+    /// Edges in insertion order; for binary operations the first incoming
+    /// edge is the left input, the second the right.
+    edges: Vec<(OpId, OpId)>,
+    next_id: u32,
+}
+
+impl Flow {
+    pub fn new(name: impl Into<String>) -> Self {
+        Flow { name: name.into(), ops: Vec::new(), edges: Vec::new(), next_id: 0 }
+    }
+
+    // ---- construction ------------------------------------------------------
+
+    /// Adds an operation; names must be unique within the flow.
+    pub fn add_op(&mut self, name: impl Into<String>, kind: OpKind) -> Result<OpId, FlowError> {
+        let name = name.into();
+        if self.op_by_name(&name).is_some() {
+            return Err(FlowError::DuplicateName(name));
+        }
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        self.ops.push(Operation { id, name, kind, satisfies: ReqSet::new() });
+        Ok(id)
+    }
+
+    /// Adds a data edge `from → to`.
+    pub fn connect(&mut self, from: OpId, to: OpId) -> Result<(), FlowError> {
+        for id in [from, to] {
+            if self.op_opt(id).is_none() {
+                return Err(FlowError::UnknownOp(format!("#{}", id.0)));
+            }
+        }
+        if self.edges.contains(&(from, to)) {
+            return Err(FlowError::DuplicateEdge {
+                from: self.op(from).name.clone(),
+                to: self.op(to).name.clone(),
+            });
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Adds an operation and connects a single input in one step.
+    pub fn append(&mut self, input: OpId, name: impl Into<String>, kind: OpKind) -> Result<OpId, FlowError> {
+        let id = self.add_op(name, kind)?;
+        self.connect(input, id)?;
+        Ok(id)
+    }
+
+    // ---- access ------------------------------------------------------------
+
+    fn op_opt(&self, id: OpId) -> Option<&Operation> {
+        self.ops.iter().find(|o| o.id == id)
+    }
+
+    /// Panics on unknown id (ids are internal; external lookups go by name).
+    pub fn op(&self, id: OpId) -> &Operation {
+        self.op_opt(id).expect("operation id belongs to this flow")
+    }
+
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
+        self.ops.iter_mut().find(|o| o.id == id).expect("operation id belongs to this flow")
+    }
+
+    pub fn op_by_name(&self, name: &str) -> Option<&Operation> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    pub fn id_by_name(&self, name: &str) -> Option<OpId> {
+        self.op_by_name(name).map(|o| o.id)
+    }
+
+    pub fn ops(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter()
+    }
+
+    pub fn ops_mut(&mut self) -> impl Iterator<Item = &mut Operation> {
+        self.ops.iter_mut()
+    }
+
+    pub fn edges(&self) -> &[(OpId, OpId)] {
+        &self.edges
+    }
+
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inputs of an operation in edge-insertion order (left input first).
+    pub fn inputs_of(&self, id: OpId) -> Vec<OpId> {
+        self.edges.iter().filter(|(_, t)| *t == id).map(|(f, _)| *f).collect()
+    }
+
+    /// Consumers of an operation's output.
+    pub fn outputs_of(&self, id: OpId) -> Vec<OpId> {
+        self.edges.iter().filter(|(f, _)| *f == id).map(|(_, t)| *t).collect()
+    }
+
+    /// Source operations (no inputs by kind).
+    pub fn sources(&self) -> Vec<OpId> {
+        self.ops.iter().filter(|o| o.kind.is_source()).map(|o| o.id).collect()
+    }
+
+    /// Sink operations (loaders).
+    pub fn sinks(&self) -> Vec<OpId> {
+        self.ops.iter().filter(|o| o.kind.is_sink()).map(|o| o.id).collect()
+    }
+
+    /// All operations upstream of `id` (excluding `id`).
+    pub fn upstream_of(&self, id: OpId) -> BTreeSet<OpId> {
+        let mut out = BTreeSet::new();
+        let mut stack = self.inputs_of(id);
+        while let Some(cur) = stack.pop() {
+            if out.insert(cur) {
+                stack.extend(self.inputs_of(cur));
+            }
+        }
+        out
+    }
+
+    /// All operations downstream of `id` (excluding `id`).
+    pub fn downstream_of(&self, id: OpId) -> BTreeSet<OpId> {
+        let mut out = BTreeSet::new();
+        let mut stack = self.outputs_of(id);
+        while let Some(cur) = stack.pop() {
+            if out.insert(cur) {
+                stack.extend(self.outputs_of(cur));
+            }
+        }
+        out
+    }
+
+    // ---- analysis ------------------------------------------------------------
+
+    /// Kahn topological order; `Err(Cycle)` when the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<OpId>, FlowError> {
+        let mut in_degree: HashMap<OpId, usize> = self.ops.iter().map(|o| (o.id, 0)).collect();
+        for (_, to) in &self.edges {
+            *in_degree.get_mut(to).expect("edge endpoints exist") += 1;
+        }
+        // Deterministic: seed queue in insertion order.
+        let mut queue: Vec<OpId> = self.ops.iter().filter(|o| in_degree[&o.id] == 0).map(|o| o.id).collect();
+        let mut out = Vec::with_capacity(self.ops.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            out.push(cur);
+            for next in self.outputs_of(cur) {
+                let d = in_degree.get_mut(&next).expect("edge endpoints exist");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if out.len() == self.ops.len() {
+            Ok(out)
+        } else {
+            Err(FlowError::Cycle)
+        }
+    }
+
+    /// Propagates schemas through the DAG, validating every operation.
+    /// Returns the output schema of each operation.
+    pub fn schemas(&self) -> Result<HashMap<OpId, Schema>, FlowError> {
+        let order = self.topo_order()?;
+        let mut out: HashMap<OpId, Schema> = HashMap::with_capacity(order.len());
+        for id in order {
+            let op = self.op(id);
+            let inputs: Vec<Schema> = self.inputs_of(id).into_iter().map(|i| out[&i].clone()).collect();
+            let schema = op.kind.output_schema(&op.name, &inputs)?;
+            out.insert(id, schema);
+        }
+        Ok(out)
+    }
+
+    /// Full validation: acyclic, schema-correct, and every non-loader output
+    /// consumed.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        self.schemas()?;
+        for op in &self.ops {
+            if !op.kind.is_sink() && self.outputs_of(op.id).is_empty() {
+                return Err(FlowError::DanglingOutput(op.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The output schema of one operation (convenience over [`Flow::schemas`]).
+    pub fn schema_of(&self, id: OpId) -> Result<Schema, FlowError> {
+        Ok(self.schemas()?.remove(&id).expect("id belongs to this flow"))
+    }
+
+    // ---- requirement traceability ---------------------------------------------
+
+    /// Stamps a requirement onto every operation (a freshly interpreted
+    /// partial flow serves exactly one requirement).
+    pub fn stamp_requirement(&mut self, req: &str) {
+        for op in &mut self.ops {
+            op.satisfies.insert(req.to_string());
+        }
+    }
+
+    /// The union of requirement IDs across operations.
+    pub fn satisfied_requirements(&self) -> ReqSet {
+        let mut out = ReqSet::new();
+        for op in &self.ops {
+            out.extend(op.satisfies.iter().cloned());
+        }
+        out
+    }
+
+    /// Removes a requirement everywhere and prunes operations that no longer
+    /// serve any requirement. Unary ops in the middle of a surviving chain
+    /// cannot become orphaned because satisfier sets only shrink toward the
+    /// sinks (an op serves every requirement its downstream loaders serve);
+    /// pruning therefore removes complete sub-branches. Returns true when
+    /// anything changed.
+    pub fn retract_requirement(&mut self, req: &str) -> bool {
+        let mut changed = false;
+        for op in &mut self.ops {
+            changed |= op.satisfies.remove(req);
+        }
+        let dead: Vec<OpId> = self.ops.iter().filter(|o| o.satisfies.is_empty()).map(|o| o.id).collect();
+        for id in &dead {
+            changed = true;
+            self.edges.retain(|(f, t)| f != id && t != id);
+        }
+        self.ops.retain(|o| !o.satisfies.is_empty());
+        changed
+    }
+
+    /// Removes a unary operation and bridges its input to its consumers
+    /// (used by the equivalence-rule engine).
+    pub fn remove_bridging(&mut self, id: OpId) {
+        let inputs = self.inputs_of(id);
+        assert!(inputs.len() <= 1, "remove_bridging only handles unary or source ops");
+        match inputs.first() {
+            Some(&input) => {
+                // Rewrite outgoing edges in place so consumers keep their
+                // positional input order (left/right of joins).
+                self.edges.retain(|&(_, t)| t != id);
+                for edge in &mut self.edges {
+                    if edge.0 == id {
+                        edge.0 = input;
+                    }
+                }
+            }
+            None => self.edges.retain(|&(f, t)| f != id && t != id),
+        }
+        self.ops.retain(|o| o.id != id);
+    }
+
+    /// Replaces the edge list wholesale. Crate-internal: the rule engine
+    /// guarantees endpoint validity.
+    pub(crate) fn set_edges(&mut self, edges: Vec<(OpId, OpId)>) {
+        self.edges = edges;
+    }
+
+    /// Removes an operation entry without touching edges. Crate-internal:
+    /// the rule engine rewires edges first.
+    pub(crate) fn remove_op_entry(&mut self, id: OpId) {
+        self.ops.retain(|o| o.id != id);
+    }
+
+    /// Renames an operation, keeping names unique.
+    pub fn rename_op(&mut self, id: OpId, name: impl Into<String>) -> Result<(), FlowError> {
+        let name = name.into();
+        if self.ops.iter().any(|o| o.name == name && o.id != id) {
+            return Err(FlowError::DuplicateName(name));
+        }
+        self.op_mut(id).name = name;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_expr;
+    use crate::ops::{AggSpec, JoinKind};
+    use crate::schema::{ColType, Column};
+
+    fn lineitem() -> OpKind {
+        OpKind::Datastore {
+            datastore: "lineitem".into(),
+            schema: Schema::new(vec![
+                Column::new("l_orderkey", ColType::Integer),
+                Column::new("l_extendedprice", ColType::Decimal),
+                Column::new("l_discount", ColType::Decimal),
+            ]),
+        }
+    }
+
+    fn orders() -> OpKind {
+        OpKind::Datastore {
+            datastore: "orders".into(),
+            schema: Schema::new(vec![
+                Column::new("o_orderkey", ColType::Integer),
+                Column::new("o_totalprice", ColType::Decimal),
+            ]),
+        }
+    }
+
+    /// lineitem → select → join(orders) → aggregate → load
+    fn sample_flow() -> Flow {
+        let mut f = Flow::new("demo");
+        let ds = f.add_op("DATASTORE_Lineitem", lineitem()).unwrap();
+        let sel = f
+            .append(ds, "SEL_discount", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() })
+            .unwrap();
+        let ord = f.add_op("DATASTORE_Orders", orders()).unwrap();
+        let join = f
+            .add_op(
+                "JOIN_ord",
+                OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] },
+            )
+            .unwrap();
+        f.connect(sel, join).unwrap();
+        f.connect(ord, join).unwrap();
+        let agg = f
+            .append(
+                join,
+                "AGG_rev",
+                OpKind::Aggregation {
+                    group_by: vec!["o_orderkey".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "revenue")],
+                },
+            )
+            .unwrap();
+        f.append(agg, "LOAD_fact", OpKind::Loader { table: "fact_revenue".into(), key: vec![] }).unwrap();
+        f
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let f = sample_flow();
+        assert_eq!(f.op_count(), 6);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut f = Flow::new("x");
+        f.add_op("A", lineitem()).unwrap();
+        assert_eq!(f.add_op("A", orders()), Err(FlowError::DuplicateName("A".into())));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let mut f = Flow::new("x");
+        let a = f.add_op("A", lineitem()).unwrap();
+        let b = f.append(a, "B", OpKind::Distinct).unwrap();
+        assert!(matches!(f.connect(a, b), Err(FlowError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let f = sample_flow();
+        let order = f.topo_order().unwrap();
+        let pos = |name: &str| order.iter().position(|&id| f.op(id).name == name).unwrap();
+        assert!(pos("DATASTORE_Lineitem") < pos("SEL_discount"));
+        assert!(pos("SEL_discount") < pos("JOIN_ord"));
+        assert!(pos("DATASTORE_Orders") < pos("JOIN_ord"));
+        assert!(pos("AGG_rev") < pos("LOAD_fact"));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut f = Flow::new("cyc");
+        let a = f.add_op("A", lineitem()).unwrap();
+        let b = f.append(a, "B", OpKind::Distinct).unwrap();
+        let c = f.append(b, "C", OpKind::Distinct).unwrap();
+        f.connect(c, b).unwrap();
+        assert_eq!(f.topo_order(), Err(FlowError::Cycle));
+    }
+
+    #[test]
+    fn schema_propagation_produces_expected_shapes() {
+        let f = sample_flow();
+        let schemas = f.schemas().unwrap();
+        let join = f.id_by_name("JOIN_ord").unwrap();
+        assert_eq!(schemas[&join].len(), 5);
+        let agg = f.id_by_name("AGG_rev").unwrap();
+        assert_eq!(schemas[&agg].names().collect::<Vec<_>>(), ["o_orderkey", "revenue"]);
+    }
+
+    #[test]
+    fn join_input_order_is_edge_insertion_order() {
+        let f = sample_flow();
+        let join = f.id_by_name("JOIN_ord").unwrap();
+        let inputs = f.inputs_of(join);
+        assert_eq!(f.op(inputs[0]).name, "SEL_discount", "left input first");
+        assert_eq!(f.op(inputs[1]).name, "DATASTORE_Orders");
+    }
+
+    #[test]
+    fn invalid_schema_reference_is_reported_with_op_name() {
+        let mut f = Flow::new("bad");
+        let ds = f.add_op("DS", lineitem()).unwrap();
+        let sel = f
+            .append(ds, "SEL", OpKind::Selection { predicate: parse_expr("ghost > 1").unwrap() })
+            .unwrap();
+        f.append(sel, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        match f.validate() {
+            Err(FlowError::InvalidOp { op, detail }) => {
+                assert_eq!(op, "SEL");
+                assert!(detail.contains("ghost"));
+            }
+            other => panic!("expected InvalidOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_output_detected() {
+        let mut f = Flow::new("dangling");
+        let ds = f.add_op("DS", lineitem()).unwrap();
+        f.append(ds, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0").unwrap() }).unwrap();
+        assert!(matches!(f.validate(), Err(FlowError::DanglingOutput(n)) if n == "SEL"));
+    }
+
+    #[test]
+    fn upstream_and_downstream_sets() {
+        let f = sample_flow();
+        let join = f.id_by_name("JOIN_ord").unwrap();
+        let up = f.upstream_of(join);
+        assert_eq!(up.len(), 3);
+        let ds = f.id_by_name("DATASTORE_Lineitem").unwrap();
+        let down = f.downstream_of(ds);
+        assert_eq!(down.len(), 4);
+    }
+
+    #[test]
+    fn stamp_and_retract_requirements() {
+        let mut f = sample_flow();
+        f.stamp_requirement("IR1");
+        assert_eq!(f.satisfied_requirements().len(), 1);
+        assert!(f.retract_requirement("IR1"));
+        assert_eq!(f.op_count(), 0);
+        assert_eq!(f.edge_count(), 0);
+    }
+
+    #[test]
+    fn retract_keeps_shared_prefix() {
+        let mut f = sample_flow();
+        f.stamp_requirement("IR1");
+        // IR2 branches off the selection into its own loader.
+        let sel = f.id_by_name("SEL_discount").unwrap();
+        let extra = f.append(sel, "LOAD_extra", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
+        f.op_mut(extra).satisfies.insert("IR2".into());
+        // IR2 also relies on everything upstream of its loader.
+        let ups: Vec<OpId> = f.upstream_of(extra).into_iter().collect();
+        for id in ups {
+            f.op_mut(id).satisfies.insert("IR2".into());
+        }
+        let before = f.op_count();
+        f.retract_requirement("IR2");
+        assert_eq!(f.op_count(), before - 1, "only IR2's private loader disappears");
+        f.validate().unwrap();
+        assert!(f.op_by_name("LOAD_extra").is_none());
+    }
+
+    #[test]
+    fn remove_bridging_reconnects() {
+        let mut f = sample_flow();
+        let sel = f.id_by_name("SEL_discount").unwrap();
+        f.remove_bridging(sel);
+        f.validate().unwrap();
+        let ds = f.id_by_name("DATASTORE_Lineitem").unwrap();
+        let join = f.id_by_name("JOIN_ord").unwrap();
+        assert!(f.edges().contains(&(ds, join)));
+        // Left/right input order of the join must survive the bridge.
+        let inputs = f.inputs_of(join);
+        assert_eq!(f.op(inputs[0]).name, "DATASTORE_Lineitem", "bridged input stays in the left slot");
+        assert_eq!(f.op(inputs[1]).name, "DATASTORE_Orders");
+    }
+
+    #[test]
+    fn bridged_join_inputs_keep_schema_validity() {
+        // After bridging, the join still type-checks (schema unchanged by
+        // selection removal).
+        let mut f = sample_flow();
+        let sel = f.id_by_name("SEL_discount").unwrap();
+        f.remove_bridging(sel);
+        f.schemas().unwrap();
+    }
+
+    #[test]
+    fn rename_enforces_uniqueness() {
+        let mut f = sample_flow();
+        let sel = f.id_by_name("SEL_discount").unwrap();
+        assert!(f.rename_op(sel, "DATASTORE_Orders").is_err());
+        f.rename_op(sel, "SEL_renamed").unwrap();
+        assert!(f.op_by_name("SEL_renamed").is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Relational schemas carried along flow edges.
+
+use std::fmt;
+
+/// Column types of the logical layer. Deliberately the same small lattice as
+/// the MD side; the deployers map them to platform types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Integer,
+    Decimal,
+    Text,
+    Date,
+    Boolean,
+}
+
+impl ColType {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ColType::Integer => "integer",
+            ColType::Decimal => "decimal",
+            ColType::Text => "text",
+            ColType::Date => "date",
+            ColType::Boolean => "boolean",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ColType> {
+        Some(match s {
+            "integer" | "int" | "bigint" => ColType::Integer,
+            "decimal" | "double" | "float" | "numeric" => ColType::Decimal,
+            "text" | "string" | "varchar" => ColType::Text,
+            "date" | "timestamp" => ColType::Date,
+            "boolean" | "bool" => ColType::Boolean,
+            _ => return None,
+        })
+    }
+
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColType::Integer | ColType::Decimal)
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered relational schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    pub fn has(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+
+    /// Concatenates two schemas (join output). Duplicate names are the
+    /// caller's responsibility to detect (the flow validator does).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Restricts the schema to `names`, preserving the requested order.
+    /// Returns `None` when a name is missing.
+    pub fn project(&self, names: &[String]) -> Option<Schema> {
+        let mut columns = Vec::with_capacity(names.len());
+        for n in names {
+            columns.push(self.column(n)?.clone());
+        }
+        Some(Schema { columns })
+    }
+
+    /// First duplicated column name, if any.
+    pub fn duplicate_name(&self) -> Option<&str> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|p| p.name == c.name) {
+                return Some(&c.name);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::new(vec![Column::new("a", ColType::Integer), Column::new("b", ColType::Text)])
+    }
+
+    #[test]
+    fn lookup_and_index() {
+        let schema = s();
+        assert_eq!(schema.index_of("b"), Some(1));
+        assert_eq!(schema.index_of("c"), None);
+        assert!(schema.has("a"));
+        assert_eq!(schema.column("a").unwrap().ty, ColType::Integer);
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let p = s().project(&["b".into(), "a".into()]).unwrap();
+        assert_eq!(p.names().collect::<Vec<_>>(), ["b", "a"]);
+        assert!(s().project(&["zzz".into()]).is_none());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let joined = s().concat(&Schema::new(vec![Column::new("c", ColType::Date)]));
+        assert_eq!(joined.len(), 3);
+        assert!(joined.duplicate_name().is_none());
+        let clashing = s().concat(&s());
+        assert_eq!(clashing.duplicate_name(), Some("a"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(s().to_string(), "(a: integer, b: text)");
+    }
+
+    #[test]
+    fn coltype_parse_roundtrip() {
+        for t in [ColType::Integer, ColType::Decimal, ColType::Text, ColType::Date, ColType::Boolean] {
+            assert_eq!(ColType::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(ColType::parse("bigint"), Some(ColType::Integer));
+        assert_eq!(ColType::parse("junk"), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the expression language: display → parse is the
+//! identity on arbitrary expression trees, and normalization is stable.
+
+use proptest::prelude::*;
+use quarry_etl::{parse_expr, rules, BinOp, Expr, UnOp};
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Column),
+        (-1000i64..1000).prop_map(Expr::Int),
+        // Floats with short decimal expansions survive display exactly.
+        (-10_000i64..10_000).prop_map(|v| Expr::Float(v as f64 / 100.0)),
+        "[a-zA-Z0-9 ']{0,10}".prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        Just(Expr::Null),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            // The parser canonicalizes negated numeric literals into the
+            // literal itself, so fold them here too.
+            inner.clone().prop_map(|e| match e {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float(v) => Expr::Float(-v),
+                other => Expr::Unary(UnOp::Neg, Box::new(other)),
+            }),
+            (prop_oneof![Just("YEAR"), Just("ABS"), Just("CONCAT"), Just("COALESCE")], prop::collection::vec(inner, 1..3))
+                .prop_map(|(name, args)| Expr::Call(name.to_string(), args)),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_parse_is_identity(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("{err}\n{printed}"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    #[test]
+    fn predicate_normalization_is_idempotent(e in arb_expr()) {
+        let once = rules::normalize_predicate(&e);
+        let twice = rules::normalize_predicate(&once);
+        prop_assert_eq!(once.to_string(), twice.to_string());
+    }
+
+    #[test]
+    fn column_footprint_is_stable_under_roundtrip(e in arb_expr()) {
+        let reparsed = parse_expr(&e.to_string()).expect("display output parses");
+        prop_assert_eq!(reparsed.columns(), e.columns());
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors raised while parsing or building format documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatError {
+    /// The document is not well-formed XML.
+    Xml(quarry_xml::ParseError),
+    /// The XML is well-formed but violates the format's structure.
+    Structure(String),
+    /// An embedded expression failed to parse.
+    Expr(quarry_etl::ExprError),
+}
+
+impl FormatError {
+    pub fn structure(msg: impl Into<String>) -> Self {
+        FormatError::Structure(msg.into())
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Xml(e) => write!(f, "{e}"),
+            FormatError::Structure(m) => write!(f, "malformed document: {m}"),
+            FormatError::Expr(e) => write!(f, "embedded expression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<quarry_xml::ParseError> for FormatError {
+    fn from(e: quarry_xml::ParseError) -> Self {
+        FormatError::Xml(e)
+    }
+}
+
+impl From<quarry_etl::ExprError> for FormatError {
+    fn from(e: quarry_etl::ExprError) -> Self {
+        FormatError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FormatError::structure("missing <name>").to_string().contains("missing <name>"));
+        let xml_err = quarry_xml::parse("<a").unwrap_err();
+        assert!(FormatError::from(xml_err).to_string().contains("XML parse error"));
+        let expr_err = quarry_etl::parse_expr("a +").unwrap_err();
+        assert!(FormatError::from(expr_err).to_string().contains("expression"));
+    }
+}

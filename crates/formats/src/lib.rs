@@ -1,0 +1,29 @@
+//! The logical, platform-independent formats of Quarry's Communication &
+//! Metadata layer (paper §2.5).
+//!
+//! Three XML dialects flow between components:
+//!
+//! - **xRQ** — information requirements as analytical (cube) queries;
+//!   see the bottom-left snippet of the paper's Figure 4 ([`xrq`]);
+//! - **xMD** — multidimensional schemata ([`xmd`]);
+//! - **xLM** — logical ETL process designs, the `<design>/<edges>/<nodes>`
+//!   dialect of Figures 3–4 ([`xlm`]).
+//!
+//! All three bind to the workspace's in-memory models (`quarry_md::MdSchema`,
+//! `quarry_etl::Flow`, [`Requirement`]) with lossless round-trips.
+//!
+//! The layer "offers plug-in capabilities for adding import and export
+//! parsers, for supporting various external notations" (§2.5): the
+//! [`registry::FormatRegistry`] is that extension point, pre-populated with
+//! the three native formats and a human-readable summary exporter.
+
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod registry;
+pub mod xlm;
+pub mod xmd;
+pub mod xrq;
+
+pub use error::FormatError;
+pub use xrq::{Aggregation, MeasureSpec, Requirement, Slicer};

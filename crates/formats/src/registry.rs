@@ -1,0 +1,301 @@
+//! The import/export plug-in registry of the Communication & Metadata layer.
+//!
+//! Paper §2.5: the layer "offers plug-in capabilities for adding import and
+//! export parsers, for supporting various external notations (e.g., SQL,
+//! Apache PigLatin, ETL Metadata)". [`FormatRegistry`] is that extension
+//! point: components ask for a named exporter/importer instead of
+//! hard-coding serializations, and embedders register their own.
+//!
+//! Built-ins: `xmd`/`xlm`/`xrq` (the native formats) and `summary` (a
+//! human-readable digest used by the examples).
+
+use crate::error::FormatError;
+use crate::xrq::Requirement;
+use crate::{xlm, xmd};
+use quarry_etl::Flow;
+use quarry_md::MdSchema;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An artifact any exporter may be handed.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    Md(MdSchema),
+    Etl(Flow),
+    Req(Requirement),
+}
+
+impl Artifact {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Artifact::Md(_) => "md-schema",
+            Artifact::Etl(_) => "etl-flow",
+            Artifact::Req(_) => "requirement",
+        }
+    }
+}
+
+/// An export plug-in: renders artifacts into an external notation.
+pub trait Exporter: Send + Sync {
+    /// Format identifier, e.g. `xmd`, `sql`, `summary`.
+    fn format(&self) -> &str;
+
+    /// Renders the artifact; `None` when this exporter does not handle the
+    /// artifact's kind.
+    fn export(&self, artifact: &Artifact) -> Option<String>;
+}
+
+/// An import plug-in: parses an external notation into an artifact.
+pub trait Importer: Send + Sync {
+    fn format(&self) -> &str;
+
+    fn import(&self, input: &str) -> Result<Artifact, FormatError>;
+}
+
+struct NativeXmd;
+
+impl Exporter for NativeXmd {
+    fn format(&self) -> &str {
+        "xmd"
+    }
+
+    fn export(&self, artifact: &Artifact) -> Option<String> {
+        match artifact {
+            Artifact::Md(s) => Some(xmd::to_string(s)),
+            _ => None,
+        }
+    }
+}
+
+impl Importer for NativeXmd {
+    fn format(&self) -> &str {
+        "xmd"
+    }
+
+    fn import(&self, input: &str) -> Result<Artifact, FormatError> {
+        Ok(Artifact::Md(xmd::parse(input)?))
+    }
+}
+
+struct NativeXlm;
+
+impl Exporter for NativeXlm {
+    fn format(&self) -> &str {
+        "xlm"
+    }
+
+    fn export(&self, artifact: &Artifact) -> Option<String> {
+        match artifact {
+            Artifact::Etl(f) => Some(xlm::to_string(f)),
+            _ => None,
+        }
+    }
+}
+
+impl Importer for NativeXlm {
+    fn format(&self) -> &str {
+        "xlm"
+    }
+
+    fn import(&self, input: &str) -> Result<Artifact, FormatError> {
+        Ok(Artifact::Etl(xlm::parse(input)?))
+    }
+}
+
+struct NativeXrq;
+
+impl Exporter for NativeXrq {
+    fn format(&self) -> &str {
+        "xrq"
+    }
+
+    fn export(&self, artifact: &Artifact) -> Option<String> {
+        match artifact {
+            Artifact::Req(r) => Some(r.to_string_pretty()),
+            _ => None,
+        }
+    }
+}
+
+impl Importer for NativeXrq {
+    fn format(&self) -> &str {
+        "xrq"
+    }
+
+    fn import(&self, input: &str) -> Result<Artifact, FormatError> {
+        Ok(Artifact::Req(Requirement::parse(input)?))
+    }
+}
+
+/// A human-readable digest exporter for any artifact kind.
+struct Summary;
+
+impl Exporter for Summary {
+    fn format(&self) -> &str {
+        "summary"
+    }
+
+    fn export(&self, artifact: &Artifact) -> Option<String> {
+        let mut out = String::new();
+        match artifact {
+            Artifact::Md(s) => {
+                let (facts, dims, levels, attrs, measures) = s.size();
+                let _ = writeln!(out, "MD schema `{}`: {facts} fact(s), {dims} dimension(s), {levels} level(s), {attrs} attribute(s), {measures} measure(s)", s.name);
+                for f in &s.facts {
+                    let dims: Vec<&str> = f.dimensions.iter().map(|d| d.dimension.as_str()).collect();
+                    let _ = writeln!(out, "  fact {} [{}]", f.name, dims.join(", "));
+                }
+            }
+            Artifact::Etl(f) => {
+                let _ = writeln!(out, "ETL flow `{}`: {} operation(s), {} edge(s)", f.name, f.op_count(), f.edge_count());
+                for op in f.ops() {
+                    let _ = writeln!(out, "  {} :: {}", op.name, op.kind);
+                }
+            }
+            Artifact::Req(r) => {
+                let _ = writeln!(
+                    out,
+                    "requirement {}: {} measure(s), {} dimension(s), {} slicer(s)",
+                    r.id,
+                    r.measures.len(),
+                    r.dimensions.len(),
+                    r.slicers.len()
+                );
+            }
+        }
+        Some(out)
+    }
+}
+
+/// The plug-in registry.
+pub struct FormatRegistry {
+    exporters: BTreeMap<String, Box<dyn Exporter>>,
+    importers: BTreeMap<String, Box<dyn Importer>>,
+}
+
+impl FormatRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> Self {
+        FormatRegistry { exporters: BTreeMap::new(), importers: BTreeMap::new() }
+    }
+
+    /// The default registry with the native formats and the summary digest.
+    pub fn with_builtins() -> Self {
+        let mut r = FormatRegistry::empty();
+        r.register_exporter(Box::new(NativeXmd));
+        r.register_exporter(Box::new(NativeXlm));
+        r.register_exporter(Box::new(NativeXrq));
+        r.register_exporter(Box::new(Summary));
+        r.register_importer(Box::new(NativeXmd));
+        r.register_importer(Box::new(NativeXlm));
+        r.register_importer(Box::new(NativeXrq));
+        r
+    }
+
+    pub fn register_exporter(&mut self, exporter: Box<dyn Exporter>) {
+        self.exporters.insert(exporter.format().to_string(), exporter);
+    }
+
+    pub fn register_importer(&mut self, importer: Box<dyn Importer>) {
+        self.importers.insert(importer.format().to_string(), importer);
+    }
+
+    pub fn exporter(&self, format: &str) -> Option<&dyn Exporter> {
+        self.exporters.get(format).map(Box::as_ref)
+    }
+
+    pub fn importer(&self, format: &str) -> Option<&dyn Importer> {
+        self.importers.get(format).map(Box::as_ref)
+    }
+
+    pub fn export_formats(&self) -> Vec<&str> {
+        self.exporters.keys().map(String::as_str).collect()
+    }
+
+    /// Exports an artifact in a named format.
+    pub fn export(&self, format: &str, artifact: &Artifact) -> Result<String, FormatError> {
+        let exporter = self
+            .exporter(format)
+            .ok_or_else(|| FormatError::structure(format!("no exporter registered for `{format}`")))?;
+        exporter
+            .export(artifact)
+            .ok_or_else(|| FormatError::structure(format!("exporter `{format}` does not handle {}", artifact.kind())))
+    }
+
+    /// Imports an artifact from a named format.
+    pub fn import(&self, format: &str, input: &str) -> Result<Artifact, FormatError> {
+        let importer = self
+            .importer(format)
+            .ok_or_else(|| FormatError::structure(format!("no importer registered for `{format}`")))?;
+        importer.import(input)
+    }
+}
+
+impl Default for FormatRegistry {
+    fn default() -> Self {
+        FormatRegistry::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xrq::figure4_requirement;
+
+    #[test]
+    fn builtins_are_registered() {
+        let r = FormatRegistry::with_builtins();
+        assert_eq!(r.export_formats(), ["summary", "xlm", "xmd", "xrq"]);
+    }
+
+    #[test]
+    fn native_roundtrip_through_registry() {
+        let r = FormatRegistry::with_builtins();
+        let req = figure4_requirement();
+        let xml = r.export("xrq", &Artifact::Req(req.clone())).unwrap();
+        match r.import("xrq", &xml).unwrap() {
+            Artifact::Req(back) => assert_eq!(back, req),
+            other => panic!("wrong artifact kind {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn summary_handles_every_kind() {
+        let r = FormatRegistry::with_builtins();
+        let req = Artifact::Req(figure4_requirement());
+        assert!(r.export("summary", &req).unwrap().contains("IR1"));
+        let md = Artifact::Md(quarry_md::MdSchema::new("s"));
+        assert!(r.export("summary", &md).unwrap().contains("MD schema"));
+        let etl = Artifact::Etl(quarry_etl::Flow::new("f"));
+        assert!(r.export("summary", &etl).unwrap().contains("ETL flow"));
+    }
+
+    #[test]
+    fn wrong_kind_and_unknown_format_error() {
+        let r = FormatRegistry::with_builtins();
+        let md = Artifact::Md(quarry_md::MdSchema::new("s"));
+        assert!(r.export("xlm", &md).is_err(), "xlm exporter must reject MD schemas");
+        assert!(r.export("pig", &md).is_err());
+        assert!(r.import("pig", "x").is_err());
+    }
+
+    #[test]
+    fn custom_plugin_registration() {
+        struct Pig;
+        impl Exporter for Pig {
+            fn format(&self) -> &str {
+                "piglatin"
+            }
+            fn export(&self, artifact: &Artifact) -> Option<String> {
+                match artifact {
+                    Artifact::Etl(f) => Some(format!("-- PigLatin for {}\n", f.name)),
+                    _ => None,
+                }
+            }
+        }
+        let mut r = FormatRegistry::with_builtins();
+        r.register_exporter(Box::new(Pig));
+        let out = r.export("piglatin", &Artifact::Etl(quarry_etl::Flow::new("demo"))).unwrap();
+        assert!(out.contains("PigLatin for demo"));
+    }
+}

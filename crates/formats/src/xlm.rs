@@ -1,0 +1,452 @@
+//! xLM: the XML encoding of logical ETL flows \[12\].
+//!
+//! The dialect matches the paper's Figure 3/4 snippets:
+//!
+//! ```xml
+//! <design>
+//!   <metadata><name>unified</name></metadata>
+//!   <edges>
+//!     <edge>
+//!       <from>DATASTORE_Partsupp</from>
+//!       <to>EXTRACTION_Partsupp</to>
+//!       <enabled>Y</enabled>
+//!     </edge>
+//!   </edges>
+//!   <nodes>
+//!     <node>
+//!       <name>DATASTORE_Partsupp</name>
+//!       <type>Datastore</type>
+//!       <optype>TableInput</optype>
+//!       …
+//!     </node>
+//!   </nodes>
+//! </design>
+//! ```
+//!
+//! `<optype>` carries the platform-flavoured operator name (the PDI step
+//! type the Design Deployer would emit), while `<type>` is the logical
+//! operation class; parameters live in per-kind child elements.
+
+use crate::error::FormatError;
+use quarry_etl::{parse_expr, AggSpec, ColType, Column, Flow, JoinKind, OpKind, ReqSet, Schema};
+use quarry_xml::Element;
+
+/// The PDI-flavoured `<optype>` for a logical operation (used verbatim by
+/// the deployer's KTR generator).
+pub fn pdi_optype(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Datastore { .. } => "TableInput",
+        OpKind::Extraction { .. } => "SelectValues",
+        OpKind::Selection { .. } => "FilterRows",
+        OpKind::Projection { .. } => "SelectValues",
+        OpKind::Derivation { .. } => "Calculator",
+        OpKind::Join { .. } => "MergeJoin",
+        OpKind::Aggregation { .. } => "GroupBy",
+        OpKind::Union => "Append",
+        OpKind::Distinct => "Unique",
+        OpKind::Sort { .. } => "SortRows",
+        OpKind::SurrogateKey { .. } => "AddSequence",
+        OpKind::Loader { .. } => "TableOutput",
+    }
+}
+
+fn columns_to_xml(tag: &str, columns: &[String]) -> Element {
+    let mut e = Element::new(tag);
+    for c in columns {
+        e.push_child(Element::new("column").with_text(c));
+    }
+    e
+}
+
+fn columns_from_xml(parent: &Element, tag: &str) -> Vec<String> {
+    parent
+        .child(tag)
+        .map(|e| e.children_named("column").filter_map(Element::text).map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+fn schema_to_xml(schema: &Schema) -> Element {
+    let mut e = Element::new("schema");
+    for c in &schema.columns {
+        e.push_child(Element::new("column").with_attr("name", &c.name).with_attr("type", c.ty.as_str()));
+    }
+    e
+}
+
+fn schema_from_xml(parent: &Element) -> Result<Schema, FormatError> {
+    let e = parent.child("schema").ok_or_else(|| FormatError::structure("datastore node without <schema>"))?;
+    let mut columns = Vec::new();
+    for c in e.children_named("column") {
+        let name = c.attr("name").ok_or_else(|| FormatError::structure("<column> without name"))?;
+        let ty = c
+            .attr("type")
+            .and_then(ColType::parse)
+            .ok_or_else(|| FormatError::structure(format!("column `{name}` without a valid type")))?;
+        columns.push(Column::new(name, ty));
+    }
+    Ok(Schema::new(columns))
+}
+
+fn kind_to_xml(kind: &OpKind, node: &mut Element) {
+    match kind {
+        OpKind::Datastore { datastore, schema } => {
+            node.push_child(Element::new("datastore").with_text(datastore));
+            node.push_child(schema_to_xml(schema));
+        }
+        OpKind::Extraction { columns } => node.push_child(columns_to_xml("columns", columns)),
+        OpKind::Selection { predicate } => {
+            node.push_child(Element::new("predicate").with_text(predicate.to_string()))
+        }
+        OpKind::Projection { columns } => node.push_child(columns_to_xml("columns", columns)),
+        OpKind::Derivation { column, expr } => {
+            node.push_child(Element::new("column").with_text(column));
+            node.push_child(Element::new("expression").with_text(expr.to_string()));
+        }
+        OpKind::Join { kind, left_on, right_on } => {
+            node.push_child(Element::new("joinKind").with_text(kind.as_str()));
+            node.push_child(columns_to_xml("leftOn", left_on));
+            node.push_child(columns_to_xml("rightOn", right_on));
+        }
+        OpKind::Aggregation { group_by, aggregates } => {
+            node.push_child(columns_to_xml("groupBy", group_by));
+            let mut aggs = Element::new("aggregates");
+            for a in aggregates {
+                aggs.push_child(
+                    Element::new("aggregate")
+                        .with_text_child("function", &a.function)
+                        .with_text_child("input", a.input.to_string())
+                        .with_text_child("output", &a.output),
+                );
+            }
+            node.push_child(aggs);
+        }
+        OpKind::Union | OpKind::Distinct => {}
+        OpKind::Sort { columns } => node.push_child(columns_to_xml("columns", columns)),
+        OpKind::SurrogateKey { natural, output } => {
+            node.push_child(columns_to_xml("natural", natural));
+            node.push_child(Element::new("output").with_text(output));
+        }
+        OpKind::Loader { table, key } => {
+            node.push_child(Element::new("table").with_text(table));
+            if !key.is_empty() {
+                node.push_child(columns_to_xml("upsertKey", key));
+            }
+        }
+    }
+}
+
+fn kind_from_xml(type_name: &str, node: &Element) -> Result<OpKind, FormatError> {
+    let text = |tag: &str| -> Result<String, FormatError> {
+        node.child_text(tag)
+            .map(str::to_string)
+            .ok_or_else(|| FormatError::structure(format!("<node> of type {type_name} missing <{tag}>")))
+    };
+    Ok(match type_name {
+        "Datastore" => OpKind::Datastore { datastore: text("datastore")?, schema: schema_from_xml(node)? },
+        "Extraction" => OpKind::Extraction { columns: columns_from_xml(node, "columns") },
+        "Selection" => OpKind::Selection { predicate: parse_expr(&text("predicate")?)? },
+        "Projection" => OpKind::Projection { columns: columns_from_xml(node, "columns") },
+        "Derivation" => OpKind::Derivation { column: text("column")?, expr: parse_expr(&text("expression")?)? },
+        "Join" => OpKind::Join {
+            kind: node
+                .child_text("joinKind")
+                .and_then(JoinKind::parse)
+                .ok_or_else(|| FormatError::structure("join node without a valid <joinKind>"))?,
+            left_on: columns_from_xml(node, "leftOn"),
+            right_on: columns_from_xml(node, "rightOn"),
+        },
+        "Aggregation" => {
+            let mut aggregates = Vec::new();
+            if let Some(aggs) = node.child("aggregates") {
+                for a in aggs.children_named("aggregate") {
+                    let function = a
+                        .child_text("function")
+                        .ok_or_else(|| FormatError::structure("<aggregate> missing <function>"))?;
+                    let input =
+                        a.child_text("input").ok_or_else(|| FormatError::structure("<aggregate> missing <input>"))?;
+                    let output = a
+                        .child_text("output")
+                        .ok_or_else(|| FormatError::structure("<aggregate> missing <output>"))?;
+                    aggregates.push(AggSpec::new(function, parse_expr(input)?, output));
+                }
+            }
+            OpKind::Aggregation { group_by: columns_from_xml(node, "groupBy"), aggregates }
+        }
+        "Union" => OpKind::Union,
+        "Distinct" => OpKind::Distinct,
+        "Sort" => OpKind::Sort { columns: columns_from_xml(node, "columns") },
+        "SurrogateKey" => OpKind::SurrogateKey { natural: columns_from_xml(node, "natural"), output: text("output")? },
+        "Loader" => OpKind::Loader { table: text("table")?, key: columns_from_xml(node, "upsertKey") },
+        other => return Err(FormatError::structure(format!("unknown node type `{other}`"))),
+    })
+}
+
+/// Serializes a flow to the xLM DOM.
+pub fn to_xml(flow: &Flow) -> Element {
+    let mut root = Element::new("design");
+    root.push_child(Element::new("metadata").with_text_child("name", &flow.name));
+    let mut edges = Element::new("edges");
+    for (from, to) in flow.edges() {
+        edges.push_child(
+            Element::new("edge")
+                .with_text_child("from", &flow.op(*from).name)
+                .with_text_child("to", &flow.op(*to).name)
+                .with_text_child("enabled", "Y"),
+        );
+    }
+    root.push_child(edges);
+    let mut nodes = Element::new("nodes");
+    for op in flow.ops() {
+        let mut node = Element::new("node")
+            .with_text_child("name", &op.name)
+            .with_text_child("type", op.kind.type_name())
+            .with_text_child("optype", pdi_optype(&op.kind));
+        kind_to_xml(&op.kind, &mut node);
+        if !op.satisfies.is_empty() {
+            let mut s = Element::new("satisfies");
+            for r in &op.satisfies {
+                s.push_child(Element::new("req").with_text(r));
+            }
+            node.push_child(s);
+        }
+        nodes.push_child(node);
+    }
+    root.push_child(nodes);
+    root
+}
+
+/// Serializes a flow to an xLM document string.
+pub fn to_string(flow: &Flow) -> String {
+    to_xml(flow).to_pretty_string()
+}
+
+/// Parses a flow from the xLM DOM.
+pub fn from_xml(root: &Element) -> Result<Flow, FormatError> {
+    if root.name != "design" {
+        return Err(FormatError::structure(format!("expected <design>, found <{}>", root.name)));
+    }
+    let name = root.path(&["metadata", "name"]).and_then(Element::text).unwrap_or("design");
+    let mut flow = Flow::new(name);
+    let nodes = root.child("nodes").ok_or_else(|| FormatError::structure("<design> without <nodes>"))?;
+    for node in nodes.children_named("node") {
+        let op_name =
+            node.child_text("name").ok_or_else(|| FormatError::structure("<node> without <name>"))?;
+        let type_name =
+            node.child_text("type").ok_or_else(|| FormatError::structure("<node> without <type>"))?;
+        let kind = kind_from_xml(type_name, node)?;
+        let id = flow.add_op(op_name, kind).map_err(|e| FormatError::structure(e.to_string()))?;
+        let mut reqs = ReqSet::new();
+        if let Some(s) = node.child("satisfies") {
+            for r in s.children_named("req") {
+                if let Some(t) = r.text() {
+                    reqs.insert(t.to_string());
+                }
+            }
+        }
+        flow.op_mut(id).satisfies = reqs;
+    }
+    if let Some(edges) = root.child("edges") {
+        for edge in edges.children_named("edge") {
+            if edge.child_text("enabled") == Some("N") {
+                continue;
+            }
+            let from = edge.child_text("from").ok_or_else(|| FormatError::structure("<edge> without <from>"))?;
+            let to = edge.child_text("to").ok_or_else(|| FormatError::structure("<edge> without <to>"))?;
+            let from_id =
+                flow.id_by_name(from).ok_or_else(|| FormatError::structure(format!("edge from unknown node `{from}`")))?;
+            let to_id =
+                flow.id_by_name(to).ok_or_else(|| FormatError::structure(format!("edge to unknown node `{to}`")))?;
+            flow.connect(from_id, to_id).map_err(|e| FormatError::structure(e.to_string()))?;
+        }
+    }
+    Ok(flow)
+}
+
+/// Parses an xLM document string.
+pub fn parse(xml: &str) -> Result<Flow, FormatError> {
+    from_xml(&quarry_xml::parse(xml)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::Expr;
+
+    fn partsupp_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("ps_partkey", ColType::Integer),
+            Column::new("ps_suppkey", ColType::Integer),
+            Column::new("ps_supplycost", ColType::Decimal),
+        ])
+    }
+
+    /// The Figure 3 prefix: DATASTORE_Partsupp → EXTRACTION_Partsupp → … → loader.
+    fn sample_flow() -> Flow {
+        let mut f = Flow::new("unified");
+        let ds = f
+            .add_op("DATASTORE_Partsupp", OpKind::Datastore { datastore: "partsupp".into(), schema: partsupp_schema() })
+            .unwrap();
+        let ex = f
+            .append(ds, "EXTRACTION_Partsupp", OpKind::Extraction {
+                columns: vec!["ps_partkey".into(), "ps_suppkey".into(), "ps_supplycost".into()],
+            })
+            .unwrap();
+        let sel = f
+            .append(ex, "SELECTION_cost", OpKind::Selection { predicate: parse_expr("ps_supplycost > 10").unwrap() })
+            .unwrap();
+        let agg = f
+            .append(sel, "AGGREGATION_cost", OpKind::Aggregation {
+                group_by: vec!["ps_partkey".into()],
+                aggregates: vec![AggSpec::new("AVERAGE", parse_expr("ps_supplycost").unwrap(), "avg_cost")],
+            })
+            .unwrap();
+        f.append(agg, "LOADER_fact", OpKind::Loader { table: "fact_table_netprofit".into(), key: vec![] }).unwrap();
+        let mut f2 = f;
+        f2.stamp_requirement("IR2");
+        f2
+    }
+
+    #[test]
+    fn roundtrip_preserves_flow() {
+        let f = sample_flow();
+        let xml = to_string(&f);
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.op_count(), f.op_count());
+        assert_eq!(parsed.edge_count(), f.edge_count());
+        for op in f.ops() {
+            let p = parsed.op_by_name(&op.name).unwrap_or_else(|| panic!("{} lost", op.name));
+            assert_eq!(p.kind, op.kind, "{}", op.name);
+            assert_eq!(p.satisfies, op.satisfies);
+        }
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn shape_matches_paper_snippet() {
+        let xml = to_string(&sample_flow());
+        for needle in [
+            "<design>",
+            "<metadata>",
+            "<from>DATASTORE_Partsupp</from>",
+            "<to>EXTRACTION_Partsupp</to>",
+            "<enabled>Y</enabled>",
+            "<name>DATASTORE_Partsupp</name>",
+            "<type>Datastore</type>",
+            "<optype>TableInput</optype>",
+        ] {
+            assert!(xml.contains(needle), "missing `{needle}` in\n{xml}");
+        }
+    }
+
+    #[test]
+    fn binary_ops_keep_input_order() {
+        let mut f = Flow::new("j");
+        let a = f
+            .add_op("A", OpKind::Datastore { datastore: "a".into(), schema: Schema::new(vec![Column::new("x", ColType::Integer)]) })
+            .unwrap();
+        let b = f
+            .add_op("B", OpKind::Datastore { datastore: "b".into(), schema: Schema::new(vec![Column::new("y", ColType::Integer)]) })
+            .unwrap();
+        let j = f
+            .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["x".into()], right_on: vec!["y".into()] })
+            .unwrap();
+        f.connect(a, j).unwrap();
+        f.connect(b, j).unwrap();
+        f.append(j, "L", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        let parsed = parse(&to_string(&f)).unwrap();
+        let inputs = parsed.inputs_of(parsed.id_by_name("J").unwrap());
+        assert_eq!(parsed.op(inputs[0]).name, "A");
+        assert_eq!(parsed.op(inputs[1]).name, "B");
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn all_op_kinds_roundtrip() {
+        let mut f = Flow::new("all");
+        let ds = f
+            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: partsupp_schema() })
+            .unwrap();
+        let dv = f
+            .append(ds, "DV", OpKind::Derivation { column: "c".into(), expr: parse_expr("ps_supplycost * 2").unwrap() })
+            .unwrap();
+        let sk = f
+            .append(dv, "SK", OpKind::SurrogateKey { natural: vec!["ps_partkey".into(), "ps_suppkey".into()], output: "PartsuppID".into() })
+            .unwrap();
+        let so = f.append(sk, "SO", OpKind::Sort { columns: vec!["PartsuppID".into()] }).unwrap();
+        let di = f.append(so, "DI", OpKind::Distinct).unwrap();
+        let pr = f.append(di, "PR", OpKind::Projection { columns: vec!["PartsuppID".into(), "c".into()] }).unwrap();
+        f.append(pr, "LD", OpKind::Loader { table: "dim".into(), key: vec![] }).unwrap();
+        let parsed = parse(&to_string(&f)).unwrap();
+        for op in f.ops() {
+            assert_eq!(parsed.op_by_name(&op.name).unwrap().kind, op.kind);
+        }
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn union_roundtrips() {
+        let mut f = Flow::new("u");
+        let a = f.add_op("A", OpKind::Datastore { datastore: "t".into(), schema: partsupp_schema() }).unwrap();
+        let b = f.add_op("B", OpKind::Datastore { datastore: "t".into(), schema: partsupp_schema() }).unwrap();
+        let u = f.add_op("U", OpKind::Union).unwrap();
+        f.connect(a, u).unwrap();
+        f.connect(b, u).unwrap();
+        f.append(u, "L", OpKind::Loader { table: "x".into(), key: vec![] }).unwrap();
+        let parsed = parse(&to_string(&f)).unwrap();
+        assert_eq!(parsed.op_by_name("U").unwrap().kind, OpKind::Union);
+    }
+
+    #[test]
+    fn disabled_edges_are_skipped() {
+        let xml = r#"<design><metadata><name>d</name></metadata>
+          <edges>
+            <edge><from>A</from><to>L</to><enabled>N</enabled></edge>
+          </edges>
+          <nodes>
+            <node><name>A</name><type>Distinct</type></node>
+            <node><name>L</name><type>Loader</type><table>t</table></node>
+          </nodes></design>"#;
+        let parsed = parse(xml).unwrap();
+        assert_eq!(parsed.edge_count(), 0);
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(parse("<notdesign/>"), Err(FormatError::Structure(_))));
+        assert!(matches!(parse("<design/>"), Err(FormatError::Structure(_))));
+        let unknown_type = r#"<design><nodes><node><name>X</name><type>Mystery</type></node></nodes></design>"#;
+        assert!(matches!(parse(unknown_type), Err(FormatError::Structure(_))));
+        let bad_edge = r#"<design><edges><edge><from>Ghost</from><to>X</to></edge></edges>
+            <nodes><node><name>X</name><type>Distinct</type></node></nodes></design>"#;
+        assert!(matches!(parse(bad_edge), Err(FormatError::Structure(_))));
+        let bad_expr = r#"<design><nodes><node><name>S</name><type>Selection</type><predicate>a +</predicate></node></nodes></design>"#;
+        assert!(matches!(parse(bad_expr), Err(FormatError::Expr(_))));
+    }
+
+    #[test]
+    fn predicates_roundtrip_through_text() {
+        let pred = parse_expr("a > 1 AND (b = 'x' OR c <= 2.5)").unwrap();
+        let mut f = Flow::new("p");
+        let ds = f
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "t".into(),
+                    schema: Schema::new(vec![
+                        Column::new("a", ColType::Integer),
+                        Column::new("b", ColType::Text),
+                        Column::new("c", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let s = f.append(ds, "S", OpKind::Selection { predicate: pred.clone() }).unwrap();
+        f.append(s, "L", OpKind::Loader { table: "x".into(), key: vec![] }).unwrap();
+        let parsed = parse(&to_string(&f)).unwrap();
+        match &parsed.op_by_name("S").unwrap().kind {
+            OpKind::Selection { predicate } => assert_eq!(*predicate, pred),
+            other => panic!("{other:?}"),
+        }
+        let _ = Expr::Null; // silence unused import lint paths in some cfgs
+    }
+}

@@ -1,0 +1,443 @@
+//! The ETL Process Integrator (paper §2.3, CoAl \[5\]): consolidates each new
+//! partial flow into the unified flow, maximizing the reuse of existing data
+//! and operations.
+//!
+//! Matching walks both DAGs from the sources: a partial operation matches a
+//! unified operation when their *match keys* agree and their inputs matched
+//! pairwise (so the matched region is always a prefix of both flows). Match
+//! keys are semantic signatures — predicates are compared after
+//! normalization, extraction widths are ignored (the unified extraction is
+//! *widened* to the union of the columns both sides need, which downstream
+//! operations tolerate by construction).
+
+use crate::IntegrateError;
+use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
+use quarry_etl::rules;
+use quarry_etl::{Flow, OpId, OpKind};
+use std::collections::BTreeMap;
+
+/// Options controlling the consolidation.
+#[derive(Debug, Clone, Copy)]
+pub struct EtlIntegrationOptions {
+    /// Apply the generic equivalence rules to both flows before matching
+    /// (paper: "aligns the order of ETL operations by applying generic
+    /// equivalence rules"). Disable for the E8 ablation.
+    pub align_with_rules: bool,
+}
+
+impl Default for EtlIntegrationOptions {
+    fn default() -> Self {
+        EtlIntegrationOptions { align_with_rules: true }
+    }
+}
+
+/// What the consolidation did.
+#[derive(Debug, Clone, Default)]
+pub struct EtlIntegrationReport {
+    /// Unified operations reused by the new requirement (matched).
+    pub reused_ops: usize,
+    /// Operations copied from the partial flow.
+    pub added_ops: usize,
+    /// Cost of the consolidated flow under the supplied model.
+    pub cost: f64,
+    /// Matched pairs (partial op name → unified op name).
+    pub matched: Vec<(String, String)>,
+}
+
+/// The result of one ETL integration step.
+#[derive(Debug, Clone)]
+pub struct EtlIntegration {
+    pub flow: Flow,
+    pub report: EtlIntegrationReport,
+}
+
+// Semantic matching uses [`rules::merge_key`]: extraction widths and
+// datastore schemas are deliberately excluded; the integrator widens the
+// surviving extraction to the union of columns.
+
+/// Integrates `partial` into `unified`, returning the consolidated flow.
+pub fn integrate_etl(
+    unified: &Flow,
+    partial: &Flow,
+    cost: &dyn EtlCostModel,
+    stats: &SourceStats,
+    options: EtlIntegrationOptions,
+) -> Result<EtlIntegration, IntegrateError> {
+    let mut out = unified.clone();
+    let mut part = partial.clone();
+    if out.name.is_empty() {
+        out.name = "unified".to_string();
+    }
+    if options.align_with_rules {
+        rules::normalize(&mut out).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+        rules::normalize(&mut part).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+    }
+    // Common-subflow elimination on both sides: redundancy inside either
+    // flow would otherwise alias during matching and duplicate sinks.
+    rules::dedupe(&mut out);
+    rules::dedupe(&mut part);
+
+    let order = part.topo_order().map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+
+    // partial op → op in `out` (matched or copied).
+    let mut image: BTreeMap<OpId, OpId> = BTreeMap::new();
+    let mut matched_pairs: Vec<(String, String)> = Vec::new();
+    let mut added = 0usize;
+
+    for pid in order {
+        let pop = part.op(pid).clone();
+        let p_inputs: Vec<OpId> = part.inputs_of(pid);
+        let p_images: Option<Vec<OpId>> = p_inputs.iter().map(|i| image.get(i).copied()).collect();
+
+        // Loaders merge like any other op (same table, same key, same
+        // upstream): shared dimension pipelines must not double-load their
+        // tables. Several partial ops may collapse onto one unified op —
+        // every operation is deterministic, so identical kind + identical
+        // inputs means identical output.
+        let candidate = p_images.as_ref().and_then(|imgs| {
+            let key = rules::merge_key(&pop.kind);
+            out.ops()
+                .find(|u| {
+                    rules::merge_key(&u.kind) == key
+                        && out.inputs_of(u.id) == *imgs
+                        // Only ops whose entire upstream was matched can be
+                        // reused; guaranteed by input-image equality.
+                        && u.kind.arity() == pop.kind.arity()
+                })
+                .map(|u| u.id)
+        });
+
+        match candidate {
+            Some(uid) => {
+                image.insert(pid, uid);
+                matched_pairs.push((pop.name.clone(), out.op(uid).name.clone()));
+                // Union satisfier sets and widen extractions/datastores.
+                let reqs = pop.satisfies.clone();
+                let uop = out.op_mut(uid);
+                uop.satisfies.extend(reqs);
+                widen(&mut out, uid, &pop.kind);
+            }
+            None => {
+                // Copy the op, keeping names unique.
+                let mut name = pop.name.clone();
+                while out.op_by_name(&name).is_some() {
+                    name.push('\'');
+                }
+                let new_id = out
+                    .add_op(name, pop.kind.clone())
+                    .map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+                out.op_mut(new_id).satisfies = pop.satisfies.clone();
+                if let Some(imgs) = p_images {
+                    for input in imgs {
+                        out.connect(input, new_id).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+                    }
+                }
+                image.insert(pid, new_id);
+                added += 1;
+            }
+        }
+    }
+
+    out.validate().map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    let total_cost =
+        cost.cost(&out, stats).map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    Ok(EtlIntegration {
+        flow: out,
+        report: EtlIntegrationReport {
+            reused_ops: matched_pairs.len(),
+            added_ops: added,
+            cost: total_cost,
+            matched: matched_pairs,
+        },
+    })
+}
+
+/// Widens a matched unified operation to additionally cover the partial
+/// op's needs (see [`rules::widen_into`]).
+fn widen(out: &mut Flow, uid: OpId, partial_kind: &OpKind) {
+    let uop = out.op_mut(uid);
+    rules::widen_into(&mut uop.kind, partial_kind);
+}
+
+/// Convenience: integrate with the paper's default ETL quality factor
+/// (estimated overall execution time).
+pub fn integrate_etl_default(
+    unified: &Flow,
+    partial: &Flow,
+    stats: &SourceStats,
+) -> Result<EtlIntegration, IntegrateError> {
+    integrate_etl(unified, partial, &EstimatedTime::new(), stats, EtlIntegrationOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::{parse_expr, AggSpec, ColType, Column, JoinKind, Schema};
+
+    fn li_schema(cols: &[(&str, ColType)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+    }
+
+    /// lineitem → filter → aggregate → load, parameterized.
+    fn pipeline(name: &str, filter: &str, measure: &str, out_table: &str, req: &str) -> Flow {
+        let mut f = Flow::new(name);
+        let d = f
+            .add_op(
+                "DATASTORE_Lineitem",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: li_schema(&[
+                        ("l_orderkey", ColType::Integer),
+                        ("l_extendedprice", ColType::Decimal),
+                        ("l_discount", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let e = f
+            .append(d, "EXTRACTION_Lineitem", OpKind::Extraction {
+                columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
+            })
+            .unwrap();
+        let s = f.append(e, "SEL", OpKind::Selection { predicate: parse_expr(filter).unwrap() }).unwrap();
+        let a = f
+            .append(
+                s,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr(measure).unwrap(), "m")],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: out_table.into(), key: vec![] }).unwrap();
+        f.stamp_requirement(req);
+        f
+    }
+
+    fn stats() -> SourceStats {
+        SourceStats::new().with_table("lineitem", 60_000.0)
+    }
+
+    #[test]
+    fn identical_pipelines_share_everything_but_the_loader() {
+        let a = pipeline("u", "l_discount > 0.05", "l_extendedprice", "t1", "IR1");
+        let b = pipeline("p", "l_discount > 0.05", "l_extendedprice", "t2", "IR2");
+        let r = integrate_etl_default(&a, &b, &stats()).unwrap();
+        assert_eq!(r.report.reused_ops, 4, "{:?}", r.report.matched);
+        assert_eq!(r.report.added_ops, 1, "only the loader is new");
+        assert_eq!(r.flow.op_count(), a.op_count() + 1);
+        // The shared ops now serve both requirements.
+        let agg = r.flow.op_by_name("AGG").unwrap();
+        assert!(agg.satisfies.contains("IR1") && agg.satisfies.contains("IR2"));
+    }
+
+    #[test]
+    fn divergence_forks_at_the_right_point() {
+        let a = pipeline("u", "l_discount > 0.05", "l_extendedprice", "t1", "IR1");
+        let b = pipeline("p", "l_discount > 0.05", "l_extendedprice * (1 - l_discount)", "t2", "IR2");
+        let r = integrate_etl_default(&a, &b, &stats()).unwrap();
+        // Shared: datastore, extraction, selection. Fork: aggregation, loader.
+        assert_eq!(r.report.reused_ops, 3, "{:?}", r.report.matched);
+        assert_eq!(r.report.added_ops, 2);
+        r.flow.validate().unwrap();
+        assert!(r.flow.op_by_name("AGG'").is_some(), "copied op renamed");
+    }
+
+    #[test]
+    fn different_filters_limit_the_shared_prefix() {
+        let a = pipeline("u", "l_discount > 0.05", "l_extendedprice", "t1", "IR1");
+        let b = pipeline("p", "l_discount > 0.08", "l_extendedprice", "t2", "IR2");
+        // With rule alignment, selections sit right above the datastore in
+        // canonical form, so only the scan itself is shared…
+        let aligned = integrate_etl_default(&a, &b, &stats()).unwrap();
+        assert_eq!(aligned.report.reused_ops, 1, "{:?}", aligned.report.matched);
+        // …without alignment the authored order keeps the extraction shared
+        // too, and the flows fork at the differing filters.
+        let raw = integrate_etl(&a, &b, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        assert_eq!(raw.report.reused_ops, 2, "{:?}", raw.report.matched);
+        aligned.flow.validate().unwrap();
+        raw.flow.validate().unwrap();
+    }
+
+    #[test]
+    fn extraction_widening_merges_different_column_needs() {
+        let mut a = Flow::new("u");
+        let d = a
+            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_orderkey", ColType::Integer)]) })
+            .unwrap();
+        let e = a.append(d, "EX", OpKind::Extraction { columns: vec!["l_orderkey".into()] }).unwrap();
+        a.append(e, "LOAD", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
+        a.stamp_requirement("IR1");
+
+        let mut b = Flow::new("p");
+        let d = b
+            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_discount", ColType::Decimal)]) })
+            .unwrap();
+        let e = b.append(d, "EX", OpKind::Extraction { columns: vec!["l_discount".into()] }).unwrap();
+        b.append(e, "LOAD", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
+        b.stamp_requirement("IR2");
+
+        let r = integrate_etl_default(&a, &b, &stats()).unwrap();
+        assert_eq!(r.report.reused_ops, 2);
+        match &r.flow.op_by_name("EX").unwrap().kind {
+            OpKind::Extraction { columns } => {
+                assert!(columns.contains(&"l_orderkey".to_string()) && columns.contains(&"l_discount".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &r.flow.op_by_name("DS").unwrap().kind {
+            OpKind::Datastore { schema, .. } => assert!(schema.has("l_discount") && schema.has("l_orderkey")),
+            other => panic!("{other:?}"),
+        }
+        r.flow.validate().unwrap();
+    }
+
+    #[test]
+    fn rule_alignment_finds_reordered_overlap() {
+        // Unified was authored filter-then-project; the new flow
+        // project-then-filter. With rules the orders align and everything
+        // matches; without, the flows only share the source.
+        let build = |project_first: bool, table: &str, req: &str| {
+            let mut f = Flow::new("f");
+            let d = f
+                .add_op(
+                    "DS",
+                    OpKind::Datastore {
+                        datastore: "lineitem".into(),
+                        schema: li_schema(&[
+                            ("l_orderkey", ColType::Integer),
+                            ("l_extendedprice", ColType::Decimal),
+                            ("l_discount", ColType::Decimal),
+                        ]),
+                    },
+                )
+                .unwrap();
+            let e = f
+                .append(d, "EX", OpKind::Extraction {
+                    columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
+                })
+                .unwrap();
+            let (top, bottom): (OpKind, OpKind) = (
+                OpKind::Projection { columns: vec!["l_orderkey".into(), "l_discount".into()] },
+                OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() },
+            );
+            let mid = if project_first {
+                let p = f.append(e, "P", top.clone()).unwrap();
+                f.append(p, "S", bottom.clone()).unwrap()
+            } else {
+                let s = f.append(e, "S", bottom).unwrap();
+                f.append(s, "P", top).unwrap()
+            };
+            f.append(mid, "LOAD", OpKind::Loader { table: table.into(), key: vec![] }).unwrap();
+            f.stamp_requirement(req);
+            f
+        };
+        let unified = build(true, "t1", "IR1");
+        let partial = build(false, "t2", "IR2");
+
+        let aligned = integrate_etl(&unified, &partial, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: true }).unwrap();
+        let unaligned = integrate_etl(&unified, &partial, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        assert!(
+            aligned.report.reused_ops > unaligned.report.reused_ops,
+            "rules must expose reordered overlap: {} vs {}",
+            aligned.report.reused_ops,
+            unaligned.report.reused_ops
+        );
+        assert!(aligned.report.cost <= unaligned.report.cost);
+        aligned.flow.validate().unwrap();
+        unaligned.flow.validate().unwrap();
+    }
+
+    #[test]
+    fn joins_match_only_with_matching_branches() {
+        let build = |orders_table: &str, req: &str, filter: Option<&str>| {
+            let mut f = Flow::new("f");
+            let l = f
+                .add_op(
+                    "L",
+                    OpKind::Datastore {
+                        datastore: "lineitem".into(),
+                        schema: li_schema(&[("l_orderkey", ColType::Integer), ("l_extendedprice", ColType::Decimal)]),
+                    },
+                )
+                .unwrap();
+            let o = f
+                .add_op(
+                    "O",
+                    OpKind::Datastore {
+                        datastore: orders_table.into(),
+                        schema: li_schema(&[("o_orderkey", ColType::Integer), ("o_totalprice", ColType::Decimal)]),
+                    },
+                )
+                .unwrap();
+            let mut right = o;
+            if let Some(pred) = filter {
+                right = f.append(o, "OF", OpKind::Selection { predicate: parse_expr(pred).unwrap() }).unwrap();
+            }
+            let j = f
+                .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+                .unwrap();
+            f.connect(l, j).unwrap();
+            f.connect(right, j).unwrap();
+            f.append(j, "LOAD", OpKind::Loader { table: format!("t_{req}"), key: vec![] }).unwrap();
+            f.stamp_requirement(req);
+            f
+        };
+        // Same branches → join reused.
+        let a = build("orders", "IR1", None);
+        let b = build("orders", "IR2", None);
+        let r = integrate_etl_default(&a, &b, &stats()).unwrap();
+        assert!(r.report.matched.iter().any(|(p, _)| p == "J"), "{:?}", r.report.matched);
+
+        // A filtered right branch → the join must NOT be reused.
+        let c = build("orders", "IR3", Some("o_totalprice > 10"));
+        let r2 = integrate_etl_default(&a, &c, &stats()).unwrap();
+        assert!(!r2.report.matched.iter().any(|(p, _)| p == "J"), "{:?}", r2.report.matched);
+        r2.flow.validate().unwrap();
+    }
+
+    #[test]
+    fn integrating_into_an_empty_flow_copies_everything() {
+        let empty = Flow::new("unified");
+        let p = pipeline("p", "l_discount > 0.01", "l_extendedprice", "t", "IR1");
+        let r = integrate_etl_default(&empty, &p, &stats()).unwrap();
+        assert_eq!(r.report.reused_ops, 0);
+        assert_eq!(r.report.added_ops, p.op_count());
+        r.flow.validate().unwrap();
+    }
+
+    #[test]
+    fn consolidated_cost_is_below_sum_of_parts() {
+        let a = pipeline("u", "l_discount > 0.05", "l_extendedprice", "t1", "IR1");
+        let b = pipeline("p", "l_discount > 0.05", "l_extendedprice * 2", "t2", "IR2");
+        let model = EstimatedTime::new();
+        let r = integrate_etl(&a, &b, &model, &stats(), EtlIntegrationOptions::default()).unwrap();
+        let sum = model.cost(&a, &stats()).unwrap() + model.cost(&b, &stats()).unwrap();
+        assert!(r.report.cost < sum, "consolidation saves work: {} vs {}", r.report.cost, sum);
+    }
+
+    #[test]
+    fn identical_redundant_ops_collapse_onto_one_unified_op() {
+        // A partial with two identical selections feeding different loaders:
+        // both collapse onto one unified selection (deterministic ops with
+        // identical inputs compute identical outputs) and both loaders hang
+        // off it.
+        let mut p = Flow::new("p");
+        let d = p
+            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_discount", ColType::Decimal)]) })
+            .unwrap();
+        let s1 = p.append(d, "S1", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+        let s2 = p.append(d, "S2", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+        p.append(s1, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
+        p.append(s2, "LOAD2", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
+        p.stamp_requirement("IR1");
+        let r = integrate_etl(&p.clone(), &p, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        r.flow.validate().unwrap();
+        let selections = r.flow.ops().filter(|o| matches!(o.kind, OpKind::Selection { .. })).count();
+        assert_eq!(selections, 1, "redundant selections collapse during common-subflow elimination");
+        assert_eq!(r.report.added_ops, 0, "{:?}", r.report.matched);
+        // Both loaders survive (different tables).
+        assert_eq!(r.flow.sinks().len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! The Design Integrator (paper §2.3): incremental consolidation of partial
+//! MD schema and ETL process designs into unified design solutions that
+//! satisfy every requirement met so far.
+//!
+//! Two modules mirror the paper's two sub-components:
+//!
+//! - [`md`] — the **MD Schema Integrator**: four stages (matching facts,
+//!   matching dimensions, complementing the design, integration), exploring
+//!   design alternatives and picking the one minimizing a pluggable cost
+//!   model (structural design complexity by default);
+//! - [`etl`] — the **ETL Process Integrator**: finds the largest overlap of
+//!   data and operations between the unified flow and each new partial flow,
+//!   aligning operation order with the generic equivalence rules, and
+//!   consolidates with maximal reuse under a configurable ETL cost model.
+//!
+//! Both integrators preserve requirement traceability: merged elements carry
+//! the union of the satisfier sets, so later retraction prunes exactly the
+//! right sub-designs.
+
+#![forbid(unsafe_code)]
+
+pub mod etl;
+pub mod md;
+
+use std::fmt;
+
+/// Integration failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateError {
+    /// The integrated MD schema failed validation (with the violations).
+    InvalidResult(Vec<String>),
+    /// The partial design is malformed (e.g. cyclic flow).
+    MalformedPartial(String),
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::InvalidResult(violations) => {
+                write!(f, "integration produced an invalid design: {}", violations.join("; "))
+            }
+            IntegrateError::MalformedPartial(d) => write!(f, "partial design is malformed: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}

@@ -1,0 +1,499 @@
+//! The MD Schema Integrator: matching facts, matching dimensions,
+//! complementing the MD schema design, and integration (paper §2.3, \[6\]).
+
+use crate::IntegrateError;
+use quarry_md::{CostModel, Dimension, Fact, MdSchema, StructuralComplexity};
+
+/// A decided match between a partial element and a unified element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdMatch {
+    /// Partial fact merged into an existing fact.
+    Fact { partial: String, unified: String },
+    /// Partial dimension merged into an existing dimension.
+    Dimension { partial: String, unified: String },
+}
+
+/// What the integration did; returned next to the schema so callers (and the
+/// demo UI) can narrate the decision.
+#[derive(Debug, Clone, Default)]
+pub struct MdIntegrationReport {
+    pub matches: Vec<MdMatch>,
+    pub new_facts: Vec<String>,
+    pub new_dimensions: Vec<String>,
+    /// Levels added to existing dimensions while complementing.
+    pub added_levels: Vec<(String, String)>,
+    /// Measures added to existing facts.
+    pub added_measures: Vec<(String, String)>,
+    /// Cost-model alternatives evaluated during integration.
+    pub alternatives_considered: usize,
+    /// Cost of the chosen solution under the supplied model.
+    pub cost: f64,
+}
+
+/// The result of one MD integration step.
+#[derive(Debug, Clone)]
+pub struct MdIntegration {
+    pub schema: MdSchema,
+    pub report: MdIntegrationReport,
+}
+
+/// A candidate pairing discovered by the matching stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Merge,
+    KeepSeparate,
+}
+
+/// Integrates a partial MD schema (one requirement's design) into the
+/// unified schema, exploring merge/keep alternatives and choosing the
+/// combination that minimizes `cost`.
+pub fn integrate_md(
+    unified: &MdSchema,
+    partial: &MdSchema,
+    cost: &dyn CostModel,
+) -> Result<MdIntegration, IntegrateError> {
+    // Stage 1: matching facts — same grain concept (or same name).
+    let fact_pairs: Vec<(String, String)> = partial
+        .facts
+        .iter()
+        .filter_map(|pf| {
+            unified
+                .facts
+                .iter()
+                .find(|uf| uf.name == pf.name || (uf.concept.is_some() && uf.concept == pf.concept))
+                .map(|uf| (pf.name.clone(), uf.name.clone()))
+        })
+        .collect();
+
+    // Stage 2: matching dimensions — same name, or same atomic concept.
+    let dim_pairs: Vec<(String, String)> = partial
+        .dimensions
+        .iter()
+        .filter_map(|pd| {
+            let p_concept = pd.level(&pd.atomic).and_then(|l| l.concept.clone());
+            unified
+                .dimensions
+                .iter()
+                .find(|ud| {
+                    ud.name == pd.name
+                        || (p_concept.is_some() && ud.level(&ud.atomic).and_then(|l| l.concept.clone()) == p_concept)
+                })
+                .map(|ud| (pd.name.clone(), ud.name.clone()))
+        })
+        .collect();
+
+    // Stage 3: complementing — enumerate merge/keep alternatives for every
+    // discovered pairing and score full candidate schemas. Dimensions a
+    // matched fact references must merge together with the fact, so the
+    // exploration space is per-pair binary; enumerate exhaustively up to a
+    // budget, then fall back to greedy.
+    let pairs: Vec<MdMatch> = fact_pairs
+        .iter()
+        .map(|(p, u)| MdMatch::Fact { partial: p.clone(), unified: u.clone() })
+        .chain(dim_pairs.iter().map(|(p, u)| MdMatch::Dimension { partial: p.clone(), unified: u.clone() }))
+        .collect();
+
+    let k = pairs.len();
+    let mut best: Option<(f64, Vec<Choice>, MdSchema)> = None;
+    let mut considered = 0usize;
+    let evaluate = |choices: &[Choice], best: &mut Option<(f64, Vec<Choice>, MdSchema)>, considered: &mut usize| {
+        let candidate = apply(unified, partial, &pairs, choices);
+        if !candidate.validate().iter().any(|v| v.kind.is_error()) {
+            let c = cost.cost(&candidate);
+            *considered += 1;
+            let better = best.as_ref().is_none_or(|(bc, _, _)| c < *bc);
+            if better {
+                *best = Some((c, choices.to_vec(), candidate));
+            }
+        }
+    };
+
+    if k <= 6 {
+        for mask in 0..(1usize << k) {
+            let choices: Vec<Choice> =
+                (0..k).map(|i| if mask & (1 << i) != 0 { Choice::Merge } else { Choice::KeepSeparate }).collect();
+            evaluate(&choices, &mut best, &mut considered);
+        }
+    } else {
+        // Greedy: start all-merge, flip each pair if it improves.
+        let mut choices = vec![Choice::Merge; k];
+        evaluate(&choices, &mut best, &mut considered);
+        for i in 0..k {
+            let mut flipped = choices.clone();
+            flipped[i] = Choice::KeepSeparate;
+            let before = best.as_ref().map(|(c, _, _)| *c);
+            evaluate(&flipped, &mut best, &mut considered);
+            if best.as_ref().map(|(c, _, _)| *c) != before {
+                choices = flipped;
+            }
+        }
+    }
+
+    let (chosen_cost, choices, schema) = best.ok_or_else(|| {
+        IntegrateError::InvalidResult(
+            apply(unified, partial, &pairs, &vec![Choice::Merge; k])
+                .validate()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        )
+    })?;
+
+    // Stage 4 bookkeeping: the report.
+    let mut report = MdIntegrationReport { alternatives_considered: considered, cost: chosen_cost, ..Default::default() };
+    for (pair, choice) in pairs.iter().zip(&choices) {
+        if *choice == Choice::Merge {
+            report.matches.push(pair.clone());
+        }
+    }
+    for pf in &partial.facts {
+        let merged = report
+            .matches
+            .iter()
+            .any(|m| matches!(m, MdMatch::Fact { partial, .. } if *partial == pf.name));
+        if merged {
+            for m in &pf.measures {
+                report.added_measures.push((pf.name.clone(), m.name.clone()));
+            }
+        } else {
+            report.new_facts.push(pf.name.clone());
+        }
+    }
+    for pd in &partial.dimensions {
+        let merged = report
+            .matches
+            .iter()
+            .any(|m| matches!(m, MdMatch::Dimension { partial, .. } if *partial == pd.name));
+        if merged {
+            for l in &pd.levels {
+                report.added_levels.push((pd.name.clone(), l.name.clone()));
+            }
+        } else {
+            report.new_dimensions.push(pd.name.clone());
+        }
+    }
+
+    Ok(MdIntegration { schema, report })
+}
+
+/// Applies one merge/keep decision vector, producing a candidate schema.
+fn apply(unified: &MdSchema, partial: &MdSchema, pairs: &[MdMatch], choices: &[Choice]) -> MdSchema {
+    let mut out = unified.clone();
+    out.name = if unified.name.is_empty() { "unified".to_string() } else { unified.name.clone() };
+
+    let mut fact_targets: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    let mut dim_targets: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for (pair, choice) in pairs.iter().zip(choices) {
+        if *choice != Choice::Merge {
+            continue;
+        }
+        match pair {
+            MdMatch::Fact { partial, unified } => {
+                fact_targets.insert(partial.clone(), unified.clone());
+            }
+            MdMatch::Dimension { partial, unified } => {
+                dim_targets.insert(partial.clone(), unified.clone());
+            }
+        }
+    }
+
+
+    // Dimensions first (facts reference them). Collect level renames so
+    // fact links can follow merged levels.
+    let mut level_renames: std::collections::BTreeMap<(String, String), String> = std::collections::BTreeMap::new();
+    for pd in &partial.dimensions {
+        match dim_targets.get(&pd.name) {
+            Some(target) => {
+                let target = target.to_string();
+                let ud = out.dimension_mut(&target).expect("pair targets exist in the unified schema");
+                for (from, to) in merge_dimension(ud, pd) {
+                    level_renames.insert((target.clone(), from), to);
+                }
+            }
+            None => {
+                let mut d = pd.clone();
+                // Keep names unique when kept separate next to a same-named
+                // unified dimension.
+                while out.dimension(&d.name).is_some() {
+                    d.name.push('\'');
+                }
+                out.dimensions.push(d);
+            }
+        }
+    }
+
+    for pf in &partial.facts {
+        match fact_targets.get(&pf.name) {
+            Some(target) => {
+                let target = target.to_string();
+                let uf = out.fact_mut(&target).expect("pair targets exist in the unified schema");
+                merge_fact(uf, pf, &dim_targets, &level_renames);
+            }
+            None => {
+                let mut f = pf.clone();
+                while out.fact(&f.name).is_some() {
+                    f.name.push('\'');
+                }
+                // Rewire links to merged dimensions and renamed levels.
+                for link in &mut f.dimensions {
+                    if let Some(target) = dim_targets.get(&link.dimension) {
+                        link.dimension = target.clone();
+                    }
+                    if let Some(level) = level_renames.get(&(link.dimension.clone(), link.level.clone())) {
+                        link.level = level.clone();
+                    }
+                }
+                out.facts.push(f);
+            }
+        }
+    }
+    out
+}
+
+/// Merges a partial dimension into a unified one: union of levels (matched
+/// by name or by ontology concept), attributes (by name), roll-ups (with
+/// endpoints rewritten through level matches), satisfier sets. Returns the
+/// level renames (partial level name → unified level name) so fact links can
+/// be rewired.
+fn merge_dimension(unified: &mut Dimension, partial: &Dimension) -> std::collections::BTreeMap<String, String> {
+    let mut renames = std::collections::BTreeMap::new();
+    unified.satisfies.extend(partial.satisfies.iter().cloned());
+    unified.temporal |= partial.temporal;
+    for pl in &partial.levels {
+        let target = unified
+            .levels
+            .iter()
+            .find(|ul| ul.name == pl.name || (pl.concept.is_some() && ul.concept == pl.concept))
+            .map(|ul| ul.name.clone());
+        match target {
+            Some(t) => {
+                if t != pl.name {
+                    renames.insert(pl.name.clone(), t.clone());
+                }
+                let ul = unified.level_mut(&t).expect("target found above");
+                ul.satisfies.extend(pl.satisfies.iter().cloned());
+                for pa in &pl.attributes {
+                    match ul.attributes.iter_mut().find(|a| a.name == pa.name) {
+                        Some(ua) => ua.satisfies.extend(pa.satisfies.iter().cloned()),
+                        None => ul.attributes.push(pa.clone()),
+                    }
+                }
+            }
+            None => unified.levels.push(pl.clone()),
+        }
+    }
+    for pr in &partial.rollups {
+        let child = renames.get(&pr.child).unwrap_or(&pr.child).clone();
+        let parent = renames.get(&pr.parent).unwrap_or(&pr.parent).clone();
+        if !unified.rollups.iter().any(|r| r.child == child && r.parent == parent) {
+            let mut rollup = pr.clone();
+            rollup.child = child;
+            rollup.parent = parent;
+            unified.rollups.push(rollup);
+        }
+    }
+    renames
+}
+
+/// Merges a partial fact into a unified one.
+fn merge_fact(
+    unified: &mut Fact,
+    partial: &Fact,
+    dim_targets: &std::collections::BTreeMap<String, String>,
+    level_renames: &std::collections::BTreeMap<(String, String), String>,
+) {
+    unified.satisfies.extend(partial.satisfies.iter().cloned());
+    for pm in &partial.measures {
+        match unified.measures.iter_mut().find(|m| m.name == pm.name) {
+            Some(um) if um.expression == pm.expression => {
+                um.satisfies.extend(pm.satisfies.iter().cloned());
+            }
+            Some(_) => {
+                // Same name, different derivation: keep both, disambiguated.
+                let mut renamed = pm.clone();
+                while unified.measures.iter().any(|m| m.name == renamed.name) {
+                    renamed.name.push('\'');
+                }
+                unified.measures.push(renamed);
+            }
+            None => unified.measures.push(pm.clone()),
+        }
+    }
+    for pl in &partial.dimensions {
+        let dim_name = dim_targets.get(&pl.dimension).unwrap_or(&pl.dimension).to_string();
+        let level = level_renames.get(&(dim_name.clone(), pl.level.clone())).unwrap_or(&pl.level).to_string();
+        match unified.dimensions.iter_mut().find(|d| d.dimension == dim_name) {
+            Some(ud) => ud.satisfies.extend(pl.satisfies.iter().cloned()),
+            None => {
+                let mut link = pl.clone();
+                link.dimension = dim_name;
+                link.level = level;
+                unified.dimensions.push(link);
+            }
+        }
+    }
+}
+
+/// Convenience: integrate with the paper's default quality factor.
+pub fn integrate_md_default(unified: &MdSchema, partial: &MdSchema) -> Result<MdIntegration, IntegrateError> {
+    integrate_md(unified, partial, &StructuralComplexity::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_md::{Attribute, DimLink, Level, MdDataType, Measure, OpCountComplexity};
+
+    fn dim(name: &str, concept: &str, attrs: &[&str]) -> Dimension {
+        let mut atomic = Level::new(name, format!("{name}ID"), MdDataType::Integer).with_concept(concept);
+        for a in attrs {
+            atomic.attributes.push(Attribute::new(*a, MdDataType::Text));
+        }
+        Dimension::new(name, atomic)
+    }
+
+    fn schema(req: &str, fact: &str, concept: &str, measure: &str, dims: &[(&str, &str, &[&str])]) -> MdSchema {
+        let mut s = MdSchema::new(format!("partial_{req}"));
+        for (name, c, attrs) in dims {
+            s.dimensions.push(dim(name, c, attrs));
+        }
+        let mut f = Fact::new(fact);
+        f.concept = Some(concept.to_string());
+        f.measures.push(Measure::new(measure, format!("expr_{measure}")));
+        for (name, _, _) in dims {
+            f.dimensions.push(DimLink::new(*name, *name));
+        }
+        s.facts.push(f);
+        s.stamp_requirement(req);
+        s
+    }
+
+    #[test]
+    fn disjoint_schemas_concatenate() {
+        let a = schema("IR1", "fact_table_revenue", "Lineitem", "revenue", &[("Part", "Part", &["p_name"])]);
+        let b = schema("IR2", "fact_table_stock", "Inventory", "stock", &[("Depot", "Depot", &["d_name"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert_eq!(r.schema.facts.len(), 2);
+        assert_eq!(r.schema.dimensions.len(), 2);
+        assert_eq!(r.report.new_facts, ["fact_table_stock"]);
+        assert_eq!(r.report.new_dimensions, ["Depot"]);
+        assert!(r.report.matches.is_empty());
+    }
+
+    #[test]
+    fn same_grain_facts_merge_and_union_measures() {
+        let a = schema("IR1", "fact_table_revenue", "Lineitem", "revenue", &[("Part", "Part", &["p_name"])]);
+        let b = schema("IR2", "fact_table_quantity", "Lineitem", "quantity", &[("Part", "Part", &["p_brand"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert_eq!(r.schema.facts.len(), 1, "same grain merges under structural complexity");
+        let f = &r.schema.facts[0];
+        assert_eq!(f.measures.len(), 2);
+        assert!(f.satisfies.contains("IR1") && f.satisfies.contains("IR2"));
+        // Dimension merged too; attributes unioned.
+        assert_eq!(r.schema.dimensions.len(), 1);
+        let d = r.schema.dimension("Part").unwrap();
+        assert!(d.levels[0].attribute("p_name").is_some() && d.levels[0].attribute("p_brand").is_some());
+    }
+
+    #[test]
+    fn conformed_dimension_is_shared_across_facts() {
+        let a = schema("IR1", "fact_table_revenue", "Lineitem", "revenue", &[("Part", "Part", &["p_name"])]);
+        let b = schema("IR2", "fact_table_netprofit", "Partsupp", "netprofit", &[("Part", "Part", &["p_name"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert_eq!(r.schema.facts.len(), 2, "different grains stay separate facts");
+        assert_eq!(r.schema.dimensions.len(), 1, "Part is conformed");
+        assert!(r.schema.facts.iter().all(|f| f.links_dimension("Part")));
+        let d = r.schema.dimension("Part").unwrap();
+        assert!(d.satisfies.contains("IR1") && d.satisfies.contains("IR2"));
+    }
+
+    #[test]
+    fn dimension_matching_by_concept_handles_renames() {
+        let a = schema("IR1", "f1", "Lineitem", "m1", &[("Product", "Part", &["p_name"])]);
+        let b = schema("IR2", "f2", "Orders", "m2", &[("Part", "Part", &["p_brand"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert_eq!(r.schema.dimensions.len(), 1, "same atomic concept merges despite names");
+        assert_eq!(r.schema.dimensions[0].name, "Product", "unified name wins");
+        // The new fact's link is rewired to the unified dimension.
+        assert!(r.schema.fact("f2").unwrap().links_dimension("Product"));
+    }
+
+    #[test]
+    fn merged_hierarchies_union_levels_and_rollups() {
+        let mut a = schema("IR1", "f1", "Lineitem", "m1", &[("Customer", "Customer", &["c_name"])]);
+        let mut b = schema("IR2", "f2", "Lineitem", "m2", &[("Customer", "Customer", &[])]);
+        b.dimension_mut("Customer")
+            .unwrap()
+            .add_level_above("Customer", Level::new("Nation", "n_nationkey", MdDataType::Integer).with_concept("Nation"));
+        b.stamp_requirement("IR2"); // restamp the added level
+        let r = integrate_md_default(&a, &b).unwrap();
+        let d = r.schema.dimension("Customer").unwrap();
+        assert!(d.level("Nation").is_some());
+        assert_eq!(d.rollups.len(), 1);
+        assert!(r.schema.is_sound());
+        a.facts.clear(); // silence unused-mut lints in some toolchains
+        let _ = a;
+    }
+
+    #[test]
+    fn measure_name_clash_with_different_expression_is_disambiguated() {
+        let a = schema("IR1", "f", "Lineitem", "amount", &[("Part", "Part", &[])]);
+        let mut b = schema("IR2", "f", "Lineitem", "amount", &[("Part", "Part", &[])]);
+        b.facts[0].measures[0].expression = "a_different_expression".into();
+        let r = integrate_md_default(&a, &b).unwrap();
+        let f = &r.schema.facts[0];
+        assert_eq!(f.measures.len(), 2);
+        assert!(f.measures.iter().any(|m| m.name == "amount'"));
+    }
+
+    #[test]
+    fn identical_requirement_is_idempotent() {
+        let a = schema("IR1", "f", "Lineitem", "m", &[("Part", "Part", &["p_name"])]);
+        let b = schema("IR1", "f", "Lineitem", "m", &[("Part", "Part", &["p_name"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert_eq!(r.schema.size(), a.size(), "re-integrating the same design adds nothing");
+    }
+
+    #[test]
+    fn integration_into_empty_unified_schema() {
+        let empty = MdSchema::new("unified");
+        let b = schema("IR1", "f", "Lineitem", "m", &[("Part", "Part", &[])]);
+        let r = integrate_md_default(&empty, &b).unwrap();
+        assert_eq!(r.schema.facts.len(), 1);
+        assert_eq!(r.report.new_facts, ["f"]);
+    }
+
+    #[test]
+    fn cost_model_decides_merge_vs_separate() {
+        // Under structural complexity, merging wins; under a degenerate
+        // model preferring many elements, both alternatives are evaluated
+        // and reported.
+        let a = schema("IR1", "fa", "Lineitem", "m1", &[("Part", "Part", &[])]);
+        let b = schema("IR2", "fb", "Lineitem", "m2", &[("Part", "Part", &[])]);
+        let merged = integrate_md_default(&a, &b).unwrap();
+        assert!(merged.report.alternatives_considered >= 4);
+        assert_eq!(merged.schema.facts.len(), 1);
+
+        struct Antimodel;
+        impl CostModel for Antimodel {
+            fn name(&self) -> &str {
+                "anti"
+            }
+            fn cost(&self, s: &MdSchema) -> f64 {
+                -(OpCountComplexity.cost(s))
+            }
+        }
+        let separate = integrate_md(&a, &b, &Antimodel).unwrap();
+        assert_eq!(separate.schema.facts.len(), 2, "the cost model drives the decision");
+    }
+
+    #[test]
+    fn report_lists_added_measures_and_levels() {
+        let a = schema("IR1", "f", "Lineitem", "m1", &[("Part", "Part", &["p_name"])]);
+        let b = schema("IR2", "f", "Lineitem", "m2", &[("Part", "Part", &["p_brand"])]);
+        let r = integrate_md_default(&a, &b).unwrap();
+        assert!(r.report.added_measures.contains(&("f".into(), "m2".into())));
+        assert!(r.report.added_levels.iter().any(|(d, _)| d == "Part"));
+        assert!(r.report.cost > 0.0);
+    }
+}

@@ -1,0 +1,624 @@
+//! Partial ETL flow generation (step 4 of the interpreter).
+//!
+//! The generated flow follows the paper's operation vocabulary: a
+//! `DATASTORE_x → EXTRACTION_x` pair per touched datastore, `JOIN` ops along
+//! the ontology associations, `SELECTION`s for slicers, derivations for
+//! measures and keys, one aggregation to the fact grain, and a loader per
+//! target table (the fact table plus one dimension table per root).
+
+use crate::{Analysis, Interpreter, InterpretError};
+use quarry_etl::{AggSpec, BinOp, ColType, Column, Expr, Flow, JoinKind, OpId, OpKind, Schema};
+use quarry_md::naming;
+use quarry_ontology::mappings::JoinMapping;
+use quarry_ontology::{ConceptId, DataType, PropertyId};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn col_type(dt: DataType) -> ColType {
+    match dt {
+        DataType::String => ColType::Text,
+        DataType::Integer => ColType::Integer,
+        DataType::Decimal => ColType::Decimal,
+        DataType::Date => ColType::Date,
+        DataType::Boolean => ColType::Boolean,
+    }
+}
+
+/// Column needs of one pipeline, per concept.
+#[derive(Default)]
+struct Needs {
+    columns: BTreeMap<ConceptId, BTreeSet<String>>,
+}
+
+impl Needs {
+    fn add(&mut self, concept: ConceptId, column: impl Into<String>) {
+        self.columns.entry(concept).or_default().insert(column.into());
+    }
+}
+
+pub(crate) fn generate_etl(interp: &Interpreter<'_>, a: &Analysis<'_>) -> Result<Flow, InterpretError> {
+    let mut flow = Flow::new(format!("etl_{}", a.req.id));
+    build_fact_pipeline(interp, a, &mut flow)?;
+    for &root in &a.roots {
+        build_dimension_pipeline(interp, a, root, &mut flow)?;
+    }
+    for &p in &a.time_props {
+        build_time_dimension_pipeline(interp, p, &mut flow)?;
+    }
+    Ok(flow)
+}
+
+/// The pipeline of a derived time dimension: distinct dates from the owning
+/// concept's datastore, integer date keys, month/year derivations, loader.
+fn build_time_dimension_pipeline(
+    interp: &Interpreter<'_>,
+    prop: PropertyId,
+    flow: &mut Flow,
+) -> Result<(), InterpretError> {
+    let def = interp.onto.property_def(prop);
+    let concept = def.concept;
+    let dim_name = format!("Time_{}", def.name);
+    let tag = format!("DIM_{dim_name}_");
+    let col = interp.source_column(prop)?;
+    let needed: BTreeSet<String> = BTreeSet::from([col.clone()]);
+    let source = emit_source(interp, flow, &tag, concept, &needed)?;
+    let distinct = flow
+        .append(source, format!("DISTINCT_{tag}{}", def.name), OpKind::Distinct)
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    let mut current = distinct;
+    let derivations: [(String, String); 4] = [
+        (naming::dim_key(&dim_name), format!("YEAR({col}) * 10000 + MONTH({col}) * 100 + DAY({col})")),
+        ("month_key".to_string(), format!("YEAR({col}) * 100 + MONTH({col})")),
+        ("month".to_string(), format!("MONTH({col})")),
+        ("year".to_string(), format!("YEAR({col})")),
+    ];
+    for (i, (column, expr_text)) in derivations.into_iter().enumerate() {
+        let expr = quarry_etl::parse_expr(&expr_text).expect("generated expression is valid");
+        current = flow
+            .append(current, format!("DERIVE_{tag}{i}"), OpKind::Derivation { column, expr })
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    }
+    let columns = vec![naming::dim_key(&dim_name), col, "month_key".into(), "month".into(), "year".into()];
+    let projected = flow
+        .append(current, format!("PROJECT_{tag}{dim_name}"), OpKind::Projection { columns })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    let table = naming::dim_table(&dim_name);
+    flow.append(
+        projected,
+        format!("LOADER_{table}"),
+        OpKind::Loader { table, key: vec![naming::dim_key(&dim_name)] },
+    )
+    .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    Ok(())
+}
+
+/// The type of a source column on a concept's datastore: the mapped
+/// property's type when the column backs a property, Integer otherwise
+/// (join/FK columns are key-typed in all our domains).
+fn source_col_type(interp: &Interpreter<'_>, concept: ConceptId, column: &str) -> ColType {
+    for pid in interp.onto.all_properties(concept) {
+        if let Some(m) = interp.sources.datastore(concept) {
+            if m.column_for(pid) == Some(column) {
+                return col_type(interp.onto.property_def(pid).datatype);
+            }
+        }
+    }
+    ColType::Integer
+}
+
+/// Emits the `DATASTORE_* → EXTRACTION_*` pair for a concept with exactly
+/// the needed columns. `tag` disambiguates pipelines (`""` for the fact
+/// pipeline, `DIM_<Root>_` for dimension pipelines).
+fn emit_source(
+    interp: &Interpreter<'_>,
+    flow: &mut Flow,
+    tag: &str,
+    concept: ConceptId,
+    needed: &BTreeSet<String>,
+) -> Result<OpId, InterpretError> {
+    let cname = &interp.onto.concept(concept).name;
+    let mapping = interp
+        .sources
+        .datastore(concept)
+        .ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
+    let columns: Vec<Column> =
+        needed.iter().map(|c| Column::new(c.clone(), source_col_type(interp, concept, c))).collect();
+    let ds = flow
+        .add_op(
+            format!("DATASTORE_{tag}{cname}"),
+            OpKind::Datastore { datastore: mapping.datastore.clone(), schema: Schema::new(columns) },
+        )
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    let ex = flow
+        .append(
+            ds,
+            format!("EXTRACTION_{tag}{cname}"),
+            OpKind::Extraction { columns: needed.iter().cloned().collect() },
+        )
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    Ok(ex)
+}
+
+/// Joins the pipeline along the steps of a connecting subgraph. Returns the
+/// op holding the fully joined relation and the set of joined concepts.
+fn emit_joins(
+    interp: &Interpreter<'_>,
+    flow: &mut Flow,
+    tag: &str,
+    base: ConceptId,
+    subgraph: &quarry_ontology::Subgraph,
+    sources: &BTreeMap<ConceptId, OpId>,
+) -> Result<OpId, InterpretError> {
+    let mut current = sources[&base];
+    let mut joined: BTreeSet<ConceptId> = BTreeSet::from([base]);
+    for step in &subgraph.steps {
+        let assoc = interp.onto.association(step.association);
+        let join: &JoinMapping = interp
+            .sources
+            .join(step.association)
+            .ok_or_else(|| InterpretError::UnmappedAssociation(assoc.name.clone()))?;
+        // The traversal origin is always already joined (paths start at the
+        // base), so the new side is the step's target.
+        let (new_concept, left_on, right_on) = if step.forward {
+            debug_assert!(joined.contains(&assoc.from));
+            (assoc.to, join.from_columns.clone(), join.to_columns.clone())
+        } else {
+            debug_assert!(joined.contains(&assoc.to));
+            (assoc.from, join.to_columns.clone(), join.from_columns.clone())
+        };
+        let join_op = flow
+            .add_op(format!("JOIN_{tag}{}", assoc.name), OpKind::Join { kind: JoinKind::Inner, left_on, right_on })
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+        flow.connect(current, join_op).map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+        flow.connect(sources[&new_concept], join_op)
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+        joined.insert(new_concept);
+        current = join_op;
+    }
+    Ok(current)
+}
+
+/// Key-producing op for a concept: a deterministic surrogate for composite
+/// natural keys, a rename-style derivation for single keys.
+fn emit_key(
+    interp: &Interpreter<'_>,
+    flow: &mut Flow,
+    input: OpId,
+    concept: ConceptId,
+    out_column: String,
+    op_name: String,
+) -> Result<OpId, InterpretError> {
+    let cname = &interp.onto.concept(concept).name;
+    let mapping = interp
+        .sources
+        .datastore(concept)
+        .ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
+    let keys = mapping.key_columns.clone();
+    let op = if keys.len() == 1 {
+        OpKind::Derivation { column: out_column, expr: Expr::col(keys[0].clone()) }
+    } else {
+        OpKind::SurrogateKey { natural: keys, output: out_column }
+    };
+    flow.append(input, op_name, op).map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))
+}
+
+fn literal_for(dt: DataType, value: &str) -> Expr {
+    match dt {
+        DataType::Integer => value.parse::<i64>().map(Expr::Int).unwrap_or_else(|_| Expr::Str(value.to_string())),
+        DataType::Decimal => value.parse::<f64>().map(Expr::Float).unwrap_or_else(|_| Expr::Str(value.to_string())),
+        DataType::Boolean => match value {
+            "true" | "TRUE" => Expr::Bool(true),
+            "false" | "FALSE" => Expr::Bool(false),
+            _ => Expr::Str(value.to_string()),
+        },
+        DataType::String | DataType::Date => Expr::Str(value.to_string()),
+    }
+}
+
+fn comparison_op(op: &str) -> BinOp {
+    match op {
+        "=" => BinOp::Eq,
+        "<>" | "!=" => BinOp::Ne,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        _ => BinOp::Eq,
+    }
+}
+
+fn build_fact_pipeline(interp: &Interpreter<'_>, a: &Analysis<'_>, flow: &mut Flow) -> Result<(), InterpretError> {
+    let onto = interp.onto;
+    // Targets: every concept carrying a measure property, every dimension
+    // root (for its FK), every slicer context.
+    let mut targets: Vec<ConceptId> = Vec::new();
+    let push = |c: ConceptId, targets: &mut Vec<ConceptId>| {
+        if c != a.base && !targets.contains(&c) {
+            targets.push(c);
+        }
+    };
+    for m in &a.measures {
+        for &p in &m.props {
+            push(onto.property_def(p).concept, &mut targets);
+        }
+    }
+    for &r in &a.roots {
+        push(r, &mut targets);
+    }
+    for s in &a.slicers {
+        push(onto.property_def(s.prop).concept, &mut targets);
+    }
+    for &p in &a.time_props {
+        push(onto.property_def(p).concept, &mut targets);
+    }
+    // Canonical target order → canonical join order across requirements.
+    targets.sort_by(|a, b| onto.concept(*a).name.cmp(&onto.concept(*b).name));
+    let subgraph = onto
+        .connecting_subgraph(a.base, &targets)
+        .map_err(|e| InterpretError::GeneratedInvalid(format!("analysis admitted an unreachable target: {e}")))?;
+
+    // Column needs per concept.
+    let mut needs = Needs::default();
+    for &c in &subgraph.concepts {
+        needs.columns.entry(c).or_default();
+    }
+    let prop_col = |p: PropertyId| interp.source_column(p);
+    for m in &a.measures {
+        for &p in &m.props {
+            needs.add(onto.property_def(p).concept, prop_col(p)?);
+        }
+    }
+    for s in &a.slicers {
+        needs.add(onto.property_def(s.prop).concept, prop_col(s.prop)?);
+    }
+    for &p in &a.time_props {
+        needs.add(onto.property_def(p).concept, prop_col(p)?);
+    }
+    for &root in &a.roots {
+        let mapping =
+            interp.sources.datastore(root).ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(root).name.clone()))?;
+        for k in &mapping.key_columns {
+            needs.add(root, k.clone());
+        }
+    }
+    for step in &subgraph.steps {
+        let assoc = onto.association(step.association);
+        let join = interp
+            .sources
+            .join(step.association)
+            .ok_or_else(|| InterpretError::UnmappedAssociation(assoc.name.clone()))?;
+        for c in &join.from_columns {
+            needs.add(assoc.from, c.clone());
+        }
+        for c in &join.to_columns {
+            needs.add(assoc.to, c.clone());
+        }
+    }
+
+    // Sources.
+    let mut sources: BTreeMap<ConceptId, OpId> = BTreeMap::new();
+    for (&concept, cols) in &needs.columns {
+        sources.insert(concept, emit_source(interp, flow, "", concept, cols)?);
+    }
+
+    // Joins.
+    let mut current = emit_joins(interp, flow, "", a.base, &subgraph, &sources)?;
+
+    // Slicers.
+    for (i, s) in a.slicers.iter().enumerate() {
+        let def = onto.property_def(s.prop);
+        let predicate = Expr::binary(
+            comparison_op(&s.operator),
+            Expr::col(interp.source_column(s.prop)?),
+            literal_for(def.datatype, &s.value),
+        );
+        current = flow
+            .append(current, format!("SELECTION_{}_{}", i + 1, def.name), OpKind::Selection { predicate })
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    }
+
+    // Fact FK keys, one per dimension root.
+    for &root in &a.roots {
+        let root_name = onto.concept(root).name.clone();
+        current = emit_key(
+            interp,
+            flow,
+            current,
+            root,
+            naming::fact_fk(&root_name),
+            format!("KEY_{root_name}"),
+        )?;
+    }
+
+    // Time-dimension foreign keys: integer yyyymmdd date keys derived from
+    // the Date property.
+    for &p in &a.time_props {
+        let def = onto.property_def(p);
+        let dim_name = format!("Time_{}", def.name);
+        let col = interp.source_column(p)?;
+        let expr = quarry_etl::parse_expr(&format!("YEAR({col}) * 10000 + MONTH({col}) * 100 + DAY({col})"))
+            .expect("generated expression is valid");
+        current = flow
+            .append(current, format!("KEY_{dim_name}"), OpKind::Derivation { column: naming::fact_fk(&dim_name), expr })
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    }
+
+    // Measure derivations: canonical property references become source
+    // columns.
+    for m in &a.measures {
+        let mut expr = m.expr.clone();
+        let mut rename_map: BTreeMap<String, String> = BTreeMap::new();
+        for col in expr.columns() {
+            let p = onto
+                .resolve_property_ref(&col)
+                .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+            rename_map.insert(col, interp.source_column(p)?);
+        }
+        expr.rename_columns(&|c| rename_map.get(c).cloned());
+        current = flow
+            .append(current, format!("DERIVE_{}", m.name), OpKind::Derivation { column: m.name.clone(), expr })
+            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    }
+
+    // Aggregation to the fact grain.
+    let head = &a.measures[0].name;
+    let fact_table = naming::fact_table(head);
+    let mut group_by: Vec<String> =
+        a.roots.iter().map(|&r| naming::fact_fk(&onto.concept(r).name)).collect();
+    for &p in &a.time_props {
+        group_by.push(naming::fact_fk(&format!("Time_{}", onto.property_def(p).name)));
+    }
+    let aggregates: Vec<AggSpec> = a
+        .measures
+        .iter()
+        .map(|m| AggSpec::new(m.agg.as_str(), Expr::col(m.name.clone()), m.name.clone()))
+        .collect();
+    let agg = flow
+        .append(current, format!("AGGREGATION_{head}"), OpKind::Aggregation { group_by: group_by.clone(), aggregates })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    flow.append(agg, format!("LOADER_{fact_table}"), OpKind::Loader { table: fact_table, key: group_by })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    Ok(())
+}
+
+fn build_dimension_pipeline(
+    interp: &Interpreter<'_>,
+    a: &Analysis<'_>,
+    root: ConceptId,
+    flow: &mut Flow,
+) -> Result<(), InterpretError> {
+    let onto = interp.onto;
+    let root_name = onto.concept(root).name.clone();
+    let tag = format!("DIM_{root_name}_");
+    let members: Vec<ConceptId> = a.level_of.iter().filter(|(_, r)| **r == root).map(|(c, _)| *c).collect();
+    let subgraph = onto
+        .connecting_subgraph(root, &members)
+        .map_err(|e| InterpretError::GeneratedInvalid(format!("level concepts must hang off their root: {e}")))?;
+
+    // Column needs: keys + requested attributes + join columns.
+    let mut needs = Needs::default();
+    for &c in &subgraph.concepts {
+        needs.columns.entry(c).or_default();
+        let mapping = interp
+            .sources
+            .datastore(c)
+            .ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(c).name.clone()))?;
+        for k in &mapping.key_columns {
+            needs.add(c, k.clone());
+        }
+    }
+    for &p in &a.dim_props {
+        let c = onto.property_def(p).concept;
+        if subgraph.concepts.contains(&c) {
+            needs.add(c, interp.source_column(p)?);
+        }
+    }
+    for s in &a.slicers {
+        let c = onto.property_def(s.prop).concept;
+        if subgraph.concepts.contains(&c) {
+            needs.add(c, interp.source_column(s.prop)?);
+        }
+    }
+    for step in &subgraph.steps {
+        let assoc = onto.association(step.association);
+        let join = interp
+            .sources
+            .join(step.association)
+            .ok_or_else(|| InterpretError::UnmappedAssociation(assoc.name.clone()))?;
+        for c in &join.from_columns {
+            needs.add(assoc.from, c.clone());
+        }
+        for c in &join.to_columns {
+            needs.add(assoc.to, c.clone());
+        }
+    }
+
+    let mut sources: BTreeMap<ConceptId, OpId> = BTreeMap::new();
+    for (&concept, cols) in &needs.columns {
+        sources.insert(concept, emit_source(interp, flow, &tag, concept, cols)?);
+    }
+    let joined = emit_joins(interp, flow, &tag, root, &subgraph, &sources)?;
+
+    // Dimension key.
+    let keyed = emit_key(
+        interp,
+        flow,
+        joined,
+        root,
+        naming::dim_key(&root_name),
+        format!("KEY_{tag}{root_name}"),
+    )?;
+
+    // Final projection: key first, then every extracted column in
+    // deterministic order.
+    let mut columns: Vec<String> = vec![naming::dim_key(&root_name)];
+    for cols in needs.columns.values() {
+        for c in cols {
+            if !columns.contains(c) {
+                columns.push(c.clone());
+            }
+        }
+    }
+    let projected = flow
+        .append(keyed, format!("PROJECT_{tag}{root_name}"), OpKind::Projection { columns })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    let table = naming::dim_table(&root_name);
+    flow.append(
+        projected,
+        format!("LOADER_{table}"),
+        OpKind::Loader { table, key: vec![naming::dim_key(&root_name)] },
+    )
+    .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use quarry_formats::xrq::figure4_requirement;
+    use quarry_formats::{MeasureSpec, Requirement};
+    use quarry_ontology::tpch;
+
+    fn generate(req: &Requirement) -> Flow {
+        let d = tpch::domain();
+        let i = Interpreter::new(&d.ontology, &d.sources);
+        let a = i.analyze(req).unwrap();
+        let flow = generate_etl(&i, &a).unwrap();
+        flow.validate().unwrap_or_else(|e| panic!("{e}\n{}", quarry_formats::xlm::to_string(&flow)));
+        flow
+    }
+
+    #[test]
+    fn figure4_flow_has_the_paper_op_vocabulary() {
+        let flow = generate(&figure4_requirement());
+        for op in [
+            "DATASTORE_Lineitem",
+            "EXTRACTION_Lineitem",
+            "DATASTORE_Part",
+            "DATASTORE_Supplier",
+            "DATASTORE_Nation",
+            "JOIN_lineitem_of_part",
+            "JOIN_lineitem_of_supplier",
+            "JOIN_supplier_in_nation",
+            "SELECTION_1_n_name",
+            "DERIVE_revenue",
+            "AGGREGATION_revenue",
+            "LOADER_fact_table_revenue",
+            "LOADER_dim_part",
+            "LOADER_dim_supplier",
+        ] {
+            assert!(flow.op_by_name(op).is_some(), "missing op `{op}`\n{}", quarry_formats::xlm::to_string(&flow));
+        }
+    }
+
+    #[test]
+    fn fact_aggregation_groups_by_dimension_fks() {
+        let flow = generate(&figure4_requirement());
+        match &flow.op_by_name("AGGREGATION_revenue").unwrap().kind {
+            OpKind::Aggregation { group_by, aggregates } => {
+                assert_eq!(group_by, &["Part_PartID", "Supplier_SupplierID"]);
+                assert_eq!(aggregates.len(), 1);
+                assert_eq!(aggregates[0].function, "AVERAGE");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slicer_becomes_a_selection_with_typed_literal() {
+        let flow = generate(&figure4_requirement());
+        match &flow.op_by_name("SELECTION_1_n_name").unwrap().kind {
+            OpKind::Selection { predicate } => {
+                assert_eq!(predicate.to_string(), "n_name = 'Spain'");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_derivation_uses_source_columns() {
+        let flow = generate(&figure4_requirement());
+        match &flow.op_by_name("DERIVE_revenue").unwrap().kind {
+            OpKind::Derivation { column, expr } => {
+                assert_eq!(column, "revenue");
+                assert_eq!(expr.to_string(), "l_extendedprice * l_discount");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn composite_key_roots_use_surrogate_keys() {
+        let mut req = Requirement::new("IR2");
+        req.measures.push(MeasureSpec { id: "cost".into(), function: "Partsupp_ps_supplycostATRIBUT".into() });
+        req.dimensions.push("Partsupp_ps_availqtyATRIBUT".into());
+        let flow = generate(&req);
+        match &flow.op_by_name("KEY_Partsupp").unwrap().kind {
+            OpKind::SurrogateKey { natural, output } => {
+                assert_eq!(natural, &["ps_partkey", "ps_suppkey"]);
+                assert_eq!(output, "Partsupp_PartsuppID");
+            }
+            other => panic!("expected a surrogate key, got {other:?}"),
+        }
+        match &flow.op_by_name("KEY_DIM_Partsupp_Partsupp").unwrap().kind {
+            OpKind::SurrogateKey { output, .. } => assert_eq!(output, "PartsuppID"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_key_roots_use_rename_derivations() {
+        let flow = generate(&figure4_requirement());
+        match &flow.op_by_name("KEY_Part").unwrap().kind {
+            OpKind::Derivation { column, expr } => {
+                assert_eq!(column, "Part_PartID");
+                assert_eq!(expr.to_string(), "p_partkey");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_pipelines_join_their_level_concepts() {
+        let mut req = Requirement::new("IR3");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Customer_c_nameATRIBUT".into());
+        req.dimensions.push("Nation_n_nameATRIBUT".into());
+        let flow = generate(&req);
+        assert!(flow.op_by_name("JOIN_DIM_Customer_customer_in_nation").is_some());
+        assert!(flow.op_by_name("LOADER_dim_customer").is_some());
+        // The dim projection carries both the customer attribute and the
+        // nation level columns.
+        match &flow.op_by_name("PROJECT_DIM_Customer_Customer").unwrap().kind {
+            OpKind::Projection { columns } => {
+                for c in ["CustomerID", "c_name", "n_nationkey", "n_name"] {
+                    assert!(columns.iter().any(|x| x == c), "missing {c} in {columns:?}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_concept_measures_join_all_sources() {
+        let mut req = Requirement::new("IR4");
+        req.measures.push(MeasureSpec {
+            id: "netprofit".into(),
+            function: "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT".into(),
+        });
+        req.dimensions.push("Part_p_nameATRIBUT".into());
+        let flow = generate(&req);
+        assert!(flow.op_by_name("DATASTORE_Orders").is_some());
+        assert!(flow.op_by_name("DATASTORE_Partsupp").is_some());
+        assert!(flow.op_by_name("JOIN_lineitem_of_order").is_some());
+        assert!(flow.op_by_name("JOIN_lineitem_of_partsupp").is_some());
+        assert!(flow.op_by_name("LOADER_fact_table_netprofit").is_some());
+    }
+
+    #[test]
+    fn flow_normalizes_without_breaking() {
+        let mut flow = generate(&figure4_requirement());
+        quarry_etl::rules::normalize(&mut flow).unwrap();
+        flow.validate().unwrap();
+    }
+}

@@ -1,0 +1,536 @@
+//! The Requirements Interpreter (paper §2.2, following GEM \[11\]).
+//!
+//! For each information requirement (xRQ), the interpreter:
+//!
+//! 1. **maps** the requirement onto the domain ontology and the source
+//!    schema mappings — every property reference must resolve, every
+//!    referenced concept must have a datastore mapping;
+//! 2. **validates** it against the MD integrity constraints — every analysis
+//!    dimension and slicer context must be *functionally* (to-one) reachable
+//!    from a base (fact) concept, or the aggregates would double-count;
+//! 3. **derives the partial MD schema** — a fact at the base concept's grain
+//!    with the requested measures, plus dimensions whose hierarchies follow
+//!    the functional chains among the requested contexts;
+//! 4. **derives the partial ETL flow** — extraction of the mapped
+//!    datastores, joins along the ontology associations, selections for
+//!    slicers, measure derivations, key generation, aggregation to the fact
+//!    grain, and loaders for the fact and every dimension table.
+//!
+//! The output [`PartialDesign`] is stamped with the requirement id on every
+//! MD element and ETL operation, which is what the Design Integrator and
+//! the evolution machinery rely on.
+
+#![forbid(unsafe_code)]
+
+mod etl_gen;
+mod md_gen;
+
+use quarry_etl::Flow;
+use quarry_formats::Requirement;
+use quarry_md::MdSchema;
+use quarry_ontology::mappings::SourceRegistry;
+use quarry_ontology::{ConceptId, Ontology, PropertyId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A validated partial design: the MD schema and ETL flow satisfying one
+/// requirement.
+#[derive(Debug, Clone)]
+pub struct PartialDesign {
+    pub requirement_id: String,
+    pub md: MdSchema,
+    pub etl: Flow,
+}
+
+/// Interpretation failures; the interpreter reports *all* problems found
+/// during mapping/validation, not just the first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpretError {
+    /// A property reference did not resolve against the ontology.
+    UnknownReference(String),
+    /// A measure expression could not be parsed or typed.
+    BadMeasure { measure: String, detail: String },
+    /// An aggregation function is unknown.
+    UnknownAggregation(String),
+    /// No concept functionally reaches every required context.
+    NoBaseConcept { required: Vec<String> },
+    /// A referenced concept has no datastore mapping.
+    UnmappedConcept(String),
+    /// A traversed association has no join mapping.
+    UnmappedAssociation(String),
+    /// The requirement has no measures.
+    NoMeasures,
+    /// The requirement has no dimensions.
+    NoDimensions,
+    /// The generated design failed its own MD validation (internal guard).
+    GeneratedInvalid(String),
+}
+
+impl fmt::Display for InterpretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpretError::UnknownReference(r) => write!(f, "reference `{r}` resolves to nothing in the ontology"),
+            InterpretError::BadMeasure { measure, detail } => write!(f, "measure `{measure}`: {detail}"),
+            InterpretError::UnknownAggregation(a) => write!(f, "unknown aggregation function `{a}`"),
+            InterpretError::NoBaseConcept { required } => write!(
+                f,
+                "no concept functionally reaches every required context ({}) — the requirement is not MD-compliant",
+                required.join(", ")
+            ),
+            InterpretError::UnmappedConcept(c) => write!(f, "concept `{c}` has no datastore mapping"),
+            InterpretError::UnmappedAssociation(a) => write!(f, "association `{a}` has no join mapping"),
+            InterpretError::NoMeasures => write!(f, "the requirement declares no measures"),
+            InterpretError::NoDimensions => write!(f, "the requirement declares no analysis dimensions"),
+            InterpretError::GeneratedInvalid(d) => write!(f, "generated design failed validation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpretError {}
+
+/// Everything resolved about a requirement before generation: the shared
+/// vocabulary of the MD and ETL generators.
+#[derive(Debug)]
+pub(crate) struct Analysis<'a> {
+    pub req: &'a Requirement,
+    /// Base (fact-grain) concept.
+    pub base: ConceptId,
+    /// Requested dimension properties, in requirement order.
+    pub dim_props: Vec<PropertyId>,
+    /// Distinct dimension concepts, in first-appearance order (kept for
+    /// downstream consumers such as the integrator's matching stage).
+    #[allow(dead_code)]
+    pub dim_concepts: Vec<ConceptId>,
+    /// Dimension roots (concepts not functionally reachable from another
+    /// requested dimension concept), in first-appearance order.
+    pub roots: Vec<ConceptId>,
+    /// For each non-root dimension concept: the root whose hierarchy it
+    /// joins.
+    pub level_of: BTreeMap<ConceptId, ConceptId>,
+    /// Date-typed dimension properties turned into derived time dimensions
+    /// (only when [`InterpreterOptions::time_dimensions`] is on).
+    pub time_props: Vec<PropertyId>,
+    /// Measure name → (expression over PropertyIds as canonical refs,
+    /// concepts it touches).
+    pub measures: Vec<MeasureAnalysis>,
+    /// Slicer property + parsed literal context.
+    pub slicers: Vec<SlicerAnalysis>,
+}
+
+#[derive(Debug)]
+pub(crate) struct MeasureAnalysis {
+    pub name: String,
+    /// Expression with canonical `Concept_propATRIBUT` column references.
+    pub expr: quarry_etl::Expr,
+    pub props: Vec<PropertyId>,
+    pub agg: quarry_md::AggFn,
+}
+
+#[derive(Debug)]
+pub(crate) struct SlicerAnalysis {
+    pub prop: PropertyId,
+    pub operator: String,
+    pub value: String,
+}
+
+/// Interpreter options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpreterOptions {
+    /// Derive dedicated time dimensions for Date-typed requirement
+    /// properties: a Day → Month → Year hierarchy computed by derivation
+    /// operations, marked `temporal` so summarizability checking constrains
+    /// stock measures along it. Off by default (the plain treatment keeps
+    /// the date as an attribute of its concept's dimension).
+    pub time_dimensions: bool,
+}
+
+/// The Requirements Interpreter.
+pub struct Interpreter<'a> {
+    pub(crate) onto: &'a Ontology,
+    pub(crate) sources: &'a SourceRegistry,
+    pub(crate) options: InterpreterOptions,
+}
+
+impl<'a> Interpreter<'a> {
+    pub fn new(onto: &'a Ontology, sources: &'a SourceRegistry) -> Self {
+        Interpreter { onto, sources, options: InterpreterOptions::default() }
+    }
+
+    pub fn with_options(onto: &'a Ontology, sources: &'a SourceRegistry, options: InterpreterOptions) -> Self {
+        Interpreter { onto, sources, options }
+    }
+
+    /// Interprets one requirement into a partial design, or reports every
+    /// mapping/validation problem found.
+    pub fn interpret(&self, req: &Requirement) -> Result<PartialDesign, Vec<InterpretError>> {
+        let analysis = self.analyze(req)?;
+        let mut md = md_gen::generate_md(self, &analysis);
+        let mut etl = etl_gen::generate_etl(self, &analysis).map_err(|e| vec![e])?;
+        md.stamp_requirement(&req.id);
+        etl.stamp_requirement(&req.id);
+        // Internal guards: what we generate must be sound by construction.
+        let violations = md.validate();
+        if violations.iter().any(|v| v.kind.is_error()) {
+            return Err(violations
+                .into_iter()
+                .map(|v| InterpretError::GeneratedInvalid(v.to_string()))
+                .collect());
+        }
+        if let Err(e) = etl.validate() {
+            return Err(vec![InterpretError::GeneratedInvalid(e.to_string())]);
+        }
+        Ok(PartialDesign { requirement_id: req.id.clone(), md, etl })
+    }
+
+    /// Mapping + MD-compliance validation (steps 1–2).
+    pub(crate) fn analyze(&self, req: &'a Requirement) -> Result<Analysis<'a>, Vec<InterpretError>> {
+        let mut errors = Vec::new();
+        if req.measures.is_empty() {
+            errors.push(InterpretError::NoMeasures);
+        }
+        if req.dimensions.is_empty() {
+            errors.push(InterpretError::NoDimensions);
+        }
+
+        // Resolve dimension properties.
+        let mut dim_props = Vec::new();
+        for d in &req.dimensions {
+            match self.onto.resolve_property_ref(d) {
+                Ok(p) => dim_props.push(p),
+                Err(_) => errors.push(InterpretError::UnknownReference(d.clone())),
+            }
+        }
+        // Date-typed dimension properties become dedicated time dimensions
+        // when the option is on; they no longer force their concept to be a
+        // dimension root (the concept may still become one through another
+        // requested property).
+        let time_props: Vec<PropertyId> = if self.options.time_dimensions {
+            dim_props
+                .iter()
+                .copied()
+                .filter(|&p| self.onto.property_def(p).datatype == quarry_ontology::DataType::Date)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut dim_concepts: Vec<ConceptId> = Vec::new();
+        for &p in &dim_props {
+            if time_props.contains(&p) {
+                continue;
+            }
+            let c = self.onto.property_def(p).concept;
+            if !dim_concepts.contains(&c) {
+                dim_concepts.push(c);
+            }
+        }
+
+        // Resolve measures.
+        let mut measures = Vec::new();
+        for m in &req.measures {
+            let expr = match quarry_etl::parse_expr(&m.function) {
+                Ok(e) => e,
+                Err(e) => {
+                    errors.push(InterpretError::BadMeasure { measure: m.id.clone(), detail: e.to_string() });
+                    continue;
+                }
+            };
+            let mut props = Vec::new();
+            let mut ok = true;
+            for col in expr.columns() {
+                match self.onto.resolve_property_ref(&col) {
+                    Ok(p) => props.push(p),
+                    Err(_) => {
+                        errors.push(InterpretError::UnknownReference(col.clone()));
+                        ok = false;
+                    }
+                }
+            }
+            let agg = match req.agg_for(&m.id) {
+                Some(f) => match quarry_md::AggFn::parse(f) {
+                    Some(a) => a,
+                    None => {
+                        errors.push(InterpretError::UnknownAggregation(f.to_string()));
+                        quarry_md::AggFn::Sum
+                    }
+                },
+                None => quarry_md::AggFn::Sum,
+            };
+            if ok {
+                measures.push(MeasureAnalysis { name: m.id.clone(), expr, props, agg });
+            }
+        }
+
+        // Resolve slicers.
+        let mut slicers = Vec::new();
+        for s in &req.slicers {
+            match self.onto.resolve_property_ref(&s.concept) {
+                Ok(p) => slicers.push(SlicerAnalysis { prop: p, operator: s.operator.clone(), value: s.value.clone() }),
+                Err(_) => errors.push(InterpretError::UnknownReference(s.concept.clone())),
+            }
+        }
+
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+
+        // Required contexts: every concept a measure, dimension or slicer
+        // touches.
+        let mut required: Vec<ConceptId> = Vec::new();
+        let push_concept = |c: ConceptId, required: &mut Vec<ConceptId>| {
+            if !required.contains(&c) {
+                required.push(c);
+            }
+        };
+        for m in &measures {
+            for &p in &m.props {
+                push_concept(self.onto.property_def(p).concept, &mut required);
+            }
+        }
+        for &c in &dim_concepts {
+            push_concept(c, &mut required);
+        }
+        for &p in &time_props {
+            push_concept(self.onto.property_def(p).concept, &mut required);
+        }
+        for s in &slicers {
+            push_concept(self.onto.property_def(s.prop).concept, &mut required);
+        }
+
+        // Base concept: functionally reaches every required context; minimal
+        // total path length; ties prefer measure-owning concepts, then name.
+        let measure_concepts: Vec<ConceptId> =
+            measures.iter().flat_map(|m| m.props.iter().map(|&p| self.onto.property_def(p).concept)).collect();
+        let mut best: Option<(f64, ConceptId)> = None;
+        for candidate in self.onto.concept_ids() {
+            let paths = self.onto.functional_paths(candidate);
+            if !required.iter().all(|c| paths.contains_key(c)) {
+                continue;
+            }
+            let total: usize = required.iter().map(|c| paths[c].len()).sum();
+            let owns_measure = measure_concepts.contains(&candidate);
+            let score = total as f64 - if owns_measure { 0.5 } else { 0.0 };
+            let better = match best {
+                None => true,
+                Some((s, prev)) => {
+                    score < s
+                        || (score == s && self.onto.concept(candidate).name < self.onto.concept(prev).name)
+                }
+            };
+            if better {
+                best = Some((score, candidate));
+            }
+        }
+        let base = match best {
+            Some((_, b)) => b,
+            None => {
+                return Err(vec![InterpretError::NoBaseConcept {
+                    required: required.iter().map(|&c| self.onto.concept(c).name.clone()).collect(),
+                }]);
+            }
+        };
+
+        // Check mappings exist for everything we will touch.
+        let mut errors = Vec::new();
+        for &c in required.iter().chain(std::iter::once(&base)) {
+            if self.sources.datastore(c).is_none() {
+                let name = self.onto.concept(c).name.clone();
+                let e = InterpretError::UnmappedConcept(name);
+                if !errors.contains(&e) {
+                    errors.push(e);
+                }
+            }
+        }
+
+        // Dimension hierarchy grouping: a requested concept is a level of
+        // another requested concept's dimension when functionally reachable
+        // from it.
+        let mut roots = Vec::new();
+        let mut level_of = BTreeMap::new();
+        for &c in &dim_concepts {
+            let reachable_from_other = dim_concepts.iter().find(|&&d| {
+                d != c
+                    && self.onto.functional_path(d, c).is_some()
+                    // Mutual (1:1) reachability: the lexicographically first
+                    // name becomes the root.
+                    && !(self.onto.functional_path(c, d).is_some()
+                        && self.onto.concept(c).name < self.onto.concept(d).name)
+            });
+            match reachable_from_other {
+                Some(&root_candidate) => {
+                    // Follow to the ultimate root.
+                    let mut root = root_candidate;
+                    while let Some(r) = level_of.get(&root) {
+                        root = *r;
+                    }
+                    level_of.insert(c, root);
+                }
+                None => roots.push(c),
+            }
+        }
+
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+
+        // Canonical (name) order for roots: flows generated for different
+        // requirements then emit identical join/key chains for identical
+        // grains, which is what lets the ETL integrator find the overlap.
+        roots.sort_by(|a, b| self.onto.concept(*a).name.cmp(&self.onto.concept(*b).name));
+
+        Ok(Analysis { req, base, dim_props, dim_concepts, roots, level_of, time_props, measures, slicers })
+    }
+
+    /// The source column of a property (looked up through the registry).
+    pub(crate) fn source_column(&self, prop: PropertyId) -> Result<String, InterpretError> {
+        let def = self.onto.property_def(prop);
+        let mapping = self
+            .sources
+            .datastore(def.concept)
+            .ok_or_else(|| InterpretError::UnmappedConcept(self.onto.concept(def.concept).name.clone()))?;
+        mapping
+            .column_for(prop)
+            .map(str::to_string)
+            .ok_or_else(|| InterpretError::UnmappedConcept(format!("{} (property {})", mapping.datastore, def.name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_formats::xrq::figure4_requirement;
+    use quarry_formats::{MeasureSpec, Slicer};
+    use quarry_ontology::tpch;
+
+    fn interp(domain: &tpch::TpchDomain) -> Interpreter<'_> {
+        Interpreter::new(&domain.ontology, &domain.sources)
+    }
+
+    #[test]
+    fn figure4_analysis_picks_lineitem_base() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let req = figure4_requirement();
+        let a = i.analyze(&req).unwrap();
+        assert_eq!(d.ontology.concept(a.base).name, "Lineitem");
+        assert_eq!(a.roots.len(), 2, "Part and Supplier are separate dimensions");
+        assert_eq!(a.measures.len(), 1);
+        assert_eq!(a.slicers.len(), 1);
+    }
+
+    #[test]
+    fn measures_on_multiple_concepts_resolve_to_a_join_base() {
+        // Figure 3's netprofit case: measures on Partsupp and Orders force
+        // the Lineitem grain.
+        let d = tpch::domain();
+        let i = interp(&d);
+        let mut req = Requirement::new("IR2");
+        req.measures.push(MeasureSpec {
+            id: "netprofit".into(),
+            function: "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT".into(),
+        });
+        req.dimensions.push("Part_p_nameATRIBUT".into());
+        let a = i.analyze(&req).unwrap();
+        assert_eq!(d.ontology.concept(a.base).name, "Lineitem");
+    }
+
+    #[test]
+    fn hierarchical_dimension_concepts_group_under_one_root() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let mut req = Requirement::new("IR3");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Customer_c_nameATRIBUT".into());
+        req.dimensions.push("Nation_n_nameATRIBUT".into());
+        req.dimensions.push("Region_r_nameATRIBUT".into());
+        let a = i.analyze(&req).unwrap();
+        assert_eq!(a.roots.len(), 1);
+        assert_eq!(d.ontology.concept(a.roots[0]).name, "Customer");
+        assert_eq!(a.level_of.len(), 2, "Nation and Region are levels of Customer: {:?}", a.level_of);
+    }
+
+    #[test]
+    fn unreachable_dimension_is_rejected() {
+        // An isolated concept shares no functional path with the TPC-H core:
+        // analyzing its measures per Part is not MD-compliant.
+        let mut d = tpch::domain();
+        let island = d.ontology.add_concept("Island").unwrap();
+        d.ontology.add_identifier(island, "i_id", quarry_ontology::DataType::Integer).unwrap();
+        d.ontology.add_property(island, "i_score", quarry_ontology::DataType::Decimal).unwrap();
+        let i = interp(&d);
+        let mut req = Requirement::new("IRX");
+        req.measures.push(MeasureSpec { id: "score".into(), function: "Island_i_scoreATRIBUT".into() });
+        req.dimensions.push("Part_p_nameATRIBUT".into());
+        let err = i.analyze(&req).unwrap_err();
+        assert!(err.iter().any(|e| matches!(e, InterpretError::NoBaseConcept { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn all_reference_errors_are_collected() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let mut req = Requirement::new("IRE");
+        req.measures.push(MeasureSpec { id: "m".into(), function: "Ghost_xATRIBUT + Part_p_nameATRIBUT_bogus".into() });
+        req.dimensions.push("Nope_yATRIBUT".into());
+        req.slicers.push(Slicer { concept: "Gone_zATRIBUT".into(), operator: "=".into(), value: "v".into() });
+        let errors = i.analyze(&req).unwrap_err();
+        let unknown = errors.iter().filter(|e| matches!(e, InterpretError::UnknownReference(_))).count();
+        assert!(unknown >= 3, "{errors:?}");
+    }
+
+    #[test]
+    fn empty_requirement_reports_both_gaps() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let req = Requirement::new("IR0");
+        let errors = i.analyze(&req).unwrap_err();
+        assert!(errors.contains(&InterpretError::NoMeasures));
+        assert!(errors.contains(&InterpretError::NoDimensions));
+    }
+
+    #[test]
+    fn unknown_aggregation_function_is_reported() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let mut req = figure4_requirement();
+        req.aggregations[0].function = "MEDIAN".into();
+        let errors = i.analyze(&req).unwrap_err();
+        assert!(errors.iter().any(|e| matches!(e, InterpretError::UnknownAggregation(_))));
+    }
+
+    #[test]
+    fn unmapped_concept_is_reported() {
+        let mut d = tpch::domain();
+        // Rebuild a registry without the Nation mapping.
+        let nation = d.ontology.concept_by_name("Nation").unwrap();
+        let mut pruned = quarry_ontology::mappings::SourceRegistry::new();
+        for c in d.ontology.concept_ids() {
+            if c != nation {
+                if let Some(m) = d.sources.datastore(c) {
+                    pruned.map_concept(m.clone()).unwrap();
+                }
+            }
+        }
+        for a in d.ontology.association_ids() {
+            if let Some(j) = d.sources.join(a) {
+                pruned.map_association(j.clone()).unwrap();
+            }
+        }
+        d.sources = pruned;
+        let i = interp(&d);
+        let req = figure4_requirement();
+        let errors = i.analyze(&req).unwrap_err();
+        assert!(errors.iter().any(|e| matches!(e, InterpretError::UnmappedConcept(c) if c == "Nation")), "{errors:?}");
+    }
+
+    #[test]
+    fn full_interpret_produces_stamped_valid_design() {
+        let d = tpch::domain();
+        let i = interp(&d);
+        let design = i.interpret(&figure4_requirement()).unwrap();
+        assert_eq!(design.requirement_id, "IR1");
+        assert!(design.md.is_sound());
+        design.etl.validate().unwrap();
+        assert!(design.md.satisfied_requirements().contains("IR1"));
+        assert!(design.etl.satisfied_requirements().contains("IR1"));
+    }
+}

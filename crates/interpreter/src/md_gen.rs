@@ -1,0 +1,272 @@
+//! Partial MD schema generation (step 3 of the interpreter).
+
+use crate::{Analysis, Interpreter};
+use quarry_md::{naming, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure};
+use quarry_ontology::{ConceptId, DataType, PropertyId};
+
+fn md_type(dt: DataType) -> MdDataType {
+    match dt {
+        DataType::String => MdDataType::Text,
+        DataType::Integer => MdDataType::Integer,
+        DataType::Decimal => MdDataType::Decimal,
+        DataType::Date => MdDataType::Date,
+        DataType::Boolean => MdDataType::Boolean,
+    }
+}
+
+/// Builds the partial MD schema for an analyzed requirement.
+pub(crate) fn generate_md(interp: &Interpreter<'_>, a: &Analysis<'_>) -> MdSchema {
+    let onto = interp.onto;
+    let mut schema = MdSchema::new(format!("partial_{}", a.req.id));
+
+    // One dimension per root, with levels for every requested concept that
+    // functionally hangs off it (intermediate concepts on the path included,
+    // so roll-ups are contiguous).
+    for &root in &a.roots {
+        let root_name = onto.concept(root).name.clone();
+        let mut atomic = Level::new(root_name.clone(), naming::dim_key(&root_name), MdDataType::Integer)
+            .with_concept(root_name.clone());
+        for attr in requested_attributes(a, interp, root) {
+            atomic.attributes.push(attr);
+        }
+        let mut dim = Dimension::new(root_name.clone(), atomic);
+
+        let members: Vec<ConceptId> =
+            a.level_of.iter().filter(|(_, r)| **r == root).map(|(c, _)| *c).collect();
+        for member in members {
+            let path = onto
+                .functional_path(root, member)
+                .expect("analysis guarantees levels are reachable from their root");
+            let chain = path.concepts(onto);
+            // chain[0] is the root; add levels for everything above it.
+            for window in chain.windows(2) {
+                let (child, parent) = (window[0], window[1]);
+                let parent_name = onto.concept(parent).name.clone();
+                if dim.level(&parent_name).is_none() {
+                    let key = level_key(interp, parent);
+                    let mut level =
+                        Level::new(parent_name.clone(), key.0, key.1).with_concept(parent_name.clone());
+                    for attr in requested_attributes(a, interp, parent) {
+                        level.attributes.push(attr);
+                    }
+                    let child_name = onto.concept(child).name.clone();
+                    dim.add_level_above(&child_name, level);
+                } else {
+                    // Level exists; ensure the roll-up edge does too.
+                    let child_name = onto.concept(child).name.clone();
+                    if !dim.rollups.iter().any(|r| r.child == child_name && r.parent == parent_name) {
+                        dim.rollups.push(quarry_md::Rollup::new(child_name, parent_name));
+                    }
+                }
+            }
+        }
+        schema.dimensions.push(dim);
+    }
+
+    // Derived time dimensions: Day -> Month -> Year hierarchies over
+    // Date-typed requirement properties (industry-standard integer date
+    // keys: yyyymmdd / yyyymm / yyyy).
+    for &p in &a.time_props {
+        let def = interp.onto.property_def(p);
+        let dim_name = format!("Time_{}", def.name);
+        let mut day = Level::new("Day", naming::dim_key(&dim_name), MdDataType::Integer);
+        day.attributes.push(Attribute::new(def.name.clone(), MdDataType::Date));
+        let mut dim = Dimension::new(dim_name.clone(), day);
+        let mut month = Level::new("Month", "month_key", MdDataType::Integer);
+        month.attributes.push(Attribute::new("month", MdDataType::Integer));
+        dim.add_level_above("Day", month);
+        dim.add_level_above("Month", Level::new("Year", "year", MdDataType::Integer));
+        dim.temporal = true;
+        schema.dimensions.push(dim);
+    }
+
+    // The fact at the base concept's grain.
+    let head = &a.measures.first().expect("analysis rejects measure-less requirements").name;
+    let mut fact = Fact::new(naming::fact_table(head));
+    fact.concept = Some(onto.concept(a.base).name.clone());
+    for m in &a.measures {
+        let mut measure = Measure::new(&m.name, m.expr.to_string());
+        measure.default_agg = m.agg;
+        // Expression type over property datatypes: numeric always (validated
+        // by the ETL generator against real schemas); Decimal is the safe
+        // logical type.
+        measure.datatype = MdDataType::Decimal;
+        fact.measures.push(measure);
+    }
+    for &root in &a.roots {
+        let name = &onto.concept(root).name;
+        fact.dimensions.push(DimLink::new(name.clone(), name.clone()));
+    }
+    for &p in &a.time_props {
+        let dim_name = format!("Time_{}", interp.onto.property_def(p).name);
+        fact.dimensions.push(DimLink::new(dim_name, "Day"));
+    }
+    schema.facts.push(fact);
+    schema
+}
+
+/// The requested (xRQ-listed) properties living on a concept, as MD
+/// attributes. Slicer properties are included too: the sliced context is
+/// part of the analytical vocabulary of the dimension.
+fn requested_attributes(a: &Analysis<'_>, interp: &Interpreter<'_>, concept: ConceptId) -> Vec<Attribute> {
+    let mut out: Vec<Attribute> = Vec::new();
+    let mut push = |p: PropertyId| {
+        let def = interp.onto.property_def(p);
+        if def.concept == concept && !out.iter().any(|attr| attr.name == def.name) {
+            out.push(Attribute::new(def.name.clone(), md_type(def.datatype)));
+        }
+    };
+    for &p in &a.dim_props {
+        // Properties promoted to derived time dimensions live there, not as
+        // attributes of their owning concept's dimension.
+        if !a.time_props.contains(&p) {
+            push(p);
+        }
+    }
+    for s in &a.slicers {
+        push(s.prop);
+    }
+    out
+}
+
+/// Key column and type of a non-atomic level: the concept's identifier when
+/// single, a synthesized integer key when composite.
+fn level_key(interp: &Interpreter<'_>, concept: ConceptId) -> (String, MdDataType) {
+    let ids = interp.onto.identifiers(concept);
+    match ids.as_slice() {
+        [single] => {
+            let def = interp.onto.property_def(*single);
+            (def.name.clone(), md_type(def.datatype))
+        }
+        _ => (naming::dim_key(&interp.onto.concept(concept).name), MdDataType::Integer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use quarry_formats::xrq::figure4_requirement;
+    use quarry_formats::{MeasureSpec, Requirement, Slicer};
+    use quarry_md::AggFn;
+    use quarry_ontology::tpch;
+
+    fn generate(req: &Requirement) -> MdSchema {
+        let d = tpch::domain();
+        let i = Interpreter::new(&d.ontology, &d.sources);
+        let a = i.analyze(req).unwrap();
+        generate_md(&i, &a)
+    }
+
+    #[test]
+    fn figure4_md_schema_shape() {
+        let md = generate(&figure4_requirement());
+        let fact = md.fact("fact_table_revenue").expect("fact named after the head measure");
+        assert_eq!(fact.concept.as_deref(), Some("Lineitem"));
+        assert_eq!(fact.measures.len(), 1);
+        assert_eq!(fact.measures[0].default_agg, AggFn::Avg);
+        assert_eq!(fact.dimensions.len(), 2);
+        let part = md.dimension("Part").unwrap();
+        assert_eq!(part.atomic, "Part");
+        assert!(part.levels[0].attribute("p_name").is_some());
+        let supplier = md.dimension("Supplier").unwrap();
+        assert!(supplier.levels[0].attribute("s_name").is_some());
+        assert!(md.is_sound());
+    }
+
+    #[test]
+    fn hierarchy_levels_follow_functional_chains() {
+        let mut req = Requirement::new("IR3");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Customer_c_nameATRIBUT".into());
+        req.dimensions.push("Region_r_nameATRIBUT".into());
+        let md = generate(&req);
+        let dim = md.dimension("Customer").expect("single dimension rooted at Customer");
+        // Region is two hops up; the intermediate Nation level appears too.
+        assert!(dim.level("Nation").is_some(), "intermediate level inserted");
+        assert!(dim.level("Region").is_some());
+        assert_eq!(dim.depth(), 2);
+        assert!(dim.rolls_up_to("Customer", "Region"));
+        assert!(md.is_sound());
+    }
+
+    #[test]
+    fn composite_key_concepts_get_synthesized_level_keys() {
+        let mut req = Requirement::new("IR4");
+        req.measures.push(MeasureSpec { id: "cost".into(), function: "Partsupp_ps_supplycostATRIBUT".into() });
+        req.dimensions.push("Partsupp_ps_availqtyATRIBUT".into());
+        let md = generate(&req);
+        let dim = md.dimension("Partsupp").unwrap();
+        assert_eq!(dim.levels[0].key, "PartsuppID");
+        assert_eq!(dim.levels[0].key_type, MdDataType::Integer);
+    }
+
+    #[test]
+    fn slicer_context_becomes_an_attribute_when_on_a_dimension_path() {
+        let mut req = figure4_requirement();
+        // Slice on Supplier's nation; the requested dims are Part/Supplier.
+        req.slicers.push(Slicer { concept: "Supplier_s_acctbalATRIBUT".into(), operator: ">".into(), value: "0".into() });
+        let md = generate(&req);
+        let supplier = md.dimension("Supplier").unwrap();
+        assert!(supplier.levels[0].attribute("s_acctbal").is_some(), "sliced property recorded as attribute");
+    }
+
+    #[test]
+    fn default_aggregation_is_sum() {
+        let mut req = Requirement::new("IR5");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Part_p_brandATRIBUT".into());
+        let md = generate(&req);
+        assert_eq!(md.facts[0].measures[0].default_agg, AggFn::Sum);
+    }
+
+    #[test]
+    fn time_dimensions_derive_day_month_year() {
+        let d = tpch::domain();
+        let i = Interpreter::with_options(
+            &d.ontology,
+            &d.sources,
+            crate::InterpreterOptions { time_dimensions: true },
+        );
+        let mut req = Requirement::new("IRT");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Part_p_nameATRIBUT".into());
+        req.dimensions.push("Orders_o_orderdateATRIBUT".into());
+        let a = i.analyze(&req).unwrap();
+        let md = generate_md(&i, &a);
+        let time = md.dimension("Time_o_orderdate").expect("derived time dimension");
+        assert!(time.temporal);
+        assert_eq!(time.atomic, "Day");
+        assert!(time.level("Month").is_some() && time.level("Year").is_some());
+        assert!(time.rolls_up_to("Day", "Year"));
+        let fact = &md.facts[0];
+        assert!(fact.links_dimension("Time_o_orderdate"));
+        assert!(fact.links_dimension("Part"));
+        assert!(md.dimension("Orders").is_none(), "the date no longer forces an Orders dimension");
+        assert!(md.is_sound());
+    }
+
+    #[test]
+    fn time_dimensions_off_keeps_the_plain_treatment() {
+        let mut req = Requirement::new("IRT");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Orders_o_orderdateATRIBUT".into());
+        let md = generate(&req);
+        assert!(md.dimension("Time_o_orderdate").is_none());
+        let orders = md.dimension("Orders").expect("plain dimension");
+        assert!(orders.levels[0].attribute("o_orderdate").is_some());
+    }
+
+    #[test]
+    fn shared_hierarchy_prefixes_do_not_duplicate_levels() {
+        let mut req = Requirement::new("IR6");
+        req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.dimensions.push("Customer_c_nameATRIBUT".into());
+        req.dimensions.push("Nation_n_nameATRIBUT".into());
+        req.dimensions.push("Region_r_nameATRIBUT".into());
+        let md = generate(&req);
+        let dim = md.dimension("Customer").unwrap();
+        assert_eq!(dim.levels.len(), 3, "{:?}", dim.levels.iter().map(|l| &l.name).collect::<Vec<_>>());
+        assert_eq!(dim.rollups.len(), 2);
+    }
+}

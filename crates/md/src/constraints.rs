@@ -1,0 +1,416 @@
+//! MD integrity constraint checking.
+//!
+//! Quarry promises that "for each new, changed, or removed requirement, an
+//! updated DW design must go through a series of validation processes to
+//! guarantee … the soundness of the updated design solutions (i.e., meeting
+//! MD integrity constraints [9])". This module is that validator: it returns
+//! *all* violations found, never just the first, so the caller can present a
+//! complete report.
+
+use crate::model::{Dimension, MdSchema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The category of an MD integrity violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two facts/dimensions share a name, or two levels within a dimension.
+    DuplicateName,
+    /// A fact references a dimension or level that does not exist.
+    DanglingLink,
+    /// A fact has no dimension links (no analytical context).
+    FactWithoutDimensions,
+    /// A fact has no measures (degenerate; reported as a violation because
+    /// Quarry's requirements always carry at least one measure).
+    FactWithoutMeasures,
+    /// A roll-up edge references a missing level.
+    DanglingRollup,
+    /// The hierarchy graph of a dimension has a cycle.
+    HierarchyCycle,
+    /// A level is not reachable from the atomic level (disconnected).
+    UnreachableLevel,
+    /// A non-strict roll-up edge (child with multiple parents in the data).
+    NonStrictRollup,
+    /// A non-total (non-covering) roll-up edge.
+    NonTotalRollup,
+    /// A measure's default aggregation is incompatible with its additivity
+    /// along one of the fact's dimensions.
+    NonSummarizableAggregation,
+    /// The atomic level declared by a dimension is missing.
+    MissingAtomicLevel,
+}
+
+impl ViolationKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ViolationKind::DuplicateName => "duplicate-name",
+            ViolationKind::DanglingLink => "dangling-link",
+            ViolationKind::FactWithoutDimensions => "fact-without-dimensions",
+            ViolationKind::FactWithoutMeasures => "fact-without-measures",
+            ViolationKind::DanglingRollup => "dangling-rollup",
+            ViolationKind::HierarchyCycle => "hierarchy-cycle",
+            ViolationKind::UnreachableLevel => "unreachable-level",
+            ViolationKind::NonStrictRollup => "non-strict-rollup",
+            ViolationKind::NonTotalRollup => "non-total-rollup",
+            ViolationKind::NonSummarizableAggregation => "non-summarizable-aggregation",
+            ViolationKind::MissingAtomicLevel => "missing-atomic-level",
+        }
+    }
+
+    /// Non-strict and non-total hierarchies are warnings in Quarry (the
+    /// design is deployable but some aggregates need care); the rest are
+    /// hard errors.
+    pub fn is_error(self) -> bool {
+        !matches!(self, ViolationKind::NonStrictRollup | ViolationKind::NonTotalRollup)
+    }
+}
+
+/// One violation of the MD integrity constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdViolation {
+    pub kind: ViolationKind,
+    /// The schema element the violation concerns, e.g. `fact_table_revenue`
+    /// or `Part/Brand`.
+    pub element: String,
+    pub detail: String,
+}
+
+impl fmt::Display for MdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind.as_str(), self.element, self.detail)
+    }
+}
+
+fn violation(kind: ViolationKind, element: impl Into<String>, detail: impl Into<String>) -> MdViolation {
+    MdViolation { kind, element: element.into(), detail: detail.into() }
+}
+
+impl MdSchema {
+    /// Checks every MD integrity constraint and returns all violations.
+    /// An empty result means the schema is MD-compliant.
+    pub fn validate(&self) -> Vec<MdViolation> {
+        let mut out = Vec::new();
+        self.check_unique_names(&mut out);
+        for dim in &self.dimensions {
+            check_dimension(dim, &mut out);
+        }
+        self.check_facts(&mut out);
+        out
+    }
+
+    /// True when [`MdSchema::validate`] reports no hard errors (warnings,
+    /// such as non-strict hierarchies, are allowed).
+    pub fn is_sound(&self) -> bool {
+        self.validate().iter().all(|v| !v.kind.is_error())
+    }
+
+    fn check_unique_names(&self, out: &mut Vec<MdViolation>) {
+        let mut seen = BTreeSet::new();
+        for f in &self.facts {
+            if !seen.insert(&f.name) {
+                out.push(violation(ViolationKind::DuplicateName, &f.name, "fact name used more than once"));
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for d in &self.dimensions {
+            if !seen.insert(&d.name) {
+                out.push(violation(ViolationKind::DuplicateName, &d.name, "dimension name used more than once"));
+            }
+        }
+        for d in &self.dimensions {
+            let mut levels = BTreeSet::new();
+            for l in &d.levels {
+                if !levels.insert(&l.name) {
+                    out.push(violation(
+                        ViolationKind::DuplicateName,
+                        format!("{}/{}", d.name, l.name),
+                        "level name used more than once in the dimension",
+                    ));
+                }
+            }
+        }
+        for f in &self.facts {
+            let mut measures = BTreeSet::new();
+            for m in &f.measures {
+                if !measures.insert(&m.name) {
+                    out.push(violation(
+                        ViolationKind::DuplicateName,
+                        format!("{}/{}", f.name, m.name),
+                        "measure name used more than once in the fact",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_facts(&self, out: &mut Vec<MdViolation>) {
+        for f in &self.facts {
+            if f.dimensions.is_empty() {
+                out.push(violation(ViolationKind::FactWithoutDimensions, &f.name, "a fact must have at least one analysis dimension"));
+            }
+            if f.measures.is_empty() {
+                out.push(violation(ViolationKind::FactWithoutMeasures, &f.name, "a fact must carry at least one measure"));
+            }
+            for link in &f.dimensions {
+                match self.dimension(&link.dimension) {
+                    None => out.push(violation(
+                        ViolationKind::DanglingLink,
+                        &f.name,
+                        format!("links unknown dimension `{}`", link.dimension),
+                    )),
+                    Some(d) => {
+                        if d.level(&link.level).is_none() {
+                            out.push(violation(
+                                ViolationKind::DanglingLink,
+                                &f.name,
+                                format!("links unknown level `{}` of dimension `{}`", link.level, link.dimension),
+                            ));
+                        }
+                        // Summarizability of each measure along this dim.
+                        for m in &f.measures {
+                            if !m.additivity.allows(m.default_agg, d.temporal) {
+                                out.push(violation(
+                                    ViolationKind::NonSummarizableAggregation,
+                                    format!("{}/{}", f.name, m.name),
+                                    format!(
+                                        "{} of a {} measure along {}dimension `{}`",
+                                        m.default_agg,
+                                        m.additivity.as_str(),
+                                        if d.temporal { "temporal " } else { "" },
+                                        d.name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_dimension(dim: &Dimension, out: &mut Vec<MdViolation>) {
+    if dim.level(&dim.atomic).is_none() {
+        out.push(violation(
+            ViolationKind::MissingAtomicLevel,
+            &dim.name,
+            format!("atomic level `{}` is not among the dimension's levels", dim.atomic),
+        ));
+        return; // reachability analysis is meaningless without the root
+    }
+    for r in &dim.rollups {
+        for end in [&r.child, &r.parent] {
+            if dim.level(end).is_none() {
+                out.push(violation(
+                    ViolationKind::DanglingRollup,
+                    format!("{}/{}→{}", dim.name, r.child, r.parent),
+                    format!("level `{end}` does not exist"),
+                ));
+            }
+        }
+        if !r.strict {
+            out.push(violation(
+                ViolationKind::NonStrictRollup,
+                format!("{}/{}→{}", dim.name, r.child, r.parent),
+                "child members may have multiple parents; aggregates along this edge may double-count",
+            ));
+        }
+        if !r.total {
+            out.push(violation(
+                ViolationKind::NonTotalRollup,
+                format!("{}/{}→{}", dim.name, r.child, r.parent),
+                "some child members have no parent; aggregates along this edge may lose data",
+            ));
+        }
+    }
+    // Cycle detection: DFS from every level over child→parent edges.
+    for start in &dim.levels {
+        let mut path: Vec<&str> = Vec::new();
+        if has_cycle(dim, &start.name, &mut path) {
+            out.push(violation(
+                ViolationKind::HierarchyCycle,
+                format!("{}/{}", dim.name, start.name),
+                "roll-up edges form a cycle",
+            ));
+            break; // one report per dimension is enough
+        }
+    }
+    // Reachability from the atomic level.
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![dim.atomic.as_str()];
+    while let Some(cur) = stack.pop() {
+        if reachable.insert(cur) {
+            stack.extend(dim.parents_of(cur));
+        }
+    }
+    for l in &dim.levels {
+        if !reachable.contains(l.name.as_str()) {
+            out.push(violation(
+                ViolationKind::UnreachableLevel,
+                format!("{}/{}", dim.name, l.name),
+                "level is not reachable from the atomic level by roll-up edges",
+            ));
+        }
+    }
+}
+
+fn has_cycle<'a>(dim: &'a Dimension, level: &'a str, path: &mut Vec<&'a str>) -> bool {
+    if path.contains(&level) {
+        return true;
+    }
+    path.push(level);
+    for p in dim.parents_of(level) {
+        if has_cycle(dim, p, path) {
+            return true;
+        }
+    }
+    path.pop();
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AggFn, Additivity, Attribute, DimLink, Fact, Level, MdDataType, MdSchema, Measure, Rollup};
+
+    fn valid_schema() -> MdSchema {
+        let mut s = MdSchema::new("demo");
+        let atomic = Level::new("Part", "p_partkey", MdDataType::Integer)
+            .with_attribute(Attribute::new("p_name", MdDataType::Text));
+        let mut dim = crate::model::Dimension::new("Part", atomic);
+        dim.add_level_above("Part", Level::new("Brand", "p_brand", MdDataType::Text));
+        s.dimensions.push(dim);
+        let mut f = Fact::new("fact_table_revenue");
+        f.measures.push(Measure::new("revenue", "x"));
+        f.dimensions.push(DimLink::new("Part", "Part"));
+        s.facts.push(f);
+        s
+    }
+
+    #[test]
+    fn valid_schema_has_no_violations() {
+        assert!(valid_schema().validate().is_empty());
+        assert!(valid_schema().is_sound());
+    }
+
+    #[test]
+    fn duplicate_fact_names_detected() {
+        let mut s = valid_schema();
+        let mut f2 = Fact::new("fact_table_revenue");
+        f2.measures.push(Measure::new("m", "x"));
+        f2.dimensions.push(DimLink::new("Part", "Part"));
+        s.facts.push(f2);
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::DuplicateName));
+    }
+
+    #[test]
+    fn duplicate_level_names_detected() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().levels.push(Level::new("Brand", "x", MdDataType::Text));
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::DuplicateName));
+    }
+
+    #[test]
+    fn dangling_dimension_link_detected() {
+        let mut s = valid_schema();
+        s.facts[0].dimensions.push(DimLink::new("Nope", "Nope"));
+        let vs = s.validate();
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::DanglingLink), "{vs:?}");
+        assert!(!s.is_sound());
+    }
+
+    #[test]
+    fn dangling_level_link_detected() {
+        let mut s = valid_schema();
+        s.facts[0].dimensions[0].level = "Ghost".into();
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::DanglingLink));
+    }
+
+    #[test]
+    fn fact_without_dimensions_detected() {
+        let mut s = valid_schema();
+        s.facts[0].dimensions.clear();
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::FactWithoutDimensions));
+    }
+
+    #[test]
+    fn fact_without_measures_detected() {
+        let mut s = valid_schema();
+        s.facts[0].measures.clear();
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::FactWithoutMeasures));
+    }
+
+    #[test]
+    fn hierarchy_cycle_detected() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().rollups.push(Rollup::new("Brand", "Part"));
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::HierarchyCycle));
+    }
+
+    #[test]
+    fn unreachable_level_detected() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().levels.push(Level::new("Island", "i", MdDataType::Text));
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::UnreachableLevel));
+    }
+
+    #[test]
+    fn dangling_rollup_detected() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().rollups.push(Rollup::new("Brand", "Ghost"));
+        let vs = s.validate();
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::DanglingRollup));
+    }
+
+    #[test]
+    fn missing_atomic_level_detected() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().atomic = "Ghost".into();
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::MissingAtomicLevel));
+    }
+
+    #[test]
+    fn non_strict_rollup_is_a_warning_not_an_error() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().rollups[0].strict = false;
+        let vs = s.validate();
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::NonStrictRollup));
+        assert!(s.is_sound(), "warnings do not make the schema unsound");
+    }
+
+    #[test]
+    fn non_total_rollup_is_a_warning() {
+        let mut s = valid_schema();
+        s.dimension_mut("Part").unwrap().rollups[0].total = false;
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::NonTotalRollup));
+        assert!(s.is_sound());
+    }
+
+    #[test]
+    fn sum_of_value_per_unit_measure_is_non_summarizable() {
+        let mut s = valid_schema();
+        s.facts[0].measures[0] =
+            Measure::new("price", "p_retailprice").with_additivity(Additivity::ValuePerUnit).with_agg(AggFn::Sum);
+        let vs = s.validate();
+        assert!(vs.iter().any(|v| v.kind == ViolationKind::NonSummarizableAggregation), "{vs:?}");
+        assert!(!s.is_sound());
+    }
+
+    #[test]
+    fn sum_of_stock_measure_only_flags_temporal_dimensions() {
+        let mut s = valid_schema();
+        s.facts[0].measures[0] = Measure::new("balance", "b").with_additivity(Additivity::Stock).with_agg(AggFn::Sum);
+        assert!(s.validate().is_empty(), "non-temporal dimension is fine");
+        s.dimension_mut("Part").unwrap().temporal = true;
+        assert!(s.validate().iter().any(|v| v.kind == ViolationKind::NonSummarizableAggregation));
+    }
+
+    #[test]
+    fn violations_format_readably() {
+        let mut s = valid_schema();
+        s.facts[0].dimensions.clear();
+        let v = &s.validate()[0];
+        let text = v.to_string();
+        assert!(text.contains("fact_table_revenue") && text.contains("fact-without-dimensions"), "{text}");
+    }
+}

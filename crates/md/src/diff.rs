@@ -1,0 +1,210 @@
+//! Structural diffing of MD schemata — what changed between two design
+//! versions. The metadata repository keeps every unified-design version;
+//! this is the lens the demo's "accommodating changes" scenario uses to
+//! narrate a step ("IR4 added dimension Customer with 2 levels…").
+
+use crate::model::MdSchema;
+use std::fmt;
+
+/// A structural delta between two MD schemata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MdDiff {
+    pub added_facts: Vec<String>,
+    pub removed_facts: Vec<String>,
+    pub added_dimensions: Vec<String>,
+    pub removed_dimensions: Vec<String>,
+    /// (fact, measure)
+    pub added_measures: Vec<(String, String)>,
+    pub removed_measures: Vec<(String, String)>,
+    /// (dimension, level)
+    pub added_levels: Vec<(String, String)>,
+    pub removed_levels: Vec<(String, String)>,
+    /// (dimension, level, attribute)
+    pub added_attributes: Vec<(String, String, String)>,
+    pub removed_attributes: Vec<(String, String, String)>,
+}
+
+impl MdDiff {
+    pub fn is_empty(&self) -> bool {
+        self.added_facts.is_empty()
+            && self.removed_facts.is_empty()
+            && self.added_dimensions.is_empty()
+            && self.removed_dimensions.is_empty()
+            && self.added_measures.is_empty()
+            && self.removed_measures.is_empty()
+            && self.added_levels.is_empty()
+            && self.removed_levels.is_empty()
+            && self.added_attributes.is_empty()
+            && self.removed_attributes.is_empty()
+    }
+}
+
+impl fmt::Display for MdDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "no structural changes");
+        }
+        let mut line = |sign: char, what: &str, name: &str| writeln!(f, "{sign} {what} {name}");
+        for x in &self.added_facts {
+            line('+', "fact", x)?;
+        }
+        for x in &self.removed_facts {
+            line('-', "fact", x)?;
+        }
+        for x in &self.added_dimensions {
+            line('+', "dimension", x)?;
+        }
+        for x in &self.removed_dimensions {
+            line('-', "dimension", x)?;
+        }
+        for (fact, m) in &self.added_measures {
+            writeln!(f, "+ measure {fact}.{m}")?;
+        }
+        for (fact, m) in &self.removed_measures {
+            writeln!(f, "- measure {fact}.{m}")?;
+        }
+        for (d, l) in &self.added_levels {
+            writeln!(f, "+ level {d}/{l}")?;
+        }
+        for (d, l) in &self.removed_levels {
+            writeln!(f, "- level {d}/{l}")?;
+        }
+        for (d, l, a) in &self.added_attributes {
+            writeln!(f, "+ attribute {d}/{l}.{a}")?;
+        }
+        for (d, l, a) in &self.removed_attributes {
+            writeln!(f, "- attribute {d}/{l}.{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the structural delta from `old` to `new`. Element identity is by
+/// name (the lifecycle keeps names stable; renames report as remove+add).
+pub fn diff(old: &MdSchema, new: &MdSchema) -> MdDiff {
+    let mut out = MdDiff::default();
+    for nf in &new.facts {
+        match old.fact(&nf.name) {
+            None => out.added_facts.push(nf.name.clone()),
+            Some(of) => {
+                for m in &nf.measures {
+                    if of.measure(&m.name).is_none() {
+                        out.added_measures.push((nf.name.clone(), m.name.clone()));
+                    }
+                }
+                for m in &of.measures {
+                    if nf.measure(&m.name).is_none() {
+                        out.removed_measures.push((nf.name.clone(), m.name.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for of in &old.facts {
+        if new.fact(&of.name).is_none() {
+            out.removed_facts.push(of.name.clone());
+        }
+    }
+    for nd in &new.dimensions {
+        match old.dimension(&nd.name) {
+            None => out.added_dimensions.push(nd.name.clone()),
+            Some(od) => {
+                for nl in &nd.levels {
+                    match od.level(&nl.name) {
+                        None => out.added_levels.push((nd.name.clone(), nl.name.clone())),
+                        Some(ol) => {
+                            for a in &nl.attributes {
+                                if ol.attribute(&a.name).is_none() {
+                                    out.added_attributes.push((nd.name.clone(), nl.name.clone(), a.name.clone()));
+                                }
+                            }
+                            for a in &ol.attributes {
+                                if nl.attribute(&a.name).is_none() {
+                                    out.removed_attributes.push((nd.name.clone(), nl.name.clone(), a.name.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                for ol in &od.levels {
+                    if nd.level(&ol.name).is_none() {
+                        out.removed_levels.push((nd.name.clone(), ol.name.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for od in &old.dimensions {
+        if new.dimension(&od.name).is_none() {
+            out.removed_dimensions.push(od.name.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, DimLink, Dimension, Fact, Level, MdDataType, Measure};
+
+    fn base() -> MdSchema {
+        let mut s = MdSchema::new("v1");
+        let atomic = Level::new("Part", "PartID", MdDataType::Integer)
+            .with_attribute(Attribute::new("p_name", MdDataType::Text));
+        s.dimensions.push(Dimension::new("Part", atomic));
+        let mut f = Fact::new("fact_revenue");
+        f.measures.push(Measure::new("revenue", "x"));
+        f.dimensions.push(DimLink::new("Part", "Part"));
+        s.facts.push(f);
+        s
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        let d = diff(&base(), &base());
+        assert!(d.is_empty());
+        assert_eq!(d.to_string(), "no structural changes\n");
+    }
+
+    #[test]
+    fn added_elements_are_reported() {
+        let old = base();
+        let mut new = base();
+        let mut f2 = Fact::new("fact_quantity");
+        f2.measures.push(Measure::new("qty", "y"));
+        new.facts.push(f2);
+        new.facts[0].measures.push(Measure::new("tax", "z"));
+        new.dimension_mut("Part").unwrap().add_level_above("Part", Level::new("Brand", "b", MdDataType::Text));
+        new.dimension_mut("Part")
+            .unwrap()
+            .level_mut("Part")
+            .unwrap()
+            .attributes
+            .push(Attribute::new("p_brand", MdDataType::Text));
+
+        let d = diff(&old, &new);
+        assert_eq!(d.added_facts, ["fact_quantity"]);
+        assert_eq!(d.added_measures, [("fact_revenue".to_string(), "tax".to_string())]);
+        assert_eq!(d.added_levels, [("Part".to_string(), "Brand".to_string())]);
+        assert_eq!(d.added_attributes, [("Part".to_string(), "Part".to_string(), "p_brand".to_string())]);
+        assert!(d.removed_facts.is_empty());
+        let text = d.to_string();
+        assert!(text.contains("+ fact fact_quantity"));
+        assert!(text.contains("+ level Part/Brand"));
+    }
+
+    #[test]
+    fn removed_elements_are_reported_symmetrically() {
+        let old = base();
+        let mut new = base();
+        new.facts.clear();
+        new.dimensions.clear();
+        let d = diff(&old, &new);
+        assert_eq!(d.removed_facts, ["fact_revenue"]);
+        assert_eq!(d.removed_dimensions, ["Part"]);
+        // And the reverse direction flips signs.
+        let r = diff(&new, &old);
+        assert_eq!(r.added_facts, ["fact_revenue"]);
+        assert_eq!(r.added_dimensions, ["Part"]);
+    }
+}

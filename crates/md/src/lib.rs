@@ -1,0 +1,37 @@
+//! The multidimensional (MD) model underlying Quarry's DW designs.
+//!
+//! Quarry validates every information requirement and every integrated design
+//! against *MD integrity constraints* (paper §1, citing the summarizability
+//! survey of Mazón et al. \[9\]) and ranks design alternatives with
+//! *cost models that capture different quality factors*, the demonstrated one
+//! being **structural design complexity** (§2.3, §3).
+//!
+//! This crate provides:
+//!
+//! - the MD schema model — facts, measures with additivity classes,
+//!   dimensions with level hierarchies ([`MdSchema`]);
+//! - the constraint checker ([`MdSchema::validate`]) covering structural
+//!   well-formedness, hierarchy strictness/covering, and
+//!   aggregation-compatibility (summarizability);
+//! - the pluggable cost-model interface ([`CostModel`]) with the paper's
+//!   [`StructuralComplexity`] instance.
+//!
+//! Requirement traceability: every fact, measure, dimension, level and
+//! fact–dimension link carries the set of requirement IDs it satisfies
+//! (`satisfies`), which is what lets the lifecycle engine prune designs when
+//! requirements are removed (paper §3, "requirements might be changed or even
+//! removed from the analysis").
+
+#![forbid(unsafe_code)]
+
+mod complexity;
+mod constraints;
+pub mod diff;
+mod model;
+pub mod naming;
+
+pub use complexity::{ComplexityWeights, CostModel, OpCountComplexity, StructuralComplexity};
+pub use constraints::{MdViolation, ViolationKind};
+pub use model::{
+    Additivity, AggFn, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure, ReqSet, Rollup,
+};

@@ -1,0 +1,616 @@
+//! MD schema model: facts, measures, dimensions, level hierarchies.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The set of requirement IDs a design element satisfies. Ordered so that
+/// serializations and golden tests are stable.
+pub type ReqSet = BTreeSet<String>;
+
+/// Data types of MD attributes and measures (a deliberately small lattice —
+/// what the deployers need to emit typed DDL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MdDataType {
+    Integer,
+    Decimal,
+    Text,
+    Date,
+    Boolean,
+}
+
+impl MdDataType {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MdDataType::Integer => "integer",
+            MdDataType::Decimal => "decimal",
+            MdDataType::Text => "text",
+            MdDataType::Date => "date",
+            MdDataType::Boolean => "boolean",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<MdDataType> {
+        Some(match s {
+            "integer" | "int" | "bigint" => MdDataType::Integer,
+            "decimal" | "double" | "float" | "numeric" => MdDataType::Decimal,
+            "text" | "string" | "varchar" => MdDataType::Text,
+            "date" | "timestamp" => MdDataType::Date,
+            "boolean" | "bool" => MdDataType::Boolean,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MdDataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Aggregation functions supported in requirements and measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFn {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+}
+
+impl AggFn {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVERAGE",
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Count => "COUNT",
+        }
+    }
+
+    /// Parses the spellings used in xRQ documents (the paper's Figure 4 uses
+    /// `AVERAGE`) and common SQL spellings.
+    pub fn parse(s: &str) -> Option<AggFn> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SUM" => AggFn::Sum,
+            "AVG" | "AVERAGE" | "MEAN" => AggFn::Avg,
+            "MIN" => AggFn::Min,
+            "MAX" => AggFn::Max,
+            "COUNT" | "CNT" => AggFn::Count,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Additivity class of a measure, the key input to summarizability checking
+/// (Mazón et al. \[9\]): *flow* measures add along every dimension, *stock*
+/// measures (inventory levels, balances) must not be summed along temporal
+/// dimensions, *value-per-unit* measures (prices, rates) are never summed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Additivity {
+    #[default]
+    Flow,
+    Stock,
+    ValuePerUnit,
+}
+
+impl Additivity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Additivity::Flow => "flow",
+            Additivity::Stock => "stock",
+            Additivity::ValuePerUnit => "value-per-unit",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Additivity> {
+        Some(match s {
+            "flow" | "additive" => Additivity::Flow,
+            "stock" | "semi-additive" => Additivity::Stock,
+            "value-per-unit" | "non-additive" => Additivity::ValuePerUnit,
+            _ => return None,
+        })
+    }
+
+    /// Whether aggregating this measure with `agg` along a dimension is
+    /// summarizable. `temporal` marks the dimension as a time dimension.
+    pub fn allows(self, agg: AggFn, temporal: bool) -> bool {
+        match (self, agg) {
+            // MIN/MAX/COUNT are safe for every additivity class.
+            (_, AggFn::Min | AggFn::Max | AggFn::Count) => true,
+            // AVG of an aggregate is statistically delicate but permitted by
+            // the MD literature for all classes (it is distributive over the
+            // detail data Quarry aggregates from).
+            (_, AggFn::Avg) => true,
+            (Additivity::Flow, AggFn::Sum) => true,
+            (Additivity::Stock, AggFn::Sum) => !temporal,
+            (Additivity::ValuePerUnit, AggFn::Sum) => false,
+        }
+    }
+}
+
+/// A descriptive attribute of a level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub datatype: MdDataType,
+    pub satisfies: ReqSet,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, datatype: MdDataType) -> Self {
+        Attribute { name: name.into(), datatype, satisfies: ReqSet::new() }
+    }
+}
+
+/// An aggregation level of a dimension hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Level {
+    pub name: String,
+    /// The ontology concept this level came from, when derived by the
+    /// interpreter (kept for semantic matching during integration).
+    pub concept: Option<String>,
+    /// The level key attribute name (identifies members).
+    pub key: String,
+    pub key_type: MdDataType,
+    pub attributes: Vec<Attribute>,
+    pub satisfies: ReqSet,
+}
+
+impl Level {
+    pub fn new(name: impl Into<String>, key: impl Into<String>, key_type: MdDataType) -> Self {
+        Level {
+            name: name.into(),
+            concept: None,
+            key: key.into(),
+            key_type,
+            attributes: Vec::new(),
+            satisfies: ReqSet::new(),
+        }
+    }
+
+    pub fn with_concept(mut self, concept: impl Into<String>) -> Self {
+        self.concept = Some(concept.into());
+        self
+    }
+
+    pub fn with_attribute(mut self, attr: Attribute) -> Self {
+        self.attributes.push(attr);
+        self
+    }
+
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+}
+
+/// A roll-up edge between two levels of a dimension (child aggregates into
+/// parent). `strict` and `total` are the summarizability annotations of \[9\]:
+/// strict = each child member has at most one parent member; total (a.k.a.
+/// covering/onto) = each child member has at least one parent member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rollup {
+    pub child: String,
+    pub parent: String,
+    pub strict: bool,
+    pub total: bool,
+}
+
+impl Rollup {
+    pub fn new(child: impl Into<String>, parent: impl Into<String>) -> Self {
+        Rollup { child: child.into(), parent: parent.into(), strict: true, total: true }
+    }
+}
+
+/// An analysis dimension: a set of levels connected by roll-up edges into a
+/// hierarchy (possibly a lattice), rooted at an atomic level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimension {
+    pub name: String,
+    /// Name of the atomic (finest-grain) level.
+    pub atomic: String,
+    pub levels: Vec<Level>,
+    pub rollups: Vec<Rollup>,
+    /// Marks time-like dimensions, which constrain stock measures.
+    pub temporal: bool,
+    pub satisfies: ReqSet,
+}
+
+impl Dimension {
+    pub fn new(name: impl Into<String>, atomic_level: Level) -> Self {
+        let atomic = atomic_level.name.clone();
+        Dimension {
+            name: name.into(),
+            atomic,
+            levels: vec![atomic_level],
+            rollups: Vec::new(),
+            temporal: false,
+            satisfies: ReqSet::new(),
+        }
+    }
+
+    pub fn level(&self, name: &str) -> Option<&Level> {
+        self.levels.iter().find(|l| l.name == name)
+    }
+
+    pub fn level_mut(&mut self, name: &str) -> Option<&mut Level> {
+        self.levels.iter_mut().find(|l| l.name == name)
+    }
+
+    /// Adds a level and a roll-up edge from `child` to it.
+    pub fn add_level_above(&mut self, child: &str, level: Level) {
+        let parent = level.name.clone();
+        self.levels.push(level);
+        self.rollups.push(Rollup::new(child, parent));
+    }
+
+    /// Parents of a level along roll-up edges.
+    pub fn parents_of(&self, level: &str) -> Vec<&str> {
+        self.rollups.iter().filter(|r| r.child == level).map(|r| r.parent.as_str()).collect()
+    }
+
+    /// Depth of the longest roll-up chain starting at the atomic level.
+    pub fn depth(&self) -> usize {
+        fn walk(dim: &Dimension, level: &str, visited: &mut Vec<String>) -> usize {
+            if visited.iter().any(|v| v == level) {
+                return 0; // cycle guard; validation reports it separately
+            }
+            visited.push(level.to_string());
+            let d = dim.parents_of(level).iter().map(|p| walk(dim, p, visited)).max().map_or(0, |m| m + 1);
+            visited.pop();
+            d
+        }
+        walk(self, &self.atomic, &mut Vec::new())
+    }
+
+    /// True when `ancestor` is reachable from `level` along roll-up edges.
+    pub fn rolls_up_to(&self, level: &str, ancestor: &str) -> bool {
+        if level == ancestor {
+            return true;
+        }
+        let mut stack = vec![level];
+        let mut seen: Vec<&str> = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if seen.contains(&cur) {
+                continue;
+            }
+            seen.push(cur);
+            for p in self.parents_of(cur) {
+                if p == ancestor {
+                    return true;
+                }
+                stack.push(p);
+            }
+        }
+        false
+    }
+
+    /// Total number of attributes across levels (keys included).
+    pub fn attribute_count(&self) -> usize {
+        self.levels.iter().map(|l| 1 + l.attributes.len()).sum()
+    }
+}
+
+/// A measure of a fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measure {
+    pub name: String,
+    /// Derivation expression over source properties, e.g. the paper's
+    /// `Lineitem_l_extendedpriceATRIBUT * Lineitem_l_discountATRIBUT`.
+    pub expression: String,
+    pub datatype: MdDataType,
+    pub additivity: Additivity,
+    /// Default aggregation function requested by the requirements.
+    pub default_agg: AggFn,
+    pub satisfies: ReqSet,
+}
+
+impl Measure {
+    pub fn new(name: impl Into<String>, expression: impl Into<String>) -> Self {
+        Measure {
+            name: name.into(),
+            expression: expression.into(),
+            datatype: MdDataType::Decimal,
+            additivity: Additivity::Flow,
+            default_agg: AggFn::Sum,
+            satisfies: ReqSet::new(),
+        }
+    }
+
+    pub fn with_agg(mut self, agg: AggFn) -> Self {
+        self.default_agg = agg;
+        self
+    }
+
+    pub fn with_additivity(mut self, additivity: Additivity) -> Self {
+        self.additivity = additivity;
+        self
+    }
+}
+
+/// A link from a fact to the atomic level of one of its dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimLink {
+    pub dimension: String,
+    /// Level of the dimension the fact references (normally the atomic one;
+    /// pre-aggregated facts may link coarser levels).
+    pub level: String,
+    pub satisfies: ReqSet,
+}
+
+impl DimLink {
+    pub fn new(dimension: impl Into<String>, level: impl Into<String>) -> Self {
+        DimLink { dimension: dimension.into(), level: level.into(), satisfies: ReqSet::new() }
+    }
+}
+
+/// A fact: measures at a grain defined by its dimension links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    pub name: String,
+    /// The ontology concept the fact grain came from, when known.
+    pub concept: Option<String>,
+    pub measures: Vec<Measure>,
+    pub dimensions: Vec<DimLink>,
+    pub satisfies: ReqSet,
+}
+
+impl Fact {
+    pub fn new(name: impl Into<String>) -> Self {
+        Fact { name: name.into(), concept: None, measures: Vec::new(), dimensions: Vec::new(), satisfies: ReqSet::new() }
+    }
+
+    pub fn measure(&self, name: &str) -> Option<&Measure> {
+        self.measures.iter().find(|m| m.name == name)
+    }
+
+    pub fn links_dimension(&self, dimension: &str) -> bool {
+        self.dimensions.iter().any(|d| d.dimension == dimension)
+    }
+}
+
+/// A complete MD schema: the unit exchanged as xMD documents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MdSchema {
+    pub name: String,
+    pub facts: Vec<Fact>,
+    pub dimensions: Vec<Dimension>,
+}
+
+impl MdSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        MdSchema { name: name.into(), facts: Vec::new(), dimensions: Vec::new() }
+    }
+
+    pub fn fact(&self, name: &str) -> Option<&Fact> {
+        self.facts.iter().find(|f| f.name == name)
+    }
+
+    pub fn fact_mut(&mut self, name: &str) -> Option<&mut Fact> {
+        self.facts.iter_mut().find(|f| f.name == name)
+    }
+
+    pub fn dimension(&self, name: &str) -> Option<&Dimension> {
+        self.dimensions.iter().find(|d| d.name == name)
+    }
+
+    pub fn dimension_mut(&mut self, name: &str) -> Option<&mut Dimension> {
+        self.dimensions.iter_mut().find(|d| d.name == name)
+    }
+
+    /// All requirement IDs satisfied anywhere in the schema.
+    pub fn satisfied_requirements(&self) -> ReqSet {
+        let mut out = ReqSet::new();
+        for f in &self.facts {
+            out.extend(f.satisfies.iter().cloned());
+        }
+        for d in &self.dimensions {
+            out.extend(d.satisfies.iter().cloned());
+        }
+        out
+    }
+
+    /// Stamps a requirement ID onto every element of the schema — used when
+    /// a partial design produced for one requirement enters integration.
+    pub fn stamp_requirement(&mut self, req: &str) {
+        for f in &mut self.facts {
+            f.satisfies.insert(req.to_string());
+            for m in &mut f.measures {
+                m.satisfies.insert(req.to_string());
+            }
+            for d in &mut f.dimensions {
+                d.satisfies.insert(req.to_string());
+            }
+        }
+        for d in &mut self.dimensions {
+            d.satisfies.insert(req.to_string());
+            for l in &mut d.levels {
+                l.satisfies.insert(req.to_string());
+                for a in &mut l.attributes {
+                    a.satisfies.insert(req.to_string());
+                }
+            }
+        }
+    }
+
+    /// Removes a requirement ID everywhere and prunes elements whose
+    /// satisfier set became empty. Dimensions no longer linked by any fact
+    /// are dropped; levels are kept while any element still needs them.
+    /// Returns true when anything changed.
+    pub fn retract_requirement(&mut self, req: &str) -> bool {
+        let mut changed = false;
+        for f in &mut self.facts {
+            changed |= f.satisfies.remove(req);
+            for m in &mut f.measures {
+                changed |= m.satisfies.remove(req);
+            }
+            for dl in &mut f.dimensions {
+                changed |= dl.satisfies.remove(req);
+            }
+            f.measures.retain(|m| !m.satisfies.is_empty());
+            f.dimensions.retain(|d| !d.satisfies.is_empty());
+        }
+        self.facts.retain(|f| !f.satisfies.is_empty());
+        for d in &mut self.dimensions {
+            changed |= d.satisfies.remove(req);
+            for l in &mut d.levels {
+                changed |= l.satisfies.remove(req);
+                for a in &mut l.attributes {
+                    changed |= a.satisfies.remove(req);
+                }
+                l.attributes.retain(|a| !a.satisfies.is_empty());
+            }
+        }
+        self.dimensions.retain(|d| !d.satisfies.is_empty());
+        // Drop levels nothing satisfies, then roll-up edges touching dropped
+        // levels. The atomic level survives while the dimension does.
+        for d in &mut self.dimensions {
+            let atomic = d.atomic.clone();
+            d.levels.retain(|l| l.name == atomic || !l.satisfies.is_empty());
+            let names: Vec<String> = d.levels.iter().map(|l| l.name.clone()).collect();
+            d.rollups.retain(|r| names.contains(&r.child) && names.contains(&r.parent));
+        }
+        changed
+    }
+
+    /// Simple size summary used in reports: (facts, dimensions, levels,
+    /// attributes, measures).
+    pub fn size(&self) -> (usize, usize, usize, usize, usize) {
+        let levels = self.dimensions.iter().map(|d| d.levels.len()).sum();
+        let attrs = self.dimensions.iter().map(Dimension::attribute_count).sum();
+        let measures = self.facts.iter().map(|f| f.measures.len()).sum();
+        (self.facts.len(), self.dimensions.len(), levels, attrs, measures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn part_dimension() -> Dimension {
+        let atomic = Level::new("Part", "p_partkey", MdDataType::Integer)
+            .with_concept("Part")
+            .with_attribute(Attribute::new("p_name", MdDataType::Text));
+        let mut d = Dimension::new("Part", atomic);
+        d.add_level_above("Part", Level::new("Brand", "p_brand", MdDataType::Text));
+        d.add_level_above("Brand", Level::new("Mfgr", "p_mfgr", MdDataType::Text));
+        d
+    }
+
+    pub(crate) fn revenue_schema() -> MdSchema {
+        let mut s = MdSchema::new("demo");
+        s.dimensions.push(part_dimension());
+        let mut f = Fact::new("fact_table_revenue");
+        f.measures.push(Measure::new("revenue", "l_extendedprice * (1 - l_discount)").with_agg(AggFn::Avg));
+        f.dimensions.push(DimLink::new("Part", "Part"));
+        s.facts.push(f);
+        s
+    }
+
+    #[test]
+    fn agg_fn_parses_paper_spelling() {
+        assert_eq!(AggFn::parse("AVERAGE"), Some(AggFn::Avg));
+        assert_eq!(AggFn::parse("sum"), Some(AggFn::Sum));
+        assert_eq!(AggFn::parse("bogus"), None);
+    }
+
+    #[test]
+    fn additivity_matrix_matches_summarizability_rules() {
+        assert!(Additivity::Flow.allows(AggFn::Sum, true));
+        assert!(!Additivity::Stock.allows(AggFn::Sum, true), "stock must not SUM over time");
+        assert!(Additivity::Stock.allows(AggFn::Sum, false));
+        assert!(!Additivity::ValuePerUnit.allows(AggFn::Sum, false));
+        assert!(Additivity::ValuePerUnit.allows(AggFn::Avg, true));
+        assert!(Additivity::Stock.allows(AggFn::Min, true));
+    }
+
+    #[test]
+    fn dimension_depth_follows_longest_chain() {
+        let d = part_dimension();
+        assert_eq!(d.depth(), 2);
+    }
+
+    #[test]
+    fn rolls_up_to_is_transitive_and_reflexive() {
+        let d = part_dimension();
+        assert!(d.rolls_up_to("Part", "Mfgr"));
+        assert!(d.rolls_up_to("Part", "Part"));
+        assert!(!d.rolls_up_to("Mfgr", "Part"));
+    }
+
+    #[test]
+    fn stamping_and_satisfied_requirements() {
+        let mut s = revenue_schema();
+        s.stamp_requirement("IR1");
+        assert_eq!(s.satisfied_requirements().into_iter().collect::<Vec<_>>(), ["IR1"]);
+        assert!(s.fact("fact_table_revenue").unwrap().measures[0].satisfies.contains("IR1"));
+    }
+
+    #[test]
+    fn retracting_last_requirement_empties_schema() {
+        let mut s = revenue_schema();
+        s.stamp_requirement("IR1");
+        assert!(s.retract_requirement("IR1"));
+        assert!(s.facts.is_empty());
+        assert!(s.dimensions.is_empty());
+    }
+
+    #[test]
+    fn retracting_one_of_two_requirements_keeps_shared_elements() {
+        let mut s = revenue_schema();
+        s.stamp_requirement("IR1");
+        s.stamp_requirement("IR2");
+        // IR2 additionally owns a private measure.
+        let f = s.fact_mut("fact_table_revenue").unwrap();
+        let mut extra = Measure::new("quantity", "l_quantity");
+        extra.satisfies.insert("IR2".into());
+        f.measures.push(extra);
+
+        assert!(s.retract_requirement("IR2"));
+        let f = s.fact("fact_table_revenue").expect("fact still satisfies IR1");
+        assert_eq!(f.measures.len(), 1, "IR2-only measure pruned");
+        assert!(s.dimension("Part").is_some());
+    }
+
+    #[test]
+    fn retract_prunes_levels_but_keeps_atomic() {
+        let mut s = revenue_schema();
+        s.stamp_requirement("IR1");
+        // IR2 adds a coarser level only it needs.
+        {
+            let d = s.dimension_mut("Part").unwrap();
+            let mut lvl = Level::new("Type", "p_type", MdDataType::Text);
+            lvl.satisfies.insert("IR2".into());
+            d.add_level_above("Mfgr", lvl);
+            d.satisfies.insert("IR2".into());
+        }
+        s.retract_requirement("IR2");
+        let d = s.dimension("Part").unwrap();
+        assert!(d.level("Type").is_none(), "IR2-only level pruned");
+        assert!(d.level("Part").is_some());
+        assert_eq!(d.rollups.len(), 2, "dangling rollup to pruned level removed");
+    }
+
+    #[test]
+    fn retracting_unknown_requirement_is_a_noop() {
+        let mut s = revenue_schema();
+        s.stamp_requirement("IR1");
+        let before = s.clone();
+        assert!(!s.retract_requirement("IR9"));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn size_summary() {
+        let mut s = revenue_schema();
+        assert_eq!(s.size(), (1, 1, 3, 4, 1));
+        s.facts.clear();
+        assert_eq!(s.size().0, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Naming conventions shared by the Requirements Interpreter (which builds
+//! ETL flows feeding the star schema) and the Design Deployer (which emits
+//! DDL for it). Centralized so the two can never drift apart.
+//!
+//! The conventions reproduce the paper's Figure 3 DDL:
+//! `fact_table_revenue (Partsupp_PartsuppID BIGINT …, Orders_OrdersID …,
+//! PRIMARY KEY(Partsupp_PartsuppID, Orders_OrdersID))`.
+
+/// Fact table name for a head measure: `fact_table_revenue`.
+pub fn fact_table(measure: &str) -> String {
+    format!("fact_table_{measure}")
+}
+
+/// Dimension-internal key column: `PartsuppID`.
+pub fn dim_key(dimension: &str) -> String {
+    format!("{dimension}ID")
+}
+
+/// Fact-side foreign-key column referencing a dimension:
+/// `Partsupp_PartsuppID`.
+pub fn fact_fk(dimension: &str) -> String {
+    format!("{dimension}_{dimension}ID")
+}
+
+/// Physical dimension table name: `dim_partsupp`.
+pub fn dim_table(dimension: &str) -> String {
+    format!("dim_{}", dimension.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_ddl_shapes() {
+        assert_eq!(fact_table("revenue"), "fact_table_revenue");
+        assert_eq!(fact_table("netprofit"), "fact_table_netprofit");
+        assert_eq!(fact_fk("Partsupp"), "Partsupp_PartsuppID");
+        assert_eq!(fact_fk("Orders"), "Orders_OrdersID");
+        assert_eq!(dim_key("Partsupp"), "PartsuppID");
+        assert_eq!(dim_table("Partsupp"), "dim_partsupp");
+    }
+}

@@ -1,0 +1,308 @@
+//! Graph analytics over the ontology: functional-path discovery (the
+//! backbone of MD validation and of the Elicitor's suggestions) and
+//! connecting-subgraph extraction (the join-path discovery of the
+//! Requirements Interpreter).
+
+use crate::model::{AssociationId, ConceptId, Multiplicity, Ontology};
+use std::collections::{HashMap, VecDeque};
+
+/// One step along a path: an association traversed in a given direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    pub association: AssociationId,
+    /// True when the association is traversed `from → to`.
+    pub forward: bool,
+}
+
+/// A functional path: a chain of to-one association hops from a base concept
+/// to a target concept. Along such a path every base instance determines at
+/// most one target instance — exactly the summarizability condition MD
+/// schemas need between facts and dimension levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalPath {
+    pub base: ConceptId,
+    pub target: ConceptId,
+    pub steps: Vec<Step>,
+}
+
+impl FunctionalPath {
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The ordered list of concepts visited, base first, target last.
+    pub fn concepts(&self, onto: &Ontology) -> Vec<ConceptId> {
+        let mut out = vec![self.base];
+        let mut cur = self.base;
+        for step in &self.steps {
+            let a = onto.association(step.association);
+            cur = if step.forward {
+                debug_assert_eq!(a.from, cur);
+                a.to
+            } else {
+                debug_assert_eq!(a.to, cur);
+                a.from
+            };
+            out.push(cur);
+        }
+        out
+    }
+}
+
+/// Failure to connect a set of concepts into one subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectError {
+    /// Concepts unreachable from the chosen base.
+    pub unreachable: Vec<ConceptId>,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} concept(s) not connected to the base concept", self.unreachable.len())
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// A connected subgraph of the ontology: the concepts and association hops a
+/// requirement touches. The Interpreter turns this into join paths.
+#[derive(Debug, Clone, Default)]
+pub struct Subgraph {
+    pub concepts: Vec<ConceptId>,
+    pub steps: Vec<Step>,
+}
+
+impl Ontology {
+    /// Breadth-first discovery of every concept reachable from `base` via
+    /// functional (to-one) hops only, returning the shortest such path per
+    /// concept. The path to `base` itself is the empty path.
+    ///
+    /// Direction matters: an association `A --many:one--> B` is traversed
+    /// A→B (each A has one B); it is additionally traversed B→A only when
+    /// the A side is also `One` (a one-to-one association).
+    pub fn functional_paths(&self, base: ConceptId) -> HashMap<ConceptId, FunctionalPath> {
+        let mut out: HashMap<ConceptId, FunctionalPath> = HashMap::new();
+        out.insert(base, FunctionalPath { base, target: base, steps: Vec::new() });
+        let mut queue = VecDeque::from([base]);
+        while let Some(cur) = queue.pop_front() {
+            let cur_path = out[&cur].clone();
+            for aid in self.association_ids() {
+                let a = self.association(aid);
+                let mut try_hop = |next: ConceptId, forward: bool| {
+                    if let std::collections::hash_map::Entry::Vacant(e) = out.entry(next) {
+                        let mut steps = cur_path.steps.clone();
+                        steps.push(Step { association: aid, forward });
+                        e.insert(FunctionalPath { base, target: next, steps });
+                        queue.push_back(next);
+                    }
+                };
+                if a.from == cur && a.to_mult == Multiplicity::One {
+                    try_hop(a.to, true);
+                }
+                if a.to == cur && a.from_mult == Multiplicity::One {
+                    try_hop(a.from, false);
+                }
+            }
+        }
+        out
+    }
+
+    /// The shortest functional path `base → target`, if one exists.
+    pub fn functional_path(&self, base: ConceptId, target: ConceptId) -> Option<FunctionalPath> {
+        self.functional_paths(base).remove(&target)
+    }
+
+    /// Builds the connecting subgraph for a requirement: the union of the
+    /// shortest *functional* paths from `base` to every concept in
+    /// `targets`. Fails with the list of unreachable targets when some
+    /// concept has no to-one path from the base — the MD-compliance error
+    /// the paper's automatic validation reports.
+    pub fn connecting_subgraph(&self, base: ConceptId, targets: &[ConceptId]) -> Result<Subgraph, ConnectError> {
+        let paths = self.functional_paths(base);
+        let unreachable: Vec<ConceptId> =
+            targets.iter().copied().filter(|t| !paths.contains_key(t)).collect();
+        if !unreachable.is_empty() {
+            return Err(ConnectError { unreachable });
+        }
+        let mut sub = Subgraph { concepts: vec![base], steps: Vec::new() };
+        let mut seen_concepts = vec![base];
+        let mut seen_steps: Vec<Step> = Vec::new();
+        for &t in targets {
+            let path = &paths[&t];
+            for (i, step) in path.steps.iter().enumerate() {
+                if !seen_steps.contains(step) {
+                    seen_steps.push(*step);
+                    sub.steps.push(*step);
+                }
+                let concepts = path.concepts(self);
+                let next = concepts[i + 1];
+                if !seen_concepts.contains(&next) {
+                    seen_concepts.push(next);
+                    sub.concepts.push(next);
+                }
+            }
+        }
+        Ok(sub)
+    }
+
+    /// Undirected reachability: all concepts connected to `base` ignoring
+    /// multiplicities (used by the Elicitor to scope exploration).
+    pub fn reachable(&self, base: ConceptId) -> Vec<ConceptId> {
+        let mut seen = vec![false; self.concept_count()];
+        seen[base.0 as usize] = true;
+        let mut queue = VecDeque::from([base]);
+        let mut out = vec![base];
+        while let Some(cur) = queue.pop_front() {
+            for aid in self.association_ids() {
+                let a = self.association(aid);
+                for next in [(a.from == cur).then_some(a.to), (a.to == cur).then_some(a.from)].into_iter().flatten() {
+                    if !seen[next.0 as usize] {
+                        seen[next.0 as usize] = true;
+                        out.push(next);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The longest chain of functional hops starting at `base` where every
+    /// concept on the chain is visited once — the raw material for deriving
+    /// dimension hierarchies (e.g. Customer → Nation → Region).
+    pub fn functional_chains(&self, base: ConceptId) -> Vec<Vec<ConceptId>> {
+        let mut chains = Vec::new();
+        let mut stack = vec![vec![base]];
+        while let Some(chain) = stack.pop() {
+            let cur = *chain.last().expect("chains are never empty");
+            let mut extended = false;
+            for aid in self.association_ids() {
+                let a = self.association(aid);
+                let next = if a.from == cur && a.to_mult == Multiplicity::One {
+                    Some(a.to)
+                } else if a.to == cur && a.from_mult == Multiplicity::One {
+                    Some(a.from)
+                } else {
+                    None
+                };
+                if let Some(next) = next {
+                    if !chain.contains(&next) {
+                        let mut longer = chain.clone();
+                        longer.push(next);
+                        stack.push(longer);
+                        extended = true;
+                    }
+                }
+            }
+            if !extended {
+                chains.push(chain);
+            }
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DataType;
+
+    /// Lineitem → Orders → Customer → Nation → Region plus Lineitem → Part.
+    fn chain_ontology() -> (Ontology, Vec<ConceptId>) {
+        let mut o = Ontology::new();
+        let names = ["Lineitem", "Orders", "Customer", "Nation", "Region", "Part"];
+        let ids: Vec<ConceptId> = names.iter().map(|n| o.add_concept(*n).unwrap()).collect();
+        for c in &ids {
+            o.add_identifier(*c, "id", DataType::Integer).unwrap();
+        }
+        o.add_many_to_one("li_orders", ids[0], ids[1]);
+        o.add_many_to_one("orders_cust", ids[1], ids[2]);
+        o.add_many_to_one("cust_nation", ids[2], ids[3]);
+        o.add_many_to_one("nation_region", ids[3], ids[4]);
+        o.add_many_to_one("li_part", ids[0], ids[5]);
+        (o, ids)
+    }
+
+    #[test]
+    fn functional_paths_follow_to_one_edges_transitively() {
+        let (o, ids) = chain_ontology();
+        let paths = o.functional_paths(ids[0]);
+        assert_eq!(paths.len(), 6, "all concepts reachable from Lineitem");
+        assert_eq!(paths[&ids[4]].len(), 4, "Region is four hops away");
+        assert_eq!(paths[&ids[5]].len(), 1);
+    }
+
+    #[test]
+    fn functional_paths_do_not_go_against_many_sides() {
+        let (o, ids) = chain_ontology();
+        let from_region = o.functional_paths(ids[4]);
+        assert_eq!(from_region.len(), 1, "nothing is functionally reachable from Region");
+    }
+
+    #[test]
+    fn one_to_one_edges_traverse_both_ways() {
+        let mut o = Ontology::new();
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        o.add_association("ab", a, Multiplicity::One, b, Multiplicity::One);
+        assert!(o.functional_path(a, b).is_some());
+        assert!(o.functional_path(b, a).is_some());
+    }
+
+    #[test]
+    fn path_concepts_reports_the_visited_chain() {
+        let (o, ids) = chain_ontology();
+        let p = o.functional_path(ids[0], ids[3]).unwrap();
+        assert_eq!(p.concepts(&o), vec![ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn connecting_subgraph_unions_paths_without_duplicates() {
+        let (o, ids) = chain_ontology();
+        // Nation and Region share the prefix through Orders/Customer.
+        let sub = o.connecting_subgraph(ids[0], &[ids[3], ids[4], ids[5]]).unwrap();
+        assert_eq!(sub.steps.len(), 5, "five distinct hops");
+        assert_eq!(sub.concepts.len(), 6);
+    }
+
+    #[test]
+    fn connecting_subgraph_reports_unreachable_targets() {
+        let (mut o, ids) = chain_ontology();
+        let island = o.add_concept("Island").unwrap();
+        let err = o.connecting_subgraph(ids[0], &[ids[1], island]).unwrap_err();
+        assert_eq!(err.unreachable, vec![island]);
+    }
+
+    #[test]
+    fn many_to_one_against_the_grain_is_not_functional() {
+        let (o, ids) = chain_ontology();
+        // Part → Lineitem goes against a many edge.
+        let err = o.connecting_subgraph(ids[5], &[ids[0]]).unwrap_err();
+        assert_eq!(err.unreachable, vec![ids[0]]);
+    }
+
+    #[test]
+    fn reachable_ignores_direction() {
+        let (o, ids) = chain_ontology();
+        assert_eq!(o.reachable(ids[4]).len(), 6, "undirected reachability spans the graph");
+    }
+
+    #[test]
+    fn functional_chains_enumerate_hierarchy_material() {
+        let (o, ids) = chain_ontology();
+        let chains = o.functional_chains(ids[2]); // Customer
+        assert!(chains.contains(&vec![ids[2], ids[3], ids[4]]), "Customer→Nation→Region chain found: {chains:?}");
+    }
+
+    #[test]
+    fn empty_path_for_base_itself() {
+        let (o, ids) = chain_ontology();
+        let p = o.functional_path(ids[0], ids[0]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.concepts(&o), vec![ids[0]]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Domain ontologies and source schema mappings for Quarry.
+//!
+//! Quarry grounds every stage of the DW design lifecycle in a *domain
+//! ontology* that captures the semantics of the underlying data sources
+//! (paper §2.5): concepts with datatype properties, a subclass taxonomy, and
+//! associations annotated with multiplicities. End-users phrase information
+//! requirements in this vocabulary; the Requirements Interpreter maps them to
+//! sources through *source schema mappings* that tie each ontological concept
+//! to a datastore and each property to a column or expression.
+//!
+//! The original system represented ontologies in OWL and handled them with
+//! Apache Jena. This crate implements the fragment Quarry actually exercises
+//! — a labelled multigraph with cardinalities and a vocabulary — plus:
+//!
+//! - graph analytics used by the Elicitor and Interpreter
+//!   ([`Ontology::functional_paths`], [`Ontology::connecting_subgraph`]),
+//! - an OWL-subset XML loader/saver ([`owlx`]),
+//! - the TPC-H domain ontology of the paper's running example ([`tpch`]),
+//! - a deterministic synthetic-ontology generator for scaling experiments
+//!   ([`synthetic`]).
+
+#![forbid(unsafe_code)]
+
+mod graph;
+mod model;
+pub mod mappings;
+pub mod owlx;
+pub mod synthetic;
+pub mod tpch;
+
+pub use graph::{ConnectError, FunctionalPath, Subgraph};
+pub use model::{
+    Association, AssociationId, Concept, ConceptId, DataType, Multiplicity, Ontology, OntologyError, Property,
+    PropertyId, Term,
+};

@@ -1,0 +1,282 @@
+//! Source schema mappings: the bridge between ontology concepts and the
+//! physical datastores they are extracted from (paper §2.5, "source schema
+//! mappings that define the mappings of the ontological concepts in terms of
+//! underlying data sources").
+
+use crate::model::{AssociationId, ConceptId, Ontology, PropertyId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maps one concept onto a source datastore (a table-like extraction unit).
+#[derive(Debug, Clone)]
+pub struct DatastoreMapping {
+    pub concept: ConceptId,
+    /// Name of the source datastore, e.g. `partsupp`.
+    pub datastore: String,
+    /// Property → source column (or source-level expression).
+    pub columns: Vec<(PropertyId, String)>,
+    /// Columns forming the source key of the datastore.
+    pub key_columns: Vec<String>,
+}
+
+impl DatastoreMapping {
+    /// Column mapped for a property, if any.
+    pub fn column_for(&self, property: PropertyId) -> Option<&str> {
+        self.columns.iter().find(|(p, _)| *p == property).map(|(_, c)| c.as_str())
+    }
+}
+
+/// Maps one association onto an equi-join between the two mapped datastores.
+#[derive(Debug, Clone)]
+pub struct JoinMapping {
+    pub association: AssociationId,
+    /// Join columns on the `from` concept's datastore.
+    pub from_columns: Vec<String>,
+    /// Join columns on the `to` concept's datastore (positionally paired).
+    pub to_columns: Vec<String>,
+}
+
+/// Problems detected while validating a registry against its ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A property mapped under a concept it does not belong to.
+    ForeignProperty { concept: String, property: String },
+    /// An association mapping whose endpoints have no datastore mapping.
+    UnmappedEndpoint { association: String, concept: String },
+    /// Positional join column lists of different lengths.
+    JoinArityMismatch { association: String },
+    /// A concept mapped more than once.
+    DuplicateConcept { concept: String },
+    /// An association mapped more than once.
+    DuplicateAssociation { association: String },
+    /// A mapped column repeated for two properties of one concept.
+    EmptyKey { concept: String },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ForeignProperty { concept, property } => {
+                write!(f, "property `{property}` is not declared on concept `{concept}`")
+            }
+            MappingError::UnmappedEndpoint { association, concept } => {
+                write!(f, "association `{association}` endpoint `{concept}` has no datastore mapping")
+            }
+            MappingError::JoinArityMismatch { association } => {
+                write!(f, "association `{association}` maps join column lists of different lengths")
+            }
+            MappingError::DuplicateConcept { concept } => write!(f, "concept `{concept}` mapped twice"),
+            MappingError::DuplicateAssociation { association } => {
+                write!(f, "association `{association}` mapped twice")
+            }
+            MappingError::EmptyKey { concept } => write!(f, "datastore mapping for `{concept}` has no key columns"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// The registry of all source schema mappings for one ontology.
+#[derive(Debug, Clone, Default)]
+pub struct SourceRegistry {
+    by_concept: HashMap<ConceptId, DatastoreMapping>,
+    by_association: HashMap<AssociationId, JoinMapping>,
+}
+
+impl SourceRegistry {
+    pub fn new() -> Self {
+        SourceRegistry::default()
+    }
+
+    /// Registers a datastore mapping for a concept.
+    pub fn map_concept(&mut self, mapping: DatastoreMapping) -> Result<(), MappingError> {
+        if self.by_concept.contains_key(&mapping.concept) {
+            return Err(MappingError::DuplicateConcept { concept: format!("#{}", mapping.concept.0) });
+        }
+        self.by_concept.insert(mapping.concept, mapping);
+        Ok(())
+    }
+
+    /// Registers a join mapping for an association.
+    pub fn map_association(&mut self, mapping: JoinMapping) -> Result<(), MappingError> {
+        if self.by_association.contains_key(&mapping.association) {
+            return Err(MappingError::DuplicateAssociation { association: format!("#{}", mapping.association.0) });
+        }
+        self.by_association.insert(mapping.association, mapping);
+        Ok(())
+    }
+
+    pub fn datastore(&self, concept: ConceptId) -> Option<&DatastoreMapping> {
+        self.by_concept.get(&concept)
+    }
+
+    pub fn join(&self, association: AssociationId) -> Option<&JoinMapping> {
+        self.by_association.get(&association)
+    }
+
+    pub fn mapped_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.by_concept.keys().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_concept.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_concept.is_empty()
+    }
+
+    /// Full consistency check against the ontology; returns every problem
+    /// found (the paper's "automatic validation" surfaces all, not just the
+    /// first).
+    pub fn validate(&self, onto: &Ontology) -> Vec<MappingError> {
+        let mut errors = Vec::new();
+        for (cid, m) in &self.by_concept {
+            let cname = &onto.concept(*cid).name;
+            if m.key_columns.is_empty() {
+                errors.push(MappingError::EmptyKey { concept: cname.clone() });
+            }
+            let visible = onto.all_properties(*cid);
+            for (pid, _) in &m.columns {
+                if !visible.contains(pid) {
+                    errors.push(MappingError::ForeignProperty {
+                        concept: cname.clone(),
+                        property: onto.property_def(*pid).name.clone(),
+                    });
+                }
+            }
+        }
+        for (aid, j) in &self.by_association {
+            let a = onto.association(*aid);
+            if j.from_columns.len() != j.to_columns.len() {
+                errors.push(MappingError::JoinArityMismatch { association: a.name.clone() });
+            }
+            for endpoint in [a.from, a.to] {
+                if !self.by_concept.contains_key(&endpoint) {
+                    errors.push(MappingError::UnmappedEndpoint {
+                        association: a.name.clone(),
+                        concept: onto.concept(endpoint).name.clone(),
+                    });
+                }
+            }
+        }
+        errors.sort_by_key(|e| e.to_string());
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DataType, Multiplicity};
+
+    fn fixture() -> (Ontology, SourceRegistry, ConceptId, ConceptId) {
+        let mut o = Ontology::new();
+        let li = o.add_concept("Lineitem").unwrap();
+        let pa = o.add_concept("Part").unwrap();
+        let li_key = o.add_identifier(li, "l_id", DataType::Integer).unwrap();
+        let pa_key = o.add_identifier(pa, "p_partkey", DataType::Integer).unwrap();
+        let aid = o.add_association("has_part", li, Multiplicity::Many, pa, Multiplicity::One);
+
+        let mut reg = SourceRegistry::new();
+        reg.map_concept(DatastoreMapping {
+            concept: li,
+            datastore: "lineitem".into(),
+            columns: vec![(li_key, "l_id".into())],
+            key_columns: vec!["l_id".into()],
+        })
+        .unwrap();
+        reg.map_concept(DatastoreMapping {
+            concept: pa,
+            datastore: "part".into(),
+            columns: vec![(pa_key, "p_partkey".into())],
+            key_columns: vec!["p_partkey".into()],
+        })
+        .unwrap();
+        reg.map_association(JoinMapping {
+            association: aid,
+            from_columns: vec!["l_partkey".into()],
+            to_columns: vec!["p_partkey".into()],
+        })
+        .unwrap();
+        (o, reg, li, pa)
+    }
+
+    #[test]
+    fn valid_registry_validates_cleanly() {
+        let (o, reg, _, _) = fixture();
+        assert!(reg.validate(&o).is_empty());
+    }
+
+    #[test]
+    fn column_lookup_by_property() {
+        let (o, reg, _, pa) = fixture();
+        let key = o.property(pa, "p_partkey").unwrap();
+        assert_eq!(reg.datastore(pa).unwrap().column_for(key), Some("p_partkey"));
+    }
+
+    #[test]
+    fn duplicate_concept_mapping_rejected() {
+        let (_, mut reg, li, _) = fixture();
+        let err = reg
+            .map_concept(DatastoreMapping {
+                concept: li,
+                datastore: "other".into(),
+                columns: vec![],
+                key_columns: vec!["k".into()],
+            })
+            .unwrap_err();
+        assert!(matches!(err, MappingError::DuplicateConcept { .. }));
+    }
+
+    #[test]
+    fn foreign_property_detected() {
+        let (o, mut reg, _, _) = fixture();
+        // Map a new concept with a property that belongs to Lineitem.
+        let mut o2 = o.clone();
+        let alien = o2.add_concept("Alien").unwrap();
+        let li = o2.concept_by_name("Lineitem").unwrap();
+        let li_prop = o2.property(li, "l_id").unwrap();
+        reg.map_concept(DatastoreMapping {
+            concept: alien,
+            datastore: "alien".into(),
+            columns: vec![(li_prop, "x".into())],
+            key_columns: vec!["x".into()],
+        })
+        .unwrap();
+        let errors = reg.validate(&o2);
+        assert!(errors.iter().any(|e| matches!(e, MappingError::ForeignProperty { .. })), "{errors:?}");
+    }
+
+    #[test]
+    fn join_arity_mismatch_detected() {
+        let (o, _, li, pa) = fixture();
+        let mut o2 = o.clone();
+        let aid = o2.add_association("broken", li, Multiplicity::Many, pa, Multiplicity::One);
+        let mut reg = SourceRegistry::new();
+        reg.map_association(JoinMapping {
+            association: aid,
+            from_columns: vec!["a".into(), "b".into()],
+            to_columns: vec!["a".into()],
+        })
+        .unwrap();
+        let errors = reg.validate(&o2);
+        assert!(errors.iter().any(|e| matches!(e, MappingError::JoinArityMismatch { .. })));
+        assert!(errors.iter().any(|e| matches!(e, MappingError::UnmappedEndpoint { .. })));
+    }
+
+    #[test]
+    fn empty_key_detected() {
+        let (o, _, li, _) = fixture();
+        let mut reg = SourceRegistry::new();
+        reg.map_concept(DatastoreMapping {
+            concept: li,
+            datastore: "lineitem".into(),
+            columns: vec![],
+            key_columns: vec![],
+        })
+        .unwrap();
+        let errors = reg.validate(&o);
+        assert!(errors.iter().any(|e| matches!(e, MappingError::EmptyKey { .. })));
+    }
+}

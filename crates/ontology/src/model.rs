@@ -1,0 +1,587 @@
+//! The core ontology data model: concepts, properties, taxonomy,
+//! associations with multiplicities, and a business vocabulary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a concept inside an [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+/// Index of a datatype property inside an [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropertyId(pub u32);
+
+/// Index of an association (object property) inside an [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AssociationId(pub u32);
+
+/// Data types of ontology properties; the interpreter uses these to decide
+/// which properties can act as measures (numeric) versus descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    String,
+    Integer,
+    Decimal,
+    Date,
+    Boolean,
+}
+
+impl DataType {
+    /// Numeric properties are measure candidates.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Integer | DataType::Decimal)
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DataType::String => "string",
+            DataType::Integer => "integer",
+            DataType::Decimal => "decimal",
+            DataType::Date => "date",
+            DataType::Boolean => "boolean",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<DataType> {
+        Some(match s {
+            "string" => DataType::String,
+            "integer" | "int" => DataType::Integer,
+            "decimal" | "double" | "float" => DataType::Decimal,
+            "date" => DataType::Date,
+            "boolean" | "bool" => DataType::Boolean,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Multiplicity of one end of an association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Multiplicity {
+    One,
+    Many,
+}
+
+impl Multiplicity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Multiplicity::One => "one",
+            Multiplicity::Many => "many",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Multiplicity> {
+        match s {
+            "one" | "1" => Some(Multiplicity::One),
+            "many" | "n" | "*" => Some(Multiplicity::Many),
+            _ => None,
+        }
+    }
+}
+
+/// A concept (OWL class) of the domain ontology.
+#[derive(Debug, Clone)]
+pub struct Concept {
+    pub name: String,
+    /// Business-vocabulary aliases (paper §2.1: the ontology "can be
+    /// additionally enriched with the business level vocabulary").
+    pub aliases: Vec<String>,
+    /// Direct superclass in the taxonomy, if any.
+    pub parent: Option<ConceptId>,
+    /// Datatype properties declared on this concept (not inherited).
+    pub properties: Vec<PropertyId>,
+}
+
+/// A datatype property of a concept.
+#[derive(Debug, Clone)]
+pub struct Property {
+    pub name: String,
+    pub aliases: Vec<String>,
+    pub concept: ConceptId,
+    pub datatype: DataType,
+    /// Whether this property identifies instances of its concept (used to
+    /// derive dimension keys and fact grain).
+    pub identifier: bool,
+}
+
+/// An association (OWL object property) between two concepts, annotated with
+/// the multiplicity of each end. `from_mult`/`to_mult` read as: *one instance
+/// of `to` relates to `from_mult` instances of `from`*, and vice versa. E.g.
+/// Lineitem→Orders has `from_mult = Many`, `to_mult = One`: many line items
+/// per order, one order per line item.
+#[derive(Debug, Clone)]
+pub struct Association {
+    pub name: String,
+    pub from: ConceptId,
+    pub to: ConceptId,
+    pub from_mult: Multiplicity,
+    pub to_mult: Multiplicity,
+}
+
+impl Association {
+    /// True when traversing `from → to` is functional (each source instance
+    /// maps to at most one target): the edge kind MD hierarchies and
+    /// fact→dimension arcs are made of.
+    pub fn is_functional(&self) -> bool {
+        self.to_mult == Multiplicity::One
+    }
+
+    /// True when traversing `to → from` is functional.
+    pub fn is_inverse_functional(&self) -> bool {
+        self.from_mult == Multiplicity::One
+    }
+}
+
+/// Errors raised while constructing or querying an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    DuplicateConcept(String),
+    DuplicateProperty { concept: String, property: String },
+    UnknownConcept(String),
+    UnknownProperty { concept: String, property: String },
+    UnknownTerm(String),
+    AmbiguousTerm { term: String, candidates: Vec<String> },
+    TaxonomyCycle(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::DuplicateConcept(n) => write!(f, "duplicate concept `{n}`"),
+            OntologyError::DuplicateProperty { concept, property } => {
+                write!(f, "duplicate property `{property}` on concept `{concept}`")
+            }
+            OntologyError::UnknownConcept(n) => write!(f, "unknown concept `{n}`"),
+            OntologyError::UnknownProperty { concept, property } => {
+                write!(f, "unknown property `{property}` on concept `{concept}`")
+            }
+            OntologyError::UnknownTerm(t) => write!(f, "term `{t}` matches no concept or property"),
+            OntologyError::AmbiguousTerm { term, candidates } => {
+                write!(f, "term `{term}` is ambiguous: {}", candidates.join(", "))
+            }
+            OntologyError::TaxonomyCycle(n) => write!(f, "taxonomy cycle through concept `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// A resolved vocabulary term: either a concept or a property of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    Concept(ConceptId),
+    Property(PropertyId),
+}
+
+/// The domain ontology: arenas of concepts, properties and associations plus
+/// name/alias lookup tables.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    pub(crate) concepts: Vec<Concept>,
+    pub(crate) properties: Vec<Property>,
+    pub(crate) associations: Vec<Association>,
+    concept_by_name: HashMap<String, ConceptId>,
+    /// alias (lowercased) → candidate terms; used by the Elicitor's
+    /// vocabulary resolution.
+    vocabulary: HashMap<String, Vec<Term>>,
+}
+
+impl Ontology {
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    // ---- construction -----------------------------------------------------
+
+    /// Adds a concept. Names must be unique.
+    pub fn add_concept(&mut self, name: impl Into<String>) -> Result<ConceptId, OntologyError> {
+        let name = name.into();
+        if self.concept_by_name.contains_key(&name) {
+            return Err(OntologyError::DuplicateConcept(name));
+        }
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concept_by_name.insert(name.clone(), id);
+        self.vocabulary.entry(name.to_lowercase()).or_default().push(Term::Concept(id));
+        self.concepts.push(Concept { name, aliases: Vec::new(), parent: None, properties: Vec::new() });
+        Ok(id)
+    }
+
+    /// Adds a datatype property to a concept. Property names are unique per
+    /// concept (including inherited ones is not enforced — TPC-H style
+    /// prefixed names make clashes impossible in practice).
+    pub fn add_property(
+        &mut self,
+        concept: ConceptId,
+        name: impl Into<String>,
+        datatype: DataType,
+    ) -> Result<PropertyId, OntologyError> {
+        self.add_property_full(concept, name, datatype, false)
+    }
+
+    /// Adds an identifying datatype property (dimension/fact key candidate).
+    pub fn add_identifier(
+        &mut self,
+        concept: ConceptId,
+        name: impl Into<String>,
+        datatype: DataType,
+    ) -> Result<PropertyId, OntologyError> {
+        self.add_property_full(concept, name, datatype, true)
+    }
+
+    fn add_property_full(
+        &mut self,
+        concept: ConceptId,
+        name: impl Into<String>,
+        datatype: DataType,
+        identifier: bool,
+    ) -> Result<PropertyId, OntologyError> {
+        let name = name.into();
+        if self.property(concept, &name).is_some() {
+            return Err(OntologyError::DuplicateProperty {
+                concept: self.concept(concept).name.clone(),
+                property: name,
+            });
+        }
+        let id = PropertyId(self.properties.len() as u32);
+        self.vocabulary.entry(name.to_lowercase()).or_default().push(Term::Property(id));
+        self.properties.push(Property { name, aliases: Vec::new(), concept, datatype, identifier });
+        self.concepts[concept.0 as usize].properties.push(id);
+        Ok(id)
+    }
+
+    /// Adds an association between two concepts.
+    pub fn add_association(
+        &mut self,
+        name: impl Into<String>,
+        from: ConceptId,
+        from_mult: Multiplicity,
+        to: ConceptId,
+        to_mult: Multiplicity,
+    ) -> AssociationId {
+        let id = AssociationId(self.associations.len() as u32);
+        self.associations.push(Association { name: name.into(), from, to, from_mult, to_mult });
+        id
+    }
+
+    /// Convenience: a many-to-one association (`from` side Many, `to` side
+    /// One), the FK-like edge that dominates source schemas.
+    pub fn add_many_to_one(&mut self, name: impl Into<String>, from: ConceptId, to: ConceptId) -> AssociationId {
+        self.add_association(name, from, Multiplicity::Many, to, Multiplicity::One)
+    }
+
+    /// Declares `child` a subclass of `parent`.
+    pub fn set_parent(&mut self, child: ConceptId, parent: ConceptId) -> Result<(), OntologyError> {
+        // Reject cycles by walking up from `parent`.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            if c == child {
+                return Err(OntologyError::TaxonomyCycle(self.concept(child).name.clone()));
+            }
+            cur = self.concept(c).parent;
+        }
+        self.concepts[child.0 as usize].parent = Some(parent);
+        Ok(())
+    }
+
+    /// Registers a business-vocabulary alias for a concept.
+    pub fn add_concept_alias(&mut self, concept: ConceptId, alias: impl Into<String>) {
+        let alias = alias.into();
+        self.vocabulary.entry(alias.to_lowercase()).or_default().push(Term::Concept(concept));
+        self.concepts[concept.0 as usize].aliases.push(alias);
+    }
+
+    /// Registers a business-vocabulary alias for a property.
+    pub fn add_property_alias(&mut self, property: PropertyId, alias: impl Into<String>) {
+        let alias = alias.into();
+        self.vocabulary.entry(alias.to_lowercase()).or_default().push(Term::Property(property));
+        self.properties[property.0 as usize].aliases.push(alias);
+    }
+
+    // ---- access ------------------------------------------------------------
+
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.0 as usize]
+    }
+
+    pub fn property_def(&self, id: PropertyId) -> &Property {
+        &self.properties[id.0 as usize]
+    }
+
+    pub fn association(&self, id: AssociationId) -> &Association {
+        &self.associations[id.0 as usize]
+    }
+
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn association_count(&self) -> usize {
+        self.associations.len()
+    }
+
+    pub fn concept_ids(&self) -> impl Iterator<Item = ConceptId> {
+        (0..self.concepts.len() as u32).map(ConceptId)
+    }
+
+    pub fn association_ids(&self) -> impl Iterator<Item = AssociationId> {
+        (0..self.associations.len() as u32).map(AssociationId)
+    }
+
+    /// Looks a concept up by exact name.
+    pub fn concept_by_name(&self, name: &str) -> Option<ConceptId> {
+        self.concept_by_name.get(name).copied()
+    }
+
+    /// Looks a concept up by exact name, as a `Result`.
+    pub fn require_concept(&self, name: &str) -> Result<ConceptId, OntologyError> {
+        self.concept_by_name(name).ok_or_else(|| OntologyError::UnknownConcept(name.to_string()))
+    }
+
+    /// Finds a property by name on a concept, searching up the taxonomy.
+    pub fn property(&self, concept: ConceptId, name: &str) -> Option<PropertyId> {
+        let mut cur = Some(concept);
+        while let Some(c) = cur {
+            for &pid in &self.concept(c).properties {
+                if self.property_def(pid).name == name {
+                    return Some(pid);
+                }
+            }
+            cur = self.concept(c).parent;
+        }
+        None
+    }
+
+    /// Finds a property by name on a concept, as a `Result`.
+    pub fn require_property(&self, concept: ConceptId, name: &str) -> Result<PropertyId, OntologyError> {
+        self.property(concept, name).ok_or_else(|| OntologyError::UnknownProperty {
+            concept: self.concept(concept).name.clone(),
+            property: name.to_string(),
+        })
+    }
+
+    /// All properties visible on a concept, inherited ones included.
+    pub fn all_properties(&self, concept: ConceptId) -> Vec<PropertyId> {
+        let mut out = Vec::new();
+        let mut cur = Some(concept);
+        while let Some(c) = cur {
+            out.extend(self.concept(c).properties.iter().copied());
+            cur = self.concept(c).parent;
+        }
+        out
+    }
+
+    /// Resolves a free-form vocabulary term (name or business alias,
+    /// case-insensitive) to a unique concept or property.
+    pub fn resolve_term(&self, term: &str) -> Result<Term, OntologyError> {
+        let key = term.to_lowercase();
+        match self.vocabulary.get(&key) {
+            None => Err(OntologyError::UnknownTerm(term.to_string())),
+            Some(candidates) if candidates.len() == 1 => Ok(candidates[0]),
+            Some(candidates) => {
+                let mut names: Vec<String> = candidates
+                    .iter()
+                    .map(|t| match t {
+                        Term::Concept(c) => format!("concept {}", self.concept(*c).name),
+                        Term::Property(p) => {
+                            let prop = self.property_def(*p);
+                            format!("property {}.{}", self.concept(prop.concept).name, prop.name)
+                        }
+                    })
+                    .collect();
+                names.sort();
+                names.dedup();
+                if names.len() == 1 {
+                    return Ok(candidates[0]);
+                }
+                Err(OntologyError::AmbiguousTerm { term: term.to_string(), candidates: names })
+            }
+        }
+    }
+
+    /// Parses a qualified concept-property reference in either Quarry's
+    /// internal id scheme from the paper's Figure 4 (`Part_p_nameATRIBUT`)
+    /// or dotted form (`Part.p_name`).
+    pub fn resolve_property_ref(&self, reference: &str) -> Result<PropertyId, OntologyError> {
+        let body = reference.strip_suffix("ATRIBUT").unwrap_or(reference);
+        if let Some((concept, prop)) = body.split_once('.') {
+            let cid = self.require_concept(concept)?;
+            return self.require_property(cid, prop);
+        }
+        // `Concept_property` — concept names may not contain `_`, property
+        // names may. Split at every `_` until a known concept is found.
+        for (idx, _) in body.match_indices('_') {
+            let (concept, prop) = (&body[..idx], &body[idx + 1..]);
+            if let Some(cid) = self.concept_by_name(concept) {
+                if let Some(pid) = self.property(cid, prop) {
+                    return Ok(pid);
+                }
+            }
+        }
+        Err(OntologyError::UnknownTerm(reference.to_string()))
+    }
+
+    /// The canonical Figure-4-style identifier of a property:
+    /// `Concept_propertyATRIBUT`.
+    pub fn property_ref(&self, id: PropertyId) -> String {
+        let p = self.property_def(id);
+        format!("{}_{}ATRIBUT", self.concept(p.concept).name, p.name)
+    }
+
+    /// The dotted human-readable form `Concept.property`.
+    pub fn property_qualified_name(&self, id: PropertyId) -> String {
+        let p = self.property_def(id);
+        format!("{}.{}", self.concept(p.concept).name, p.name)
+    }
+
+    /// The identifying properties of a concept (inherited included).
+    pub fn identifiers(&self, concept: ConceptId) -> Vec<PropertyId> {
+        self.all_properties(concept).into_iter().filter(|&p| self.property_def(p).identifier).collect()
+    }
+
+    /// True if `sub` is `sup` or a (transitive) subclass of it.
+    pub fn is_subclass_of(&self, sub: ConceptId, sup: ConceptId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.concept(c).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> (Ontology, ConceptId, ConceptId) {
+        let mut o = Ontology::new();
+        let li = o.add_concept("Lineitem").unwrap();
+        let pa = o.add_concept("Part").unwrap();
+        o.add_identifier(pa, "p_partkey", DataType::Integer).unwrap();
+        o.add_property(pa, "p_name", DataType::String).unwrap();
+        o.add_property(li, "l_extendedprice", DataType::Decimal).unwrap();
+        o.add_many_to_one("has_part", li, pa);
+        (o, li, pa)
+    }
+
+    #[test]
+    fn duplicate_concept_is_rejected() {
+        let mut o = Ontology::new();
+        o.add_concept("Part").unwrap();
+        assert_eq!(o.add_concept("Part").unwrap_err(), OntologyError::DuplicateConcept("Part".into()));
+    }
+
+    #[test]
+    fn duplicate_property_on_same_concept_is_rejected() {
+        let (mut o, _, pa) = mini();
+        let err = o.add_property(pa, "p_name", DataType::String).unwrap_err();
+        assert!(matches!(err, OntologyError::DuplicateProperty { .. }));
+    }
+
+    #[test]
+    fn property_lookup_searches_taxonomy() {
+        let mut o = Ontology::new();
+        let base = o.add_concept("Party").unwrap();
+        o.add_property(base, "name", DataType::String).unwrap();
+        let cust = o.add_concept("Customer").unwrap();
+        o.set_parent(cust, base).unwrap();
+        assert!(o.property(cust, "name").is_some());
+        assert_eq!(o.all_properties(cust).len(), 1);
+    }
+
+    #[test]
+    fn taxonomy_cycles_are_rejected() {
+        let mut o = Ontology::new();
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        o.set_parent(b, a).unwrap();
+        assert!(matches!(o.set_parent(a, b), Err(OntologyError::TaxonomyCycle(_))));
+    }
+
+    #[test]
+    fn resolve_term_by_name_and_alias() {
+        let (mut o, li, _) = mini();
+        o.add_concept_alias(li, "sales line");
+        assert_eq!(o.resolve_term("Lineitem").unwrap(), Term::Concept(li));
+        assert_eq!(o.resolve_term("SALES LINE").unwrap(), Term::Concept(li));
+        assert!(matches!(o.resolve_term("nonsense"), Err(OntologyError::UnknownTerm(_))));
+    }
+
+    #[test]
+    fn ambiguous_alias_reports_candidates() {
+        let (mut o, li, pa) = mini();
+        o.add_concept_alias(li, "item");
+        o.add_concept_alias(pa, "item");
+        match o.resolve_term("item") {
+            Err(OntologyError::AmbiguousTerm { candidates, .. }) => assert_eq!(candidates.len(), 2),
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_term_registered_twice_for_one_target_is_not_ambiguous() {
+        let (mut o, li, _) = mini();
+        o.add_concept_alias(li, "lineitem"); // alias equal to its own name
+        assert_eq!(o.resolve_term("lineitem").unwrap(), Term::Concept(li));
+    }
+
+    #[test]
+    fn property_ref_roundtrip_figure4_scheme() {
+        let (o, _, pa) = mini();
+        let pname = o.property(pa, "p_name").unwrap();
+        let r = o.property_ref(pname);
+        assert_eq!(r, "Part_p_nameATRIBUT");
+        assert_eq!(o.resolve_property_ref(&r).unwrap(), pname);
+        assert_eq!(o.resolve_property_ref("Part.p_name").unwrap(), pname);
+    }
+
+    #[test]
+    fn property_ref_with_underscored_property_name() {
+        let (o, li, _) = mini();
+        let p = o.property(li, "l_extendedprice").unwrap();
+        assert_eq!(o.resolve_property_ref("Lineitem_l_extendedpriceATRIBUT").unwrap(), p);
+    }
+
+    #[test]
+    fn unknown_property_ref_errors() {
+        let (o, _, _) = mini();
+        assert!(o.resolve_property_ref("Part_bogusATRIBUT").is_err());
+        assert!(o.resolve_property_ref("NoConcept.x").is_err());
+    }
+
+    #[test]
+    fn functional_direction_of_associations() {
+        let (o, _, _) = mini();
+        let a = o.association(AssociationId(0));
+        assert!(a.is_functional());
+        assert!(!a.is_inverse_functional());
+    }
+
+    #[test]
+    fn identifiers_are_tracked() {
+        let (o, _, pa) = mini();
+        let ids = o.identifiers(pa);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(o.property_def(ids[0]).name, "p_partkey");
+    }
+
+    #[test]
+    fn subclass_check() {
+        let mut o = Ontology::new();
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        let c = o.add_concept("C").unwrap();
+        o.set_parent(b, a).unwrap();
+        o.set_parent(c, b).unwrap();
+        assert!(o.is_subclass_of(c, a));
+        assert!(!o.is_subclass_of(a, c));
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic synthetic-ontology generation for scaling experiments.
+//!
+//! Experiment E2 (DESIGN.md) sweeps the Requirements Elicitor over ontologies
+//! of growing size; this module manufactures them: a configurable number of
+//! "fact-like" hub concepts, each with functional chains of dimension-like
+//! concepts hanging off it, plus cross-links that make path search do real
+//! work. Generation is seeded and reproducible (no dependency on `rand`; a
+//! SplitMix64 suffices for structural choices).
+
+use crate::mappings::{DatastoreMapping, JoinMapping, SourceRegistry};
+use crate::model::{ConceptId, DataType, Ontology};
+
+/// Parameters of a synthetic domain.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSpec {
+    /// Number of hub (fact-like) concepts.
+    pub hubs: usize,
+    /// Functional chains per hub.
+    pub chains_per_hub: usize,
+    /// Concepts per chain.
+    pub chain_length: usize,
+    /// Non-identifier properties per concept.
+    pub properties_per_concept: usize,
+    /// Extra random functional cross-links between chain concepts.
+    pub cross_links: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec { hubs: 1, chains_per_hub: 3, chain_length: 3, properties_per_concept: 3, cross_links: 2, seed: 42 }
+    }
+}
+
+impl SyntheticSpec {
+    /// Total number of concepts this spec will generate.
+    pub fn concept_count(&self) -> usize {
+        self.hubs * (1 + self.chains_per_hub * self.chain_length)
+    }
+
+    /// A spec sized to approximately `n` concepts, used by benches.
+    pub fn with_concepts(n: usize, seed: u64) -> SyntheticSpec {
+        let chains = 4;
+        let chain_length = 4;
+        let per_hub = 1 + chains * chain_length;
+        SyntheticSpec {
+            hubs: n.div_ceil(per_hub).max(1),
+            chains_per_hub: chains,
+            chain_length,
+            properties_per_concept: 3,
+            cross_links: n / 8,
+            seed,
+        }
+    }
+}
+
+/// A generated domain: ontology + registry + the hub concepts (requirement
+/// foci for benches).
+#[derive(Debug, Clone)]
+pub struct SyntheticDomain {
+    pub ontology: Ontology,
+    pub sources: SourceRegistry,
+    pub hubs: Vec<ConceptId>,
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Generates a synthetic domain from a spec.
+pub fn generate(spec: &SyntheticSpec) -> SyntheticDomain {
+    let mut rng = SplitMix64(spec.seed);
+    let mut o = Ontology::new();
+    let mut sources = SourceRegistry::new();
+    let mut hubs = Vec::with_capacity(spec.hubs);
+    let mut chain_concepts: Vec<ConceptId> = Vec::new();
+
+    let declare = |o: &mut Ontology, sources: &mut SourceRegistry, name: String, numeric_props: usize| {
+        let cid = o.add_concept(&name).expect("generated names are unique");
+        let key = o.add_identifier(cid, format!("{}_id", name.to_lowercase()), DataType::Integer).expect("fresh concept");
+        let mut columns = vec![(key, format!("{}_id", name.to_lowercase()))];
+        for p in 0..numeric_props {
+            // Alternate numeric and descriptive properties so both measure
+            // and descriptor candidates exist everywhere.
+            let dt = if p % 2 == 0 { DataType::Decimal } else { DataType::String };
+            let pname = format!("{}_attr{}", name.to_lowercase(), p);
+            let pid = o.add_property(cid, &pname, dt).expect("fresh property");
+            columns.push((pid, pname));
+        }
+        sources
+            .map_concept(DatastoreMapping {
+                concept: cid,
+                datastore: name.to_lowercase(),
+                columns,
+                key_columns: vec![format!("{}_id", name.to_lowercase())],
+            })
+            .expect("fresh concept mapping");
+        cid
+    };
+
+    for h in 0..spec.hubs {
+        let hub = declare(&mut o, &mut sources, format!("Hub{h}"), spec.properties_per_concept.max(2));
+        hubs.push(hub);
+        for c in 0..spec.chains_per_hub {
+            let mut prev = hub;
+            for l in 0..spec.chain_length {
+                let cid = declare(&mut o, &mut sources, format!("H{h}C{c}L{l}"), spec.properties_per_concept);
+                let aid = o.add_many_to_one(format!("h{h}c{c}l{l}_link"), prev, cid);
+                let fk = format!("fk_{}", o.concept(cid).name.to_lowercase());
+                sources
+                    .map_association(JoinMapping {
+                        association: aid,
+                        from_columns: vec![fk],
+                        to_columns: vec![format!("{}_id", o.concept(cid).name.to_lowercase())],
+                    })
+                    .expect("fresh association mapping");
+                chain_concepts.push(cid);
+                prev = cid;
+            }
+        }
+    }
+
+    // Cross-links between random chain concepts (always many-to-one toward
+    // the later concept to keep the functional graph acyclic).
+    for x in 0..spec.cross_links {
+        if chain_concepts.len() < 2 {
+            break;
+        }
+        let i = rng.below(chain_concepts.len() - 1);
+        let j = i + 1 + rng.below(chain_concepts.len() - i - 1);
+        let (from, to) = (chain_concepts[i], chain_concepts[j]);
+        let aid = o.add_many_to_one(format!("cross{x}"), from, to);
+        sources
+            .map_association(JoinMapping {
+                association: aid,
+                from_columns: vec![format!("fk_cross{x}")],
+                to_columns: vec![format!("{}_id", o.concept(to).name.to_lowercase())],
+            })
+            .expect("fresh association mapping");
+    }
+
+    SyntheticDomain { ontology: o, sources, hubs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_concept_count() {
+        let spec = SyntheticSpec { hubs: 2, chains_per_hub: 3, chain_length: 4, ..Default::default() };
+        let d = generate(&spec);
+        assert_eq!(d.ontology.concept_count(), spec.concept_count());
+        assert_eq!(d.hubs.len(), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.ontology.concept_count(), b.ontology.concept_count());
+        assert_eq!(a.ontology.association_count(), b.ontology.association_count());
+        let names_a: Vec<_> = a.ontology.concept_ids().map(|c| a.ontology.concept(c).name.clone()).collect();
+        let names_b: Vec<_> = b.ontology.concept_ids().map(|c| b.ontology.concept(c).name.clone()).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn different_seeds_change_cross_links() {
+        let mut spec = SyntheticSpec { cross_links: 8, ..Default::default() };
+        let a = generate(&spec);
+        spec.seed = 7;
+        let b = generate(&spec);
+        // Same counts, same chain structure, but cross-link targets differ.
+        assert_eq!(a.ontology.association_count(), b.ontology.association_count());
+        let ends_a: Vec<_> = a.ontology.association_ids().map(|i| a.ontology.association(i).to).collect();
+        let ends_b: Vec<_> = b.ontology.association_ids().map(|i| b.ontology.association(i).to).collect();
+        assert_ne!(ends_a, ends_b, "cross links should depend on the seed");
+    }
+
+    #[test]
+    fn hubs_functionally_reach_their_chains() {
+        let d = generate(&SyntheticSpec::default());
+        let paths = d.ontology.functional_paths(d.hubs[0]);
+        assert_eq!(paths.len(), d.ontology.concept_count(), "every concept hangs off the single hub");
+    }
+
+    #[test]
+    fn registry_validates() {
+        let d = generate(&SyntheticSpec { hubs: 3, cross_links: 6, ..Default::default() });
+        assert!(d.sources.validate(&d.ontology).is_empty());
+    }
+
+    #[test]
+    fn with_concepts_hits_target_size_approximately() {
+        for n in [16, 64, 256] {
+            let d = generate(&SyntheticSpec::with_concepts(n, 1));
+            let got = d.ontology.concept_count();
+            assert!(got >= n && got <= n + 17, "asked {n}, got {got}");
+        }
+    }
+}

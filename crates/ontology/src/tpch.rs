@@ -1,0 +1,266 @@
+//! The TPC-H domain ontology and source schema mappings used throughout the
+//! paper's running example (Figure 2 shows this very ontology rendered in the
+//! Requirements Elicitor).
+//!
+//! Concept and property names follow TPC-H so that the paper's identifiers
+//! (`Part_p_nameATRIBUT`, `Lineitem_l_extendedpriceATRIBUT`, …) resolve
+//! directly. A small business vocabulary is layered on top, as §2.1
+//! describes ("a domain ontology can be additionally enriched with the
+//! business level vocabulary").
+
+use crate::mappings::{DatastoreMapping, JoinMapping, SourceRegistry};
+use crate::model::{ConceptId, DataType, Ontology};
+
+/// The TPC-H ontology together with its source registry.
+#[derive(Debug, Clone)]
+pub struct TpchDomain {
+    pub ontology: Ontology,
+    pub sources: SourceRegistry,
+}
+
+/// Builds the TPC-H domain: 8 concepts, 61 properties, 10 many-to-one
+/// associations, fully mapped onto the 8 TPC-H tables.
+pub fn domain() -> TpchDomain {
+    let mut o = Ontology::new();
+
+    let region = concept(&mut o, "Region", &[("r_regionkey", DataType::Integer, true), ("r_name", DataType::String, false), ("r_comment", DataType::String, false)]);
+    let nation = concept(&mut o, "Nation", &[("n_nationkey", DataType::Integer, true), ("n_name", DataType::String, false), ("n_comment", DataType::String, false)]);
+    let supplier = concept(
+        &mut o,
+        "Supplier",
+        &[
+            ("s_suppkey", DataType::Integer, true),
+            ("s_name", DataType::String, false),
+            ("s_address", DataType::String, false),
+            ("s_phone", DataType::String, false),
+            ("s_acctbal", DataType::Decimal, false),
+            ("s_comment", DataType::String, false),
+        ],
+    );
+    let customer = concept(
+        &mut o,
+        "Customer",
+        &[
+            ("c_custkey", DataType::Integer, true),
+            ("c_name", DataType::String, false),
+            ("c_address", DataType::String, false),
+            ("c_phone", DataType::String, false),
+            ("c_acctbal", DataType::Decimal, false),
+            ("c_mktsegment", DataType::String, false),
+            ("c_comment", DataType::String, false),
+        ],
+    );
+    let part = concept(
+        &mut o,
+        "Part",
+        &[
+            ("p_partkey", DataType::Integer, true),
+            ("p_name", DataType::String, false),
+            ("p_mfgr", DataType::String, false),
+            ("p_brand", DataType::String, false),
+            ("p_type", DataType::String, false),
+            ("p_size", DataType::Integer, false),
+            ("p_container", DataType::String, false),
+            ("p_retailprice", DataType::Decimal, false),
+            ("p_comment", DataType::String, false),
+        ],
+    );
+    let partsupp = concept(
+        &mut o,
+        "Partsupp",
+        &[
+            ("ps_partkey", DataType::Integer, true),
+            ("ps_suppkey", DataType::Integer, true),
+            ("ps_availqty", DataType::Integer, false),
+            ("ps_supplycost", DataType::Decimal, false),
+            ("ps_comment", DataType::String, false),
+        ],
+    );
+    let orders = concept(
+        &mut o,
+        "Orders",
+        &[
+            ("o_orderkey", DataType::Integer, true),
+            ("o_orderstatus", DataType::String, false),
+            ("o_totalprice", DataType::Decimal, false),
+            ("o_orderdate", DataType::Date, false),
+            ("o_orderpriority", DataType::String, false),
+            ("o_clerk", DataType::String, false),
+            ("o_shippriority", DataType::Integer, false),
+            ("o_comment", DataType::String, false),
+        ],
+    );
+    let lineitem = concept(
+        &mut o,
+        "Lineitem",
+        &[
+            ("l_orderkey", DataType::Integer, true),
+            ("l_linenumber", DataType::Integer, true),
+            ("l_quantity", DataType::Decimal, false),
+            ("l_extendedprice", DataType::Decimal, false),
+            ("l_discount", DataType::Decimal, false),
+            ("l_tax", DataType::Decimal, false),
+            ("l_returnflag", DataType::String, false),
+            ("l_linestatus", DataType::String, false),
+            ("l_shipdate", DataType::Date, false),
+            ("l_commitdate", DataType::Date, false),
+            ("l_receiptdate", DataType::Date, false),
+            ("l_shipinstruct", DataType::String, false),
+            ("l_shipmode", DataType::String, false),
+            ("l_comment", DataType::String, false),
+        ],
+    );
+
+    // Business vocabulary (Elicitor resolution targets).
+    o.add_concept_alias(lineitem, "sales");
+    o.add_concept_alias(lineitem, "sales line");
+    o.add_concept_alias(part, "product");
+    o.add_concept_alias(customer, "client");
+    o.add_concept_alias(nation, "country");
+    o.add_concept_alias(orders, "order");
+    o.add_concept_alias(supplier, "vendor");
+    let extprice = o.property(lineitem, "l_extendedprice").expect("declared above");
+    o.add_property_alias(extprice, "extended price");
+    let discount = o.property(lineitem, "l_discount").expect("declared above");
+    o.add_property_alias(discount, "discount rate");
+
+    // Associations, all many-to-one in the FK direction.
+    let li_orders = o.add_many_to_one("lineitem_of_order", lineitem, orders);
+    let li_part = o.add_many_to_one("lineitem_of_part", lineitem, part);
+    let li_supplier = o.add_many_to_one("lineitem_of_supplier", lineitem, supplier);
+    let li_partsupp = o.add_many_to_one("lineitem_of_partsupp", lineitem, partsupp);
+    let ps_part = o.add_many_to_one("partsupp_of_part", partsupp, part);
+    let ps_supplier = o.add_many_to_one("partsupp_of_supplier", partsupp, supplier);
+    let orders_customer = o.add_many_to_one("order_of_customer", orders, customer);
+    let customer_nation = o.add_many_to_one("customer_in_nation", customer, nation);
+    let supplier_nation = o.add_many_to_one("supplier_in_nation", supplier, nation);
+    let nation_region = o.add_many_to_one("nation_in_region", nation, region);
+
+    // Source schema mappings: every property maps 1:1 onto a TPC-H column.
+    let mut sources = SourceRegistry::new();
+    for (cid, table, keys) in [
+        (region, "region", vec!["r_regionkey"]),
+        (nation, "nation", vec!["n_nationkey"]),
+        (supplier, "supplier", vec!["s_suppkey"]),
+        (customer, "customer", vec!["c_custkey"]),
+        (part, "part", vec!["p_partkey"]),
+        (partsupp, "partsupp", vec!["ps_partkey", "ps_suppkey"]),
+        (orders, "orders", vec!["o_orderkey"]),
+        (lineitem, "lineitem", vec!["l_orderkey", "l_linenumber"]),
+    ] {
+        let columns = o
+            .all_properties(cid)
+            .into_iter()
+            .map(|pid| (pid, o.property_def(pid).name.clone()))
+            .collect();
+        sources
+            .map_concept(DatastoreMapping {
+                concept: cid,
+                datastore: table.to_string(),
+                columns,
+                key_columns: keys.into_iter().map(String::from).collect(),
+            })
+            .expect("each TPC-H concept mapped once");
+    }
+    for (aid, from_cols, to_cols) in [
+        (li_orders, vec!["l_orderkey"], vec!["o_orderkey"]),
+        (li_part, vec!["l_partkey"], vec!["p_partkey"]),
+        (li_supplier, vec!["l_suppkey"], vec!["s_suppkey"]),
+        (li_partsupp, vec!["l_partkey", "l_suppkey"], vec!["ps_partkey", "ps_suppkey"]),
+        (ps_part, vec!["ps_partkey"], vec!["p_partkey"]),
+        (ps_supplier, vec!["ps_suppkey"], vec!["s_suppkey"]),
+        (orders_customer, vec!["o_custkey"], vec!["c_custkey"]),
+        (customer_nation, vec!["c_nationkey"], vec!["n_nationkey"]),
+        (supplier_nation, vec!["s_nationkey"], vec!["n_nationkey"]),
+        (nation_region, vec!["n_regionkey"], vec!["r_regionkey"]),
+    ] {
+        sources
+            .map_association(JoinMapping {
+                association: aid,
+                from_columns: from_cols.into_iter().map(String::from).collect(),
+                to_columns: to_cols.into_iter().map(String::from).collect(),
+            })
+            .expect("each TPC-H association mapped once");
+    }
+
+    TpchDomain { ontology: o, sources }
+}
+
+fn concept(o: &mut Ontology, name: &str, props: &[(&str, DataType, bool)]) -> ConceptId {
+    let cid = o.add_concept(name).expect("TPC-H concept names are unique");
+    for (pname, dt, identifier) in props {
+        if *identifier {
+            o.add_identifier(cid, *pname, *dt).expect("TPC-H property names are unique");
+        } else {
+            o.add_property(cid, *pname, *dt).expect("TPC-H property names are unique");
+        }
+    }
+    cid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_eight_concepts_and_ten_associations() {
+        let d = domain();
+        assert_eq!(d.ontology.concept_count(), 8);
+        assert_eq!(d.ontology.association_count(), 10);
+    }
+
+    #[test]
+    fn registry_validates_against_ontology() {
+        let d = domain();
+        let errors = d.sources.validate(&d.ontology);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn paper_identifiers_resolve() {
+        let d = domain();
+        for id in ["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT", "Nation_n_nameATRIBUT", "Lineitem_l_extendedpriceATRIBUT", "Lineitem_l_discountATRIBUT"] {
+            assert!(d.ontology.resolve_property_ref(id).is_ok(), "{id} must resolve");
+        }
+    }
+
+    #[test]
+    fn lineitem_reaches_dimension_concepts_functionally() {
+        let d = domain();
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        let paths = d.ontology.functional_paths(li);
+        for name in ["Part", "Supplier", "Nation", "Region", "Orders", "Customer", "Partsupp"] {
+            let cid = d.ontology.concept_by_name(name).unwrap();
+            assert!(paths.contains_key(&cid), "Lineitem must functionally reach {name}");
+        }
+    }
+
+    #[test]
+    fn business_vocabulary_resolves() {
+        let d = domain();
+        assert!(d.ontology.resolve_term("product").is_ok());
+        assert!(d.ontology.resolve_term("Country").is_ok());
+        assert!(d.ontology.resolve_term("extended price").is_ok());
+    }
+
+    #[test]
+    fn composite_keys_are_mapped() {
+        let d = domain();
+        let ps = d.ontology.concept_by_name("Partsupp").unwrap();
+        assert_eq!(d.sources.datastore(ps).unwrap().key_columns, ["ps_partkey", "ps_suppkey"]);
+        let li = d.ontology.concept_by_name("Lineitem").unwrap();
+        assert_eq!(d.sources.datastore(li).unwrap().key_columns, ["l_orderkey", "l_linenumber"]);
+    }
+
+    #[test]
+    fn nation_is_shared_between_customer_and_supplier_paths() {
+        // The conformity that lets revenue-by-customer-nation and
+        // profit-by-supplier-nation share a Nation dimension.
+        let d = domain();
+        let cust = d.ontology.concept_by_name("Customer").unwrap();
+        let supp = d.ontology.concept_by_name("Supplier").unwrap();
+        let nation = d.ontology.concept_by_name("Nation").unwrap();
+        assert!(d.ontology.functional_path(cust, nation).is_some());
+        assert!(d.ontology.functional_path(supp, nation).is_some());
+    }
+}

@@ -1,0 +1,184 @@
+//! The generic XML↔JSON↔XML converter of the Communication & Metadata layer
+//! (paper §2.6: "a generic XML-JSON-XML parser for reading from and writing
+//! to the repository").
+//!
+//! The mapping is explicit and lossless:
+//!
+//! ```json
+//! { "tag": "edge",
+//!   "attrs": {"enabled": "Y"},
+//!   "children": [ {"text": "…"}, {"tag": "from", …} ] }
+//! ```
+//!
+//! Attribute and child order are preserved (the JSON model keeps member
+//! order), so `xml → json → xml` is the identity on the documents Quarry
+//! stores.
+
+use crate::json::Json;
+use quarry_xml::{Element, Node};
+use std::fmt;
+
+/// Errors converting JSON documents back into XML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertError {
+    pub message: String,
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML↔JSON conversion error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+fn convert_err(msg: impl Into<String>) -> ConvertError {
+    ConvertError { message: msg.into() }
+}
+
+/// Converts an XML element tree into the canonical JSON encoding.
+pub fn xml_to_json(element: &Element) -> Json {
+    let mut obj = Json::object();
+    obj.set("tag", Json::String(element.name.clone()));
+    if !element.attrs.is_empty() {
+        let attrs = element.attrs.iter().map(|(k, v)| (k.clone(), Json::String(v.clone()))).collect();
+        obj.set("attrs", Json::Object(attrs));
+    }
+    if !element.children.is_empty() {
+        let children = element
+            .children
+            .iter()
+            .map(|node| match node {
+                Node::Element(e) => xml_to_json(e),
+                Node::Text(t) => {
+                    let mut o = Json::object();
+                    o.set("text", Json::String(t.clone()));
+                    o
+                }
+                Node::Comment(c) => {
+                    let mut o = Json::object();
+                    o.set("comment", Json::String(c.clone()));
+                    o
+                }
+            })
+            .collect();
+        obj.set("children", Json::Array(children));
+    }
+    obj
+}
+
+/// Converts the canonical JSON encoding back into an XML element tree.
+pub fn json_to_xml(json: &Json) -> Result<Element, ConvertError> {
+    let tag = json
+        .get("tag")
+        .and_then(Json::as_str)
+        .ok_or_else(|| convert_err("object without a string `tag`"))?;
+    let mut element = Element::new(tag);
+    if let Some(attrs) = json.get("attrs") {
+        match attrs {
+            Json::Object(members) => {
+                for (k, v) in members {
+                    let value = v.as_str().ok_or_else(|| convert_err(format!("attribute `{k}` is not a string")))?;
+                    element.attrs.push((k.clone(), value.to_string()));
+                }
+            }
+            _ => return Err(convert_err("`attrs` is not an object")),
+        }
+    }
+    if let Some(children) = json.get("children") {
+        let items = children.as_array().ok_or_else(|| convert_err("`children` is not an array"))?;
+        for item in items {
+            if let Some(text) = item.get("text") {
+                let t = text.as_str().ok_or_else(|| convert_err("`text` is not a string"))?;
+                element.children.push(Node::Text(t.to_string()));
+            } else if let Some(comment) = item.get("comment") {
+                let c = comment.as_str().ok_or_else(|| convert_err("`comment` is not a string"))?;
+                element.children.push(Node::Comment(c.to_string()));
+            } else {
+                element.children.push(Node::Element(json_to_xml(item)?));
+            }
+        }
+    }
+    Ok(element)
+}
+
+/// Convenience: parses an XML string and returns its JSON encoding.
+pub fn xml_string_to_json(xml: &str) -> Result<Json, quarry_xml::ParseError> {
+    Ok(xml_to_json(&quarry_xml::parse(xml)?))
+}
+
+/// Convenience: renders the JSON encoding back to a pretty XML string.
+pub fn json_to_xml_string(json: &Json) -> Result<String, ConvertError> {
+    Ok(json_to_xml(json)?.to_pretty_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        quarry_xml::parse(
+            r#"<design version="1">
+              <edges>
+                <edge><from>DATASTORE_Partsupp</from><to>EXTRACTION_Partsupp</to><enabled>Y</enabled></edge>
+              </edges>
+              <nodes>
+                <node special="a &lt; b"><name>DATASTORE_Partsupp</name></node>
+              </nodes>
+            </design>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn xml_json_xml_is_identity() {
+        let original = sample();
+        let json = xml_to_json(&original);
+        let back = json_to_xml(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn json_encoding_shape() {
+        let json = xml_to_json(&sample());
+        assert_eq!(json.path("tag").and_then(Json::as_str), Some("design"));
+        assert_eq!(json.path("attrs.version").and_then(Json::as_str), Some("1"));
+        assert_eq!(json.path("children.0.tag").and_then(Json::as_str), Some("edges"));
+        assert_eq!(
+            json.path("children.0.children.0.children.0.children.0.text").and_then(Json::as_str),
+            Some("DATASTORE_Partsupp")
+        );
+    }
+
+    #[test]
+    fn comments_survive() {
+        let e = quarry_xml::parse("<a><!-- generated --><b/></a>").unwrap();
+        let back = json_to_xml(&xml_to_json(&e)).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn attribute_order_survives() {
+        let e = quarry_xml::parse(r#"<n z="1" a="2" m="3"/>"#).unwrap();
+        let back = json_to_xml(&xml_to_json(&e)).unwrap();
+        assert_eq!(back.attrs, e.attrs);
+    }
+
+    #[test]
+    fn json_through_text_roundtrip() {
+        // The full repository path: XML → JSON → JSON text → JSON → XML.
+        let original = sample();
+        let json_text = xml_to_json(&original).to_compact_string();
+        let reparsed = Json::parse(&json_text).unwrap();
+        let back = json_to_xml(&reparsed).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn malformed_encodings_error() {
+        assert!(json_to_xml(&Json::Null).is_err());
+        assert!(json_to_xml(&Json::parse(r#"{"notag": 1}"#).unwrap()).is_err());
+        assert!(json_to_xml(&Json::parse(r#"{"tag":"a","attrs":{"x":1}}"#).unwrap()).is_err());
+        assert!(json_to_xml(&Json::parse(r#"{"tag":"a","children":{"x":1}}"#).unwrap()).is_err());
+    }
+}

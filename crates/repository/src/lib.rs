@@ -1,0 +1,22 @@
+//! The Communication & Metadata layer's storage substrate (paper §2.5–2.6).
+//!
+//! The original Quarry keeps all lifecycle metadata — xRQ/xMD/xLM documents,
+//! domain ontologies, source mappings, requirement↔design links — in a
+//! MongoDB instance reached through "a generic XML-JSON-XML parser for
+//! reading from and writing to the repository". This crate rebuilds that
+//! stack in-process:
+//!
+//! - [`Json`] — a JSON value model with parser and writer;
+//! - [`convert`] — the generic, lossless XML↔JSON↔XML converter;
+//! - [`DocumentStore`] / [`Repository`] — a collection-oriented document
+//!   store with field-path queries, plus a thread-safe, versioned artifact
+//!   API used by the Quarry façade to persist every design generation.
+
+#![forbid(unsafe_code)]
+
+pub mod convert;
+mod json;
+mod store;
+
+pub use json::{Json, JsonError};
+pub use store::{Artifact, ArtifactKind, DocId, DocumentStore, Repository, StoreError};

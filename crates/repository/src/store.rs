@@ -1,0 +1,375 @@
+//! The document store and the versioned artifact repository built on it.
+
+use crate::json::Json;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a document within a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+/// Store-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    UnknownCollection(String),
+    UnknownDocument(DocId),
+    UnknownArtifact { kind: &'static str, key: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownCollection(c) => write!(f, "unknown collection `{c}`"),
+            StoreError::UnknownDocument(id) => write!(f, "unknown document #{}", id.0),
+            StoreError::UnknownArtifact { kind, key } => write!(f, "no {kind} artifact stored for `{key}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[derive(Debug, Default, Clone)]
+struct Collection {
+    next_id: u64,
+    docs: BTreeMap<DocId, Json>,
+}
+
+/// A collection-oriented document store (the MongoDB stand-in).
+#[derive(Debug, Default, Clone)]
+pub struct DocumentStore {
+    collections: BTreeMap<String, Collection>,
+}
+
+impl DocumentStore {
+    pub fn new() -> Self {
+        DocumentStore::default()
+    }
+
+    /// Inserts a document, creating the collection on first use. Returns the
+    /// assigned id.
+    pub fn insert(&mut self, collection: &str, doc: Json) -> DocId {
+        let col = self.collections.entry(collection.to_string()).or_default();
+        let id = DocId(col.next_id);
+        col.next_id += 1;
+        col.docs.insert(id, doc);
+        id
+    }
+
+    pub fn get(&self, collection: &str, id: DocId) -> Option<&Json> {
+        self.collections.get(collection)?.docs.get(&id)
+    }
+
+    /// Replaces a document in place.
+    pub fn update(&mut self, collection: &str, id: DocId, doc: Json) -> Result<(), StoreError> {
+        let col = self
+            .collections
+            .get_mut(collection)
+            .ok_or_else(|| StoreError::UnknownCollection(collection.to_string()))?;
+        match col.docs.get_mut(&id) {
+            Some(slot) => {
+                *slot = doc;
+                Ok(())
+            }
+            None => Err(StoreError::UnknownDocument(id)),
+        }
+    }
+
+    pub fn delete(&mut self, collection: &str, id: DocId) -> bool {
+        self.collections.get_mut(collection).map(|c| c.docs.remove(&id).is_some()).unwrap_or(false)
+    }
+
+    /// All documents of a collection in id order.
+    pub fn scan(&self, collection: &str) -> Vec<(DocId, &Json)> {
+        self.collections
+            .get(collection)
+            .map(|c| c.docs.iter().map(|(id, d)| (*id, d)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Documents whose dotted `path` equals the given string value — the
+    /// field-path query shape the lifecycle uses (e.g. all designs for a
+    /// requirement id).
+    pub fn find_by(&self, collection: &str, path: &str, value: &str) -> Vec<(DocId, &Json)> {
+        self.scan(collection)
+            .into_iter()
+            .filter(|(_, d)| d.path(path).and_then(Json::as_str) == Some(value))
+            .collect()
+    }
+
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(String::as_str).collect()
+    }
+
+    pub fn count(&self, collection: &str) -> usize {
+        self.collections.get(collection).map(|c| c.docs.len()).unwrap_or(0)
+    }
+}
+
+/// Kinds of design artifacts the lifecycle persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    Requirement,
+    MdSchema,
+    EtlFlow,
+    Ontology,
+    Deployment,
+}
+
+impl ArtifactKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::Requirement => "requirement",
+            ArtifactKind::MdSchema => "md-schema",
+            ArtifactKind::EtlFlow => "etl-flow",
+            ArtifactKind::Ontology => "ontology",
+            ArtifactKind::Deployment => "deployment",
+        }
+    }
+
+    fn collection(self) -> String {
+        format!("artifacts.{}", self.as_str())
+    }
+}
+
+/// One stored artifact version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    pub kind: ArtifactKind,
+    /// Logical key, e.g. a requirement id or `unified`.
+    pub key: String,
+    /// Monotonically increasing version per (kind, key).
+    pub version: u64,
+    /// Serialized content (xRQ/xMD/xLM/OWL-subset document).
+    pub content: String,
+}
+
+/// The thread-safe metadata repository: a document store plus the versioned
+/// artifact API and requirement↔design traceability links.
+#[derive(Debug, Default)]
+pub struct Repository {
+    store: RwLock<DocumentStore>,
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Stores a new version of an artifact and returns it.
+    pub fn put_artifact(&self, kind: ArtifactKind, key: &str, content: &str) -> Artifact {
+        let mut store = self.store.write();
+        let collection = kind.collection();
+        let version = store
+            .find_by(&collection, "key", key)
+            .into_iter()
+            .filter_map(|(_, d)| d.path("version").and_then(Json::as_f64))
+            .fold(0u64, |acc, v| acc.max(v as u64))
+            + 1;
+        let mut doc = Json::object();
+        doc.set("key", Json::String(key.to_string()));
+        doc.set("version", Json::Number(version as f64));
+        doc.set("content", Json::String(content.to_string()));
+        store.insert(&collection, doc);
+        Artifact { kind, key: key.to_string(), version, content: content.to_string() }
+    }
+
+    /// Latest version of an artifact.
+    pub fn latest(&self, kind: ArtifactKind, key: &str) -> Result<Artifact, StoreError> {
+        let store = self.store.read();
+        let collection = kind.collection();
+        store
+            .find_by(&collection, "key", key)
+            .into_iter()
+            .filter_map(|(_, d)| {
+                Some(Artifact {
+                    kind,
+                    key: key.to_string(),
+                    version: d.path("version")?.as_f64()? as u64,
+                    content: d.path("content")?.as_str()?.to_string(),
+                })
+            })
+            .max_by_key(|a| a.version)
+            .ok_or(StoreError::UnknownArtifact { kind: kind.as_str(), key: key.to_string() })
+    }
+
+    /// Full version history of an artifact, oldest first.
+    pub fn history(&self, kind: ArtifactKind, key: &str) -> Vec<Artifact> {
+        let store = self.store.read();
+        let mut out: Vec<Artifact> = store
+            .find_by(&kind.collection(), "key", key)
+            .into_iter()
+            .filter_map(|(_, d)| {
+                Some(Artifact {
+                    kind,
+                    key: key.to_string(),
+                    version: d.path("version")?.as_f64()? as u64,
+                    content: d.path("content")?.as_str()?.to_string(),
+                })
+            })
+            .collect();
+        out.sort_by_key(|a| a.version);
+        out
+    }
+
+    /// All keys currently stored for a kind.
+    pub fn keys(&self, kind: ArtifactKind) -> Vec<String> {
+        let store = self.store.read();
+        let mut keys: Vec<String> = store
+            .scan(&kind.collection())
+            .into_iter()
+            .filter_map(|(_, d)| d.path("key").and_then(Json::as_str).map(str::to_string))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Records that `requirement` is satisfied by the named design artifact.
+    pub fn link_requirement(&self, requirement: &str, kind: ArtifactKind, key: &str) {
+        let mut doc = Json::object();
+        doc.set("requirement", Json::String(requirement.to_string()));
+        doc.set("kind", Json::String(kind.as_str().to_string()));
+        doc.set("key", Json::String(key.to_string()));
+        self.store.write().insert("links", doc);
+    }
+
+    /// The design artifacts linked to a requirement as (kind-name, key).
+    pub fn links_for(&self, requirement: &str) -> Vec<(String, String)> {
+        let store = self.store.read();
+        store
+            .find_by("links", "requirement", requirement)
+            .into_iter()
+            .filter_map(|(_, d)| {
+                Some((d.path("kind")?.as_str()?.to_string(), d.path("key")?.as_str()?.to_string()))
+            })
+            .collect()
+    }
+
+    /// Removes all traceability links of a requirement (used on retraction).
+    pub fn unlink_requirement(&self, requirement: &str) -> usize {
+        let mut store = self.store.write();
+        let ids: Vec<DocId> =
+            store.find_by("links", "requirement", requirement).into_iter().map(|(id, _)| id).collect();
+        for id in &ids {
+            store.delete("links", *id);
+        }
+        ids.len()
+    }
+
+    /// Runs a closure with read access to the raw document store.
+    pub fn with_store<R>(&self, f: impl FnOnce(&DocumentStore) -> R) -> R {
+        f(&self.store.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_delete() {
+        let mut s = DocumentStore::new();
+        let id = s.insert("c", Json::parse(r#"{"a":1}"#).unwrap());
+        assert_eq!(s.get("c", id).unwrap().path("a").and_then(Json::as_f64), Some(1.0));
+        s.update("c", id, Json::parse(r#"{"a":2}"#).unwrap()).unwrap();
+        assert_eq!(s.get("c", id).unwrap().path("a").and_then(Json::as_f64), Some(2.0));
+        assert!(s.delete("c", id));
+        assert!(!s.delete("c", id));
+        assert!(s.get("c", id).is_none());
+    }
+
+    #[test]
+    fn update_errors() {
+        let mut s = DocumentStore::new();
+        assert_eq!(
+            s.update("ghost", DocId(0), Json::Null),
+            Err(StoreError::UnknownCollection("ghost".into()))
+        );
+        s.insert("c", Json::Null);
+        assert_eq!(s.update("c", DocId(9), Json::Null), Err(StoreError::UnknownDocument(DocId(9))));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut s = DocumentStore::new();
+        let a = s.insert("c", Json::Null);
+        s.delete("c", a);
+        let b = s.insert("c", Json::Null);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn find_by_field_path() {
+        let mut s = DocumentStore::new();
+        s.insert("designs", Json::parse(r#"{"meta":{"req":"IR1"},"n":1}"#).unwrap());
+        s.insert("designs", Json::parse(r#"{"meta":{"req":"IR2"},"n":2}"#).unwrap());
+        s.insert("designs", Json::parse(r#"{"meta":{"req":"IR1"},"n":3}"#).unwrap());
+        let hits = s.find_by("designs", "meta.req", "IR1");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(s.find_by("designs", "meta.req", "IR9").len(), 0);
+        assert_eq!(s.count("designs"), 3);
+    }
+
+    #[test]
+    fn artifact_versions_increment() {
+        let r = Repository::new();
+        let a1 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v1/>");
+        let a2 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v2/>");
+        assert_eq!((a1.version, a2.version), (1, 2));
+        assert_eq!(r.latest(ArtifactKind::MdSchema, "unified").unwrap().content, "<MDschema v2/>");
+        let history = r.history(ArtifactKind::MdSchema, "unified");
+        assert_eq!(history.len(), 2);
+        assert!(history[0].version < history[1].version);
+    }
+
+    #[test]
+    fn artifact_kinds_are_isolated() {
+        let r = Repository::new();
+        r.put_artifact(ArtifactKind::MdSchema, "k", "md");
+        r.put_artifact(ArtifactKind::EtlFlow, "k", "etl");
+        assert_eq!(r.latest(ArtifactKind::MdSchema, "k").unwrap().content, "md");
+        assert_eq!(r.latest(ArtifactKind::EtlFlow, "k").unwrap().content, "etl");
+        assert!(r.latest(ArtifactKind::Requirement, "k").is_err());
+    }
+
+    #[test]
+    fn keys_lists_unique_sorted() {
+        let r = Repository::new();
+        r.put_artifact(ArtifactKind::Requirement, "IR2", "x");
+        r.put_artifact(ArtifactKind::Requirement, "IR1", "x");
+        r.put_artifact(ArtifactKind::Requirement, "IR1", "y");
+        assert_eq!(r.keys(ArtifactKind::Requirement), ["IR1", "IR2"]);
+    }
+
+    #[test]
+    fn requirement_links_roundtrip() {
+        let r = Repository::new();
+        r.link_requirement("IR1", ArtifactKind::MdSchema, "partial-IR1");
+        r.link_requirement("IR1", ArtifactKind::EtlFlow, "flow-IR1");
+        let links = r.links_for("IR1");
+        assert_eq!(links.len(), 2);
+        assert_eq!(r.unlink_requirement("IR1"), 2);
+        assert!(r.links_for("IR1").is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_versions() {
+        let r = std::sync::Arc::new(Repository::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        r.put_artifact(ArtifactKind::EtlFlow, "shared", "v");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.history(ArtifactKind::EtlFlow, "shared").len(), 400);
+        assert_eq!(r.latest(ArtifactKind::EtlFlow, "shared").unwrap().version, 400);
+    }
+}

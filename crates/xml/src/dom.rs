@@ -1,0 +1,230 @@
+//! A small, ergonomic XML DOM used by every Quarry format binding.
+
+use crate::writer;
+
+/// A node in the XML tree: an element, a text run, or a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    Element(Element),
+    Text(String),
+    Comment(String),
+}
+
+impl Node {
+    /// Returns the element inside this node, if it is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns the text inside this node, if it is a text run.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: a name, ordered attributes, and ordered child nodes.
+///
+/// Attribute order is preserved (it matters for golden tests against the
+/// paper's artifact snippets), and duplicate attribute names are rejected at
+/// parse time but last-write-wins through [`Element::set_attr`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: adds or replaces an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder: appends a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: appends a text node.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Builder: appends a child element named `name` whose only content is
+    /// `text` — the dominant shape in xMD/xLM documents.
+    pub fn with_text_child(self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.with_child(Element::new(name).with_text(text))
+    }
+
+    /// Adds or replaces an attribute in place.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((name, value));
+        }
+    }
+
+    /// Appends a child element in place.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Appends a text node in place.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates over the direct child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Returns the first direct child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Returns all direct child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated text content of this element's direct text children,
+    /// trimmed. Returns `None` when there is no non-empty text.
+    pub fn text(&self) -> Option<&str> {
+        self.children.iter().find_map(|n| {
+            let t = n.as_text()?.trim();
+            (!t.is_empty()).then_some(t)
+        })
+    }
+
+    /// Text of the first child element with the given name, trimmed.
+    ///
+    /// `design.child_text("name")` reads `<design><name>x</name></design>`.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).and_then(Element::text)
+    }
+
+    /// Descends a path of child element names, returning the final element.
+    pub fn path(&self, path: &[&str]) -> Option<&Element> {
+        let mut cur = self;
+        for name in path {
+            cur = cur.child(name)?;
+        }
+        Some(cur)
+    }
+
+    /// Collects every descendant element (depth-first, pre-order) whose name
+    /// matches, including self.
+    pub fn descendants_named<'a>(&'a self, name: &str, out: &mut Vec<&'a Element>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for child in self.elements() {
+            child.descendants_named(name, out);
+        }
+    }
+
+    /// Total number of elements in this subtree, including self.
+    pub fn element_count(&self) -> usize {
+        1 + self.elements().map(Element::element_count).sum::<usize>()
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        writer::write_pretty(self)
+    }
+
+    /// Serializes without any inter-element whitespace.
+    pub fn to_compact_string(&self) -> String {
+        writer::write_compact(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("design")
+            .with_attr("version", "1.0")
+            .with_child(
+                Element::new("metadata")
+                    .with_text_child("author", "quarry")
+                    .with_text_child("id", "IR1"),
+            )
+            .with_child(Element::new("nodes").with_child(Element::new("node").with_text_child("name", "DATASTORE_Partsupp")))
+    }
+
+    #[test]
+    fn attr_lookup_and_replacement() {
+        let mut e = sample();
+        assert_eq!(e.attr("version"), Some("1.0"));
+        assert_eq!(e.attr("missing"), None);
+        e.set_attr("version", "2.0");
+        assert_eq!(e.attr("version"), Some("2.0"));
+        assert_eq!(e.attrs.len(), 1, "set_attr must replace, not append");
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.path(&["metadata", "author"]).and_then(Element::text), Some("quarry"));
+        assert_eq!(e.child_text("missing"), None);
+        assert_eq!(e.path(&["nodes", "node", "name"]).and_then(Element::text), Some("DATASTORE_Partsupp"));
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let e = Element::new("edges")
+            .with_child(Element::new("edge").with_attr("id", "1"))
+            .with_child(Element::new("note"))
+            .with_child(Element::new("edge").with_attr("id", "2"));
+        let ids: Vec<_> = e.children_named("edge").filter_map(|c| c.attr("id")).collect();
+        assert_eq!(ids, ["1", "2"]);
+    }
+
+    #[test]
+    fn descendants_collects_depth_first() {
+        let e = sample();
+        let mut found = Vec::new();
+        e.descendants_named("name", &mut found);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].text(), Some("DATASTORE_Partsupp"));
+    }
+
+    #[test]
+    fn element_count_counts_subtree() {
+        assert_eq!(sample().element_count(), 7);
+    }
+
+    #[test]
+    fn text_skips_whitespace_runs() {
+        let e = Element::new("x").with_text("  \n ").with_text("value");
+        assert_eq!(e.text(), Some("value"));
+        let empty = Element::new("x").with_text("   ");
+        assert_eq!(empty.text(), None);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// A line/column position in an XML source text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error raised while parsing XML, carrying the source position at which
+/// the problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new(Pos { line: 3, col: 17 }, "unexpected `<`");
+        assert_eq!(e.to_string(), "XML parse error at 3:17: unexpected `<`");
+    }
+
+    #[test]
+    fn start_position_is_one_based() {
+        assert_eq!(Pos::START, Pos { line: 1, col: 1 });
+    }
+}

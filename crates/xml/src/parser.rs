@@ -1,0 +1,425 @@
+//! A recursive-descent XML parser with positioned errors.
+//!
+//! Supports the XML fragment used by Quarry's formats: one root element,
+//! attributes, nested elements, text, CDATA sections, comments, an optional
+//! `<?xml ...?>` declaration, and `<!DOCTYPE ...>` (skipped). Namespaces are
+//! treated lexically (prefixes stay part of the name), as the Quarry formats
+//! never rely on prefix rebinding.
+
+use crate::dom::{Element, Node};
+use crate::error::{ParseError, Pos};
+use crate::escape::unescape;
+use crate::Result;
+
+/// Parses an XML document and returns its root element. A leading UTF-8
+/// byte-order mark is tolerated (documents exported from Windows tools
+/// often carry one).
+pub fn parse(input: &str) -> Result<Element> {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("content after the root element"));
+    }
+    Ok(root)
+}
+
+/// Maximum element nesting depth: recursive descent must not let hostile
+/// documents overflow the stack.
+const MAX_DEPTH: u32 = 256;
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, bytes: src.as_bytes(), i: 0, line: 1, col: 1, depth: 0 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos(), msg)
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.i..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count one column per character, not per continuation byte.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Skips the XML declaration, DOCTYPE, comments and whitespace before the
+    /// root element.
+    fn skip_prolog(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips trailing comments/whitespace after the root element.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<()> {
+        match self.src[self.i..].find(end) {
+            Some(off) => {
+                self.advance(off + end.len());
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{end}`"))),
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<String> {
+        self.expect("<!--")?;
+        let start = self.i;
+        match self.src[self.i..].find("-->") {
+            Some(off) => {
+                let text = self.src[start..start + off].to_string();
+                self.advance(off + 3);
+                Ok(text)
+            }
+            None => Err(self.err("unterminated comment")),
+        }
+    }
+
+    /// DOCTYPE may contain a bracketed internal subset; skip with nesting.
+    fn skip_doctype(&mut self) -> Result<()> {
+        self.expect("<!")?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some(b'<') => depth += 1,
+                Some(b'>') => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err("unterminated DOCTYPE")),
+            }
+        }
+        Ok(())
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_byte(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.i;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_byte(b)) {
+            self.bump();
+        }
+        Ok(self.src[start..self.i].to_string())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.bump();
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.src[start..self.i];
+                self.bump();
+                return Ok(unescape(raw).into_owned());
+            }
+            if b == b'<' {
+                return Err(self.err("`<` inside an attribute value"));
+            }
+            self.bump();
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("element nesting exceeds {MAX_DEPTH} levels")));
+        }
+        let element = self.parse_element_inner();
+        self.depth -= 1;
+        element
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let attr_pos = self.pos();
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(ParseError::new(attr_pos, format!("duplicate attribute `{attr_name}`")));
+                    }
+                    element.attrs.push((attr_name, value));
+                }
+                _ => return Err(self.err("malformed start tag")),
+            }
+        }
+        self.parse_content(&mut element)?;
+        Ok(element)
+    }
+
+    fn parse_content(&mut self, element: &mut Element) -> Result<()> {
+        loop {
+            if self.starts_with("</") {
+                self.advance(2);
+                let name = self.parse_name()?;
+                if name != element.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected `</{}>`, found `</{}>`",
+                        element.name, name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                let text = self.skip_comment()?;
+                element.children.push(Node::Comment(text));
+            } else if self.starts_with("<![CDATA[") {
+                self.advance("<![CDATA[".len());
+                let start = self.i;
+                match self.src[self.i..].find("]]>") {
+                    Some(off) => {
+                        element.children.push(Node::Text(self.src[start..start + off].to_string()));
+                        self.advance(off + 3);
+                    }
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else if self.at_end() {
+                return Err(self.err(format!("unexpected end of input inside `<{}>`", element.name)));
+            } else {
+                let start = self.i;
+                while !self.at_end() && self.peek() != Some(b'<') {
+                    self.bump();
+                }
+                let raw = &self.src[start..self.i];
+                if !raw.trim().is_empty() {
+                    element.children.push(Node::Text(unescape(raw.trim()).into_owned()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let e = parse("<design/>").unwrap();
+        assert_eq!(e.name, "design");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_crashed() {
+        let deep = format!("{}x{}", "<a>".repeat(10_000), "</a>".repeat(10_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Reasonable depth still parses.
+        let ok = format!("{}x{}", "<a>".repeat(200), "</a>".repeat(200));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn tolerates_a_byte_order_mark() {
+        let e = parse("\u{feff}<design/>").unwrap();
+        assert_eq!(e.name, "design");
+    }
+
+    #[test]
+    fn parses_declaration_and_doctype() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE design [<!ELEMENT design ANY>]>\n<design><name>f</name></design>").unwrap();
+        assert_eq!(e.child_text("name"), Some("f"));
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let e = parse(r#"<concept id="Part_p_name" kind='dimension'/>"#).unwrap();
+        assert_eq!(e.attr("id"), Some("Part_p_name"));
+        assert_eq!(e.attr("kind"), Some("dimension"));
+    }
+
+    #[test]
+    fn unescapes_text_and_attributes() {
+        let e = parse(r#"<f expr="a &lt; b">x &amp; y</f>"#).unwrap();
+        assert_eq!(e.attr("expr"), Some("a < b"));
+        assert_eq!(e.text(), Some("x & y"));
+    }
+
+    #[test]
+    fn parses_nested_structure() {
+        let xml = "<design><edges><edge><from>DATASTORE_Partsupp</from><to>EXTRACTION_Partsupp</to></edge></edges></design>";
+        let e = parse(xml).unwrap();
+        let edge = e.path(&["edges", "edge"]).unwrap();
+        assert_eq!(edge.child_text("from"), Some("DATASTORE_Partsupp"));
+        assert_eq!(edge.child_text("to"), Some("EXTRACTION_Partsupp"));
+    }
+
+    #[test]
+    fn keeps_cdata_verbatim() {
+        let e = parse("<f><![CDATA[a < b && c]]></f>").unwrap();
+        assert_eq!(e.text(), Some("a < b && c"));
+    }
+
+    #[test]
+    fn preserves_comments_in_content() {
+        let e = parse("<root><!-- note --><x/></root>").unwrap();
+        assert!(matches!(&e.children[0], Node::Comment(c) if c.trim() == "note"));
+        assert!(e.child("x").is_some());
+    }
+
+    #[test]
+    fn rejects_mismatched_tags_with_position() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{err}");
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(err.message.contains("duplicate attribute"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("after the root"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_documents() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=\"x").is_err());
+        assert!(parse("<!-- never closed").is_err());
+    }
+
+    #[test]
+    fn position_tracking_counts_lines() {
+        let err = parse("<a>\n\n\n<b></b\n</a>").unwrap_err();
+        assert!(err.pos.line >= 4, "error should point near line 4, got {}", err.pos);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let e = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn roundtrips_writer_output() {
+        let original = Element::new("MDschema")
+            .with_attr("name", "unified \"v1\"")
+            .with_child(
+                Element::new("facts").with_child(
+                    Element::new("fact")
+                        .with_text_child("name", "fact_table_revenue")
+                        .with_text_child("expr", "price * (1 - discount)"),
+                ),
+            );
+        for xml in [original.to_pretty_string(), original.to_compact_string()] {
+            assert_eq!(parse(&xml).unwrap(), original);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: any DOM tree the generator can produce must survive a
+//! serialize → parse round-trip, in both pretty and compact layouts.
+
+use proptest::prelude::*;
+use quarry_xml::{parse, Element};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,12}"
+}
+
+/// Text content, including XML-hostile characters that must be escaped.
+/// Leading/trailing whitespace is excluded because the parser trims text runs
+/// (the Quarry formats are whitespace-insensitive by design).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' =/*()-]{1,24}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3), prop::option::of(text_strategy())).prop_map(
+        |(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                // Generator may repeat attribute names; set_attr dedups.
+                e.set_attr(k, v);
+            }
+            if let Some(t) = text {
+                e.push_text(t);
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut e = Element::new(name);
+            for c in children {
+                e.push_child(c);
+            }
+            e
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_roundtrip(e in element_strategy()) {
+        let xml = e.to_pretty_string();
+        let parsed = parse(&xml).unwrap_or_else(|err| panic!("{err}\n---\n{xml}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn compact_roundtrip(e in element_strategy()) {
+        let xml = e.to_compact_string();
+        let parsed = parse(&xml).unwrap_or_else(|err| panic!("{err}\n---\n{xml}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn unescape_inverts_escape(s in "[ -~]{0,64}") {
+        prop_assert_eq!(quarry_xml::unescape(&quarry_xml::escape_attr(&s)).into_owned(), s.clone());
+        prop_assert_eq!(quarry_xml::unescape(&quarry_xml::escape_text(&s)).into_owned(), s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[ -~]{0,128}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,58 @@
+//! Assisted data exploration with the Requirements Elicitor (demo
+//! scenario 1: "DW design" — business users pose information requirements
+//! in domain vocabulary, without knowing the underlying sources).
+//!
+//! Run with: `cargo run --example elicitor_session`
+
+use quarry::Quarry;
+
+fn main() {
+    let quarry = Quarry::tpch();
+    let elicitor = quarry.elicitor();
+
+    // Which concepts make good analysis foci at all?
+    println!("suggested analysis foci:");
+    for f in elicitor.suggest_foci().iter().take(4) {
+        println!("  {:<10} score {:.1}", f.name, f.score);
+    }
+
+    // The user picks Lineitem; Quarry proposes perspectives (paper §2.1:
+    // suggests e.g. Supplier, Nation, Part).
+    let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("TPC-H has Lineitem");
+    let perspective = elicitor.explore(lineitem);
+    println!("\nmeasure candidates on Lineitem:");
+    for m in &perspective.measures {
+        println!("  {}", m.reference);
+    }
+    println!("\ndimension candidates (top 6):");
+    for d in perspective.dimensions.iter().take(6) {
+        println!("  {:<10} via {}", d.name, d.via.join(" → "));
+    }
+
+    // The user assembles a requirement from business vocabulary — note the
+    // aliases ("product" for Part) resolved through the ontology.
+    let mut session = quarry.session("IR1");
+    session.describe("Average revenue per product and vendor, Spanish suppliers only");
+    session.add_dimension("Part.p_name").expect("resolves");
+    session.add_dimension("Supplier.s_name").expect("resolves");
+    session
+        .add_measure("revenue", "Lineitem.l_extendedprice * (1 - Lineitem.l_discount)")
+        .expect("expression references resolve");
+    session.add_slicer("Nation.n_name", "=", "Spain").expect("resolves");
+    session.aggregate("revenue", "Part.p_name", "AVERAGE").expect("valid aggregation");
+    session.aggregate("revenue", "Supplier.s_name", "AVERAGE").expect("valid aggregation");
+    let requirement = session.build().expect("requirement is complete");
+
+    println!("\nassembled xRQ:\n{}", requirement.to_string_pretty());
+
+    // Vocabulary mistakes are caught with helpful errors.
+    let mut bad = quarry.session("IR2");
+    match bad.add_dimension("Part") {
+        Err(e) => println!("as expected, `Part` alone is rejected: {e}"),
+        Ok(_) => unreachable!("a bare concept is not a dimension property"),
+    }
+    match bad.add_measure("m", "Lineitem.l_extendedprice + Ghost.column") {
+        Err(e) => println!("as expected, unknown references are rejected: {e}"),
+        Ok(_) => unreachable!("ghost references must fail"),
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the full Quarry lifecycle in one sitting.
+//!
+//! Builds the TPC-H domain, poses the paper's Figure 4 information
+//! requirement (*average revenue per part and supplier, for orders from
+//! Spain*), and walks it through interpretation, integration, deployment and
+//! native execution.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use quarry::Quarry;
+use quarry_formats::xrq::figure4_requirement;
+
+fn main() {
+    // 1. A Quarry instance over the TPC-H domain ontology + source mappings.
+    let mut quarry = Quarry::tpch();
+    println!("domain: {} concepts, {} associations", quarry.ontology().concept_count(), quarry.ontology().association_count());
+
+    // 2. The Requirements Elicitor suggests analytical perspectives.
+    let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("TPC-H has Lineitem");
+    let suggestions = quarry.elicitor().suggest_dimensions(lineitem);
+    println!("\nsuggested dimensions for focus `Lineitem`:");
+    for s in suggestions.iter().take(5) {
+        println!("  {:<10} (distance {}, score {:.2})", s.name, s.distance, s.score);
+    }
+
+    // 3. Pose the Figure 4 requirement (an xRQ document).
+    let requirement = figure4_requirement();
+    println!("\nxRQ document:\n{}", requirement.to_string_pretty());
+    let update = quarry.add_requirement(requirement).expect("figure 4 is MD-compliant");
+    println!("integrated requirement {}", update.requirement_id);
+    println!("  structural complexity: {:.1}", update.md_cost);
+    println!("  estimated ETL time:    {:.0}", update.etl_cost);
+
+    // 4. The unified design solutions.
+    let (md, etl) = quarry.unified();
+    let (facts, dims, levels, attrs, measures) = md.size();
+    println!("\nunified MD schema: {facts} fact(s), {dims} dimension(s), {levels} level(s), {attrs} attribute(s), {measures} measure(s)");
+    println!("unified ETL flow:  {} operations, {} edges", etl.op_count(), etl.edge_count());
+
+    // 5. Deploy: PostgreSQL DDL + Pentaho PDI transformation.
+    let artifacts = quarry.deploy("postgres-pdi").expect("design is sound");
+    println!("\n--- schema.sql (excerpt) ---");
+    for line in artifacts.file("schema.sql").expect("generated").lines().take(12) {
+        println!("{line}");
+    }
+
+    // 6. Execute natively on generated TPC-H data.
+    let catalog = quarry_engine::tpch::generate(0.01, 42);
+    let (engine, report) = quarry.run_etl(catalog).expect("flow executes");
+    println!("\nnative execution: {} rows processed in {:?}", report.rows_processed, report.total);
+    for (table, rows) in &report.loaded {
+        println!("  loaded {rows:>6} rows into {table}");
+    }
+    let fact = engine.catalog.get("fact_table_revenue").expect("fact loaded");
+    println!("\nfact_table_revenue sample:");
+    print!("{fact}");
+}

@@ -1,0 +1,86 @@
+//! Experiment E2: the Requirements Elicitor's assisted exploration
+//! (paper Figure 2 / §2.1) — including the paper's concrete example: the
+//! focus *Lineitem* yields suggested dimensions *Supplier*, *Nation*, *Part*.
+
+use quarry::Quarry;
+use quarry_elicitor::Elicitor;
+use quarry_ontology::synthetic::{generate, SyntheticSpec};
+
+#[test]
+fn the_papers_lineitem_example_holds() {
+    let quarry = Quarry::tpch();
+    let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("TPC-H has Lineitem");
+    let suggestions = quarry.elicitor().suggest_dimensions(lineitem);
+    let names: Vec<&str> = suggestions.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["Supplier", "Nation", "Part"] {
+        assert!(names.contains(&expected), "paper example: {expected} must be suggested, got {names:?}");
+    }
+}
+
+#[test]
+fn suggestions_are_ranked_and_carry_paths() {
+    let quarry = Quarry::tpch();
+    let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("present");
+    let suggestions = quarry.elicitor().suggest_dimensions(lineitem);
+    // Scores are non-increasing.
+    for pair in suggestions.windows(2) {
+        assert!(pair[0].score >= pair[1].score);
+    }
+    // Every suggestion explains how to get there from the focus.
+    for s in &suggestions {
+        assert_eq!(s.via.first().map(String::as_str), Some("Lineitem"), "{:?}", s.via);
+        assert_eq!(s.via.last().map(String::as_str), Some(s.name.as_str()));
+        assert_eq!(s.via.len(), s.distance + 1);
+    }
+}
+
+#[test]
+fn foci_ranking_prefers_transaction_grain_concepts() {
+    let quarry = Quarry::tpch();
+    let foci = quarry.elicitor().suggest_foci();
+    assert_eq!(foci[0].name, "Lineitem");
+    let pos = |n: &str| foci.iter().position(|f| f.name == n).expect("all concepts ranked");
+    assert!(pos("Lineitem") < pos("Region"), "rich hubs beat leaf concepts");
+}
+
+#[test]
+fn a_session_built_from_suggestions_interprets_cleanly() {
+    let quarry = Quarry::tpch();
+    let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("present");
+    let perspective = quarry.elicitor().explore(lineitem);
+
+    // Take the top measure and the top two dimensions, fully automatically.
+    let mut session = quarry.session("IR-auto");
+    let measure = &perspective.measures[0];
+    session.add_measure("auto_measure", &measure.reference).expect("suggested measures resolve");
+    for d in perspective.dimensions.iter().take(2) {
+        // Pick each suggested concept's first descriptive property.
+        let concept = d.concept;
+        let prop = quarry
+            .ontology()
+            .all_properties(concept)
+            .into_iter()
+            .find(|&p| !quarry.ontology().property_def(p).identifier)
+            .expect("suggested dimensions have descriptors");
+        session.add_dimension(&quarry.ontology().property_ref(prop)).expect("resolves");
+    }
+    let requirement = session.build().expect("complete");
+    let design = quarry.interpret(&requirement).expect("suggested perspectives are MD-compliant");
+    assert!(design.md.is_sound());
+}
+
+#[test]
+fn suggestion_quality_scales_to_large_ontologies() {
+    for n in [32, 128, 512] {
+        let domain = generate(&SyntheticSpec::with_concepts(n, 11));
+        let elicitor = Elicitor::new(&domain.ontology);
+        let suggestions = elicitor.suggest_dimensions(domain.hubs[0]);
+        assert!(!suggestions.is_empty(), "hub of {n}-concept ontology has suggestions");
+        // Everything suggested is genuinely reachable.
+        for s in &suggestions {
+            assert!(domain.ontology.functional_path(domain.hubs[0], s.concept).is_some());
+        }
+        let foci = elicitor.suggest_foci();
+        assert_eq!(foci.len(), domain.ontology.concept_count());
+    }
+}

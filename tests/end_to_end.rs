@@ -1,0 +1,141 @@
+//! End-to-end pipeline verification (experiment E1 / Figure 1).
+//!
+//! Drives the whole system — elicit, interpret, integrate, deploy, execute —
+//! and cross-checks the warehouse contents against an independent
+//! hand-rolled computation over the generated source data.
+
+use quarry::Quarry;
+use quarry_engine::{tpch, Value};
+use quarry_formats::xrq::figure4_requirement;
+use std::collections::HashMap;
+
+/// Independently computes the Figure 4 query over the raw catalog:
+/// AVG(l_extendedprice * l_discount) per (part, supplier) where the
+/// supplier's nation is Spain.
+fn expected_revenue(catalog: &quarry_engine::Catalog) -> HashMap<(i64, i64), (f64, u64)> {
+    let nation = catalog.get("nation").expect("generated");
+    let spain_key = nation
+        .rows
+        .iter()
+        .find(|r| r[nation.col("n_name")] == Value::Str("Spain".into()))
+        .map(|r| r[nation.col("n_nationkey")].clone())
+        .expect("Spain exists");
+    let supplier = catalog.get("supplier").expect("generated");
+    let spanish: std::collections::HashSet<Value> = supplier
+        .rows
+        .iter()
+        .filter(|r| r[supplier.col("s_nationkey")] == spain_key)
+        .map(|r| r[supplier.col("s_suppkey")].clone())
+        .collect();
+    let li = catalog.get("lineitem").expect("generated");
+    let (pk, sk, ep, dc) = (li.col("l_partkey"), li.col("l_suppkey"), li.col("l_extendedprice"), li.col("l_discount"));
+    let mut acc: HashMap<(i64, i64), (f64, u64)> = HashMap::new();
+    for r in &li.rows {
+        if !spanish.contains(&r[sk]) {
+            continue;
+        }
+        let (Value::Int(p), Value::Int(s)) = (&r[pk], &r[sk]) else { panic!("keys are ints") };
+        let revenue = r[ep].as_f64().expect("decimal") * r[dc].as_f64().expect("decimal");
+        let slot = acc.entry((*p, *s)).or_insert((0.0, 0));
+        slot.0 += revenue;
+        slot.1 += 1;
+    }
+    acc
+}
+
+#[test]
+fn figure4_pipeline_matches_an_independent_computation() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(figure4_requirement()).expect("figure 4 integrates");
+    let catalog = tpch::generate(0.005, 42);
+    let expected = expected_revenue(&catalog);
+    let (engine, report) = quarry.run_etl(catalog).expect("flow executes");
+
+    let fact = engine.catalog.get("fact_table_revenue").expect("fact loaded");
+    assert_eq!(fact.len(), expected.len(), "one fact row per (part, supplier) group");
+    assert_eq!(report.rows_loaded("fact_table_revenue"), expected.len());
+
+    // Resolve fact FKs back to natural keys through the dimension tables.
+    let dim_part = engine.catalog.get("dim_part").expect("dim loaded");
+    let part_of: HashMap<Value, i64> = dim_part
+        .rows
+        .iter()
+        .map(|r| {
+            let Value::Int(natural) = r[dim_part.col("p_partkey")] else { panic!() };
+            (r[dim_part.col("PartID")].clone(), natural)
+        })
+        .collect();
+    let dim_supp = engine.catalog.get("dim_supplier").expect("dim loaded");
+    let supp_of: HashMap<Value, i64> = dim_supp
+        .rows
+        .iter()
+        .map(|r| {
+            let Value::Int(natural) = r[dim_supp.col("s_suppkey")] else { panic!() };
+            (r[dim_supp.col("SupplierID")].clone(), natural)
+        })
+        .collect();
+
+    let (fk_p, fk_s, rev) = (fact.col("Part_PartID"), fact.col("Supplier_SupplierID"), fact.col("revenue"));
+    for row in &fact.rows {
+        let p = part_of[&row[fk_p]];
+        let s = supp_of[&row[fk_s]];
+        let (sum, n) = expected[&(p, s)];
+        let avg = sum / n as f64;
+        let got = row[rev].as_f64().expect("revenue is numeric");
+        assert!((got - avg).abs() < 1e-9, "part {p} supplier {s}: engine {got} vs expected {avg}");
+    }
+}
+
+#[test]
+fn incremental_lifecycle_stays_consistent_over_many_requirements() {
+    let mut quarry = Quarry::tpch();
+    let mut specs = Vec::new();
+    // A family of requirements over rotating dimensions and measures.
+    let dims = ["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT", "Customer_c_mktsegmentATRIBUT", "Orders_o_orderpriorityATRIBUT"];
+    let measures = [
+        ("qty", "Lineitem_l_quantityATRIBUT"),
+        ("gross", "Lineitem_l_extendedpriceATRIBUT"),
+        ("taxed", "Lineitem_l_extendedpriceATRIBUT * (1 + Lineitem_l_taxATRIBUT)"),
+    ];
+    for i in 0..9 {
+        let mut req = quarry_formats::Requirement::new(format!("IR{i}"));
+        let (name, expr) = measures[i % measures.len()];
+        req.measures.push(quarry_formats::MeasureSpec { id: format!("{name}{i}"), function: expr.into() });
+        req.dimensions.push(dims[i % dims.len()].into());
+        req.dimensions.push(dims[(i + 1) % dims.len()].into());
+        specs.push(req);
+    }
+    let mut last_cost = 0.0;
+    for req in specs {
+        let update = quarry.add_requirement(req).expect("family integrates");
+        assert!(update.warnings.iter().all(|w| !w.kind.is_error()), "{:?}", update.warnings);
+        last_cost = update.md_cost;
+    }
+    assert_eq!(quarry.requirement_ids().len(), 9);
+    let (md, etl) = quarry.unified();
+    assert!(md.is_sound());
+    etl.validate().expect("unified flow validates");
+    // All nine requirements share one Lineitem-grain fact family and four
+    // dimensions: far below the naive 9-fact/18-dimension union.
+    assert!(md.dimensions.len() <= 4, "conformed dimensions: {}", md.dimensions.len());
+    assert!(last_cost > 0.0);
+
+    // The full design runs.
+    let (_, report) = quarry.run_etl(tpch::generate(0.002, 13)).expect("unified flow executes");
+    assert!(report.loaded.iter().any(|(t, _)| t.starts_with("fact_table_")));
+}
+
+#[test]
+fn deployment_artifacts_cover_the_unified_design() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(figure4_requirement()).expect("integrates");
+    let artifacts = quarry.deploy("postgres-pdi").expect("deploys");
+    let sql = artifacts.file("schema.sql").expect("DDL generated");
+    assert!(sql.contains("CREATE TABLE fact_table_revenue"));
+    assert!(sql.contains("CREATE TABLE dim_part"));
+    assert!(sql.contains("CREATE TABLE dim_supplier"));
+    let ktr = artifacts.file("unified.ktr").expect("KTR generated");
+    let parsed = quarry_xml::parse(ktr).expect("well-formed XML");
+    let steps = parsed.children_named("step").count();
+    assert_eq!(steps, quarry.unified().1.op_count(), "one PDI step per logical op");
+}

@@ -1,0 +1,174 @@
+//! Cross-platform interoperability (paper §2.2): "Quarry allows plugging in
+//! other external design tools, with the assumption that the provided
+//! partial designs are sound … To enable such cross-platform
+//! interoperability, Quarry provides logical, platform-independent
+//! representations."
+//!
+//! These tests play the external tool: partial designs arrive as raw xMD/xLM
+//! *text*, enter through the format registry, and integrate into the unified
+//! design like any interpreter-produced partial.
+
+use quarry::{Quarry, QuarryError};
+use quarry_formats::registry::Artifact;
+use quarry_formats::xrq::figure4_requirement;
+
+/// A hand-authored partial design, as an external tool would emit it: a
+/// quantity-by-part fact fed by a three-op flow.
+const EXTERNAL_XMD: &str = r#"<MDschema name="external">
+  <facts>
+    <fact>
+      <name>fact_table_quantity</name>
+      <concept>Lineitem</concept>
+      <measures>
+        <measure>
+          <name>quantity</name>
+          <expression>l_quantity</expression>
+          <datatype>decimal</datatype>
+          <additivity>flow</additivity>
+          <aggregation>SUM</aggregation>
+        </measure>
+      </measures>
+      <dimensionRefs>
+        <dimensionRef><dimension>Part</dimension><level>Part</level></dimensionRef>
+      </dimensionRefs>
+    </fact>
+  </facts>
+  <dimensions>
+    <dimension>
+      <name>Part</name>
+      <atomic>Part</atomic>
+      <temporal>false</temporal>
+      <levels>
+        <level>
+          <name>Part</name>
+          <key>PartID</key>
+          <keyType>integer</keyType>
+          <concept>Part</concept>
+          <attributes>
+            <attribute><name>p_name</name><datatype>text</datatype></attribute>
+          </attributes>
+        </level>
+      </levels>
+      <rollups/>
+    </dimension>
+  </dimensions>
+</MDschema>"#;
+
+const EXTERNAL_XLM: &str = r#"<design>
+  <metadata><name>external</name></metadata>
+  <edges>
+    <edge><from>DATASTORE_Lineitem</from><to>AGG_qty</to><enabled>Y</enabled></edge>
+    <edge><from>AGG_qty</from><to>LOADER_quantity</to><enabled>Y</enabled></edge>
+  </edges>
+  <nodes>
+    <node>
+      <name>DATASTORE_Lineitem</name>
+      <type>Datastore</type>
+      <optype>TableInput</optype>
+      <datastore>lineitem</datastore>
+      <schema>
+        <column name="l_partkey" type="integer"/>
+        <column name="l_quantity" type="decimal"/>
+      </schema>
+    </node>
+    <node>
+      <name>AGG_qty</name>
+      <type>Aggregation</type>
+      <optype>GroupBy</optype>
+      <groupBy><column>l_partkey</column></groupBy>
+      <aggregates>
+        <aggregate><function>SUM</function><input>l_quantity</input><output>quantity</output></aggregate>
+      </aggregates>
+    </node>
+    <node>
+      <name>LOADER_quantity</name>
+      <type>Loader</type>
+      <optype>TableOutput</optype>
+      <table>fact_table_quantity</table>
+    </node>
+  </nodes>
+</design>"#;
+
+#[test]
+fn external_partial_design_imports_and_integrates() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(figure4_requirement()).expect("IR1 integrates");
+
+    // The external artifacts enter through the format registry.
+    let md = match quarry.formats().import("xmd", EXTERNAL_XMD).expect("valid xMD") {
+        Artifact::Md(s) => s,
+        other => panic!("wrong kind {}", other.kind()),
+    };
+    let etl = match quarry.formats().import("xlm", EXTERNAL_XLM).expect("valid xLM") {
+        Artifact::Etl(f) => f,
+        other => panic!("wrong kind {}", other.kind()),
+    };
+
+    let update = quarry.add_partial_design("IR-ext", md, etl).expect("sound external design integrates");
+    assert_eq!(update.requirement_id, "IR-ext");
+    let report = update.md_report.expect("integration ran");
+    assert!(
+        report.matches.iter().any(|m| matches!(m, quarry_integrator::md::MdMatch::Dimension { .. })),
+        "the external Part dimension conforms with IR1's: {:?}",
+        report.matches
+    );
+
+    let (md, etl) = quarry.unified();
+    assert!(md.satisfied_requirements().contains("IR-ext"));
+    assert!(etl.op_by_name("LOADER_quantity").is_some());
+    assert!(md.is_sound());
+    etl.validate().expect("unified flow stays valid");
+}
+
+#[test]
+fn external_design_executes_alongside_native_ones() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(figure4_requirement()).expect("IR1");
+    let md = quarry_formats::xmd::parse(EXTERNAL_XMD).expect("valid");
+    let etl = quarry_formats::xlm::parse(EXTERNAL_XLM).expect("valid");
+    quarry.add_partial_design("IR-ext", md, etl).expect("integrates");
+
+    let (engine, report) = quarry.run_etl(quarry_engine::tpch::generate(0.002, 42)).expect("runs");
+    assert!(report.rows_loaded("fact_table_quantity") > 0, "external fact loads");
+    assert!(report.rows_loaded("fact_table_revenue") > 0, "native fact still loads");
+    let q = engine.catalog.get("fact_table_quantity").expect("loaded");
+    assert_eq!(q.schema.names().collect::<Vec<_>>(), ["l_partkey", "quantity"]);
+}
+
+#[test]
+fn unsound_external_designs_are_rejected() {
+    let mut quarry = Quarry::tpch();
+    // A fact referencing a dimension that does not exist.
+    let bad_md = quarry_formats::xmd::parse(&EXTERNAL_XMD.replace("<dimension>Part</dimension>", "<dimension>Ghost</dimension>"))
+        .expect("parses");
+    let etl = quarry_formats::xlm::parse(EXTERNAL_XLM).expect("valid");
+    assert!(matches!(
+        quarry.add_partial_design("IR-bad", bad_md, etl.clone()),
+        Err(QuarryError::Integrate(_))
+    ));
+    // A cyclic flow.
+    let md = quarry_formats::xmd::parse(EXTERNAL_XMD).expect("valid");
+    let mut cyclic = etl;
+    let b = cyclic.id_by_name("AGG_qty").expect("present");
+    let l = cyclic.id_by_name("LOADER_quantity").expect("present");
+    cyclic.connect(l, b).expect("edge accepted structurally; the cycle surfaces at validation");
+    assert!(matches!(
+        quarry.add_partial_design("IR-cyc", md, cyclic),
+        Err(QuarryError::Integrate(_))
+    ));
+    assert!(quarry.requirement_ids().is_empty(), "failed imports leave no trace");
+}
+
+#[test]
+fn external_designs_participate_in_removal() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(figure4_requirement()).expect("IR1");
+    let md = quarry_formats::xmd::parse(EXTERNAL_XMD).expect("valid");
+    let etl = quarry_formats::xlm::parse(EXTERNAL_XLM).expect("valid");
+    quarry.add_partial_design("IR-ext", md, etl).expect("integrates");
+    quarry.remove_requirement("IR-ext").expect("removable like any requirement");
+    let (md, etl) = quarry.unified();
+    assert!(!md.satisfied_requirements().contains("IR-ext"));
+    assert!(etl.op_by_name("LOADER_quantity").is_none());
+    assert!(md.fact("fact_table_revenue").is_some(), "native design untouched");
+}

@@ -1,0 +1,122 @@
+//! Experiment E4: the paper's Figure 3 — partial designs for a revenue and a
+//! netprofit requirement are consolidated into unified design solutions with
+//! conformed dimensions (MD side) and shared flow prefixes (ETL side).
+
+use quarry::Quarry;
+use quarry_etl::cost::EtlCostModel;
+use quarry_formats::{MeasureSpec, Requirement};
+
+fn revenue_requirement() -> Requirement {
+    let mut r = Requirement::new("IR1");
+    r.measures.push(MeasureSpec {
+        id: "revenue".into(),
+        function: "Lineitem_l_extendedpriceATRIBUT * (1 - Lineitem_l_discountATRIBUT)".into(),
+    });
+    r.dimensions.push("Partsupp_ps_availqtyATRIBUT".into());
+    r.dimensions.push("Orders_o_orderdateATRIBUT".into());
+    r
+}
+
+fn netprofit_requirement() -> Requirement {
+    let mut r = Requirement::new("IR2");
+    r.measures.push(MeasureSpec {
+        id: "netprofit".into(),
+        function: "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT".into(),
+    });
+    r.dimensions.push("Partsupp_ps_availqtyATRIBUT".into());
+    r.dimensions.push("Orders_o_orderdateATRIBUT".into());
+    r
+}
+
+#[test]
+fn unified_md_schema_holds_both_facts_over_conformed_dimensions() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(revenue_requirement()).expect("IR1 integrates");
+    quarry.add_requirement(netprofit_requirement()).expect("IR2 integrates");
+
+    let (md, _) = quarry.unified();
+    // Figure 3's unified xMD: fact_table_revenue and fact_table_netprofit
+    // side by side. Same grain means the cost model may merge them; with
+    // structural complexity the merged fact carries both measures — the
+    // figure shows them as two facts, so verify both interpretations hold
+    // the data: every measure present, dimensions conformed.
+    let measures: Vec<&str> =
+        md.facts.iter().flat_map(|f| f.measures.iter().map(|m| m.name.as_str())).collect();
+    assert!(measures.contains(&"revenue"), "{measures:?}");
+    assert!(measures.contains(&"netprofit"), "{measures:?}");
+    assert_eq!(md.dimensions.len(), 2, "Partsupp and Orders are conformed, not duplicated");
+    assert!(md.dimension("Partsupp").is_some() && md.dimension("Orders").is_some());
+    for d in &md.dimensions {
+        assert!(d.satisfies.contains("IR1") && d.satisfies.contains("IR2"), "{}: {:?}", d.name, d.satisfies);
+    }
+    assert!(md.is_sound());
+}
+
+#[test]
+fn unified_etl_reuses_the_partsupp_orders_subflow() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(revenue_requirement()).expect("IR1 integrates");
+    let before = quarry.unified().1.op_count();
+    let update = quarry.add_requirement(netprofit_requirement()).expect("IR2 integrates");
+    let report = update.etl_report.expect("integration ran");
+
+    assert!(report.reused_ops >= 6, "sources, extractions and joins shared: {:?}", report.matched);
+    let after = quarry.unified().1.op_count();
+    assert!(
+        after - before < netprofit_requirement_op_count(),
+        "consolidation added fewer ops ({}) than a standalone flow ({})",
+        after - before,
+        netprofit_requirement_op_count()
+    );
+
+    // The shared scan serves both requirements.
+    let etl = quarry.unified().1;
+    let shared = etl.op_by_name("DATASTORE_Lineitem").expect("shared scan");
+    assert!(shared.satisfies.contains("IR1") && shared.satisfies.contains("IR2"));
+}
+
+fn netprofit_requirement_op_count() -> usize {
+    let quarry = Quarry::tpch();
+    quarry.interpret(&netprofit_requirement()).expect("valid").etl.op_count()
+}
+
+#[test]
+fn consolidated_flow_is_cheaper_than_running_both_partials() {
+    let quarry = {
+        let mut q = Quarry::tpch();
+        q.add_requirement(revenue_requirement()).expect("IR1");
+        q.add_requirement(netprofit_requirement()).expect("IR2");
+        q
+    };
+    let model = quarry_etl::cost::EstimatedTime::new();
+    let stats = &quarry.config().stats;
+    let unified_cost = model.cost(quarry.unified().1, stats).expect("validates");
+
+    let q2 = Quarry::tpch();
+    let p1 = q2.interpret(&revenue_requirement()).expect("valid");
+    let p2 = q2.interpret(&netprofit_requirement()).expect("valid");
+    let separate =
+        model.cost(&p1.etl, stats).expect("validates") + model.cost(&p2.etl, stats).expect("validates");
+    assert!(
+        unified_cost < separate,
+        "integrated {unified_cost:.0} must beat separate {separate:.0}"
+    );
+}
+
+#[test]
+fn both_facts_load_and_match_between_md_and_engine() {
+    let mut quarry = Quarry::tpch();
+    quarry.add_requirement(revenue_requirement()).expect("IR1");
+    quarry.add_requirement(netprofit_requirement()).expect("IR2");
+    let (engine, report) = quarry.run_etl(quarry_engine::tpch::generate(0.002, 42)).expect("runs");
+    assert!(report.rows_loaded("fact_table_revenue") > 0);
+    assert!(report.rows_loaded("fact_table_netprofit") > 0);
+    // Conformed grain: both facts have the same number of rows (same keys,
+    // no slicers anywhere).
+    assert_eq!(
+        engine.catalog.get("fact_table_revenue").expect("loaded").len(),
+        engine.catalog.get("fact_table_netprofit").expect("loaded").len(),
+    );
+    // Dimension tables are loaded once per dimension, not per requirement.
+    assert_eq!(report.loaded.iter().filter(|(t, _)| t == "dim_partsupp").count(), 1);
+}

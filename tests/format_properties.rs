@@ -1,0 +1,197 @@
+//! Property tests over the Communication & Metadata layer: arbitrary
+//! generated MD schemata, flows and requirements survive their format
+//! round-trips, and the repository's XML↔JSON↔XML conversion is lossless on
+//! every document the system produces.
+
+use proptest::prelude::*;
+use quarry_etl::{parse_expr, AggSpec, ColType, Column, Flow, OpKind, Schema};
+use quarry_formats::{xlm, xmd, Aggregation, MeasureSpec, Requirement, Slicer};
+use quarry_md::{AggFn, Additivity, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure};
+use quarry_repository::convert;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn md_type() -> impl Strategy<Value = MdDataType> {
+    prop_oneof![
+        Just(MdDataType::Integer),
+        Just(MdDataType::Decimal),
+        Just(MdDataType::Text),
+        Just(MdDataType::Date),
+        Just(MdDataType::Boolean),
+    ]
+}
+
+fn agg_fn() -> impl Strategy<Value = AggFn> {
+    prop_oneof![Just(AggFn::Sum), Just(AggFn::Avg), Just(AggFn::Min), Just(AggFn::Max), Just(AggFn::Count)]
+}
+
+fn additivity() -> impl Strategy<Value = Additivity> {
+    prop_oneof![Just(Additivity::Flow), Just(Additivity::Stock), Just(Additivity::ValuePerUnit)]
+}
+
+prop_compose! {
+    fn arb_level()(name in ident(), key in ident(), key_type in md_type(),
+                   attrs in prop::collection::vec((ident(), md_type()), 0..3)) -> Level {
+        let mut level = Level::new(format!("L{name}"), key, key_type);
+        for (aname, aty) in attrs {
+            if level.attribute(&aname).is_none() {
+                level.attributes.push(Attribute::new(aname, aty));
+            }
+        }
+        level
+    }
+}
+
+prop_compose! {
+    fn arb_dimension()(name in ident(), atomic in arb_level(),
+                       uppers in prop::collection::vec(arb_level(), 0..3),
+                       temporal in any::<bool>()) -> Dimension {
+        let mut dim = Dimension::new(format!("D{name}"), atomic);
+        let mut prev = dim.atomic.clone();
+        for (i, mut up) in uppers.into_iter().enumerate() {
+            up.name = format!("{}_{i}", up.name); // keep level names unique
+            let up_name = up.name.clone();
+            dim.add_level_above(&prev, up);
+            prev = up_name;
+        }
+        dim.temporal = temporal;
+        dim
+    }
+}
+
+prop_compose! {
+    fn arb_schema()(dims in prop::collection::vec(arb_dimension(), 1..4),
+                    measures in prop::collection::vec((ident(), agg_fn(), additivity()), 1..4),
+                    fact_name in ident()) -> MdSchema {
+        let mut schema = MdSchema::new("prop");
+        for (i, mut d) in dims.into_iter().enumerate() {
+            d.name = format!("{}_{i}", d.name); // unique dimension names
+            schema.dimensions.push(d);
+        }
+        let mut fact = Fact::new(format!("fact_{fact_name}"));
+        for (i, (mname, agg, add)) in measures.into_iter().enumerate() {
+            let mut m = Measure::new(format!("{mname}_{i}"), format!("expr_{i} * 2"));
+            m.default_agg = agg;
+            m.additivity = add;
+            fact.measures.push(m);
+        }
+        for d in &schema.dimensions {
+            fact.dimensions.push(DimLink::new(d.name.clone(), d.atomic.clone()));
+        }
+        fact.satisfies.insert("IRp".into());
+        schema.facts.push(fact);
+        schema
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xmd_roundtrip_on_arbitrary_schemas(schema in arb_schema()) {
+        let doc = xmd::to_string(&schema);
+        let parsed = xmd::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        prop_assert_eq!(parsed, schema);
+    }
+
+    #[test]
+    fn xml_json_xml_is_identity_on_xmd(schema in arb_schema()) {
+        let doc = xmd::to_string(&schema);
+        let xml = quarry_xml::parse(&doc).expect("self-produced");
+        let json = convert::xml_to_json(&xml);
+        // Through JSON *text* too (the repository stores strings).
+        let json_text = json.to_pretty_string();
+        let reparsed = quarry_repository::Json::parse(&json_text).expect("self-produced JSON");
+        let back = convert::json_to_xml(&reparsed).expect("canonical encoding");
+        prop_assert_eq!(back, xml);
+    }
+
+    #[test]
+    fn xrq_roundtrip_on_arbitrary_requirements(
+        id in "[A-Z]{2}[0-9]{1,3}",
+        dims in prop::collection::vec("[A-Za-z_]{1,12}", 0..4),
+        measures in prop::collection::vec(("[a-z]{1,8}", "[a-z_*() +0-9]{1,20}"), 0..3),
+        slicer_value in "[A-Za-z0-9 '<>&]{0,12}",
+    ) {
+        let mut req = Requirement::new(id);
+        for (i, d) in dims.into_iter().enumerate() {
+            req.dimensions.push(format!("{d}_{i}"));
+        }
+        for (i, (m, f)) in measures.into_iter().enumerate() {
+            let m = format!("{m}_{i}");
+            req.measures.push(MeasureSpec { id: m.clone(), function: f.trim().to_string() });
+            if let Some(dim) = req.dimensions.first() {
+                req.aggregations.push(Aggregation { order: 1, dimension: dim.clone(), measure: m, function: "SUM".into() });
+            }
+        }
+        let trimmed = slicer_value.trim().to_string();
+        if !trimmed.is_empty() {
+            req.slicers.push(Slicer { concept: "C_x".into(), operator: "<=".into(), value: trimmed });
+        }
+        // Empty functions serialize as empty <function/> and parse back as
+        // the measure id; skip that degenerate corner.
+        prop_assume!(req.measures.iter().all(|m| !m.function.is_empty()));
+        let doc = req.to_string_pretty();
+        let parsed = Requirement::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        prop_assert_eq!(parsed, req);
+    }
+}
+
+/// xLM round-trips on structurally diverse generated flows.
+#[test]
+fn xlm_roundtrip_on_generated_flows() {
+    // Deterministic structural sweep (proptest generation of *valid* flows
+    // is done in tests/rule_equivalence.rs; here we sweep shapes).
+    for joins in 0..3usize {
+        for with_union in [false, true] {
+            let mut f = Flow::new(format!("gen_{joins}_{with_union}"));
+            let schema = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]);
+            let mut current = f
+                .add_op("DS0", OpKind::Datastore { datastore: "t0".into(), schema: schema.clone() })
+                .expect("fresh");
+            for j in 0..joins {
+                let right_schema = Schema::new(vec![
+                    Column::new(format!("k{j}"), ColType::Integer),
+                    Column::new(format!("w{j}"), ColType::Text),
+                ]);
+                let right = f
+                    .add_op(format!("DS{}", j + 1), OpKind::Datastore { datastore: format!("t{}", j + 1), schema: right_schema })
+                    .expect("fresh");
+                let join = f
+                    .add_op(format!("J{j}"), OpKind::Join { kind: quarry_etl::JoinKind::Left, left_on: vec!["k".into()], right_on: vec![format!("k{j}")] })
+                    .expect("fresh");
+                f.connect(current, join).expect("connects");
+                f.connect(right, join).expect("connects");
+                current = join;
+            }
+            if with_union {
+                let p1 = f.append(current, "P1", OpKind::Projection { columns: vec!["k".into(), "v".into()] }).expect("fresh");
+                let p2 = f.append(current, "P2", OpKind::Projection { columns: vec!["k".into(), "v".into()] }).expect("fresh");
+                let u = f.add_op("U", OpKind::Union).expect("fresh");
+                f.connect(p1, u).expect("connects");
+                f.connect(p2, u).expect("connects");
+                current = u;
+            }
+            let agg = f
+                .append(current, "AGG", OpKind::Aggregation {
+                    group_by: vec!["k".into()],
+                    aggregates: vec![AggSpec::new("AVERAGE", parse_expr("v").expect("valid"), "avg_v")],
+                })
+                .expect("fresh");
+            f.append(agg, "L", OpKind::Loader { table: "out".into(), key: vec!["k".into()] }).expect("fresh");
+            f.stamp_requirement("IRg");
+
+            f.validate().expect("generated flows are valid");
+            let doc = xlm::to_string(&f);
+            let parsed = xlm::parse(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+            assert_eq!(parsed.op_count(), f.op_count());
+            assert_eq!(parsed.edge_count(), f.edge_count());
+            for op in f.ops() {
+                assert_eq!(parsed.op_by_name(&op.name).expect("op survives").kind, op.kind);
+            }
+            parsed.validate().expect("parsed flow validates");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the generic equivalence rules (experiment E8's machinery)
+//! preserve the relations computed at every sink — verified by executing the
+//! original and normalized flows on the engine and comparing result bags.
+
+use proptest::prelude::*;
+use quarry_engine::{assert_same_rows, tpch, Engine};
+use quarry_etl::{parse_expr, rules, AggSpec, Flow, JoinKind, OpKind, Schema};
+
+fn li_schema() -> Schema {
+    tpch::table_schema("lineitem").expect("known table")
+}
+
+fn orders_schema() -> Schema {
+    tpch::table_schema("orders").expect("known table")
+}
+
+/// A pool of predicates over lineitem/orders columns.
+fn predicates() -> Vec<&'static str> {
+    vec![
+        "l_discount > 0.05",
+        "l_quantity <= 25",
+        "l_extendedprice > 20000",
+        "o_totalprice > 100000",
+        "l_discount > 0.02 AND l_quantity > 10",
+        "l_shipdate >= '1995-01-01'",
+    ]
+}
+
+/// Builds a randomized but always-valid flow: lineitem (⋈ orders)?, a stack
+/// of selections/projections/derivations in random order, aggregate, load.
+fn arbitrary_flow(choices: &[usize]) -> Flow {
+    let mut f = Flow::new("prop");
+    let li = f.add_op("L", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema() }).expect("fresh");
+    let with_orders = choices[0].is_multiple_of(2);
+    let mut current = li;
+    if with_orders {
+        let o = f.add_op("O", OpKind::Datastore { datastore: "orders".into(), schema: orders_schema() }).expect("fresh");
+        let j = f
+            .add_op(
+                "J",
+                OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] },
+            )
+            .expect("fresh");
+        f.connect(li, j).expect("connects");
+        f.connect(o, j).expect("connects");
+        current = j;
+    }
+    let preds = predicates();
+    for (i, &c) in choices[1..].iter().enumerate() {
+        match c % 3 {
+            0 => {
+                let pred = preds[c % preds.len()];
+                if !with_orders && pred.starts_with("o_") {
+                    continue;
+                }
+                current = f
+                    .append(current, format!("S{i}"), OpKind::Selection { predicate: parse_expr(pred).expect("valid") })
+                    .expect("fresh");
+            }
+            1 => {
+                current = f
+                    .append(current, format!("D{i}"), OpKind::Derivation {
+                        column: format!("d{i}"),
+                        expr: parse_expr("l_extendedprice * (1 - l_discount)").expect("valid"),
+                    })
+                    .expect("fresh");
+            }
+            _ => {
+                current = f
+                    .append(current, format!("SO{i}"), OpKind::Sort { columns: vec!["l_orderkey".into()] })
+                    .expect("fresh");
+            }
+        }
+    }
+    let agg = f
+        .append(current, "AGG", OpKind::Aggregation {
+            group_by: vec!["l_orderkey".into()],
+            aggregates: vec![
+                AggSpec::new("SUM", parse_expr("l_extendedprice").expect("valid"), "total"),
+                AggSpec::new("COUNT", parse_expr("1").expect("valid"), "n"),
+            ],
+        })
+        .expect("fresh");
+    f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).expect("fresh");
+    f
+}
+
+fn run(flow: &Flow) -> quarry_engine::Relation {
+    let mut engine = Engine::new(tpch::generate(0.001, 1234));
+    engine.run(flow).expect("flow executes");
+    engine.catalog.remove("out").expect("loaded")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn normalization_preserves_results(choices in prop::collection::vec(0usize..12, 3..8)) {
+        let original = arbitrary_flow(&choices);
+        original.validate().expect("generated flows are valid");
+        let mut normalized = original.clone();
+        rules::normalize(&mut normalized).expect("rules apply");
+        normalized.validate().expect("normalized flows stay valid");
+        let a = run(&original);
+        let b = run(&normalized);
+        assert_same_rows(&a, &b);
+    }
+}
+
+#[test]
+fn normalization_preserves_results_on_the_figure4_flow() {
+    let domain = quarry_ontology::tpch::domain();
+    let design = quarry_interpreter::Interpreter::new(&domain.ontology, &domain.sources)
+        .interpret(&quarry_formats::xrq::figure4_requirement())
+        .expect("figure 4 interprets");
+    let mut normalized = design.etl.clone();
+    rules::normalize(&mut normalized).expect("rules apply");
+
+    let catalog = tpch::generate(0.002, 7);
+    let mut e1 = Engine::new(catalog.clone());
+    e1.run(&design.etl).expect("original runs");
+    let mut e2 = Engine::new(catalog);
+    e2.run(&normalized).expect("normalized runs");
+    for table in ["fact_table_revenue", "dim_part", "dim_supplier"] {
+        assert_same_rows(
+            e1.catalog.get(table).expect("loaded"),
+            e2.catalog.get(table).expect("loaded"),
+        );
+    }
+}

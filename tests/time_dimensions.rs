@@ -1,0 +1,128 @@
+//! End-to-end test of the derived time dimensions (extension feature,
+//! DESIGN.md §5): a Date-typed requirement property becomes a Day→Month→Year
+//! dimension computed by derivation operations, loaded once, and referenced
+//! by integer yyyymmdd date keys from the fact.
+
+use quarry::{Quarry, QuarryConfig};
+use quarry_engine::Value;
+use quarry_formats::{MeasureSpec, Requirement};
+use quarry_interpreter::InterpreterOptions;
+
+fn time_quarry() -> Quarry {
+    let domain = quarry_ontology::tpch::domain();
+    let mut config = QuarryConfig::tpch(0.01);
+    config.interpreter = InterpreterOptions { time_dimensions: true };
+    Quarry::with_config(domain.ontology, domain.sources, config)
+}
+
+fn revenue_by_date() -> Requirement {
+    let mut r = Requirement::new("IR1");
+    r.measures.push(MeasureSpec {
+        id: "revenue".into(),
+        function: "Lineitem_l_extendedpriceATRIBUT * (1 - Lineitem_l_discountATRIBUT)".into(),
+    });
+    r.dimensions.push("Part_p_nameATRIBUT".into());
+    r.dimensions.push("Orders_o_orderdateATRIBUT".into());
+    r
+}
+
+#[test]
+fn time_dimension_loads_and_keys_match() {
+    let mut quarry = time_quarry();
+    quarry.add_requirement(revenue_by_date()).expect("integrates");
+    let (engine, report) = quarry.run_etl(quarry_engine::tpch::generate(0.002, 42)).expect("runs");
+
+    let time = engine.catalog.get("dim_time_o_orderdate").expect("time dimension loaded");
+    assert!(report.rows_loaded("dim_time_o_orderdate") > 0);
+    // Day keys are integer yyyymmdd and consistent with the date column.
+    let key_col = time.col("Time_o_orderdateID");
+    let date_col = time.col("o_orderdate");
+    for row in &time.rows {
+        let Value::Int(key) = row[key_col] else { panic!("integer date key") };
+        let (y, m, d) = row[date_col].date_parts().expect("date attribute");
+        assert_eq!(key, y as i64 * 10000 + m as i64 * 100 + d as i64);
+        let Value::Int(month_key) = row[time.col("month_key")] else { panic!() };
+        assert_eq!(month_key, y as i64 * 100 + m as i64);
+        let Value::Int(year) = row[time.col("year")] else { panic!() };
+        assert_eq!(year, y as i64);
+    }
+    // Dates are unique (the dimension is distinct by construction).
+    let mut keys: Vec<i64> = time
+        .column_values("Time_o_orderdateID")
+        .into_iter()
+        .map(|v| match v {
+            Value::Int(k) => k,
+            other => panic!("{other}"),
+        })
+        .collect();
+    let n = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), n, "day members unique");
+
+    // Every fact FK resolves to a day member.
+    let fact = engine.catalog.get("fact_table_revenue").expect("fact loaded");
+    let fk = fact.col("Time_o_orderdate_Time_o_orderdateID");
+    let members: std::collections::HashSet<i64> = keys.into_iter().collect();
+    for row in &fact.rows {
+        let Value::Int(k) = row[fk] else { panic!() };
+        assert!(members.contains(&k), "fact date key {k} exists in the dimension");
+    }
+}
+
+#[test]
+fn time_dimension_appears_in_ddl_with_hierarchy_columns() {
+    let mut quarry = time_quarry();
+    quarry.add_requirement(revenue_by_date()).expect("integrates");
+    let artifacts = quarry.deploy("postgres-pdi").expect("deploys");
+    let sql = artifacts.file("schema.sql").expect("present");
+    assert!(sql.contains("CREATE TABLE dim_time_o_orderdate"), "{sql}");
+    assert!(sql.contains("Time_o_orderdateID BIGINT"), "{sql}");
+    assert!(sql.contains("month_key BIGINT"), "{sql}");
+    assert!(sql.contains("year BIGINT"), "{sql}");
+    assert!(sql.contains("Time_o_orderdate_Time_o_orderdateID BIGINT NOT NULL"), "{sql}");
+}
+
+#[test]
+fn temporal_dimension_constrains_stock_measures() {
+    // A stock measure summed along the derived (temporal) time dimension is
+    // flagged by MD validation — the summarizability rule of ref [9].
+    let mut quarry = time_quarry();
+    quarry.add_requirement(revenue_by_date()).expect("integrates");
+    let mut md = quarry.unified().0.clone();
+    let fact = &mut md.facts[0];
+    fact.measures[0].additivity = quarry_md::Additivity::Stock;
+    fact.measures[0].default_agg = quarry_md::AggFn::Sum;
+    let violations = md.validate();
+    assert!(
+        violations.iter().any(|v| v.kind == quarry_md::ViolationKind::NonSummarizableAggregation),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn two_requirements_share_one_time_dimension() {
+    let mut quarry = time_quarry();
+    quarry.add_requirement(revenue_by_date()).expect("IR1");
+    let mut second = Requirement::new("IR2");
+    second.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+    second.dimensions.push("Supplier_s_nameATRIBUT".into());
+    second.dimensions.push("Orders_o_orderdateATRIBUT".into());
+    let update = quarry.add_requirement(second).expect("IR2");
+    let report = update.md_report.expect("ran");
+    assert!(
+        report.matches.iter().any(|m| matches!(
+            m,
+            quarry_integrator::md::MdMatch::Dimension { unified, .. } if unified == "Time_o_orderdate"
+        )),
+        "the time dimension conforms across requirements: {:?}",
+        report.matches
+    );
+    // One loader for the shared time dimension.
+    let (_, etl) = quarry.unified();
+    let loaders = etl
+        .ops()
+        .filter(|o| matches!(&o.kind, quarry_etl::OpKind::Loader { table, .. } if table == "dim_time_o_orderdate"))
+        .count();
+    assert_eq!(loaders, 1);
+}
