@@ -50,8 +50,14 @@ fn print_series() {
         quarry_etl::rules::normalize(&mut canonical).expect("rules apply");
         let mut results = [0usize; 2];
         for (j, align) in [true, false].into_iter().enumerate() {
-            let r = integrate_etl(&raw, &canonical, &EstimatedTime::new(), &s, EtlIntegrationOptions { align_with_rules: align })
-                .expect("integrates");
+            let r = integrate_etl(
+                &raw,
+                &canonical,
+                &EstimatedTime::new(),
+                &s,
+                EtlIntegrationOptions { align_with_rules: align },
+            )
+            .expect("integrates");
             results[j] = r.report.reused_ops;
         }
         println!("{:>6} {:>6} {:>10} {:>10}", format!("IR{i}"), raw.op_count(), results[0], results[1]);
@@ -69,8 +75,14 @@ fn print_series() {
             let mut unified = Flow::new("unified");
             let mut reused = 0;
             for p in &partials {
-                let r = integrate_etl(&unified, p, &EstimatedTime::new(), &s, EtlIntegrationOptions { align_with_rules: align })
-                    .expect("integrates");
+                let r = integrate_etl(
+                    &unified,
+                    p,
+                    &EstimatedTime::new(),
+                    &s,
+                    EtlIntegrationOptions { align_with_rules: align },
+                )
+                .expect("integrates");
                 reused += r.report.reused_ops;
                 cost[i] = r.report.cost;
                 unified = r.flow;
@@ -91,17 +103,27 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("etl_integrate_8_requirements");
     group.sample_size(10);
     for align in [true, false] {
-        group.bench_with_input(BenchmarkId::from_parameter(if align { "rules-on" } else { "rules-off" }), &align, |b, &align| {
-            b.iter(|| {
-                let mut unified = Flow::new("unified");
-                for p in &partials {
-                    let r = integrate_etl(&unified, p, &EstimatedTime::new(), &s, EtlIntegrationOptions { align_with_rules: align })
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if align { "rules-on" } else { "rules-off" }),
+            &align,
+            |b, &align| {
+                b.iter(|| {
+                    let mut unified = Flow::new("unified");
+                    for p in &partials {
+                        let r = integrate_etl(
+                            &unified,
+                            p,
+                            &EstimatedTime::new(),
+                            &s,
+                            EtlIntegrationOptions { align_with_rules: align },
+                        )
                         .expect("integrates");
-                    unified = r.flow;
-                }
-                black_box(unified)
-            });
-        });
+                        unified = r.flow;
+                    }
+                    black_box(unified)
+                });
+            },
+        );
     }
     group.finish();
 

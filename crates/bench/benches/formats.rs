@@ -15,7 +15,10 @@ fn documents(n: usize) -> (String, String) {
 
 fn print_series() {
     println!("\n# E9: format layer throughput");
-    println!("{:>4} {:>10} {:>10} {:>12} {:>12} {:>14}", "N", "xmd-bytes", "xlm-bytes", "xmd-parse", "xlm-parse", "xml-json-xml");
+    println!(
+        "{:>4} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "N", "xmd-bytes", "xlm-bytes", "xmd-parse", "xlm-parse", "xml-json-xml"
+    );
     for n in [1usize, 8, 32] {
         let (xmd_doc, xlm_doc) = documents(n);
         let t0 = std::time::Instant::now();
@@ -28,15 +31,7 @@ fn print_series() {
         let json = convert::xml_string_to_json(&xlm_doc).expect("converts");
         let back = convert::json_to_xml_string(&json).expect("converts back");
         let t_conv = t2.elapsed();
-        println!(
-            "{:>4} {:>10} {:>10} {:>12?} {:>12?} {:>14?}",
-            n,
-            xmd_doc.len(),
-            xlm_doc.len(),
-            t_md,
-            t_etl,
-            t_conv
-        );
+        println!("{:>4} {:>10} {:>10} {:>12?} {:>12?} {:>14?}", n, xmd_doc.len(), xlm_doc.len(), t_md, t_etl, t_conv);
         black_box((parsed_md, parsed_etl, back));
     }
 }

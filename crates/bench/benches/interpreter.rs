@@ -36,12 +36,7 @@ fn complexity_ladder() -> Vec<(&'static str, Requirement)> {
             requirement(
                 "IRd",
                 ("netprofit", "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT"),
-                &[
-                    "Part_p_nameATRIBUT",
-                    "Customer_c_nameATRIBUT",
-                    "Nation_n_nameATRIBUT",
-                    "Region_r_nameATRIBUT",
-                ],
+                &["Part_p_nameATRIBUT", "Customer_c_nameATRIBUT", "Nation_n_nameATRIBUT", "Region_r_nameATRIBUT"],
                 Some(("Orders_o_orderpriorityATRIBUT", "=", "1-URGENT")),
             ),
         ),

@@ -1,0 +1,35 @@
+//! Prints the per-operator timing breakdown of the headline E7 workload
+//! (high overlap, sf=0.01, N=8) — the profiling companion to `bench
+//! etl_execution`. Run with `cargo run --release -p quarry-bench --example
+//! op_timings`.
+
+use quarry::Quarry;
+use quarry_engine::{tpch, Engine};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let catalog = tpch::generate(0.01, 42);
+    let mut q = Quarry::tpch();
+    for r in quarry_bench::high_overlap_family(8) {
+        q.add_requirement(r).expect("integrates");
+    }
+    let unified = q.unified().1.clone();
+
+    let mut best: Option<(Duration, quarry_engine::RunReport)> = None;
+    for _ in 0..5 {
+        let mut engine = Engine::new(catalog.clone());
+        let t0 = Instant::now();
+        let report = engine.run(&unified).expect("runs");
+        let total = t0.elapsed();
+        if best.as_ref().map(|(t, _)| total < *t).unwrap_or(true) {
+            best = Some((total, report));
+        }
+    }
+    let (total, report) = best.unwrap();
+    println!("total: {total:?} over {} ops", report.timings.len());
+    let mut ops: Vec<_> = report.timings.iter().collect();
+    ops.sort_by_key(|t| std::cmp::Reverse(t.elapsed));
+    for t in ops.iter().take(25) {
+        println!("{:>12?}  {}", t.elapsed, t.op);
+    }
+}

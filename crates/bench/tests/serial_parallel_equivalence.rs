@@ -1,0 +1,177 @@
+//! Serial-vs-parallel equivalence: [`Engine::run`] and
+//! [`Engine::run_parallel`] must produce identical warehouses for every
+//! flow family the `etl_execution` benchmark exercises, plus the Figure 3/4
+//! fixture flows, at every thread count — including empty-input and
+//! single-morsel edge cases.
+
+use quarry::Quarry;
+use quarry_bench::{figure3_pair, high_overlap_family, requirement_family};
+use quarry_engine::{assert_same_rows, tpch, Catalog, Engine, MORSEL_ROWS};
+use quarry_etl::Flow;
+use quarry_formats::Requirement;
+
+/// Small enough to keep debug-mode runs quick, large enough that lineitem
+/// spans several morsels.
+const SF: f64 = 0.002;
+
+fn unified_of(family: Vec<Requirement>) -> Flow {
+    let mut q = Quarry::tpch();
+    for r in family {
+        q.add_requirement(r).expect("integrates");
+    }
+    q.unified().1.clone()
+}
+
+fn partials_of(family: &[Requirement]) -> Vec<Flow> {
+    let probe = Quarry::tpch();
+    family.iter().map(|r| probe.interpret(r).expect("valid").etl).collect()
+}
+
+fn sorted_table_names(c: &Catalog) -> Vec<String> {
+    let mut names: Vec<String> = c.table_names().map(str::to_string).collect();
+    names.sort();
+    names
+}
+
+/// Runs `flows` through both executors from the same starting catalog and
+/// asserts the resulting warehouses are identical: same loaded counts, same
+/// table set, same rows (order-insensitive, via sorted row comparison).
+fn assert_equivalent(catalog: &Catalog, flows: &[&Flow]) {
+    let mut seq = Engine::new(catalog.clone());
+    let mut seq_loaded = Vec::new();
+    for f in flows {
+        seq_loaded.extend(seq.run(f).expect("serial run").loaded);
+    }
+    let mut par = Engine::new(catalog.clone());
+    let mut par_loaded = Vec::new();
+    for f in flows {
+        par_loaded.extend(par.run_parallel(f).expect("parallel run").loaded);
+    }
+    seq_loaded.sort();
+    par_loaded.sort();
+    assert_eq!(seq_loaded, par_loaded, "loaded (table, rows) records differ");
+    let names = sorted_table_names(&seq.catalog);
+    assert_eq!(names, sorted_table_names(&par.catalog), "table sets differ");
+    for t in &names {
+        assert_same_rows(seq.catalog.get(t).unwrap(), par.catalog.get(t).unwrap());
+    }
+}
+
+/// The same tables, all emptied: every operator sees zero rows.
+fn emptied(catalog: &Catalog) -> Catalog {
+    let mut c = catalog.clone();
+    for name in sorted_table_names(catalog) {
+        c.get_mut(&name).unwrap().rows.clear();
+    }
+    c
+}
+
+#[test]
+fn high_overlap_unified_flows_agree() {
+    let catalog = tpch::generate(SF, 42);
+    for n in [2, 4, 8] {
+        let unified = unified_of(high_overlap_family(n));
+        assert_equivalent(&catalog, &[&unified]);
+    }
+}
+
+#[test]
+fn high_overlap_separate_flows_agree() {
+    let catalog = tpch::generate(SF, 42);
+    let partials = partials_of(&high_overlap_family(4));
+    assert_equivalent(&catalog, &partials.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn low_overlap_unified_flows_agree() {
+    let catalog = tpch::generate(SF, 42);
+    for n in [2, 4, 8] {
+        let unified = unified_of(requirement_family(n));
+        assert_equivalent(&catalog, &[&unified]);
+    }
+}
+
+#[test]
+fn figure3_fixture_flows_agree() {
+    let catalog = tpch::generate(SF, 42);
+    let (a, b) = figure3_pair();
+    let unified = unified_of(vec![a.clone(), b.clone()]);
+    assert_equivalent(&catalog, &[&unified]);
+    let partials = partials_of(&[a, b]);
+    assert_equivalent(&catalog, &partials.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn figure4_fixture_flow_agrees() {
+    let catalog = tpch::generate(SF, 42);
+    let probe = Quarry::tpch();
+    let design = probe.interpret(&quarry_formats::xrq::figure4_requirement()).expect("valid");
+    assert_equivalent(&catalog, &[&design.etl]);
+}
+
+#[test]
+fn empty_inputs_agree() {
+    let catalog = emptied(&tpch::generate(SF, 42));
+    let unified = unified_of(high_overlap_family(4));
+    assert_equivalent(&catalog, &[&unified]);
+}
+
+#[test]
+fn single_morsel_inputs_agree() {
+    // Scale factor small enough that every source fits in one morsel.
+    let catalog = tpch::generate(0.0002, 7);
+    assert!(
+        sorted_table_names(&catalog).iter().all(|t| catalog.get(t).unwrap().len() <= MORSEL_ROWS),
+        "fixture outgrew a single morsel"
+    );
+    let unified = unified_of(high_overlap_family(8));
+    assert_equivalent(&catalog, &[&unified]);
+}
+
+#[test]
+fn results_are_bit_identical_across_thread_counts() {
+    // The morsel structure depends on input length only, never on the
+    // thread count, so parallel runs at any width must reproduce the
+    // 1-thread run exactly — same row order, same floats.
+    let catalog = tpch::generate(0.001, 42);
+    let unified = unified_of(high_overlap_family(4));
+    quarry_engine::pool::set_threads(1);
+    let mut baseline = Engine::new(catalog.clone());
+    baseline.run_parallel(&unified).expect("1-thread run");
+    for threads in [2usize, 4, 8] {
+        quarry_engine::pool::set_threads(threads);
+        let mut par = Engine::new(catalog.clone());
+        par.run_parallel(&unified).expect("parallel run");
+        for t in sorted_table_names(&baseline.catalog) {
+            assert_eq!(
+                baseline.catalog.get(&t).unwrap().rows,
+                par.catalog.get(&t).unwrap().rows,
+                "table `{t}` not bit-identical at {threads} threads"
+            );
+        }
+    }
+    quarry_engine::pool::set_threads(0); // restore auto-detection
+                                         // And the serial scheduler agrees as a bag of rows.
+    let mut seq = Engine::new(catalog);
+    seq.run(&unified).expect("serial run");
+    for t in sorted_table_names(&baseline.catalog) {
+        assert_same_rows(seq.catalog.get(&t).unwrap(), baseline.catalog.get(&t).unwrap());
+    }
+}
+
+#[test]
+fn lifecycle_facade_thread_pinning_agrees() {
+    let catalog = tpch::generate(0.001, 42);
+    let q = quarry_bench::quarry_with(4);
+    let (seq_engine, seq_report) = q.run_etl(catalog.clone()).expect("serial");
+    let (par_engine, par_report) = q.run_etl_parallel_with_threads(catalog, 4).expect("parallel");
+    quarry_engine::pool::set_threads(0); // restore auto-detection
+    let mut a = seq_report.loaded;
+    let mut b = par_report.loaded;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    for t in sorted_table_names(&seq_engine.catalog) {
+        assert_same_rows(seq_engine.catalog.get(&t).unwrap(), par_engine.catalog.get(&t).unwrap());
+    }
+}

@@ -129,9 +129,7 @@ fn dispatch(
             return Some(out);
         }
         "diff" => {
-            let history = quarry
-                .repository()
-                .history(quarry_repository::ArtifactKind::MdSchema, "unified");
+            let history = quarry.repository().history(quarry_repository::ArtifactKind::MdSchema, "unified");
             return Some(match history.as_slice() {
                 [] => "no design versions yet".to_string(),
                 [_only] => "only one version so far — everything is new".to_string(),

@@ -367,11 +367,7 @@ impl Quarry {
         Ok(DesignUpdate {
             requirement_id: id.to_string(),
             md_cost: self.config.md_cost.cost(&self.unified_md),
-            etl_cost: self
-                .config
-                .etl_cost
-                .cost(&self.unified_etl, &self.config.stats)
-                .unwrap_or_default(),
+            etl_cost: self.config.etl_cost.cost(&self.unified_etl, &self.config.stats).unwrap_or_default(),
             warnings: violations,
             ..DesignUpdate::default()
         })
@@ -421,12 +417,25 @@ impl Quarry {
         Ok((engine, report))
     }
 
-    /// Like [`Quarry::run_etl`] but with intra-level parallelism: operations
-    /// whose inputs are ready execute concurrently. Results are identical.
+    /// Like [`Quarry::run_etl`] but with inter-operator parallelism layered
+    /// on the engine's morsel parallelism: operations whose inputs are ready
+    /// execute concurrently on the shared worker pool. Results are identical.
     pub fn run_etl_parallel(&self, catalog: Catalog) -> Result<(Engine, RunReport), QuarryError> {
         let mut engine = crate::native::deploy(&self.unified_md, catalog);
         let report = engine.run_parallel(&self.unified_etl)?;
         Ok((engine, report))
+    }
+
+    /// [`Quarry::run_etl_parallel`] pinned to a specific worker count
+    /// (process-wide, persists for later runs). `threads = 1` executes the
+    /// whole flow inline; benchmark scaling series sweep this knob.
+    pub fn run_etl_parallel_with_threads(
+        &self,
+        catalog: Catalog,
+        threads: usize,
+    ) -> Result<(Engine, RunReport), QuarryError> {
+        quarry_engine::pool::set_threads(threads);
+        self.run_etl_parallel(catalog)
     }
 }
 
@@ -463,10 +472,7 @@ mod tests {
     fn duplicate_requirements_are_rejected() {
         let mut q = Quarry::tpch();
         q.add_requirement(figure4_requirement()).unwrap();
-        assert!(matches!(
-            q.add_requirement(figure4_requirement()),
-            Err(QuarryError::DuplicateRequirement(_))
-        ));
+        assert!(matches!(q.add_requirement(figure4_requirement()), Err(QuarryError::DuplicateRequirement(_))));
     }
 
     #[test]
@@ -475,11 +481,7 @@ mod tests {
         q.add_requirement(figure4_requirement()).unwrap();
         let update = q.add_requirement(netprofit_requirement()).unwrap();
         let md_report = update.md_report.expect("integration ran");
-        assert!(
-            !md_report.matches.is_empty(),
-            "Part/Supplier dimensions must be matched: {:?}",
-            md_report.matches
-        );
+        assert!(!md_report.matches.is_empty(), "Part/Supplier dimensions must be matched: {:?}", md_report.matches);
         let etl_report = update.etl_report.expect("integration ran");
         assert!(etl_report.reused_ops > 0, "source extractions must be shared");
         let (md, _) = q.unified();
@@ -517,10 +519,7 @@ mod tests {
     fn unknown_removal_and_change_are_rejected() {
         let mut q = Quarry::tpch();
         assert!(matches!(q.remove_requirement("IRX"), Err(QuarryError::UnknownRequirement(_))));
-        assert!(matches!(
-            q.change_requirement(figure4_requirement()),
-            Err(QuarryError::UnknownRequirement(_))
-        ));
+        assert!(matches!(q.change_requirement(figure4_requirement()), Err(QuarryError::UnknownRequirement(_))));
     }
 
     #[test]

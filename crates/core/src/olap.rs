@@ -104,11 +104,8 @@ pub fn query_flow(md: &MdSchema, onto: &Ontology, req: &Requirement) -> Result<F
     let mut flow = Flow::new(format!("olap_{}", req.id));
 
     // Scan the fact table: FK columns + the requested measures.
-    let mut fact_columns: Vec<Column> = fact
-        .dimensions
-        .iter()
-        .map(|l| Column::new(naming::fact_fk(&l.dimension), ColType::Integer))
-        .collect();
+    let mut fact_columns: Vec<Column> =
+        fact.dimensions.iter().map(|l| Column::new(naming::fact_fk(&l.dimension), ColType::Integer)).collect();
     for m in &req.measures {
         if fact.measure(&m.id).is_some() {
             fact_columns.push(Column::new(m.id.clone(), ColType::Decimal));
@@ -123,9 +120,9 @@ pub fn query_flow(md: &MdSchema, onto: &Ontology, req: &Requirement) -> Result<F
     let mut joined_dims: Vec<String> = Vec::new();
     let mut current = fact_scan;
     let join_dim = |flow: &mut Flow,
-                        current: &mut quarry_etl::OpId,
-                        joined: &mut Vec<String>,
-                        site: &AttributeSite|
+                    current: &mut quarry_etl::OpId,
+                    joined: &mut Vec<String>,
+                    site: &AttributeSite|
      -> Result<(), OlapError> {
         if joined.contains(&site.dimension) {
             return Ok(());
@@ -146,7 +143,10 @@ pub fn query_flow(md: &MdSchema, onto: &Ontology, req: &Requirement) -> Result<F
             }
         }
         let scan = flow
-            .add_op(format!("DIM_{}", site.dimension), OpKind::Datastore { datastore: dim_table, schema: Schema::new(cols) })
+            .add_op(
+                format!("DIM_{}", site.dimension),
+                OpKind::Datastore { datastore: dim_table, schema: Schema::new(cols) },
+            )
             .map_err(|e| OlapError::Generated(e.to_string()))?;
         let join = flow
             .add_op(
@@ -166,12 +166,9 @@ pub fn query_flow(md: &MdSchema, onto: &Ontology, req: &Requirement) -> Result<F
     };
 
     for dim_ref in &req.dimensions {
-        let prop = onto
-            .resolve_property_ref(dim_ref)
-            .map_err(|_| OlapError::UnknownReference(dim_ref.clone()))?;
+        let prop = onto.resolve_property_ref(dim_ref).map_err(|_| OlapError::UnknownReference(dim_ref.clone()))?;
         let attr = &onto.property_def(prop).name;
-        let site =
-            find_attribute(md, fact, attr).ok_or_else(|| OlapError::AttributeNotInSchema(attr.clone()))?;
+        let site = find_attribute(md, fact, attr).ok_or_else(|| OlapError::AttributeNotInSchema(attr.clone()))?;
         join_dim(&mut flow, &mut current, &mut joined_dims, &site)?;
         if !group_columns.contains(&site.column) {
             group_columns.push(site.column.clone());
@@ -188,8 +185,12 @@ pub fn query_flow(md: &MdSchema, onto: &Ontology, req: &Requirement) -> Result<F
         if let Some(site) = find_attribute(md, fact, attr) {
             join_dim(&mut flow, &mut current, &mut joined_dims, &site)?;
             let literal = match site.ty {
-                ColType::Integer => slicer.value.parse::<i64>().map(Expr::Int).unwrap_or(Expr::Str(slicer.value.clone())),
-                ColType::Decimal => slicer.value.parse::<f64>().map(Expr::Float).unwrap_or(Expr::Str(slicer.value.clone())),
+                ColType::Integer => {
+                    slicer.value.parse::<i64>().map(Expr::Int).unwrap_or(Expr::Str(slicer.value.clone()))
+                }
+                ColType::Decimal => {
+                    slicer.value.parse::<f64>().map(Expr::Float).unwrap_or(Expr::Str(slicer.value.clone()))
+                }
                 _ => Expr::Str(slicer.value.clone()),
             };
             let op = match slicer.operator.as_str() {
@@ -259,7 +260,8 @@ mod tests {
         // attribute: the query re-applies the filter.
         let mut quarry = Quarry::tpch();
         let mut req = quarry_formats::Requirement::new("IRF");
-        req.measures.push(quarry_formats::MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
+        req.measures
+            .push(quarry_formats::MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
         req.dimensions.push("Part_p_brandATRIBUT".into());
         quarry.add_requirement(req.clone()).expect("integrates");
         let (mut engine, _) = quarry.run_etl(quarry_engine::tpch::generate(0.002, 42)).expect("loads");
@@ -281,10 +283,7 @@ mod tests {
     fn missing_fact_and_attribute_error() {
         let quarry = Quarry::tpch();
         let req = figure4_requirement();
-        assert!(matches!(
-            query_flow(quarry.unified().0, quarry.ontology(), &req),
-            Err(OlapError::NoFactFor(_))
-        ));
+        assert!(matches!(query_flow(quarry.unified().0, quarry.ontology(), &req), Err(OlapError::NoFactFor(_))));
 
         let mut quarry = Quarry::tpch();
         quarry.add_requirement(figure4_requirement()).expect("integrates");

@@ -36,7 +36,11 @@ pub enum ServiceRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceResponse {
     /// The step succeeded; the payload summarizes the design update.
-    Updated { requirement_id: String, md_cost: f64, etl_cost: f64 },
+    Updated {
+        requirement_id: String,
+        md_cost: f64,
+        etl_cost: f64,
+    },
     Requirements(Vec<String>),
     /// An xMD/xLM document.
     Document(String),
@@ -149,8 +153,7 @@ fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceRes
                 .ontology()
                 .concept_by_name(&focus)
                 .ok_or_else(|| QuarryError::UnknownRequirement(format!("concept `{focus}`")))?;
-            let suggestions =
-                quarry.elicitor().suggest_dimensions(concept).into_iter().map(|s| s.name).collect();
+            let suggestions = quarry.elicitor().suggest_dimensions(concept).into_iter().map(|s| s.name).collect();
             Ok(ServiceResponse::Suggestions(suggestions))
         }
     }

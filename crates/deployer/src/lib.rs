@@ -129,10 +129,7 @@ impl PlatformRegistry {
     }
 
     pub fn deploy(&self, platform: &str, md: &MdSchema, etl: &Flow) -> Result<DeploymentArtifacts, DeployError> {
-        self.platforms
-            .get(platform)
-            .ok_or_else(|| DeployError::UnknownPlatform(platform.to_string()))?
-            .deploy(md, etl)
+        self.platforms.get(platform).ok_or_else(|| DeployError::UnknownPlatform(platform.to_string()))?.deploy(md, etl)
     }
 }
 
@@ -162,11 +159,15 @@ mod tests {
                 "DATASTORE_Part",
                 quarry_etl::OpKind::Datastore {
                     datastore: "part".into(),
-                    schema: quarry_etl::Schema::new(vec![quarry_etl::Column::new("p_partkey", quarry_etl::ColType::Integer)]),
+                    schema: quarry_etl::Schema::new(vec![quarry_etl::Column::new(
+                        "p_partkey",
+                        quarry_etl::ColType::Integer,
+                    )]),
                 },
             )
             .unwrap();
-        flow.append(d, "LOADER_dim_part", quarry_etl::OpKind::Loader { table: "dim_part".into(), key: vec![] }).unwrap();
+        flow.append(d, "LOADER_dim_part", quarry_etl::OpKind::Loader { table: "dim_part".into(), key: vec![] })
+            .unwrap();
         (md, flow)
     }
 

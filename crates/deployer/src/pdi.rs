@@ -57,9 +57,8 @@ pub fn generate_ktr(flow: &Flow, database: &str) -> String {
     root.push_child(order);
 
     for op in flow.ops() {
-        let mut step = Element::new("step")
-            .with_text_child("name", &op.name)
-            .with_text_child("type", pdi_optype(&op.kind));
+        let mut step =
+            Element::new("step").with_text_child("name", &op.name).with_text_child("type", pdi_optype(&op.kind));
         configure_step(&mut step, &op.kind);
         root.push_child(step);
     }
@@ -73,9 +72,7 @@ fn configure_step(step: &mut Element, kind: &OpKind) {
         OpKind::Datastore { datastore, schema } => {
             let cols: Vec<&str> = schema.names().collect();
             step.push_child(Element::new("connection").with_text("quarry"));
-            step.push_child(
-                Element::new("sql").with_text(format!("SELECT {} FROM {datastore}", cols.join(", "))),
-            );
+            step.push_child(Element::new("sql").with_text(format!("SELECT {} FROM {datastore}", cols.join(", "))));
         }
         OpKind::Extraction { columns } | OpKind::Projection { columns } => {
             let mut fields = Element::new("fields");
@@ -134,9 +131,7 @@ fn configure_step(step: &mut Element, kind: &OpKind) {
         OpKind::Sort { columns } => {
             let mut fields = Element::new("fields");
             for c in columns {
-                fields.push_child(
-                    Element::new("field").with_text_child("name", c).with_text_child("ascending", "Y"),
-                );
+                fields.push_child(Element::new("field").with_text_child("name", c).with_text_child("ascending", "Y"));
             }
             step.push_child(fields);
         }
@@ -195,18 +190,24 @@ mod tests {
             )
             .unwrap();
         let e = f
-            .append(d, "EXTRACTION_Partsupp", OpKind::Extraction {
-                columns: vec!["ps_partkey".into(), "ps_supplycost".into()],
-            })
+            .append(
+                d,
+                "EXTRACTION_Partsupp",
+                OpKind::Extraction { columns: vec!["ps_partkey".into(), "ps_supplycost".into()] },
+            )
             .unwrap();
         let s = f
             .append(e, "SELECTION_cost", OpKind::Selection { predicate: parse_expr("ps_supplycost > 10").unwrap() })
             .unwrap();
         let a = f
-            .append(s, "AGG", OpKind::Aggregation {
-                group_by: vec!["ps_partkey".into()],
-                aggregates: vec![AggSpec::new("AVERAGE", parse_expr("ps_supplycost").unwrap(), "avg_cost")],
-            })
+            .append(
+                s,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["ps_partkey".into()],
+                    aggregates: vec![AggSpec::new("AVERAGE", parse_expr("ps_supplycost").unwrap(), "avg_cost")],
+                },
+            )
             .unwrap();
         f.append(a, "LOADER_fact", OpKind::Loader { table: "fact_table_netprofit".into(), key: vec![] }).unwrap();
         f

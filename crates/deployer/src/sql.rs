@@ -31,7 +31,9 @@ fn expr_sql(e: &Expr) -> String {
     // (`<>`, AND/OR, quoted strings, function calls PostgreSQL knows:
     // ABS/COALESCE/CONCAT; YEAR/MONTH/DAY become EXTRACT).
     let mut text = e.to_string();
-    for (ours, pg) in [("YEAR(", "EXTRACT(YEAR FROM "), ("MONTH(", "EXTRACT(MONTH FROM "), ("DAY(", "EXTRACT(DAY FROM ")] {
+    for (ours, pg) in
+        [("YEAR(", "EXTRACT(YEAR FROM "), ("MONTH(", "EXTRACT(MONTH FROM "), ("DAY(", "EXTRACT(DAY FROM ")]
+    {
         text = text.replace(ours, pg);
     }
     text
@@ -67,24 +69,15 @@ fn op_sql(flow: &Flow, id: OpId) -> String {
                 JoinKind::Inner => "JOIN",
                 JoinKind::Left => "LEFT JOIN",
             };
-            let on: Vec<String> = left_on
-                .iter()
-                .zip(right_on)
-                .map(|(l, r)| format!("l.{} = r.{}", ident(l), ident(r)))
-                .collect();
+            let on: Vec<String> =
+                left_on.iter().zip(right_on).map(|(l, r)| format!("l.{} = r.{}", ident(l), ident(r))).collect();
             // Same-name equi-joined keys survive once (left copy), so the
             // right side's surviving columns are listed explicitly.
             let right_schema = flow.schema_of(inputs[1]).expect("validated before generation");
             let kept = quarry_etl::join_kept_right_indices(&right_schema, left_on, right_on);
             let mut select = vec!["l.*".to_string()];
             select.extend(kept.iter().map(|&i| format!("r.{}", ident(&right_schema.columns[i].name))));
-            format!(
-                "SELECT {} FROM {} l {join_kw} {} r ON {}",
-                select.join(", "),
-                input(0),
-                input(1),
-                on.join(" AND ")
-            )
+            format!("SELECT {} FROM {} l {join_kw} {} r ON {}", select.join(", "), input(0), input(1), on.join(" AND "))
         }
         OpKind::Aggregation { group_by, aggregates } => {
             let mut select: Vec<String> = group_by.iter().map(|g| ident(g)).collect();
@@ -190,22 +183,30 @@ mod tests {
             .append(d, "SEL_discount", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() })
             .unwrap();
         let dv = f
-            .append(s, "DERIVE_revenue", OpKind::Derivation {
-                column: "revenue".into(),
-                expr: parse_expr("l_extendedprice * (1 - l_discount)").unwrap(),
-            })
+            .append(
+                s,
+                "DERIVE_revenue",
+                OpKind::Derivation {
+                    column: "revenue".into(),
+                    expr: parse_expr("l_extendedprice * (1 - l_discount)").unwrap(),
+                },
+            )
             .unwrap();
         let sk = f
             .append(dv, "SK", OpKind::SurrogateKey { natural: vec!["l_orderkey".into()], output: "OrderID".into() })
             .unwrap();
         let a = f
-            .append(sk, "AGG", OpKind::Aggregation {
-                group_by: vec!["OrderID".into()],
-                aggregates: vec![
-                    AggSpec::new("AVERAGE", parse_expr("revenue").unwrap(), "avg_rev"),
-                    AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
-                ],
-            })
+            .append(
+                sk,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["OrderID".into()],
+                    aggregates: vec![
+                        AggSpec::new("AVERAGE", parse_expr("revenue").unwrap(), "avg_rev"),
+                        AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
+                    ],
+                },
+            )
             .unwrap();
         f.append(a, "LOADER_fact", OpKind::Loader { table: "fact_revenue".into(), key: vec!["OrderID".into()] })
             .unwrap();
@@ -228,7 +229,10 @@ mod tests {
     #[test]
     fn upsert_loaders_emit_on_conflict() {
         let sql = generate_sql(&sample_flow()).unwrap();
-        assert!(sql.contains("ON CONFLICT (OrderID) DO UPDATE SET avg_rev = EXCLUDED.avg_rev, n = EXCLUDED.n"), "{sql}");
+        assert!(
+            sql.contains("ON CONFLICT (OrderID) DO UPDATE SET avg_rev = EXCLUDED.avg_rev, n = EXCLUDED.n"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -241,10 +245,22 @@ mod tests {
     fn joins_render_with_qualified_on_clauses() {
         let mut f = Flow::new("j");
         let l = f
-            .add_op("L", OpKind::Datastore { datastore: "a".into(), schema: Schema::new(vec![Column::new("x", ColType::Integer)]) })
+            .add_op(
+                "L",
+                OpKind::Datastore {
+                    datastore: "a".into(),
+                    schema: Schema::new(vec![Column::new("x", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let r = f
-            .add_op("R", OpKind::Datastore { datastore: "b".into(), schema: Schema::new(vec![Column::new("y", ColType::Integer)]) })
+            .add_op(
+                "R",
+                OpKind::Datastore {
+                    datastore: "b".into(),
+                    schema: Schema::new(vec![Column::new("y", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let j = f
             .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["x".into()], right_on: vec!["y".into()] })
@@ -261,10 +277,17 @@ mod tests {
     fn date_functions_become_extract() {
         let mut f = Flow::new("d");
         let ds = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("d", ColType::Date)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("d", ColType::Date)]) },
+            )
             .unwrap();
         let dv = f
-            .append(ds, "DV", OpKind::Derivation { column: "yk".into(), expr: parse_expr("YEAR(d) * 100 + MONTH(d)").unwrap() })
+            .append(
+                ds,
+                "DV",
+                OpKind::Derivation { column: "yk".into(), expr: parse_expr("YEAR(d) * 100 + MONTH(d)").unwrap() },
+            )
             .unwrap();
         f.append(dv, "LOAD", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
         let sql = generate_sql(&f).unwrap();
@@ -285,7 +308,13 @@ mod tests {
     fn invalid_flows_are_rejected() {
         let mut f = Flow::new("bad");
         let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("x", ColType::Integer)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "t".into(),
+                    schema: Schema::new(vec![Column::new("x", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let s = f.append(d, "S", OpKind::Selection { predicate: parse_expr("ghost > 1").unwrap() }).unwrap();
         f.append(s, "L", OpKind::Loader { table: "o".into(), key: vec![] }).unwrap();

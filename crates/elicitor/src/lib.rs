@@ -77,12 +77,8 @@ impl<'a> Elicitor<'a> {
             if target == focus {
                 continue;
             }
-            let descriptors = self
-                .onto
-                .all_properties(target)
-                .into_iter()
-                .filter(|&p| !self.onto.property_def(p).identifier)
-                .count();
+            let descriptors =
+                self.onto.all_properties(target).into_iter().filter(|&p| !self.onto.property_def(p).identifier).count();
             let score = (1.0 + descriptors as f64) / (1.0 + path.len() as f64);
             out.push(DimensionSuggestion {
                 concept: target,
@@ -92,7 +88,9 @@ impl<'a> Elicitor<'a> {
                 score,
             });
         }
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name)));
+        out.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name))
+        });
         out
     }
 
@@ -139,7 +137,9 @@ impl<'a> Elicitor<'a> {
                 }
             })
             .collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name)));
+        out.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.name.cmp(&b.name))
+        });
         out
     }
 
@@ -157,7 +157,10 @@ pub enum SessionError {
     /// The term resolved to a concept where a property was needed.
     NotAProperty(String),
     /// A measure expression references something unresolvable.
-    BadMeasure { measure: String, detail: String },
+    BadMeasure {
+        measure: String,
+        detail: String,
+    },
     /// The requirement has no measures or no dimensions.
     Incomplete(String),
     UnknownAggregation(String),
@@ -234,10 +237,9 @@ impl<'a> Session<'a> {
         // rewrite vocabulary terms to canonical references.
         let mut rewritten = expr.clone();
         for col in expr.columns() {
-            let p = self.resolve_property(&col).map_err(|e| SessionError::BadMeasure {
-                measure: name.to_string(),
-                detail: e.to_string(),
-            })?;
+            let p = self
+                .resolve_property(&col)
+                .map_err(|e| SessionError::BadMeasure { measure: name.to_string(), detail: e.to_string() })?;
             let canonical = self.onto.property_ref(p);
             rewritten.rename_columns(&|c| (c == col).then(|| canonical.clone()));
         }
@@ -257,7 +259,12 @@ impl<'a> Session<'a> {
     }
 
     /// Requests an aggregation of a measure along a dimension.
-    pub fn aggregate(&mut self, measure: &str, dimension_term: &str, function: &str) -> Result<&mut Self, SessionError> {
+    pub fn aggregate(
+        &mut self,
+        measure: &str,
+        dimension_term: &str,
+        function: &str,
+    ) -> Result<&mut Self, SessionError> {
         if quarry_md::AggFn::parse(function).is_none() {
             return Err(SessionError::UnknownAggregation(function.to_string()));
         }

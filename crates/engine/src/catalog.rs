@@ -3,12 +3,18 @@
 use crate::relation::Relation;
 use quarry_etl::Schema;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A catalog of named in-memory tables. Iteration order is name order so
 /// that reports and tests are deterministic.
+///
+/// Tables are reference-counted so the executor can hand a whole table to a
+/// datastore operator without copying a single row; mutation goes through
+/// [`Catalog::get_mut`], which copies-on-write only while a reader still
+/// holds the table.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Relation>,
+    tables: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Catalog {
@@ -18,15 +24,27 @@ impl Catalog {
 
     /// Registers (or replaces) a table.
     pub fn put(&mut self, name: impl Into<String>, relation: Relation) {
+        self.tables.insert(name.into(), Arc::new(relation));
+    }
+
+    /// Registers (or replaces) a table that is already reference-counted,
+    /// sharing its rows instead of copying them.
+    pub fn put_shared(&mut self, name: impl Into<String>, relation: Arc<Relation>) {
         self.tables.insert(name.into(), relation);
     }
 
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.tables.get(name)
+        self.tables.get(name).map(|t| &**t)
+    }
+
+    /// A reference-counted handle to a table: the zero-copy read path of
+    /// datastore operators.
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Relation>> {
+        self.tables.get(name).cloned()
     }
 
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.tables.get_mut(name)
+        self.tables.get_mut(name).map(Arc::make_mut)
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -34,12 +52,12 @@ impl Catalog {
     }
 
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
-        self.tables.remove(name)
+        self.tables.remove(name).map(|t| Arc::try_unwrap(t).unwrap_or_else(|t| (*t).clone()))
     }
 
     /// Creates an empty table with the given schema (deployment DDL effect).
     pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) {
-        self.tables.insert(name.into(), Relation::new(schema));
+        self.tables.insert(name.into(), Arc::new(Relation::new(schema)));
     }
 
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
@@ -56,7 +74,7 @@ impl Catalog {
 
     /// Total rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Relation::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// Derives source statistics (row counts per table) for the ETL cost

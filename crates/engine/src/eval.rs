@@ -1,7 +1,7 @@
 //! Evaluation of the logical expression language over runtime rows.
 
 use crate::value::Value;
-use quarry_etl::{BinOp, Expr, Schema, UnOp};
+use quarry_etl::{BinOp, CompiledExpr, Expr, Schema, UnOp};
 use std::fmt;
 
 /// Runtime evaluation errors.
@@ -81,6 +81,59 @@ pub fn eval(expr: &Expr, schema: &Schema, row: &[Value]) -> Result<Value, EvalEr
     }
 }
 
+/// Evaluates a pre-compiled expression against one row: column references
+/// are positional, so the hot path does no name hashing. Semantics match
+/// [`eval`] exactly (same short-circuiting, NULL handling, and errors).
+pub fn eval_compiled(expr: &CompiledExpr, row: &[Value]) -> Result<Value, EvalError> {
+    match expr {
+        CompiledExpr::Col(i) => Ok(row[*i].clone()),
+        CompiledExpr::Int(v) => Ok(Value::Int(*v)),
+        CompiledExpr::Float(v) => Ok(Value::Float(*v)),
+        CompiledExpr::Str(s) => Ok(Value::Str(s.clone())),
+        CompiledExpr::Bool(b) => Ok(Value::Bool(*b)),
+        CompiledExpr::Null => Ok(Value::Null),
+        CompiledExpr::Unary(op, e) => {
+            let v = eval_compiled(e, row)?;
+            match (op, v) {
+                (_, Value::Null) => Ok(Value::Null),
+                (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                (UnOp::Not, other) => Err(EvalError::Type(format!("NOT of non-boolean `{other}`"))),
+                (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+                (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+                (UnOp::Neg, other) => Err(EvalError::Type(format!("negation of non-numeric `{other}`"))),
+            }
+        }
+        CompiledExpr::Binary(op, l, r) => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let lv = eval_compiled(l, row)?;
+                match (op, &lv) {
+                    (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+                    (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+                    _ => {}
+                }
+                let rv = eval_compiled(r, row)?;
+                return combine_logical(*op, &lv, &rv);
+            }
+            let lv = eval_compiled(l, row)?;
+            let rv = eval_compiled(r, row)?;
+            if lv.is_null() || rv.is_null() {
+                return Ok(Value::Null);
+            }
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &lv, &rv),
+                BinOp::Eq => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Equal)),
+                BinOp::Ne => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Equal)),
+                BinOp::Lt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Less)),
+                BinOp::Le => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Greater)),
+                BinOp::Gt => Ok(Value::Bool(compare(&lv, &rv)? == std::cmp::Ordering::Greater)),
+                BinOp::Ge => Ok(Value::Bool(compare(&lv, &rv)? != std::cmp::Ordering::Less)),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        CompiledExpr::Call(name, args) => call_compiled(name, args, row),
+    }
+}
+
 fn eval_logical(op: BinOp, l: &Expr, r: &Expr, schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
     let lv = eval(l, schema, row)?;
     match (op, &lv) {
@@ -89,6 +142,11 @@ fn eval_logical(op: BinOp, l: &Expr, r: &Expr, schema: &Schema, row: &[Value]) -
         _ => {}
     }
     let rv = eval(r, schema, row)?;
+    combine_logical(op, &lv, &rv)
+}
+
+/// SQL three-valued AND/OR over already-evaluated operands.
+fn combine_logical(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError> {
     let as_bool = |v: &Value| -> Result<Option<bool>, EvalError> {
         match v {
             Value::Bool(b) => Ok(Some(*b)),
@@ -96,7 +154,7 @@ fn eval_logical(op: BinOp, l: &Expr, r: &Expr, schema: &Schema, row: &[Value]) -
             other => Err(EvalError::Type(format!("logical op on non-boolean `{other}`"))),
         }
     };
-    let (a, b) = (as_bool(&lv)?, as_bool(&rv)?);
+    let (a, b) = (as_bool(lv)?, as_bool(rv)?);
     let out = match op {
         BinOp::And => match (a, b) {
             (Some(false), _) | (_, Some(false)) => Some(false),
@@ -152,10 +210,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
 fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EvalError> {
     use Value::*;
     match (l, r) {
-        (Int(_) | Float(_), Int(_) | Float(_))
-        | (Str(_), Str(_))
-        | (Bool(_), Bool(_))
-        | (Date(_), Date(_)) => Ok(l.total_cmp(r)),
+        (Int(_) | Float(_), Int(_) | Float(_)) | (Str(_), Str(_)) | (Bool(_), Bool(_)) | (Date(_), Date(_)) => {
+            Ok(l.total_cmp(r))
+        }
         // Dates compare against their textual literal form, so xRQ slicers
         // like `l_shipdate >= '1995-01-01'` work without a cast syntax.
         (Date(_), Str(s)) => match Value::parse_date(s) {
@@ -225,6 +282,61 @@ fn call(name: &str, args: &[Expr], schema: &Schema, row: &[Value]) -> Result<Val
     }
 }
 
+/// [`call`] over compiled arguments; `upper` was upper-cased at bind time.
+fn call_compiled(upper: &str, args: &[CompiledExpr], row: &[Value]) -> Result<Value, EvalError> {
+    let expect = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::Arity { function: upper.to_string(), expected: n, found: args.len() })
+        }
+    };
+    match upper {
+        "YEAR" | "MONTH" | "DAY" => {
+            expect(1)?;
+            let v = eval_compiled(&args[0], row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let (y, m, d) = v.date_parts().ok_or_else(|| EvalError::Type(format!("{upper} of non-date `{v}`")))?;
+            Ok(Value::Int(match upper {
+                "YEAR" => y as i64,
+                "MONTH" => m as i64,
+                _ => d as i64,
+            }))
+        }
+        "ABS" => {
+            expect(1)?;
+            match eval_compiled(&args[0], row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(EvalError::Type(format!("ABS of `{other}`"))),
+            }
+        }
+        "CONCAT" => {
+            let mut out = String::new();
+            for a in args {
+                let v = eval_compiled(a, row)?;
+                if !v.is_null() {
+                    out.push_str(&v.to_string());
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        "COALESCE" => {
+            for a in args {
+                let v = eval_compiled(a, row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,13 +353,7 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![
-            Value::Float(10.5),
-            Value::Int(3),
-            Value::Str("Spain".into()),
-            Value::date(1995, 6, 17),
-            Value::Null,
-        ]
+        vec![Value::Float(10.5), Value::Int(3), Value::Str("Spain".into()), Value::date(1995, 6, 17), Value::Null]
     }
 
     fn run(src: &str) -> Value {
@@ -320,24 +426,59 @@ mod tests {
     fn error_cases() {
         let s = schema();
         let r = row();
-        assert!(matches!(
-            eval(&parse_expr("ghost + 1").unwrap(), &s, &r),
-            Err(EvalError::UnknownColumn(_))
-        ));
+        assert!(matches!(eval(&parse_expr("ghost + 1").unwrap(), &s, &r), Err(EvalError::UnknownColumn(_))));
         assert!(matches!(eval(&parse_expr("name + 1").unwrap(), &s, &r), Err(EvalError::Type(_))));
-        assert!(matches!(
-            eval(&parse_expr("MYSTERY(1)").unwrap(), &s, &r),
-            Err(EvalError::UnknownFunction(_))
-        ));
-        assert!(matches!(
-            eval(&parse_expr("YEAR(ship, ship)").unwrap(), &s, &r),
-            Err(EvalError::Arity { .. })
-        ));
+        assert!(matches!(eval(&parse_expr("MYSTERY(1)").unwrap(), &s, &r), Err(EvalError::UnknownFunction(_))));
+        assert!(matches!(eval(&parse_expr("YEAR(ship, ship)").unwrap(), &s, &r), Err(EvalError::Arity { .. })));
         assert!(matches!(eval(&parse_expr("YEAR(qty)").unwrap(), &s, &r), Err(EvalError::Type(_))));
     }
 
     #[test]
     fn not_of_boolean() {
         assert_eq!(run("NOT (qty = 3)"), Value::Bool(false));
+    }
+
+    #[test]
+    fn compiled_eval_matches_interpreted() {
+        for src in [
+            "price * qty",
+            "qty + 2",
+            "qty / 0",
+            "price > 10 AND qty <= 3",
+            "maybe > 0 OR price > 0",
+            "maybe > 0 AND price > 0",
+            "NOT (maybe > 0)",
+            "ship >= '1995-01-01'",
+            "YEAR(ship) - 1900",
+            "ABS(0 - qty)",
+            "concat(name, '!')",
+            "COALESCE(maybe, price)",
+            "maybe = maybe",
+            "-qty",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let c = quarry_etl::CompiledExpr::compile(&e, &schema()).unwrap();
+            assert_eq!(
+                eval_compiled(&c, &row()),
+                eval(&e, &schema(), &row()),
+                "compiled and interpreted eval disagree on `{src}`"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_short_circuit_skips_rhs_errors() {
+        let e = parse_expr("qty < 0 AND MYSTERY(qty) = 1").unwrap();
+        let c = quarry_etl::CompiledExpr::compile(&e, &schema()).unwrap();
+        assert_eq!(eval_compiled(&c, &row()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn compiled_runtime_errors_match_interpreted() {
+        for src in ["name + 1", "MYSTERY(1)", "YEAR(ship, ship)", "YEAR(qty)"] {
+            let e = parse_expr(src).unwrap();
+            let c = quarry_etl::CompiledExpr::compile(&e, &schema()).unwrap();
+            assert_eq!(eval_compiled(&c, &row()), eval(&e, &schema(), &row()), "error mismatch on `{src}`");
+        }
     }
 }

@@ -1,24 +1,52 @@
 //! The flow executor: runs a validated logical flow against a catalog.
+//!
+//! The executor is morsel-driven: every row-at-a-time operator splits its
+//! input into fixed-size morsels ([`MORSEL_ROWS`]) and processes them on the
+//! shared worker pool ([`crate::pool`]), concatenating per-morsel results in
+//! morsel order. Because the morsel structure is a function of input length
+//! alone — never of the thread count — serial and parallel runs produce
+//! bit-identical output, including the floating-point accumulation order of
+//! aggregates and the insertion order of group keys.
+//!
+//! Expressions are compiled once per operator ([`CompiledExpr`]) before any
+//! row is touched, so the per-row hot loops do positional column access
+//! instead of name hashing.
 
 use crate::catalog::Catalog;
-use crate::eval::{eval, truthy, EvalError};
+use crate::eval::{eval_compiled, truthy, EvalError};
+use crate::pool;
 use crate::relation::{Relation, Row};
 use crate::value::Value;
-use quarry_etl::{AggSpec, Flow, FlowError, JoinKind, OpId, OpKind};
+use quarry_etl::{AggSpec, CompiledExpr, Expr, Flow, FlowError, JoinKind, OpId, OpKind, Schema, UnboundColumn};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Rows per morsel. Fixed (not derived from the thread count) so that the
+/// same input always decomposes identically and results are reproducible
+/// under any parallelism.
+pub const MORSEL_ROWS: usize = 4096;
 
 /// Errors raised during execution.
 #[derive(Debug)]
 pub enum EngineError {
     Flow(FlowError),
-    Eval { op: String, error: EvalError },
+    Eval {
+        op: String,
+        error: EvalError,
+    },
     UnknownTable(String),
     /// A datastore asks for a column the catalog table does not have.
-    SourceSchemaMismatch { table: String, column: String },
-    LoadSchemaMismatch { table: String, detail: String },
+    SourceSchemaMismatch {
+        table: String,
+        column: String,
+    },
+    LoadSchemaMismatch {
+        table: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -46,6 +74,11 @@ impl From<FlowError> for EngineError {
 }
 
 /// Wall-clock timing and row counts of one executed operation.
+///
+/// `elapsed` is measured inside the operation's job, from the instant it
+/// starts executing on a worker — it covers the operation's own work only,
+/// never time spent queued behind other operations or waiting at a level
+/// barrier.
 #[derive(Debug, Clone)]
 pub struct OpTiming {
     pub op: String,
@@ -86,6 +119,10 @@ impl Engine {
 
     /// Executes a flow: sources read from the catalog, loaders append to
     /// (auto-creating) target tables. Returns the run report.
+    ///
+    /// Operations run one after another in topological order; each operation
+    /// may still parallelise internally over its morsels. Results are
+    /// identical to [`Engine::run_parallel`] by construction.
     pub fn run(&mut self, flow: &Flow) -> Result<RunReport, EngineError> {
         let order = flow.topo_order()?;
         flow.schemas()?; // full static validation before touching data
@@ -96,23 +133,33 @@ impl Engine {
             let op = flow.op(id);
             let inputs: Vec<Arc<Relation>> = flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
             let t0 = Instant::now();
-            let out = match &op.kind {
-                OpKind::Loader { table, key } => self.load(table, key, &inputs[0], &mut report)?,
+            let out: Arc<Relation> = match &op.kind {
+                OpKind::Loader { table, key } => {
+                    self.load(table, key, &inputs[0], &mut report)?;
+                    Arc::clone(&inputs[0])
+                }
                 pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
             };
             let elapsed = t0.elapsed();
             report.rows_processed += out.len();
-            report.timings.push(OpTiming { op: op.name.clone(), kind: op.kind.type_name(), rows_out: out.len(), elapsed });
-            results.insert(id, Arc::new(out));
+            report.timings.push(OpTiming {
+                op: op.name.clone(),
+                kind: op.kind.type_name(),
+                rows_out: out.len(),
+                elapsed,
+            });
+            results.insert(id, out);
         }
         report.total = start.elapsed();
         Ok(report)
     }
 
-    /// Executes a flow with intra-level parallelism: operations whose inputs
-    /// are all available run concurrently on crossbeam's scoped threads.
-    /// Loaders execute at level boundaries with exclusive catalog access, so
-    /// results are identical to [`Engine::run`].
+    /// Executes a flow with inter-operator parallelism layered on top of the
+    /// per-operator morsel parallelism: operations whose inputs are all
+    /// available run concurrently on the shared worker pool. Both layers
+    /// draw threads from one budget, so nesting never oversubscribes the
+    /// machine. Loaders execute at level boundaries with exclusive catalog
+    /// access, so results are identical to [`Engine::run`].
     pub fn run_parallel(&mut self, flow: &Flow) -> Result<RunReport, EngineError> {
         flow.schemas()?;
         let order = flow.topo_order()?;
@@ -132,35 +179,27 @@ impl Engine {
         let mut results: HashMap<OpId, Arc<Relation>> = HashMap::with_capacity(order.len());
         let mut report = RunReport::default();
         for level in levels {
-            let (pure, sinks): (Vec<OpId>, Vec<OpId>) =
+            let (pure_ops, sinks): (Vec<OpId>, Vec<OpId>) =
                 level.into_iter().partition(|&id| !flow.op(id).kind.is_sink());
-            // Pure operations of one level run in parallel.
+            // Pure operations of one level run concurrently on the pool.
+            // Each job starts its clock when it begins executing, so the
+            // recorded elapsed time is the operation's own work, not the
+            // time it spent queued or waiting for siblings to finish.
             let catalog = &self.catalog;
-            type OpOutcome = Result<(Relation, Duration), EngineError>;
-            let outputs: Vec<(OpId, OpOutcome)> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = pure
-                        .iter()
-                        .map(|&id| {
-                            let op = flow.op(id);
-                            let inputs: Vec<Arc<Relation>> =
-                                flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
-                            scope.spawn(move |_| {
-                                let t0 = Instant::now();
-                                let out = execute_pure(catalog, &op.name, &op.kind, &inputs)?;
-                                Ok((out, t0.elapsed()))
-                            })
-                        })
-                        .collect();
-                    pure.iter()
-                        .zip(handles)
-                        .map(|(&id, h)| (id, h.join().expect("operation threads do not panic")))
-                        .collect()
-                })
-                .expect("crossbeam scope does not panic");
-            for (id, outcome) in outputs {
+            let jobs: Vec<(OpId, Vec<Arc<Relation>>)> = pure_ops
+                .into_iter()
+                .map(|id| (id, flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect()))
+                .collect();
+            let outcomes: Vec<Result<(Arc<Relation>, Duration), EngineError>> = pool::run_indexed(jobs.len(), |i| {
+                let (id, inputs) = &jobs[i];
+                let op = flow.op(*id);
+                let t0 = Instant::now();
+                let out = execute_pure(catalog, &op.name, &op.kind, inputs)?;
+                Ok((out, t0.elapsed()))
+            });
+            for ((id, _), outcome) in jobs.iter().zip(outcomes) {
                 let (out, elapsed) = outcome?;
-                let op = flow.op(id);
+                let op = flow.op(*id);
                 report.rows_processed += out.len();
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
@@ -168,7 +207,7 @@ impl Engine {
                     rows_out: out.len(),
                     elapsed,
                 });
-                results.insert(id, Arc::new(out));
+                results.insert(*id, out);
             }
             // Sinks take exclusive catalog access, in deterministic order.
             for id in sinks {
@@ -176,8 +215,11 @@ impl Engine {
                 let inputs: Vec<Arc<Relation>> =
                     flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
                 let t0 = Instant::now();
-                let out = match &op.kind {
-                    OpKind::Loader { table, key } => self.load(table, key, &inputs[0], &mut report)?,
+                let out: Arc<Relation> = match &op.kind {
+                    OpKind::Loader { table, key } => {
+                        self.load(table, key, &inputs[0], &mut report)?;
+                        Arc::clone(&inputs[0])
+                    }
                     pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
                 };
                 report.rows_processed += out.len();
@@ -187,7 +229,7 @@ impl Engine {
                     rows_out: out.len(),
                     elapsed: t0.elapsed(),
                 });
-                results.insert(id, Arc::new(out));
+                results.insert(id, out);
             }
         }
         report.total = start.elapsed();
@@ -195,7 +237,13 @@ impl Engine {
     }
 
     /// Loader execution: append (empty key, strict schema) or upsert.
-    fn load(&mut self, table: &str, key: &[String], input: &Relation, report: &mut RunReport) -> Result<Relation, EngineError> {
+    fn load(
+        &mut self,
+        table: &str,
+        key: &[String],
+        input: &Arc<Relation>,
+        report: &mut RunReport,
+    ) -> Result<(), EngineError> {
         if key.is_empty() {
             match self.catalog.get_mut(table) {
                 Some(existing) => {
@@ -208,7 +256,10 @@ impl Engine {
                     existing.rows.extend(input.rows.iter().cloned());
                 }
                 None => {
-                    self.catalog.put(table.to_string(), input.clone());
+                    // First load into a fresh table: share the rows. A later
+                    // append copies-on-write only if the flow result is
+                    // still alive.
+                    self.catalog.put_shared(table.to_string(), Arc::clone(input));
                 }
             }
         } else {
@@ -216,125 +267,213 @@ impl Engine {
                 .map_err(|detail| EngineError::LoadSchemaMismatch { table: table.to_string(), detail })?;
         }
         report.loaded.push((table.to_string(), input.len()));
-        Ok(input.clone())
+        Ok(())
     }
+}
 
+/// The morsel decomposition of `len` rows: contiguous ranges of at most
+/// [`MORSEL_ROWS`] rows, in order. Empty input has no morsels.
+fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
+    (0..len).step_by(MORSEL_ROWS).map(|start| start..len.min(start + MORSEL_ROWS)).collect()
+}
+
+/// Applies `f` to every morsel of `0..len` on the worker pool and returns
+/// the per-morsel results in morsel order.
+fn per_morsel<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = morsel_ranges(len);
+    pool::run_indexed(ranges.len(), |i| f(ranges[i].clone()))
+}
+
+/// Concatenates per-morsel row chunks in morsel order.
+fn concat(chunks: Vec<Vec<Row>>) -> Vec<Row> {
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut rows = Vec::with_capacity(total);
+    for mut c in chunks {
+        rows.append(&mut c);
+    }
+    rows
+}
+
+/// Concatenates fallible per-morsel chunks in morsel order; the first error
+/// in morsel order wins, which is deterministic for any thread count.
+fn try_concat(chunks: Vec<Result<Vec<Row>, EvalError>>) -> Result<Vec<Row>, EvalError> {
+    let mut rows = Vec::new();
+    for c in chunks {
+        let mut c = c?;
+        rows.append(&mut c);
+    }
+    Ok(rows)
+}
+
+/// Binds an operator's expression against its input schema, once, before
+/// any row is processed. Unknown columns surface here instead of on the
+/// first evaluated row.
+fn compile(expr: &Expr, schema: &Schema, op: &str) -> Result<CompiledExpr, EngineError> {
+    CompiledExpr::compile(expr, schema)
+        .map_err(|UnboundColumn(c)| EngineError::Eval { op: op.to_string(), error: EvalError::UnknownColumn(c) })
 }
 
 /// Executes one catalog-read-only operation (everything but loaders).
+///
+/// Returns a reference-counted relation so that pass-through operations —
+/// a datastore whose declared schema matches the catalog table, an
+/// extraction or projection that keeps every column in place — can share
+/// their input instead of copying every row.
 fn execute_pure(
     catalog: &Catalog,
     name: &str,
     kind: &OpKind,
     inputs: &[Arc<Relation>],
-) -> Result<Relation, EngineError> {
-    {
-        let eval_err = |e: EvalError| EngineError::Eval { op: name.to_string(), error: e };
-        match kind {
-            OpKind::Datastore { datastore, schema } => {
-                let table = catalog.get(datastore).ok_or_else(|| EngineError::UnknownTable(datastore.clone()))?;
-                // Project the catalog table onto the declared extraction
-                // schema (catalog tables may carry more columns, e.g. FKs).
-                let indices: Vec<usize> = schema
-                    .columns
-                    .iter()
-                    .map(|c| {
-                        table.schema.index_of(&c.name).ok_or_else(|| EngineError::SourceSchemaMismatch {
-                            table: datastore.clone(),
-                            column: c.name.clone(),
-                        })
+) -> Result<Arc<Relation>, EngineError> {
+    let eval_err = |e: EvalError| EngineError::Eval { op: name.to_string(), error: e };
+    match kind {
+        OpKind::Datastore { datastore, schema } => {
+            let table = catalog.get_shared(datastore).ok_or_else(|| EngineError::UnknownTable(datastore.clone()))?;
+            if *schema == table.schema {
+                // The declared extraction schema is the table's own layout:
+                // hand out the table itself, zero rows copied.
+                return Ok(table);
+            }
+            // Project the catalog table onto the declared extraction
+            // schema (catalog tables may carry more columns, e.g. FKs).
+            let indices: Vec<usize> = schema
+                .columns
+                .iter()
+                .map(|c| {
+                    table.schema.index_of(&c.name).ok_or_else(|| EngineError::SourceSchemaMismatch {
+                        table: datastore.clone(),
+                        column: c.name.clone(),
                     })
-                    .collect::<Result<_, _>>()?;
-                let rows = table.rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
-                Ok(Relation::with_rows(schema.clone(), rows))
-            }
-            OpKind::Extraction { columns } | OpKind::Projection { columns } => {
-                let input = &inputs[0];
-                let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
-                let schema = input.schema.project(columns).expect("validated");
-                let rows = input.rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
-                Ok(Relation::with_rows(schema, rows))
-            }
-            OpKind::Selection { predicate } => {
-                let input = &inputs[0];
-                let mut rows = Vec::new();
-                for r in &input.rows {
-                    if truthy(&eval(predicate, &input.schema, r).map_err(eval_err)?) {
-                        rows.push(r.clone());
-                    }
-                }
-                Ok(Relation::with_rows(input.schema.clone(), rows))
-            }
-            OpKind::Derivation { column: _, expr } => {
-                let input = &inputs[0];
-                let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
-                let mut rows = Vec::with_capacity(input.len());
-                for r in &input.rows {
-                    let v = eval(expr, &input.schema, r).map_err(eval_err)?;
-                    let mut row = r.clone();
-                    row.push(v);
-                    rows.push(row);
-                }
-                Ok(Relation::with_rows(schema, rows))
-            }
-            OpKind::Join { kind: jk, left_on, right_on } => {
-                Ok(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk))
-            }
-            OpKind::Aggregation { group_by, aggregates } => {
-                hash_aggregate(&inputs[0], group_by, aggregates, name).map_err(|e| EngineError::Eval { op: name.to_string(), error: e })
-            }
-            OpKind::Union => {
-                let mut rows = inputs[0].rows.clone();
-                // Align the right input positionally by column name.
-                let indices: Vec<usize> = inputs[0].schema.names().map(|n| inputs[1].col(n)).collect();
-                rows.extend(inputs[1].rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect::<Row>()));
-                Ok(Relation::with_rows(inputs[0].schema.clone(), rows))
-            }
-            OpKind::Distinct => {
-                let input = &inputs[0];
-                let mut seen = std::collections::HashSet::with_capacity(input.len());
-                let mut rows = Vec::new();
-                for r in &input.rows {
-                    if seen.insert(r.clone()) {
-                        rows.push(r.clone());
-                    }
-                }
-                Ok(Relation::with_rows(input.schema.clone(), rows))
-            }
-            OpKind::Sort { columns } => {
-                let input = &inputs[0];
-                let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
-                let mut rows = input.rows.clone();
-                rows.sort_by(|a, b| {
-                    for &i in &indices {
-                        let c = a[i].total_cmp(&b[i]);
-                        if c != std::cmp::Ordering::Equal {
-                            return c;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                Ok(Relation::with_rows(input.schema.clone(), rows))
-            }
-            OpKind::SurrogateKey { natural, output: _ } => {
-                let input = &inputs[0];
-                let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
-                let indices: Vec<usize> = natural.iter().map(|c| input.col(c)).collect();
-                let mut rows = Vec::with_capacity(input.len());
-                for r in &input.rows {
-                    // Content-addressed surrogate (FNV-1a over the natural
-                    // key): the same natural key yields the same surrogate in
-                    // *any* flow, so fact FKs computed in the fact pipeline
-                    // match dimension keys computed in dimension pipelines.
-                    let sk = surrogate_of(indices.iter().map(|&i| &r[i]));
-                    let mut row = r.clone();
-                    row.push(Value::Int(sk));
-                    rows.push(row);
-                }
-                Ok(Relation::with_rows(schema, rows))
-            }
-            OpKind::Loader { .. } => unreachable!("loaders are executed by Engine::load"),
+                })
+                .collect::<Result<_, _>>()?;
+            let chunks = per_morsel(table.len(), |rg| {
+                table.rows[rg].iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect()
+            });
+            Ok(Arc::new(Relation::with_rows(schema.clone(), concat(chunks))))
         }
+        OpKind::Extraction { columns } | OpKind::Projection { columns } => {
+            let input = &inputs[0];
+            let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
+            if indices.len() == input.schema.len() && indices.iter().enumerate().all(|(pos, &i)| pos == i) {
+                // Keeps every column in place: the output IS the input.
+                return Ok(Arc::clone(input));
+            }
+            let schema = input.schema.project(columns).expect("validated");
+            let chunks = per_morsel(input.len(), |rg| {
+                input.rows[rg].iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect()
+            });
+            Ok(Arc::new(Relation::with_rows(schema, concat(chunks))))
+        }
+        OpKind::Selection { predicate } => {
+            let input = &inputs[0];
+            let predicate = compile(predicate, &input.schema, name)?;
+            let chunks = per_morsel(input.len(), |rg| {
+                let mut keep = Vec::new();
+                for r in &input.rows[rg] {
+                    if truthy(&eval_compiled(&predicate, r)?) {
+                        keep.push(r.clone());
+                    }
+                }
+                Ok(keep)
+            });
+            Ok(Arc::new(Relation::with_rows(input.schema.clone(), try_concat(chunks).map_err(eval_err)?)))
+        }
+        OpKind::Derivation { column: _, expr } => {
+            let input = &inputs[0];
+            let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
+            let expr = compile(expr, &input.schema, name)?;
+            let chunks = per_morsel(input.len(), |rg| {
+                let mut out = Vec::with_capacity(rg.len());
+                for r in &input.rows[rg] {
+                    let v = eval_compiled(&expr, r)?;
+                    // One allocation at the widened size, instead of a
+                    // clone at the old size plus a reallocating push.
+                    let mut row = Vec::with_capacity(r.len() + 1);
+                    row.extend_from_slice(r);
+                    row.push(v);
+                    out.push(row);
+                }
+                Ok(out)
+            });
+            Ok(Arc::new(Relation::with_rows(schema, try_concat(chunks).map_err(eval_err)?)))
+        }
+        OpKind::Join { kind: jk, left_on, right_on } => {
+            Ok(Arc::new(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk)))
+        }
+        OpKind::Aggregation { group_by, aggregates } => {
+            hash_aggregate(&inputs[0], group_by, aggregates, name).map(Arc::new).map_err(eval_err)
+        }
+        OpKind::Union => {
+            let mut rows = inputs[0].rows.clone();
+            // Align the right input positionally by column name; when the
+            // layouts already agree (the common case), rows copy verbatim
+            // instead of value-by-value re-collection.
+            let indices: Vec<usize> = inputs[0].schema.names().map(|n| inputs[1].col(n)).collect();
+            if indices.iter().enumerate().all(|(pos, &i)| pos == i) {
+                rows.extend(inputs[1].rows.iter().cloned());
+            } else {
+                rows.extend(inputs[1].rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect::<Row>()));
+            }
+            Ok(Arc::new(Relation::with_rows(inputs[0].schema.clone(), rows)))
+        }
+        OpKind::Distinct => {
+            let input = &inputs[0];
+            // Track seen rows by reference: one clone per emitted row
+            // instead of two per input row.
+            let mut seen = std::collections::HashSet::with_capacity(input.len());
+            let mut rows = Vec::new();
+            for r in &input.rows {
+                if seen.insert(r) {
+                    rows.push(r.clone());
+                }
+            }
+            Ok(Arc::new(Relation::with_rows(input.schema.clone(), rows)))
+        }
+        OpKind::Sort { columns } => {
+            let input = &inputs[0];
+            let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
+            // Sort a permutation, then clone rows once in output order:
+            // the (stable) sort itself moves 8-byte indices, not rows.
+            let mut order: Vec<usize> = (0..input.len()).collect();
+            order.sort_by(|&a, &b| {
+                for &i in &indices {
+                    let c = input.rows[a][i].total_cmp(&input.rows[b][i]);
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let rows = order.into_iter().map(|i| input.rows[i].clone()).collect();
+            Ok(Arc::new(Relation::with_rows(input.schema.clone(), rows)))
+        }
+        OpKind::SurrogateKey { natural, output: _ } => {
+            let input = &inputs[0];
+            let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
+            let indices: Vec<usize> = natural.iter().map(|c| input.col(c)).collect();
+            let chunks = per_morsel(input.len(), |rg| {
+                input.rows[rg]
+                    .iter()
+                    .map(|r| {
+                        // Content-addressed surrogate (FNV-1a over the
+                        // natural key): the same natural key yields the same
+                        // surrogate in *any* flow, so fact FKs computed in
+                        // the fact pipeline match dimension keys computed in
+                        // dimension pipelines.
+                        let sk = surrogate_of(indices.iter().map(|&i| &r[i]));
+                        let mut row = r.clone();
+                        row.push(Value::Int(sk));
+                        row
+                    })
+                    .collect()
+            });
+            Ok(Arc::new(Relation::with_rows(schema, concat(chunks))))
+        }
+        OpKind::Loader { .. } => unreachable!("loaders are executed by Engine::load"),
     }
 }
 
@@ -379,12 +518,8 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
         .map(|(i, r)| (key_idx_target.iter().map(|&c| r[c].clone()).collect::<Row>(), i))
         .collect();
     // Input column → target position.
-    let positions: Vec<usize> = input
-        .schema
-        .columns
-        .iter()
-        .map(|c| existing.schema.index_of(&c.name).expect("widened above"))
-        .collect();
+    let positions: Vec<usize> =
+        input.schema.columns.iter().map(|c| existing.schema.index_of(&c.name).expect("widened above")).collect();
     let width = existing.schema.len();
     for r in &input.rows {
         let k: Row = key_idx_input.iter().map(|&c| r[c].clone()).collect();
@@ -409,61 +544,104 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
 
 /// Deterministic surrogate key: FNV-1a over the display forms of the natural
 /// key values, masked positive. Stable across flows and runs.
+///
+/// The display bytes stream straight into the hash through a [`fmt::Write`]
+/// adapter — no value is ever rendered to an intermediate string.
 pub fn surrogate_of<'a>(values: impl Iterator<Item = &'a Value>) -> i64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for v in values {
-        for b in v.to_string().bytes() {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x100000001b3);
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+            Ok(())
         }
-        // Separator between key parts so ("ab","c") != ("a","bc").
-        hash ^= 0x1f;
-        hash = hash.wrapping_mul(0x100000001b3);
     }
-    (hash & 0x7fff_ffff_ffff_ffff) as i64
+    let mut fnv = Fnv(0xcbf29ce484222325);
+    for v in values {
+        use std::fmt::Write;
+        write!(fnv, "{v}").expect("hash writer never fails");
+        // Separator between key parts so ("ab","c") != ("a","bc").
+        fnv.0 ^= 0x1f;
+        fnv.0 = fnv.0.wrapping_mul(0x100000001b3);
+    }
+    (fnv.0 & 0x7fff_ffff_ffff_ffff) as i64
 }
 
 fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[String], kind: JoinKind) -> Relation {
     let l_idx: Vec<usize> = left_on.iter().map(|c| left.col(c)).collect();
     let r_idx: Vec<usize> = right_on.iter().map(|c| right.col(c)).collect();
     // Build on the right side, probe with the left (FK joins probe the big
-    // side in DW flows).
-    let mut build: HashMap<Row, Vec<usize>> = HashMap::with_capacity(right.len());
-    for (i, r) in right.rows.iter().enumerate() {
-        let key: Row = r_idx.iter().map(|&c| r[c].clone()).collect();
-        if key.iter().any(Value::is_null) {
-            continue; // NULL keys never match
+    // side in DW flows). The build is partitioned: each morsel hashes its
+    // rows into a local table, and the locals merge in morsel order, so
+    // every key's match list is in ascending row order — exactly what a
+    // serial build produces.
+    let parts: Vec<HashMap<Row, Vec<usize>>> = per_morsel(right.len(), |rg| {
+        let mut m: HashMap<Row, Vec<usize>> = HashMap::new();
+        for i in rg {
+            let r = &right.rows[i];
+            let key: Row = r_idx.iter().map(|&c| r[c].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never match
+            }
+            m.entry(key).or_default().push(i);
         }
-        build.entry(key).or_default().push(i);
+        m
+    });
+    let mut build: HashMap<Row, Vec<usize>> = HashMap::with_capacity(right.len());
+    for part in parts {
+        for (k, mut ids) in part {
+            build.entry(k).or_default().append(&mut ids);
+        }
     }
     // Same-name equi-joined key columns are kept once (left copy), matching
     // the logical schema propagation.
     let kept = quarry_etl::join_kept_right_indices(&right.schema, left_on, right_on);
     let mut schema = left.schema.clone();
     schema.columns.extend(kept.iter().map(|&i| right.schema.columns[i].clone()));
-    let mut rows = Vec::new();
-    for l in &left.rows {
-        let key: Row = l_idx.iter().map(|&c| l[c].clone()).collect();
-        let matches = if key.iter().any(Value::is_null) { None } else { build.get(&key) };
-        match matches {
-            Some(ms) => {
-                for &m in ms {
-                    let mut row = l.clone();
+    // Probe morsel-parallel over the left side; chunks concatenate in
+    // morsel order, preserving the serial output order. The probe key lives
+    // in a per-morsel scratch buffer (`Vec<Value>: Borrow<[Value]>` lets the
+    // map look it up without an owned key), and output rows are allocated
+    // at their final width, so the inner loop performs exactly one
+    // allocation per emitted row.
+    let out_width = schema.len();
+    let chunks = per_morsel(left.len(), |rg| {
+        let mut out = Vec::new();
+        let mut key: Row = Vec::with_capacity(l_idx.len());
+        for l in &left.rows[rg] {
+            key.clear();
+            key.extend(l_idx.iter().map(|&c| l[c].clone()));
+            let matches = if key.iter().any(Value::is_null) { None } else { build.get(key.as_slice()) };
+            let emit = |m: &[usize], out: &mut Vec<Row>| {
+                for &m in m {
+                    let mut row = Vec::with_capacity(out_width);
+                    row.extend_from_slice(l);
                     row.extend(kept.iter().map(|&i| right.rows[m][i].clone()));
-                    rows.push(row);
+                    out.push(row);
                 }
-            }
-            None => {
-                if kind == JoinKind::Left {
-                    let mut row = l.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, kept.len()));
-                    rows.push(row);
+            };
+            match matches {
+                Some(ms) => emit(ms, &mut out),
+                None => {
+                    if kind == JoinKind::Left {
+                        let mut row = Vec::with_capacity(out_width);
+                        row.extend_from_slice(l);
+                        row.extend(std::iter::repeat_n(Value::Null, kept.len()));
+                        out.push(row);
+                    }
                 }
             }
         }
-    }
-    Relation::with_rows(schema, rows)
+        out
+    });
+    Relation::with_rows(schema, concat(chunks))
 }
+
+/// One morsel's insertion-ordered aggregation table: group keys in first-seen
+/// order, each with its accumulator per measure.
+type LocalAggTable = Vec<(Row, Vec<AggState>)>;
 
 #[derive(Debug, Clone)]
 enum AggState {
@@ -474,6 +652,69 @@ enum AggState {
     Count(u64),
 }
 
+/// Folds one evaluated measure value into an accumulator.
+fn accumulate(state: &mut AggState, v: Value) -> Result<(), EvalError> {
+    match state {
+        AggState::Count(n) => *n += 1,
+        _ if v.is_null() => {}
+        AggState::Sum(acc, any) => {
+            *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("SUM of `{v}`")))?;
+            *any = true;
+        }
+        AggState::Avg(acc, n) => {
+            *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("AVERAGE of `{v}`")))?;
+            *n += 1;
+        }
+        AggState::Min(cur) => {
+            if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less) {
+                *cur = Some(v);
+            }
+        }
+        AggState::Max(cur) => {
+            if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) {
+                *cur = Some(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Merges a later morsel's accumulator into an earlier one. Ties keep the
+/// earlier value, matching the row-order semantics of a serial fold.
+fn merge_state(into: &mut AggState, from: AggState) {
+    match (into, from) {
+        (AggState::Sum(acc, any), AggState::Sum(acc2, any2)) => {
+            *acc += acc2;
+            *any |= any2;
+        }
+        (AggState::Avg(acc, n), AggState::Avg(acc2, n2)) => {
+            *acc += acc2;
+            *n += n2;
+        }
+        (AggState::Min(cur), AggState::Min(other)) => {
+            if let Some(v) = other {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less) {
+                    *cur = Some(v);
+                }
+            }
+        }
+        (AggState::Max(cur), AggState::Max(other)) => {
+            if let Some(v) = other {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) {
+                    *cur = Some(v);
+                }
+            }
+        }
+        (AggState::Count(n), AggState::Count(m)) => *n += m,
+        _ => unreachable!("morsel accumulators always align by aggregate spec"),
+    }
+}
+
+/// Two-phase parallel aggregation. Phase 1 folds each morsel into a local
+/// insertion-ordered table; phase 2 merges the locals in morsel order, so
+/// group keys come out in global first-occurrence order and the combined
+/// accumulators are a pure function of the morsel structure — identical for
+/// serial and parallel runs at any thread count.
 fn hash_aggregate(
     input: &Relation,
     group_by: &[String],
@@ -484,53 +725,61 @@ fn hash_aggregate(
         .output_schema(op_name, std::slice::from_ref(&input.schema))
         .expect("validated before execution");
     let g_idx: Vec<usize> = group_by.iter().map(|c| input.col(c)).collect();
-    let make_states = || -> Vec<AggState> {
-        aggregates
-            .iter()
-            .map(|a| match a.function.to_ascii_uppercase().as_str() {
-                "SUM" => AggState::Sum(0.0, false),
-                "AVG" | "AVERAGE" => AggState::Avg(0.0, 0),
-                "MIN" => AggState::Min(None),
-                "MAX" => AggState::Max(None),
-                _ => AggState::Count(0),
-            })
-            .collect()
-    };
-    // Insertion-ordered groups for deterministic output.
+    // Bind measure expressions and aggregate functions once, up front.
+    let measures: Vec<CompiledExpr> = aggregates
+        .iter()
+        .map(|a| CompiledExpr::compile(&a.input, &input.schema).map_err(|UnboundColumn(c)| EvalError::UnknownColumn(c)))
+        .collect::<Result<_, _>>()?;
+    let fresh_states: Vec<AggState> = aggregates
+        .iter()
+        .map(|a| match a.function.to_ascii_uppercase().as_str() {
+            "SUM" => AggState::Sum(0.0, false),
+            "AVG" | "AVERAGE" => AggState::Avg(0.0, 0),
+            "MIN" => AggState::Min(None),
+            "MAX" => AggState::Max(None),
+            _ => AggState::Count(0),
+        })
+        .collect();
+
+    // Phase 1: one insertion-ordered local table per morsel.
+    let locals: Vec<Result<LocalAggTable, EvalError>> = per_morsel(input.len(), |rg| {
+        let mut index: HashMap<Row, usize> = HashMap::new();
+        let mut groups: LocalAggTable = Vec::new();
+        // Scratch key buffer: the usual case is a repeated group, where the
+        // lookup-by-slice finds the slot without allocating a key.
+        let mut key: Row = Vec::with_capacity(g_idx.len());
+        for r in &input.rows[rg] {
+            key.clear();
+            key.extend(g_idx.iter().map(|&c| r[c].clone()));
+            let slot = match index.get(key.as_slice()) {
+                Some(&s) => s,
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key.clone(), fresh_states.clone()));
+                    groups.len() - 1
+                }
+            };
+            for (state, m) in groups[slot].1.iter_mut().zip(&measures) {
+                accumulate(state, eval_compiled(m, r)?)?;
+            }
+        }
+        Ok(groups)
+    });
+
+    // Phase 2: merge locals in morsel order.
     let mut index: HashMap<Row, usize> = HashMap::new();
     let mut groups: Vec<(Row, Vec<AggState>)> = Vec::new();
-    for r in &input.rows {
-        let key: Row = g_idx.iter().map(|&c| r[c].clone()).collect();
-        let slot = match index.get(&key) {
-            Some(&s) => s,
-            None => {
-                index.insert(key.clone(), groups.len());
-                groups.push((key, make_states()));
-                groups.len() - 1
-            }
-        };
-        for (state, spec) in groups[slot].1.iter_mut().zip(aggregates) {
-            let v = eval(&spec.input, &input.schema, r)?;
-            match state {
-                AggState::Count(n) => *n += 1,
-                _ if v.is_null() => {}
-                AggState::Sum(acc, any) => {
-                    *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("SUM of `{v}`")))?;
-                    *any = true;
-                }
-                AggState::Avg(acc, n) => {
-                    *acc += v.as_f64().ok_or_else(|| EvalError::Type(format!("AVERAGE of `{v}`")))?;
-                    *n += 1;
-                }
-                AggState::Min(cur) => {
-                    if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Less) {
-                        *cur = Some(v);
+    for local in locals {
+        for (key, states) in local? {
+            match index.get(&key) {
+                Some(&slot) => {
+                    for (into, from) in groups[slot].1.iter_mut().zip(states) {
+                        merge_state(into, from);
                     }
                 }
-                AggState::Max(cur) => {
-                    if cur.as_ref().is_none_or(|c| v.total_cmp(c) == std::cmp::Ordering::Greater) {
-                        *cur = Some(v);
-                    }
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, states));
                 }
             }
         }
@@ -538,7 +787,7 @@ fn hash_aggregate(
     // A global aggregation over zero rows still yields one row of neutral
     // values, matching SQL semantics.
     if groups.is_empty() && group_by.is_empty() {
-        groups.push((Vec::new(), make_states()));
+        groups.push((Vec::new(), fresh_states));
     }
     let rows = groups
         .into_iter()
@@ -599,10 +848,7 @@ mod tests {
             "orders",
             Relation::with_rows(
                 Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
-                vec![
-                    vec![Value::Int(1), Value::Str("O".into())],
-                    vec![Value::Int(3), Value::Str("F".into())],
-                ],
+                vec![vec![Value::Int(1), Value::Str("O".into())], vec![Value::Int(3), Value::Str("F".into())]],
             ),
         );
         c
@@ -623,7 +869,11 @@ mod tests {
                 "AGG",
                 OpKind::Aggregation {
                     group_by: vec!["l_orderkey".into()],
-                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice * (1 - l_discount)").unwrap(), "rev")],
+                    aggregates: vec![AggSpec::new(
+                        "SUM",
+                        parse_expr("l_extendedprice * (1 - l_discount)").unwrap(),
+                        "rev",
+                    )],
                 },
             )
             .unwrap();
@@ -645,19 +895,29 @@ mod tests {
     fn parallel_run_matches_sequential() {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", ds_lineitem()).unwrap();
-        let s1 = f.append(d, "SEL1", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
-        let s2 = f.append(d, "SEL2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 60").unwrap() }).unwrap();
+        let s1 =
+            f.append(d, "SEL1", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
+        let s2 =
+            f.append(d, "SEL2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 60").unwrap() }).unwrap();
         let a1 = f
-            .append(s1, "AGG1", OpKind::Aggregation {
-                group_by: vec!["l_orderkey".into()],
-                aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev")],
-            })
+            .append(
+                s1,
+                "AGG1",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev")],
+                },
+            )
             .unwrap();
         let a2 = f
-            .append(s2, "AGG2", OpKind::Aggregation {
-                group_by: vec!["l_orderkey".into()],
-                aggregates: vec![AggSpec::new("COUNT", parse_expr("1").unwrap(), "n")],
-            })
+            .append(
+                s2,
+                "AGG2",
+                OpKind::Aggregation {
+                    group_by: vec!["l_orderkey".into()],
+                    aggregates: vec![AggSpec::new("COUNT", parse_expr("1").unwrap(), "n")],
+                },
+            )
             .unwrap();
         f.append(a1, "L1", OpKind::Loader { table: "out1".into(), key: vec![] }).unwrap();
         f.append(a2, "L2", OpKind::Loader { table: "out2".into(), key: vec![] }).unwrap();
@@ -676,9 +936,7 @@ mod tests {
     #[test]
     fn parallel_run_surfaces_errors() {
         let mut f = Flow::new("t");
-        let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() })
-            .unwrap();
+        let d = f.add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() }).unwrap();
         f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
         let mut engine = Engine::new(catalog());
         assert!(matches!(engine.run_parallel(&f), Err(EngineError::UnknownTable(_))));
@@ -706,9 +964,7 @@ mod tests {
     #[test]
     fn missing_table_and_column_errors() {
         let mut f = Flow::new("t");
-        let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() })
-            .unwrap();
+        let d = f.add_op("DS", OpKind::Datastore { datastore: "ghost".into(), schema: li_schema() }).unwrap();
         f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
         let mut engine = Engine::new(catalog());
         assert!(matches!(engine.run(&f), Err(EngineError::UnknownTable(t)) if t == "ghost"));
@@ -746,7 +1002,10 @@ mod tests {
                 )
                 .unwrap();
             let j = f
-                .add_op("J", OpKind::Join { kind, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+                .add_op(
+                    "J",
+                    OpKind::Join { kind, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] },
+                )
                 .unwrap();
             f.connect(l, j).unwrap();
             f.connect(o, j).unwrap();
@@ -766,12 +1025,22 @@ mod tests {
                 "O",
                 OpKind::Datastore {
                     datastore: "orders".into(),
-                    schema: Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
+                    schema: Schema::new(vec![
+                        Column::new("o_orderkey", ColType::Integer),
+                        Column::new("o_status", ColType::Text),
+                    ]),
                 },
             )
             .unwrap();
         let j = f
-            .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Left,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
             .unwrap();
         f.connect(l, j).unwrap();
         f.connect(o, j).unwrap();
@@ -883,6 +1152,22 @@ mod tests {
     }
 
     #[test]
+    fn union_rejects_permuted_columns_statically() {
+        // Static validation requires union inputs to share one column
+        // layout, which is what makes the executor's verbatim-copy fast
+        // path safe: a permuted right input never reaches execution.
+        let ab = Schema::new(vec![Column::new("a", ColType::Integer), Column::new("b", ColType::Text)]);
+        let ba = Schema::new(vec![Column::new("b", ColType::Text), Column::new("a", ColType::Integer)]);
+        let mut f = Flow::new("t");
+        let l = f.add_op("L", OpKind::Datastore { datastore: "left".into(), schema: ab }).unwrap();
+        let r = f.add_op("R", OpKind::Datastore { datastore: "right".into(), schema: ba }).unwrap();
+        let u = f.add_op("U", OpKind::Union).unwrap();
+        f.connect(l, u).unwrap();
+        f.connect(r, u).unwrap();
+        assert!(matches!(f.schemas(), Err(FlowError::InvalidOp { .. })));
+    }
+
+    #[test]
     fn sort_and_distinct() {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", ds_lineitem()).unwrap();
@@ -894,6 +1179,42 @@ mod tests {
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
         assert_eq!(out.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_keys() {
+        // Rows with equal sort keys keep their input order (the sort
+        // permutes indices but must stay stable).
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("tag", ColType::Text)]);
+        c.put(
+            "t",
+            Relation::with_rows(
+                schema.clone(),
+                vec![
+                    vec![Value::Int(2), Value::Str("first-2".into())],
+                    vec![Value::Int(1), Value::Str("first-1".into())],
+                    vec![Value::Int(2), Value::Str("second-2".into())],
+                    vec![Value::Int(1), Value::Str("second-1".into())],
+                ],
+            ),
+        );
+        let mut f = Flow::new("x");
+        let d = f.add_op("DS", OpKind::Datastore { datastore: "t".into(), schema }).unwrap();
+        let s = f.append(d, "S", OpKind::Sort { columns: vec!["k".into()] }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(c);
+        engine.run(&f).unwrap();
+        let tags = engine.catalog.get("out").unwrap().column_values("tag");
+        assert_eq!(
+            tags,
+            [
+                Value::Str("first-1".into()),
+                Value::Str("second-1".into()),
+                Value::Str("first-2".into()),
+                Value::Str("second-2".into()),
+            ]
+        );
     }
 
     #[test]
@@ -923,12 +1244,22 @@ mod tests {
                 "O",
                 OpKind::Datastore {
                     datastore: "orders".into(),
-                    schema: Schema::new(vec![Column::new("o_orderkey", ColType::Integer), Column::new("o_status", ColType::Text)]),
+                    schema: Schema::new(vec![
+                        Column::new("o_orderkey", ColType::Integer),
+                        Column::new("o_status", ColType::Text),
+                    ]),
                 },
             )
             .unwrap();
         let j = f
-            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
             .unwrap();
         f.connect(l, j).unwrap();
         f.connect(o, j).unwrap();
@@ -954,13 +1285,23 @@ mod tests {
         );
         let mut f = Flow::new("x");
         let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("g", ColType::Integer), Column::new("v", ColType::Decimal)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "t".into(),
+                    schema: Schema::new(vec![Column::new("g", ColType::Integer), Column::new("v", ColType::Decimal)]),
+                },
+            )
             .unwrap();
         let a = f
-            .append(d, "AGG", OpKind::Aggregation {
-                group_by: vec!["g".into()],
-                aggregates: vec![AggSpec::new("SUM", parse_expr("v").unwrap(), "s")],
-            })
+            .append(
+                d,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["g".into()],
+                    aggregates: vec![AggSpec::new("SUM", parse_expr("v").unwrap(), "s")],
+                },
+            )
             .unwrap();
         f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
         let mut engine = Engine::new(c);
@@ -987,7 +1328,13 @@ mod tests {
         );
         let mut f = Flow::new("x");
         let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "t".into(),
+                    schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]),
+                },
+            )
             .unwrap();
         f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec!["k".into()] }).unwrap();
         let mut engine = Engine::new(c);
@@ -1005,7 +1352,13 @@ mod tests {
         let schema_b = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("b", ColType::Text)]);
         let mut c = Catalog::new();
         c.put("src_a", Relation::with_rows(schema_a.clone(), vec![vec![Value::Int(1), Value::Float(9.0)]]));
-        c.put("src_b", Relation::with_rows(schema_b.clone(), vec![vec![Value::Int(1), Value::Str("x".into())], vec![Value::Int(2), Value::Str("y".into())]]));
+        c.put(
+            "src_b",
+            Relation::with_rows(
+                schema_b.clone(),
+                vec![vec![Value::Int(1), Value::Str("x".into())], vec![Value::Int(2), Value::Str("y".into())]],
+            ),
+        );
         let mut engine = Engine::new(c);
         for (src, schema) in [("src_a", schema_a), ("src_b", schema_b)] {
             let mut f = Flow::new("x");
@@ -1026,15 +1379,21 @@ mod tests {
     #[test]
     fn upsert_rejects_type_conflicts() {
         let mut c = Catalog::new();
-        c.put("src", Relation::with_rows(Schema::new(vec![Column::new("k", ColType::Integer)]), vec![vec![Value::Int(1)]]));
-        let mut engine = Engine::new(c);
-        engine.catalog.put(
-            "dim",
-            Relation::new(Schema::new(vec![Column::new("k", ColType::Text)])),
+        c.put(
+            "src",
+            Relation::with_rows(Schema::new(vec![Column::new("k", ColType::Integer)]), vec![vec![Value::Int(1)]]),
         );
+        let mut engine = Engine::new(c);
+        engine.catalog.put("dim", Relation::new(Schema::new(vec![Column::new("k", ColType::Text)])));
         let mut f = Flow::new("x");
         let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "src".into(), schema: Schema::new(vec![Column::new("k", ColType::Integer)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "src".into(),
+                    schema: Schema::new(vec![Column::new("k", ColType::Integer)]),
+                },
+            )
             .unwrap();
         f.append(d, "LOAD", OpKind::Loader { table: "dim".into(), key: vec!["k".into()] }).unwrap();
         assert!(matches!(engine.run(&f), Err(EngineError::LoadSchemaMismatch { .. })));
@@ -1054,7 +1413,10 @@ mod tests {
         );
         let mut f = Flow::new("x");
         let d = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("d", ColType::Date)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore { datastore: "t".into(), schema: Schema::new(vec![Column::new("d", ColType::Date)]) },
+            )
             .unwrap();
         let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("YEAR(d) >= 1995").unwrap() }).unwrap();
         f.append(s, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
@@ -1062,6 +1424,213 @@ mod tests {
         match engine.run(&f) {
             Err(EngineError::Eval { op, .. }) => assert_eq!(op, "SEL"),
             other => panic!("expected eval error, got {other:?}"),
+        }
+    }
+
+    /// A catalog with one `big` table spanning several morsels and a small
+    /// `orders`-like side table for joins.
+    fn multi_morsel_catalog(rows: usize) -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("k", ColType::Integer),
+            Column::new("grp", ColType::Integer),
+            Column::new("v", ColType::Decimal),
+        ]);
+        let data: Vec<Row> =
+            (0..rows).map(|i| vec![Value::Int(i as i64), Value::Int((i % 7) as i64), Value::Float(i as f64)]).collect();
+        c.put("big", Relation::with_rows(schema, data));
+        c.put(
+            "side",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("s_grp", ColType::Integer), Column::new("s_name", ColType::Text)]),
+                (0..5).map(|g| vec![Value::Int(g), Value::Str(format!("g{g}"))]).collect(),
+            ),
+        );
+        c
+    }
+
+    fn multi_morsel_flow() -> Flow {
+        let mut f = Flow::new("mm");
+        let big = f
+            .add_op(
+                "BIG",
+                OpKind::Datastore {
+                    datastore: "big".into(),
+                    schema: Schema::new(vec![
+                        Column::new("k", ColType::Integer),
+                        Column::new("grp", ColType::Integer),
+                        Column::new("v", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let side = f
+            .add_op(
+                "SIDE",
+                OpKind::Datastore {
+                    datastore: "side".into(),
+                    schema: Schema::new(vec![
+                        Column::new("s_grp", ColType::Integer),
+                        Column::new("s_name", ColType::Text),
+                    ]),
+                },
+            )
+            .unwrap();
+        let sel = f
+            .append(big, "SEL", OpKind::Selection { predicate: parse_expr("v >= 10 AND k <> 4999").unwrap() })
+            .unwrap();
+        let j = f
+            .add_op(
+                "J",
+                OpKind::Join { kind: JoinKind::Left, left_on: vec!["grp".into()], right_on: vec!["s_grp".into()] },
+            )
+            .unwrap();
+        f.connect(sel, j).unwrap();
+        f.connect(side, j).unwrap();
+        let a = f
+            .append(
+                j,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["grp".into()],
+                    aggregates: vec![
+                        AggSpec::new("SUM", parse_expr("v").unwrap(), "s"),
+                        AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
+                        AggSpec::new("MIN", parse_expr("v").unwrap(), "lo"),
+                        AggSpec::new("MAX", parse_expr("v").unwrap(), "hi"),
+                    ],
+                },
+            )
+            .unwrap();
+        f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        f
+    }
+
+    #[test]
+    fn multi_morsel_runs_are_bit_identical_to_serial() {
+        // An input spanning several morsels (MORSEL_ROWS + change) through
+        // selection, join, and grouped aggregation: serial and parallel
+        // executors must agree *exactly* — same row order, same floats.
+        let rows = MORSEL_ROWS * 2 + 137;
+        let f = multi_morsel_flow();
+        let mut seq = Engine::new(multi_morsel_catalog(rows));
+        seq.run(&f).unwrap();
+        let mut par = Engine::new(multi_morsel_catalog(rows));
+        par.run_parallel(&f).unwrap();
+        let (a, b) = (seq.catalog.get("out").unwrap(), par.catalog.get("out").unwrap());
+        assert_eq!(a.rows, b.rows, "serial and parallel outputs must be bit-identical, in order");
+        // Group keys surface in first-occurrence order: the selection keeps
+        // k >= 10 first, so groups start at 10 % 7 = 3 and wrap around.
+        let keys: Vec<Value> = a.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(keys, [3, 4, 5, 6, 0, 1, 2].map(Value::Int).to_vec());
+    }
+
+    #[test]
+    fn empty_input_through_every_operator() {
+        let f = multi_morsel_flow();
+        let mut seq = Engine::new(multi_morsel_catalog(0));
+        seq.run(&f).unwrap();
+        let mut par = Engine::new(multi_morsel_catalog(0));
+        par.run_parallel(&f).unwrap();
+        assert_eq!(seq.catalog.get("out").unwrap().rows, par.catalog.get("out").unwrap().rows);
+        assert!(seq.catalog.get("out").unwrap().is_empty(), "grouped aggregate of nothing is empty");
+    }
+
+    #[test]
+    fn timings_measure_op_work_not_barrier_wait() {
+        // Two independent ops at the same level: a trivial projection over 3
+        // rows and an expression-heavy selection over many rows. If per-op
+        // elapsed included the level barrier, both would report roughly the
+        // level's wall time; measured per-job, the cheap op must come out
+        // far below the expensive one.
+        let mut c = multi_morsel_catalog(MORSEL_ROWS * 4);
+        c.put(
+            "tiny",
+            Relation::with_rows(
+                Schema::new(vec![Column::new("x", ColType::Integer)]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]],
+            ),
+        );
+        let mut f = Flow::new("t");
+        let tiny = f
+            .add_op(
+                "TINY",
+                OpKind::Datastore {
+                    datastore: "tiny".into(),
+                    schema: Schema::new(vec![Column::new("x", ColType::Integer)]),
+                },
+            )
+            .unwrap();
+        let big = f
+            .add_op(
+                "BIG",
+                OpKind::Datastore {
+                    datastore: "big".into(),
+                    schema: Schema::new(vec![
+                        Column::new("k", ColType::Integer),
+                        Column::new("grp", ColType::Integer),
+                        Column::new("v", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        // Level 1: CHEAP and EXPENSIVE are siblings.
+        let cheap = f.append(tiny, "CHEAP", OpKind::Projection { columns: vec!["x".into()] }).unwrap();
+        let expensive = f
+            .append(
+                big,
+                "EXPENSIVE",
+                OpKind::Selection {
+                    predicate: parse_expr(
+                        "ABS(v * 3 - k) + v * v - v * v + ABS(v) - ABS(v) >= 0 AND CONCAT(grp, '-', k) <> 'x'",
+                    )
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+        f.append(cheap, "L1", OpKind::Loader { table: "o1".into(), key: vec![] }).unwrap();
+        f.append(expensive, "L2", OpKind::Loader { table: "o2".into(), key: vec![] }).unwrap();
+        let mut engine = Engine::new(c);
+        let report = engine.run_parallel(&f).unwrap();
+        let elapsed = |name: &str| report.timings.iter().find(|t| t.op == name).unwrap().elapsed;
+        let (cheap_t, expensive_t) = (elapsed("CHEAP"), elapsed("EXPENSIVE"));
+        assert!(
+            cheap_t < expensive_t,
+            "3-row projection ({cheap_t:?}) must report less own-work time than a {}-row selection ({expensive_t:?})",
+            MORSEL_ROWS * 4
+        );
+        assert!(
+            cheap_t.as_micros() < expensive_t.as_micros().max(1) / 2,
+            "cheap op's elapsed ({cheap_t:?}) looks barrier-padded against {expensive_t:?}"
+        );
+    }
+
+    #[test]
+    fn selection_errors_pick_the_first_morsel_deterministically() {
+        // Dirty rows in morsels 0 and 2: whichever thread finishes first,
+        // the reported error must come from the earliest morsel.
+        let rows = MORSEL_ROWS * 3;
+        let schema = Schema::new(vec![Column::new("d", ColType::Date)]);
+        let dirty_catalog = || {
+            let mut c = Catalog::new();
+            let mut data: Vec<Row> = (0..rows).map(|_| vec![Value::date(1995, 6, 17)]).collect();
+            data[10] = vec![Value::Str("bad-early".into())];
+            data[MORSEL_ROWS * 2 + 5] = vec![Value::Str("bad-late".into())];
+            c.put("t", Relation::with_rows(schema.clone(), data));
+            c
+        };
+        let mut f = Flow::new("x");
+        let d = f.add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: schema.clone() }).unwrap();
+        let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("YEAR(d) >= 1995").unwrap() }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        for _ in 0..4 {
+            let mut engine = Engine::new(dirty_catalog());
+            match engine.run(&f) {
+                Err(EngineError::Eval { error: EvalError::Type(m), .. }) => {
+                    assert!(m.contains("bad-early"), "expected earliest morsel's error, got `{m}`")
+                }
+                other => panic!("expected type error, got {other:?}"),
+            }
         }
     }
 }

@@ -11,10 +11,14 @@
 //! Components:
 //!
 //! - [`Value`], [`Relation`] — the runtime data model;
-//! - [`eval`] — evaluator for the `quarry-etl` expression language;
-//! - [`Engine`], [`Catalog`] — the flow executor (hash joins, hash
-//!   aggregation, surrogate-key assignment, loaders) with per-operation
-//!   timing in its [`RunReport`];
+//! - [`eval`] — evaluator for the `quarry-etl` expression language, and
+//!   [`eval_compiled`] — its positional counterpart over pre-compiled
+//!   expressions (column names bound once per operator);
+//! - [`Engine`], [`Catalog`] — the morsel-parallel flow executor (hash
+//!   joins, two-phase hash aggregation, surrogate-key assignment, loaders)
+//!   with per-operation timing in its [`RunReport`];
+//! - [`pool`] — the shared scoped-thread worker pool both parallelism
+//!   layers (inter-operator and intra-operator) draw from;
 //! - [`tpch`] — a deterministic, scale-factor-parameterized generator for
 //!   the eight TPC-H tables.
 
@@ -23,12 +27,13 @@
 mod catalog;
 mod eval;
 mod exec;
+pub mod pool;
 mod relation;
 pub mod tpch;
 mod value;
 
 pub use catalog::Catalog;
-pub use eval::{eval, truthy, EvalError};
-pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport};
+pub use eval::{eval, eval_compiled, truthy, EvalError};
+pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport, MORSEL_ROWS};
 pub use relation::{assert_same_rows, Relation, Row};
 pub use value::Value;

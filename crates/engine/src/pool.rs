@@ -1,0 +1,151 @@
+//! A tiny scoped-thread worker pool with a global helper-thread budget.
+//!
+//! Both layers of the executor's parallelism run through [`run_indexed`]:
+//! the level scheduler fans out independent operators, and each operator
+//! fans out its own morsels. The two layers compose without oversubscribing
+//! because helper threads come from one process-wide budget of
+//! `threads() - 1` tokens: a region that finds the budget empty simply runs
+//! its jobs inline on the calling thread. Nothing ever blocks waiting for a
+//! token, so nesting cannot deadlock, and the total number of live worker
+//! threads never exceeds `threads()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Explicit thread-count override; 0 means "not set".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Helper threads currently checked out of the budget.
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// The target degree of parallelism: the configured override if set (see
+/// [`set_threads`]), else the `QUARRY_THREADS` environment variable, else
+/// the machine's available parallelism. Always at least 1.
+pub fn threads() -> usize {
+    let configured = CONFIGURED.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("QUARRY_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Pins the degree of parallelism for every subsequent run (process-wide).
+/// `set_threads(1)` makes the whole executor run inline; benchmark scaling
+/// series sweep this. `set_threads(0)` restores auto-detection.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// Takes up to `want` helper tokens from the budget without blocking.
+fn acquire(want: usize) -> usize {
+    let cap = threads().saturating_sub(1);
+    loop {
+        let used = IN_USE.load(Ordering::Relaxed);
+        let take = want.min(cap.saturating_sub(used));
+        if take == 0 {
+            return 0;
+        }
+        if IN_USE.compare_exchange(used, used + take, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            return take;
+        }
+    }
+}
+
+fn release(n: usize) {
+    if n > 0 {
+        IN_USE.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+/// Runs `jobs` independent jobs `f(0) .. f(jobs - 1)` and returns their
+/// results in index order. Work is claimed from a shared counter, so cheap
+/// and expensive jobs balance across however many helper threads the budget
+/// grants (possibly zero, in which case everything runs inline).
+pub fn run_indexed<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let helpers = acquire(jobs - 1);
+    if helpers == 0 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let run_worker = || {
+        let mut done: Vec<(usize, T)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs {
+                break;
+            }
+            done.push((i, f(i)));
+        }
+        done
+    };
+    let mut all: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..helpers).map(|_| s.spawn(run_worker)).collect();
+        let mut all = run_worker();
+        for h in handles {
+            all.extend(h.join().expect("pool workers do not panic"));
+        }
+        all
+    });
+    release(helpers);
+    all.sort_unstable_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job_run_inline() {
+        assert_eq!(run_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nested_regions_share_the_budget() {
+        // Inner regions may get zero helpers but must still complete and
+        // preserve ordering.
+        let out = run_indexed(8, |i| run_indexed(8, move |j| i * 8 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
+        }
+        assert_eq!(IN_USE.load(Ordering::Relaxed), 0, "all tokens returned");
+    }
+
+    #[test]
+    fn spawned_threads_stay_within_budget() {
+        let budget = threads();
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        run_indexed(64, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= budget,
+            "{} workers exceeded budget {budget}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+}

@@ -44,20 +44,29 @@ impl Relation {
         self.rows.iter().map(|r| r[i].clone()).collect()
     }
 
-    /// Rows sorted by the full row, for order-insensitive comparisons.
-    pub fn sorted_rows(&self) -> Vec<Row> {
-        let mut rows = self.rows.clone();
-        rows.sort_by(|a, b| {
-            for (x, y) in a.iter().zip(b) {
-                let c = x.total_cmp(y);
-                if c != std::cmp::Ordering::Equal {
-                    return c;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        rows
+    /// References to the rows, sorted by the full row — the allocation-free
+    /// backbone of order-insensitive comparisons.
+    pub fn sorted_row_refs(&self) -> Vec<&Row> {
+        let mut refs: Vec<&Row> = self.rows.iter().collect();
+        refs.sort_by(|a, b| row_cmp(a, b));
+        refs
     }
+
+    /// Rows sorted by the full row, for order-insensitive comparisons.
+    /// Prefer [`Relation::sorted_row_refs`] when owned rows aren't needed.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        self.sorted_row_refs().into_iter().cloned().collect()
+    }
+}
+
+fn row_cmp(a: &Row, b: &Row) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let c = x.total_cmp(y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 impl fmt::Display for Relation {
@@ -78,12 +87,10 @@ impl fmt::Display for Relation {
 /// the same column names. Panics with a readable diff otherwise — the
 /// backbone of the equivalence-rule correctness property tests.
 pub fn assert_same_rows(a: &Relation, b: &Relation) {
-    assert_eq!(
-        a.schema.names().collect::<Vec<_>>(),
-        b.schema.names().collect::<Vec<_>>(),
-        "schemas differ"
-    );
-    let (sa, sb) = (a.sorted_rows(), b.sorted_rows());
+    assert_eq!(a.schema.names().collect::<Vec<_>>(), b.schema.names().collect::<Vec<_>>(), "schemas differ");
+    // Compare through sorted references: no row is cloned however large
+    // the relations are.
+    let (sa, sb) = (a.sorted_row_refs(), b.sorted_row_refs());
     if sa != sb {
         panic!("relations differ:\nleft ({} rows):\n{a}\nright ({} rows):\n{b}", a.len(), b.len());
     }
@@ -97,10 +104,7 @@ mod tests {
     fn rel() -> Relation {
         Relation::with_rows(
             Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Text)]),
-            vec![
-                vec![Value::Int(2), Value::Str("b".into())],
-                vec![Value::Int(1), Value::Str("a".into())],
-            ],
+            vec![vec![Value::Int(2), Value::Str("b".into())], vec![Value::Int(1), Value::Str("a".into())]],
         )
     }
 

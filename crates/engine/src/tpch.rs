@@ -195,7 +195,13 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                 Value::Str(format!("Supplier#{:09}", i + 1)),
                 Value::Str(format!("addr s{}", i + 1)),
                 Value::Int(nation),
-                Value::Str(format!("{:02}-{:03}-{:03}-{:04}", 10 + nation, i % 1000, (i * 7) % 1000, (i * 13) % 10_000)),
+                Value::Str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + nation,
+                    i % 1000,
+                    (i * 7) % 1000,
+                    (i * 13) % 10_000
+                )),
                 Value::Float((rng.gen_range(-99_999..999_999) as f64) / 100.0),
                 Value::Str("supplier comment".into()),
             ]
@@ -248,7 +254,13 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                 Value::Str(format!("Customer#{:09}", i + 1)),
                 Value::Str(format!("addr c{}", i + 1)),
                 Value::Int(nation),
-                Value::Str(format!("{:02}-{:03}-{:03}-{:04}", 10 + nation, i % 1000, (i * 3) % 1000, (i * 11) % 10_000)),
+                Value::Str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + nation,
+                    i % 1000,
+                    (i * 3) % 1000,
+                    (i * 11) % 10_000
+                )),
                 Value::Float((rng.gen_range(-99_999..999_999) as f64) / 100.0),
                 Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
                 Value::Str("customer comment".into()),
@@ -362,11 +374,13 @@ mod tests {
     #[test]
     fn foreign_keys_resolve() {
         let c = generate(0.001, 42);
-        let nation_keys: std::collections::HashSet<_> = c.get("nation").unwrap().column_values("n_nationkey").into_iter().collect();
+        let nation_keys: std::collections::HashSet<_> =
+            c.get("nation").unwrap().column_values("n_nationkey").into_iter().collect();
         for col in c.get("customer").unwrap().column_values("c_nationkey") {
             assert!(nation_keys.contains(&col));
         }
-        let supp_keys: std::collections::HashSet<_> = c.get("supplier").unwrap().column_values("s_suppkey").into_iter().collect();
+        let supp_keys: std::collections::HashSet<_> =
+            c.get("supplier").unwrap().column_values("s_suppkey").into_iter().collect();
         for v in c.get("lineitem").unwrap().column_values("l_suppkey") {
             assert!(supp_keys.contains(&v));
         }

@@ -1,0 +1,121 @@
+//! Pre-compiled expressions: [`Expr`] with every column reference resolved
+//! to a positional index against a fixed input schema.
+//!
+//! The executor's hot loops evaluate the same expression once per row; with
+//! the plain AST every `Expr::Column` costs a name lookup (string hash +
+//! compare) per row. Compiling binds names to positions once per operator,
+//! so row evaluation is pure positional access. Function names are
+//! upper-cased at compile time for the same reason.
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::schema::Schema;
+use std::fmt;
+
+/// An expression with column references bound to positions in a schema.
+///
+/// Mirrors [`Expr`] exactly, except `Column(String)` becomes `Col(usize)`
+/// and call names are pre-uppercased. Built with [`CompiledExpr::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Positional column reference into the schema it was compiled against.
+    Col(usize),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Unary(UnOp, Box<CompiledExpr>),
+    Binary(BinOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Call with the function name already upper-cased.
+    Call(String, Vec<CompiledExpr>),
+}
+
+/// A column reference that does not exist in the schema compiled against.
+/// Surfaced at bind time, before any row is touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundColumn(pub String);
+
+impl fmt::Display for UnboundColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown column `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnboundColumn {}
+
+impl CompiledExpr {
+    /// Binds every column reference in `expr` to its position in `schema`.
+    ///
+    /// Unknown function names are *not* rejected here: they stay runtime
+    /// errors so that short-circuit evaluation keeps its semantics (a
+    /// predicate `false AND MYSTERY(x)` never evaluates the call).
+    pub fn compile(expr: &Expr, schema: &Schema) -> Result<CompiledExpr, UnboundColumn> {
+        Ok(match expr {
+            Expr::Column(name) => {
+                let i = schema.index_of(name).ok_or_else(|| UnboundColumn(name.clone()))?;
+                CompiledExpr::Col(i)
+            }
+            Expr::Int(v) => CompiledExpr::Int(*v),
+            Expr::Float(v) => CompiledExpr::Float(*v),
+            Expr::Str(s) => CompiledExpr::Str(s.clone()),
+            Expr::Bool(b) => CompiledExpr::Bool(*b),
+            Expr::Null => CompiledExpr::Null,
+            Expr::Unary(op, e) => CompiledExpr::Unary(*op, Box::new(Self::compile(e, schema)?)),
+            Expr::Binary(op, l, r) => {
+                CompiledExpr::Binary(*op, Box::new(Self::compile(l, schema)?), Box::new(Self::compile(r, schema)?))
+            }
+            Expr::Call(name, args) => CompiledExpr::Call(
+                name.to_ascii_uppercase(),
+                args.iter().map(|a| Self::compile(a, schema)).collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse_expr;
+    use crate::schema::{ColType, Column};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("price", ColType::Decimal), Column::new("qty", ColType::Integer)])
+    }
+
+    #[test]
+    fn binds_columns_to_positions() {
+        let e = parse_expr("price * qty").unwrap();
+        let c = CompiledExpr::compile(&e, &schema()).unwrap();
+        assert_eq!(
+            c,
+            CompiledExpr::Binary(BinOp::Mul, Box::new(CompiledExpr::Col(0)), Box::new(CompiledExpr::Col(1)),)
+        );
+    }
+
+    #[test]
+    fn unknown_column_fails_at_bind_time() {
+        let e = parse_expr("ghost + 1").unwrap();
+        let err = CompiledExpr::compile(&e, &schema()).unwrap_err();
+        assert_eq!(err, UnboundColumn("ghost".into()));
+        assert_eq!(err.to_string(), "unknown column `ghost`");
+    }
+
+    #[test]
+    fn call_names_are_uppercased_once() {
+        let e = parse_expr("concat(price, 'x')").unwrap();
+        match CompiledExpr::compile(&e, &schema()).unwrap() {
+            CompiledExpr::Call(name, args) => {
+                assert_eq!(name, "CONCAT");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_functions_survive_compilation() {
+        // Runtime concern: `false AND MYSTERY(qty)` must stay evaluable.
+        let e = parse_expr("MYSTERY(qty)").unwrap();
+        assert!(CompiledExpr::compile(&e, &schema()).is_ok());
+    }
+}

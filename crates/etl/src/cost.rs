@@ -307,16 +307,16 @@ mod tests {
         // integrated form scans once.
         let mut shared = Flow::new("shared");
         let d = shared.add_op("DS", li()).unwrap();
-        let s = shared
-            .append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() })
-            .unwrap();
+        let s =
+            shared.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
         shared.append(s, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
         shared.append(s, "LOAD2", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
 
         let single = {
             let mut f = Flow::new("single");
             let d = f.add_op("DS", li()).unwrap();
-            let s = f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+            let s =
+                f.append(d, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
             f.append(s, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
             f
         };
@@ -340,7 +340,14 @@ mod tests {
             )
             .unwrap();
         let j = f
-            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
             .unwrap();
         f.connect(l, j).unwrap();
         f.connect(o, j).unwrap();

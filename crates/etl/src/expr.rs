@@ -157,10 +157,7 @@ impl Expr {
     /// obvious type mismatches.
     pub fn infer_type(&self, schema: &Schema) -> Result<ColType, ExprError> {
         match self {
-            Expr::Column(c) => schema
-                .column(c)
-                .map(|col| col.ty)
-                .ok_or_else(|| ExprError::UnknownColumn(c.clone())),
+            Expr::Column(c) => schema.column(c).map(|col| col.ty).ok_or_else(|| ExprError::UnknownColumn(c.clone())),
             Expr::Int(_) => Ok(ColType::Integer),
             Expr::Float(_) => Ok(ColType::Decimal),
             Expr::Str(_) => Ok(ColType::Text),
@@ -204,17 +201,13 @@ impl Expr {
                     a.infer_type(schema)?;
                 }
                 match name.to_ascii_uppercase().as_str() {
-                    "YEAR" | "MONTH" | "DAY" | "ABS" => Ok(if name.eq_ignore_ascii_case("ABS") {
-                        ColType::Decimal
-                    } else {
-                        ColType::Integer
-                    }),
+                    "YEAR" | "MONTH" | "DAY" | "ABS" => {
+                        Ok(if name.eq_ignore_ascii_case("ABS") { ColType::Decimal } else { ColType::Integer })
+                    }
                     "CONCAT" => Ok(ColType::Text),
-                    "COALESCE" => args
-                        .first()
-                        .map(|a| a.infer_type(schema))
-                        .transpose()
-                        .map(|t| t.unwrap_or(ColType::Text)),
+                    "COALESCE" => {
+                        args.first().map(|a| a.infer_type(schema)).transpose().map(|t| t.unwrap_or(ColType::Text))
+                    }
                     other => Err(ExprError::UnknownFunction(other.to_string())),
                 }
             }
@@ -479,7 +472,9 @@ impl<'a> ExprParser<'a> {
     fn parse_ident(&mut self) -> Result<Expr, ExprError> {
         let start = self.i;
         let bytes = self.src.as_bytes();
-        while self.i < bytes.len() && (bytes[self.i].is_ascii_alphanumeric() || bytes[self.i] == b'_' || bytes[self.i] == b'.') {
+        while self.i < bytes.len()
+            && (bytes[self.i].is_ascii_alphanumeric() || bytes[self.i] == b'_' || bytes[self.i] == b'.')
+        {
             self.i += 1;
         }
         let name = &self.src[start..self.i];

@@ -29,12 +29,22 @@ pub struct Operation {
 pub enum FlowError {
     UnknownOp(String),
     DuplicateName(String),
-    DuplicateEdge { from: String, to: String },
+    DuplicateEdge {
+        from: String,
+        to: String,
+    },
     Cycle,
     /// Wrong number of inputs for an operation.
-    Arity { op: String, expected: usize, found: usize },
+    Arity {
+        op: String,
+        expected: usize,
+        found: usize,
+    },
     /// Operation parameters inconsistent with its input schemas.
-    InvalidOp { op: String, detail: String },
+    InvalidOp {
+        op: String,
+        detail: String,
+    },
     /// An operation (other than a loader) whose output nobody consumes.
     DanglingOutput(String),
 }
@@ -95,10 +105,7 @@ impl Flow {
             }
         }
         if self.edges.contains(&(from, to)) {
-            return Err(FlowError::DuplicateEdge {
-                from: self.op(from).name.clone(),
-                to: self.op(to).name.clone(),
-            });
+            return Err(FlowError::DuplicateEdge { from: self.op(from).name.clone(), to: self.op(to).name.clone() });
         }
         self.edges.push((from, to));
         Ok(())
@@ -382,7 +389,11 @@ mod tests {
         let join = f
             .add_op(
                 "JOIN_ord",
-                OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] },
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
             )
             .unwrap();
         f.connect(sel, join).unwrap();
@@ -467,9 +478,7 @@ mod tests {
     fn invalid_schema_reference_is_reported_with_op_name() {
         let mut f = Flow::new("bad");
         let ds = f.add_op("DS", lineitem()).unwrap();
-        let sel = f
-            .append(ds, "SEL", OpKind::Selection { predicate: parse_expr("ghost > 1").unwrap() })
-            .unwrap();
+        let sel = f.append(ds, "SEL", OpKind::Selection { predicate: parse_expr("ghost > 1").unwrap() }).unwrap();
         f.append(sel, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         match f.validate() {
             Err(FlowError::InvalidOp { op, detail }) => {

@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+mod compiled;
 pub mod cost;
 mod expr;
 mod flow;
@@ -28,6 +29,7 @@ mod ops;
 pub mod rules;
 mod schema;
 
+pub use compiled::{CompiledExpr, UnboundColumn};
 pub use expr::{parse_expr, BinOp, Expr, ExprError, UnOp};
 pub use flow::{Flow, FlowError, OpId, Operation, ReqSet};
 pub use ops::{join_kept_right_indices, AggSpec, JoinKind, OpKind};

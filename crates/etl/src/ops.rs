@@ -127,20 +127,14 @@ impl OpKind {
     pub fn output_schema(&self, name: &str, inputs: &[Schema]) -> Result<Schema, FlowError> {
         let expect_arity = self.arity();
         if inputs.len() != expect_arity {
-            return Err(FlowError::Arity {
-                op: name.to_string(),
-                expected: expect_arity,
-                found: inputs.len(),
-            });
+            return Err(FlowError::Arity { op: name.to_string(), expected: expect_arity, found: inputs.len() });
         }
         let invalid = |detail: String| FlowError::InvalidOp { op: name.to_string(), detail };
         match self {
             OpKind::Datastore { schema, .. } => Ok(schema.clone()),
             OpKind::Extraction { columns } => {
                 let input = &inputs[0];
-                input
-                    .project(columns)
-                    .ok_or_else(|| invalid(format!("extracts a column missing from {input}")))
+                input.project(columns).ok_or_else(|| invalid(format!("extracts a column missing from {input}")))
             }
             OpKind::Selection { predicate } => {
                 let t = predicate.infer_type(&inputs[0]).map_err(|e| invalid(e.to_string()))?;
@@ -178,12 +172,7 @@ impl OpKind {
                 let kept: Vec<&Column> = inputs[1]
                     .columns
                     .iter()
-                    .filter(|c| {
-                        !right_on
-                            .iter()
-                            .zip(left_on)
-                            .any(|(r, l)| *r == c.name && l == r)
-                    })
+                    .filter(|c| !right_on.iter().zip(left_on).any(|(r, l)| *r == c.name && l == r))
                     .collect();
                 let mut out = inputs[0].clone();
                 out.columns.extend(kept.into_iter().cloned());
@@ -413,11 +402,8 @@ mod tests {
         };
         let out = op.output_schema("j", &[lineitem_schema(), orders_schema()]).unwrap();
         assert_eq!(out.len(), 5);
-        let bad_key = OpKind::Join {
-            kind: JoinKind::Inner,
-            left_on: vec!["ghost".into()],
-            right_on: vec!["o_orderkey".into()],
-        };
+        let bad_key =
+            OpKind::Join { kind: JoinKind::Inner, left_on: vec!["ghost".into()], right_on: vec!["o_orderkey".into()] };
         assert!(bad_key.output_schema("j", &[lineitem_schema(), orders_schema()]).is_err());
         let type_clash = OpKind::Join {
             kind: JoinKind::Inner,
@@ -429,7 +415,11 @@ mod tests {
 
     #[test]
     fn join_rejects_duplicate_output_columns() {
-        let op = OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["l_orderkey".into()] };
+        let op = OpKind::Join {
+            kind: JoinKind::Inner,
+            left_on: vec!["l_orderkey".into()],
+            right_on: vec!["l_orderkey".into()],
+        };
         assert!(op.output_schema("j", &[lineitem_schema(), lineitem_schema()]).is_err());
     }
 
@@ -456,10 +446,8 @@ mod tests {
             aggregates: vec![AggSpec::new("MEDIAN", parse_expr("l_discount").unwrap(), "m")],
         };
         assert!(bad_fn.output_schema("a", &[lineitem_schema()]).is_err());
-        let sum_text = OpKind::Aggregation {
-            group_by: vec![],
-            aggregates: vec![AggSpec::new("SUM", Expr::Str("x".into()), "m")],
-        };
+        let sum_text =
+            OpKind::Aggregation { group_by: vec![], aggregates: vec![AggSpec::new("SUM", Expr::Str("x".into()), "m")] };
         assert!(sum_text.output_schema("a", &[lineitem_schema()]).is_err());
     }
 

@@ -71,8 +71,10 @@ pub fn op_signature(kind: &OpKind) -> String {
         OpKind::Aggregation { group_by, aggregates } => {
             let mut gs = group_by.clone();
             gs.sort();
-            let mut aggs: Vec<String> =
-                aggregates.iter().map(|a| format!("{}({})as{}", a.function.to_ascii_uppercase(), a.input, a.output)).collect();
+            let mut aggs: Vec<String> = aggregates
+                .iter()
+                .map(|a| format!("{}({})as{}", a.function.to_ascii_uppercase(), a.input, a.output))
+                .collect();
             aggs.sort();
             format!("aggregation:{}:{}", gs.join(","), aggs.join(";"))
         }
@@ -130,8 +132,7 @@ pub fn dedupe(flow: &mut Flow) -> usize {
         let mut found = None;
         'outer: for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i + 1..] {
-                if merge_key(&flow.op(a).kind) == merge_key(&flow.op(b).kind)
-                    && flow.inputs_of(a) == flow.inputs_of(b)
+                if merge_key(&flow.op(a).kind) == merge_key(&flow.op(b).kind) && flow.inputs_of(a) == flow.inputs_of(b)
                 {
                     found = Some((a, b));
                     break 'outer;
@@ -147,12 +148,8 @@ pub fn dedupe(flow: &mut Flow) -> usize {
             a_op.satisfies.extend(b_reqs);
         }
         // Re-point b's consumers to a in place, drop b's input edges.
-        let new_edges: Vec<(OpId, OpId)> = flow
-            .edges()
-            .iter()
-            .filter(|&&(_, t)| t != b)
-            .map(|&(f, t)| if f == b { (a, t) } else { (f, t) })
-            .collect();
+        let new_edges: Vec<(OpId, OpId)> =
+            flow.edges().iter().filter(|&&(_, t)| t != b).map(|&(f, t)| if f == b { (a, t) } else { (f, t) }).collect();
         flow.set_edges(new_edges);
         flow.remove_op_entry(b);
         merged += 1;
@@ -312,8 +309,7 @@ pub fn merge_projections(flow: &mut Flow) -> usize {
             let inputs = flow.inputs_of(op.id);
             let &input = inputs.first()?;
             let upstream = flow.op(input);
-            (matches!(upstream.kind, OpKind::Projection { .. }) && flow.outputs_of(input).len() == 1)
-                .then_some(input)
+            (matches!(upstream.kind, OpKind::Projection { .. }) && flow.outputs_of(input).len() == 1).then_some(input)
         });
         match candidate {
             Some(upstream) => {
@@ -363,9 +359,7 @@ impl Flow {
     /// Replaces the edge list wholesale (rule-engine internal).
     pub(crate) fn replace_edges(&mut self, edges: Vec<(OpId, OpId)>) {
         // Callers guarantee endpoints exist; debug-check it.
-        debug_assert!(edges
-            .iter()
-            .all(|(f, t)| self.ops().any(|o| o.id == *f) && self.ops().any(|o| o.id == *t)));
+        debug_assert!(edges.iter().all(|(f, t)| self.ops().any(|o| o.id == *f) && self.ops().any(|o| o.id == *t)));
         self.set_edges(edges);
     }
 }
@@ -385,11 +379,14 @@ mod tests {
     }
 
     fn li() -> OpKind {
-        ds("lineitem", &[
-            ("l_orderkey", ColType::Integer),
-            ("l_extendedprice", ColType::Decimal),
-            ("l_discount", ColType::Decimal),
-        ])
+        ds(
+            "lineitem",
+            &[
+                ("l_orderkey", ColType::Integer),
+                ("l_extendedprice", ColType::Decimal),
+                ("l_discount", ColType::Decimal),
+            ],
+        )
     }
 
     fn ord() -> OpKind {
@@ -430,9 +427,7 @@ mod tests {
         let p = f
             .append(d, "PROJ", OpKind::Projection { columns: vec!["l_orderkey".into(), "l_discount".into()] })
             .unwrap();
-        let s = f
-            .append(p, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() })
-            .unwrap();
+        let s = f.append(p, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
         f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         let n = normalize(&mut f).unwrap();
         assert!(n >= 1);
@@ -449,7 +444,11 @@ mod tests {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", li()).unwrap();
         let dv = f
-            .append(d, "DERIVE", OpKind::Derivation { column: "rev".into(), expr: parse_expr("l_extendedprice * l_discount").unwrap() })
+            .append(
+                d,
+                "DERIVE",
+                OpKind::Derivation { column: "rev".into(), expr: parse_expr("l_extendedprice * l_discount").unwrap() },
+            )
             .unwrap();
         let s = f.append(dv, "SEL", OpKind::Selection { predicate: parse_expr("rev > 10").unwrap() }).unwrap();
         f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
@@ -464,11 +463,13 @@ mod tests {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", li()).unwrap();
         let dv = f
-            .append(d, "DERIVE", OpKind::Derivation { column: "rev".into(), expr: parse_expr("l_extendedprice * l_discount").unwrap() })
+            .append(
+                d,
+                "DERIVE",
+                OpKind::Derivation { column: "rev".into(), expr: parse_expr("l_extendedprice * l_discount").unwrap() },
+            )
             .unwrap();
-        let s = f
-            .append(dv, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() })
-            .unwrap();
+        let s = f.append(dv, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
         f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         normalize(&mut f).unwrap();
         f.validate().unwrap();
@@ -482,13 +483,18 @@ mod tests {
         let l = f.add_op("L", li()).unwrap();
         let o = f.add_op("O", ord()).unwrap();
         let j = f
-            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
             .unwrap();
         f.connect(l, j).unwrap();
         f.connect(o, j).unwrap();
-        let s = f
-            .append(j, "SEL", OpKind::Selection { predicate: parse_expr("o_totalprice > 100").unwrap() })
-            .unwrap();
+        let s = f.append(j, "SEL", OpKind::Selection { predicate: parse_expr("o_totalprice > 100").unwrap() }).unwrap();
         f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         normalize(&mut f).unwrap();
         f.validate().unwrap();
@@ -507,7 +513,14 @@ mod tests {
         let l = f.add_op("L", li()).unwrap();
         let o = f.add_op("O", ord()).unwrap();
         let j = f
-            .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
             .unwrap();
         f.connect(l, j).unwrap();
         f.connect(o, j).unwrap();
@@ -586,7 +599,13 @@ mod tests {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", li()).unwrap();
         let p1 = f
-            .append(d, "P1", OpKind::Projection { columns: vec!["l_orderkey".into(), "l_discount".into(), "l_extendedprice".into()] })
+            .append(
+                d,
+                "P1",
+                OpKind::Projection {
+                    columns: vec!["l_orderkey".into(), "l_discount".into(), "l_extendedprice".into()],
+                },
+            )
             .unwrap();
         let p2 = f.append(p1, "P2", OpKind::Projection { columns: vec!["l_orderkey".into()] }).unwrap();
         f.append(p2, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
@@ -601,12 +620,8 @@ mod tests {
         // Two scans of the same datastore with different column needs merge
         // into one widened scan; both extraction chains survive.
         let mut f = Flow::new("t");
-        let d1 = f
-            .add_op("DS1", ds("lineitem", &[("l_orderkey", ColType::Integer)]))
-            .unwrap();
-        let d2 = f
-            .add_op("DS2", ds("lineitem", &[("l_discount", ColType::Decimal)]))
-            .unwrap();
+        let d1 = f.add_op("DS1", ds("lineitem", &[("l_orderkey", ColType::Integer)])).unwrap();
+        let d2 = f.add_op("DS2", ds("lineitem", &[("l_discount", ColType::Decimal)])).unwrap();
         let e1 = f.append(d1, "E1", OpKind::Extraction { columns: vec!["l_orderkey".into()] }).unwrap();
         let e2 = f.append(d2, "E2", OpKind::Extraction { columns: vec!["l_discount".into()] }).unwrap();
         f.append(e1, "L1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
@@ -708,7 +723,8 @@ mod tests {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", li()).unwrap();
         let s1 = f.append(d, "S1", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
-        let s2 = f.append(s1, "S2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 1").unwrap() }).unwrap();
+        let s2 =
+            f.append(s1, "S2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 1").unwrap() }).unwrap();
         f.append(s2, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         assert_eq!(merge_adjacent_selections(&mut f), 1);
         f.validate().unwrap();
@@ -728,11 +744,20 @@ mod tests {
         let mut f = Flow::new("t");
         let d = f.add_op("DS", li()).unwrap();
         let p1 = f
-            .append(d, "P1", OpKind::Projection { columns: vec!["l_orderkey".into(), "l_discount".into(), "l_extendedprice".into()] })
+            .append(
+                d,
+                "P1",
+                OpKind::Projection {
+                    columns: vec!["l_orderkey".into(), "l_discount".into(), "l_extendedprice".into()],
+                },
+            )
             .unwrap();
         let s1 = f.append(p1, "S1", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
-        let p2 = f.append(s1, "P2", OpKind::Projection { columns: vec!["l_orderkey".into(), "l_extendedprice".into()] }).unwrap();
-        let s2 = f.append(p2, "S2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 1").unwrap() }).unwrap();
+        let p2 = f
+            .append(s1, "P2", OpKind::Projection { columns: vec!["l_orderkey".into(), "l_extendedprice".into()] })
+            .unwrap();
+        let s2 =
+            f.append(p2, "S2", OpKind::Selection { predicate: parse_expr("l_extendedprice > 1").unwrap() }).unwrap();
         f.append(s2, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
         let n = normalize(&mut f).unwrap();
         assert!(n >= 3, "multiple rewrites expected, got {n}");
@@ -742,13 +767,11 @@ mod tests {
         assert_eq!(again, 0);
         // One merged selection sits directly under the datastore; the two
         // projections merged as well.
-        let selections: Vec<_> =
-            f.ops().filter(|o| matches!(o.kind, OpKind::Selection { .. })).map(|o| o.id).collect();
+        let selections: Vec<_> = f.ops().filter(|o| matches!(o.kind, OpKind::Selection { .. })).map(|o| o.id).collect();
         assert_eq!(selections.len(), 1, "adjacent selections merged");
         let sel_in = f.inputs_of(selections[0]);
         assert_eq!(f.op(sel_in[0]).name, "DS");
-        let projections =
-            f.ops().filter(|o| matches!(o.kind, OpKind::Projection { .. })).count();
+        let projections = f.ops().filter(|o| matches!(o.kind, OpKind::Projection { .. })).count();
         assert_eq!(projections, 1, "projections merged");
     }
 }

@@ -16,8 +16,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::binary(op, l, r)),
             inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             // The parser canonicalizes negated numeric literals into the
             // literal itself, so fold them here too.
@@ -26,7 +25,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Expr::Float(v) => Expr::Float(-v),
                 other => Expr::Unary(UnOp::Neg, Box::new(other)),
             }),
-            (prop_oneof![Just("YEAR"), Just("ABS"), Just("CONCAT"), Just("COALESCE")], prop::collection::vec(inner, 1..3))
+            (
+                prop_oneof![Just("YEAR"), Just("ABS"), Just("CONCAT"), Just("COALESCE")],
+                prop::collection::vec(inner, 1..3)
+            )
                 .prop_map(|(name, args)| Expr::Call(name.to_string(), args)),
         ]
     })

@@ -147,7 +147,8 @@ impl Exporter for Summary {
                 }
             }
             Artifact::Etl(f) => {
-                let _ = writeln!(out, "ETL flow `{}`: {} operation(s), {} edge(s)", f.name, f.op_count(), f.edge_count());
+                let _ =
+                    writeln!(out, "ETL flow `{}`: {} operation(s), {} edge(s)", f.name, f.op_count(), f.edge_count());
                 for op in f.ops() {
                     let _ = writeln!(out, "  {} :: {}", op.name, op.kind);
                 }

@@ -94,9 +94,7 @@ fn kind_to_xml(kind: &OpKind, node: &mut Element) {
             node.push_child(schema_to_xml(schema));
         }
         OpKind::Extraction { columns } => node.push_child(columns_to_xml("columns", columns)),
-        OpKind::Selection { predicate } => {
-            node.push_child(Element::new("predicate").with_text(predicate.to_string()))
-        }
+        OpKind::Selection { predicate } => node.push_child(Element::new("predicate").with_text(predicate.to_string())),
         OpKind::Projection { columns } => node.push_child(columns_to_xml("columns", columns)),
         OpKind::Derivation { column, expr } => {
             node.push_child(Element::new("column").with_text(column));
@@ -164,9 +162,8 @@ fn kind_from_xml(type_name: &str, node: &Element) -> Result<OpKind, FormatError>
                         .ok_or_else(|| FormatError::structure("<aggregate> missing <function>"))?;
                     let input =
                         a.child_text("input").ok_or_else(|| FormatError::structure("<aggregate> missing <input>"))?;
-                    let output = a
-                        .child_text("output")
-                        .ok_or_else(|| FormatError::structure("<aggregate> missing <output>"))?;
+                    let output =
+                        a.child_text("output").ok_or_else(|| FormatError::structure("<aggregate> missing <output>"))?;
                     aggregates.push(AggSpec::new(function, parse_expr(input)?, output));
                 }
             }
@@ -229,10 +226,8 @@ pub fn from_xml(root: &Element) -> Result<Flow, FormatError> {
     let mut flow = Flow::new(name);
     let nodes = root.child("nodes").ok_or_else(|| FormatError::structure("<design> without <nodes>"))?;
     for node in nodes.children_named("node") {
-        let op_name =
-            node.child_text("name").ok_or_else(|| FormatError::structure("<node> without <name>"))?;
-        let type_name =
-            node.child_text("type").ok_or_else(|| FormatError::structure("<node> without <type>"))?;
+        let op_name = node.child_text("name").ok_or_else(|| FormatError::structure("<node> without <name>"))?;
+        let type_name = node.child_text("type").ok_or_else(|| FormatError::structure("<node> without <type>"))?;
         let kind = kind_from_xml(type_name, node)?;
         let id = flow.add_op(op_name, kind).map_err(|e| FormatError::structure(e.to_string()))?;
         let mut reqs = ReqSet::new();
@@ -252,8 +247,9 @@ pub fn from_xml(root: &Element) -> Result<Flow, FormatError> {
             }
             let from = edge.child_text("from").ok_or_else(|| FormatError::structure("<edge> without <from>"))?;
             let to = edge.child_text("to").ok_or_else(|| FormatError::structure("<edge> without <to>"))?;
-            let from_id =
-                flow.id_by_name(from).ok_or_else(|| FormatError::structure(format!("edge from unknown node `{from}`")))?;
+            let from_id = flow
+                .id_by_name(from)
+                .ok_or_else(|| FormatError::structure(format!("edge from unknown node `{from}`")))?;
             let to_id =
                 flow.id_by_name(to).ok_or_else(|| FormatError::structure(format!("edge to unknown node `{to}`")))?;
             flow.connect(from_id, to_id).map_err(|e| FormatError::structure(e.to_string()))?;
@@ -287,18 +283,24 @@ mod tests {
             .add_op("DATASTORE_Partsupp", OpKind::Datastore { datastore: "partsupp".into(), schema: partsupp_schema() })
             .unwrap();
         let ex = f
-            .append(ds, "EXTRACTION_Partsupp", OpKind::Extraction {
-                columns: vec!["ps_partkey".into(), "ps_suppkey".into(), "ps_supplycost".into()],
-            })
+            .append(
+                ds,
+                "EXTRACTION_Partsupp",
+                OpKind::Extraction { columns: vec!["ps_partkey".into(), "ps_suppkey".into(), "ps_supplycost".into()] },
+            )
             .unwrap();
         let sel = f
             .append(ex, "SELECTION_cost", OpKind::Selection { predicate: parse_expr("ps_supplycost > 10").unwrap() })
             .unwrap();
         let agg = f
-            .append(sel, "AGGREGATION_cost", OpKind::Aggregation {
-                group_by: vec!["ps_partkey".into()],
-                aggregates: vec![AggSpec::new("AVERAGE", parse_expr("ps_supplycost").unwrap(), "avg_cost")],
-            })
+            .append(
+                sel,
+                "AGGREGATION_cost",
+                OpKind::Aggregation {
+                    group_by: vec!["ps_partkey".into()],
+                    aggregates: vec![AggSpec::new("AVERAGE", parse_expr("ps_supplycost").unwrap(), "avg_cost")],
+                },
+            )
             .unwrap();
         f.append(agg, "LOADER_fact", OpKind::Loader { table: "fact_table_netprofit".into(), key: vec![] }).unwrap();
         let mut f2 = f;
@@ -342,10 +344,22 @@ mod tests {
     fn binary_ops_keep_input_order() {
         let mut f = Flow::new("j");
         let a = f
-            .add_op("A", OpKind::Datastore { datastore: "a".into(), schema: Schema::new(vec![Column::new("x", ColType::Integer)]) })
+            .add_op(
+                "A",
+                OpKind::Datastore {
+                    datastore: "a".into(),
+                    schema: Schema::new(vec![Column::new("x", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let b = f
-            .add_op("B", OpKind::Datastore { datastore: "b".into(), schema: Schema::new(vec![Column::new("y", ColType::Integer)]) })
+            .add_op(
+                "B",
+                OpKind::Datastore {
+                    datastore: "b".into(),
+                    schema: Schema::new(vec![Column::new("y", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let j = f
             .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["x".into()], right_on: vec!["y".into()] })
@@ -363,14 +377,19 @@ mod tests {
     #[test]
     fn all_op_kinds_roundtrip() {
         let mut f = Flow::new("all");
-        let ds = f
-            .add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: partsupp_schema() })
-            .unwrap();
+        let ds = f.add_op("DS", OpKind::Datastore { datastore: "t".into(), schema: partsupp_schema() }).unwrap();
         let dv = f
             .append(ds, "DV", OpKind::Derivation { column: "c".into(), expr: parse_expr("ps_supplycost * 2").unwrap() })
             .unwrap();
         let sk = f
-            .append(dv, "SK", OpKind::SurrogateKey { natural: vec!["ps_partkey".into(), "ps_suppkey".into()], output: "PartsuppID".into() })
+            .append(
+                dv,
+                "SK",
+                OpKind::SurrogateKey {
+                    natural: vec!["ps_partkey".into(), "ps_suppkey".into()],
+                    output: "PartsuppID".into(),
+                },
+            )
             .unwrap();
         let so = f.append(sk, "SO", OpKind::Sort { columns: vec!["PartsuppID".into()] }).unwrap();
         let di = f.append(so, "DI", OpKind::Distinct).unwrap();

@@ -308,11 +308,9 @@ mod tests {
     #[test]
     fn structural_errors_are_reported() {
         assert!(matches!(parse("<NotMD/>"), Err(FormatError::Structure(_))));
-        assert!(matches!(
-            parse("<MDschema><facts><fact/></facts></MDschema>"),
-            Err(FormatError::Structure(_))
-        ));
-        let no_levels = "<MDschema><dimensions><dimension><name>D</name><atomic>L</atomic></dimension></dimensions></MDschema>";
+        assert!(matches!(parse("<MDschema><facts><fact/></facts></MDschema>"), Err(FormatError::Structure(_))));
+        let no_levels =
+            "<MDschema><dimensions><dimension><name>D</name><atomic>L</atomic></dimension></dimensions></MDschema>";
         assert!(matches!(parse(no_levels), Err(FormatError::Structure(_))));
     }
 

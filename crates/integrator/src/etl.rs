@@ -123,9 +123,8 @@ pub fn integrate_etl(
                 while out.op_by_name(&name).is_some() {
                     name.push('\'');
                 }
-                let new_id = out
-                    .add_op(name, pop.kind.clone())
-                    .map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+                let new_id =
+                    out.add_op(name, pop.kind.clone()).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
                 out.op_mut(new_id).satisfies = pop.satisfies.clone();
                 if let Some(imgs) = p_images {
                     for input in imgs {
@@ -139,8 +138,7 @@ pub fn integrate_etl(
     }
 
     out.validate().map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
-    let total_cost =
-        cost.cost(&out, stats).map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    let total_cost = cost.cost(&out, stats).map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
     Ok(EtlIntegration {
         flow: out,
         report: EtlIntegrationReport {
@@ -195,9 +193,13 @@ mod tests {
             )
             .unwrap();
         let e = f
-            .append(d, "EXTRACTION_Lineitem", OpKind::Extraction {
-                columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
-            })
+            .append(
+                d,
+                "EXTRACTION_Lineitem",
+                OpKind::Extraction {
+                    columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
+                },
+            )
             .unwrap();
         let s = f.append(e, "SEL", OpKind::Selection { predicate: parse_expr(filter).unwrap() }).unwrap();
         let a = f
@@ -254,7 +256,9 @@ mod tests {
         assert_eq!(aligned.report.reused_ops, 1, "{:?}", aligned.report.matched);
         // …without alignment the authored order keeps the extraction shared
         // too, and the flows fork at the differing filters.
-        let raw = integrate_etl(&a, &b, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        let raw =
+            integrate_etl(&a, &b, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false })
+                .unwrap();
         assert_eq!(raw.report.reused_ops, 2, "{:?}", raw.report.matched);
         aligned.flow.validate().unwrap();
         raw.flow.validate().unwrap();
@@ -264,7 +268,13 @@ mod tests {
     fn extraction_widening_merges_different_column_needs() {
         let mut a = Flow::new("u");
         let d = a
-            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_orderkey", ColType::Integer)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: li_schema(&[("l_orderkey", ColType::Integer)]),
+                },
+            )
             .unwrap();
         let e = a.append(d, "EX", OpKind::Extraction { columns: vec!["l_orderkey".into()] }).unwrap();
         a.append(e, "LOAD", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
@@ -272,7 +282,13 @@ mod tests {
 
         let mut b = Flow::new("p");
         let d = b
-            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_discount", ColType::Decimal)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: li_schema(&[("l_discount", ColType::Decimal)]),
+                },
+            )
             .unwrap();
         let e = b.append(d, "EX", OpKind::Extraction { columns: vec!["l_discount".into()] }).unwrap();
         b.append(e, "LOAD", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
@@ -314,9 +330,13 @@ mod tests {
                 )
                 .unwrap();
             let e = f
-                .append(d, "EX", OpKind::Extraction {
-                    columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
-                })
+                .append(
+                    d,
+                    "EX",
+                    OpKind::Extraction {
+                        columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "l_discount".into()],
+                    },
+                )
                 .unwrap();
             let (top, bottom): (OpKind, OpKind) = (
                 OpKind::Projection { columns: vec!["l_orderkey".into(), "l_discount".into()] },
@@ -336,8 +356,22 @@ mod tests {
         let unified = build(true, "t1", "IR1");
         let partial = build(false, "t2", "IR2");
 
-        let aligned = integrate_etl(&unified, &partial, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: true }).unwrap();
-        let unaligned = integrate_etl(&unified, &partial, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        let aligned = integrate_etl(
+            &unified,
+            &partial,
+            &EstimatedTime::new(),
+            &stats(),
+            EtlIntegrationOptions { align_with_rules: true },
+        )
+        .unwrap();
+        let unaligned = integrate_etl(
+            &unified,
+            &partial,
+            &EstimatedTime::new(),
+            &stats(),
+            EtlIntegrationOptions { align_with_rules: false },
+        )
+        .unwrap();
         assert!(
             aligned.report.reused_ops > unaligned.report.reused_ops,
             "rules must expose reordered overlap: {} vs {}",
@@ -376,7 +410,14 @@ mod tests {
                 right = f.append(o, "OF", OpKind::Selection { predicate: parse_expr(pred).unwrap() }).unwrap();
             }
             let j = f
-                .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+                .add_op(
+                    "J",
+                    OpKind::Join {
+                        kind: JoinKind::Inner,
+                        left_on: vec!["l_orderkey".into()],
+                        right_on: vec!["o_orderkey".into()],
+                    },
+                )
                 .unwrap();
             f.connect(l, j).unwrap();
             f.connect(right, j).unwrap();
@@ -425,14 +466,27 @@ mod tests {
         // off it.
         let mut p = Flow::new("p");
         let d = p
-            .add_op("DS", OpKind::Datastore { datastore: "lineitem".into(), schema: li_schema(&[("l_discount", ColType::Decimal)]) })
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: li_schema(&[("l_discount", ColType::Decimal)]),
+                },
+            )
             .unwrap();
         let s1 = p.append(d, "S1", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
         let s2 = p.append(d, "S2", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
         p.append(s1, "LOAD1", OpKind::Loader { table: "t1".into(), key: vec![] }).unwrap();
         p.append(s2, "LOAD2", OpKind::Loader { table: "t2".into(), key: vec![] }).unwrap();
         p.stamp_requirement("IR1");
-        let r = integrate_etl(&p.clone(), &p, &EstimatedTime::new(), &stats(), EtlIntegrationOptions { align_with_rules: false }).unwrap();
+        let r = integrate_etl(
+            &p.clone(),
+            &p,
+            &EstimatedTime::new(),
+            &stats(),
+            EtlIntegrationOptions { align_with_rules: false },
+        )
+        .unwrap();
         r.flow.validate().unwrap();
         let selections = r.flow.ops().filter(|o| matches!(o.kind, OpKind::Selection { .. })).count();
         assert_eq!(selections, 1, "redundant selections collapse during common-subflow elimination");

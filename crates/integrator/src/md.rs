@@ -140,17 +140,15 @@ pub fn integrate_md(
     })?;
 
     // Stage 4 bookkeeping: the report.
-    let mut report = MdIntegrationReport { alternatives_considered: considered, cost: chosen_cost, ..Default::default() };
+    let mut report =
+        MdIntegrationReport { alternatives_considered: considered, cost: chosen_cost, ..Default::default() };
     for (pair, choice) in pairs.iter().zip(&choices) {
         if *choice == Choice::Merge {
             report.matches.push(pair.clone());
         }
     }
     for pf in &partial.facts {
-        let merged = report
-            .matches
-            .iter()
-            .any(|m| matches!(m, MdMatch::Fact { partial, .. } if *partial == pf.name));
+        let merged = report.matches.iter().any(|m| matches!(m, MdMatch::Fact { partial, .. } if *partial == pf.name));
         if merged {
             for m in &pf.measures {
                 report.added_measures.push((pf.name.clone(), m.name.clone()));
@@ -160,10 +158,8 @@ pub fn integrate_md(
         }
     }
     for pd in &partial.dimensions {
-        let merged = report
-            .matches
-            .iter()
-            .any(|m| matches!(m, MdMatch::Dimension { partial, .. } if *partial == pd.name));
+        let merged =
+            report.matches.iter().any(|m| matches!(m, MdMatch::Dimension { partial, .. } if *partial == pd.name));
         if merged {
             for l in &pd.levels {
                 report.added_levels.push((pd.name.clone(), l.name.clone()));
@@ -196,7 +192,6 @@ fn apply(unified: &MdSchema, partial: &MdSchema, pairs: &[MdMatch], choices: &[C
             }
         }
     }
-
 
     // Dimensions first (facts reference them). Collect level renames so
     // fact links can follow merged levels.
@@ -422,9 +417,10 @@ mod tests {
     fn merged_hierarchies_union_levels_and_rollups() {
         let mut a = schema("IR1", "f1", "Lineitem", "m1", &[("Customer", "Customer", &["c_name"])]);
         let mut b = schema("IR2", "f2", "Lineitem", "m2", &[("Customer", "Customer", &[])]);
-        b.dimension_mut("Customer")
-            .unwrap()
-            .add_level_above("Customer", Level::new("Nation", "n_nationkey", MdDataType::Integer).with_concept("Nation"));
+        b.dimension_mut("Customer").unwrap().add_level_above(
+            "Customer",
+            Level::new("Nation", "n_nationkey", MdDataType::Integer).with_concept("Nation"),
+        );
         b.stamp_requirement("IR2"); // restamp the added level
         let r = integrate_md_default(&a, &b).unwrap();
         let d = r.schema.dimension("Customer").unwrap();

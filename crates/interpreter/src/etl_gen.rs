@@ -6,7 +6,7 @@
 //! measures and keys, one aggregation to the fact grain, and a loader per
 //! target table (the fact table plus one dimension table per root).
 
-use crate::{Analysis, Interpreter, InterpretError};
+use crate::{Analysis, InterpretError, Interpreter};
 use quarry_etl::{AggSpec, BinOp, ColType, Column, Expr, Flow, JoinKind, OpId, OpKind, Schema};
 use quarry_md::naming;
 use quarry_ontology::mappings::JoinMapping;
@@ -82,12 +82,8 @@ fn build_time_dimension_pipeline(
         .append(current, format!("PROJECT_{tag}{dim_name}"), OpKind::Projection { columns })
         .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
     let table = naming::dim_table(&dim_name);
-    flow.append(
-        projected,
-        format!("LOADER_{table}"),
-        OpKind::Loader { table, key: vec![naming::dim_key(&dim_name)] },
-    )
-    .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    flow.append(projected, format!("LOADER_{table}"), OpKind::Loader { table, key: vec![naming::dim_key(&dim_name)] })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
     Ok(())
 }
 
@@ -116,10 +112,7 @@ fn emit_source(
     needed: &BTreeSet<String>,
 ) -> Result<OpId, InterpretError> {
     let cname = &interp.onto.concept(concept).name;
-    let mapping = interp
-        .sources
-        .datastore(concept)
-        .ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
+    let mapping = interp.sources.datastore(concept).ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
     let columns: Vec<Column> =
         needed.iter().map(|c| Column::new(c.clone(), source_col_type(interp, concept, c))).collect();
     let ds = flow
@@ -169,8 +162,7 @@ fn emit_joins(
             .add_op(format!("JOIN_{tag}{}", assoc.name), OpKind::Join { kind: JoinKind::Inner, left_on, right_on })
             .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
         flow.connect(current, join_op).map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
-        flow.connect(sources[&new_concept], join_op)
-            .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+        flow.connect(sources[&new_concept], join_op).map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
         joined.insert(new_concept);
         current = join_op;
     }
@@ -188,10 +180,7 @@ fn emit_key(
     op_name: String,
 ) -> Result<OpId, InterpretError> {
     let cname = &interp.onto.concept(concept).name;
-    let mapping = interp
-        .sources
-        .datastore(concept)
-        .ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
+    let mapping = interp.sources.datastore(concept).ok_or_else(|| InterpretError::UnmappedConcept(cname.clone()))?;
     let keys = mapping.key_columns.clone();
     let op = if keys.len() == 1 {
         OpKind::Derivation { column: out_column, expr: Expr::col(keys[0].clone()) }
@@ -274,8 +263,10 @@ fn build_fact_pipeline(interp: &Interpreter<'_>, a: &Analysis<'_>, flow: &mut Fl
         needs.add(onto.property_def(p).concept, prop_col(p)?);
     }
     for &root in &a.roots {
-        let mapping =
-            interp.sources.datastore(root).ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(root).name.clone()))?;
+        let mapping = interp
+            .sources
+            .datastore(root)
+            .ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(root).name.clone()))?;
         for k in &mapping.key_columns {
             needs.add(root, k.clone());
         }
@@ -319,14 +310,7 @@ fn build_fact_pipeline(interp: &Interpreter<'_>, a: &Analysis<'_>, flow: &mut Fl
     // Fact FK keys, one per dimension root.
     for &root in &a.roots {
         let root_name = onto.concept(root).name.clone();
-        current = emit_key(
-            interp,
-            flow,
-            current,
-            root,
-            naming::fact_fk(&root_name),
-            format!("KEY_{root_name}"),
-        )?;
+        current = emit_key(interp, flow, current, root, naming::fact_fk(&root_name), format!("KEY_{root_name}"))?;
     }
 
     // Time-dimension foreign keys: integer yyyymmdd date keys derived from
@@ -348,9 +332,7 @@ fn build_fact_pipeline(interp: &Interpreter<'_>, a: &Analysis<'_>, flow: &mut Fl
         let mut expr = m.expr.clone();
         let mut rename_map: BTreeMap<String, String> = BTreeMap::new();
         for col in expr.columns() {
-            let p = onto
-                .resolve_property_ref(&col)
-                .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+            let p = onto.resolve_property_ref(&col).map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
             rename_map.insert(col, interp.source_column(p)?);
         }
         expr.rename_columns(&|c| rename_map.get(c).cloned());
@@ -362,16 +344,12 @@ fn build_fact_pipeline(interp: &Interpreter<'_>, a: &Analysis<'_>, flow: &mut Fl
     // Aggregation to the fact grain.
     let head = &a.measures[0].name;
     let fact_table = naming::fact_table(head);
-    let mut group_by: Vec<String> =
-        a.roots.iter().map(|&r| naming::fact_fk(&onto.concept(r).name)).collect();
+    let mut group_by: Vec<String> = a.roots.iter().map(|&r| naming::fact_fk(&onto.concept(r).name)).collect();
     for &p in &a.time_props {
         group_by.push(naming::fact_fk(&format!("Time_{}", onto.property_def(p).name)));
     }
-    let aggregates: Vec<AggSpec> = a
-        .measures
-        .iter()
-        .map(|m| AggSpec::new(m.agg.as_str(), Expr::col(m.name.clone()), m.name.clone()))
-        .collect();
+    let aggregates: Vec<AggSpec> =
+        a.measures.iter().map(|m| AggSpec::new(m.agg.as_str(), Expr::col(m.name.clone()), m.name.clone())).collect();
     let agg = flow
         .append(current, format!("AGGREGATION_{head}"), OpKind::Aggregation { group_by: group_by.clone(), aggregates })
         .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
@@ -398,10 +376,8 @@ fn build_dimension_pipeline(
     let mut needs = Needs::default();
     for &c in &subgraph.concepts {
         needs.columns.entry(c).or_default();
-        let mapping = interp
-            .sources
-            .datastore(c)
-            .ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(c).name.clone()))?;
+        let mapping =
+            interp.sources.datastore(c).ok_or_else(|| InterpretError::UnmappedConcept(onto.concept(c).name.clone()))?;
         for k in &mapping.key_columns {
             needs.add(c, k.clone());
         }
@@ -439,14 +415,7 @@ fn build_dimension_pipeline(
     let joined = emit_joins(interp, flow, &tag, root, &subgraph, &sources)?;
 
     // Dimension key.
-    let keyed = emit_key(
-        interp,
-        flow,
-        joined,
-        root,
-        naming::dim_key(&root_name),
-        format!("KEY_{tag}{root_name}"),
-    )?;
+    let keyed = emit_key(interp, flow, joined, root, naming::dim_key(&root_name), format!("KEY_{tag}{root_name}"))?;
 
     // Final projection: key first, then every extracted column in
     // deterministic order.
@@ -462,12 +431,8 @@ fn build_dimension_pipeline(
         .append(keyed, format!("PROJECT_{tag}{root_name}"), OpKind::Projection { columns })
         .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
     let table = naming::dim_table(&root_name);
-    flow.append(
-        projected,
-        format!("LOADER_{table}"),
-        OpKind::Loader { table, key: vec![naming::dim_key(&root_name)] },
-    )
-    .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
+    flow.append(projected, format!("LOADER_{table}"), OpKind::Loader { table, key: vec![naming::dim_key(&root_name)] })
+        .map_err(|e| InterpretError::GeneratedInvalid(e.to_string()))?;
     Ok(())
 }
 

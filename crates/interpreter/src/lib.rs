@@ -171,10 +171,7 @@ impl<'a> Interpreter<'a> {
         // Internal guards: what we generate must be sound by construction.
         let violations = md.validate();
         if violations.iter().any(|v| v.kind.is_error()) {
-            return Err(violations
-                .into_iter()
-                .map(|v| InterpretError::GeneratedInvalid(v.to_string()))
-                .collect());
+            return Err(violations.into_iter().map(|v| InterpretError::GeneratedInvalid(v.to_string())).collect());
         }
         if let Err(e) = etl.validate() {
             return Err(vec![InterpretError::GeneratedInvalid(e.to_string())]);
@@ -312,8 +309,7 @@ impl<'a> Interpreter<'a> {
             let better = match best {
                 None => true,
                 Some((s, prev)) => {
-                    score < s
-                        || (score == s && self.onto.concept(candidate).name < self.onto.concept(prev).name)
+                    score < s || (score == s && self.onto.concept(candidate).name < self.onto.concept(prev).name)
                 }
             };
             if better {

@@ -31,12 +31,10 @@ pub(crate) fn generate_md(interp: &Interpreter<'_>, a: &Analysis<'_>) -> MdSchem
         }
         let mut dim = Dimension::new(root_name.clone(), atomic);
 
-        let members: Vec<ConceptId> =
-            a.level_of.iter().filter(|(_, r)| **r == root).map(|(c, _)| *c).collect();
+        let members: Vec<ConceptId> = a.level_of.iter().filter(|(_, r)| **r == root).map(|(c, _)| *c).collect();
         for member in members {
-            let path = onto
-                .functional_path(root, member)
-                .expect("analysis guarantees levels are reachable from their root");
+            let path =
+                onto.functional_path(root, member).expect("analysis guarantees levels are reachable from their root");
             let chain = path.concepts(onto);
             // chain[0] is the root; add levels for everything above it.
             for window in chain.windows(2) {
@@ -44,8 +42,7 @@ pub(crate) fn generate_md(interp: &Interpreter<'_>, a: &Analysis<'_>) -> MdSchem
                 let parent_name = onto.concept(parent).name.clone();
                 if dim.level(&parent_name).is_none() {
                     let key = level_key(interp, parent);
-                    let mut level =
-                        Level::new(parent_name.clone(), key.0, key.1).with_concept(parent_name.clone());
+                    let mut level = Level::new(parent_name.clone(), key.0, key.1).with_concept(parent_name.clone());
                     for attr in requested_attributes(a, interp, parent) {
                         level.attributes.push(attr);
                     }
@@ -205,7 +202,11 @@ mod tests {
     fn slicer_context_becomes_an_attribute_when_on_a_dimension_path() {
         let mut req = figure4_requirement();
         // Slice on Supplier's nation; the requested dims are Part/Supplier.
-        req.slicers.push(Slicer { concept: "Supplier_s_acctbalATRIBUT".into(), operator: ">".into(), value: "0".into() });
+        req.slicers.push(Slicer {
+            concept: "Supplier_s_acctbalATRIBUT".into(),
+            operator: ">".into(),
+            value: "0".into(),
+        });
         let md = generate(&req);
         let supplier = md.dimension("Supplier").unwrap();
         assert!(supplier.levels[0].attribute("s_acctbal").is_some(), "sliced property recorded as attribute");
@@ -223,11 +224,7 @@ mod tests {
     #[test]
     fn time_dimensions_derive_day_month_year() {
         let d = tpch::domain();
-        let i = Interpreter::with_options(
-            &d.ontology,
-            &d.sources,
-            crate::InterpreterOptions { time_dimensions: true },
-        );
+        let i = Interpreter::with_options(&d.ontology, &d.sources, crate::InterpreterOptions { time_dimensions: true });
         let mut req = Requirement::new("IRT");
         req.measures.push(MeasureSpec { id: "qty".into(), function: "Lineitem_l_quantityATRIBUT".into() });
         req.dimensions.push("Part_p_nameATRIBUT".into());

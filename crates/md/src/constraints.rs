@@ -146,10 +146,18 @@ impl MdSchema {
     fn check_facts(&self, out: &mut Vec<MdViolation>) {
         for f in &self.facts {
             if f.dimensions.is_empty() {
-                out.push(violation(ViolationKind::FactWithoutDimensions, &f.name, "a fact must have at least one analysis dimension"));
+                out.push(violation(
+                    ViolationKind::FactWithoutDimensions,
+                    &f.name,
+                    "a fact must have at least one analysis dimension",
+                ));
             }
             if f.measures.is_empty() {
-                out.push(violation(ViolationKind::FactWithoutMeasures, &f.name, "a fact must carry at least one measure"));
+                out.push(violation(
+                    ViolationKind::FactWithoutMeasures,
+                    &f.name,
+                    "a fact must carry at least one measure",
+                ));
             }
             for link in &f.dimensions {
                 match self.dimension(&link.dimension) {
@@ -271,7 +279,7 @@ fn has_cycle<'a>(dim: &'a Dimension, level: &'a str, path: &mut Vec<&'a str>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{AggFn, Additivity, Attribute, DimLink, Fact, Level, MdDataType, MdSchema, Measure, Rollup};
+    use crate::model::{Additivity, AggFn, Attribute, DimLink, Fact, Level, MdDataType, MdSchema, Measure, Rollup};
 
     fn valid_schema() -> MdSchema {
         let mut s = MdSchema::new("demo");

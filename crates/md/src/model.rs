@@ -363,7 +363,13 @@ pub struct Fact {
 
 impl Fact {
     pub fn new(name: impl Into<String>) -> Self {
-        Fact { name: name.into(), concept: None, measures: Vec::new(), dimensions: Vec::new(), satisfies: ReqSet::new() }
+        Fact {
+            name: name.into(),
+            concept: None,
+            measures: Vec::new(),
+            dimensions: Vec::new(),
+            satisfies: ReqSet::new(),
+        }
     }
 
     pub fn measure(&self, name: &str) -> Option<&Measure> {

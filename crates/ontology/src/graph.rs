@@ -123,8 +123,7 @@ impl Ontology {
     /// the paper's automatic validation reports.
     pub fn connecting_subgraph(&self, base: ConceptId, targets: &[ConceptId]) -> Result<Subgraph, ConnectError> {
         let paths = self.functional_paths(base);
-        let unreachable: Vec<ConceptId> =
-            targets.iter().copied().filter(|t| !paths.contains_key(t)).collect();
+        let unreachable: Vec<ConceptId> = targets.iter().copied().filter(|t| !paths.contains_key(t)).collect();
         if !unreachable.is_empty() {
             return Err(ConnectError { unreachable });
         }

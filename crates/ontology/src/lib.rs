@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 
 mod graph;
-mod model;
 pub mod mappings;
+mod model;
 pub mod owlx;
 pub mod synthetic;
 pub mod tpch;

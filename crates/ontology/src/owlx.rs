@@ -60,9 +60,8 @@ pub fn to_xml(onto: &Ontology) -> Element {
         let mut class = Element::new("Class").with_attr("name", &c.name);
         for &pid in &c.properties {
             let p = onto.property_def(pid);
-            let mut prop = Element::new("DatatypeProperty")
-                .with_attr("name", &p.name)
-                .with_attr("type", p.datatype.as_str());
+            let mut prop =
+                Element::new("DatatypeProperty").with_attr("name", &p.name).with_attr("type", p.datatype.as_str());
             if p.identifier {
                 prop.set_attr("identifier", "true");
             }

@@ -29,7 +29,14 @@ pub struct SyntheticSpec {
 
 impl Default for SyntheticSpec {
     fn default() -> Self {
-        SyntheticSpec { hubs: 1, chains_per_hub: 3, chain_length: 3, properties_per_concept: 3, cross_links: 2, seed: 42 }
+        SyntheticSpec {
+            hubs: 1,
+            chains_per_hub: 3,
+            chain_length: 3,
+            properties_per_concept: 3,
+            cross_links: 2,
+            seed: 42,
+        }
     }
 }
 
@@ -90,7 +97,8 @@ pub fn generate(spec: &SyntheticSpec) -> SyntheticDomain {
 
     let declare = |o: &mut Ontology, sources: &mut SourceRegistry, name: String, numeric_props: usize| {
         let cid = o.add_concept(&name).expect("generated names are unique");
-        let key = o.add_identifier(cid, format!("{}_id", name.to_lowercase()), DataType::Integer).expect("fresh concept");
+        let key =
+            o.add_identifier(cid, format!("{}_id", name.to_lowercase()), DataType::Integer).expect("fresh concept");
         let mut columns = vec![(key, format!("{}_id", name.to_lowercase()))];
         for p in 0..numeric_props {
             // Alternate numeric and descriptive properties so both measure

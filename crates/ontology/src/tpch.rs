@@ -23,8 +23,24 @@ pub struct TpchDomain {
 pub fn domain() -> TpchDomain {
     let mut o = Ontology::new();
 
-    let region = concept(&mut o, "Region", &[("r_regionkey", DataType::Integer, true), ("r_name", DataType::String, false), ("r_comment", DataType::String, false)]);
-    let nation = concept(&mut o, "Nation", &[("n_nationkey", DataType::Integer, true), ("n_name", DataType::String, false), ("n_comment", DataType::String, false)]);
+    let region = concept(
+        &mut o,
+        "Region",
+        &[
+            ("r_regionkey", DataType::Integer, true),
+            ("r_name", DataType::String, false),
+            ("r_comment", DataType::String, false),
+        ],
+    );
+    let nation = concept(
+        &mut o,
+        "Nation",
+        &[
+            ("n_nationkey", DataType::Integer, true),
+            ("n_name", DataType::String, false),
+            ("n_comment", DataType::String, false),
+        ],
+    );
     let supplier = concept(
         &mut o,
         "Supplier",
@@ -148,11 +164,7 @@ pub fn domain() -> TpchDomain {
         (orders, "orders", vec!["o_orderkey"]),
         (lineitem, "lineitem", vec!["l_orderkey", "l_linenumber"]),
     ] {
-        let columns = o
-            .all_properties(cid)
-            .into_iter()
-            .map(|pid| (pid, o.property_def(pid).name.clone()))
-            .collect();
+        let columns = o.all_properties(cid).into_iter().map(|pid| (pid, o.property_def(pid).name.clone())).collect();
         sources
             .map_concept(DatastoreMapping {
                 concept: cid,
@@ -219,7 +231,13 @@ mod tests {
     #[test]
     fn paper_identifiers_resolve() {
         let d = domain();
-        for id in ["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT", "Nation_n_nameATRIBUT", "Lineitem_l_extendedpriceATRIBUT", "Lineitem_l_discountATRIBUT"] {
+        for id in [
+            "Part_p_nameATRIBUT",
+            "Supplier_s_nameATRIBUT",
+            "Nation_n_nameATRIBUT",
+            "Lineitem_l_extendedpriceATRIBUT",
+            "Lineitem_l_discountATRIBUT",
+        ] {
             assert!(d.ontology.resolve_property_ref(id).is_ok(), "{id} must resolve");
         }
     }

@@ -69,10 +69,7 @@ pub fn xml_to_json(element: &Element) -> Json {
 
 /// Converts the canonical JSON encoding back into an XML element tree.
 pub fn json_to_xml(json: &Json) -> Result<Element, ConvertError> {
-    let tag = json
-        .get("tag")
-        .and_then(Json::as_str)
-        .ok_or_else(|| convert_err("object without a string `tag`"))?;
+    let tag = json.get("tag").and_then(Json::as_str).ok_or_else(|| convert_err("object without a string `tag`"))?;
     let mut element = Element::new(tag);
     if let Some(attrs) = json.get("attrs") {
         match attrs {

@@ -292,8 +292,7 @@ impl<'a> Parser<'a> {
                                 .text
                                 .get(self.i + 1..self.i + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
                             // Surrogate pairs: decode when a high surrogate is
                             // followed by \uDC00..DFFF.
                             if (0xD800..0xDC00).contains(&code) {
@@ -301,8 +300,7 @@ impl<'a> Parser<'a> {
                                 if let Some(rest) = rest.filter(|r| r.starts_with("\\u")) {
                                     let low = u32::from_str_radix(&rest[2..6], 16)
                                         .map_err(|_| self.err("invalid low surrogate"))?;
-                                    let combined =
-                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     out.push(
                                         char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))?,
                                     );

@@ -81,20 +81,14 @@ impl DocumentStore {
 
     /// All documents of a collection in id order.
     pub fn scan(&self, collection: &str) -> Vec<(DocId, &Json)> {
-        self.collections
-            .get(collection)
-            .map(|c| c.docs.iter().map(|(id, d)| (*id, d)).collect())
-            .unwrap_or_default()
+        self.collections.get(collection).map(|c| c.docs.iter().map(|(id, d)| (*id, d)).collect()).unwrap_or_default()
     }
 
     /// Documents whose dotted `path` equals the given string value — the
     /// field-path query shape the lifecycle uses (e.g. all designs for a
     /// requirement id).
     pub fn find_by(&self, collection: &str, path: &str, value: &str) -> Vec<(DocId, &Json)> {
-        self.scan(collection)
-            .into_iter()
-            .filter(|(_, d)| d.path(path).and_then(Json::as_str) == Some(value))
-            .collect()
+        self.scan(collection).into_iter().filter(|(_, d)| d.path(path).and_then(Json::as_str) == Some(value)).collect()
     }
 
     pub fn collection_names(&self) -> Vec<&str> {
@@ -240,9 +234,7 @@ impl Repository {
         store
             .find_by("links", "requirement", requirement)
             .into_iter()
-            .filter_map(|(_, d)| {
-                Some((d.path("kind")?.as_str()?.to_string(), d.path("key")?.as_str()?.to_string()))
-            })
+            .filter_map(|(_, d)| Some((d.path("kind")?.as_str()?.to_string(), d.path("key")?.as_str()?.to_string())))
             .collect()
     }
 
@@ -282,10 +274,7 @@ mod tests {
     #[test]
     fn update_errors() {
         let mut s = DocumentStore::new();
-        assert_eq!(
-            s.update("ghost", DocId(0), Json::Null),
-            Err(StoreError::UnknownCollection("ghost".into()))
-        );
+        assert_eq!(s.update("ghost", DocId(0), Json::Null), Err(StoreError::UnknownCollection("ghost".into())));
         s.insert("c", Json::Null);
         assert_eq!(s.update("c", DocId(9), Json::Null), Err(StoreError::UnknownDocument(DocId(9))));
     }

@@ -170,12 +170,10 @@ mod tests {
     fn sample() -> Element {
         Element::new("design")
             .with_attr("version", "1.0")
+            .with_child(Element::new("metadata").with_text_child("author", "quarry").with_text_child("id", "IR1"))
             .with_child(
-                Element::new("metadata")
-                    .with_text_child("author", "quarry")
-                    .with_text_child("id", "IR1"),
+                Element::new("nodes").with_child(Element::new("node").with_text_child("name", "DATASTORE_Partsupp")),
             )
-            .with_child(Element::new("nodes").with_child(Element::new("node").with_text_child("name", "DATASTORE_Partsupp")))
     }
 
     #[test]

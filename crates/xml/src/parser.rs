@@ -258,10 +258,9 @@ impl<'a> Parser<'a> {
                 self.advance(2);
                 let name = self.parse_name()?;
                 if name != element.name {
-                    return Err(self.err(format!(
-                        "mismatched end tag: expected `</{}>`, found `</{}>`",
-                        element.name, name
-                    )));
+                    return Err(
+                        self.err(format!("mismatched end tag: expected `</{}>`, found `</{}>`", element.name, name))
+                    );
                 }
                 self.skip_ws();
                 self.expect(">")?;
@@ -329,7 +328,10 @@ mod tests {
 
     #[test]
     fn parses_declaration_and_doctype() {
-        let e = parse("<?xml version=\"1.0\"?>\n<!DOCTYPE design [<!ELEMENT design ANY>]>\n<design><name>f</name></design>").unwrap();
+        let e = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE design [<!ELEMENT design ANY>]>\n<design><name>f</name></design>",
+        )
+        .unwrap();
         assert_eq!(e.child_text("name"), Some("f"));
     }
 
@@ -349,7 +351,8 @@ mod tests {
 
     #[test]
     fn parses_nested_structure() {
-        let xml = "<design><edges><edge><from>DATASTORE_Partsupp</from><to>EXTRACTION_Partsupp</to></edge></edges></design>";
+        let xml =
+            "<design><edges><edge><from>DATASTORE_Partsupp</from><to>EXTRACTION_Partsupp</to></edge></edges></design>";
         let e = parse(xml).unwrap();
         let edge = e.path(&["edges", "edge"]).unwrap();
         assert_eq!(edge.child_text("from"), Some("DATASTORE_Partsupp"));
@@ -409,15 +412,13 @@ mod tests {
 
     #[test]
     fn roundtrips_writer_output() {
-        let original = Element::new("MDschema")
-            .with_attr("name", "unified \"v1\"")
-            .with_child(
-                Element::new("facts").with_child(
-                    Element::new("fact")
-                        .with_text_child("name", "fact_table_revenue")
-                        .with_text_child("expr", "price * (1 - discount)"),
-                ),
-            );
+        let original = Element::new("MDschema").with_attr("name", "unified \"v1\"").with_child(
+            Element::new("facts").with_child(
+                Element::new("fact")
+                    .with_text_child("name", "fact_table_revenue")
+                    .with_text_child("expr", "price * (1 - discount)"),
+            ),
+        );
         for xml in [original.to_pretty_string(), original.to_compact_string()] {
             assert_eq!(parse(&xml).unwrap(), original);
         }

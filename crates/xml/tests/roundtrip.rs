@@ -16,8 +16,12 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3), prop::option::of(text_strategy())).prop_map(
-        |(name, attrs, text)| {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {
                 // Generator may repeat attribute names; set_attr dedups.
@@ -27,8 +31,7 @@ fn element_strategy() -> impl Strategy<Value = Element> {
                 e.push_text(t);
             }
             e
-        },
-    );
+        });
     leaf.prop_recursive(3, 24, 4, |inner| {
         (name_strategy(), prop::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
             let mut e = Element::new(name);

@@ -37,10 +37,20 @@ fn clinic_ontology() -> (Ontology, SourceRegistry) {
     let p_city = o.add_many_to_one("patient_in_city", patient, city);
 
     let mut sources = SourceRegistry::new();
-    for (cid, table, key) in [(city, "city", "city_id"), (patient, "patient", "patient_id"), (physician, "physician", "physician_id"), (visit, "visit", "visit_id")] {
+    for (cid, table, key) in [
+        (city, "city", "city_id"),
+        (patient, "patient", "patient_id"),
+        (physician, "physician", "physician_id"),
+        (visit, "visit", "visit_id"),
+    ] {
         let columns = o.all_properties(cid).into_iter().map(|p| (p, o.property_def(p).name.clone())).collect();
         sources
-            .map_concept(DatastoreMapping { concept: cid, datastore: table.into(), columns, key_columns: vec![key.into()] })
+            .map_concept(DatastoreMapping {
+                concept: cid,
+                datastore: table.into(),
+                columns,
+                key_columns: vec![key.into()],
+            })
             .expect("fresh");
     }
     for (aid, from, to) in [
@@ -49,7 +59,11 @@ fn clinic_ontology() -> (Ontology, SourceRegistry) {
         (p_city, "city_id", "city_id"),
     ] {
         sources
-            .map_association(JoinMapping { association: aid, from_columns: vec![from.into()], to_columns: vec![to.into()] })
+            .map_association(JoinMapping {
+                association: aid,
+                from_columns: vec![from.into()],
+                to_columns: vec![to.into()],
+            })
             .expect("fresh");
     }
     (o, sources)
@@ -133,10 +147,7 @@ fn clinic_catalog() -> Catalog {
 
 fn main() {
     let (ontology, sources) = clinic_ontology();
-    let config = QuarryConfig {
-        interpreter: InterpreterOptions { time_dimensions: true },
-        ..QuarryConfig::default()
-    };
+    let config = QuarryConfig { interpreter: InterpreterOptions { time_dimensions: true }, ..QuarryConfig::default() };
     let mut quarry = Quarry::with_config(ontology, sources, config);
 
     // The Elicitor understands the new domain immediately.
@@ -158,9 +169,18 @@ fn main() {
     quarry.add_requirement(requirement).expect("clinic requirement integrates");
 
     let (md, etl) = quarry.unified();
-    println!("\nunified design: {} fact(s), {} dimension(s), {} ETL ops", md.facts.len(), md.dimensions.len(), etl.op_count());
+    println!(
+        "\nunified design: {} fact(s), {} dimension(s), {} ETL ops",
+        md.facts.len(),
+        md.dimensions.len(),
+        etl.op_count()
+    );
     for d in &md.dimensions {
-        println!("  dimension {:<20} levels: {}", d.name, d.levels.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" → "));
+        println!(
+            "  dimension {:<20} levels: {}",
+            d.name,
+            d.levels.iter().map(|l| l.name.as_str()).collect::<Vec<_>>().join(" → ")
+        );
     }
 
     // Execute over the hand-built data.

@@ -61,7 +61,10 @@ fn main() {
     let mut naive_md_cost = 0.0;
     let mut naive_etl_cost = 0.0;
 
-    println!("{:<6} {:>10} {:>12} {:>12} {:>14} {:>8} {:>8}", "step", "md-cost", "naive-md", "etl-cost", "naive-etl", "reused", "added");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>14} {:>8} {:>8}",
+        "step", "md-cost", "naive-md", "etl-cost", "naive-etl", "reused", "added"
+    );
     for req in requirements {
         let partial = quarry.interpret(&req).expect("requirements are MD-compliant");
         naive_md_cost += md_model.cost(&partial.md);
@@ -82,7 +85,11 @@ fn main() {
     }
 
     let (md, etl) = quarry.unified();
-    println!("\nintegrated: {} facts, {} dimensions | naive union would hold 4 facts and 7+ dimensions", md.facts.len(), md.dimensions.len());
+    println!(
+        "\nintegrated: {} facts, {} dimensions | naive union would hold 4 facts and 7+ dimensions",
+        md.facts.len(),
+        md.dimensions.len()
+    );
     println!("integrated flow: {} ops", etl.op_count());
 
     // Change IR1: the analysts drop the Spain restriction.
@@ -98,11 +105,22 @@ fn main() {
     // Remove IR4 entirely.
     let update = quarry.remove_requirement("IR4").expect("IR4 exists");
     let (md, etl) = quarry.unified();
-    println!("after removing IR4: {} facts, {} dimensions, {} ops (md-cost {:.1})", md.facts.len(), md.dimensions.len(), etl.op_count(), update.md_cost);
+    println!(
+        "after removing IR4: {} facts, {} dimensions, {} ops (md-cost {:.1})",
+        md.facts.len(),
+        md.dimensions.len(),
+        etl.op_count(),
+        update.md_cost
+    );
     assert!(md.dimension("Customer").is_none(), "IR4's private dimension is pruned");
 
     // The surviving design still runs.
     let (engine, report) = quarry.run_etl(quarry_engine::tpch::generate(0.005, 7)).expect("flow executes");
-    println!("\nfinal design executed: {} tables populated, {} rows processed in {:?}", report.loaded.len(), report.rows_processed, report.total);
+    println!(
+        "\nfinal design executed: {} tables populated, {} rows processed in {:?}",
+        report.loaded.len(),
+        report.rows_processed,
+        report.total
+    );
     drop(engine);
 }

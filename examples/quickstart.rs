@@ -13,7 +13,11 @@ use quarry_formats::xrq::figure4_requirement;
 fn main() {
     // 1. A Quarry instance over the TPC-H domain ontology + source mappings.
     let mut quarry = Quarry::tpch();
-    println!("domain: {} concepts, {} associations", quarry.ontology().concept_count(), quarry.ontology().association_count());
+    println!(
+        "domain: {} concepts, {} associations",
+        quarry.ontology().concept_count(),
+        quarry.ontology().association_count()
+    );
 
     // 2. The Requirements Elicitor suggests analytical perspectives.
     let lineitem = quarry.ontology().concept_by_name("Lineitem").expect("TPC-H has Lineitem");

@@ -91,7 +91,12 @@ fn incremental_lifecycle_stays_consistent_over_many_requirements() {
     let mut quarry = Quarry::tpch();
     let mut specs = Vec::new();
     // A family of requirements over rotating dimensions and measures.
-    let dims = ["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT", "Customer_c_mktsegmentATRIBUT", "Orders_o_orderpriorityATRIBUT"];
+    let dims = [
+        "Part_p_nameATRIBUT",
+        "Supplier_s_nameATRIBUT",
+        "Customer_c_mktsegmentATRIBUT",
+        "Orders_o_orderpriorityATRIBUT",
+    ];
     let measures = [
         ("qty", "Lineitem_l_quantityATRIBUT"),
         ("gross", "Lineitem_l_extendedpriceATRIBUT"),

@@ -15,9 +15,17 @@ fn req(id: &str, measure: (&str, &str), dims: &[&str]) -> Requirement {
 
 fn family() -> Vec<Requirement> {
     vec![
-        req("IR1", ("revenue", "Lineitem_l_extendedpriceATRIBUT * (1 - Lineitem_l_discountATRIBUT)"), &["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT"]),
+        req(
+            "IR1",
+            ("revenue", "Lineitem_l_extendedpriceATRIBUT * (1 - Lineitem_l_discountATRIBUT)"),
+            &["Part_p_nameATRIBUT", "Supplier_s_nameATRIBUT"],
+        ),
         req("IR2", ("quantity", "Lineitem_l_quantityATRIBUT"), &["Part_p_nameATRIBUT"]),
-        req("IR3", ("netprofit", "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT"), &["Supplier_s_nameATRIBUT"]),
+        req(
+            "IR3",
+            ("netprofit", "Orders_o_totalpriceATRIBUT - Partsupp_ps_supplycostATRIBUT"),
+            &["Supplier_s_nameATRIBUT"],
+        ),
         req("IR4", ("balance", "Customer_c_acctbalATRIBUT"), &["Customer_c_mktsegmentATRIBUT", "Nation_n_nameATRIBUT"]),
     ]
 }
@@ -130,9 +138,7 @@ fn repository_versions_grow_with_every_step() {
         quarry.add_requirement(r).expect("integrates");
     }
     quarry.remove_requirement("IR1").expect("exists");
-    let history = quarry
-        .repository()
-        .history(quarry_repository::ArtifactKind::MdSchema, "unified");
+    let history = quarry.repository().history(quarry_repository::ArtifactKind::MdSchema, "unified");
     assert_eq!(history.len(), 5, "four additions + one removal");
     // The last version no longer carries IR1's measure (the merged fact's
     // *name* is sticky — it was named after the first head measure — but

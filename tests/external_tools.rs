@@ -139,23 +139,19 @@ fn external_design_executes_alongside_native_ones() {
 fn unsound_external_designs_are_rejected() {
     let mut quarry = Quarry::tpch();
     // A fact referencing a dimension that does not exist.
-    let bad_md = quarry_formats::xmd::parse(&EXTERNAL_XMD.replace("<dimension>Part</dimension>", "<dimension>Ghost</dimension>"))
-        .expect("parses");
+    let bad_md = quarry_formats::xmd::parse(
+        &EXTERNAL_XMD.replace("<dimension>Part</dimension>", "<dimension>Ghost</dimension>"),
+    )
+    .expect("parses");
     let etl = quarry_formats::xlm::parse(EXTERNAL_XLM).expect("valid");
-    assert!(matches!(
-        quarry.add_partial_design("IR-bad", bad_md, etl.clone()),
-        Err(QuarryError::Integrate(_))
-    ));
+    assert!(matches!(quarry.add_partial_design("IR-bad", bad_md, etl.clone()), Err(QuarryError::Integrate(_))));
     // A cyclic flow.
     let md = quarry_formats::xmd::parse(EXTERNAL_XMD).expect("valid");
     let mut cyclic = etl;
     let b = cyclic.id_by_name("AGG_qty").expect("present");
     let l = cyclic.id_by_name("LOADER_quantity").expect("present");
     cyclic.connect(l, b).expect("edge accepted structurally; the cycle surfaces at validation");
-    assert!(matches!(
-        quarry.add_partial_design("IR-cyc", md, cyclic),
-        Err(QuarryError::Integrate(_))
-    ));
+    assert!(matches!(quarry.add_partial_design("IR-cyc", md, cyclic), Err(QuarryError::Integrate(_))));
     assert!(quarry.requirement_ids().is_empty(), "failed imports leave no trace");
 }
 

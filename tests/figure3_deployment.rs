@@ -75,16 +75,11 @@ fn deployment_is_recorded_in_the_metadata_repository() {
     let quarry = figure3_quarry();
     quarry.deploy("postgres-pdi").expect("deploys");
     let repo = quarry.repository();
-    let stored = repo
-        .latest(quarry_repository::ArtifactKind::Deployment, "postgres-pdi/schema.sql")
-        .expect("recorded");
+    let stored = repo.latest(quarry_repository::ArtifactKind::Deployment, "postgres-pdi/schema.sql").expect("recorded");
     assert!(stored.content.contains("fact_table_revenue"));
     // Deploying twice versions the artifacts.
     quarry.deploy("postgres-pdi").expect("deploys again");
-    assert_eq!(
-        repo.history(quarry_repository::ArtifactKind::Deployment, "postgres-pdi/schema.sql").len(),
-        2
-    );
+    assert_eq!(repo.history(quarry_repository::ArtifactKind::Deployment, "postgres-pdi/schema.sql").len(), 2);
 }
 
 #[test]

@@ -40,8 +40,7 @@ fn unified_md_schema_holds_both_facts_over_conformed_dimensions() {
     // structural complexity the merged fact carries both measures — the
     // figure shows them as two facts, so verify both interpretations hold
     // the data: every measure present, dimensions conformed.
-    let measures: Vec<&str> =
-        md.facts.iter().flat_map(|f| f.measures.iter().map(|m| m.name.as_str())).collect();
+    let measures: Vec<&str> = md.facts.iter().flat_map(|f| f.measures.iter().map(|m| m.name.as_str())).collect();
     assert!(measures.contains(&"revenue"), "{measures:?}");
     assert!(measures.contains(&"netprofit"), "{measures:?}");
     assert_eq!(md.dimensions.len(), 2, "Partsupp and Orders are conformed, not duplicated");
@@ -95,12 +94,8 @@ fn consolidated_flow_is_cheaper_than_running_both_partials() {
     let q2 = Quarry::tpch();
     let p1 = q2.interpret(&revenue_requirement()).expect("valid");
     let p2 = q2.interpret(&netprofit_requirement()).expect("valid");
-    let separate =
-        model.cost(&p1.etl, stats).expect("validates") + model.cost(&p2.etl, stats).expect("validates");
-    assert!(
-        unified_cost < separate,
-        "integrated {unified_cost:.0} must beat separate {separate:.0}"
-    );
+    let separate = model.cost(&p1.etl, stats).expect("validates") + model.cost(&p2.etl, stats).expect("validates");
+    assert!(unified_cost < separate, "integrated {unified_cost:.0} must beat separate {separate:.0}");
 }
 
 #[test]

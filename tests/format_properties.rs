@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use quarry_etl::{parse_expr, AggSpec, ColType, Column, Flow, OpKind, Schema};
 use quarry_formats::{xlm, xmd, Aggregation, MeasureSpec, Requirement, Slicer};
-use quarry_md::{AggFn, Additivity, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure};
+use quarry_md::{Additivity, AggFn, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure};
 use quarry_repository::convert;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -148,37 +148,54 @@ fn xlm_roundtrip_on_generated_flows() {
         for with_union in [false, true] {
             let mut f = Flow::new(format!("gen_{joins}_{with_union}"));
             let schema = Schema::new(vec![Column::new("k", ColType::Integer), Column::new("v", ColType::Decimal)]);
-            let mut current = f
-                .add_op("DS0", OpKind::Datastore { datastore: "t0".into(), schema: schema.clone() })
-                .expect("fresh");
+            let mut current =
+                f.add_op("DS0", OpKind::Datastore { datastore: "t0".into(), schema: schema.clone() }).expect("fresh");
             for j in 0..joins {
                 let right_schema = Schema::new(vec![
                     Column::new(format!("k{j}"), ColType::Integer),
                     Column::new(format!("w{j}"), ColType::Text),
                 ]);
                 let right = f
-                    .add_op(format!("DS{}", j + 1), OpKind::Datastore { datastore: format!("t{}", j + 1), schema: right_schema })
+                    .add_op(
+                        format!("DS{}", j + 1),
+                        OpKind::Datastore { datastore: format!("t{}", j + 1), schema: right_schema },
+                    )
                     .expect("fresh");
                 let join = f
-                    .add_op(format!("J{j}"), OpKind::Join { kind: quarry_etl::JoinKind::Left, left_on: vec!["k".into()], right_on: vec![format!("k{j}")] })
+                    .add_op(
+                        format!("J{j}"),
+                        OpKind::Join {
+                            kind: quarry_etl::JoinKind::Left,
+                            left_on: vec!["k".into()],
+                            right_on: vec![format!("k{j}")],
+                        },
+                    )
                     .expect("fresh");
                 f.connect(current, join).expect("connects");
                 f.connect(right, join).expect("connects");
                 current = join;
             }
             if with_union {
-                let p1 = f.append(current, "P1", OpKind::Projection { columns: vec!["k".into(), "v".into()] }).expect("fresh");
-                let p2 = f.append(current, "P2", OpKind::Projection { columns: vec!["k".into(), "v".into()] }).expect("fresh");
+                let p1 = f
+                    .append(current, "P1", OpKind::Projection { columns: vec!["k".into(), "v".into()] })
+                    .expect("fresh");
+                let p2 = f
+                    .append(current, "P2", OpKind::Projection { columns: vec!["k".into(), "v".into()] })
+                    .expect("fresh");
                 let u = f.add_op("U", OpKind::Union).expect("fresh");
                 f.connect(p1, u).expect("connects");
                 f.connect(p2, u).expect("connects");
                 current = u;
             }
             let agg = f
-                .append(current, "AGG", OpKind::Aggregation {
-                    group_by: vec!["k".into()],
-                    aggregates: vec![AggSpec::new("AVERAGE", parse_expr("v").expect("valid"), "avg_v")],
-                })
+                .append(
+                    current,
+                    "AGG",
+                    OpKind::Aggregation {
+                        group_by: vec!["k".into()],
+                        aggregates: vec![AggSpec::new("AVERAGE", parse_expr("v").expect("valid"), "avg_v")],
+                    },
+                )
                 .expect("fresh");
             f.append(agg, "L", OpKind::Loader { table: "out".into(), key: vec!["k".into()] }).expect("fresh");
             f.stamp_requirement("IRg");

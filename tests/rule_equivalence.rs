@@ -34,11 +34,16 @@ fn arbitrary_flow(choices: &[usize]) -> Flow {
     let with_orders = choices[0].is_multiple_of(2);
     let mut current = li;
     if with_orders {
-        let o = f.add_op("O", OpKind::Datastore { datastore: "orders".into(), schema: orders_schema() }).expect("fresh");
+        let o =
+            f.add_op("O", OpKind::Datastore { datastore: "orders".into(), schema: orders_schema() }).expect("fresh");
         let j = f
             .add_op(
                 "J",
-                OpKind::Join { kind: JoinKind::Inner, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] },
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
             )
             .expect("fresh");
         f.connect(li, j).expect("connects");
@@ -59,10 +64,14 @@ fn arbitrary_flow(choices: &[usize]) -> Flow {
             }
             1 => {
                 current = f
-                    .append(current, format!("D{i}"), OpKind::Derivation {
-                        column: format!("d{i}"),
-                        expr: parse_expr("l_extendedprice * (1 - l_discount)").expect("valid"),
-                    })
+                    .append(
+                        current,
+                        format!("D{i}"),
+                        OpKind::Derivation {
+                            column: format!("d{i}"),
+                            expr: parse_expr("l_extendedprice * (1 - l_discount)").expect("valid"),
+                        },
+                    )
                     .expect("fresh");
             }
             _ => {
@@ -73,13 +82,17 @@ fn arbitrary_flow(choices: &[usize]) -> Flow {
         }
     }
     let agg = f
-        .append(current, "AGG", OpKind::Aggregation {
-            group_by: vec!["l_orderkey".into()],
-            aggregates: vec![
-                AggSpec::new("SUM", parse_expr("l_extendedprice").expect("valid"), "total"),
-                AggSpec::new("COUNT", parse_expr("1").expect("valid"), "n"),
-            ],
-        })
+        .append(
+            current,
+            "AGG",
+            OpKind::Aggregation {
+                group_by: vec!["l_orderkey".into()],
+                aggregates: vec![
+                    AggSpec::new("SUM", parse_expr("l_extendedprice").expect("valid"), "total"),
+                    AggSpec::new("COUNT", parse_expr("1").expect("valid"), "n"),
+                ],
+            },
+        )
         .expect("fresh");
     f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).expect("fresh");
     f
@@ -122,9 +135,6 @@ fn normalization_preserves_results_on_the_figure4_flow() {
     let mut e2 = Engine::new(catalog);
     e2.run(&normalized).expect("normalized runs");
     for table in ["fact_table_revenue", "dim_part", "dim_supplier"] {
-        assert_same_rows(
-            e1.catalog.get(table).expect("loaded"),
-            e2.catalog.get(table).expect("loaded"),
-        );
+        assert_same_rows(e1.catalog.get(table).expect("loaded"), e2.catalog.get(table).expect("loaded"));
     }
 }

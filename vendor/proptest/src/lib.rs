@@ -1,0 +1,788 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate vendors the
+//! slice of the proptest API the repository's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_recursive` /
+//! `boxed`, regex-literal string strategies (character-class × repetition
+//! subset), integer-range and tuple strategies, `Just`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::Index`, and
+//! the `proptest!` / `prop_compose!` / `prop_oneof!` / `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` representation (via the assertion message); minimization is the
+//!   developer's job.
+//! - **Deterministic seeding.** Each `proptest!` test derives its RNG seed
+//!   from the test's name, so runs are reproducible without a regression
+//!   file; `*.proptest-regressions` files are ignored.
+//! - Generation is depth-bounded rather than size-bounded: `prop_recursive`
+//!   interprets its first parameter as the maximum recursion depth and
+//!   ignores the size hints.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 RNG used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a stable hash of `label` (typically the test name), so a
+    /// given test re-runs the identical case sequence on every execution.
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy trait
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type. The single required method produces a
+/// value; combinators mirror proptest's names.
+pub trait Strategy: 'static {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { inner: self, reason: reason.into(), f }
+    }
+
+    /// Depth-bounded recursive strategy: `self` generates leaves and `branch`
+    /// lifts a strategy for depth-`d` values into one for depth-`d+1` values.
+    /// `_desired_size` / `_expected_branch_size` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive { leaf: self.boxed(), branch: Rc::new(move |inner| branch(inner).boxed()), depth }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_gen(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_gen(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinator types
+// ---------------------------------------------------------------------------
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 consecutive candidates", self.reason);
+    }
+}
+
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    branch: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        // Bias toward shallow trees the way proptest's size budget does:
+        // depth d with probability ~2^-d, capped at self.depth.
+        let mut depth = 0;
+        while depth < self.depth && rng.next_u64().is_multiple_of(2) {
+            depth += 1;
+        }
+        let mut strat = self.leaf.clone();
+        for _ in 0..depth {
+            strat = (self.branch)(strat);
+        }
+        strat.gen_value(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer ranges, bool, tuples, regex-literal strings
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-literal strategies: a subset of regex syntax — a sequence of
+/// character classes, each optionally followed by `{n}` or `{m,n}`. This is
+/// exactly the shape every pattern in the repository's tests uses.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char>;
+        if chars[i] == '[' {
+            let close = find_class_end(&chars, i);
+            alphabet = expand_class(&chars[i + 1..close]);
+            i = close + 1;
+        } else {
+            // Bare literal character.
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            alphabet = vec![c];
+            i += 1;
+        }
+        assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unterminated {} in pattern") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.parse().expect("bad repeat"), n.parse().expect("bad repeat")),
+                None => {
+                    let n: usize = body.parse().expect("bad repeat");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let len = lo + if hi > lo { rng.below(hi - lo + 1) } else { 0 };
+        for _ in 0..len {
+            out.push(alphabet[rng.below(alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn find_class_end(chars: &[char], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            ']' => return j,
+            _ => j += 1,
+        }
+    }
+    panic!("unterminated character class");
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = if body[i] == '\\' {
+            i += 1;
+            body[i]
+        } else {
+            body[i]
+        };
+        // `a-z` range, unless `-` is the final character (then literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let hi = body[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    out.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn gen_any(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn gen_any(rng: &mut TestRng) -> bool {
+        rng.next_u64().is_multiple_of(2)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn gen_any(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::gen_any(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// prop:: modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Accepted sizes for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        /// Exclusive upper bound.
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` one time in four, matching proptest's default weighting.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.gen_value(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn gen_any(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Mirror of proptest's `prop::` hierarchy for `prop::collection::vec` etc.
+pub mod prop {
+    pub use super::{collection, option, sample};
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Result of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it does not count as run.
+    Reject,
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Internal: records the case number so assertion failures can report it.
+pub fn set_current_case(n: u64) {
+    CURRENT_CASE.with(|c| c.set(n));
+}
+
+pub fn current_case() -> u64 {
+    CURRENT_CASE.with(|c| c.get())
+}
+
+/// Internal: formats the panic prefix for a failing case.
+pub fn failure_prefix() -> String {
+    format!("[proptest stub, case #{}] ", current_case())
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The test-definition macro. Each `fn` becomes a `#[test]` that runs
+/// `config.cases` generated cases with a name-seeded deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(20).saturating_add(1000),
+                        "too many rejected cases (prop_assume! filters out nearly everything)"
+                    );
+                    $crate::set_current_case(attempts as u64);
+                    $(let $pat = $crate::Strategy::gen_value(&($strategy), &mut rng);)+
+                    // The closure keeps `?` and early `return` inside $body
+                    // scoped to this one test case.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: $crate::TestCaseResult = (move || {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Builds a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)($($pat:pat in $strategy:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])* $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strategy,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "{}prop_assert failed: {}", $crate::failure_prefix(), stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, "{}{}", $crate::failure_prefix(), format!($($fmt)*));
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        assert_eq!(l, r, "{}prop_assert_eq failed", $crate::failure_prefix());
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        assert_eq!(l, r, "{}{}", $crate::failure_prefix(), format!($($fmt)*));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        assert_ne!(l, r, "{}prop_assert_ne failed", $crate::failure_prefix());
+    }};
+}
+
+/// Vetoes the current case; it is regenerated and does not count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_escapes() {
+        let mut rng = TestRng::deterministic("dash");
+        for _ in 0..200 {
+            let s = Strategy::gen_value(&"[A-Za-z0-9_.-]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'), "{s}");
+        }
+        let quoted = Strategy::gen_value(&"[a\"b]{4}", &mut rng);
+        assert!(quoted.chars().all(|c| "a\"b".contains(c)));
+    }
+
+    #[test]
+    fn printable_ascii_range_class() {
+        let mut rng = TestRng::deterministic("ascii");
+        for _ in 0..100 {
+            let s = Strategy::gen_value(&"[ -~]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections() {
+        let mut rng = TestRng::deterministic("mix");
+        let strat = (0usize..4, -10i64..10, any::<bool>());
+        for _ in 0..100 {
+            let (a, b, _c) = strat.gen_value(&mut rng);
+            assert!(a < 4 && (-10..10).contains(&b));
+        }
+        let v = prop::collection::vec(0usize..5, 3..8).gen_value(&mut rng);
+        assert!((3..8).contains(&v.len()));
+        let idx = any::<prop::sample::Index>().gen_value(&mut rng);
+        assert!(idx.index(7) < 7);
+    }
+
+    #[test]
+    fn oneof_map_filter_recursive() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = prop_oneof![(0i64..50).prop_map(Tree::Leaf), Just(Tree::Leaf(99))]
+            .prop_filter("non-negative", |t| matches!(t, Tree::Leaf(v) if *v >= 0))
+            .prop_recursive(3, 16, 4, |inner| prop::collection::vec(inner, 1..4).prop_map(Tree::Node));
+        let mut rng = TestRng::deterministic("tree");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.gen_value(&mut rng)));
+        }
+        assert!(max_depth >= 1, "recursion must sometimes branch");
+        assert!(max_depth <= 3, "depth bound respected");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            if flip {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0i64..10, b in 0i64..10) -> (i64, i64) {
+            (a.min(b), a.max(b))
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_apply_their_body(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+    }
+}
