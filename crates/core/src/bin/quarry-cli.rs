@@ -35,6 +35,8 @@ commands:
   diff                     structural changes of the last lifecycle step
   run <scale-factor>       execute the unified flow on generated TPC-H data
   query <file.xrq>         answer a requirement from the loaded warehouse
+  trace                    render the recorded lifecycle span tree
+  metrics                  print counters, histograms, and pool statistics
   json (on|off)            toggle JSON response encoding
   help                     this text
   quit                     exit";
@@ -140,6 +142,19 @@ fn dispatch(
                 }
             });
         }
+        "trace" => {
+            if *json {
+                ServiceRequest::GetTrace
+            } else {
+                let trace = quarry.trace();
+                return Some(if trace.is_empty() {
+                    "no spans recorded yet — run a lifecycle step first".to_string()
+                } else {
+                    trace.render()
+                });
+            }
+        }
+        "metrics" => ServiceRequest::GetMetrics,
         "suggest" => ServiceRequest::SuggestDimensions { focus: arg.to_string() },
         "add" | "change" => match std::fs::read_to_string(arg) {
             Ok(xrq) => {
@@ -189,6 +204,9 @@ fn render(response: ServiceResponse) -> String {
 
 fn main() {
     let mut quarry = Quarry::tpch();
+    // The console is a demo driver: always record spans so `trace` and
+    // `metrics` have something to show.
+    quarry.set_observability(true);
     let mut json = false;
     let mut engine: Option<quarry_engine::Engine> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -273,6 +291,16 @@ mod tests {
         let delta = run(&mut quarry, &mut json, "diff");
         assert!(delta.contains("+ "), "{delta}");
         assert!(run(&mut quarry, &mut json, "remove IR1").starts_with("ok: IR1"));
+        // Observability: before enabling, `trace` explains itself; after, it
+        // renders the span tree and `metrics` reports engine counters.
+        assert!(run(&mut quarry, &mut json, "trace").contains("no spans recorded"));
+        quarry.set_observability(true);
+        run(&mut quarry, &mut json, "run 0.001");
+        let tree = run(&mut quarry, &mut json, "trace");
+        assert!(tree.contains("execute (mode=serial"), "{tree}");
+        assert!(tree.contains("LOADER_fact_table_netprofit"), "{tree}");
+        let metrics = run(&mut quarry, &mut json, "metrics");
+        assert!(metrics.contains("engine.runs"), "{metrics}");
         // JSON mode.
         assert!(run(&mut quarry, &mut json, "json on").contains("on"));
         let listing = run(&mut quarry, &mut json, "list");

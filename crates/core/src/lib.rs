@@ -43,6 +43,8 @@ mod lifecycle;
 pub mod native;
 pub mod olap;
 pub mod service;
+pub mod tracedoc;
 
 pub use config::QuarryConfig;
 pub use lifecycle::{DesignUpdate, Quarry, QuarryError};
+pub use quarry_obs as obs;

@@ -12,11 +12,15 @@ use quarry_integrator::md::{integrate_md, MdIntegrationReport};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
 use quarry_md::{MdSchema, MdViolation};
+use quarry_obs::{Obs, Span, Trace};
 use quarry_ontology::mappings::SourceRegistry;
 use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, Repository};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Repository key under which the rolling lifecycle trace is versioned.
+pub(crate) const TRACE_KEY: &str = "session";
 
 /// Lifecycle failures.
 #[derive(Debug)]
@@ -120,6 +124,16 @@ pub struct DesignUpdate {
     pub warnings: Vec<MdViolation>,
 }
 
+/// Pre-step state captured so a rejected lifecycle step can be rolled back:
+/// live design, requirement set, and the requirement's traceability links.
+struct DesignSnapshot {
+    md: MdSchema,
+    etl: Flow,
+    requirements: BTreeMap<String, Requirement>,
+    /// `(kind, key)` pairs from [`Repository::links_for`].
+    links: Vec<(String, String)>,
+}
+
 /// The Quarry system: one instance manages one DW design lifecycle over one
 /// domain.
 pub struct Quarry {
@@ -132,6 +146,10 @@ pub struct Quarry {
     unified_md: MdSchema,
     unified_etl: Flow,
     requirements: BTreeMap<String, Requirement>,
+    /// Observability recorder: span trees per lifecycle step plus named
+    /// metrics. Disabled (and effectively free) unless switched on via
+    /// [`Quarry::set_observability`].
+    obs: Obs,
 }
 
 impl Quarry {
@@ -148,6 +166,8 @@ impl Quarry {
         repository.put_artifact(ArtifactKind::Ontology, "domain", &quarry_ontology::owlx::to_string(&ontology));
         let mut formats = FormatRegistry::with_builtins();
         formats.register_exporter(Box::new(SqlExporter));
+        let mut platforms = PlatformRegistry::with_builtins();
+        platforms.register(Box::new(crate::native::NativePlatform));
         Quarry {
             unified_md: MdSchema::new(config.design_name.clone()),
             unified_etl: Flow::new(config.design_name.clone()),
@@ -155,9 +175,10 @@ impl Quarry {
             sources,
             repository,
             formats,
-            platforms: PlatformRegistry::with_builtins(),
+            platforms,
             config,
             requirements: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -197,6 +218,23 @@ impl Quarry {
         &self.config
     }
 
+    /// The observability recorder. Off by default; callers can also bump
+    /// their own named counters through it.
+    pub fn observability(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Turns span/metric recording on or off. When off, every instrumented
+    /// call site is a single relaxed atomic load.
+    pub fn set_observability(&self, on: bool) {
+        self.obs.set_enabled(on);
+    }
+
+    /// Snapshot of the lifecycle span trees recorded so far.
+    pub fn trace(&self) -> Trace {
+        self.obs.trace()
+    }
+
     /// The Requirements Elicitor over this instance's ontology.
     pub fn elicitor(&self) -> Elicitor<'_> {
         Elicitor::new(&self.ontology)
@@ -231,12 +269,32 @@ impl Quarry {
     }
 
     /// Adds a requirement: interpret → store partials → integrate → validate
-    /// → store unified artifacts.
+    /// → store unified artifacts. The whole step runs inside an
+    /// `add_requirement` span with one child span per phase; the completed
+    /// trace is versioned in the repository.
     pub fn add_requirement(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
         if self.requirements.contains_key(&req.id) {
             return Err(QuarryError::DuplicateRequirement(req.id.clone()));
         }
-        let partial = self.interpret(&req)?;
+        let step = self.obs.span("add_requirement");
+        step.attr("requirement", req.id.as_str());
+        let result = self.add_requirement_phases(req);
+        if let Ok(update) = &result {
+            step.attr("md_cost", update.md_cost);
+            step.attr("etl_cost", update.etl_cost);
+        }
+        self.finish_step(step, &result);
+        result
+    }
+
+    fn add_requirement_phases(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
+        let partial = {
+            let phase = self.obs.span("interpret");
+            let partial = self.interpret(&req)?;
+            phase.attr("md_elements", partial.md.size().0 + partial.md.size().1);
+            phase.attr("etl_ops", partial.etl.op_count());
+            partial
+        };
 
         // Persist the requirement and its partial designs.
         self.repository.put_artifact(ArtifactKind::Requirement, &req.id, &req.to_string_pretty());
@@ -253,22 +311,45 @@ impl Quarry {
         self.repository.link_requirement(&req.id, ArtifactKind::MdSchema, &format!("partial-{}", req.id));
         self.repository.link_requirement(&req.id, ArtifactKind::EtlFlow, &format!("partial-{}", req.id));
 
-        // Integrate.
-        let md_result = integrate_md(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
-        let etl_result = integrate_etl(
-            &self.unified_etl,
-            &partial.etl,
-            self.config.etl_cost.as_ref(),
-            &self.config.stats,
-            self.config.etl_options,
-        )?;
+        // Integrate, recording the quality-factor deltas (structural design
+        // complexity and estimated ETL execution time) on the phase spans.
+        let md_result = {
+            let phase = self.obs.span("md_integrate");
+            let before = self.config.md_cost.cost(&self.unified_md);
+            let result = integrate_md(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
+            phase.attr("cost_before", before);
+            phase.attr("cost_after", result.report.cost);
+            phase.attr("cost_delta", result.report.cost - before);
+            result
+        };
+        let etl_result = {
+            let phase = self.obs.span("etl_integrate");
+            let before = self.config.etl_cost.cost(&self.unified_etl, &self.config.stats).unwrap_or_default();
+            let result = integrate_etl(
+                &self.unified_etl,
+                &partial.etl,
+                self.config.etl_cost.as_ref(),
+                &self.config.stats,
+                self.config.etl_options,
+            )?;
+            phase.attr("cost_before", before);
+            phase.attr("cost_after", result.report.cost);
+            phase.attr("cost_delta", result.report.cost - before);
+            phase.attr("reused_ops", result.report.reused_ops);
+            result
+        };
 
         self.unified_md = md_result.schema.clone();
         self.unified_etl = etl_result.flow.clone();
         self.requirements.insert(req.id.clone(), req.clone());
         self.persist_unified();
 
-        let warnings = self.unified_md.validate();
+        let warnings = {
+            let phase = self.obs.span("validate");
+            let warnings = self.unified_md.validate();
+            phase.attr("warnings", warnings.len());
+            warnings
+        };
         Ok(DesignUpdate {
             requirement_id: req.id,
             md_cost: md_result.report.cost,
@@ -287,12 +368,25 @@ impl Quarry {
     pub fn add_partial_design(
         &mut self,
         requirement_id: &str,
-        mut md: MdSchema,
-        mut etl: Flow,
+        md: MdSchema,
+        etl: Flow,
     ) -> Result<DesignUpdate, QuarryError> {
         if self.requirements.contains_key(requirement_id) {
             return Err(QuarryError::DuplicateRequirement(requirement_id.to_string()));
         }
+        let step = self.obs.span("add_partial_design");
+        step.attr("requirement", requirement_id);
+        let result = self.add_partial_design_phases(requirement_id, md, etl);
+        self.finish_step(step, &result);
+        result
+    }
+
+    fn add_partial_design_phases(
+        &mut self,
+        requirement_id: &str,
+        mut md: MdSchema,
+        mut etl: Flow,
+    ) -> Result<DesignUpdate, QuarryError> {
         // Trust but verify: external partials must be sound.
         let violations = md.validate();
         if violations.iter().any(|v| v.kind.is_error()) {
@@ -343,25 +437,48 @@ impl Quarry {
     }
 
     /// Removes a requirement: every design element serving only it is
-    /// pruned, then the shrunken design is re-validated and persisted.
+    /// pruned, then the shrunken design is re-validated and persisted. The
+    /// step is transactional: if the pruned design fails validation, the
+    /// previous unified design (including traceability links) is restored.
     pub fn remove_requirement(&mut self, id: &str) -> Result<DesignUpdate, QuarryError> {
-        if self.requirements.remove(id).is_none() {
+        if !self.requirements.contains_key(id) {
             return Err(QuarryError::UnknownRequirement(id.to_string()));
         }
-        self.unified_md.retract_requirement(id);
-        self.unified_etl.retract_requirement(id);
-        self.repository.unlink_requirement(id);
+        let step = self.obs.span("remove_requirement");
+        step.attr("requirement", id);
+        let result = self.remove_requirement_phases(id);
+        if result.is_err() {
+            step.attr("rolled_back", 1i64);
+        }
+        self.finish_step(step, &result);
+        result
+    }
 
+    fn remove_requirement_phases(&mut self, id: &str) -> Result<DesignUpdate, QuarryError> {
+        let snapshot = self.snapshot(id);
+        self.requirements.remove(id);
+        {
+            let _phase = self.obs.span("retract");
+            self.unified_md.retract_requirement(id);
+            self.unified_etl.retract_requirement(id);
+            self.repository.unlink_requirement(id);
+        }
+
+        let phase = self.obs.span("validate");
         let violations = self.unified_md.validate();
+        phase.attr("warnings", violations.len());
+        drop(phase);
         if violations.iter().any(|v| v.kind.is_error()) {
+            self.restore(snapshot, id);
             return Err(QuarryError::Integrate(IntegrateError::InvalidResult(
                 violations.iter().map(ToString::to_string).collect(),
             )));
         }
         if self.unified_etl.op_count() > 0 {
-            self.unified_etl
-                .validate()
-                .map_err(|e| QuarryError::Integrate(IntegrateError::InvalidResult(vec![e.to_string()])))?;
+            if let Err(e) = self.unified_etl.validate() {
+                self.restore(snapshot, id);
+                return Err(QuarryError::Integrate(IntegrateError::InvalidResult(vec![e.to_string()])));
+            }
         }
         self.persist_unified();
         Ok(DesignUpdate {
@@ -374,13 +491,75 @@ impl Quarry {
     }
 
     /// Changes a requirement: retract the old version, integrate the new one
-    /// (same id).
+    /// (same id). Transactional: if the replacement is rejected at any phase
+    /// (interpretation, integration, validation), the pre-change design —
+    /// unified MD schema, unified ETL flow, requirement set, and traceability
+    /// links — is restored, so a failed change leaves no partial state.
     pub fn change_requirement(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
         if !self.requirements.contains_key(&req.id) {
             return Err(QuarryError::UnknownRequirement(req.id.clone()));
         }
-        self.remove_requirement(&req.id.clone())?;
-        self.add_requirement(req)
+        let id = req.id.clone();
+        let step = self.obs.span("change_requirement");
+        step.attr("requirement", id.as_str());
+        let snapshot = self.snapshot(&id);
+        let result = self.remove_requirement(&id).and_then(|_| self.add_requirement(req));
+        if result.is_err() {
+            self.restore(snapshot, &id);
+            step.attr("rolled_back", 1i64);
+        }
+        self.finish_step(step, &result);
+        result
+    }
+
+    /// Captures everything a failed lifecycle step must roll back: the live
+    /// design state plus the requirement's traceability links. Repository
+    /// artifact *versions* are deliberately not rolled back — the store is
+    /// append-only history, and a rejected attempt is part of that history.
+    fn snapshot(&self, id: &str) -> DesignSnapshot {
+        DesignSnapshot {
+            md: self.unified_md.clone(),
+            etl: self.unified_etl.clone(),
+            requirements: self.requirements.clone(),
+            links: self.repository.links_for(id),
+        }
+    }
+
+    fn restore(&mut self, snapshot: DesignSnapshot, id: &str) {
+        self.unified_md = snapshot.md;
+        self.unified_etl = snapshot.etl;
+        self.requirements = snapshot.requirements;
+        self.repository.unlink_requirement(id);
+        for (kind, key) in &snapshot.links {
+            if let Some(kind) = ArtifactKind::parse(kind) {
+                self.repository.link_requirement(id, kind, key);
+            }
+        }
+        self.persist_unified();
+    }
+
+    /// Closes a lifecycle-step span (tagging it with the error, if any) and
+    /// versions the accumulated trace in the repository.
+    fn finish_step<T>(&self, step: Span, result: &Result<T, QuarryError>) {
+        if let Err(e) = result {
+            step.attr("error", e.to_string());
+        }
+        drop(step);
+        self.persist_trace();
+    }
+
+    /// Persists the current trace as a versioned repository document under
+    /// [`TRACE_KEY`] — one version per completed lifecycle step.
+    fn persist_trace(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let trace = self.obs.trace();
+        if trace.is_empty() {
+            return;
+        }
+        let doc = crate::tracedoc::trace_to_json(&trace);
+        self.repository.put_artifact(ArtifactKind::Trace, TRACE_KEY, &doc.to_pretty_string());
     }
 
     fn persist_unified(&self) {
@@ -401,29 +580,77 @@ impl Quarry {
     /// Generates deployment artifacts for a registered platform and records
     /// them in the repository.
     pub fn deploy(&self, platform: &str) -> Result<DeploymentArtifacts, QuarryError> {
-        let artifacts = self.platforms.deploy(platform, &self.unified_md, &self.unified_etl)?;
-        for (name, content) in &artifacts.files {
-            self.repository.put_artifact(ArtifactKind::Deployment, &format!("{platform}/{name}"), content);
-        }
-        Ok(artifacts)
+        let step = self.obs.span("deploy");
+        step.attr("platform", platform);
+        let result =
+            self.platforms.deploy(platform, &self.unified_md, &self.unified_etl).map_err(QuarryError::Deploy).inspect(
+                |artifacts| {
+                    for (name, content) in &artifacts.files {
+                        self.repository.put_artifact(ArtifactKind::Deployment, &format!("{platform}/{name}"), content);
+                    }
+                    step.attr("files", artifacts.files.len());
+                    step.attr("bytes", artifacts.files.iter().map(|(_, c)| c.len()).sum::<usize>());
+                },
+            );
+        self.finish_step(step, &result);
+        result
     }
 
     /// Runs the unified ETL flow on the embedded engine over `catalog`,
     /// returning the populated engine and the run report. This is the
     /// "native" execution platform.
     pub fn run_etl(&self, catalog: Catalog) -> Result<(Engine, RunReport), QuarryError> {
-        let mut engine = crate::native::deploy(&self.unified_md, catalog);
-        let report = engine.run(&self.unified_etl)?;
-        Ok((engine, report))
+        self.run_etl_impl(catalog, false)
     }
 
     /// Like [`Quarry::run_etl`] but with inter-operator parallelism layered
     /// on the engine's morsel parallelism: operations whose inputs are ready
     /// execute concurrently on the shared worker pool. Results are identical.
     pub fn run_etl_parallel(&self, catalog: Catalog) -> Result<(Engine, RunReport), QuarryError> {
+        self.run_etl_impl(catalog, true)
+    }
+
+    fn run_etl_impl(&self, catalog: Catalog, parallel: bool) -> Result<(Engine, RunReport), QuarryError> {
+        let step = self.obs.span("execute");
+        step.attr("mode", if parallel { "parallel" } else { "serial" });
         let mut engine = crate::native::deploy(&self.unified_md, catalog);
-        let report = engine.run_parallel(&self.unified_etl)?;
-        Ok((engine, report))
+        let run = if parallel { engine.run_parallel(&self.unified_etl) } else { engine.run(&self.unified_etl) };
+        let result = match run {
+            Ok(report) => {
+                self.record_run(&step, &report);
+                Ok((engine, report))
+            }
+            Err(e) => Err(QuarryError::Engine(e)),
+        };
+        self.finish_step(step, &result);
+        result
+    }
+
+    /// Lifts the engine's per-operator timings and row counts out of the
+    /// [`RunReport`] into the execute span (one child per operator) and the
+    /// metrics registry.
+    fn record_run(&self, step: &Span, report: &RunReport) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        step.attr("ops", report.timings.len());
+        step.attr("rows_processed", report.rows_processed);
+        step.attr("total_us", report.total.as_micros() as i64);
+        for t in &report.timings {
+            self.obs.record_span(
+                &t.op,
+                t.elapsed,
+                vec![
+                    ("kind".into(), quarry_obs::AttrValue::Str(t.kind.to_string())),
+                    ("rows_in".into(), quarry_obs::AttrValue::Int(t.rows_in as i64)),
+                    ("rows_out".into(), quarry_obs::AttrValue::Int(t.rows_out as i64)),
+                ],
+            );
+            self.obs.observe("engine.op_seconds", t.elapsed.as_secs_f64());
+        }
+        self.obs.add("engine.runs", 1);
+        self.obs.add("engine.ops", report.timings.len() as u64);
+        self.obs.add("engine.rows", report.rows_processed as u64);
     }
 
     /// [`Quarry::run_etl_parallel`] pinned to a specific worker count
@@ -535,6 +762,47 @@ mod tests {
             "slicer selection must disappear after the change"
         );
         assert_eq!(q.requirement_ids(), ["IR1"]);
+    }
+
+    #[test]
+    fn failed_change_rolls_back_to_the_exact_previous_design() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+        let md_before = quarry_formats::xmd::to_string(q.unified().0);
+        let etl_before = quarry_formats::xlm::to_string(q.unified().1);
+        let req_before = q.requirement("IR2").unwrap().clone();
+        let links_before = q.repository().links_for("IR2");
+
+        // The replacement keeps the id but references a non-existent source
+        // attribute, so interpretation rejects it mid-change (after the old
+        // version has already been retracted internally).
+        let mut broken = Requirement::new("IR2");
+        broken.measures.push(MeasureSpec { id: "m".into(), function: "Ghost_xATRIBUT".into() });
+        broken.dimensions.push("Part_p_nameATRIBUT".into());
+        assert!(matches!(q.change_requirement(broken), Err(QuarryError::Interpret(_))));
+
+        // Bit-identical design state: same serialized artifacts, same
+        // requirement set, same traceability links.
+        assert_eq!(quarry_formats::xmd::to_string(q.unified().0), md_before);
+        assert_eq!(quarry_formats::xlm::to_string(q.unified().1), etl_before);
+        assert_eq!(q.requirement_ids(), ["IR1", "IR2"]);
+        assert_eq!(*q.requirement("IR2").unwrap(), req_before);
+        assert_eq!(q.repository().links_for("IR2"), links_before);
+        // The restored design still validates and deploys.
+        q.deploy("postgres-pdi").unwrap();
+    }
+
+    #[test]
+    fn failed_change_restores_the_persisted_unified_artifacts() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let mut broken = figure4_requirement();
+        broken.measures[0].function = "Ghost_xATRIBUT".into();
+        assert!(q.change_requirement(broken).is_err());
+        // The latest persisted unified schema matches the live (restored) one.
+        let stored = q.repository().latest(ArtifactKind::MdSchema, "unified").unwrap();
+        assert_eq!(stored.content, quarry_formats::xmd::to_string(q.unified().0));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! what makes the demo's *measured* claims (reduced overall execution time
 //! of integrated flows, §3) reproducible in-process.
 
+use quarry_deployer::{DeployError, DeploymentArtifacts, ExecutionPlatform};
 use quarry_engine::{Catalog, Engine};
+use quarry_etl::Flow;
 use quarry_md::MdSchema;
 
 /// Creates an engine over the source catalog. Target tables are *not*
@@ -18,9 +20,52 @@ pub fn deploy(_md: &MdSchema, catalog: Catalog) -> Engine {
     Engine::new(catalog)
 }
 
+/// The native platform as a registry plug-in: `deploy("native")` validates
+/// the unified design exactly like an external generator would and emits a
+/// run manifest describing what [`Quarry::run_etl`](crate::Quarry::run_etl)
+/// will execute, so the deployment step is observable and versioned in the
+/// repository even when no external engine is involved.
+pub struct NativePlatform;
+
+impl ExecutionPlatform for NativePlatform {
+    fn name(&self) -> &str {
+        "native"
+    }
+
+    fn deploy(&self, md: &MdSchema, etl: &Flow) -> Result<DeploymentArtifacts, DeployError> {
+        let violations = md.validate();
+        if violations.iter().any(|v| v.kind.is_error()) {
+            return Err(DeployError::InvalidDesign(
+                violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+            ));
+        }
+        etl.validate().map_err(|e| DeployError::InvalidDesign(e.to_string()))?;
+        let mut manifest = String::new();
+        manifest.push_str(&format!("design: {}\n", md.name));
+        manifest.push_str(&format!("operations: {}\n", etl.op_count()));
+        manifest.push_str("targets:\n");
+        for op in etl.ops() {
+            if let quarry_etl::OpKind::Loader { table, key } = &op.kind {
+                manifest.push_str(&format!("  - {} (key: {})\n", table, key.join(", ")));
+            }
+        }
+        Ok(DeploymentArtifacts { files: vec![("run-manifest.txt".to_string(), manifest)] })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn native_platform_deploys_a_run_manifest() {
+        let mut q = crate::Quarry::tpch();
+        q.add_requirement(quarry_formats::xrq::figure4_requirement()).unwrap();
+        let artifacts = q.deploy("native").unwrap();
+        let manifest = artifacts.file("run-manifest.txt").unwrap();
+        assert!(manifest.contains("design: unified"), "{manifest}");
+        assert!(manifest.contains("fact_table_revenue"), "{manifest}");
+    }
 
     #[test]
     fn deploy_wraps_the_catalog() {

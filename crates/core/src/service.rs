@@ -30,6 +30,12 @@ pub enum ServiceRequest {
     Deploy { platform: String },
     /// GET /elicitor/suggestions?focus={concept}
     SuggestDimensions { focus: String },
+    /// GET /observability/trace — the recorded lifecycle span trees as a
+    /// JSON document (see [`crate::tracedoc`]).
+    GetTrace,
+    /// GET /observability/metrics — counters, histograms, and engine pool
+    /// statistics as a JSON document.
+    GetMetrics,
 }
 
 /// A response from the Quarry service.
@@ -148,6 +154,12 @@ fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceRes
             let artifacts = quarry.deploy(&platform)?;
             Ok(ServiceResponse::Artifacts(artifacts.files))
         }
+        ServiceRequest::GetTrace => {
+            Ok(ServiceResponse::Document(crate::tracedoc::trace_to_json(&quarry.trace()).to_pretty_string()))
+        }
+        ServiceRequest::GetMetrics => {
+            Ok(ServiceResponse::Document(crate::tracedoc::metrics_to_json(quarry.observability()).to_pretty_string()))
+        }
         ServiceRequest::SuggestDimensions { focus } => {
             let concept = quarry
                 .ontology()
@@ -240,6 +252,82 @@ mod tests {
         }
         match handle(&mut q, ServiceRequest::Deploy { platform: "hadoop".into() }) {
             ServiceResponse::Error(e) => assert!(e.contains("hadoop")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_responses_encode_as_json_even_with_special_characters() {
+        // Error text flows into a JSON string; quotes, backslashes, newlines,
+        // and control characters in the message must not break the encoding.
+        for message in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "multi\nline\tmessage",
+            "control \u{1} char and unicode caf\u{e9}",
+        ] {
+            let json = ServiceResponse::Error(message.to_string()).to_json();
+            assert_eq!(json.path("status").and_then(|v| v.as_str()), Some("error"));
+            let text = json.to_pretty_string();
+            let parsed = quarry_repository::Json::parse(&text).expect("well-formed");
+            assert_eq!(parsed.path("message").and_then(|v| v.as_str()), Some(message), "round-trip of {message:?}");
+        }
+    }
+
+    #[test]
+    fn deploy_to_unknown_platform_is_a_structured_error() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let resp = handle(&mut q, ServiceRequest::Deploy { platform: "teradata".into() });
+        let json = resp.to_json();
+        assert_eq!(json.path("status").and_then(|v| v.as_str()), Some("error"));
+        let msg = json.path("message").and_then(|v| v.as_str()).unwrap();
+        assert!(msg.contains("teradata"), "{msg}");
+        // The failed deploy must not disturb the design.
+        assert_eq!(q.requirement_ids(), ["IR1"]);
+    }
+
+    #[test]
+    fn malformed_xrq_bodies_never_panic() {
+        let mut q = Quarry::tpch();
+        for body in [
+            "",
+            "not xml at all",
+            "<xrq:cube",
+            "<xrq:cube xmlns:xrq=\"urn:quarry:xrq\"></wrong-close>",
+            "<a><b/></a>",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            for request in [
+                ServiceRequest::AddRequirement { xrq: body.to_string() },
+                ServiceRequest::ChangeRequirement { xrq: body.to_string() },
+            ] {
+                match handle(&mut q, request) {
+                    ServiceResponse::Error(e) => assert!(!e.is_empty(), "error for {body:?} must carry a message"),
+                    other => panic!("malformed body {body:?} must produce Error, got {other:?}"),
+                }
+            }
+        }
+        assert!(q.requirement_ids().is_empty(), "no malformed body may mutate the design");
+    }
+
+    #[test]
+    fn trace_and_metrics_endpoints_return_documents() {
+        let mut q = Quarry::tpch();
+        q.set_observability(true);
+        let xrq = figure4_requirement().to_string_pretty();
+        handle(&mut q, ServiceRequest::AddRequirement { xrq });
+        let doc = match handle(&mut q, ServiceRequest::GetTrace) {
+            ServiceResponse::Document(doc) => doc,
+            other => panic!("{other:?}"),
+        };
+        let json = quarry_repository::Json::parse(&doc).expect("trace is JSON");
+        assert_eq!(json.path("spans.0.name").and_then(|v| v.as_str()), Some("add_requirement"));
+        match handle(&mut q, ServiceRequest::GetMetrics) {
+            ServiceResponse::Document(doc) => {
+                let json = quarry_repository::Json::parse(&doc).expect("metrics are JSON");
+                assert!(json.path("pool.regions").and_then(|v| v.as_f64()).is_some());
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -83,6 +83,8 @@ impl From<FlowError> for EngineError {
 pub struct OpTiming {
     pub op: String,
     pub kind: &'static str,
+    /// Total rows across the operation's inputs (0 for datastores).
+    pub rows_in: usize,
     pub rows_out: usize,
     pub elapsed: Duration,
 }
@@ -132,6 +134,7 @@ impl Engine {
         for id in order {
             let op = flow.op(id);
             let inputs: Vec<Arc<Relation>> = flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
+            let rows_in = inputs.iter().map(|r| r.len()).sum();
             let t0 = Instant::now();
             let out: Arc<Relation> = match &op.kind {
                 OpKind::Loader { table, key } => {
@@ -145,6 +148,7 @@ impl Engine {
             report.timings.push(OpTiming {
                 op: op.name.clone(),
                 kind: op.kind.type_name(),
+                rows_in,
                 rows_out: out.len(),
                 elapsed,
             });
@@ -197,13 +201,14 @@ impl Engine {
                 let out = execute_pure(catalog, &op.name, &op.kind, inputs)?;
                 Ok((out, t0.elapsed()))
             });
-            for ((id, _), outcome) in jobs.iter().zip(outcomes) {
+            for ((id, inputs), outcome) in jobs.iter().zip(outcomes) {
                 let (out, elapsed) = outcome?;
                 let op = flow.op(*id);
                 report.rows_processed += out.len();
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
                     kind: op.kind.type_name(),
+                    rows_in: inputs.iter().map(|r| r.len()).sum(),
                     rows_out: out.len(),
                     elapsed,
                 });
@@ -214,6 +219,7 @@ impl Engine {
                 let op = flow.op(id);
                 let inputs: Vec<Arc<Relation>> =
                     flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
+                let rows_in = inputs.iter().map(|r| r.len()).sum();
                 let t0 = Instant::now();
                 let out: Arc<Relation> = match &op.kind {
                     OpKind::Loader { table, key } => {
@@ -226,6 +232,7 @@ impl Engine {
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
                     kind: op.kind.type_name(),
+                    rows_in,
                     rows_out: out.len(),
                     elapsed: t0.elapsed(),
                 });

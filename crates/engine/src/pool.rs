@@ -9,13 +9,41 @@
 //! token, so nesting cannot deadlock, and the total number of live worker
 //! threads never exceeds `threads()`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Explicit thread-count override; 0 means "not set".
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
 
 /// Helper threads currently checked out of the budget.
 static IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+// Lifetime instrumentation counters (process-wide, monotonic). Three relaxed
+// adds per [`run_indexed`] region — cheap enough to stay always-on, so the
+// observability layer can snapshot pool behaviour without any hook wiring.
+static REGIONS: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static HELPERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the pool's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `run_indexed` regions entered.
+    pub regions: u64,
+    /// Total jobs executed across all regions.
+    pub jobs: u64,
+    /// Helper threads spawned (a region that finds the budget empty spawns
+    /// none and runs inline).
+    pub helpers_spawned: u64,
+}
+
+/// Lifetime pool counters since process start.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        regions: REGIONS.load(Ordering::Relaxed),
+        jobs: JOBS.load(Ordering::Relaxed),
+        helpers_spawned: HELPERS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
 
 /// The target degree of parallelism: the configured override if set (see
 /// [`set_threads`]), else the `QUARRY_THREADS` environment variable, else
@@ -75,10 +103,13 @@ where
     if jobs == 0 {
         return Vec::new();
     }
+    REGIONS.fetch_add(1, Ordering::Relaxed);
+    JOBS.fetch_add(jobs as u64, Ordering::Relaxed);
     let helpers = acquire(jobs - 1);
     if helpers == 0 {
         return (0..jobs).map(f).collect();
     }
+    HELPERS_SPAWNED.fetch_add(helpers as u64, Ordering::Relaxed);
     let next = AtomicUsize::new(0);
     let run_worker = || {
         let mut done: Vec<(usize, T)> = Vec::new();
@@ -112,6 +143,17 @@ mod tests {
     fn results_come_back_in_index_order() {
         let out = run_indexed(100, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_regions_and_jobs() {
+        let before = stats();
+        run_indexed(10, |i| i);
+        run_indexed(0, |i| i); // empty regions are not counted
+        let after = stats();
+        assert_eq!(after.regions, before.regions + 1);
+        assert_eq!(after.jobs, before.jobs + 10);
+        assert!(after.helpers_spawned >= before.helpers_spawned);
     }
 
     #[test]

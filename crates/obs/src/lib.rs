@@ -1,0 +1,519 @@
+//! Observability substrate for Quarry: tracing spans and named metrics.
+//!
+//! The paper's only named quality factors — *structural design complexity*
+//! and *overall ETL execution time* — are exactly the signals the system
+//! should expose continuously. This crate is the substrate: an [`Obs`]
+//! handle records a tree of timed spans (one per lifecycle phase, one per
+//! engine operator) plus named counters and histograms, all behind a single
+//! enabled flag.
+//!
+//! Design constraints, in order:
+//!
+//! - **std-only** — no dependencies, so every crate in the workspace can
+//!   carry a handle without pulling anything in;
+//! - **zero-cost when disabled** — every recording entry point begins with
+//!   one relaxed atomic load and returns before any allocation or lock;
+//! - **thread-safe** — a handle is `Clone + Send + Sync`; metrics may be
+//!   bumped from engine worker threads while the lifecycle thread owns the
+//!   span stack.
+//!
+//! Spans nest lexically: [`Obs::span`] returns a guard, dropping it closes
+//! the span and attaches it to the enclosing one (or to the trace roots).
+//! Pre-measured work (e.g. the engine's per-operator timings) is attached
+//! with [`Obs::record_span`] without re-timing it.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Span tree model
+// ---------------------------------------------------------------------------
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One completed span: a named, timed piece of work with attributes and
+/// child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: String,
+    /// Offset from the start of the trace.
+    pub start: Duration,
+    pub elapsed: Duration,
+    pub attrs: Vec<(String, AttrValue)>,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Depth-first search for a span by name, including `self`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Number of spans in this subtree, including `self`.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        if !self.attrs.is_empty() {
+            out.push_str(" (");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{k}={v}"));
+            }
+            out.push(')');
+        }
+        out.push_str(&format!("  {:?}\n", self.elapsed));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// A completed trace: the forest of root spans recorded so far, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    pub spans: Vec<SpanNode>,
+}
+
+impl Trace {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Depth-first search across all roots.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    pub fn span_count(&self) -> usize {
+        self.spans.iter().map(SpanNode::span_count).sum()
+    }
+
+    /// Renders the span forest as an indented text tree with per-span
+    /// timings — what `quarry-cli trace` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            s.render_into(&mut out, 0);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics model
+// ---------------------------------------------------------------------------
+
+/// A named metric snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Distribution summary of observed values.
+    Histogram { count: u64, sum: f64, min: f64, max: f64 },
+}
+
+impl Metric {
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            Metric::Counter(n) => Some(*n),
+            Metric::Histogram { .. } => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SpanState {
+    /// Trace epoch: the instant the first span of the trace opened.
+    epoch: Option<Instant>,
+    /// Open spans, outermost first. `Span` guards index into this.
+    stack: Vec<Frame>,
+    /// Completed root spans.
+    roots: Vec<SpanNode>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    started_at: Instant,
+    start: Duration,
+    attrs: Vec<(String, AttrValue)>,
+    children: Vec<SpanNode>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: AtomicBool,
+    spans: Mutex<SpanState>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A cheaply cloneable observability handle. All clones share one recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Arc<Inner>,
+}
+
+impl Obs {
+    pub fn new(enabled: bool) -> Self {
+        let obs = Obs::default();
+        obs.set_enabled(enabled);
+        obs
+    }
+
+    /// A handle that records nothing until [`Obs::set_enabled`] turns it on.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Opens a span. The returned guard closes it on drop; guards must be
+    /// dropped in reverse open order (lexical nesting). When disabled this
+    /// is one atomic load and no work.
+    #[must_use = "dropping the guard immediately records an empty span"]
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span { obs: None, depth: 0 };
+        }
+        let mut state = self.inner.spans.lock().expect("span lock");
+        let now = Instant::now();
+        let epoch = *state.epoch.get_or_insert(now);
+        let depth = state.stack.len();
+        state.stack.push(Frame {
+            name: name.to_string(),
+            started_at: now,
+            start: now.duration_since(epoch),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+        Span { obs: Some(self.clone()), depth }
+    }
+
+    /// Attaches a pre-measured span (e.g. an engine operator timing) as a
+    /// child of the innermost open span, or as a trace root if none is open.
+    pub fn record_span(&self, name: &str, elapsed: Duration, attrs: Vec<(String, AttrValue)>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.inner.spans.lock().expect("span lock");
+        let now = Instant::now();
+        let epoch = *state.epoch.get_or_insert(now);
+        let start = now.duration_since(epoch).saturating_sub(elapsed);
+        let node = SpanNode { name: name.to_string(), start, elapsed, attrs, children: Vec::new() };
+        match state.stack.last_mut() {
+            Some(frame) => frame.children.push(node),
+            None => state.roots.push(node),
+        }
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
+        match metrics.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(total) => *total += n,
+            Metric::Histogram { .. } => {}
+        }
+    }
+
+    /// Folds one observation into a named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
+        match metrics.entry(name.to_string()).or_insert(Metric::Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }) {
+            Metric::Histogram { count, sum, min, max } => {
+                *count += 1;
+                *sum += value;
+                *min = min.min(value);
+                *max = max.max(value);
+            }
+            Metric::Counter(_) => {}
+        }
+    }
+
+    /// Snapshot of all metrics in name order.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        self.inner.metrics.lock().expect("metrics lock").iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    pub fn metric(&self, name: &str) -> Option<Metric> {
+        self.inner.metrics.lock().expect("metrics lock").get(name).cloned()
+    }
+
+    /// Snapshot of the completed root spans recorded so far. Open spans are
+    /// not included.
+    pub fn trace(&self) -> Trace {
+        Trace { spans: self.inner.spans.lock().expect("span lock").roots.clone() }
+    }
+
+    /// Clears the recorded trace and all metrics (the enabled flag is kept).
+    pub fn clear(&self) {
+        let mut state = self.inner.spans.lock().expect("span lock");
+        state.roots.clear();
+        state.epoch = None;
+        drop(state);
+        self.inner.metrics.lock().expect("metrics lock").clear();
+    }
+}
+
+/// An open span. Closes (and records) the span when dropped.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when observability is disabled — every method is a no-op.
+    obs: Option<Obs>,
+    depth: usize,
+}
+
+impl Span {
+    /// Sets an attribute on this span (callable while child spans are open).
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        let Some(obs) = &self.obs else { return };
+        let mut state = obs.inner.spans.lock().expect("span lock");
+        if let Some(frame) = state.stack.get_mut(self.depth) {
+            let value = value.into();
+            match frame.attrs.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => frame.attrs.push((key.to_string(), value)),
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(obs) = &self.obs else { return };
+        let mut state = obs.inner.spans.lock().expect("span lock");
+        // Close this frame and anything opened after it that leaked (guards
+        // dropped out of order fold into their parent rather than dangling).
+        while state.stack.len() > self.depth {
+            let frame = state.stack.pop().expect("non-empty");
+            let node = SpanNode {
+                name: frame.name,
+                start: frame.start,
+                elapsed: frame.started_at.elapsed(),
+                attrs: frame.attrs,
+                children: frame.children,
+            };
+            match state.stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => state.roots.push(node),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let obs = Obs::disabled();
+        {
+            let s = obs.span("root");
+            s.attr("k", 1i64);
+        }
+        obs.add("c", 5);
+        obs.observe("h", 1.0);
+        obs.record_span("pre", Duration::from_millis(1), vec![]);
+        assert!(obs.trace().is_empty());
+        assert!(obs.metrics().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_attributes() {
+        let obs = Obs::new(true);
+        {
+            let root = obs.span("add_requirement");
+            root.attr("requirement", "IR1");
+            {
+                let child = obs.span("interpret");
+                child.attr("ops", 12usize);
+            }
+            {
+                let _child = obs.span("validate");
+            }
+            root.attr("cost", 3.5);
+        }
+        let trace = obs.trace();
+        assert_eq!(trace.spans.len(), 1);
+        let root = &trace.spans[0];
+        assert_eq!(root.name, "add_requirement");
+        assert_eq!(root.attr("requirement"), Some(&AttrValue::Str("IR1".into())));
+        assert_eq!(root.attr("cost"), Some(&AttrValue::Float(3.5)));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "interpret");
+        assert_eq!(root.children[0].attr("ops"), Some(&AttrValue::Int(12)));
+        assert!(root.find("validate").is_some());
+        assert_eq!(trace.span_count(), 3);
+        assert!(root.children.iter().all(|c| c.start >= root.start));
+    }
+
+    #[test]
+    fn sequential_roots_accumulate() {
+        let obs = Obs::new(true);
+        drop(obs.span("first"));
+        drop(obs.span("second"));
+        let trace = obs.trace();
+        assert_eq!(trace.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(), ["first", "second"]);
+        assert!(trace.spans[1].start >= trace.spans[0].start);
+        obs.clear();
+        assert!(obs.trace().is_empty());
+    }
+
+    #[test]
+    fn record_span_attaches_premeasured_children() {
+        let obs = Obs::new(true);
+        {
+            let _exec = obs.span("execute");
+            obs.record_span("JOIN_1", Duration::from_micros(250), vec![("rows".into(), AttrValue::Int(100))]);
+        }
+        obs.record_span("orphan", Duration::from_micros(1), vec![]);
+        let trace = obs.trace();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].children[0].name, "JOIN_1");
+        assert_eq!(trace.spans[0].children[0].attr("rows"), Some(&AttrValue::Int(100)));
+        assert_eq!(trace.spans[1].name, "orphan");
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let obs = Obs::new(true);
+        obs.add("engine.runs", 1);
+        obs.add("engine.runs", 2);
+        obs.observe("engine.op_ms", 2.0);
+        obs.observe("engine.op_ms", 4.0);
+        assert_eq!(obs.metric("engine.runs"), Some(Metric::Counter(3)));
+        assert_eq!(obs.metric("engine.op_ms"), Some(Metric::Histogram { count: 2, sum: 6.0, min: 2.0, max: 4.0 }));
+        assert_eq!(obs.metrics().len(), 2);
+    }
+
+    #[test]
+    fn metrics_are_thread_safe() {
+        let obs = Obs::new(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let obs = obs.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        obs.add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.metric("n"), Some(Metric::Counter(4000)));
+    }
+
+    #[test]
+    fn render_shows_tree_with_timings() {
+        let obs = Obs::new(true);
+        {
+            let root = obs.span("deploy");
+            root.attr("platform", "native");
+            let _c = obs.span("generate");
+        }
+        let text = obs.trace().render();
+        assert!(text.contains("deploy (platform=native)"), "{text}");
+        assert!(text.contains("\n  generate"), "{text}");
+    }
+
+    #[test]
+    fn clear_resets_epoch() {
+        let obs = Obs::new(true);
+        drop(obs.span("a"));
+        obs.clear();
+        drop(obs.span("b"));
+        let trace = obs.trace();
+        assert_eq!(trace.spans.len(), 1);
+        assert!(trace.spans[0].start < Duration::from_millis(10), "epoch restarted");
+    }
+}

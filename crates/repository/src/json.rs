@@ -141,7 +141,13 @@ fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Json::Number(n) => {
-            if n.fract() == 0.0 && n.abs() < 1e15 {
+            if !n.is_finite() {
+                // JSON has no NaN/Infinity tokens; emitting them would
+                // produce a document our own parser rejects on round-trip.
+                // Non-finite numbers serialize as `null`, mirroring
+                // `JSON.stringify`.
+                out.push_str("null");
+            } else if n.fract() == 0.0 && n.abs() < 1e15 {
                 out.push_str(&format!("{}", *n as i64));
             } else {
                 out.push_str(&format!("{n}"));
@@ -455,6 +461,21 @@ mod tests {
     fn integers_print_without_decimal_point() {
         assert_eq!(Json::Number(5.0).to_compact_string(), "5");
         assert_eq!(Json::Number(5.5).to_compact_string(), "5.5");
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::Number(v).to_compact_string();
+            assert_eq!(text, "null");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+        }
+        let doc = Json::parse(r#"{"a": 1}"#).map(|mut j| {
+            j.set("bad", Json::Number(f64::NAN));
+            j
+        });
+        let text = doc.unwrap().to_pretty_string();
+        Json::parse(&text).expect("document with non-finite member stays well-formed");
     }
 
     #[test]

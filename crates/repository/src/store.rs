@@ -108,6 +108,9 @@ pub enum ArtifactKind {
     EtlFlow,
     Ontology,
     Deployment,
+    /// A completed lifecycle span tree (JSON trace document, paper §2.6
+    /// traceability metadata extended with runtime observations).
+    Trace,
 }
 
 impl ArtifactKind {
@@ -118,6 +121,20 @@ impl ArtifactKind {
             ArtifactKind::EtlFlow => "etl-flow",
             ArtifactKind::Ontology => "ontology",
             ArtifactKind::Deployment => "deployment",
+            ArtifactKind::Trace => "trace",
+        }
+    }
+
+    /// Inverse of [`ArtifactKind::as_str`].
+    pub fn parse(s: &str) -> Option<ArtifactKind> {
+        match s {
+            "requirement" => Some(ArtifactKind::Requirement),
+            "md-schema" => Some(ArtifactKind::MdSchema),
+            "etl-flow" => Some(ArtifactKind::EtlFlow),
+            "ontology" => Some(ArtifactKind::Ontology),
+            "deployment" => Some(ArtifactKind::Deployment),
+            "trace" => Some(ArtifactKind::Trace),
+            _ => None,
         }
     }
 

@@ -1,0 +1,63 @@
+//! Writer ↔ parser round-trip properties for the JSON number model, with
+//! emphasis on f64 extremes (non-finite values, subnormals, ±0, huge
+//! magnitudes). Regression coverage for the writer emitting the invalid
+//! tokens `NaN` / `inf`, which the parser then rejected on round-trip.
+
+use proptest::prelude::*;
+use quarry_repository::Json;
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // Random bit patterns cover NaN payloads, subnormals, and the whole
+        // exponent range.
+        any::<u64>().prop_map(f64::from_bits),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        Just(f64::MIN_POSITIVE),
+        Just(-0.0f64),
+        Just(0.0f64),
+        Just(1e15),
+        Just(-1e15 + 1.0),
+        Just(f64::EPSILON),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn number_write_parse_roundtrip(v in arb_f64()) {
+        let text = Json::Number(v).to_compact_string();
+        let parsed = Json::parse(&text).expect("writer output must always parse");
+        if v.is_finite() {
+            // Finite numbers round-trip to an equal value (−0.0 may lose its
+            // sign through the integer fast path; `==` treats it as equal).
+            prop_assert_eq!(parsed, Json::Number(v), "text was `{}`", text);
+        } else {
+            // Non-finite numbers have no JSON token; they serialize as null.
+            prop_assert_eq!(parsed, Json::Null, "text was `{}`", text);
+        }
+    }
+
+    #[test]
+    fn documents_with_extreme_members_stay_well_formed(values in prop::collection::vec(arb_f64(), 1..8)) {
+        let mut doc = Json::object();
+        doc.set("values", Json::Array(values.iter().copied().map(Json::Number).collect()));
+        doc.set("label", Json::String("extremes".into()));
+        for text in [doc.to_compact_string(), doc.to_pretty_string()] {
+            let parsed = Json::parse(&text).expect("document must parse");
+            let arr = parsed.path("values").and_then(Json::as_array).expect("array survives");
+            prop_assert_eq!(arr.len(), values.len());
+            for (orig, got) in values.iter().zip(arr) {
+                if orig.is_finite() {
+                    prop_assert_eq!(got, &Json::Number(*orig));
+                } else {
+                    prop_assert_eq!(got, &Json::Null);
+                }
+            }
+        }
+    }
+}

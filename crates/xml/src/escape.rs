@@ -2,7 +2,9 @@
 
 use std::borrow::Cow;
 
-/// Escapes a string for use as XML element text (`&`, `<`, `>`).
+/// Escapes a string for use as XML element text (`&`, `<`, `>`, and `\r`,
+/// which a conforming parser would otherwise normalize to `\n` on read,
+/// corrupting round-trips through external tools such as PDI).
 pub fn escape_text(s: &str) -> Cow<'_, str> {
     escape(s, false)
 }
@@ -14,7 +16,7 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
 }
 
 fn needs_escape(c: char, attr: bool) -> bool {
-    matches!(c, '&' | '<' | '>') || (attr && matches!(c, '"' | '\n' | '\t' | '\r'))
+    matches!(c, '&' | '<' | '>' | '\r') || (attr && matches!(c, '"' | '\n' | '\t'))
 }
 
 fn escape(s: &str, attr: bool) -> Cow<'_, str> {
@@ -30,7 +32,9 @@ fn escape(s: &str, attr: bool) -> Cow<'_, str> {
             '"' if attr => out.push_str("&quot;"),
             '\n' if attr => out.push_str("&#10;"),
             '\t' if attr => out.push_str("&#9;"),
-            '\r' if attr => out.push_str("&#13;"),
+            // Bare CR in element text is normalized to LF by conforming
+            // parsers (XML 1.0 §2.11); the character reference survives.
+            '\r' => out.push_str("&#13;"),
             other => out.push(other),
         }
     }
@@ -155,6 +159,21 @@ mod tests {
         for s in ["", "a", "<<<>>>&&&", "\"mixed\" & 'quoted'", "né <tag> & done"] {
             assert_eq!(unescape(&escape_attr(s)), s, "attr roundtrip for {s:?}");
             assert_eq!(unescape(&escape_text(s)), s, "text roundtrip for {s:?}");
+        }
+    }
+
+    #[test]
+    fn carriage_return_survives_text_roundtrip() {
+        // A conforming external parser normalizes any literal `\r` or
+        // `\r\n` in element text to `\n`, so the writer must never emit a
+        // bare CR: it goes out as a character reference in text too.
+        assert_eq!(escape_text("a\rb"), "a&#13;b");
+        assert_eq!(escape_text("a\r\nb"), "a&#13;\nb");
+        for s in ["\r", "a\rb", "line\r\nline", "\r\r\n\r"] {
+            let escaped = escape_text(s);
+            assert!(!escaped.contains('\r'), "no bare CR in {escaped:?}");
+            assert_eq!(unescape(&escaped), s, "text roundtrip for {s:?}");
+            assert_eq!(unescape(&escape_attr(s)), s, "attr roundtrip for {s:?}");
         }
     }
 }

@@ -112,11 +112,14 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -154,22 +157,36 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, throughput: O
     report(name, &bencher.samples, throughput);
 }
 
+/// True when the process was invoked with criterion's `--test` flag
+/// (`cargo bench -- --test`): run everything once to prove it works, skip
+/// the measurement-quality loops. Benches use this to gate their printed
+/// comparison series.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
     ran: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 10, ran: 0 }
+        Criterion { default_sample_size: 10, test_mode: false, ran: 0 }
     }
 }
 
 impl Criterion {
-    /// Accepted for CLI compatibility; arguments are ignored (`--bench` etc.
-    /// are filtered by the harness anyway).
-    pub fn configure_from_args(self) -> Self {
+    /// Honors criterion's `--test` flag (one sample per benchmark — the CI
+    /// smoke mode that checks benches still compile and run); every other
+    /// argument is ignored (`--bench` etc. are filtered by the harness
+    /// anyway).
+    pub fn configure_from_args(mut self) -> Self {
+        if is_test_mode() {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -179,15 +196,16 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = self.default_sample_size;
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+        let sample_size = if self.test_mode { 1 } else { self.default_sample_size };
+        let test_mode = self.test_mode;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None, test_mode }
     }
 
     pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let sample_size = self.default_sample_size;
+        let sample_size = if self.test_mode { 1 } else { self.default_sample_size };
         run_one(&name.to_string(), sample_size, None, f);
         self.ran += 1;
         self
