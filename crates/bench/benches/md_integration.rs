@@ -9,6 +9,20 @@ use quarry_integrator::md::integrate_md;
 use quarry_md::{CostModel, MdSchema, OpCountComplexity, StructuralComplexity};
 use std::hint::black_box;
 
+/// Hides the model's additive decomposition, forcing the integrator to cost
+/// a full schema clone per alternative (the pre-incremental behavior).
+struct OpaqueComplexity(StructuralComplexity);
+
+impl CostModel for OpaqueComplexity {
+    fn name(&self) -> &str {
+        "opaque structural complexity"
+    }
+
+    fn cost(&self, schema: &MdSchema) -> f64 {
+        self.0.cost(schema)
+    }
+}
+
 fn print_series() {
     let model = StructuralComplexity::new();
     println!("\n# E6: structural complexity — integrated vs naive union");
@@ -70,6 +84,29 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(integrate_md(base, partial, &StructuralComplexity::new()).expect("integrates")));
         });
     }
+    group.finish();
+
+    // Ablation: delta scoring (additive decomposition) vs whole-schema
+    // costing on the same model — the incremental-consolidation speedup of
+    // alternative evaluation, isolated from matching.
+    let mut group = c.benchmark_group("md_integrate_scoring");
+    group.sample_size(20);
+    let base = {
+        let q = quarry_bench::quarry_with(8);
+        q.unified().0.clone()
+    };
+    let partial = {
+        let q = Quarry::tpch();
+        q.interpret(&figure3_pair().1).expect("valid").md
+    };
+    group.bench_function("delta", |b| {
+        b.iter(|| black_box(integrate_md(&base, &partial, &StructuralComplexity::new()).expect("ok")));
+    });
+    group.bench_function("whole_schema", |b| {
+        b.iter(|| {
+            black_box(integrate_md(&base, &partial, &OpaqueComplexity(StructuralComplexity::new())).expect("ok"))
+        });
+    });
     group.finish();
 
     // Ablation: cost-model choice (structural complexity vs element count).

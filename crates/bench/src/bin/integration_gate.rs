@@ -1,0 +1,45 @@
+//! CI smoke gate for integration scaling (experiment E11).
+//!
+//! Incremental consolidation must keep the per-step integrate cost roughly
+//! flat in the number of already-integrated requirements. This gate times one
+//! step at N=8 and one at N=64 (best of three runs to shave scheduler noise)
+//! and fails — exit code 1 — if the N=64 step costs more than a fixed
+//! multiple of the N=8 step. The multiple is deliberately generous: it is a
+//! regression tripwire for accidental O(N) re-derive behavior, not a
+//! micro-benchmark.
+
+use quarry_bench::integration_scaling;
+
+/// Allowed growth of per-step cost from N=8 to N=64. A true re-derive path
+/// grows the unified flow ~8× here and pays superlinear matching on top, so
+/// a regression lands far above this; honest incremental noise stays far
+/// below.
+const MAX_RATIO: f64 = 20.0;
+/// Floor for the denominator: below this the step is too fast for a ratio to
+/// be meaningful on shared CI runners.
+const MIN_BASE_MS: f64 = 0.02;
+
+fn main() {
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..3 {
+        let series = integration_scaling(&[8, 64]);
+        let at = |n: usize| {
+            series.iter().find(|p| p.n == n).unwrap_or_else(|| panic!("series is missing N={n}")).incremental_ms
+        };
+        let pair = (at(8), at(64));
+        best = Some(match best {
+            Some(b) if b.1 <= pair.1 => b,
+            _ => pair,
+        });
+    }
+    let (base, wide) = best.expect("three runs happened");
+    let ratio = wide / base.max(MIN_BASE_MS);
+    println!("integration gate: N=8 {base:.3} ms, N=64 {wide:.3} ms, ratio {ratio:.1}x (limit {MAX_RATIO}x)");
+    if ratio > MAX_RATIO {
+        eprintln!(
+            "FAIL: per-step integration cost grew {ratio:.1}x from N=8 to N=64 — incremental consolidation regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: per-step integration cost is bounded");
+}

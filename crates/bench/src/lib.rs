@@ -9,7 +9,14 @@
 #![forbid(unsafe_code)]
 
 use quarry::Quarry;
+use quarry_etl::Flow;
 use quarry_formats::{MeasureSpec, Requirement, Slicer};
+use quarry_integrator::etl::integrate_etl;
+use quarry_integrator::md::integrate_md;
+use quarry_integrator::state::ConsolidationState;
+use quarry_md::MdSchema;
+use std::hint::black_box;
+use std::time::Instant;
 
 /// A compact builder for TPC-H requirements.
 pub fn requirement(id: &str, measure: (&str, &str), dims: &[&str], slicer: Option<(&str, &str, &str)>) -> Requirement {
@@ -92,6 +99,65 @@ pub fn high_overlap_family(n: usize) -> Vec<Requirement> {
             )
         })
         .collect()
+}
+
+/// One measured point of the E11 integration-scaling series.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegrationStepTiming {
+    /// The step timed: integrating requirement `n` into a unified design
+    /// already holding `n - 1` requirements.
+    pub n: usize,
+    /// Wall time of the step (MD + ETL) through the maintained
+    /// [`ConsolidationState`].
+    pub incremental_ms: f64,
+    /// Wall time of the same step through the one-shot re-derive
+    /// integrators, on the same unified prefix.
+    pub rederive_ms: f64,
+    /// Unified flow size after the step.
+    pub unified_ops: usize,
+}
+
+/// Experiment E11: replays `requirement_family(max(points))` through the
+/// incremental consolidation path, timing the per-step integrate cost at each
+/// requested point — and, at those points only, the one-shot re-derive cost
+/// of the *same* step for comparison. Both paths are bit-identical in output
+/// (see `incremental_equivalence.rs`), so the timings differ by approach, not
+/// by result.
+pub fn integration_scaling(points: &[usize]) -> Vec<IntegrationStepTiming> {
+    let max = points.iter().copied().max().unwrap_or(0);
+    let q = Quarry::tpch();
+    let cfg = q.config();
+    let partials: Vec<_> =
+        requirement_family(max).iter().map(|r| q.interpret(r).expect("family is MD-compliant")).collect();
+
+    let mut state = ConsolidationState::new();
+    let mut md = MdSchema::new("unified");
+    let mut etl = Flow::new("unified");
+    let mut series = Vec::new();
+    for (i, p) in partials.iter().enumerate() {
+        let n = i + 1;
+        let measured = points.contains(&n);
+        let rederive_ms = if measured {
+            let t = Instant::now();
+            let r_md = integrate_md(&md, &p.md, cfg.md_cost.as_ref()).expect("re-derive MD");
+            let r_etl =
+                integrate_etl(&etl, &p.etl, cfg.etl_cost.as_ref(), &cfg.stats, cfg.etl_options).expect("re-derive ETL");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            black_box((r_md.schema, r_etl.flow));
+            ms
+        } else {
+            0.0
+        };
+        let t = Instant::now();
+        let step = state.md_step(&md, &p.md, cfg.md_cost.as_ref()).expect("incremental MD");
+        state.etl_step(&mut etl, &p.etl, cfg.etl_cost.as_ref(), &cfg.stats, cfg.etl_options).expect("incremental ETL");
+        md = step.schema;
+        let incremental_ms = t.elapsed().as_secs_f64() * 1e3;
+        if measured {
+            series.push(IntegrationStepTiming { n, incremental_ms, rederive_ms, unified_ops: etl.op_count() });
+        }
+    }
+    series
 }
 
 /// The Figure 3 pair: revenue + netprofit over conformed Partsupp/Orders.

@@ -299,8 +299,15 @@ mod tests {
         let tree = run(&mut quarry, &mut json, "trace");
         assert!(tree.contains("execute (mode=serial"), "{tree}");
         assert!(tree.contains("LOADER_fact_table_netprofit"), "{tree}");
+        // An add while observability is on surfaces the consolidation
+        // counters and per-stage integrate timings.
+        run(&mut quarry, &mut json, &format!("add {xrq_path}"));
         let metrics = run(&mut quarry, &mut json, "metrics");
         assert!(metrics.contains("engine.runs"), "{metrics}");
+        assert!(metrics.contains("integrator.etl_index_hits"), "{metrics}");
+        assert!(metrics.contains("integrator.md_map_hits"), "{metrics}");
+        assert!(metrics.contains("integrator.md_integrate_seconds"), "{metrics}");
+        assert!(metrics.contains("integrator.etl_integrate_seconds"), "{metrics}");
         // JSON mode.
         assert!(run(&mut quarry, &mut json, "json on").contains("on"));
         let listing = run(&mut quarry, &mut json, "list");

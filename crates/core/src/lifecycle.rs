@@ -7,8 +7,9 @@ use quarry_engine::{Catalog, Engine, EngineError, RunReport};
 use quarry_etl::Flow;
 use quarry_formats::registry::FormatRegistry;
 use quarry_formats::{FormatError, Requirement};
-use quarry_integrator::etl::{integrate_etl, EtlIntegrationReport};
-use quarry_integrator::md::{integrate_md, MdIntegrationReport};
+use quarry_integrator::etl::EtlIntegrationReport;
+use quarry_integrator::md::MdIntegrationReport;
+use quarry_integrator::state::{ConsolidationState, ConsolidationStats};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
 use quarry_md::{MdSchema, MdViolation};
@@ -18,6 +19,7 @@ use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, Repository};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Repository key under which the rolling lifecycle trace is versioned.
 pub(crate) const TRACE_KEY: &str = "session";
@@ -146,6 +148,11 @@ pub struct Quarry {
     unified_md: MdSchema,
     unified_etl: Flow,
     requirements: BTreeMap<String, Requirement>,
+    /// Incremental consolidation state: keeps the unified ETL flow canonical
+    /// and indexed across steps so integration stays O(partial) per
+    /// requirement. Invalidated whenever the unified design is mutated
+    /// outside an integration step (retraction, rollback).
+    consolidation: ConsolidationState,
     /// Observability recorder: span trees per lifecycle step plus named
     /// metrics. Disabled (and effectively free) unless switched on via
     /// [`Quarry::set_observability`].
@@ -178,6 +185,7 @@ impl Quarry {
             platforms,
             config,
             requirements: BTreeMap::new(),
+            consolidation: ConsolidationState::new(),
             obs: Obs::disabled(),
         }
     }
@@ -311,36 +319,44 @@ impl Quarry {
         self.repository.link_requirement(&req.id, ArtifactKind::MdSchema, &format!("partial-{}", req.id));
         self.repository.link_requirement(&req.id, ArtifactKind::EtlFlow, &format!("partial-{}", req.id));
 
-        // Integrate, recording the quality-factor deltas (structural design
-        // complexity and estimated ETL execution time) on the phase spans.
+        // Integrate through the maintained consolidation state, recording the
+        // quality-factor deltas (structural design complexity and estimated
+        // ETL execution time) on the phase spans. The MD result is applied
+        // only after the ETL step also succeeded (the ETL step restores the
+        // flow itself on error), keeping the whole step transactional.
+        let counters = self.consolidation.stats();
         let md_result = {
             let phase = self.obs.span("md_integrate");
             let before = self.config.md_cost.cost(&self.unified_md);
-            let result = integrate_md(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
+            let started = Instant::now();
+            let result = self.consolidation.md_step(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
+            self.obs.observe("integrator.md_integrate_seconds", started.elapsed().as_secs_f64());
             phase.attr("cost_before", before);
             phase.attr("cost_after", result.report.cost);
             phase.attr("cost_delta", result.report.cost - before);
             result
         };
-        let etl_result = {
+        let etl_report = {
             let phase = self.obs.span("etl_integrate");
             let before = self.config.etl_cost.cost(&self.unified_etl, &self.config.stats).unwrap_or_default();
-            let result = integrate_etl(
-                &self.unified_etl,
+            let started = Instant::now();
+            let report = self.consolidation.etl_step(
+                &mut self.unified_etl,
                 &partial.etl,
                 self.config.etl_cost.as_ref(),
                 &self.config.stats,
                 self.config.etl_options,
             )?;
+            self.obs.observe("integrator.etl_integrate_seconds", started.elapsed().as_secs_f64());
             phase.attr("cost_before", before);
-            phase.attr("cost_after", result.report.cost);
-            phase.attr("cost_delta", result.report.cost - before);
-            phase.attr("reused_ops", result.report.reused_ops);
-            result
+            phase.attr("cost_after", report.cost);
+            phase.attr("cost_delta", report.cost - before);
+            phase.attr("reused_ops", report.reused_ops);
+            report
         };
+        self.record_consolidation_metrics(counters);
 
-        self.unified_md = md_result.schema.clone();
-        self.unified_etl = etl_result.flow.clone();
+        self.unified_md = md_result.schema;
         self.requirements.insert(req.id.clone(), req.clone());
         self.persist_unified();
 
@@ -353,9 +369,9 @@ impl Quarry {
         Ok(DesignUpdate {
             requirement_id: req.id,
             md_cost: md_result.report.cost,
-            etl_cost: etl_result.report.cost,
+            etl_cost: etl_report.cost,
             md_report: Some(md_result.report),
-            etl_report: Some(etl_result.report),
+            etl_report: Some(etl_report),
             warnings,
         })
     }
@@ -411,16 +427,17 @@ impl Quarry {
         self.repository.link_requirement(requirement_id, ArtifactKind::MdSchema, &format!("partial-{requirement_id}"));
         self.repository.link_requirement(requirement_id, ArtifactKind::EtlFlow, &format!("partial-{requirement_id}"));
 
-        let md_result = integrate_md(&self.unified_md, &md, self.config.md_cost.as_ref())?;
-        let etl_result = integrate_etl(
-            &self.unified_etl,
+        let counters = self.consolidation.stats();
+        let md_result = self.consolidation.md_step(&self.unified_md, &md, self.config.md_cost.as_ref())?;
+        let etl_report = self.consolidation.etl_step(
+            &mut self.unified_etl,
             &etl,
             self.config.etl_cost.as_ref(),
             &self.config.stats,
             self.config.etl_options,
         )?;
-        self.unified_md = md_result.schema.clone();
-        self.unified_etl = etl_result.flow.clone();
+        self.record_consolidation_metrics(counters);
+        self.unified_md = md_result.schema;
         // Record a marker requirement so lifecycle bookkeeping (removal,
         // listing) treats the external design like any other.
         self.requirements.insert(requirement_id.to_string(), Requirement::new(requirement_id));
@@ -429,9 +446,9 @@ impl Quarry {
         Ok(DesignUpdate {
             requirement_id: requirement_id.to_string(),
             md_cost: md_result.report.cost,
-            etl_cost: etl_result.report.cost,
+            etl_cost: etl_report.cost,
             md_report: Some(md_result.report),
-            etl_report: Some(etl_result.report),
+            etl_report: Some(etl_report),
             warnings,
         })
     }
@@ -462,6 +479,9 @@ impl Quarry {
             self.unified_md.retract_requirement(id);
             self.unified_etl.retract_requirement(id);
             self.repository.unlink_requirement(id);
+            // Retraction splices the flow outside an integration step, so the
+            // maintained ETL index no longer describes it.
+            self.consolidation.invalidate();
         }
 
         let phase = self.obs.span("validate");
@@ -526,6 +546,7 @@ impl Quarry {
     }
 
     fn restore(&mut self, snapshot: DesignSnapshot, id: &str) {
+        self.consolidation.invalidate();
         self.unified_md = snapshot.md;
         self.unified_etl = snapshot.etl;
         self.requirements = snapshot.requirements;
@@ -536,6 +557,23 @@ impl Quarry {
             }
         }
         self.persist_unified();
+    }
+
+    /// Cumulative consolidation-index traffic (ETL index hits/misses/rebuilds
+    /// and MD lookup-map hits/misses) since this instance was created.
+    pub fn consolidation_stats(&self) -> ConsolidationStats {
+        self.consolidation.stats()
+    }
+
+    /// Publishes the consolidation-counter movement since `before` as named
+    /// metrics, so `quarry-cli metrics` can show index effectiveness.
+    fn record_consolidation_metrics(&self, before: ConsolidationStats) {
+        let after = self.consolidation.stats();
+        self.obs.add("integrator.etl_index_hits", after.etl_index_hits - before.etl_index_hits);
+        self.obs.add("integrator.etl_index_misses", after.etl_index_misses - before.etl_index_misses);
+        self.obs.add("integrator.etl_index_rebuilds", after.etl_index_rebuilds - before.etl_index_rebuilds);
+        self.obs.add("integrator.md_map_hits", after.md_map_hits - before.md_map_hits);
+        self.obs.add("integrator.md_map_misses", after.md_map_misses - before.md_map_misses);
     }
 
     /// Closes a lifecycle-step span (tagging it with the error, if any) and

@@ -121,7 +121,9 @@ impl Flow {
     // ---- access ------------------------------------------------------------
 
     fn op_opt(&self, id: OpId) -> Option<&Operation> {
-        self.ops.iter().find(|o| o.id == id)
+        // `ops` stays sorted by id: `add_op` appends strictly increasing ids
+        // and removals preserve order, so lookups can binary-search.
+        self.ops.binary_search_by_key(&id, |o| o.id).ok().map(|i| &self.ops[i])
     }
 
     /// Panics on unknown id (ids are internal; external lookups go by name).
@@ -130,7 +132,8 @@ impl Flow {
     }
 
     pub fn op_mut(&mut self, id: OpId) -> &mut Operation {
-        self.ops.iter_mut().find(|o| o.id == id).expect("operation id belongs to this flow")
+        let i = self.ops.binary_search_by_key(&id, |o| o.id).expect("operation id belongs to this flow");
+        &mut self.ops[i]
     }
 
     pub fn op_by_name(&self, name: &str) -> Option<&Operation> {

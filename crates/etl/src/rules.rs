@@ -355,6 +355,29 @@ pub fn normalize(flow: &mut Flow) -> Result<usize, FlowError> {
     Ok(rewrites)
 }
 
+/// Brings a flow into the *canonical form* integration matches against:
+/// rule normalization (when `align_with_rules` is set) followed by
+/// common-subflow elimination, after which `(merge_key, inputs)` is unique
+/// per operation. One-shot integration re-establishes the form every step;
+/// the incremental integrator establishes it once and repairs it on insert.
+/// Returns the number of rewrites and merges applied.
+pub fn canonicalize(flow: &mut Flow, align_with_rules: bool) -> Result<usize, FlowError> {
+    let mut changes = 0;
+    if align_with_rules {
+        changes += normalize(flow)?;
+    }
+    changes += dedupe(flow);
+    Ok(changes)
+}
+
+/// Whether `flow` is already in canonical form, i.e. [`canonicalize`] would
+/// leave it bit-identical. Debug/test helper for the incremental
+/// integrator's invariant; clones the flow to probe.
+pub fn is_canonical(flow: &Flow, align_with_rules: bool) -> bool {
+    let mut probe = flow.clone();
+    canonicalize(&mut probe, align_with_rules).is_ok() && probe == *flow
+}
+
 impl Flow {
     /// Replaces the edge list wholesale (rule-engine internal).
     pub(crate) fn replace_edges(&mut self, edges: Vec<(OpId, OpId)>) {

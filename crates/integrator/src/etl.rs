@@ -11,10 +11,12 @@
 //! operations tolerate by construction).
 
 use crate::IntegrateError;
+use quarry_engine::pool;
 use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
 use quarry_etl::rules;
-use quarry_etl::{Flow, OpId, OpKind};
-use std::collections::BTreeMap;
+use quarry_etl::{Flow, FlowError, OpId, OpKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
 
 /// Options controlling the consolidation.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +34,7 @@ impl Default for EtlIntegrationOptions {
 }
 
 /// What the consolidation did.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EtlIntegrationReport {
     /// Unified operations reused by the new requirement (matched).
     pub reused_ops: usize,
@@ -55,6 +57,149 @@ pub struct EtlIntegration {
 // datastore schemas are deliberately excluded; the integrator widens the
 // surviving extraction to the union of columns.
 
+/// Hash index over a canonical flow: `(merge_key, input ids) → op`, plus the
+/// set of op names in use. After common-subflow elimination the key is
+/// unique per operation, so matching a partial op is one lookup instead of
+/// an O(U) scan that recomputes `merge_key` per candidate. Matched ops keep
+/// their key (widening never changes it; see [`rules::merge_key`]) and
+/// copied ops are inserted as they land, so the index stays in sync with an
+/// incrementally grown flow.
+#[derive(Debug, Clone, Default)]
+pub struct EtlIndex {
+    by_key: HashMap<(String, Vec<OpId>), OpId>,
+    names: HashSet<String>,
+}
+
+impl EtlIndex {
+    /// Builds the index for a flow already in canonical form. If the flow is
+    /// not canonical the first op with a given key wins, mirroring the
+    /// first-match scan the index replaces.
+    pub fn build(flow: &Flow) -> Self {
+        let mut by_key = HashMap::with_capacity(flow.op_count());
+        for op in flow.ops() {
+            by_key.entry((rules::merge_key(&op.kind), flow.inputs_of(op.id))).or_insert(op.id);
+        }
+        EtlIndex { by_key, names: flow.ops().map(|o| o.name.clone()).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+}
+
+/// Per-step match statistics of [`consolidate_into`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsolidateOutcome {
+    /// Index hits: partial ops matched onto existing unified ops.
+    pub hits: u64,
+    /// Index misses: partial ops copied into the unified flow.
+    pub misses: u64,
+}
+
+/// Consolidates a *canonical* `part` into `out` (also canonical), keeping
+/// `index` in sync. This is the shared matching core of both the one-shot
+/// [`integrate_etl`] and the incremental `ConsolidationState`. Returns the
+/// finished report; `out.name` must already be set.
+pub(crate) fn consolidate_into(
+    out: &mut Flow,
+    part: &Flow,
+    index: &mut EtlIndex,
+    cost: &dyn EtlCostModel,
+    stats: &SourceStats,
+    outcome: &mut ConsolidateOutcome,
+) -> Result<EtlIntegrationReport, IntegrateError> {
+    let order = part.topo_order().map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+
+    // partial op → op in `out` (matched or copied).
+    let mut image: BTreeMap<OpId, OpId> = BTreeMap::new();
+    // Resolved to names only after the loop, so the report carries the
+    // unified ops' *final* (post-widening) state.
+    let mut matched_pairs: Vec<(String, OpId)> = Vec::new();
+    let mut added = 0usize;
+
+    for pid in order {
+        let pop = part.op(pid).clone();
+        let p_inputs: Vec<OpId> = part.inputs_of(pid);
+        let p_images: Option<Vec<OpId>> = p_inputs.iter().map(|i| image.get(i).copied()).collect();
+
+        // Loaders merge like any other op (same table, same key, same
+        // upstream): shared dimension pipelines must not double-load their
+        // tables. Several partial ops may collapse onto one unified op —
+        // every operation is deterministic, so identical kind + identical
+        // inputs means identical output. Only ops whose entire upstream was
+        // matched can be reused; guaranteed by input-image equality, which
+        // the index key encodes.
+        let candidate =
+            p_images.as_ref().and_then(|imgs| index.by_key.get(&(rules::merge_key(&pop.kind), imgs.clone())).copied());
+
+        match candidate {
+            Some(uid) => {
+                debug_assert_eq!(out.op(uid).kind.arity(), pop.kind.arity());
+                image.insert(pid, uid);
+                matched_pairs.push((pop.name.clone(), uid));
+                outcome.hits += 1;
+                // Union satisfier sets and widen extractions/datastores.
+                // Widening never changes the merge key, so the index entry
+                // stays valid.
+                let reqs = pop.satisfies.clone();
+                let uop = out.op_mut(uid);
+                uop.satisfies.extend(reqs);
+                widen(out, uid, &pop.kind);
+            }
+            None => {
+                // Copy the op, keeping names unique.
+                let mut name = pop.name.clone();
+                while index.names.contains(&name) {
+                    name.push('\'');
+                }
+                let new_id =
+                    out.add_op(name, pop.kind.clone()).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+                out.op_mut(new_id).satisfies = pop.satisfies.clone();
+                if let Some(imgs) = &p_images {
+                    for input in imgs {
+                        out.connect(*input, new_id).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+                    }
+                }
+                // A miss is exactly the canonical-form dedupe criterion: the
+                // copied op's key is new, so inserting it preserves both the
+                // invariant and index/flow agreement.
+                index.by_key.insert((rules::merge_key(&pop.kind), p_images.unwrap_or_default()), new_id);
+                index.names.insert(out.op(new_id).name.clone());
+                image.insert(pid, new_id);
+                added += 1;
+                outcome.misses += 1;
+            }
+        }
+    }
+
+    out.validate().map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    let total_cost = cost.cost(out, stats).map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    Ok(EtlIntegrationReport {
+        reused_ops: matched_pairs.len(),
+        added_ops: added,
+        cost: total_cost,
+        matched: matched_pairs.into_iter().map(|(p, uid)| (p, out.op(uid).name.clone())).collect(),
+    })
+}
+
+/// Aligns both flows into canonical form, in parallel on the engine pool
+/// (the unified side dominates; the partial normalizes alongside it).
+pub(crate) fn canonicalize_pair(out: &mut Flow, part: &mut Flow, align_with_rules: bool) -> Result<(), IntegrateError> {
+    let flows = [Mutex::new(out), Mutex::new(part)];
+    let results: Vec<Result<usize, FlowError>> = pool::run_indexed(2, |i| {
+        let mut flow = flows[i].lock().expect("canonicalize pair lock");
+        rules::canonicalize(&mut flow, align_with_rules)
+    });
+    for r in results {
+        r.map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+    }
+    Ok(())
+}
+
 /// Integrates `partial` into `unified`, returning the consolidated flow.
 pub fn integrate_etl(
     unified: &Flow,
@@ -68,86 +213,15 @@ pub fn integrate_etl(
     if out.name.is_empty() {
         out.name = "unified".to_string();
     }
-    if options.align_with_rules {
-        rules::normalize(&mut out).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
-        rules::normalize(&mut part).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
-    }
-    // Common-subflow elimination on both sides: redundancy inside either
-    // flow would otherwise alias during matching and duplicate sinks.
-    rules::dedupe(&mut out);
-    rules::dedupe(&mut part);
+    // Rule alignment orders both flows canonically; common-subflow
+    // elimination on both sides follows, since redundancy inside either flow
+    // would otherwise alias during matching and duplicate sinks.
+    canonicalize_pair(&mut out, &mut part, options.align_with_rules)?;
 
-    let order = part.topo_order().map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
-
-    // partial op → op in `out` (matched or copied).
-    let mut image: BTreeMap<OpId, OpId> = BTreeMap::new();
-    let mut matched_pairs: Vec<(String, String)> = Vec::new();
-    let mut added = 0usize;
-
-    for pid in order {
-        let pop = part.op(pid).clone();
-        let p_inputs: Vec<OpId> = part.inputs_of(pid);
-        let p_images: Option<Vec<OpId>> = p_inputs.iter().map(|i| image.get(i).copied()).collect();
-
-        // Loaders merge like any other op (same table, same key, same
-        // upstream): shared dimension pipelines must not double-load their
-        // tables. Several partial ops may collapse onto one unified op —
-        // every operation is deterministic, so identical kind + identical
-        // inputs means identical output.
-        let candidate = p_images.as_ref().and_then(|imgs| {
-            let key = rules::merge_key(&pop.kind);
-            out.ops()
-                .find(|u| {
-                    rules::merge_key(&u.kind) == key
-                        && out.inputs_of(u.id) == *imgs
-                        // Only ops whose entire upstream was matched can be
-                        // reused; guaranteed by input-image equality.
-                        && u.kind.arity() == pop.kind.arity()
-                })
-                .map(|u| u.id)
-        });
-
-        match candidate {
-            Some(uid) => {
-                image.insert(pid, uid);
-                matched_pairs.push((pop.name.clone(), out.op(uid).name.clone()));
-                // Union satisfier sets and widen extractions/datastores.
-                let reqs = pop.satisfies.clone();
-                let uop = out.op_mut(uid);
-                uop.satisfies.extend(reqs);
-                widen(&mut out, uid, &pop.kind);
-            }
-            None => {
-                // Copy the op, keeping names unique.
-                let mut name = pop.name.clone();
-                while out.op_by_name(&name).is_some() {
-                    name.push('\'');
-                }
-                let new_id =
-                    out.add_op(name, pop.kind.clone()).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
-                out.op_mut(new_id).satisfies = pop.satisfies.clone();
-                if let Some(imgs) = p_images {
-                    for input in imgs {
-                        out.connect(input, new_id).map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
-                    }
-                }
-                image.insert(pid, new_id);
-                added += 1;
-            }
-        }
-    }
-
-    out.validate().map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
-    let total_cost = cost.cost(&out, stats).map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
-    Ok(EtlIntegration {
-        flow: out,
-        report: EtlIntegrationReport {
-            reused_ops: matched_pairs.len(),
-            added_ops: added,
-            cost: total_cost,
-            matched: matched_pairs,
-        },
-    })
+    let mut index = EtlIndex::build(&out);
+    let mut outcome = ConsolidateOutcome::default();
+    let report = consolidate_into(&mut out, &part, &mut index, cost, stats, &mut outcome)?;
+    Ok(EtlIntegration { flow: out, report })
 }
 
 /// Widens a matched unified operation to additionally cover the partial
@@ -456,6 +530,23 @@ mod tests {
         let r = integrate_etl(&a, &b, &model, &stats(), EtlIntegrationOptions::default()).unwrap();
         let sum = model.cost(&a, &stats()).unwrap() + model.cost(&b, &stats()).unwrap();
         assert!(r.report.cost < sum, "consolidation saves work: {} vs {}", r.report.cost, sum);
+    }
+
+    #[test]
+    fn matched_pairs_name_ops_as_they_appear_in_the_final_flow() {
+        // The report must describe the consolidated flow *after* widening,
+        // so every reported unified name resolves in the returned flow and
+        // trace documents stay consistent with it.
+        let a = pipeline("u", "l_discount > 0.05", "l_extendedprice", "t1", "IR1");
+        let b = pipeline("p", "l_discount > 0.05", "l_extendedprice", "t2", "IR2");
+        let r = integrate_etl_default(&a, &b, &stats()).unwrap();
+        assert!(!r.report.matched.is_empty());
+        for (partial_name, unified_name) in &r.report.matched {
+            assert!(
+                r.flow.op_by_name(unified_name).is_some(),
+                "reported unified op `{unified_name}` (matched from `{partial_name}`) missing from the final flow"
+            );
+        }
     }
 
     #[test]

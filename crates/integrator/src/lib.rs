@@ -13,6 +13,12 @@
 //!   aligning operation order with the generic equivalence rules, and
 //!   consolidates with maximal reuse under a configurable ETL cost model.
 //!
+//! [`state`] adds the incremental flavor: a [`state::ConsolidationState`]
+//! owned by the lifecycle keeps the unified flow permanently canonical and
+//! matches against a maintained hash index, so per-step work stays
+//! proportional to the partial design instead of the whole unified one —
+//! with bit-identical results.
+//!
 //! Both integrators preserve requirement traceability: merged elements carry
 //! the union of the satisfier sets, so later retraction prunes exactly the
 //! right sub-designs.
@@ -21,6 +27,7 @@
 
 pub mod etl;
 pub mod md;
+pub mod state;
 
 use std::fmt;
 

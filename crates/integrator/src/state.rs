@@ -1,0 +1,294 @@
+//! Incremental consolidation state (the tentpole of incremental, indexed
+//! design consolidation).
+//!
+//! The one-shot integrators re-derive full-design facts every step: the ETL
+//! side clones, re-normalizes, and re-dedupes the whole unified flow before
+//! matching against it with linear scans. [`ConsolidationState`] turns that
+//! into maintain-an-index-across-steps: the unified flow is kept permanently
+//! in *canonical form* ([`quarry_etl::rules::canonicalize`] — established
+//! once, repaired incrementally on insert), and a hash index
+//! `(merge_key, input ids) → OpId` makes per-op matching O(1). The index is
+//! updated in place as ops are matched/added/widened and is fully rebuilt
+//! only after out-of-band mutation of the unified design (requirement
+//! removal/rollback), which callers signal via [`ConsolidationState::invalidate`].
+//!
+//! Why the invariant survives insertion without re-normalizing: a matched op
+//! gains a consumer, so every sole-consumer-gated rewrite (selection
+//! push-down, adjacent-selection/projection merging) stays blocked at and
+//! below it; copied ops replicate an already-normalized partial region whose
+//! consumer counts carry over unchanged; and an index miss is precisely the
+//! canonical dedupe criterion, so inserting the copy preserves key
+//! uniqueness. Widening never changes an op's merge key.
+//!
+//! Both paths produce bit-identical unified designs and reports — proven by
+//! the randomized suite in `tests/incremental_equivalence.rs`.
+
+use crate::etl::{
+    canonicalize_pair, consolidate_into, ConsolidateOutcome, EtlIndex, EtlIntegrationOptions, EtlIntegrationReport,
+};
+use crate::md::{integrate_md, MdIntegration};
+use crate::IntegrateError;
+use quarry_etl::cost::{EtlCostModel, SourceStats};
+use quarry_etl::rules;
+use quarry_etl::Flow;
+use quarry_md::{CostModel, MdSchema};
+
+/// Cumulative consolidation counters, surfaced as `integrator.*` metrics by
+/// the lifecycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsolidationStats {
+    /// Partial ETL ops matched onto existing unified ops via the index.
+    pub etl_index_hits: u64,
+    /// Partial ETL ops not in the index (copied into the unified flow).
+    pub etl_index_misses: u64,
+    /// Full index rebuilds (first step, or after invalidation).
+    pub etl_index_rebuilds: u64,
+    /// Partial MD elements paired by the lookup maps.
+    pub md_map_hits: u64,
+    /// Partial MD elements with no unified counterpart.
+    pub md_map_misses: u64,
+}
+
+/// The maintained ETL side: the index, the alignment flavor it was built
+/// under, and a cheap shape fingerprint of the flow it describes.
+#[derive(Debug, Clone)]
+struct EtlState {
+    index: EtlIndex,
+    aligned: bool,
+    /// `(op_count, edge_count)` of the unified flow after the last step —
+    /// a safety net that forces a rebuild if the flow was mutated behind
+    /// the state's back without an explicit `invalidate`.
+    fingerprint: (usize, usize),
+}
+
+/// Incremental consolidation state, owned by the design lifecycle. ETL steps
+/// mutate the unified flow in place under a maintained index; MD steps run
+/// the (map-based, delta-scored) integrator and count pairing traffic. Any
+/// out-of-band mutation of the unified design must be followed by
+/// [`ConsolidationState::invalidate`].
+#[derive(Debug, Clone, Default)]
+pub struct ConsolidationState {
+    etl: Option<EtlState>,
+    stats: ConsolidationStats,
+}
+
+impl ConsolidationState {
+    pub fn new() -> Self {
+        ConsolidationState::default()
+    }
+
+    /// Cumulative counters since construction.
+    pub fn stats(&self) -> ConsolidationStats {
+        self.stats
+    }
+
+    /// Whether the ETL index currently mirrors a unified flow (false before
+    /// the first step and after invalidation).
+    pub fn etl_index_ready(&self) -> bool {
+        self.etl.is_some()
+    }
+
+    /// Drops the maintained ETL index. Call after any mutation of the
+    /// unified flow that did not go through [`ConsolidationState::etl_step`]
+    /// (requirement retraction, snapshot rollback); the next step rebuilds
+    /// canonical form and index from scratch, which is exactly the one-shot
+    /// integrator's per-step behavior.
+    pub fn invalidate(&mut self) {
+        self.etl = None;
+    }
+
+    /// One incremental ETL consolidation step: integrates `partial` into
+    /// `unified` *in place*. Behaviorally identical to
+    /// [`crate::etl::integrate_etl`] — on error the flow is restored
+    /// bit-identical and the state invalidated.
+    pub fn etl_step(
+        &mut self,
+        unified: &mut Flow,
+        partial: &Flow,
+        cost: &dyn EtlCostModel,
+        stats: &SourceStats,
+        options: EtlIntegrationOptions,
+    ) -> Result<EtlIntegrationReport, IntegrateError> {
+        let backup = unified.clone();
+        let result = self.etl_step_inner(unified, partial, cost, stats, options);
+        if result.is_err() {
+            *unified = backup;
+            self.invalidate();
+        }
+        result
+    }
+
+    fn etl_step_inner(
+        &mut self,
+        unified: &mut Flow,
+        partial: &Flow,
+        cost: &dyn EtlCostModel,
+        stats: &SourceStats,
+        options: EtlIntegrationOptions,
+    ) -> Result<EtlIntegrationReport, IntegrateError> {
+        if unified.name.is_empty() {
+            unified.name = "unified".to_string();
+        }
+        let fingerprint = (unified.op_count(), unified.edge_count());
+        let reusable =
+            self.etl.as_ref().is_some_and(|s| s.aligned == options.align_with_rules && s.fingerprint == fingerprint);
+
+        let mut part = partial.clone();
+        if reusable {
+            // Unified is already canonical under this alignment flavor; only
+            // the (small) partial needs aligning.
+            rules::canonicalize(&mut part, options.align_with_rules)
+                .map_err(|e| IntegrateError::MalformedPartial(e.to_string()))?;
+        } else {
+            canonicalize_pair(unified, &mut part, options.align_with_rules)?;
+            self.etl = Some(EtlState {
+                index: EtlIndex::build(unified),
+                aligned: options.align_with_rules,
+                fingerprint: (0, 0), // refreshed below
+            });
+            self.stats.etl_index_rebuilds += 1;
+        }
+
+        let state = self.etl.as_mut().expect("index built above");
+        let mut outcome = ConsolidateOutcome::default();
+        let report = consolidate_into(unified, &part, &mut state.index, cost, stats, &mut outcome)?;
+        state.fingerprint = (unified.op_count(), unified.edge_count());
+        self.stats.etl_index_hits += outcome.hits;
+        self.stats.etl_index_misses += outcome.misses;
+        Ok(report)
+    }
+
+    /// One MD consolidation step. The MD integrator is stateless (its lookup
+    /// maps are rebuilt per step in O(unified)); this wrapper exists for
+    /// symmetry and counter upkeep. The caller assigns `result.schema` —
+    /// typically only after the paired ETL step also succeeded, keeping the
+    /// whole lifecycle step transactional.
+    pub fn md_step(
+        &mut self,
+        unified: &MdSchema,
+        partial: &MdSchema,
+        cost: &(dyn CostModel + Sync),
+    ) -> Result<MdIntegration, IntegrateError> {
+        let result = integrate_md(unified, partial, cost)?;
+        let elements = (partial.facts.len() + partial.dimensions.len()) as u64;
+        let hits = result.report.pairings_discovered as u64;
+        self.stats.md_map_hits += hits;
+        self.stats.md_map_misses += elements.saturating_sub(hits);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etl::integrate_etl;
+    use quarry_etl::cost::EstimatedTime;
+    use quarry_etl::{parse_expr, ColType, Column, OpKind, Schema};
+    use quarry_md::StructuralComplexity;
+
+    fn pipeline(filter: &str, table: &str, req: &str) -> Flow {
+        let mut f = Flow::new("p");
+        let d = f
+            .add_op(
+                "DS",
+                OpKind::Datastore {
+                    datastore: "lineitem".into(),
+                    schema: Schema::new(vec![
+                        Column::new("l_orderkey", ColType::Integer),
+                        Column::new("l_discount", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let e =
+            f.append(d, "EX", OpKind::Extraction { columns: vec!["l_orderkey".into(), "l_discount".into()] }).unwrap();
+        let s = f.append(e, "SEL", OpKind::Selection { predicate: parse_expr(filter).unwrap() }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: table.into(), key: vec![] }).unwrap();
+        f.stamp_requirement(req);
+        f
+    }
+
+    fn stats() -> SourceStats {
+        SourceStats::new().with_table("lineitem", 60_000.0)
+    }
+
+    #[test]
+    fn incremental_steps_match_one_shot_integration() {
+        let parts = [
+            pipeline("l_discount > 0.05", "t1", "IR1"),
+            pipeline("l_discount > 0.05", "t2", "IR2"),
+            pipeline("l_discount > 0.07", "t3", "IR3"),
+        ];
+        let model = EstimatedTime::new();
+        let opts = EtlIntegrationOptions::default();
+
+        let mut seed = Flow::new("unified");
+        let mut state = ConsolidationState::new();
+        let mut incremental = Flow::new("unified");
+        for p in &parts {
+            let one_shot = integrate_etl(&seed, p, &model, &stats(), opts).unwrap();
+            let step = state.etl_step(&mut incremental, p, &model, &stats(), opts).unwrap();
+            assert_eq!(one_shot.flow, incremental);
+            assert_eq!(one_shot.report, step);
+            seed = one_shot.flow;
+        }
+        let s = state.stats();
+        assert_eq!(s.etl_index_rebuilds, 1, "index built once, maintained after");
+        assert!(s.etl_index_hits > 0 && s.etl_index_misses > 0);
+    }
+
+    #[test]
+    fn invalidation_forces_a_rebuild() {
+        let model = EstimatedTime::new();
+        let opts = EtlIntegrationOptions::default();
+        let mut state = ConsolidationState::new();
+        let mut unified = Flow::new("unified");
+        state.etl_step(&mut unified, &pipeline("l_discount > 0.05", "t1", "IR1"), &model, &stats(), opts).unwrap();
+        assert!(state.etl_index_ready());
+        state.invalidate();
+        assert!(!state.etl_index_ready());
+        state.etl_step(&mut unified, &pipeline("l_discount > 0.06", "t2", "IR2"), &model, &stats(), opts).unwrap();
+        assert_eq!(state.stats().etl_index_rebuilds, 2);
+    }
+
+    #[test]
+    fn out_of_band_mutation_is_caught_by_the_fingerprint() {
+        let model = EstimatedTime::new();
+        let opts = EtlIntegrationOptions::default();
+        let mut state = ConsolidationState::new();
+        let mut unified = Flow::new("unified");
+        state.etl_step(&mut unified, &pipeline("l_discount > 0.05", "t1", "IR1"), &model, &stats(), opts).unwrap();
+        // Mutate the flow without telling the state.
+        unified.retract_requirement("IR1");
+        state.etl_step(&mut unified, &pipeline("l_discount > 0.06", "t2", "IR2"), &model, &stats(), opts).unwrap();
+        assert_eq!(state.stats().etl_index_rebuilds, 2, "shape change triggers a rebuild");
+        unified.validate().unwrap();
+    }
+
+    #[test]
+    fn md_step_counts_map_traffic() {
+        use quarry_md::{DimLink, Fact, Level, Measure};
+        let mk = |fact: &str, concept: &str, req: &str| {
+            let mut s = MdSchema::new(format!("partial_{req}"));
+            let atomic = Level::new("Part", "PartID", quarry_md::MdDataType::Integer).with_concept("Part");
+            s.dimensions.push(quarry_md::Dimension::new("Part", atomic));
+            let mut f = Fact::new(fact);
+            f.concept = Some(concept.to_string());
+            f.measures.push(Measure::new("m", format!("expr_{fact}")));
+            f.dimensions.push(DimLink::new("Part", "Part"));
+            s.facts.push(f);
+            s.stamp_requirement(req);
+            s
+        };
+        let mut state = ConsolidationState::new();
+        let mut unified = MdSchema::new("unified");
+        let cost = StructuralComplexity::new();
+        let r1 = state.md_step(&unified, &mk("f1", "Lineitem", "IR1"), &cost).unwrap();
+        unified = r1.schema;
+        let r2 = state.md_step(&unified, &mk("f2", "Lineitem", "IR2"), &cost).unwrap();
+        let _ = r2;
+        let s = state.stats();
+        assert_eq!(s.md_map_misses, 2, "first step finds nothing to pair");
+        assert_eq!(s.md_map_hits, 2, "second step pairs fact and dimension");
+    }
+}

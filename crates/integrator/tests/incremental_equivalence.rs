@@ -1,0 +1,337 @@
+//! Randomized equivalence between the two consolidation paths.
+//!
+//! The incremental path ([`quarry_integrator::state::ConsolidationState`])
+//! keeps the unified ETL flow canonical and matches against a maintained
+//! index; the seed path re-derives everything per step with the one-shot
+//! [`integrate_md`]/[`integrate_etl`]. Over randomized add/change/remove
+//! requirement sequences, both must produce **bit-identical** unified designs
+//! (compared structurally *and* on the serialized xMD/xLM text) and identical
+//! integration reports.
+//!
+//! A second check pits the delta scorer against whole-schema costing: every
+//! MD step is replayed under an opaque wrapper of the same cost model (no
+//! additive decomposition, so the integrator falls back to full scoring) and
+//! must choose the same schema for the same cost.
+
+use quarry_etl::cost::{EstimatedTime, SourceStats};
+use quarry_etl::{parse_expr, AggSpec, ColType, Column, Flow, OpKind, Schema};
+use quarry_formats::{xlm, xmd};
+use quarry_integrator::etl::{integrate_etl, EtlIntegrationOptions};
+use quarry_integrator::md::integrate_md;
+use quarry_integrator::state::ConsolidationState;
+use quarry_md::{CostModel, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure, StructuralComplexity};
+
+// ---- deterministic randomness ---------------------------------------------
+
+/// Minimal xorshift64 PRNG — the suite must be reproducible and the workspace
+/// has no random-number dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+// ---- partial-design generator ---------------------------------------------
+
+const TABLES: [&str; 3] = ["alpha", "beta", "gamma"];
+const CONCEPTS: [&str; 3] = ["Alpha", "Beta", "Gamma"];
+/// Small predicate pool per table so distinct requirements overlap often
+/// (overlap is where index hits and merge decisions actually happen). All
+/// predicates are single-table: cross-branch selections above joins are the
+/// one known (and deliberate) divergence of canonical-form maintenance.
+const THRESHOLDS: [&str; 3] = ["5", "10", "20"];
+
+fn table_schema(t: &str) -> Schema {
+    Schema::new(vec![
+        Column::new(format!("{t}_id"), ColType::Integer),
+        Column::new(format!("{t}_val"), ColType::Decimal),
+        Column::new(format!("{t}_cat"), ColType::Text),
+    ])
+}
+
+fn gen_etl(rng: &mut Rng, req: &str) -> Flow {
+    let t = TABLES[rng.below(TABLES.len())];
+    let mut f = Flow::new(format!("partial_{req}"));
+    let ds = f.add_op(format!("DS_{t}"), OpKind::Datastore { datastore: t.into(), schema: table_schema(t) }).unwrap();
+    let ex = f
+        .append(
+            ds,
+            format!("EX_{t}"),
+            OpKind::Extraction { columns: vec![format!("{t}_id"), format!("{t}_val"), format!("{t}_cat")] },
+        )
+        .unwrap();
+    let mut tip = ex;
+    let mut tag = t.to_string();
+    if rng.chance(70) {
+        let th = THRESHOLDS[rng.below(THRESHOLDS.len())];
+        tip = f
+            .append(
+                tip,
+                format!("SEL_{t}_{th}"),
+                OpKind::Selection { predicate: parse_expr(&format!("{t}_val > {th}")).unwrap() },
+            )
+            .unwrap();
+        tag = format!("{tag}_{th}");
+    }
+    if rng.chance(40) {
+        tip = f
+            .append(
+                tip,
+                format!("AGG_{t}"),
+                OpKind::Aggregation {
+                    group_by: vec![format!("{t}_cat")],
+                    aggregates: vec![AggSpec::new(
+                        "SUM",
+                        parse_expr(&format!("{t}_val")).unwrap(),
+                        format!("{t}_total"),
+                    )],
+                },
+            )
+            .unwrap();
+        tag = format!("{tag}_agg");
+    }
+    f.append(tip, format!("LOAD_{tag}"), OpKind::Loader { table: format!("t_{tag}"), key: vec![] }).unwrap();
+    f.stamp_requirement(req);
+    f
+}
+
+fn gen_md(rng: &mut Rng, req: &str) -> MdSchema {
+    let mut s = MdSchema::new(format!("partial_{req}"));
+    let concept = CONCEPTS[rng.below(CONCEPTS.len())];
+    // Two dimension-name spellings per concept: same spelling pairs by name,
+    // different spellings pair by concept — and two partial dims of the same
+    // concept exercise the collision-resolution path.
+    let spelling = rng.below(2);
+    let dim_name = |c: &str, v: usize| if v == 0 { format!("Dim{c}") } else { format!("{c}Axis") };
+    let mk_dim = |c: &str, v: usize| {
+        Dimension::new(dim_name(c, v), Level::new(c, format!("{c}ID"), MdDataType::Integer).with_concept(c))
+    };
+    s.dimensions.push(mk_dim(concept, spelling));
+    if rng.chance(25) {
+        let other = CONCEPTS[rng.below(CONCEPTS.len())];
+        if other != concept {
+            s.dimensions.push(mk_dim(other, rng.below(2)));
+        }
+    }
+    let fact_concept = CONCEPTS[rng.below(CONCEPTS.len())];
+    let mut f =
+        Fact::new(if rng.chance(50) { format!("fact_{}", fact_concept.to_lowercase()) } else { format!("f_{req}") });
+    f.concept = Some(fact_concept.to_string());
+    let m = rng.below(THRESHOLDS.len());
+    f.measures.push(Measure::new(format!("total_{m}"), format!("sum(val_{m})")));
+    for d in &s.dimensions {
+        f.dimensions.push(DimLink::new(&d.name, &d.atomic));
+    }
+    s.facts.push(f);
+    s.stamp_requirement(req);
+    s
+}
+
+// ---- the two paths ---------------------------------------------------------
+
+/// A cost model that hides its additive decomposition, forcing the integrator
+/// onto the whole-schema-costing path.
+struct Opaque(StructuralComplexity);
+
+impl CostModel for Opaque {
+    fn name(&self) -> &str {
+        "opaque structural complexity"
+    }
+
+    fn cost(&self, schema: &MdSchema) -> f64 {
+        self.0.cost(schema)
+    }
+}
+
+fn stats() -> SourceStats {
+    SourceStats::new().with_table("alpha", 50_000.0).with_table("beta", 8_000.0).with_table("gamma", 1_000.0)
+}
+
+/// Drives one randomized requirement lifecycle down both paths, asserting
+/// bit-identical state after every operation.
+fn run_equivalence(seed: u64, ops: usize, options: EtlIntegrationOptions) {
+    let mut rng = Rng::new(seed);
+    let cost = StructuralComplexity::new();
+    let etl_cost = EstimatedTime::new();
+    let stats = stats();
+
+    // Seed path: re-derive with the one-shot integrators every step.
+    let mut seed_md = MdSchema::new("unified");
+    let mut seed_etl = Flow::new("unified");
+    // Incremental path: maintained consolidation state.
+    let mut inc_md = MdSchema::new("unified");
+    let mut inc_etl = Flow::new("unified");
+    let mut state = ConsolidationState::new();
+
+    let mut active: Vec<String> = Vec::new();
+    let mut next_id = 0usize;
+    let mut adds = 0usize;
+
+    for step in 0..ops {
+        let roll = rng.below(100);
+        if active.is_empty() || roll < 70 {
+            // Add a fresh requirement.
+            let id = format!("R{next_id}");
+            next_id += 1;
+            add_both(
+                &mut rng,
+                &id,
+                &cost,
+                &etl_cost,
+                &stats,
+                options,
+                &mut seed_md,
+                &mut seed_etl,
+                &mut inc_md,
+                &mut inc_etl,
+                &mut state,
+            );
+            active.push(id);
+            adds += 1;
+        } else if roll < 85 {
+            // Remove a random active requirement.
+            let id = active.swap_remove(rng.below(active.len()));
+            seed_md.retract_requirement(&id);
+            seed_etl.retract_requirement(&id);
+            inc_md.retract_requirement(&id);
+            inc_etl.retract_requirement(&id);
+            state.invalidate();
+        } else {
+            // Change: retract the old version, integrate a new one (same id).
+            let id = active[rng.below(active.len())].clone();
+            seed_md.retract_requirement(&id);
+            seed_etl.retract_requirement(&id);
+            inc_md.retract_requirement(&id);
+            inc_etl.retract_requirement(&id);
+            state.invalidate();
+            add_both(
+                &mut rng,
+                &id,
+                &cost,
+                &etl_cost,
+                &stats,
+                options,
+                &mut seed_md,
+                &mut seed_etl,
+                &mut inc_md,
+                &mut inc_etl,
+                &mut state,
+            );
+        }
+
+        assert_eq!(seed_md, inc_md, "seed {seed} step {step}: unified MD schemas diverged");
+        assert_eq!(seed_etl, inc_etl, "seed {seed} step {step}: unified ETL flows diverged");
+        assert_eq!(
+            xmd::to_string(&seed_md),
+            xmd::to_string(&inc_md),
+            "seed {seed} step {step}: xMD serialization diverged"
+        );
+        assert_eq!(
+            xlm::to_string(&seed_etl),
+            xlm::to_string(&inc_etl),
+            "seed {seed} step {step}: xLM serialization diverged"
+        );
+    }
+
+    assert!(adds >= ops / 2, "generator sanity: the sequence should be add-heavy");
+    let s = state.stats();
+    assert!(
+        s.etl_index_rebuilds < adds as u64,
+        "seed {seed}: at least one step must have reused the maintained index \
+         ({} rebuilds over {adds} adds)",
+        s.etl_index_rebuilds
+    );
+    seed_etl.validate().expect("final unified flow is well-formed");
+    assert!(!seed_md.validate().iter().any(|v| v.kind.is_error()), "final unified schema is sound");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_both(
+    rng: &mut Rng,
+    id: &str,
+    cost: &StructuralComplexity,
+    etl_cost: &EstimatedTime,
+    stats: &SourceStats,
+    options: EtlIntegrationOptions,
+    seed_md: &mut MdSchema,
+    seed_etl: &mut Flow,
+    inc_md: &mut MdSchema,
+    inc_etl: &mut Flow,
+    state: &mut ConsolidationState,
+) {
+    let p_md = gen_md(rng, id);
+    let p_etl = gen_etl(rng, id);
+
+    let one_md = integrate_md(seed_md, &p_md, cost).expect("seed MD integration");
+    let one_etl = integrate_etl(seed_etl, &p_etl, etl_cost, stats, options).expect("seed ETL integration");
+    *seed_md = one_md.schema;
+    *seed_etl = one_etl.flow;
+
+    // Delta scoring vs whole-schema costing: same choice, same cost.
+    let opaque = integrate_md(inc_md, &p_md, &Opaque(StructuralComplexity::new())).expect("opaque MD integration");
+    let inc = state.md_step(inc_md, &p_md, cost).expect("incremental MD step");
+    assert_eq!(inc.schema, opaque.schema, "req {id}: delta scorer disagrees with whole-schema costing");
+    assert_eq!(inc.report, opaque.report, "req {id}: delta/full reports diverged");
+    *inc_md = inc.schema;
+    let inc_report = state.etl_step(inc_etl, &p_etl, etl_cost, stats, options).expect("incremental ETL step");
+
+    assert_eq!(one_md.report, inc.report, "req {id}: MD reports diverged");
+    assert_eq!(one_etl.report, inc_report, "req {id}: ETL reports diverged");
+}
+
+// ---- the suite -------------------------------------------------------------
+
+#[test]
+fn randomized_lifecycles_are_bit_identical_across_paths() {
+    for seed in [3, 7, 1984] {
+        run_equivalence(seed, 30, EtlIntegrationOptions::default());
+    }
+}
+
+#[test]
+fn equivalence_holds_without_rule_alignment() {
+    // The E8 ablation flavor: canonical form is dedupe-only.
+    run_equivalence(42, 30, EtlIntegrationOptions { align_with_rules: false });
+}
+
+#[test]
+fn long_add_only_sequence_keeps_a_single_index_build() {
+    let mut rng = Rng::new(99);
+    let cost = StructuralComplexity::new();
+    let etl_cost = EstimatedTime::new();
+    let stats = stats();
+    let options = EtlIntegrationOptions::default();
+    let mut md = MdSchema::new("unified");
+    let mut etl = Flow::new("unified");
+    let mut state = ConsolidationState::new();
+    for i in 0..20 {
+        let id = format!("R{i}");
+        let p_md = gen_md(&mut rng, &id);
+        let p_etl = gen_etl(&mut rng, &id);
+        md = state.md_step(&md, &p_md, &cost).unwrap().schema;
+        state.etl_step(&mut etl, &p_etl, &etl_cost, &stats, options).unwrap();
+    }
+    let s = state.stats();
+    assert_eq!(s.etl_index_rebuilds, 1, "no invalidation → the index is built exactly once");
+    assert!(s.etl_index_hits > 0, "overlapping pipelines must hit the index");
+    etl.validate().unwrap();
+}

@@ -7,7 +7,7 @@
 //! MD schemata. Cost models are pluggable ("configurable"): the integrator
 //! takes any [`CostModel`].
 
-use crate::model::MdSchema;
+use crate::model::{Dimension, Fact, MdSchema};
 
 /// A quality factor over MD schemata: lower is better.
 pub trait CostModel {
@@ -16,6 +16,31 @@ pub trait CostModel {
 
     /// The cost of a schema under this model.
     fn cost(&self, schema: &MdSchema) -> f64;
+
+    /// An additive decomposition of this model, when one exists. Models that
+    /// decompose let the integrator score candidate schemas by *element
+    /// deltas* instead of constructing and costing a full schema clone per
+    /// alternative. The default (`None`) keeps whole-schema costing, so
+    /// custom models work unchanged.
+    fn decompose(&self) -> Option<&dyn AdditiveCostModel> {
+        None
+    }
+}
+
+/// Per-element view of a cost model that is a sum of independent fact and
+/// dimension terms plus a term over the maximum hierarchy depth:
+///
+/// `cost(s) == Σ fact_cost(f) + Σ dimension_cost(d) + depth_term(max depth)`
+///
+/// The decomposition must hold exactly (the integrator compares summed
+/// element costs against whole-schema costs across code paths), and element
+/// costs must not depend on element *names* — the integrator may cost a
+/// kept-separate element before its disambiguating rename.
+pub trait AdditiveCostModel: Sync {
+    fn fact_cost(&self, fact: &Fact) -> f64;
+    fn dimension_cost(&self, dim: &Dimension) -> f64;
+    /// The schema-wide term over the maximum hierarchy depth.
+    fn depth_term(&self, max_depth: usize) -> f64;
 }
 
 /// Weights of the structural-complexity model. Defaults follow the intuition
@@ -92,6 +117,29 @@ impl CostModel for StructuralComplexity {
         cost += max_depth as f64 * w.per_depth;
         cost
     }
+
+    fn decompose(&self) -> Option<&dyn AdditiveCostModel> {
+        Some(self)
+    }
+}
+
+impl AdditiveCostModel for StructuralComplexity {
+    fn fact_cost(&self, fact: &Fact) -> f64 {
+        let w = &self.weights;
+        w.per_fact + fact.measures.len() as f64 * w.per_measure + fact.dimensions.len() as f64 * w.per_fact_dim_link
+    }
+
+    fn dimension_cost(&self, dim: &Dimension) -> f64 {
+        let w = &self.weights;
+        w.per_dimension
+            + dim.levels.len() as f64 * w.per_level
+            + dim.attribute_count() as f64 * w.per_attribute
+            + dim.rollups.len() as f64 * w.per_rollup
+    }
+
+    fn depth_term(&self, max_depth: usize) -> f64 {
+        max_depth as f64 * self.weights.per_depth
+    }
 }
 
 /// A trivial alternative model counting schema elements uniformly; useful to
@@ -108,6 +156,24 @@ impl CostModel for OpCountComplexity {
     fn cost(&self, schema: &MdSchema) -> f64 {
         let (facts, dims, levels, attrs, measures) = schema.size();
         (facts + dims + levels + attrs + measures) as f64
+    }
+
+    fn decompose(&self) -> Option<&dyn AdditiveCostModel> {
+        Some(self)
+    }
+}
+
+impl AdditiveCostModel for OpCountComplexity {
+    fn fact_cost(&self, fact: &Fact) -> f64 {
+        1.0 + fact.measures.len() as f64
+    }
+
+    fn dimension_cost(&self, dim: &Dimension) -> f64 {
+        1.0 + dim.levels.len() as f64 + dim.attribute_count() as f64
+    }
+
+    fn depth_term(&self, _max_depth: usize) -> f64 {
+        0.0
     }
 }
 
@@ -183,6 +249,33 @@ mod tests {
         let m0 = StructuralComplexity::with_weights(w);
         assert_eq!(m0.cost(&deep), m0.cost(&flat));
         flat.facts.clear();
+    }
+
+    #[test]
+    fn decomposition_sums_to_whole_schema_cost() {
+        let schemas = [schema_with(0, 0), schema_with(1, 2), schema_with(3, 4), {
+            let mut s = schema_with(2, 2);
+            let d = s.dimension_mut("D0").unwrap();
+            d.add_level_above("L0", Level::new("Up1", "k", MdDataType::Text));
+            s
+        }];
+        let models: [&dyn CostModel; 2] = [&StructuralComplexity::new(), &OpCountComplexity];
+        for model in models {
+            let am = model.decompose().expect("built-ins decompose");
+            for s in &schemas {
+                let mut sum = 0.0;
+                for f in &s.facts {
+                    sum += am.fact_cost(f);
+                }
+                let mut max_depth = 0;
+                for d in &s.dimensions {
+                    sum += am.dimension_cost(d);
+                    max_depth = max_depth.max(d.depth());
+                }
+                sum += am.depth_term(max_depth);
+                assert_eq!(sum, model.cost(s), "{} decomposition drifts", model.name());
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod diff;
 mod model;
 pub mod naming;
 
-pub use complexity::{ComplexityWeights, CostModel, OpCountComplexity, StructuralComplexity};
+pub use complexity::{AdditiveCostModel, ComplexityWeights, CostModel, OpCountComplexity, StructuralComplexity};
 pub use constraints::{MdViolation, ViolationKind};
 pub use model::{
     Additivity, AggFn, Attribute, DimLink, Dimension, Fact, Level, MdDataType, MdSchema, Measure, ReqSet, Rollup,

@@ -320,6 +320,18 @@ impl Obs {
         }
     }
 
+    /// Runs `f` and folds its wall time (in seconds) into the named
+    /// histogram. When disabled, the only overhead is the enabled check.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.is_enabled() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let result = f();
+        self.observe(name, start.elapsed().as_secs_f64());
+        result
+    }
+
     /// Snapshot of all metrics in name order.
     pub fn metrics(&self) -> Vec<(String, Metric)> {
         self.inner.metrics.lock().expect("metrics lock").iter().map(|(k, v)| (k.clone(), v.clone())).collect()
@@ -394,6 +406,24 @@ impl Drop for Span {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_folds_wall_clock_into_a_histogram() {
+        let obs = Obs::new(true);
+        let value = obs.time("t.seconds", || 41 + 1);
+        assert_eq!(value, 42);
+        match obs.metric("t.seconds") {
+            Some(Metric::Histogram { count, sum, .. }) => {
+                assert_eq!(count, 1);
+                assert!(sum >= 0.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // Disabled: the closure still runs, nothing is recorded.
+        let off = Obs::disabled();
+        assert_eq!(off.time("t.seconds", || 7), 7);
+        assert!(off.metric("t.seconds").is_none());
+    }
 
     #[test]
     fn disabled_records_nothing() {
