@@ -35,8 +35,13 @@ commands:
   diff                     structural changes of the last lifecycle step
   run <scale-factor>       execute the unified flow on generated TPC-H data
   query <file.xrq>         answer a requirement from the loaded warehouse
-  trace                    render the recorded lifecycle span tree
-  metrics                  print counters, histograms, and pool statistics
+  trace [--format chrome]  render the recorded lifecycle span tree, or emit
+                           Chrome trace-event JSON (load in about://tracing)
+  metrics [--format prometheus]
+                           print counters, histograms, and pool statistics,
+                           or emit Prometheus text exposition
+  serve <addr>             start the live telemetry endpoint (GET /metrics,
+                           /trace, /healthz); port 0 picks a free port
   json (on|off)            toggle JSON response encoding
   help                     this text
   quit                     exit";
@@ -142,19 +147,28 @@ fn dispatch(
                 }
             });
         }
-        "trace" => {
-            if *json {
-                ServiceRequest::GetTrace
-            } else {
-                let trace = quarry.trace();
-                return Some(if trace.is_empty() {
-                    "no spans recorded yet — run a lifecycle step first".to_string()
+        "trace" => match export_format(arg) {
+            Some("chrome") => return Some(quarry_obs::export::chrome_trace(&quarry.trace())),
+            Some(other) => return Some(format!("trace: unknown format `{other}` — try `chrome`")),
+            None => {
+                if *json {
+                    ServiceRequest::GetTrace
                 } else {
-                    trace.render()
-                });
+                    let trace = quarry.trace();
+                    return Some(if trace.is_empty() {
+                        "no spans recorded yet — run a lifecycle step first".to_string()
+                    } else {
+                        trace.render()
+                    });
+                }
             }
-        }
-        "metrics" => ServiceRequest::GetMetrics,
+        },
+        "metrics" => match export_format(arg) {
+            Some("prometheus") => return Some(quarry_obs::export::prometheus(&quarry.observability().metrics())),
+            Some(other) => return Some(format!("metrics: unknown format `{other}` — try `prometheus`")),
+            None => ServiceRequest::GetMetrics,
+        },
+        "serve" => ServiceRequest::ServeMetrics { addr: (!arg.is_empty()).then(|| arg.to_string()) },
         "suggest" => ServiceRequest::SuggestDimensions { focus: arg.to_string() },
         "add" | "change" => match std::fs::read_to_string(arg) {
             Ok(xrq) => {
@@ -175,6 +189,12 @@ fn dispatch(
     };
     let response = handle(quarry, request);
     Some(if *json { response.to_json().to_pretty_string() } else { render(response) })
+}
+
+/// Parses an optional `--format <name>` (or bare `<name>`) command argument.
+fn export_format(arg: &str) -> Option<&str> {
+    let arg = arg.strip_prefix("--format").unwrap_or(arg).trim();
+    (!arg.is_empty()).then_some(arg)
 }
 
 fn render(response: ServiceResponse) -> String {
@@ -198,6 +218,9 @@ fn render(response: ServiceResponse) -> String {
             out
         }
         ServiceResponse::Suggestions(names) => names.join("\n"),
+        ServiceResponse::Serving { addr } => {
+            format!("telemetry serving on http://{addr} (/metrics, /trace, /healthz)")
+        }
         ServiceResponse::Error(e) => format!("error: {e}"),
     }
 }
@@ -308,6 +331,22 @@ mod tests {
         assert!(metrics.contains("integrator.md_map_hits"), "{metrics}");
         assert!(metrics.contains("integrator.md_integrate_seconds"), "{metrics}");
         assert!(metrics.contains("integrator.etl_integrate_seconds"), "{metrics}");
+        assert!(metrics.contains("\"p50\""), "histograms carry quantiles: {metrics}");
+        // Prometheus text exposition.
+        let prom = run(&mut quarry, &mut json, "metrics --format prometheus");
+        assert!(prom.contains("# TYPE quarry_engine_runs_total counter"), "{prom}");
+        assert!(prom.contains("quarry_engine_op_seconds_bucket{le=\"+Inf\"}"), "{prom}");
+        assert!(prom.contains("quarry_engine_op_seconds_quantiles{quantile=\"0.99\"}"), "{prom}");
+        assert!(run(&mut quarry, &mut json, "metrics --format csv").contains("unknown format"));
+        // Chrome trace-event JSON.
+        let chrome = run(&mut quarry, &mut json, "trace --format chrome");
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"execute\""), "{chrome}");
+        // Live endpoint (port 0 picks a free port).
+        let serving = run(&mut quarry, &mut json, "serve 127.0.0.1:0");
+        assert!(serving.contains("telemetry serving on http://127.0.0.1:"), "{serving}");
+        quarry.stop_serving_metrics();
         // JSON mode.
         assert!(run(&mut quarry, &mut json, "json on").contains("on"));
         let listing = run(&mut quarry, &mut json, "list");

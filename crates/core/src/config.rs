@@ -22,6 +22,11 @@ pub struct QuarryConfig {
     pub design_name: String,
     /// Interpreter options (e.g. derived time dimensions).
     pub interpreter: quarry_interpreter::InterpreterOptions,
+    /// Address for the live telemetry endpoint (e.g. `"127.0.0.1:9464"`;
+    /// port 0 picks a free port). `None` (the default) means no endpoint;
+    /// the service layer starts one from this via
+    /// [`crate::service::ServiceRequest::ServeMetrics`].
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for QuarryConfig {
@@ -33,6 +38,7 @@ impl Default for QuarryConfig {
             etl_options: EtlIntegrationOptions::default(),
             design_name: "unified".to_string(),
             interpreter: quarry_interpreter::InterpreterOptions::default(),
+            metrics_addr: None,
         }
     }
 }

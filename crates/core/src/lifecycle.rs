@@ -13,7 +13,8 @@ use quarry_integrator::state::{ConsolidationState, ConsolidationStats};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
 use quarry_md::{MdSchema, MdViolation};
-use quarry_obs::{Obs, Span, Trace};
+use quarry_obs::serve::ObsServer;
+use quarry_obs::{Counter, Histogram, Metric, Obs, Span, Trace};
 use quarry_ontology::mappings::SourceRegistry;
 use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, Repository};
@@ -38,6 +39,9 @@ pub enum QuarryError {
     Deploy(DeployError),
     Engine(EngineError),
     Format(FormatError),
+    /// The telemetry endpoint could not be started (bind failure, missing
+    /// address configuration).
+    Telemetry(String),
 }
 
 impl fmt::Display for QuarryError {
@@ -59,6 +63,7 @@ impl fmt::Display for QuarryError {
             QuarryError::Deploy(e) => write!(f, "{e}"),
             QuarryError::Engine(e) => write!(f, "{e}"),
             QuarryError::Format(e) => write!(f, "{e}"),
+            QuarryError::Telemetry(e) => write!(f, "telemetry endpoint: {e}"),
         }
     }
 }
@@ -157,6 +162,36 @@ pub struct Quarry {
     /// metrics. Disabled (and effectively free) unless switched on via
     /// [`Quarry::set_observability`].
     obs: Obs,
+    /// Pre-resolved metric handles for the lifecycle's own hot series —
+    /// resolved once at construction, bumped via relaxed atomics.
+    metrics: LifecycleMetrics,
+    /// The live scrape endpoint, if started (see [`Quarry::serve_metrics`]).
+    /// Shuts down when the instance is dropped.
+    obs_server: Option<ObsServer>,
+}
+
+/// Handles for the metrics the lifecycle itself records. Kept together so
+/// construction resolves every name exactly once.
+struct LifecycleMetrics {
+    md_integrate_seconds: Histogram,
+    etl_integrate_seconds: Histogram,
+    engine_op_seconds: Histogram,
+    engine_runs: Counter,
+    engine_ops: Counter,
+    engine_rows: Counter,
+}
+
+impl LifecycleMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        LifecycleMetrics {
+            md_integrate_seconds: obs.histogram("integrator.md_integrate_seconds"),
+            etl_integrate_seconds: obs.histogram("integrator.etl_integrate_seconds"),
+            engine_op_seconds: obs.histogram("engine.op_seconds"),
+            engine_runs: obs.counter("engine.runs"),
+            engine_ops: obs.counter("engine.ops"),
+            engine_rows: obs.counter("engine.rows"),
+        }
+    }
 }
 
 impl Quarry {
@@ -175,6 +210,18 @@ impl Quarry {
         formats.register_exporter(Box::new(SqlExporter));
         let mut platforms = PlatformRegistry::with_builtins();
         platforms.register(Box::new(crate::native::NativePlatform));
+        let obs = Obs::disabled();
+        // The engine pool's always-on gauges ride along in every metrics
+        // snapshot; the engine itself stays free of any obs dependency.
+        obs.register_collector(Box::new(|out| {
+            let g = quarry_engine::pool::gauges();
+            out.push(("pool.queue_depth".to_string(), Metric::Gauge(g.queue_depth)));
+            out.push(("pool.active_workers".to_string(), Metric::Gauge(g.active_workers)));
+            out.push(("pool.morsels_in_flight".to_string(), Metric::Gauge(g.in_flight)));
+        }));
+        let metrics = LifecycleMetrics::resolve(&obs);
+        let mut consolidation = ConsolidationState::new();
+        consolidation.bind_metrics(&obs);
         Quarry {
             unified_md: MdSchema::new(config.design_name.clone()),
             unified_etl: Flow::new(config.design_name.clone()),
@@ -185,8 +232,10 @@ impl Quarry {
             platforms,
             config,
             requirements: BTreeMap::new(),
-            consolidation: ConsolidationState::new(),
-            obs: Obs::disabled(),
+            consolidation,
+            obs,
+            metrics,
+            obs_server: None,
         }
     }
 
@@ -241,6 +290,32 @@ impl Quarry {
     /// Snapshot of the lifecycle span trees recorded so far.
     pub fn trace(&self) -> Trace {
         self.obs.trace()
+    }
+
+    /// Starts (or restarts) the live telemetry endpoint on `addr` — a
+    /// std-only HTTP server answering `GET /metrics` (Prometheus text),
+    /// `/trace` (Chrome trace JSON), and `/healthz`. Also enables recording:
+    /// a scrape endpoint over a disabled recorder would only ever serve
+    /// emptiness. Returns the bound address (`addr` may use port 0).
+    /// The endpoint serves until the instance is dropped or
+    /// [`Quarry::stop_serving_metrics`] is called.
+    pub fn serve_metrics(&mut self, addr: &str) -> Result<std::net::SocketAddr, QuarryError> {
+        self.obs.set_enabled(true);
+        let server = quarry_obs::serve::serve(&self.obs, addr)
+            .map_err(|e| QuarryError::Telemetry(format!("cannot bind `{addr}`: {e}")))?;
+        let bound = server.addr();
+        self.obs_server = Some(server); // a previous server shuts down on drop
+        Ok(bound)
+    }
+
+    /// The live telemetry endpoint's address, if one is serving.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(ObsServer::addr)
+    }
+
+    /// Shuts down the live telemetry endpoint (recording stays enabled).
+    pub fn stop_serving_metrics(&mut self) {
+        self.obs_server = None;
     }
 
     /// The Requirements Elicitor over this instance's ontology.
@@ -324,13 +399,12 @@ impl Quarry {
         // ETL execution time) on the phase spans. The MD result is applied
         // only after the ETL step also succeeded (the ETL step restores the
         // flow itself on error), keeping the whole step transactional.
-        let counters = self.consolidation.stats();
         let md_result = {
             let phase = self.obs.span("md_integrate");
             let before = self.config.md_cost.cost(&self.unified_md);
             let started = Instant::now();
             let result = self.consolidation.md_step(&self.unified_md, &partial.md, self.config.md_cost.as_ref())?;
-            self.obs.observe("integrator.md_integrate_seconds", started.elapsed().as_secs_f64());
+            self.metrics.md_integrate_seconds.observe(started.elapsed().as_secs_f64());
             phase.attr("cost_before", before);
             phase.attr("cost_after", result.report.cost);
             phase.attr("cost_delta", result.report.cost - before);
@@ -347,14 +421,13 @@ impl Quarry {
                 &self.config.stats,
                 self.config.etl_options,
             )?;
-            self.obs.observe("integrator.etl_integrate_seconds", started.elapsed().as_secs_f64());
+            self.metrics.etl_integrate_seconds.observe(started.elapsed().as_secs_f64());
             phase.attr("cost_before", before);
             phase.attr("cost_after", report.cost);
             phase.attr("cost_delta", report.cost - before);
             phase.attr("reused_ops", report.reused_ops);
             report
         };
-        self.record_consolidation_metrics(counters);
 
         self.unified_md = md_result.schema;
         self.requirements.insert(req.id.clone(), req.clone());
@@ -427,7 +500,6 @@ impl Quarry {
         self.repository.link_requirement(requirement_id, ArtifactKind::MdSchema, &format!("partial-{requirement_id}"));
         self.repository.link_requirement(requirement_id, ArtifactKind::EtlFlow, &format!("partial-{requirement_id}"));
 
-        let counters = self.consolidation.stats();
         let md_result = self.consolidation.md_step(&self.unified_md, &md, self.config.md_cost.as_ref())?;
         let etl_report = self.consolidation.etl_step(
             &mut self.unified_etl,
@@ -436,7 +508,6 @@ impl Quarry {
             &self.config.stats,
             self.config.etl_options,
         )?;
-        self.record_consolidation_metrics(counters);
         self.unified_md = md_result.schema;
         // Record a marker requirement so lifecycle bookkeeping (removal,
         // listing) treats the external design like any other.
@@ -565,17 +636,6 @@ impl Quarry {
         self.consolidation.stats()
     }
 
-    /// Publishes the consolidation-counter movement since `before` as named
-    /// metrics, so `quarry-cli metrics` can show index effectiveness.
-    fn record_consolidation_metrics(&self, before: ConsolidationStats) {
-        let after = self.consolidation.stats();
-        self.obs.add("integrator.etl_index_hits", after.etl_index_hits - before.etl_index_hits);
-        self.obs.add("integrator.etl_index_misses", after.etl_index_misses - before.etl_index_misses);
-        self.obs.add("integrator.etl_index_rebuilds", after.etl_index_rebuilds - before.etl_index_rebuilds);
-        self.obs.add("integrator.md_map_hits", after.md_map_hits - before.md_map_hits);
-        self.obs.add("integrator.md_map_misses", after.md_map_misses - before.md_map_misses);
-    }
-
     /// Closes a lifecycle-step span (tagging it with the error, if any) and
     /// versions the accumulated trace in the repository.
     fn finish_step<T>(&self, step: Span, result: &Result<T, QuarryError>) {
@@ -682,13 +742,14 @@ impl Quarry {
                     ("kind".into(), quarry_obs::AttrValue::Str(t.kind.to_string())),
                     ("rows_in".into(), quarry_obs::AttrValue::Int(t.rows_in as i64)),
                     ("rows_out".into(), quarry_obs::AttrValue::Int(t.rows_out as i64)),
+                    ("worker".into(), quarry_obs::AttrValue::Int(t.worker as i64)),
                 ],
             );
-            self.obs.observe("engine.op_seconds", t.elapsed.as_secs_f64());
+            self.metrics.engine_op_seconds.observe(t.elapsed.as_secs_f64());
         }
-        self.obs.add("engine.runs", 1);
-        self.obs.add("engine.ops", report.timings.len() as u64);
-        self.obs.add("engine.rows", report.rows_processed as u64);
+        self.metrics.engine_runs.inc();
+        self.metrics.engine_ops.add(report.timings.len() as u64);
+        self.metrics.engine_rows.add(report.rows_processed as u64);
     }
 
     /// [`Quarry::run_etl_parallel`] pinned to a specific worker count

@@ -36,6 +36,11 @@ pub enum ServiceRequest {
     /// GET /observability/metrics — counters, histograms, and engine pool
     /// statistics as a JSON document.
     GetMetrics,
+    /// POST /observability/serve — start the live scrape endpoint
+    /// (`GET /metrics` Prometheus text, `/trace` Chrome trace JSON,
+    /// `/healthz`). With no explicit address, uses `metrics_addr` from the
+    /// instance's config. Also enables recording.
+    ServeMetrics { addr: Option<String> },
 }
 
 /// A response from the Quarry service.
@@ -54,6 +59,10 @@ pub enum ServiceResponse {
     Artifacts(Vec<(String, String)>),
     /// Ranked dimension suggestions for a focus concept.
     Suggestions(Vec<String>),
+    /// The live telemetry endpoint is serving on this address.
+    Serving {
+        addr: String,
+    },
     /// The request failed; the payload is the error report.
     Error(String),
 }
@@ -94,6 +103,10 @@ impl ServiceResponse {
             ServiceResponse::Suggestions(names) => {
                 obj.set("status", Json::String("ok".into()));
                 obj.set("suggestions", Json::Array(names.iter().map(|n| Json::String(n.clone())).collect()));
+            }
+            ServiceResponse::Serving { addr } => {
+                obj.set("status", Json::String("serving".into()));
+                obj.set("addr", Json::String(addr.clone()));
             }
             ServiceResponse::Error(message) => {
                 obj.set("status", Json::String("error".into()));
@@ -159,6 +172,13 @@ fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceRes
         }
         ServiceRequest::GetMetrics => {
             Ok(ServiceResponse::Document(crate::tracedoc::metrics_to_json(quarry.observability()).to_pretty_string()))
+        }
+        ServiceRequest::ServeMetrics { addr } => {
+            let addr = addr
+                .or_else(|| quarry.config().metrics_addr.clone())
+                .ok_or_else(|| QuarryError::Telemetry("no metrics address given or configured".into()))?;
+            let bound = quarry.serve_metrics(&addr)?;
+            Ok(ServiceResponse::Serving { addr: bound.to_string() })
         }
         ServiceRequest::SuggestDimensions { focus } => {
             let concept = quarry

@@ -63,24 +63,24 @@ fn attr_to_json(value: &AttrValue) -> Json {
 /// {
 ///   "version": 1,
 ///   "counters": {"engine.runs": 2, ...},
-///   "histograms": {"engine.op_seconds": {"count": 9, "sum": ..., "min": ..., "max": ...}},
+///   "gauges": {"pool.queue_depth": 0, ...},
+///   "histograms": {"engine.op_seconds": {"count": 9, "sum": ..., "min": ..., "max": ...,
+///                                        "p50": ..., "p95": ..., "p99": ...}},
 ///   "pool": {"regions": ..., "jobs": ..., "helpersSpawned": ...}
 /// }
 /// ```
+///
+/// An empty histogram carries only `"count": 0` — no min/max/sum/quantiles,
+/// so readers never see fabricated `null` extrema.
 pub fn metrics_to_json(obs: &Obs) -> Json {
     let mut counters = Json::object();
+    let mut gauges = Json::object();
     let mut histograms = Json::object();
     for (name, metric) in obs.metrics() {
         match metric {
             Metric::Counter(n) => counters.set(name, Json::Number(n as f64)),
-            Metric::Histogram { count, sum, min, max } => {
-                let mut h = Json::object();
-                h.set("count", Json::Number(count as f64));
-                h.set("sum", Json::Number(sum));
-                h.set("min", Json::Number(min));
-                h.set("max", Json::Number(max));
-                histograms.set(name, h);
-            }
+            Metric::Gauge(v) => gauges.set(name, Json::Number(v as f64)),
+            Metric::Histogram(snap) => histograms.set(name, histogram_to_json(&snap)),
         }
     }
     let pool = quarry_engine::pool::stats();
@@ -92,9 +92,31 @@ pub fn metrics_to_json(obs: &Obs) -> Json {
     let mut doc = Json::object();
     doc.set("version", Json::Number(TRACE_DOC_VERSION));
     doc.set("counters", counters);
+    doc.set("gauges", gauges);
     doc.set("histograms", histograms);
     doc.set("pool", pool_doc);
     doc
+}
+
+fn histogram_to_json(snap: &quarry_obs::HistogramSnapshot) -> Json {
+    let mut h = Json::object();
+    h.set("count", Json::Number(snap.count as f64));
+    if snap.is_empty() {
+        return h;
+    }
+    h.set("sum", Json::Number(snap.sum));
+    if let Some(min) = snap.min {
+        h.set("min", Json::Number(min));
+    }
+    if let Some(max) = snap.max {
+        h.set("max", Json::Number(max));
+    }
+    for (key, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        if let Some(v) = snap.quantile(q) {
+            h.set(key, Json::Number(v));
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -128,6 +150,34 @@ mod tests {
         assert_eq!(doc.get("counters").and_then(|c| c.get("engine.runs")).and_then(Json::as_f64), Some(2.0));
         let h = doc.get("histograms").and_then(|h| h.get("engine.op_seconds")).unwrap();
         assert_eq!(h.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(h.get("p50").and_then(Json::as_f64).is_some(), "quantiles present");
+        assert!(h.get("p99").and_then(Json::as_f64).is_some());
         assert!(doc.path("pool.regions").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn gauges_get_their_own_section() {
+        let obs = Obs::new(true);
+        obs.set_gauge("pool.queue_depth", 3);
+        let doc = metrics_to_json(&obs);
+        assert_eq!(doc.get("gauges").and_then(|g| g.get("pool.queue_depth")).and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn empty_histograms_render_as_bare_count_zero() {
+        let obs = Obs::new(true);
+        obs.histogram("idle.seconds"); // registered, never observed
+                                       // Force it into the document the way a collector would.
+        let snap = match obs.metric("idle.seconds").unwrap() {
+            Metric::Histogram(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let h = histogram_to_json(&snap);
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(0.0));
+        assert!(h.get("min").is_none(), "no fabricated min: {h:?}");
+        assert!(h.get("max").is_none(), "no fabricated max: {h:?}");
+        assert!(h.get("p50").is_none());
+        // And the encoding stays parseable (no bare `inf` tokens).
+        Json::parse(&h.to_pretty_string()).expect("well-formed");
     }
 }

@@ -87,6 +87,9 @@ pub struct OpTiming {
     pub rows_in: usize,
     pub rows_out: usize,
     pub elapsed: Duration,
+    /// Pool lane the operation ran on (see [`pool::worker_slot`]): 0 for the
+    /// calling/serial thread, `h` for helper lane `h`.
+    pub worker: usize,
 }
 
 /// The result of executing a flow.
@@ -151,6 +154,7 @@ impl Engine {
                 rows_in,
                 rows_out: out.len(),
                 elapsed,
+                worker: 0,
             });
             results.insert(id, out);
         }
@@ -194,15 +198,18 @@ impl Engine {
                 .into_iter()
                 .map(|id| (id, flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect()))
                 .collect();
-            let outcomes: Vec<Result<(Arc<Relation>, Duration), EngineError>> = pool::run_indexed(jobs.len(), |i| {
+            // Output relation, measured elapsed time, and the pool lane that ran it.
+            type PureOutcome = (Arc<Relation>, Duration, usize);
+            let outcomes: Vec<Result<PureOutcome, EngineError>> = pool::run_indexed(jobs.len(), |i| {
                 let (id, inputs) = &jobs[i];
                 let op = flow.op(*id);
+                let worker = pool::worker_slot();
                 let t0 = Instant::now();
                 let out = execute_pure(catalog, &op.name, &op.kind, inputs)?;
-                Ok((out, t0.elapsed()))
+                Ok((out, t0.elapsed(), worker))
             });
             for ((id, inputs), outcome) in jobs.iter().zip(outcomes) {
-                let (out, elapsed) = outcome?;
+                let (out, elapsed, worker) = outcome?;
                 let op = flow.op(*id);
                 report.rows_processed += out.len();
                 report.timings.push(OpTiming {
@@ -211,6 +218,7 @@ impl Engine {
                     rows_in: inputs.iter().map(|r| r.len()).sum(),
                     rows_out: out.len(),
                     elapsed,
+                    worker,
                 });
                 results.insert(*id, out);
             }
@@ -235,6 +243,7 @@ impl Engine {
                     rows_in,
                     rows_out: out.len(),
                     elapsed: t0.elapsed(),
+                    worker: 0,
                 });
                 results.insert(id, out);
             }

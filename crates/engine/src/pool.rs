@@ -9,7 +9,8 @@
 //! token, so nesting cannot deadlock, and the total number of live worker
 //! threads never exceeds `threads()`.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// Explicit thread-count override; 0 means "not set".
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
@@ -23,6 +24,48 @@ static IN_USE: AtomicUsize = AtomicUsize::new(0);
 static REGIONS: AtomicU64 = AtomicU64::new(0);
 static JOBS: AtomicU64 = AtomicU64::new(0);
 static HELPERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+// Live-state gauges (process-wide, instantaneous). Scraped by the live
+// `/metrics` endpoint mid-run, so they move up *and* down: queued jobs not
+// yet claimed, workers currently executing a job, and jobs claimed but not
+// yet finished (morsels in flight).
+static QUEUE_DEPTH: AtomicI64 = AtomicI64::new(0);
+static ACTIVE_WORKERS: AtomicI64 = AtomicI64::new(0);
+static IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
+
+thread_local! {
+    /// This thread's lane within the innermost active [`run_indexed`] region:
+    /// 0 for a caller running inline, `h` for helper `h` (1-based). Nested
+    /// regions that get no helpers keep the enclosing slot, so per-operator
+    /// timings attribute to the lane that really ran them.
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The pool lane the current thread occupies (0 = the calling thread).
+/// Meaningful while inside a [`run_indexed`] job; 0 otherwise.
+pub fn worker_slot() -> usize {
+    WORKER_SLOT.with(|s| s.get())
+}
+
+/// A snapshot of the pool's live gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolGauges {
+    /// Jobs queued in open regions and not yet claimed by any worker.
+    pub queue_depth: i64,
+    /// Worker threads (helpers + inline callers) currently inside a job.
+    pub active_workers: i64,
+    /// Jobs claimed but not yet completed (morsels in flight).
+    pub in_flight: i64,
+}
+
+/// Instantaneous pool gauges (see [`PoolGauges`]).
+pub fn gauges() -> PoolGauges {
+    PoolGauges {
+        queue_depth: QUEUE_DEPTH.load(Ordering::Relaxed),
+        active_workers: ACTIVE_WORKERS.load(Ordering::Relaxed),
+        in_flight: IN_FLIGHT.load(Ordering::Relaxed),
+    }
+}
 
 /// A snapshot of the pool's lifetime counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,26 +148,48 @@ where
     }
     REGIONS.fetch_add(1, Ordering::Relaxed);
     JOBS.fetch_add(jobs as u64, Ordering::Relaxed);
+    QUEUE_DEPTH.fetch_add(jobs as i64, Ordering::Relaxed);
     let helpers = acquire(jobs - 1);
     if helpers == 0 {
-        return (0..jobs).map(f).collect();
+        ACTIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
+        let out = (0..jobs)
+            .map(|i| {
+                QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+                IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
+                let v = f(i);
+                IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+                v
+            })
+            .collect();
+        ACTIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
+        return out;
     }
     HELPERS_SPAWNED.fetch_add(helpers as u64, Ordering::Relaxed);
     let next = AtomicUsize::new(0);
-    let run_worker = || {
+    // `slot` is the worker's lane for span attribution: helpers take 1-based
+    // lanes, the caller (slot 0 here) keeps whatever lane it already holds so
+    // nested regions attribute to the outer lane that really ran them.
+    let run_worker = |slot: usize| {
+        let prev_slot = WORKER_SLOT.with(|s| if slot == 0 { s.get() } else { s.replace(slot) });
+        ACTIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
         let mut done: Vec<(usize, T)> = Vec::new();
         loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= jobs {
                 break;
             }
+            QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
+            IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
             done.push((i, f(i)));
+            IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
         }
+        ACTIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
+        WORKER_SLOT.with(|s| s.set(prev_slot));
         done
     };
     let mut all: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..helpers).map(|_| s.spawn(run_worker)).collect();
-        let mut all = run_worker();
+        let handles: Vec<_> = (0..helpers).map(|h| s.spawn(move || run_worker(h + 1))).collect();
+        let mut all = run_worker(0);
         for h in handles {
             all.extend(h.join().expect("pool workers do not panic"));
         }
@@ -171,6 +236,59 @@ mod tests {
             assert_eq!(*inner, (0..8).map(|j| i * 8 + j).collect::<Vec<_>>());
         }
         assert_eq!(IN_USE.load(Ordering::Relaxed), 0, "all tokens returned");
+    }
+
+    #[test]
+    fn gauges_return_to_zero_after_a_region() {
+        run_indexed(32, |i| i * 2);
+        // Other tests in this process may have regions open concurrently, so
+        // wait for the gauges to settle rather than asserting an instant zero.
+        let mut last = gauges();
+        for _ in 0..10_000 {
+            last = gauges();
+            if last == (PoolGauges { queue_depth: 0, active_workers: 0, in_flight: 0 }) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        panic!("gauges did not settle to zero: {last:?}");
+    }
+
+    #[test]
+    fn gauges_move_while_jobs_run() {
+        let peak_in_flight = AtomicU64::new(0);
+        run_indexed(64, |_| {
+            let g = gauges();
+            assert!(g.in_flight >= 1, "the running job itself is in flight");
+            assert!(g.active_workers >= 1);
+            peak_in_flight.fetch_max(g.in_flight as u64, Ordering::Relaxed);
+        });
+        assert!(peak_in_flight.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn worker_slots_stay_within_the_lane_count_and_reset() {
+        assert_eq!(worker_slot(), 0, "caller thread starts on lane 0");
+        let budget = threads();
+        let slots = run_indexed(64, |_| {
+            std::thread::yield_now();
+            worker_slot()
+        });
+        for slot in &slots {
+            assert!(*slot < budget.max(1), "slot {slot} exceeds lane count {budget}");
+        }
+        assert_eq!(worker_slot(), 0, "caller lane restored after the region");
+        // Nested regions that run inline keep the enclosing lane.
+        let nested = run_indexed(4, |_| {
+            let outer = worker_slot();
+            let inner = run_indexed(2, |_| worker_slot());
+            (outer, inner)
+        });
+        for (outer, inner) in nested {
+            for lane in inner {
+                assert!(lane == outer || lane > 0, "inline nested jobs keep lane {outer}, got {lane}");
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ use quarry_etl::cost::{EtlCostModel, SourceStats};
 use quarry_etl::rules;
 use quarry_etl::Flow;
 use quarry_md::{CostModel, MdSchema};
+use quarry_obs::{Counter, Obs};
 
 /// Cumulative consolidation counters, surfaced as `integrator.*` metrics by
 /// the lifecycle.
@@ -47,6 +48,31 @@ pub struct ConsolidationStats {
     pub md_map_hits: u64,
     /// Partial MD elements with no unified counterpart.
     pub md_map_misses: u64,
+}
+
+/// Pre-resolved metric handles mirroring [`ConsolidationStats`]: resolved
+/// once by [`ConsolidationState::bind_metrics`], bumped via relaxed atomics
+/// at the same sites that maintain the plain counters — no name lookup on
+/// the consolidation path.
+#[derive(Debug, Clone)]
+struct BoundMetrics {
+    etl_index_hits: Counter,
+    etl_index_misses: Counter,
+    etl_index_rebuilds: Counter,
+    md_map_hits: Counter,
+    md_map_misses: Counter,
+}
+
+impl BoundMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        BoundMetrics {
+            etl_index_hits: obs.counter("integrator.etl_index_hits"),
+            etl_index_misses: obs.counter("integrator.etl_index_misses"),
+            etl_index_rebuilds: obs.counter("integrator.etl_index_rebuilds"),
+            md_map_hits: obs.counter("integrator.md_map_hits"),
+            md_map_misses: obs.counter("integrator.md_map_misses"),
+        }
+    }
 }
 
 /// The maintained ETL side: the index, the alignment flavor it was built
@@ -70,11 +96,19 @@ struct EtlState {
 pub struct ConsolidationState {
     etl: Option<EtlState>,
     stats: ConsolidationStats,
+    metrics: Option<BoundMetrics>,
 }
 
 impl ConsolidationState {
     pub fn new() -> Self {
         ConsolidationState::default()
+    }
+
+    /// Resolves `integrator.*` metric handles on `obs` once; subsequent steps
+    /// publish counter movement through them (cheap relaxed atomics, gated on
+    /// the recorder's enabled flag) instead of string-keyed lookups.
+    pub fn bind_metrics(&mut self, obs: &Obs) {
+        self.metrics = Some(BoundMetrics::resolve(obs));
     }
 
     /// Cumulative counters since construction.
@@ -147,6 +181,9 @@ impl ConsolidationState {
                 fingerprint: (0, 0), // refreshed below
             });
             self.stats.etl_index_rebuilds += 1;
+            if let Some(m) = &self.metrics {
+                m.etl_index_rebuilds.inc();
+            }
         }
 
         let state = self.etl.as_mut().expect("index built above");
@@ -155,6 +192,10 @@ impl ConsolidationState {
         state.fingerprint = (unified.op_count(), unified.edge_count());
         self.stats.etl_index_hits += outcome.hits;
         self.stats.etl_index_misses += outcome.misses;
+        if let Some(m) = &self.metrics {
+            m.etl_index_hits.add(outcome.hits);
+            m.etl_index_misses.add(outcome.misses);
+        }
         Ok(report)
     }
 
@@ -174,6 +215,10 @@ impl ConsolidationState {
         let hits = result.report.pairings_discovered as u64;
         self.stats.md_map_hits += hits;
         self.stats.md_map_misses += elements.saturating_sub(hits);
+        if let Some(m) = &self.metrics {
+            m.md_map_hits.add(hits);
+            m.md_map_misses.add(elements.saturating_sub(hits));
+        }
         Ok(result)
     }
 }

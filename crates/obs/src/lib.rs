@@ -1,11 +1,12 @@
-//! Observability substrate for Quarry: tracing spans and named metrics.
+//! Observability substrate for Quarry: tracing spans and a production-grade
+//! metric registry.
 //!
 //! The paper's only named quality factors — *structural design complexity*
 //! and *overall ETL execution time* — are exactly the signals the system
 //! should expose continuously. This crate is the substrate: an [`Obs`]
 //! handle records a tree of timed spans (one per lifecycle phase, one per
-//! engine operator) plus named counters and histograms, all behind a single
-//! enabled flag.
+//! engine operator) plus named counters, gauges, and log-bucketed
+//! histograms, all behind a single enabled flag.
 //!
 //! Design constraints, in order:
 //!
@@ -13,6 +14,12 @@
 //!   carry a handle without pulling anything in;
 //! - **zero-cost when disabled** — every recording entry point begins with
 //!   one relaxed atomic load and returns before any allocation or lock;
+//! - **cheap when enabled** — metrics are recorded through pre-resolved
+//!   handles ([`Obs::counter`] / [`Obs::gauge`] / [`Obs::histogram`]) that
+//!   bump striped relaxed atomics: no map lock, no string hashing, no
+//!   allocation on the hot path (see [`registry`]). The string-keyed
+//!   [`Obs::add`] / [`Obs::observe`] API remains as a thin shim over the
+//!   registry for call sites off the hot path;
 //! - **thread-safe** — a handle is `Clone + Send + Sync`; metrics may be
 //!   bumped from engine worker threads while the lifecycle thread owns the
 //!   span stack.
@@ -21,10 +28,21 @@
 //! the span and attaches it to the enclosing one (or to the trace roots).
 //! Pre-measured work (e.g. the engine's per-operator timings) is attached
 //! with [`Obs::record_span`] without re-timing it.
+//!
+//! For getting the data out, [`export`] renders metric snapshots as
+//! Prometheus text exposition and span trees as Chrome `trace_event` JSON,
+//! and [`serve`] exposes both on a std-only HTTP scrape endpoint
+//! (`GET /metrics`, `/trace`, `/healthz`).
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
+pub mod export;
+mod registry;
+pub mod serve;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric};
+
+use registry::Registry;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -170,28 +188,6 @@ impl Trace {
 }
 
 // ---------------------------------------------------------------------------
-// Metrics model
-// ---------------------------------------------------------------------------
-
-/// A named metric snapshot.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Metric {
-    /// Monotonically increasing count.
-    Counter(u64),
-    /// Distribution summary of observed values.
-    Histogram { count: u64, sum: f64, min: f64, max: f64 },
-}
-
-impl Metric {
-    pub fn as_counter(&self) -> Option<u64> {
-        match self {
-            Metric::Counter(n) => Some(*n),
-            Metric::Histogram { .. } => None,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Recorder
 // ---------------------------------------------------------------------------
 
@@ -214,11 +210,40 @@ struct Frame {
     children: Vec<SpanNode>,
 }
 
-#[derive(Debug, Default)]
+/// A callback appending externally owned metrics (e.g. the engine pool's
+/// always-on gauges) to every snapshot while the recorder is enabled.
+pub type Collector = Box<dyn Fn(&mut Vec<(String, Metric)>) + Send + Sync>;
+
 struct Inner {
-    enabled: AtomicBool,
+    enabled: Arc<AtomicBool>,
     spans: Mutex<SpanState>,
-    metrics: Mutex<BTreeMap<String, Metric>>,
+    registry: Registry,
+    collectors: Mutex<Vec<Collector>>,
+    /// Bumped whenever a name is requested under two different metric types
+    /// (see [`Obs::type_conflicts`]). Not gated on `enabled`: losing data to
+    /// a naming bug is worth surfacing even on an otherwise idle recorder.
+    type_conflicts: Arc<registry::CounterSentinel>,
+}
+
+impl fmt::Debug for Inner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Inner")
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            enabled: Arc::new(AtomicBool::new(false)),
+            spans: Mutex::default(),
+            registry: Registry::default(),
+            collectors: Mutex::new(Vec::new()),
+            type_conflicts: Arc::new(registry::CounterSentinel::default()),
+        }
+    }
 }
 
 /// A cheaply cloneable observability handle. All clones share one recorder.
@@ -226,6 +251,9 @@ struct Inner {
 pub struct Obs {
     inner: Arc<Inner>,
 }
+
+/// Name under which metric-type conflicts are surfaced in snapshots.
+pub const TYPE_CONFLICTS_METRIC: &str = "obs.type_conflicts";
 
 impl Obs {
     pub fn new(enabled: bool) -> Self {
@@ -286,38 +314,93 @@ impl Obs {
         }
     }
 
-    /// Adds `n` to a named counter.
+    // ---- handle resolution --------------------------------------------------
+
+    /// Resolves (registering on first use) a counter handle. Resolve once,
+    /// bump forever: the handle itself is one relaxed striped atomic add.
+    ///
+    /// If `name` is already registered as another metric type the conflict
+    /// is surfaced (debug assert + [`TYPE_CONFLICTS_METRIC`] counter) and a
+    /// detached handle is returned: recording through it stays safe but
+    /// reaches no registered metric.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.inner.registry.counter(name, &self.inner.enabled) {
+            Ok(cell) => Counter(cell),
+            Err(conflict) => {
+                self.report_conflict(name, conflict);
+                Counter(registry::detached_counter(&self.inner.enabled))
+            }
+        }
+    }
+
+    /// Resolves (registering on first use) a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.inner.registry.gauge(name, &self.inner.enabled) {
+            Ok(cell) => Gauge(cell),
+            Err(conflict) => {
+                self.report_conflict(name, conflict);
+                Gauge(registry::detached_gauge(&self.inner.enabled))
+            }
+        }
+    }
+
+    /// Resolves (registering on first use) a histogram handle with fixed
+    /// log-bucketed (HDR-style) layout and `quantile(q)` on its snapshots.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.inner.registry.histogram(name, &self.inner.enabled) {
+            Ok(cell) => Histogram(cell),
+            Err(conflict) => {
+                self.report_conflict(name, conflict);
+                Histogram(registry::detached_histogram(&self.inner.enabled))
+            }
+        }
+    }
+
+    /// A metric-type conflict drops the observation; surface it rather than
+    /// losing data silently. The counter is bumped *before* the debug assert
+    /// so release builds keep an audit trail where debug builds panic.
+    fn report_conflict(&self, name: &str, conflict: registry::TypeConflict) {
+        self.inner.type_conflicts.inc();
+        debug_assert!(
+            false,
+            "metric `{name}` is registered as a {} but was requested as a {}",
+            conflict.existing, conflict.requested
+        );
+    }
+
+    /// How many metric-type conflicts this recorder has seen.
+    pub fn type_conflicts(&self) -> u64 {
+        self.inner.type_conflicts.value()
+    }
+
+    // ---- string-keyed shims -------------------------------------------------
+
+    /// Adds `n` to a named counter. Compatibility shim over the registry:
+    /// resolves the handle on every call — prefer [`Obs::counter`] on hot
+    /// paths.
     pub fn add(&self, name: &str, n: u64) {
         if !self.is_enabled() {
             return;
         }
-        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
-        match metrics.entry(name.to_string()).or_insert(Metric::Counter(0)) {
-            Metric::Counter(total) => *total += n,
-            Metric::Histogram { .. } => {}
-        }
+        self.counter(name).add(n);
     }
 
-    /// Folds one observation into a named histogram.
+    /// Folds one observation into a named histogram. Compatibility shim —
+    /// prefer [`Obs::histogram`] on hot paths.
     pub fn observe(&self, name: &str, value: f64) {
         if !self.is_enabled() {
             return;
         }
-        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
-        match metrics.entry(name.to_string()).or_insert(Metric::Histogram {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }) {
-            Metric::Histogram { count, sum, min, max } => {
-                *count += 1;
-                *sum += value;
-                *min = min.min(value);
-                *max = max.max(value);
-            }
-            Metric::Counter(_) => {}
+        self.histogram(name).observe(value);
+    }
+
+    /// Sets a named gauge. Compatibility shim — prefer [`Obs::gauge`] on
+    /// hot paths.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        if !self.is_enabled() {
+            return;
         }
+        self.gauge(name).set(value);
     }
 
     /// Runs `f` and folds its wall time (in seconds) into the named
@@ -326,19 +409,45 @@ impl Obs {
         if !self.is_enabled() {
             return f();
         }
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let result = f();
         self.observe(name, start.elapsed().as_secs_f64());
         result
     }
 
-    /// Snapshot of all metrics in name order.
-    pub fn metrics(&self) -> Vec<(String, Metric)> {
-        self.inner.metrics.lock().expect("metrics lock").iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    // ---- snapshots ----------------------------------------------------------
+
+    /// Registers a collector whose output is appended to every [`Obs::metrics`]
+    /// snapshot while the recorder is enabled — the hook for externally owned
+    /// always-on metrics such as the engine pool's gauges.
+    pub fn register_collector(&self, collector: Collector) {
+        self.inner.collectors.lock().expect("collector lock").push(collector);
     }
 
+    /// Snapshot of all metrics with recorded data, in name order: registry
+    /// entries, then collector output, then [`TYPE_CONFLICTS_METRIC`] if any
+    /// conflict occurred. Eagerly registered but untouched metrics (zero
+    /// counters, unset gauges, empty histograms) are omitted.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        let mut out = self.inner.registry.snapshot();
+        if self.is_enabled() {
+            for collector in self.inner.collectors.lock().expect("collector lock").iter() {
+                collector(&mut out);
+            }
+        }
+        let conflicts = self.inner.type_conflicts.value();
+        if conflicts > 0 {
+            out.push((TYPE_CONFLICTS_METRIC.to_string(), Metric::Counter(conflicts)));
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Snapshot of one registered metric by name (including ones that have
+    /// not recorded anything yet). Collector-provided metrics are not
+    /// addressable here.
     pub fn metric(&self, name: &str) -> Option<Metric> {
-        self.inner.metrics.lock().expect("metrics lock").get(name).cloned()
+        self.inner.registry.get(name)
     }
 
     /// Snapshot of the completed root spans recorded so far. Open spans are
@@ -347,13 +456,15 @@ impl Obs {
         Trace { spans: self.inner.spans.lock().expect("span lock").roots.clone() }
     }
 
-    /// Clears the recorded trace and all metrics (the enabled flag is kept).
+    /// Clears the recorded trace and resets all metric values (the enabled
+    /// flag, registrations, live handles, and collectors are kept).
     pub fn clear(&self) {
         let mut state = self.inner.spans.lock().expect("span lock");
         state.roots.clear();
         state.epoch = None;
         drop(state);
-        self.inner.metrics.lock().expect("metrics lock").clear();
+        self.inner.registry.reset();
+        self.inner.type_conflicts.reset();
     }
 }
 
@@ -413,9 +524,9 @@ mod tests {
         let value = obs.time("t.seconds", || 41 + 1);
         assert_eq!(value, 42);
         match obs.metric("t.seconds") {
-            Some(Metric::Histogram { count, sum, .. }) => {
-                assert_eq!(count, 1);
-                assert!(sum >= 0.0);
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!(h.sum >= 0.0);
             }
             other => panic!("expected histogram, got {other:?}"),
         }
@@ -434,9 +545,37 @@ mod tests {
         }
         obs.add("c", 5);
         obs.observe("h", 1.0);
+        obs.set_gauge("g", 3);
         obs.record_span("pre", Duration::from_millis(1), vec![]);
         assert!(obs.trace().is_empty());
         assert!(obs.metrics().is_empty());
+    }
+
+    #[test]
+    fn handles_resolve_once_and_accumulate() {
+        let obs = Obs::new(true);
+        let runs = obs.counter("engine.runs");
+        let depth = obs.gauge("engine.queue_depth");
+        let seconds = obs.histogram("engine.op_seconds");
+        runs.add(2);
+        runs.inc();
+        depth.set(5);
+        depth.sub(2);
+        seconds.observe(0.010);
+        seconds.observe(0.020);
+        assert_eq!(runs.value(), 3);
+        assert_eq!(depth.value(), 3);
+        assert_eq!(obs.metric("engine.runs"), Some(Metric::Counter(3)));
+        assert_eq!(obs.metric("engine.queue_depth"), Some(Metric::Gauge(3)));
+        let snap = seconds.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!((snap.sum - 0.030).abs() < 1e-9);
+        assert_eq!(snap.min, Some(0.010));
+        assert_eq!(snap.max, Some(0.020));
+        // A clone of the handle hits the same cell, as does a re-resolve.
+        runs.clone().inc();
+        obs.counter("engine.runs").inc();
+        assert_eq!(runs.value(), 5);
     }
 
     #[test]
@@ -503,7 +642,15 @@ mod tests {
         obs.observe("engine.op_ms", 2.0);
         obs.observe("engine.op_ms", 4.0);
         assert_eq!(obs.metric("engine.runs"), Some(Metric::Counter(3)));
-        assert_eq!(obs.metric("engine.op_ms"), Some(Metric::Histogram { count: 2, sum: 6.0, min: 2.0, max: 4.0 }));
+        match obs.metric("engine.op_ms") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 6.0);
+                assert_eq!(h.min, Some(2.0));
+                assert_eq!(h.max, Some(4.0));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
         assert_eq!(obs.metrics().len(), 2);
     }
 
@@ -521,6 +668,32 @@ mod tests {
             }
         });
         assert_eq!(obs.metric("n"), Some(Metric::Counter(4000)));
+    }
+
+    #[test]
+    fn type_conflicts_are_counted_not_silently_dropped() {
+        let obs = Obs::new(true);
+        obs.add("x", 1);
+        // Requesting the same name as a histogram is a naming bug: in debug
+        // builds it asserts; in release builds it is surfaced as a counter.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| obs.observe("x", 1.0)));
+        assert_eq!(result.is_err(), cfg!(debug_assertions), "debug assert fires exactly in debug builds");
+        assert_eq!(obs.type_conflicts(), 1);
+        let metrics = obs.metrics();
+        assert!(metrics.iter().any(|(n, m)| n == TYPE_CONFLICTS_METRIC && m.as_counter() == Some(1)), "{metrics:?}");
+        // The original counter is intact.
+        assert_eq!(obs.metric("x"), Some(Metric::Counter(1)));
+    }
+
+    #[test]
+    fn collectors_feed_snapshots_only_while_enabled() {
+        let obs = Obs::new(true);
+        obs.register_collector(Box::new(|out| {
+            out.push(("pool.queue_depth".to_string(), Metric::Gauge(4)));
+        }));
+        assert!(obs.metrics().iter().any(|(n, _)| n == "pool.queue_depth"));
+        obs.set_enabled(false);
+        assert!(obs.metrics().is_empty());
     }
 
     #[test]
@@ -545,5 +718,16 @@ mod tests {
         let trace = obs.trace();
         assert_eq!(trace.spans.len(), 1);
         assert!(trace.spans[0].start < Duration::from_millis(10), "epoch restarted");
+    }
+
+    #[test]
+    fn clear_keeps_handles_recording() {
+        let obs = Obs::new(true);
+        let c = obs.counter("n");
+        c.add(3);
+        obs.clear();
+        assert!(obs.metrics().is_empty());
+        c.add(1);
+        assert_eq!(obs.metric("n"), Some(Metric::Counter(1)));
     }
 }

@@ -1,0 +1,769 @@
+//! The sharded, lock-free metric registry behind [`crate::Obs`].
+//!
+//! Call sites resolve a name to a handle **once** ([`Counter`], [`Gauge`],
+//! [`Histogram`]) and afterwards record through relaxed atomics only — no
+//! map lock, no string hashing, no allocation on the hot path. Counters and
+//! histogram totals are striped across cache-line-padded cells indexed by a
+//! per-thread slot, so engine worker threads bumping the same metric never
+//! contend on one cache line. The name → handle map itself is sharded by
+//! name hash and touched only at registration and snapshot time.
+//!
+//! Histograms are fixed log-bucketed (HDR-style): base-2 octaves split into
+//! 8 sub-buckets straight from the `f64` bit pattern, covering ~1 ns to 64 s
+//! with ≤ 12.5% relative bucket width, plus underflow/overflow buckets.
+//! [`HistogramSnapshot::quantile`] is therefore exact to within one bucket.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------------
+// Striping
+// ---------------------------------------------------------------------------
+
+/// Stripe count: enough slots that threads of one worker pool land on
+/// distinct cache lines, bounded so a histogram stays a few KiB.
+pub(crate) const STRIPES: usize = 16;
+
+/// A cache-line-padded atomic cell (64-byte alignment keeps neighbouring
+/// stripes out of each other's cache line).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// Process-wide monotonically assigned thread slots.
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+#[inline]
+fn stripe() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+fn stripes() -> Box<[PaddedU64]> {
+    (0..STRIPES).map(|_| PaddedU64::default()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Metric snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    /// Smallest observed value; `None` while the histogram is empty.
+    pub min: Option<f64>,
+    /// Largest observed value; `None` while the histogram is empty.
+    pub max: Option<f64>,
+    /// `(upper_bound, count)` of every non-empty bucket, ascending. The last
+    /// bucket's bound may be `+inf` (overflow bucket).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The value at quantile `q` (0 ≤ q ≤ 1), exact to within one bucket:
+    /// the upper bound of the bucket holding the q-th observation, clamped
+    /// to the observed `[min, max]` range. `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total: u64 = self.buckets.iter().map(|(_, n)| n).sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                let mut v = upper;
+                if let Some(max) = self.max {
+                    v = v.min(max);
+                }
+                if let Some(min) = self.min {
+                    v = v.max(min);
+                }
+                return Some(v);
+            }
+        }
+        self.max
+    }
+}
+
+/// A named metric snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// A value that can move both ways (queue depths, in-flight work).
+    Gauge(i64),
+    /// Distribution of observed values over fixed log buckets.
+    Histogram(HistogramSnapshot),
+}
+
+impl Metric {
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            Metric::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_gauge(&self) -> Option<i64> {
+        match self {
+            Metric::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cells (the shared storage behind handles)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct CounterCell {
+    enabled: Arc<AtomicBool>,
+    stripes: Box<[PaddedU64]>,
+}
+
+impl CounterCell {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        CounterCell { enabled, stripes: stripes() }
+    }
+
+    #[inline]
+    fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.stripes[stripe()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn value(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in self.stripes.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct GaugeCell {
+    enabled: Arc<AtomicBool>,
+    value: AtomicI64,
+    touched: AtomicBool,
+}
+
+impl GaugeCell {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        GaugeCell { enabled, value: AtomicI64::new(0), touched: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+            self.touched.store(true, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+            self.touched.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn is_touched(&self) -> bool {
+        self.touched.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.touched.store(false, Ordering::Relaxed);
+    }
+}
+
+// Histogram bucket layout: one underflow bucket, `OCTAVES × 8` log-linear
+// buckets derived from the f64 bit pattern (exponent selects the octave, the
+// top three mantissa bits the sub-bucket), one overflow bucket.
+
+/// Smallest bucketed value: 2^-30 s ≈ 0.93 ns (biased exponent 993).
+const MIN_EXP: u64 = 993;
+/// Largest bucketed octave starts at 2^6 = 64 s (biased exponent 1029).
+const MAX_EXP: u64 = 1029;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
+const LINEAR_BUCKETS: usize = OCTAVES * 8;
+/// Total buckets including underflow (index 0) and overflow (last index).
+pub(crate) const BUCKETS: usize = LINEAR_BUCKETS + 2;
+
+/// Bucket index for a value. Zero, negatives, and subnormals fall into the
+/// underflow bucket; values beyond the last octave (incl. `+inf`) into the
+/// overflow bucket. Callers must filter `NaN` before indexing.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = (bits >> 52) & 0x7ff;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = ((bits >> 49) & 0x7) as usize;
+    1 + (exp - MIN_EXP) as usize * 8 + sub
+}
+
+/// Upper bound of bucket `i` (inclusive reporting bound).
+fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        return f64::from_bits(MIN_EXP << 52); // smallest bucketed value
+    }
+    if i >= BUCKETS - 1 {
+        return f64::INFINITY;
+    }
+    let k = i - 1;
+    let exp = MIN_EXP + (k / 8) as u64;
+    let sub = (k % 8) as f64 + 1.0;
+    f64::from_bits(exp << 52) * (1.0 + sub / 8.0)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    enabled: Arc<AtomicBool>,
+    /// Striped observation counts (summed for `count`).
+    counts: Box<[PaddedU64]>,
+    /// Striped sums, stored as f64 bit patterns and folded via CAS.
+    sums: Box<[PaddedU64]>,
+    /// Log-bucketed counts. Same-bucket updates share a `fetch_add`, which
+    /// stays lock-free; distinct buckets do not touch the same cell.
+    buckets: Box<[AtomicU64]>,
+    /// Observed extrema as f64 bit patterns (CAS loops).
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        HistogramCell {
+            enabled,
+            counts: stripes(),
+            sums: (0..STRIPES).map(|_| PaddedU64(AtomicU64::new(0f64.to_bits()))).collect(),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, v: f64) {
+        if !self.enabled.load(Ordering::Relaxed) || v.is_nan() {
+            return;
+        }
+        let s = stripe();
+        self.counts[s].0.fetch_add(1, Ordering::Relaxed);
+        // Striped sum: CAS on this thread's stripe only, so the loop almost
+        // never retries.
+        let sum = &self.sums[s].0;
+        let mut cur = sum.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        update_extreme(&self.min_bits, v, |new, cur| new < cur);
+        update_extreme(&self.max_bits, v, |new, cur| new > cur);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count: u64 = self.counts.iter().map(|s| s.0.load(Ordering::Relaxed)).sum();
+        let sum: f64 = self.sums.iter().map(|s| f64::from_bits(s.0.load(Ordering::Relaxed))).sum();
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            min: min.is_finite().then_some(min),
+            max: max.is_finite().then_some(max),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for s in self.counts.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+        for s in self.sums.iter() {
+            s.0.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// CAS loop folding `v` into an extremum cell (f64 bits).
+fn update_extreme(cell: &AtomicU64, v: f64, better: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while better(v, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A pre-resolved counter handle: one relaxed atomic add per bump, striped
+/// per thread. Clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter(pub(crate) Arc<CounterCell>);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.add(n);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.add(1);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.0.value()
+    }
+}
+
+/// A pre-resolved gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeCell>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.add(delta);
+    }
+
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.0.add(-delta);
+    }
+
+    pub fn value(&self) -> i64 {
+        self.0.value()
+    }
+}
+
+/// A pre-resolved histogram handle: relaxed striped count/sum plus one
+/// bucket `fetch_add` per observation.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistogramCell>);
+
+impl Histogram {
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.0.observe(v);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+
+    /// Convenience: quantile of the current snapshot.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Entry {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+const SHARDS: usize = 8;
+
+/// Sharded name → cell map. Locked only at registration and snapshot time;
+/// recording goes through the cells directly.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    shards: [Mutex<BTreeMap<String, Entry>>; SHARDS],
+}
+
+/// The error returned when a name is already registered with another type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TypeConflict {
+    pub existing: &'static str,
+    pub requested: &'static str,
+}
+
+fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Registry {
+    fn shard(&self, name: &str) -> MutexGuard<'_, BTreeMap<String, Entry>> {
+        let guard = self.shards[(fnv(name) % SHARDS as u64) as usize].lock();
+        // A panic while holding a shard lock (e.g. a failed debug assert in a
+        // caller's thread) must not wedge the whole registry.
+        guard.unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    pub(crate) fn counter(&self, name: &str, enabled: &Arc<AtomicBool>) -> Result<Arc<CounterCell>, TypeConflict> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Arc::new(CounterCell::new(Arc::clone(enabled)))))
+        {
+            Entry::Counter(cell) => Ok(Arc::clone(cell)),
+            other => Err(TypeConflict { existing: other.kind(), requested: "counter" }),
+        }
+    }
+
+    pub(crate) fn gauge(&self, name: &str, enabled: &Arc<AtomicBool>) -> Result<Arc<GaugeCell>, TypeConflict> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Arc::new(GaugeCell::new(Arc::clone(enabled)))))
+        {
+            Entry::Gauge(cell) => Ok(Arc::clone(cell)),
+            other => Err(TypeConflict { existing: other.kind(), requested: "gauge" }),
+        }
+    }
+
+    pub(crate) fn histogram(&self, name: &str, enabled: &Arc<AtomicBool>) -> Result<Arc<HistogramCell>, TypeConflict> {
+        let mut shard = self.shard(name);
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Histogram(Arc::new(HistogramCell::new(Arc::clone(enabled)))))
+        {
+            Entry::Histogram(cell) => Ok(Arc::clone(cell)),
+            other => Err(TypeConflict { existing: other.kind(), requested: "histogram" }),
+        }
+    }
+
+    /// Snapshot of one metric by name, including untouched entries.
+    pub(crate) fn get(&self, name: &str) -> Option<Metric> {
+        let shard = self.shard(name);
+        shard.get(name).map(|e| match e {
+            Entry::Counter(c) => Metric::Counter(c.value()),
+            Entry::Gauge(g) => Metric::Gauge(g.value()),
+            Entry::Histogram(h) => Metric::Histogram(h.snapshot()),
+        })
+    }
+
+    /// Snapshot of all metrics *with recorded data*, in name order. Handles
+    /// are registered eagerly (often at construction, before anything is
+    /// recorded), so zero counters, untouched gauges, and empty histograms
+    /// are omitted — a metric appears once it has observations.
+    pub(crate) fn snapshot(&self) -> Vec<(String, Metric)> {
+        let mut out: Vec<(String, Metric)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for (name, entry) in shard.iter() {
+                let metric = match entry {
+                    Entry::Counter(c) => {
+                        let v = c.value();
+                        if v == 0 {
+                            continue;
+                        }
+                        Metric::Counter(v)
+                    }
+                    Entry::Gauge(g) => {
+                        if !g.is_touched() {
+                            continue;
+                        }
+                        Metric::Gauge(g.value())
+                    }
+                    Entry::Histogram(h) => {
+                        let snap = h.snapshot();
+                        if snap.is_empty() {
+                            continue;
+                        }
+                        Metric::Histogram(snap)
+                    }
+                };
+                out.push((name.clone(), metric));
+            }
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Resets every value while keeping all registrations (live handles keep
+    /// recording into the same cells).
+    pub(crate) fn reset(&self) {
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            for entry in shard.values() {
+                match entry {
+                    Entry::Counter(c) => c.reset(),
+                    Entry::Gauge(g) => g.reset(),
+                    Entry::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+}
+
+/// A striped counter that is *not* gated on the enabled flag — backs the
+/// recorder's type-conflict count, which must survive even on an otherwise
+/// idle recorder (losing data to a naming bug is worth surfacing).
+#[derive(Debug)]
+pub(crate) struct CounterSentinel {
+    stripes: Box<[PaddedU64]>,
+}
+
+impl Default for CounterSentinel {
+    fn default() -> Self {
+        CounterSentinel { stripes: stripes() }
+    }
+}
+
+impl CounterSentinel {
+    pub(crate) fn inc(&self) {
+        self.stripes[stripe()].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn value(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    pub(crate) fn reset(&self) {
+        for s in self.stripes.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Detached cells back the handles returned on a type conflict: recording
+/// through them stays safe and cheap but reaches no registered metric.
+pub(crate) fn detached_counter(enabled: &Arc<AtomicBool>) -> Arc<CounterCell> {
+    Arc::new(CounterCell::new(Arc::clone(enabled)))
+}
+
+pub(crate) fn detached_gauge(enabled: &Arc<AtomicBool>) -> Arc<GaugeCell> {
+    Arc::new(GaugeCell::new(Arc::clone(enabled)))
+}
+
+pub(crate) fn detached_histogram(enabled: &Arc<AtomicBool>) -> Arc<HistogramCell> {
+    Arc::new(HistogramCell::new(Arc::clone(enabled)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_contain_their_values() {
+        let mut prev = 0.0;
+        for i in 0..BUCKETS - 1 {
+            let upper = bucket_upper(i);
+            assert!(upper > prev, "bucket {i}: {upper} must exceed {prev}");
+            prev = upper;
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), f64::INFINITY);
+        // Every sampled value lands in its half-open bucket
+        // `[bucket_upper(i-1), bucket_upper(i))` (boundary values such as
+        // exact powers of two start the next bucket).
+        for &v in &[1e-9, 3.7e-7, 1e-3, 0.02, 0.5, 1.0, 1.5, 12.0, 63.9] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} beyond bucket {i} bound {}", bucket_upper(i));
+            if i > 1 {
+                assert!(v >= bucket_upper(i - 1), "{v} below bucket {}'s bound", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_within_one_eighth() {
+        for k in 1..BUCKETS - 1 {
+            let lo = bucket_upper(k - 1);
+            let hi = bucket_upper(k);
+            assert!(hi / lo <= 1.0 + 1.0 / 8.0 + 1e-12, "bucket {k}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn extremes_land_in_underflow_and_overflow() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(1e-12), 0);
+        assert_eq!(bucket_index(1e9), BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_a_known_distribution() {
+        let h = HistogramCell::new(on());
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0); // uniform 0.001 .. 1.000
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert!((snap.sum - 500.5).abs() < 1e-6);
+        assert_eq!(snap.min, Some(0.001));
+        assert_eq!(snap.max, Some(1.0));
+        for (q, exact) in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)] {
+            let est = snap.quantile(q).unwrap();
+            assert!(est >= exact * (1.0 - 0.125) && est <= exact * (1.0 + 0.125), "q{q}: {est} vs {exact}");
+        }
+        // q=0 reports the first bucket's bound, within one bucket of min.
+        let q0 = snap.quantile(0.0).unwrap();
+        assert!((0.001..=0.001 * 1.125).contains(&q0), "{q0}");
+        assert_eq!(snap.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema_and_no_quantiles() {
+        let h = HistogramCell::new(on());
+        let snap = h.snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.min, None);
+        assert_eq!(snap.max, None);
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), None);
+    }
+
+    #[test]
+    fn nan_observations_are_dropped() {
+        let h = HistogramCell::new(on());
+        h.observe(f64::NAN);
+        assert!(h.snapshot().is_empty());
+        h.observe(2.0);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn disabled_cells_record_nothing() {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let c = CounterCell::new(Arc::clone(&enabled));
+        let h = HistogramCell::new(Arc::clone(&enabled));
+        let g = GaugeCell::new(Arc::clone(&enabled));
+        c.add(5);
+        h.observe(1.0);
+        g.set(3);
+        assert_eq!(c.value(), 0);
+        assert!(h.snapshot().is_empty());
+        assert!(!g.is_touched());
+        enabled.store(true, Ordering::Relaxed);
+        c.add(5);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn registry_snapshot_omits_untouched_entries() {
+        let reg = Registry::default();
+        let enabled = on();
+        let c = reg.counter("a.count", &enabled).unwrap();
+        reg.histogram("a.seconds", &enabled).unwrap();
+        reg.gauge("a.depth", &enabled).unwrap();
+        assert!(reg.snapshot().is_empty(), "nothing recorded yet");
+        c.add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0], ("a.count".into(), Metric::Counter(2)));
+        // `get` still exposes registered-but-empty metrics.
+        assert_eq!(reg.get("a.depth"), Some(Metric::Gauge(0)));
+    }
+
+    #[test]
+    fn type_conflicts_are_reported() {
+        let reg = Registry::default();
+        let enabled = on();
+        reg.counter("x", &enabled).unwrap();
+        let err = reg.histogram("x", &enabled).unwrap_err();
+        assert_eq!(err, TypeConflict { existing: "counter", requested: "histogram" });
+        let err = reg.gauge("x", &enabled).unwrap_err();
+        assert_eq!(err.existing, "counter");
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let reg = Registry::default();
+        let enabled = on();
+        let c = reg.counter("n", &enabled).unwrap();
+        c.add(7);
+        reg.reset();
+        assert_eq!(c.value(), 0);
+        c.add(1);
+        assert_eq!(reg.get("n"), Some(Metric::Counter(1)), "same cell after reset");
+    }
+}

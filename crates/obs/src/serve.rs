@@ -1,0 +1,187 @@
+//! A std-only HTTP scrape endpoint for live telemetry.
+//!
+//! [`serve`] binds a `TcpListener` and answers:
+//!
+//! - `GET /metrics`  — Prometheus text exposition of the current snapshot
+//! - `GET /trace`    — Chrome `trace_event` JSON of the recorded spans
+//! - `GET /healthz`  — `ok`
+//!
+//! The server runs on one background thread and handles each connection
+//! inline — scrapes are short and infrequent, so there is no reason to
+//! spend a thread pool on them. Dropping the returned [`ObsServer`] (or
+//! calling [`ObsServer::shutdown`]) stops the thread deterministically:
+//! a stop flag is raised and a self-connection unblocks `accept`.
+
+use crate::{export, Obs};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint. Shuts down when dropped.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// The address actually bound (resolves port 0 to the assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts a scrape endpoint on `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks
+/// a free port) serving the given recorder's metrics and trace.
+pub fn serve(obs: &Obs, addr: impl ToSocketAddrs) -> io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let obs = obs.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new().name("quarry-obs-serve".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A stuck client must not wedge telemetry forever.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    let _ = handle(&obs, stream);
+                }
+            }
+        })?
+    };
+    Ok(ObsServer { addr, stop, thread: Some(thread) })
+}
+
+fn handle(obs: &Obs, mut stream: TcpStream) -> io::Result<()> {
+    let path = match read_request_path(&mut stream)? {
+        Some(path) => path,
+        None => return Ok(()), // malformed / empty request
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4; charset=utf-8", export::prometheus(&obs.metrics())),
+        "/trace" => ("200 OK", "application/json", export::chrome_trace(&obs.trace())),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Reads up to the end of the request head and returns the request path of a
+/// GET request (query strings stripped), or `None` for anything else.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.split('?').next().unwrap_or(path).to_string())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("http head");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_trace_and_health() {
+        let obs = Obs::new(true);
+        obs.counter("engine.runs").add(2);
+        obs.histogram("engine.op_seconds").observe(0.005);
+        drop(obs.span("execute"));
+        let server = serve(&obs, "127.0.0.1:0").expect("bind");
+
+        let (head, body) = get(server.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("quarry_engine_runs_total 2"), "{body}");
+        assert!(body.contains("quarry_engine_op_seconds_quantiles{quantile=\"0.99\"}"), "{body}");
+
+        let (head, body) = get(server.addr(), "/trace");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"name\":\"execute\""), "{body}");
+
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(server.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn scrapes_see_live_updates() {
+        let obs = Obs::new(true);
+        let server = serve(&obs, "127.0.0.1:0").expect("bind");
+        let c = obs.counter("live.count");
+        c.inc();
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("quarry_live_count_total 1"), "{body}");
+        c.add(5);
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("quarry_live_count_total 6"), "{body}");
+    }
+
+    #[test]
+    fn shutdown_is_deterministic_and_frees_the_port() {
+        let obs = Obs::new(true);
+        let mut server = serve(&obs, "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        drop(server);
+        // The port can be rebound immediately after shutdown.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+}
