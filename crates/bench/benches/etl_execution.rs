@@ -1,13 +1,17 @@
 //! Experiment E7 — the demo's headline measured claim (§3): "reduced overall
 //! execution time for integrated ETL processes". Executes the consolidated
 //! unified flow vs the N separate partial flows on generated TPC-H data and
-//! reports the wall-clock gap.
+//! reports the wall-clock gap. E7b sweeps the morsel-parallel executor over
+//! pinned thread counts; E13 compares the columnar engine against the retired
+//! row-at-a-time baseline. All three series persist to `BENCH_engine.json`
+//! at the repo root so EXPERIMENTS.md has a machine-readable source.
 
 use criterion::{BenchmarkId, Criterion};
 use quarry::Quarry;
-use quarry_bench::requirement_family;
+use quarry_bench::{requirement_family, row_vs_columnar, EngineComparison};
 use quarry_engine::{tpch, Engine};
 use quarry_etl::Flow;
+use quarry_repository::Json;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -26,9 +30,19 @@ fn best_of_3(mut measure: impl FnMut() -> Duration) -> Duration {
     (0..3).map(|_| measure()).min().expect("three samples")
 }
 
-fn series_for(label: &str, families: impl Fn(usize) -> Vec<quarry_formats::Requirement>) {
+/// One measured row of an E7 series.
+struct E7Point {
+    label: &'static str,
+    sf: f64,
+    n: usize,
+    integrated: Duration,
+    separate: Duration,
+}
+
+fn series_for(label: &'static str, families: impl Fn(usize) -> Vec<quarry_formats::Requirement>) -> Vec<E7Point> {
     println!("\n# E7 ({label}): integrated vs separate ETL execution (wall clock)");
     println!("{:>6} {:>4} {:>14} {:>14} {:>8}", "sf", "N", "integrated", "separate", "speedup");
+    let mut points = Vec::new();
     for sf in [0.005f64, 0.01] {
         let catalog = tpch::generate(sf, 42);
         for n in [2usize, 4, 8] {
@@ -51,11 +65,13 @@ fn series_for(label: &str, families: impl Fn(usize) -> Vec<quarry_formats::Requi
                 separate,
                 separate.as_secs_f64() / integrated.as_secs_f64()
             );
+            points.push(E7Point { label, sf, n, integrated, separate });
         }
     }
+    points
 }
 
-fn thread_scaling_series() {
+fn thread_scaling_series() -> Vec<(usize, Duration)> {
     // The morsel-parallel executor on the headline workload (high overlap,
     // sf=0.01, N=8), swept over pinned worker counts. Results are
     // bit-identical at every width (asserted by the equivalence suite);
@@ -69,6 +85,7 @@ fn thread_scaling_series() {
     }
     let unified = q.unified().1.clone();
     let mut base = None;
+    let mut points = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         quarry_engine::pool::set_threads(threads);
         let best = best_of_3(|| {
@@ -79,8 +96,82 @@ fn thread_scaling_series() {
         });
         let baseline = *base.get_or_insert(best);
         println!("{:>8} {:>14?} {:>7.2}x", threads, best, baseline.as_secs_f64() / best.as_secs_f64());
+        points.push((threads, best));
     }
     quarry_engine::pool::set_threads(0); // restore auto-detection
+    points
+}
+
+fn row_vs_columnar_series() -> Vec<EngineComparison> {
+    println!("\n# E13: columnar engine vs retired row-at-a-time baseline, high overlap, serial");
+    println!("{:>6} {:>4} {:>12} {:>12} {:>8}", "sf", "N", "columnar-ms", "row-ms", "speedup");
+    let mut points = Vec::new();
+    for (sf, n) in [(0.005, 4), (0.005, 8), (0.01, 4), (0.01, 8)] {
+        let p = row_vs_columnar(sf, n, 3);
+        println!("{:>6} {:>4} {:>12.3} {:>12.3} {:>7.2}x", p.sf, p.n, p.columnar_ms, p.row_ms, p.speedup());
+        points.push(p);
+    }
+    points
+}
+
+fn ms(d: Duration) -> Json {
+    Json::Number(d.as_secs_f64() * 1e3)
+}
+
+fn series_to_json(e7: &[E7Point], e7b: &[(usize, Duration)], e13: &[EngineComparison]) -> Json {
+    let mut doc = Json::object();
+    doc.set("experiment", Json::String("E7/E7b/E13 engine execution".into()));
+    doc.set(
+        "workload",
+        Json::String("unified vs separate flows over generated TPC-H; columnar vs row-at-a-time engine".into()),
+    );
+    doc.set(
+        "e7",
+        Json::Array(
+            e7.iter()
+                .map(|p| {
+                    let mut row = Json::object();
+                    row.set("series", Json::String(p.label.split(' ').next().unwrap_or(p.label).into()));
+                    row.set("sf", Json::Number(p.sf));
+                    row.set("n", Json::Number(p.n as f64));
+                    row.set("integrated_ms", ms(p.integrated));
+                    row.set("separate_ms", ms(p.separate));
+                    row.set("speedup", Json::Number(p.separate.as_secs_f64() / p.integrated.as_secs_f64()));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    doc.set(
+        "e7b_threads",
+        Json::Array(
+            e7b.iter()
+                .map(|&(threads, d)| {
+                    let mut row = Json::object();
+                    row.set("threads", Json::Number(threads as f64));
+                    row.set("integrated_ms", ms(d));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    doc.set(
+        "e13_row_vs_columnar",
+        Json::Array(
+            e13.iter()
+                .map(|p| {
+                    let mut row = Json::object();
+                    row.set("sf", Json::Number(p.sf));
+                    row.set("n", Json::Number(p.n as f64));
+                    row.set("columnar_ms", Json::Number(p.columnar_ms));
+                    row.set("row_ms", Json::Number(p.row_ms));
+                    row.set("speedup", Json::Number(p.speedup()));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    doc
 }
 
 fn print_series() {
@@ -88,9 +179,14 @@ fn print_series() {
     // requirements over the same analytical contexts. The low-overlap sweep
     // is the honest counterpoint: with little shared work, consolidation
     // cannot win wall-clock (it saves design effort, not cycles).
-    series_for("high overlap — the demo scenario", quarry_bench::high_overlap_family);
-    series_for("low overlap — counterpoint", requirement_family);
-    thread_scaling_series();
+    let mut e7 = series_for("high overlap — the demo scenario", quarry_bench::high_overlap_family);
+    e7.extend(series_for("low overlap — counterpoint", requirement_family));
+    let e7b = thread_scaling_series();
+    let e13 = row_vs_columnar_series();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    if let Err(e) = std::fs::write(path, series_to_json(&e7, &e7b, &e13).to_pretty_string()) {
+        eprintln!("could not write {path}: {e}");
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -133,6 +229,23 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut engine = Engine::new(catalog.clone());
             black_box(engine.run_parallel(&unified).expect("runs"))
+        });
+    });
+    group.finish();
+
+    // Columnar vs the retired row-at-a-time engine (E13's bench-smoke leg).
+    let mut group = c.benchmark_group("engine_row_vs_columnar_n4");
+    group.sample_size(10);
+    group.bench_function("columnar", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(catalog.clone());
+            black_box(engine.run(&unified).expect("runs"))
+        });
+    });
+    group.bench_function("row", |b| {
+        b.iter(|| {
+            let mut engine = quarry_engine::RowEngine::from_catalog(&catalog);
+            black_box(engine.run(&unified).expect("runs"))
         });
     });
     group.finish();

@@ -1,0 +1,51 @@
+//! CI smoke gate for the columnar engine (experiment E13).
+//!
+//! The columnar + vectorized data plane replaced the row-at-a-time executor
+//! for one reason: the E7 high-overlap workload got faster. This gate re-runs
+//! that workload (sf=0.01, N=8, serial) on both engines — the retired
+//! [`quarry_engine::RowEngine`] is kept in-tree precisely so the baseline is
+//! measured on the same machine, not read from a stale recording — and fails
+//! with exit code 1 if the columnar engine is slower than the row engine.
+//! Best-of-three per engine shaves scheduler noise; on anything resembling a
+//! healthy build the columnar engine wins by well over the ≥1.5× the rework
+//! was accepted at, so a ratio above 1 is a genuine regression, not jitter.
+
+use quarry_bench::row_vs_columnar;
+
+/// The columnar engine must beat the row baseline outright. The accepted
+/// speedup is ≥1.5×, so gating at parity leaves generous headroom for noisy
+/// shared runners while still catching any real layout/kernels regression.
+const MAX_RATIO: f64 = 1.0;
+/// Floor for the denominator: below this the workload is too fast for a
+/// ratio to be meaningful on shared CI runners.
+const MIN_BASE_MS: f64 = 0.05;
+
+fn main() {
+    let mut best: Option<quarry_bench::EngineComparison> = None;
+    for _ in 0..3 {
+        let p = row_vs_columnar(0.01, 8, 1);
+        best = Some(match best {
+            Some(b) if b.columnar_ms <= p.columnar_ms && b.row_ms <= p.row_ms => b,
+            Some(b) => quarry_bench::EngineComparison {
+                columnar_ms: b.columnar_ms.min(p.columnar_ms),
+                row_ms: b.row_ms.min(p.row_ms),
+                ..p
+            },
+            None => p,
+        });
+    }
+    let p = best.expect("three runs happened");
+    let ratio = p.columnar_ms / p.row_ms.max(MIN_BASE_MS);
+    println!(
+        "engine gate: sf={} N={} columnar {:.3} ms, row baseline {:.3} ms, ratio {ratio:.2}x (limit {MAX_RATIO}x)",
+        p.sf, p.n, p.columnar_ms, p.row_ms
+    );
+    if ratio > MAX_RATIO {
+        eprintln!(
+            "FAIL: columnar engine ran {ratio:.2}x the row-engine baseline on the E7 high-overlap workload — \
+             the columnar speedup regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("OK: columnar engine beats the row baseline ({:.2}x faster)", p.speedup());
+}

@@ -160,6 +160,53 @@ pub fn integration_scaling(points: &[usize]) -> Vec<IntegrationStepTiming> {
     series
 }
 
+/// One measured point of the E13 row-vs-columnar comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineComparison {
+    pub sf: f64,
+    pub n: usize,
+    /// Best wall time of the columnar engine on the unified flow, ms.
+    pub columnar_ms: f64,
+    /// Best wall time of the retired row-at-a-time engine on the same flow
+    /// and data, ms.
+    pub row_ms: f64,
+}
+
+impl EngineComparison {
+    pub fn speedup(&self) -> f64 {
+        self.row_ms / self.columnar_ms
+    }
+}
+
+/// Experiment E13: the unified `high_overlap_family(n)` flow at scale factor
+/// `sf`, executed serially by both the columnar [`quarry_engine::Engine`] and
+/// the retired [`quarry_engine::RowEngine`], best-of-`reps` each. Catalog
+/// cloning and row-major materialization happen outside the timed regions;
+/// both engines produce bit-identical warehouses (the equivalence suite
+/// asserts this), so the wall clocks differ by data layout only.
+pub fn row_vs_columnar(sf: f64, n: usize, reps: usize) -> EngineComparison {
+    let catalog = quarry_engine::tpch::generate(sf, 42);
+    let mut q = Quarry::tpch();
+    for r in high_overlap_family(n) {
+        q.add_requirement(r).expect("integrates");
+    }
+    let unified = q.unified().1.clone();
+    let best = |mut measure: Box<dyn FnMut() -> f64>| (0..reps.max(1)).map(|_| measure()).fold(f64::INFINITY, f64::min);
+    let columnar_ms = best(Box::new(|| {
+        let mut engine = quarry_engine::Engine::new(catalog.clone());
+        let t = Instant::now();
+        black_box(engine.run(&unified).expect("columnar run"));
+        t.elapsed().as_secs_f64() * 1e3
+    }));
+    let row_ms = best(Box::new(|| {
+        let mut engine = quarry_engine::RowEngine::from_catalog(&catalog);
+        let t = Instant::now();
+        black_box(engine.run(&unified).expect("row run"));
+        t.elapsed().as_secs_f64() * 1e3
+    }));
+    EngineComparison { sf, n, columnar_ms, row_ms }
+}
+
 /// The Figure 3 pair: revenue + netprofit over conformed Partsupp/Orders.
 pub fn figure3_pair() -> (Requirement, Requirement) {
     (

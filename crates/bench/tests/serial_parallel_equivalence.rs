@@ -1,13 +1,20 @@
-//! Serial-vs-parallel equivalence: [`Engine::run`] and
-//! [`Engine::run_parallel`] must produce identical warehouses for every
-//! flow family the `etl_execution` benchmark exercises, plus the Figure 3/4
-//! fixture flows, at every thread count — including empty-input and
-//! single-morsel edge cases.
+//! Engine equivalence suite.
+//!
+//! Serial-vs-parallel: [`Engine::run`] and [`Engine::run_parallel`] must
+//! produce identical warehouses for every flow family the `etl_execution`
+//! benchmark exercises, plus the Figure 3/4 fixture flows, at every thread
+//! count — including empty-input and single-morsel edge cases.
+//!
+//! Row-vs-columnar: the columnar engine must be bit-identical to the retired
+//! [`RowEngine`] baseline — same relations, same `RunReport` row counts,
+//! same surrogate keys — on randomized flows over TPC-H and synthetic
+//! schemas, at 1, 4, and 8 threads, including empty relations, all-NULL
+//! columns, and dictionary overflow to plain strings.
 
 use quarry::Quarry;
 use quarry_bench::{figure3_pair, high_overlap_family, requirement_family};
-use quarry_engine::{assert_same_rows, tpch, Catalog, Engine, MORSEL_ROWS};
-use quarry_etl::Flow;
+use quarry_engine::{assert_same_rows, tpch, Catalog, Engine, Relation, RowEngine, Value, MORSEL_ROWS};
+use quarry_etl::{parse_expr, AggSpec, Flow, JoinKind, OpKind};
 use quarry_formats::Requirement;
 
 /// Small enough to keep debug-mode runs quick, large enough that lineitem
@@ -61,7 +68,7 @@ fn assert_equivalent(catalog: &Catalog, flows: &[&Flow]) {
 fn emptied(catalog: &Catalog) -> Catalog {
     let mut c = catalog.clone();
     for name in sorted_table_names(catalog) {
-        c.get_mut(&name).unwrap().rows.clear();
+        c.get_mut(&name).unwrap().clear();
     }
     c
 }
@@ -144,8 +151,8 @@ fn results_are_bit_identical_across_thread_counts() {
         par.run_parallel(&unified).expect("parallel run");
         for t in sorted_table_names(&baseline.catalog) {
             assert_eq!(
-                baseline.catalog.get(&t).unwrap().rows,
-                par.catalog.get(&t).unwrap().rows,
+                baseline.catalog.get(&t).unwrap(),
+                par.catalog.get(&t).unwrap(),
                 "table `{t}` not bit-identical at {threads} threads"
             );
         }
@@ -157,6 +164,328 @@ fn results_are_bit_identical_across_thread_counts() {
     for t in sorted_table_names(&baseline.catalog) {
         assert_same_rows(seq.catalog.get(&t).unwrap(), baseline.catalog.get(&t).unwrap());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Row-vs-columnar equivalence
+// ---------------------------------------------------------------------------
+
+/// Runs `flows` on the retired row engine and on the columnar engine —
+/// serially and in parallel at 1, 4, and 8 threads — and asserts the
+/// warehouses are bit-identical: same tables, same relations (including
+/// surrogate-key columns), same loaded records, and, for the serial runs,
+/// the same per-operation `RunReport` row counts.
+fn assert_row_columnar_equivalent(catalog: &Catalog, flows: &[&Flow]) {
+    let mut row = RowEngine::from_catalog(catalog);
+    let mut row_loaded = Vec::new();
+    let mut row_counts = Vec::new();
+    for f in flows {
+        let r = row.run(f).expect("row run");
+        row_counts.extend(r.timings.iter().map(|t| (t.op.clone(), t.rows_in, t.rows_out)));
+        row_loaded.extend(r.loaded);
+    }
+    let mut col = Engine::new(catalog.clone());
+    let mut col_loaded = Vec::new();
+    let mut col_counts = Vec::new();
+    for f in flows {
+        let r = col.run(f).expect("columnar run");
+        col_counts.extend(r.timings.iter().map(|t| (t.op.clone(), t.rows_in, t.rows_out)));
+        col_loaded.extend(r.loaded);
+    }
+    assert_eq!(row_counts, col_counts, "per-operation row counts differ");
+    assert_eq!(row_loaded, col_loaded, "loaded (table, rows) records differ");
+    let names: Vec<String> = row.table_names().map(str::to_string).collect();
+    assert_eq!(names, sorted_table_names(&col.catalog), "table sets differ");
+    for t in &names {
+        assert_eq!(&row.table(t).unwrap(), col.catalog.get(t).unwrap(), "table `{t}` differs (serial columnar)");
+    }
+    for threads in [1usize, 4, 8] {
+        quarry_engine::pool::set_threads(threads);
+        let mut par = Engine::new(catalog.clone());
+        for f in flows {
+            par.run_parallel(f).expect("parallel columnar run");
+        }
+        for t in &names {
+            assert_eq!(
+                &row.table(t).unwrap(),
+                par.catalog.get(t).unwrap(),
+                "table `{t}` differs from the row engine at {threads} threads"
+            );
+        }
+    }
+    quarry_engine::pool::set_threads(0); // restore auto-detection
+}
+
+/// Tiny deterministic PRNG so the "randomized" flows are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn pick(&mut self, n: usize) -> usize {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 33) % n as u64) as usize
+    }
+}
+
+/// A randomized-but-valid flow over the TPC-H schema: lineitem, optionally
+/// joined with orders, through a random stack of selections/derivations,
+/// ending in a random terminal (aggregation, surrogate key + sort, or
+/// projection + distinct) and a loader (append or upsert).
+fn random_flow(seed: u64) -> Flow {
+    let mut rng = Lcg(seed.wrapping_add(0x9e3779b97f4a7c15));
+    let mut f = Flow::new(format!("rand{seed}"));
+    let li = f
+        .add_op(
+            "LI",
+            OpKind::Datastore { datastore: "lineitem".into(), schema: tpch::table_schema("lineitem").unwrap() },
+        )
+        .unwrap();
+    let joined = rng.pick(2) == 0;
+    let mut tip = li;
+    if joined {
+        let o = f
+            .add_op(
+                "ORD",
+                OpKind::Datastore { datastore: "orders".into(), schema: tpch::table_schema("orders").unwrap() },
+            )
+            .unwrap();
+        let kind = if rng.pick(2) == 0 { JoinKind::Inner } else { JoinKind::Left };
+        let j = f
+            .add_op("J", OpKind::Join { kind, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .unwrap();
+        f.connect(tip, j).unwrap();
+        f.connect(o, j).unwrap();
+        tip = j;
+    }
+    let predicates = [
+        "l_discount > 0.04",
+        "l_quantity <= 25",
+        "l_shipmode = 'AIR' OR l_discount < 0.02",
+        "l_extendedprice * (1 - l_discount) > 1000",
+        "NOT (l_returnflag = 'R')",
+    ];
+    let derivations =
+        ["l_extendedprice * (1 - l_discount)", "l_extendedprice * (1 + l_tax)", "l_quantity * l_discount"];
+    for step in 0..1 + rng.pick(3) {
+        tip = if rng.pick(2) == 0 {
+            let p = predicates[rng.pick(predicates.len())];
+            f.append(tip, format!("SEL{step}"), OpKind::Selection { predicate: parse_expr(p).unwrap() }).unwrap()
+        } else {
+            let d = derivations[rng.pick(derivations.len())];
+            f.append(
+                tip,
+                format!("DRV{step}"),
+                OpKind::Derivation { column: format!("d{step}"), expr: parse_expr(d).unwrap() },
+            )
+            .unwrap()
+        };
+    }
+    match rng.pick(3) {
+        0 => {
+            let mut group_choices: Vec<Vec<String>> =
+                vec![vec!["l_returnflag".into(), "l_linestatus".into()], vec!["l_shipmode".into()], vec![]];
+            if joined {
+                group_choices.push(vec!["o_orderpriority".into()]);
+            }
+            let group_by = group_choices[rng.pick(group_choices.len())].clone();
+            let mut aggregates = vec![
+                AggSpec::new("SUM", parse_expr("l_extendedprice").unwrap(), "rev"),
+                AggSpec::new("COUNT", parse_expr("1").unwrap(), "cnt"),
+            ];
+            aggregates.push(match rng.pick(3) {
+                0 => AggSpec::new("AVG", parse_expr("l_discount").unwrap(), "avg_disc"),
+                1 => AggSpec::new("MIN", parse_expr("l_shipdate").unwrap(), "first_ship"),
+                _ => AggSpec::new("MAX", parse_expr("l_quantity").unwrap(), "max_qty"),
+            });
+            let a = f.append(tip, "AGG", OpKind::Aggregation { group_by: group_by.clone(), aggregates }).unwrap();
+            let key = if !group_by.is_empty() && rng.pick(2) == 0 { group_by } else { vec![] };
+            f.append(a, "LOAD", OpKind::Loader { table: "out".into(), key }).unwrap();
+        }
+        1 => {
+            let k = f
+                .append(
+                    tip,
+                    "SK",
+                    OpKind::SurrogateKey {
+                        natural: vec!["l_orderkey".into(), "l_linenumber".into()],
+                        output: "line_sk".into(),
+                    },
+                )
+                .unwrap();
+            let s = f
+                .append(tip, "SORT", OpKind::Sort { columns: vec!["l_shipmode".into(), "l_orderkey".into()] })
+                .unwrap();
+            // Two sinks off the same stack: one keyed by the surrogate.
+            f.append(k, "LOADK", OpKind::Loader { table: "keyed".into(), key: vec!["line_sk".into()] }).unwrap();
+            f.append(s, "LOADS", OpKind::Loader { table: "sorted".into(), key: vec![] }).unwrap();
+        }
+        _ => {
+            let cols: Vec<String> = if joined {
+                vec!["l_orderkey".into(), "l_shipmode".into(), "o_orderpriority".into()]
+            } else {
+                vec!["l_orderkey".into(), "l_shipmode".into(), "l_returnflag".into()]
+            };
+            let p = f.append(tip, "PRJ", OpKind::Projection { columns: cols }).unwrap();
+            let d = f.append(p, "DST", OpKind::Distinct).unwrap();
+            f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        }
+    }
+    f.validate().expect("random flow is valid");
+    f
+}
+
+#[test]
+fn randomized_tpch_flows_row_vs_columnar() {
+    let catalog = tpch::generate(SF, 42);
+    for seed in 0..8u64 {
+        let flow = random_flow(seed);
+        assert_row_columnar_equivalent(&catalog, &[&flow]);
+    }
+}
+
+#[test]
+fn benchmark_families_row_vs_columnar() {
+    let catalog = tpch::generate(SF, 42);
+    let unified = unified_of(high_overlap_family(4));
+    assert_row_columnar_equivalent(&catalog, &[&unified]);
+    let partials = partials_of(&requirement_family(3));
+    assert_row_columnar_equivalent(&catalog, &partials.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn empty_relations_row_vs_columnar() {
+    let catalog = emptied(&tpch::generate(SF, 42));
+    let unified = unified_of(high_overlap_family(4));
+    assert_row_columnar_equivalent(&catalog, &[&unified]);
+    for seed in 0..4u64 {
+        let flow = random_flow(seed);
+        assert_row_columnar_equivalent(&catalog, &[&flow]);
+    }
+}
+
+/// A synthetic two-table catalog whose `s` and `x` columns are entirely
+/// NULL, with NULLs sprinkled into the join/group key as well.
+fn all_null_catalog() -> Catalog {
+    use quarry_etl::{ColType, Column, Schema};
+    let mut c = Catalog::new();
+    let n = 3 * MORSEL_ROWS + 17; // several morsels plus a ragged tail
+    c.put(
+        "facts",
+        Relation::with_rows(
+            Schema::new(vec![
+                Column::new("k", ColType::Integer),
+                Column::new("s", ColType::Text),
+                Column::new("x", ColType::Decimal),
+            ]),
+            (0..n)
+                .map(|i| {
+                    let k = if i % 5 == 0 { Value::Null } else { Value::Int((i % 97) as i64) };
+                    vec![k, Value::Null, Value::Null]
+                })
+                .collect(),
+        ),
+    );
+    c.put(
+        "dims",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("k", ColType::Integer), Column::new("label", ColType::Text)]),
+            (0..97).map(|i| vec![Value::Int(i), Value::Str(format!("L{i}"))]).collect(),
+        ),
+    );
+    c
+}
+
+#[test]
+fn all_null_columns_row_vs_columnar() {
+    use quarry_etl::{ColType, Column, Schema};
+    let catalog = all_null_catalog();
+    let mut f = Flow::new("nulls");
+    let facts = f
+        .add_op(
+            "F",
+            OpKind::Datastore {
+                datastore: "facts".into(),
+                schema: Schema::new(vec![
+                    Column::new("k", ColType::Integer),
+                    Column::new("s", ColType::Text),
+                    Column::new("x", ColType::Decimal),
+                ]),
+            },
+        )
+        .unwrap();
+    let dims = f
+        .add_op(
+            "D",
+            OpKind::Datastore {
+                datastore: "dims".into(),
+                schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("label", ColType::Text)]),
+            },
+        )
+        .unwrap();
+    // NULL join keys never match; NULL group keys form one group; COUNT
+    // counts NULL measures while MIN/MAX of all-NULL input stays NULL.
+    let j = f
+        .add_op("J", OpKind::Join { kind: JoinKind::Left, left_on: vec!["k".into()], right_on: vec!["k".into()] })
+        .unwrap();
+    f.connect(facts, j).unwrap();
+    f.connect(dims, j).unwrap();
+    let srt = f.append(j, "SORT", OpKind::Sort { columns: vec!["s".into(), "k".into()] }).unwrap();
+    let agg = f
+        .append(
+            srt,
+            "AGG",
+            OpKind::Aggregation {
+                group_by: vec!["s".into(), "label".into()],
+                aggregates: vec![
+                    AggSpec::new("COUNT", parse_expr("x").unwrap(), "cnt"),
+                    AggSpec::new("MIN", parse_expr("x").unwrap(), "lo"),
+                    AggSpec::new("MAX", parse_expr("s").unwrap(), "hi"),
+                ],
+            },
+        )
+        .unwrap();
+    f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+    f.validate().expect("valid");
+    assert_row_columnar_equivalent(&catalog, &[&f]);
+}
+
+#[test]
+fn dictionary_overflow_row_vs_columnar() {
+    use quarry_etl::{ColType, Column, Schema};
+    // More distinct strings than the dictionary holds (2^16), forcing the
+    // builder to fall back to plain string storage mid-build.
+    let n = (1 << 16) + 4096;
+    let mut c = Catalog::new();
+    c.put(
+        "wide",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("tag", ColType::Text), Column::new("v", ColType::Integer)]),
+            (0..n).map(|i| vec![Value::Str(format!("tag-{i:06}")), Value::Int((i % 327) as i64)]).collect(),
+        ),
+    );
+    let mut f = Flow::new("overflow");
+    let w = f
+        .add_op(
+            "W",
+            OpKind::Datastore {
+                datastore: "wide".into(),
+                schema: Schema::new(vec![Column::new("tag", ColType::Text), Column::new("v", ColType::Integer)]),
+            },
+        )
+        .unwrap();
+    let sel = f.append(w, "SEL", OpKind::Selection { predicate: parse_expr("v < 300").unwrap() }).unwrap();
+    let agg = f
+        .append(
+            sel,
+            "AGG",
+            OpKind::Aggregation {
+                group_by: vec!["tag".into()],
+                aggregates: vec![AggSpec::new("SUM", parse_expr("v").unwrap(), "total")],
+            },
+        )
+        .unwrap();
+    f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec!["tag".into()] }).unwrap();
+    f.validate().expect("valid");
+    assert_row_columnar_equivalent(&c, &[&f]);
 }
 
 #[test]

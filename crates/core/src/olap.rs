@@ -276,7 +276,7 @@ mod tests {
         engine.run(&q).expect("query executes");
         let answer = engine.catalog.get("answer_IRF").expect("answer loaded");
         assert_eq!(answer.len(), 1, "one brand group");
-        assert_eq!(answer.rows[0][0], quarry_engine::Value::Str("Brand#11".into()));
+        assert_eq!(answer.row(0)[0], quarry_engine::Value::Str("Brand#11".into()));
     }
 
     #[test]

@@ -146,7 +146,7 @@ fn eval_logical(op: BinOp, l: &Expr, r: &Expr, schema: &Schema, row: &[Value]) -
 }
 
 /// SQL three-valued AND/OR over already-evaluated operands.
-fn combine_logical(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError> {
+pub(crate) fn combine_logical(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError> {
     let as_bool = |v: &Value| -> Result<Option<bool>, EvalError> {
         match v {
             Value::Bool(b) => Ok(Some(*b)),
@@ -171,7 +171,7 @@ fn combine_logical(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError
     Ok(out.map_or(Value::Null, Value::Bool))
 }
 
-fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+pub(crate) fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     // Integer arithmetic stays integral except division.
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
         return Ok(match op {
@@ -207,7 +207,7 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     })
 }
 
-fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EvalError> {
+pub(crate) fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EvalError> {
     use Value::*;
     match (l, r) {
         (Int(_) | Float(_), Int(_) | Float(_)) | (Str(_), Str(_)) | (Bool(_), Bool(_)) | (Date(_), Date(_)) => {
@@ -229,72 +229,35 @@ fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EvalError> {
 
 fn call(name: &str, args: &[Expr], schema: &Schema, row: &[Value]) -> Result<Value, EvalError> {
     let upper = name.to_ascii_uppercase();
-    let expect = |n: usize| -> Result<(), EvalError> {
-        if args.len() == n {
-            Ok(())
-        } else {
-            Err(EvalError::Arity { function: upper.clone(), expected: n, found: args.len() })
-        }
-    };
-    match upper.as_str() {
-        "YEAR" | "MONTH" | "DAY" => {
-            expect(1)?;
-            let v = eval(&args[0], schema, row)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let (y, m, d) = v.date_parts().ok_or_else(|| EvalError::Type(format!("{upper} of non-date `{v}`")))?;
-            Ok(Value::Int(match upper.as_str() {
-                "YEAR" => y as i64,
-                "MONTH" => m as i64,
-                _ => d as i64,
-            }))
-        }
-        "ABS" => {
-            expect(1)?;
-            match eval(&args[0], schema, row)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(v) => Ok(Value::Int(v.abs())),
-                Value::Float(v) => Ok(Value::Float(v.abs())),
-                other => Err(EvalError::Type(format!("ABS of `{other}`"))),
-            }
-        }
-        "CONCAT" => {
-            let mut out = String::new();
-            for a in args {
-                let v = eval(a, schema, row)?;
-                if !v.is_null() {
-                    out.push_str(&v.to_string());
-                }
-            }
-            Ok(Value::Str(out))
-        }
-        "COALESCE" => {
-            for a in args {
-                let v = eval(a, schema, row)?;
-                if !v.is_null() {
-                    return Ok(v);
-                }
-            }
-            Ok(Value::Null)
-        }
-        other => Err(EvalError::UnknownFunction(other.to_string())),
-    }
+    call_scalar(&upper, args.len(), |i| eval(&args[i], schema, row))
 }
 
 /// [`call`] over compiled arguments; `upper` was upper-cased at bind time.
 fn call_compiled(upper: &str, args: &[CompiledExpr], row: &[Value]) -> Result<Value, EvalError> {
+    call_scalar(upper, args.len(), |i| eval_compiled(&args[i], row))
+}
+
+/// The single scalar-function evaluator behind both the interpreted and the
+/// compiled path (and the scalar fallback of the vectorized kernels).
+/// Arguments arrive lazily through `arg` so CONCAT/COALESCE keep their
+/// left-to-right evaluation order and COALESCE stays lazy past the first
+/// non-NULL hit. `upper` must already be upper-cased.
+pub(crate) fn call_scalar(
+    upper: &str,
+    n_args: usize,
+    mut arg: impl FnMut(usize) -> Result<Value, EvalError>,
+) -> Result<Value, EvalError> {
     let expect = |n: usize| -> Result<(), EvalError> {
-        if args.len() == n {
+        if n_args == n {
             Ok(())
         } else {
-            Err(EvalError::Arity { function: upper.to_string(), expected: n, found: args.len() })
+            Err(EvalError::Arity { function: upper.to_string(), expected: n, found: n_args })
         }
     };
     match upper {
         "YEAR" | "MONTH" | "DAY" => {
             expect(1)?;
-            let v = eval_compiled(&args[0], row)?;
+            let v = arg(0)?;
             if v.is_null() {
                 return Ok(Value::Null);
             }
@@ -307,7 +270,7 @@ fn call_compiled(upper: &str, args: &[CompiledExpr], row: &[Value]) -> Result<Va
         }
         "ABS" => {
             expect(1)?;
-            match eval_compiled(&args[0], row)? {
+            match arg(0)? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(v) => Ok(Value::Int(v.abs())),
                 Value::Float(v) => Ok(Value::Float(v.abs())),
@@ -316,8 +279,8 @@ fn call_compiled(upper: &str, args: &[CompiledExpr], row: &[Value]) -> Result<Va
         }
         "CONCAT" => {
             let mut out = String::new();
-            for a in args {
-                let v = eval_compiled(a, row)?;
+            for i in 0..n_args {
+                let v = arg(i)?;
                 if !v.is_null() {
                     out.push_str(&v.to_string());
                 }
@@ -325,8 +288,8 @@ fn call_compiled(upper: &str, args: &[CompiledExpr], row: &[Value]) -> Result<Va
             Ok(Value::Str(out))
         }
         "COALESCE" => {
-            for a in args {
-                let v = eval_compiled(a, row)?;
+            for i in 0..n_args {
+                let v = arg(i)?;
                 if !v.is_null() {
                     return Ok(v);
                 }

@@ -1,25 +1,37 @@
 //! The flow executor: runs a validated logical flow against a catalog.
 //!
-//! The executor is morsel-driven: every row-at-a-time operator splits its
-//! input into fixed-size morsels ([`MORSEL_ROWS`]) and processes them on the
-//! shared worker pool ([`crate::pool`]), concatenating per-morsel results in
-//! morsel order. Because the morsel structure is a function of input length
-//! alone — never of the thread count — serial and parallel runs produce
-//! bit-identical output, including the floating-point accumulation order of
-//! aggregates and the insertion order of group keys.
+//! The executor is morsel-driven: every operator splits its input into
+//! fixed-size morsels ([`MORSEL_ROWS`]) and processes them on the shared
+//! worker pool ([`crate::pool`]), concatenating per-morsel results in morsel
+//! order. Because the morsel structure is a function of input length alone —
+//! never of the thread count — serial and parallel runs produce bit-identical
+//! output, including the floating-point accumulation order of aggregates and
+//! the insertion order of group keys.
+//!
+//! The data plane is columnar: relations hold `Arc`-shared typed columns
+//! ([`crate::column::Column`]), so projections and pass-through operators are
+//! pointer bumps, selections produce selection vectors that gather once, and
+//! expressions evaluate column-at-a-time per morsel
+//! ([`crate::vector::eval_vector`]). Join and group-by keys are encoded to
+//! fixed-width words ([`crate::keys`]) whenever the key types allow, so the
+//! hash tables hash machine words instead of cloning `Value` rows.
 //!
 //! Expressions are compiled once per operator ([`CompiledExpr`]) before any
-//! row is touched, so the per-row hot loops do positional column access
-//! instead of name hashing.
+//! row is touched, so the hot loops do positional column access instead of
+//! name hashing.
 
 use crate::catalog::Catalog;
-use crate::eval::{eval_compiled, truthy, EvalError};
+use crate::column::{Column as Col, ColumnBuilder, ColumnData, NULL_IDX};
+use crate::eval::{truthy, EvalError};
+use crate::keys::{pack2, plan_group_keys, plan_join_keys, GroupKeyPlan, JoinKeyPlan};
 use crate::pool;
 use crate::relation::{Relation, Row};
 use crate::value::Value;
+use crate::vector::{eval_vector, RowSel, Vek};
 use quarry_etl::{AggSpec, CompiledExpr, Expr, Flow, FlowError, JoinKind, OpId, OpKind, Schema, UnboundColumn};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -108,6 +120,16 @@ pub struct RunReport {
 impl RunReport {
     pub fn rows_loaded(&self, table: &str) -> usize {
         self.loaded.iter().filter(|(t, _)| t == table).map(|(_, n)| n).sum()
+    }
+
+    /// Feeds the run's per-operation output cardinalities back into a cost
+    /// model's [`SourceStats`](quarry_etl::cost::SourceStats): future
+    /// integration decisions then estimate with what this run actually
+    /// measured instead of static selectivity guesses.
+    pub fn observe_into(&self, stats: &mut quarry_etl::cost::SourceStats) {
+        for t in &self.timings {
+            stats.observe_op(&t.op, t.rows_out as f64);
+        }
     }
 }
 
@@ -269,11 +291,26 @@ impl Engine {
                             detail: format!("target is {}, input is {}", existing.schema, input.schema),
                         });
                     }
-                    existing.rows.extend(input.rows.iter().cloned());
+                    if existing.is_empty() {
+                        // Appending to an empty table adopts the input's
+                        // columns: zero values copied.
+                        existing.columns = input.columns().to_vec();
+                        existing.nrows = input.len();
+                    } else {
+                        let columns: Vec<Arc<Col>> = existing
+                            .columns
+                            .iter()
+                            .zip(input.columns())
+                            .zip(&existing.schema.columns)
+                            .map(|((a, b), sc)| Arc::new(Col::concat(&[a.as_ref(), b.as_ref()], sc.ty)))
+                            .collect();
+                        existing.columns = columns;
+                        existing.nrows += input.len();
+                    }
                 }
                 None => {
-                    // First load into a fresh table: share the rows. A later
-                    // append copies-on-write only if the flow result is
+                    // First load into a fresh table: share the relation. A
+                    // later append copies-on-write only if the flow result is
                     // still alive.
                     self.catalog.put_shared(table.to_string(), Arc::clone(input));
                 }
@@ -289,13 +326,13 @@ impl Engine {
 
 /// The morsel decomposition of `len` rows: contiguous ranges of at most
 /// [`MORSEL_ROWS`] rows, in order. Empty input has no morsels.
-fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
+pub(crate) fn morsel_ranges(len: usize) -> Vec<Range<usize>> {
     (0..len).step_by(MORSEL_ROWS).map(|start| start..len.min(start + MORSEL_ROWS)).collect()
 }
 
 /// Applies `f` to every morsel of `0..len` on the worker pool and returns
 /// the per-morsel results in morsel order.
-fn per_morsel<T, F>(len: usize, f: F) -> Vec<T>
+pub(crate) fn per_morsel<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
@@ -304,41 +341,53 @@ where
     pool::run_indexed(ranges.len(), |i| f(ranges[i].clone()))
 }
 
-/// Concatenates per-morsel row chunks in morsel order.
-fn concat(chunks: Vec<Vec<Row>>) -> Vec<Row> {
+/// Concatenates per-morsel chunks in morsel order.
+pub(crate) fn concat<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
     let total = chunks.iter().map(Vec::len).sum();
-    let mut rows = Vec::with_capacity(total);
+    let mut out = Vec::with_capacity(total);
     for mut c in chunks {
-        rows.append(&mut c);
+        out.append(&mut c);
     }
-    rows
+    out
 }
 
 /// Concatenates fallible per-morsel chunks in morsel order; the first error
 /// in morsel order wins, which is deterministic for any thread count.
-fn try_concat(chunks: Vec<Result<Vec<Row>, EvalError>>) -> Result<Vec<Row>, EvalError> {
-    let mut rows = Vec::new();
+pub(crate) fn try_concat<T>(chunks: Vec<Result<Vec<T>, EvalError>>) -> Result<Vec<T>, EvalError> {
+    let mut out = Vec::new();
     for c in chunks {
         let mut c = c?;
-        rows.append(&mut c);
+        out.append(&mut c);
     }
-    Ok(rows)
+    Ok(out)
 }
 
 /// Binds an operator's expression against its input schema, once, before
 /// any row is processed. Unknown columns surface here instead of on the
 /// first evaluated row.
-fn compile(expr: &Expr, schema: &Schema, op: &str) -> Result<CompiledExpr, EngineError> {
+pub(crate) fn compile(expr: &Expr, schema: &Schema, op: &str) -> Result<CompiledExpr, EngineError> {
     CompiledExpr::compile(expr, schema)
         .map_err(|UnboundColumn(c)| EngineError::Eval { op: op.to_string(), error: EvalError::UnknownColumn(c) })
+}
+
+/// Gathers every column at the same selection vector, in parallel over
+/// columns. [`NULL_IDX`] entries become NULL in every column.
+fn gather_all(cols: &[Arc<Col>], indices: &[u32]) -> Vec<Arc<Col>> {
+    pool::run_indexed(cols.len(), |i| Arc::new(cols[i].gather(indices)))
+}
+
+/// Row positions are carried as `u32` selection vectors; relations beyond
+/// that are out of scope for an in-memory engine.
+fn check_row_capacity(len: usize) {
+    assert!(len < u32::MAX as usize, "relation exceeds u32 row-index capacity");
 }
 
 /// Executes one catalog-read-only operation (everything but loaders).
 ///
 /// Returns a reference-counted relation so that pass-through operations —
 /// a datastore whose declared schema matches the catalog table, an
-/// extraction or projection that keeps every column in place — can share
-/// their input instead of copying every row.
+/// extraction or projection that keeps every column in place, a selection
+/// that keeps every row — can share their input instead of copying.
 fn execute_pure(
     catalog: &Catalog,
     name: &str,
@@ -354,22 +403,19 @@ fn execute_pure(
                 // hand out the table itself, zero rows copied.
                 return Ok(table);
             }
-            // Project the catalog table onto the declared extraction
-            // schema (catalog tables may carry more columns, e.g. FKs).
-            let indices: Vec<usize> = schema
+            // Project the catalog table onto the declared extraction schema
+            // (catalog tables may carry more columns, e.g. FKs). Columns are
+            // shared, not copied.
+            let columns: Vec<Arc<Col>> = schema
                 .columns
                 .iter()
                 .map(|c| {
-                    table.schema.index_of(&c.name).ok_or_else(|| EngineError::SourceSchemaMismatch {
-                        table: datastore.clone(),
-                        column: c.name.clone(),
+                    table.schema.index_of(&c.name).map(|i| Arc::clone(table.column(i))).ok_or_else(|| {
+                        EngineError::SourceSchemaMismatch { table: datastore.clone(), column: c.name.clone() }
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            let chunks = per_morsel(table.len(), |rg| {
-                table.rows[rg].iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect()
-            });
-            Ok(Arc::new(Relation::with_rows(schema.clone(), concat(chunks))))
+            Ok(Arc::new(Relation::from_columns(schema.clone(), columns)))
         }
         OpKind::Extraction { columns } | OpKind::Projection { columns } => {
             let input = &inputs[0];
@@ -379,43 +425,79 @@ fn execute_pure(
                 return Ok(Arc::clone(input));
             }
             let schema = input.schema.project(columns).expect("validated");
-            let chunks = per_morsel(input.len(), |rg| {
-                input.rows[rg].iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect()
-            });
-            Ok(Arc::new(Relation::with_rows(schema, concat(chunks))))
+            let picked = indices.iter().map(|&i| Arc::clone(input.column(i))).collect();
+            Ok(Arc::new(Relation::from_columns(schema, picked)))
         }
         OpKind::Selection { predicate } => {
             let input = &inputs[0];
+            check_row_capacity(input.len());
             let predicate = compile(predicate, &input.schema, name)?;
-            let chunks = per_morsel(input.len(), |rg| {
+            let cols = input.columns();
+            // Each morsel evaluates the predicate column-at-a-time and
+            // produces a selection vector of absolute row indices.
+            let chunks: Vec<Result<Vec<u32>, EvalError>> = per_morsel(input.len(), |rg| {
+                let start = rg.start;
+                let n = rg.len();
+                let vek = eval_vector(&predicate, cols, &RowSel::Range(rg))?;
                 let mut keep = Vec::new();
-                for r in &input.rows[rg] {
-                    if truthy(&eval_compiled(&predicate, r)?) {
-                        keep.push(r.clone());
+                match &vek {
+                    Vek::Const(v) => {
+                        if truthy(v) {
+                            keep.extend((start..start + n).map(|i| i as u32));
+                        }
                     }
+                    Vek::Col(c) => match (c.data(), c.validity()) {
+                        (ColumnData::Bool(bits), None) => {
+                            for (k, &b) in bits.iter().enumerate() {
+                                if b {
+                                    keep.push((start + k) as u32);
+                                }
+                            }
+                        }
+                        (ColumnData::Bool(bits), Some(bm)) => {
+                            for (k, &b) in bits.iter().enumerate() {
+                                if b && bm.get(k) {
+                                    keep.push((start + k) as u32);
+                                }
+                            }
+                        }
+                        _ => {
+                            for k in 0..n {
+                                if truthy(&c.value(k)) {
+                                    keep.push((start + k) as u32);
+                                }
+                            }
+                        }
+                    },
                 }
                 Ok(keep)
             });
-            Ok(Arc::new(Relation::with_rows(input.schema.clone(), try_concat(chunks).map_err(eval_err)?)))
+            let kept = try_concat(chunks).map_err(eval_err)?;
+            if kept.len() == input.len() {
+                // Every row survives: the output IS the input.
+                return Ok(Arc::clone(input));
+            }
+            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &kept))))
         }
         OpKind::Derivation { column: _, expr } => {
             let input = &inputs[0];
             let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
             let expr = compile(expr, &input.schema, name)?;
-            let chunks = per_morsel(input.len(), |rg| {
-                let mut out = Vec::with_capacity(rg.len());
-                for r in &input.rows[rg] {
-                    let v = eval_compiled(&expr, r)?;
-                    // One allocation at the widened size, instead of a
-                    // clone at the old size plus a reallocating push.
-                    let mut row = Vec::with_capacity(r.len() + 1);
-                    row.extend_from_slice(r);
-                    row.push(v);
-                    out.push(row);
-                }
-                Ok(out)
+            let cols = input.columns();
+            let parts: Vec<Result<Col, EvalError>> = per_morsel(input.len(), |rg| {
+                let n = rg.len();
+                Ok(eval_vector(&expr, cols, &RowSel::Range(rg))?.into_column(n))
             });
-            Ok(Arc::new(Relation::with_rows(schema, try_concat(chunks).map_err(eval_err)?)))
+            let mut evaluated = Vec::with_capacity(parts.len());
+            for p in parts {
+                evaluated.push(p.map_err(eval_err)?);
+            }
+            let ty = schema.columns.last().expect("derivation appends a column").ty;
+            let derived = Col::concat(&evaluated.iter().collect::<Vec<_>>(), ty);
+            // Output = all input columns shared + the one new column.
+            let mut columns = input.columns().to_vec();
+            columns.push(Arc::new(derived));
+            Ok(Arc::new(Relation::from_columns(schema, columns)))
         }
         OpKind::Join { kind: jk, left_on, right_on } => {
             Ok(Arc::new(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk)))
@@ -424,70 +506,85 @@ fn execute_pure(
             hash_aggregate(&inputs[0], group_by, aggregates, name).map(Arc::new).map_err(eval_err)
         }
         OpKind::Union => {
-            let mut rows = inputs[0].rows.clone();
-            // Align the right input positionally by column name; when the
-            // layouts already agree (the common case), rows copy verbatim
-            // instead of value-by-value re-collection.
-            let indices: Vec<usize> = inputs[0].schema.names().map(|n| inputs[1].col(n)).collect();
-            if indices.iter().enumerate().all(|(pos, &i)| pos == i) {
-                rows.extend(inputs[1].rows.iter().cloned());
-            } else {
-                rows.extend(inputs[1].rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect::<Row>()));
-            }
-            Ok(Arc::new(Relation::with_rows(inputs[0].schema.clone(), rows)))
+            let (l, r) = (&inputs[0], &inputs[1]);
+            // Align the right input positionally by column name; same-layout
+            // inputs (the common case) concatenate representation-to-
+            // representation without value round-trips.
+            let indices: Vec<usize> = l.schema.names().map(|n| r.col(n)).collect();
+            let columns: Vec<Arc<Col>> = l
+                .schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, sc)| Arc::new(Col::concat(&[l.column(i).as_ref(), r.column(indices[i]).as_ref()], sc.ty)))
+                .collect();
+            Ok(Arc::new(Relation::from_columns(l.schema.clone(), columns)))
         }
         OpKind::Distinct => {
             let input = &inputs[0];
-            // Track seen rows by reference: one clone per emitted row
-            // instead of two per input row.
+            check_row_capacity(input.len());
             let mut seen = std::collections::HashSet::with_capacity(input.len());
-            let mut rows = Vec::new();
-            for r in &input.rows {
-                if seen.insert(r) {
-                    rows.push(r.clone());
+            let mut kept: Vec<u32> = Vec::new();
+            for i in 0..input.len() {
+                if seen.insert(input.row(i)) {
+                    kept.push(i as u32);
                 }
             }
-            Ok(Arc::new(Relation::with_rows(input.schema.clone(), rows)))
+            if kept.len() == input.len() {
+                return Ok(Arc::clone(input));
+            }
+            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &kept))))
         }
         OpKind::Sort { columns } => {
             let input = &inputs[0];
+            check_row_capacity(input.len());
             let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
-            // Sort a permutation, then clone rows once in output order:
-            // the (stable) sort itself moves 8-byte indices, not rows.
-            let mut order: Vec<usize> = (0..input.len()).collect();
+            // Materialize the sort-key columns once; the (stable) sort then
+            // permutes 4-byte indices and compares values positionally,
+            // never touching the non-key columns until the final gather.
+            let keys: Vec<Vec<Value>> = indices
+                .iter()
+                .map(|&i| {
+                    let c = input.column(i);
+                    (0..c.len()).map(|r| c.value(r)).collect()
+                })
+                .collect();
+            let mut order: Vec<u32> = (0..input.len() as u32).collect();
             order.sort_by(|&a, &b| {
-                for &i in &indices {
-                    let c = input.rows[a][i].total_cmp(&input.rows[b][i]);
+                for k in &keys {
+                    let c = k[a as usize].total_cmp(&k[b as usize]);
                     if c != std::cmp::Ordering::Equal {
                         return c;
                     }
                 }
                 std::cmp::Ordering::Equal
             });
-            let rows = order.into_iter().map(|i| input.rows[i].clone()).collect();
-            Ok(Arc::new(Relation::with_rows(input.schema.clone(), rows)))
+            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &order))))
         }
         OpKind::SurrogateKey { natural, output: _ } => {
             let input = &inputs[0];
             let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
             let indices: Vec<usize> = natural.iter().map(|c| input.col(c)).collect();
-            let chunks = per_morsel(input.len(), |rg| {
-                input.rows[rg]
-                    .iter()
-                    .map(|r| {
-                        // Content-addressed surrogate (FNV-1a over the
-                        // natural key): the same natural key yields the same
-                        // surrogate in *any* flow, so fact FKs computed in
-                        // the fact pipeline match dimension keys computed in
-                        // dimension pipelines.
-                        let sk = surrogate_of(indices.iter().map(|&i| &r[i]));
-                        let mut row = r.clone();
-                        row.push(Value::Int(sk));
-                        row
-                    })
-                    .collect()
+            let chunks: Vec<Vec<i64>> = per_morsel(input.len(), |rg| {
+                rg.map(|i| {
+                    // Content-addressed surrogate (FNV-1a over the natural
+                    // key): the same natural key yields the same surrogate
+                    // in *any* flow, so fact FKs computed in the fact
+                    // pipeline match dimension keys computed in dimension
+                    // pipelines. The display bytes stream straight from the
+                    // columns into the hash — no row materialization.
+                    let mut fnv = FnvWriter::new();
+                    for &c in &indices {
+                        input.column(c).write_display(i, &mut fnv).expect("hash writer never fails");
+                        fnv.sep();
+                    }
+                    fnv.finish()
+                })
+                .collect()
             });
-            Ok(Arc::new(Relation::with_rows(schema, concat(chunks))))
+            let mut columns = input.columns().to_vec();
+            columns.push(Arc::new(Col::new(ColumnData::Int(concat(chunks)), None)));
+            Ok(Arc::new(Relation::from_columns(schema, columns)))
         }
         OpKind::Loader { .. } => unreachable!("loaders are executed by Engine::load"),
     }
@@ -504,6 +601,7 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
         catalog.put(table.to_string(), Relation::new(input.schema.clone()));
     }
     let existing = catalog.get_mut(table).expect("created above");
+    check_row_capacity(existing.len().max(input.len()));
     // Widen the schema to the union; check types of shared columns.
     for c in &input.schema.columns {
         match existing.schema.column(&c.name) {
@@ -512,10 +610,9 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
             }
             Some(_) => {}
             None => {
+                let n = existing.nrows;
                 existing.schema.columns.push(c.clone());
-                for row in &mut existing.rows {
-                    row.push(Value::Null);
-                }
+                existing.columns.push(Arc::new(Col::nulls(c.ty, n)));
             }
         }
     }
@@ -527,140 +624,252 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
         .iter()
         .map(|k| input.schema.index_of(k).ok_or_else(|| format!("upsert key `{k}` missing from input")))
         .collect::<Result<_, _>>()?;
-    let mut index: HashMap<Row, usize> = existing
-        .rows
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (key_idx_target.iter().map(|&c| r[c].clone()).collect::<Row>(), i))
+    let mut index: HashMap<Row, usize> = (0..existing.nrows)
+        .map(|i| (key_idx_target.iter().map(|&c| existing.columns[c].value(i)).collect::<Row>(), i))
         .collect();
     // Input column → target position.
     let positions: Vec<usize> =
         input.schema.columns.iter().map(|c| existing.schema.index_of(&c.name).expect("widened above")).collect();
-    let width = existing.schema.len();
-    for r in &input.rows {
-        let k: Row = key_idx_input.iter().map(|&c| r[c].clone()).collect();
+    // Merge plan instead of in-place row mutation: for every output slot,
+    // which input row overwrites it (NULL_IDX = none; existing slots keep
+    // their old values, appended slots take the input row's values).
+    let old_len = existing.nrows;
+    let mut from_input: Vec<u32> = vec![NULL_IDX; old_len];
+    let mut appended: Vec<u32> = Vec::new();
+    for i in 0..input.len() {
+        let k: Row = key_idx_input.iter().map(|&c| input.columns()[c].value(i)).collect();
         match index.get(&k) {
             Some(&slot) => {
-                for (v, &pos) in r.iter().zip(&positions) {
-                    existing.rows[slot][pos] = v.clone();
+                // Last write wins within the batch.
+                if slot < old_len {
+                    from_input[slot] = i as u32;
+                } else {
+                    appended[slot - old_len] = i as u32;
                 }
             }
             None => {
-                let mut row = vec![Value::Null; width];
-                for (v, &pos) in r.iter().zip(&positions) {
-                    row[pos] = v.clone();
-                }
-                index.insert(k, existing.rows.len());
-                existing.rows.push(row);
+                index.insert(k, old_len + appended.len());
+                appended.push(i as u32);
             }
         }
     }
+    // Rebuild each target column from the plan. Columns the input does not
+    // carry keep their values (appended slots pad with NULL); columns it
+    // does carry splice input values over matched slots.
+    let target_of_input: HashMap<usize, usize> = positions.iter().enumerate().map(|(ic, &tp)| (tp, ic)).collect();
+    let columns: Vec<Arc<Col>> = existing
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(tp, old)| {
+            let ty = existing.schema.columns[tp].ty;
+            match target_of_input.get(&tp) {
+                None if appended.is_empty() => Arc::clone(old),
+                None => {
+                    let pad = Col::nulls(ty, appended.len());
+                    Arc::new(Col::concat(&[old.as_ref(), &pad], ty))
+                }
+                Some(&ic) => {
+                    let inp = input.columns()[ic].as_ref();
+                    let mut b = ColumnBuilder::new(ty);
+                    for (slot, &fi) in from_input.iter().enumerate() {
+                        if fi == NULL_IDX {
+                            b.push(old.value(slot));
+                        } else {
+                            b.push(inp.value(fi as usize));
+                        }
+                    }
+                    for &i in &appended {
+                        b.push(inp.value(i as usize));
+                    }
+                    Arc::new(b.finish())
+                }
+            }
+        })
+        .collect();
+    existing.columns = columns;
+    existing.nrows = old_len + appended.len();
     Ok(())
+}
+
+/// Streaming FNV-1a over display bytes — the surrogate-key hash. Shared by
+/// [`surrogate_of`] (row values) and the columnar `SurrogateKey` operator
+/// (which streams straight from column storage).
+pub(crate) struct FnvWriter(u64);
+
+impl FnvWriter {
+    pub(crate) fn new() -> Self {
+        FnvWriter(0xcbf29ce484222325)
+    }
+
+    /// Separator between key parts so `("ab","c") != ("a","bc")`.
+    pub(crate) fn sep(&mut self) {
+        self.0 ^= 0x1f;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    pub(crate) fn finish(&self) -> i64 {
+        (self.0 & 0x7fff_ffff_ffff_ffff) as i64
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+        Ok(())
+    }
 }
 
 /// Deterministic surrogate key: FNV-1a over the display forms of the natural
 /// key values, masked positive. Stable across flows and runs.
-///
-/// The display bytes stream straight into the hash through a [`fmt::Write`]
-/// adapter — no value is ever rendered to an intermediate string.
 pub fn surrogate_of<'a>(values: impl Iterator<Item = &'a Value>) -> i64 {
-    struct Fnv(u64);
-    impl std::fmt::Write for Fnv {
-        fn write_str(&mut self, s: &str) -> std::fmt::Result {
-            for b in s.bytes() {
-                self.0 ^= b as u64;
-                self.0 = self.0.wrapping_mul(0x100000001b3);
-            }
-            Ok(())
-        }
-    }
-    let mut fnv = Fnv(0xcbf29ce484222325);
+    let mut fnv = FnvWriter::new();
     for v in values {
         use std::fmt::Write;
         write!(fnv, "{v}").expect("hash writer never fails");
-        // Separator between key parts so ("ab","c") != ("a","bc").
-        fnv.0 ^= 0x1f;
-        fnv.0 = fnv.0.wrapping_mul(0x100000001b3);
+        fnv.sep();
     }
-    (fnv.0 & 0x7fff_ffff_ffff_ffff) as i64
+    fnv.finish()
 }
 
+/// Hash join over columnar inputs. Keys are planned once ([`plan_join_keys`]):
+/// fixed-width word keys when the key column types allow (the fast path —
+/// the hash tables then hash `u64`/`u128` instead of cloning `Value` rows),
+/// `Value`-row keys when a `Mixed` column forces it, and a no-op when some
+/// key column pair can never match. The output is assembled by gathering
+/// both sides' columns at the matched index pairs.
 fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[String], kind: JoinKind) -> Relation {
+    check_row_capacity(left.len().max(right.len()));
     let l_idx: Vec<usize> = left_on.iter().map(|c| left.col(c)).collect();
     let r_idx: Vec<usize> = right_on.iter().map(|c| right.col(c)).collect();
-    // Build on the right side, probe with the left (FK joins probe the big
-    // side in DW flows). The build is partitioned: each morsel hashes its
-    // rows into a local table, and the locals merge in morsel order, so
-    // every key's match list is in ascending row order — exactly what a
-    // serial build produces.
-    let parts: Vec<HashMap<Row, Vec<usize>>> = per_morsel(right.len(), |rg| {
-        let mut m: HashMap<Row, Vec<usize>> = HashMap::new();
-        for i in rg {
-            let r = &right.rows[i];
-            let key: Row = r_idx.iter().map(|&c| r[c].clone()).collect();
-            if key.iter().any(Value::is_null) {
-                continue; // NULL keys never match
-            }
-            m.entry(key).or_default().push(i);
-        }
-        m
-    });
-    let mut build: HashMap<Row, Vec<usize>> = HashMap::with_capacity(right.len());
-    for part in parts {
-        for (k, mut ids) in part {
-            build.entry(k).or_default().append(&mut ids);
-        }
-    }
     // Same-name equi-joined key columns are kept once (left copy), matching
     // the logical schema propagation.
     let kept = quarry_etl::join_kept_right_indices(&right.schema, left_on, right_on);
     let mut schema = left.schema.clone();
     schema.columns.extend(kept.iter().map(|&i| right.schema.columns[i].clone()));
-    // Probe morsel-parallel over the left side; chunks concatenate in
-    // morsel order, preserving the serial output order. The probe key lives
-    // in a per-morsel scratch buffer (`Vec<Value>: Borrow<[Value]>` lets the
-    // map look it up without an owned key), and output rows are allocated
-    // at their final width, so the inner loop performs exactly one
-    // allocation per emitted row.
-    let out_width = schema.len();
-    let chunks = per_morsel(left.len(), |rg| {
-        let mut out = Vec::new();
-        let mut key: Row = Vec::with_capacity(l_idx.len());
-        for l in &left.rows[rg] {
-            key.clear();
-            key.extend(l_idx.iter().map(|&c| l[c].clone()));
-            let matches = if key.iter().any(Value::is_null) { None } else { build.get(key.as_slice()) };
-            let emit = |m: &[usize], out: &mut Vec<Row>| {
-                for &m in m {
-                    let mut row = Vec::with_capacity(out_width);
-                    row.extend_from_slice(l);
-                    row.extend(kept.iter().map(|&i| right.rows[m][i].clone()));
-                    out.push(row);
+
+    let (l_out, r_out) = match plan_join_keys(left, right, &l_idx, &r_idx) {
+        JoinKeyPlan::Never => {
+            if kind == JoinKind::Left {
+                ((0..left.len() as u32).collect(), vec![NULL_IDX; left.len()])
+            } else {
+                (Vec::new(), Vec::new())
+            }
+        }
+        JoinKeyPlan::Values => join_core(
+            left.len(),
+            right.len(),
+            kind,
+            |i| {
+                let key: Row = l_idx.iter().map(|&c| left.column(c).value(i)).collect();
+                (!key.iter().any(Value::is_null)).then_some(key)
+            },
+            |i| {
+                let key: Row = r_idx.iter().map(|&c| right.column(c).value(i)).collect();
+                (!key.iter().any(Value::is_null)).then_some(key)
+            },
+        ),
+        JoinKeyPlan::Encoded { left: lk, right: rk } => match lk.width {
+            1 => join_core(
+                left.len(),
+                right.len(),
+                kind,
+                |i| lk.ok[i].then_some(lk.words[i]),
+                |i| rk.ok[i].then_some(rk.words[i]),
+            ),
+            2 => join_core(
+                left.len(),
+                right.len(),
+                kind,
+                |i| lk.ok[i].then(|| pack2(lk.row(i))),
+                |i| rk.ok[i].then(|| pack2(rk.row(i))),
+            ),
+            _ => join_core(
+                left.len(),
+                right.len(),
+                kind,
+                |i| lk.ok[i].then(|| lk.row(i).to_vec().into_boxed_slice()),
+                |i| rk.ok[i].then(|| rk.row(i).to_vec().into_boxed_slice()),
+            ),
+        },
+    };
+    let mut columns = gather_all(left.columns(), &l_out);
+    let kept_cols: Vec<Arc<Col>> = kept.iter().map(|&i| Arc::clone(right.column(i))).collect();
+    columns.extend(gather_all(&kept_cols, &r_out));
+    Relation::from_columns(schema, columns)
+}
+
+/// The join skeleton, generic over the key type. `lkey`/`rkey` return `None`
+/// for rows whose key can never match (NULL slots, probe strings missing
+/// from the build dictionary); with a left join those rows pad with
+/// [`NULL_IDX`].
+///
+/// Builds on the right side, probes with the left (FK joins probe the big
+/// side in DW flows). The build is partitioned: each morsel hashes its rows
+/// into a local table, and the locals merge in morsel order, so every key's
+/// match list is in ascending row order — exactly what a serial build
+/// produces. The probe emits `(left row, right row)` index pairs per morsel,
+/// concatenated in morsel order.
+fn join_core<K, L, R>(left_len: usize, right_len: usize, kind: JoinKind, lkey: L, rkey: R) -> (Vec<u32>, Vec<u32>)
+where
+    K: Hash + Eq + Send + Sync,
+    L: Fn(usize) -> Option<K> + Sync,
+    R: Fn(usize) -> Option<K> + Sync,
+{
+    let parts: Vec<HashMap<K, Vec<u32>>> = per_morsel(right_len, |rg| {
+        let mut m: HashMap<K, Vec<u32>> = HashMap::new();
+        for i in rg {
+            if let Some(k) = rkey(i) {
+                m.entry(k).or_default().push(i as u32);
+            }
+        }
+        m
+    });
+    let mut build: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_len);
+    for part in parts {
+        for (k, mut ids) in part {
+            build.entry(k).or_default().append(&mut ids);
+        }
+    }
+    let chunks: Vec<(Vec<u32>, Vec<u32>)> = per_morsel(left_len, |rg| {
+        let mut l_out = Vec::new();
+        let mut r_out = Vec::new();
+        for i in rg {
+            match lkey(i).and_then(|k| build.get(&k)) {
+                Some(ms) => {
+                    for &m in ms {
+                        l_out.push(i as u32);
+                        r_out.push(m);
+                    }
                 }
-            };
-            match matches {
-                Some(ms) => emit(ms, &mut out),
                 None => {
                     if kind == JoinKind::Left {
-                        let mut row = Vec::with_capacity(out_width);
-                        row.extend_from_slice(l);
-                        row.extend(std::iter::repeat_n(Value::Null, kept.len()));
-                        out.push(row);
+                        l_out.push(i as u32);
+                        r_out.push(NULL_IDX);
                     }
                 }
             }
         }
-        out
+        (l_out, r_out)
     });
-    Relation::with_rows(schema, concat(chunks))
+    let mut l_out = Vec::new();
+    let mut r_out = Vec::new();
+    for (mut l, mut r) in chunks {
+        l_out.append(&mut l);
+        r_out.append(&mut r);
+    }
+    (l_out, r_out)
 }
 
-/// One morsel's insertion-ordered aggregation table: group keys in first-seen
-/// order, each with its accumulator per measure.
-type LocalAggTable = Vec<(Row, Vec<AggState>)>;
+/// One morsel's insertion-ordered aggregation table, generic over the key:
+/// `(key, first-seen row, accumulators)` in first-seen order.
+type LocalAggTable<K> = Vec<(K, u32, Vec<AggState>)>;
 
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Sum(f64, bool),
     Avg(f64, u64),
     Min(Option<Value>),
@@ -669,7 +878,7 @@ enum AggState {
 }
 
 /// Folds one evaluated measure value into an accumulator.
-fn accumulate(state: &mut AggState, v: Value) -> Result<(), EvalError> {
+pub(crate) fn accumulate(state: &mut AggState, v: Value) -> Result<(), EvalError> {
     match state {
         AggState::Count(n) => *n += 1,
         _ if v.is_null() => {}
@@ -697,7 +906,7 @@ fn accumulate(state: &mut AggState, v: Value) -> Result<(), EvalError> {
 
 /// Merges a later morsel's accumulator into an earlier one. Ties keep the
 /// earlier value, matching the row-order semantics of a serial fold.
-fn merge_state(into: &mut AggState, from: AggState) {
+pub(crate) fn merge_state(into: &mut AggState, from: AggState) {
     match (into, from) {
         (AggState::Sum(acc, any), AggState::Sum(acc2, any2)) => {
             *acc += acc2;
@@ -726,17 +935,112 @@ fn merge_state(into: &mut AggState, from: AggState) {
     }
 }
 
-/// Two-phase parallel aggregation. Phase 1 folds each morsel into a local
-/// insertion-ordered table; phase 2 merges the locals in morsel order, so
-/// group keys come out in global first-occurrence order and the combined
+/// The final value of one accumulator.
+pub(crate) fn finalize_state(state: AggState) -> Value {
+    match state {
+        AggState::Sum(acc, any) => {
+            if any {
+                Value::Float(acc)
+            } else {
+                Value::Null
+            }
+        }
+        AggState::Avg(acc, n) => {
+            if n > 0 {
+                Value::Float(acc / n as f64)
+            } else {
+                Value::Null
+            }
+        }
+        AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        AggState::Count(n) => Value::Int(n as i64),
+    }
+}
+
+/// The aggregation skeleton, generic over the group-key type: two-phase
+/// parallel aggregation keeping `(key, first-seen row, accumulators)` per
+/// group. Phase 1 folds each morsel into a local insertion-ordered table —
+/// measures evaluate column-at-a-time per morsel before the fold. Phase 2
+/// merges the locals in morsel order, keeping the earliest first-seen row,
+/// so group keys come out in global first-occurrence order and the combined
 /// accumulators are a pure function of the morsel structure — identical for
-/// serial and parallel runs at any thread count.
+/// serial and parallel runs at any thread count. (Within one morsel,
+/// evaluation errors surface measure-major rather than row-major — still
+/// deterministic, since morsel order breaks ties across morsels.)
+fn agg_core<K, F>(
+    input: &Relation,
+    measures: &[CompiledExpr],
+    fresh: &[AggState],
+    keyf: F,
+) -> Result<LocalAggTable<K>, EvalError>
+where
+    K: Hash + Eq + Clone + Send,
+    F: Fn(usize) -> K + Sync,
+{
+    let cols = input.columns();
+    let locals: Vec<Result<LocalAggTable<K>, EvalError>> = per_morsel(input.len(), |rg| {
+        let sel = RowSel::Range(rg.clone());
+        let veks: Vec<Vek> = measures.iter().map(|m| eval_vector(m, cols, &sel)).collect::<Result<_, _>>()?;
+        let mut index: HashMap<K, usize> = HashMap::new();
+        let mut groups: LocalAggTable<K> = Vec::new();
+        for (off, i) in rg.enumerate() {
+            let key = keyf(i);
+            let slot = match index.get(&key) {
+                Some(&s) => s,
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, i as u32, fresh.to_vec()));
+                    groups.len() - 1
+                }
+            };
+            for (state, vek) in groups[slot].2.iter_mut().zip(&veks) {
+                accumulate(state, vek.value(off))?;
+            }
+        }
+        Ok(groups)
+    });
+    // Phase 2: merge locals in morsel order.
+    let mut index: HashMap<K, usize> = HashMap::new();
+    let mut groups: LocalAggTable<K> = Vec::new();
+    for local in locals {
+        for (key, first, states) in local? {
+            match index.get(&key) {
+                Some(&slot) => {
+                    for (into, from) in groups[slot].2.iter_mut().zip(states) {
+                        merge_state(into, from);
+                    }
+                }
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, first, states));
+                }
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// Drops the key from a merged aggregation table: the output's group columns
+/// gather at each group's first-seen row instead, which yields exactly the
+/// first-seen key values (word equality coincides with value equality within
+/// every encoded column).
+fn drop_keys<K>(groups: LocalAggTable<K>) -> Vec<(u32, Vec<AggState>)> {
+    groups.into_iter().map(|(_, first, states)| (first, states)).collect()
+}
+
+/// Columnar grouped aggregation: group keys are planned once
+/// ([`plan_group_keys`]) into fixed-width words (with a null-mask word)
+/// unless a `Mixed` column forces `Value`-row keys; measures evaluate
+/// vectorized per morsel; the output's group columns gather at each group's
+/// first-seen row and the aggregate columns build from finalized
+/// accumulators.
 fn hash_aggregate(
     input: &Relation,
     group_by: &[String],
     aggregates: &[AggSpec],
     op_name: &str,
 ) -> Result<Relation, EvalError> {
+    check_row_capacity(input.len());
     let schema = OpKind::Aggregation { group_by: group_by.to_vec(), aggregates: aggregates.to_vec() }
         .output_schema(op_name, std::slice::from_ref(&input.schema))
         .expect("validated before execution");
@@ -757,81 +1061,36 @@ fn hash_aggregate(
         })
         .collect();
 
-    // Phase 1: one insertion-ordered local table per morsel.
-    let locals: Vec<Result<LocalAggTable, EvalError>> = per_morsel(input.len(), |rg| {
-        let mut index: HashMap<Row, usize> = HashMap::new();
-        let mut groups: LocalAggTable = Vec::new();
-        // Scratch key buffer: the usual case is a repeated group, where the
-        // lookup-by-slice finds the slot without allocating a key.
-        let mut key: Row = Vec::with_capacity(g_idx.len());
-        for r in &input.rows[rg] {
-            key.clear();
-            key.extend(g_idx.iter().map(|&c| r[c].clone()));
-            let slot = match index.get(key.as_slice()) {
-                Some(&s) => s,
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key.clone(), fresh_states.clone()));
-                    groups.len() - 1
-                }
-            };
-            for (state, m) in groups[slot].1.iter_mut().zip(&measures) {
-                accumulate(state, eval_compiled(m, r)?)?;
+    let mut groups: Vec<(u32, Vec<AggState>)> = if g_idx.is_empty() {
+        drop_keys(agg_core(input, &measures, &fresh_states, |_| ())?)
+    } else {
+        match plan_group_keys(input, &g_idx) {
+            GroupKeyPlan::Values => {
+                let keyf = |i: usize| -> Row { g_idx.iter().map(|&c| input.column(c).value(i)).collect() };
+                drop_keys(agg_core(input, &measures, &fresh_states, keyf)?)
             }
+            GroupKeyPlan::Encoded(sk) => match sk.width {
+                2 => drop_keys(agg_core(input, &measures, &fresh_states, |i| pack2(sk.row(i)))?),
+                _ => drop_keys(agg_core(input, &measures, &fresh_states, |i| sk.row(i).to_vec().into_boxed_slice())?),
+            },
         }
-        Ok(groups)
-    });
-
-    // Phase 2: merge locals in morsel order.
-    let mut index: HashMap<Row, usize> = HashMap::new();
-    let mut groups: Vec<(Row, Vec<AggState>)> = Vec::new();
-    for local in locals {
-        for (key, states) in local? {
-            match index.get(&key) {
-                Some(&slot) => {
-                    for (into, from) in groups[slot].1.iter_mut().zip(states) {
-                        merge_state(into, from);
-                    }
-                }
-                None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, states));
-                }
-            }
-        }
-    }
+    };
     // A global aggregation over zero rows still yields one row of neutral
-    // values, matching SQL semantics.
+    // values, matching SQL semantics. (The first-seen index is unused: there
+    // are no group columns to gather.)
     if groups.is_empty() && group_by.is_empty() {
-        groups.push((Vec::new(), fresh_states));
+        groups.push((0, fresh_states.clone()));
     }
-    let rows = groups
-        .into_iter()
-        .map(|(mut key, states)| {
-            for state in states {
-                key.push(match state {
-                    AggState::Sum(acc, any) => {
-                        if any {
-                            Value::Float(acc)
-                        } else {
-                            Value::Null
-                        }
-                    }
-                    AggState::Avg(acc, n) => {
-                        if n > 0 {
-                            Value::Float(acc / n as f64)
-                        } else {
-                            Value::Null
-                        }
-                    }
-                    AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
-                    AggState::Count(n) => Value::Int(n as i64),
-                });
-            }
-            key
-        })
-        .collect();
-    Ok(Relation::with_rows(schema, rows))
+    let firsts: Vec<u32> = groups.iter().map(|(first, _)| *first).collect();
+    let mut columns: Vec<Arc<Col>> = g_idx.iter().map(|&c| Arc::new(input.column(c).gather(&firsts))).collect();
+    for (j, sc) in schema.columns[group_by.len()..].iter().enumerate() {
+        let mut b = ColumnBuilder::new(sc.ty);
+        for (_, states) in &groups {
+            b.push(finalize_state(states[j].clone()));
+        }
+        columns.push(Arc::new(b.finish()));
+    }
+    Ok(Relation::from_columns(schema, columns))
 }
 
 #[cfg(test)]
@@ -905,6 +1164,14 @@ mod tests {
         assert_eq!(rev[1], Value::Float(45.0));
         assert!(report.total >= Duration::ZERO);
         assert_eq!(report.timings.len(), 4);
+
+        // The run's measured cardinalities feed back into the cost model.
+        let mut stats = engine.catalog.statistics();
+        report.observe_into(&mut stats);
+        let sel_rows = report.timings.iter().find(|t| t.op == "SEL").unwrap().rows_out;
+        assert_eq!(stats.observed_op("SEL"), Some(sel_rows as f64));
+        let cards = quarry_etl::cost::cardinalities(&f, &stats).unwrap();
+        assert_eq!(cards[&s], sel_rows as f64, "estimator now uses the observed filter cardinality");
     }
 
     #[test]
@@ -1064,7 +1331,7 @@ mod tests {
         let mut engine = Engine::new(catalog());
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
-        let unmatched: Vec<_> = out.rows.iter().filter(|r| r[0] == Value::Int(2)).collect();
+        let unmatched: Vec<Row> = out.iter_rows().filter(|r| r[0] == Value::Int(2)).collect();
         assert_eq!(unmatched.len(), 1);
         assert!(unmatched[0][3].is_null() && unmatched[0][4].is_null());
     }
@@ -1094,7 +1361,7 @@ mod tests {
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
         assert_eq!(out.len(), 1);
-        let r = &out.rows[0];
+        let r = out.row(0);
         assert_eq!(r[0], Value::Float(350.0));
         assert_eq!(r[1], Value::Float(350.0 / 3.0));
         assert_eq!(r[2], Value::Float(50.0));
@@ -1124,7 +1391,7 @@ mod tests {
         let mut engine = Engine::new(catalog());
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
-        assert_eq!(out.rows, vec![vec![Value::Int(0), Value::Null]]);
+        assert_eq!(out.to_rows(), vec![vec![Value::Int(0), Value::Null]]);
     }
 
     #[test]
@@ -1194,7 +1461,7 @@ mod tests {
         let mut engine = Engine::new(catalog());
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
-        assert_eq!(out.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(out.to_rows(), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }
 
     #[test]
@@ -1324,7 +1591,7 @@ mod tests {
         engine.run(&f).unwrap();
         let out = engine.catalog.get("out").unwrap();
         assert_eq!(out.len(), 2, "NULL keys group together");
-        let null_group = out.rows.iter().find(|r| r[0].is_null()).expect("null group exists");
+        let null_group = out.iter_rows().find(|r| r[0].is_null()).expect("null group exists");
         assert_eq!(null_group[1], Value::Float(3.0));
     }
 
@@ -1358,7 +1625,7 @@ mod tests {
         let out = engine.catalog.get("out").unwrap();
         assert_eq!(out.len(), 2, "duplicate keys in the very first load collapse");
         // Last write wins within the batch.
-        let k1 = out.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        let k1 = out.iter_rows().find(|r| r[0] == Value::Int(1)).unwrap();
         assert_eq!(k1[1], Value::Float(2.0));
     }
 
@@ -1385,10 +1652,10 @@ mod tests {
         let dim = engine.catalog.get("dim").unwrap();
         assert_eq!(dim.schema.names().collect::<Vec<_>>(), ["k", "a", "b"]);
         assert_eq!(dim.len(), 2);
-        let k1 = dim.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        let k1 = dim.iter_rows().find(|r| r[0] == Value::Int(1)).unwrap();
         assert_eq!(k1[1], Value::Float(9.0), "existing column kept");
         assert_eq!(k1[2], Value::Str("x".into()), "new column filled");
-        let k2 = dim.rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        let k2 = dim.iter_rows().find(|r| r[0] == Value::Int(2)).unwrap();
         assert!(k2[1].is_null(), "missing column padded with NULL");
     }
 
@@ -1534,10 +1801,10 @@ mod tests {
         let mut par = Engine::new(multi_morsel_catalog(rows));
         par.run_parallel(&f).unwrap();
         let (a, b) = (seq.catalog.get("out").unwrap(), par.catalog.get("out").unwrap());
-        assert_eq!(a.rows, b.rows, "serial and parallel outputs must be bit-identical, in order");
+        assert_eq!(a, b, "serial and parallel outputs must be bit-identical, in order");
         // Group keys surface in first-occurrence order: the selection keeps
         // k >= 10 first, so groups start at 10 % 7 = 3 and wrap around.
-        let keys: Vec<Value> = a.rows.iter().map(|r| r[0].clone()).collect();
+        let keys = a.column_values("grp");
         assert_eq!(keys, [3, 4, 5, 6, 0, 1, 2].map(Value::Int).to_vec());
     }
 
@@ -1548,7 +1815,7 @@ mod tests {
         seq.run(&f).unwrap();
         let mut par = Engine::new(multi_morsel_catalog(0));
         par.run_parallel(&f).unwrap();
-        assert_eq!(seq.catalog.get("out").unwrap().rows, par.catalog.get("out").unwrap().rows);
+        assert_eq!(seq.catalog.get("out").unwrap(), par.catalog.get("out").unwrap());
         assert!(seq.catalog.get("out").unwrap().is_empty(), "grouped aggregate of nothing is empty");
     }
 
@@ -1648,5 +1915,67 @@ mod tests {
                 other => panic!("expected type error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn projection_and_selection_share_columns_zero_copy() {
+        let c = catalog();
+        let lineitem = c.get_shared("lineitem").unwrap();
+        // Projection of a subset: the output column IS the input column.
+        let out = execute_pure(
+            &c,
+            "P",
+            &OpKind::Projection { columns: vec!["l_discount".into()] },
+            std::slice::from_ref(&lineitem),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(out.column(0), lineitem.column(2)), "projection shares the picked column");
+        // An all-true selection returns the input relation itself.
+        let out = execute_pure(
+            &c,
+            "S",
+            &OpKind::Selection { predicate: parse_expr("l_extendedprice > 0").unwrap() },
+            std::slice::from_ref(&lineitem),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(&out, &lineitem), "all-true selection is a pass-through");
+    }
+
+    #[test]
+    fn join_with_dirty_mixed_keys_falls_back_to_value_semantics() {
+        // Left key column is Mixed (dirty data); the join must fall back to
+        // Value-row keys and still honour cross-type Int/Float equality.
+        let left = Relation::with_rows(
+            Schema::new(vec![Column::new("k", ColType::Integer)]),
+            vec![vec![Value::Int(2)], vec![Value::Str("x".into())], vec![Value::Null]],
+        );
+        let right = Relation::with_rows(
+            Schema::new(vec![Column::new("rk", ColType::Decimal)]),
+            vec![vec![Value::Float(2.0)], vec![Value::Float(3.0)]],
+        );
+        let out = hash_join(&left, &right, &["k".into()], &["rk".into()], JoinKind::Inner);
+        assert_eq!(out.to_rows(), vec![vec![Value::Int(2), Value::Float(2.0)]]);
+    }
+
+    #[test]
+    fn string_joins_translate_across_dictionaries() {
+        // Left and right dictionaries assign different codes to the same
+        // strings; the probe side must translate into build-side codes.
+        let left = Relation::with_rows(
+            Schema::new(vec![Column::new("s", ColType::Text)]),
+            vec![vec![Value::Str("a".into())], vec![Value::Str("b".into())], vec![Value::Str("zzz".into())]],
+        );
+        let right = Relation::with_rows(
+            Schema::new(vec![Column::new("rs", ColType::Text), Column::new("tag", ColType::Integer)]),
+            vec![vec![Value::Str("b".into()), Value::Int(1)], vec![Value::Str("a".into()), Value::Int(2)]],
+        );
+        let out = hash_join(&left, &right, &["s".into()], &["rs".into()], JoinKind::Inner);
+        assert_eq!(
+            out.to_rows(),
+            vec![
+                vec![Value::Str("a".into()), Value::Str("a".into()), Value::Int(2)],
+                vec![Value::Str("b".into()), Value::Str("b".into()), Value::Int(1)],
+            ]
+        );
     }
 }

@@ -1,0 +1,397 @@
+//! Fixed-width key encoding for hash joins and grouped aggregation.
+//!
+//! The row engine hashed `Vec<Value>` keys — one heap-allocated clone per
+//! probe row. Here every key column is encoded into one `u64` word chosen
+//! per column *pair* so that word equality coincides exactly with
+//! [`Value`](crate::Value) equality:
+//!
+//! - `Int` vs `Int` compares exactly, so the word is the raw `i64` bits;
+//! - any numeric pair involving a `Float` compares through `f64` bits
+//!   (`Value` equality and hashing already promote `Int` to `f64` there);
+//! - `Date`/`Bool` pairs widen the payload;
+//! - string pairs resolve the probe side to the build side's dictionary
+//!   codes — a probe string absent from the build dictionary can never
+//!   match and encodes as a [`MISS`] sentinel;
+//! - a pair whose runtime types can never be equal (`Int` vs `Str`, say)
+//!   makes the whole join matchless without touching a single row;
+//! - a `Mixed` column (dirty data) falls back to `Value`-row keys.
+//!
+//! NULL key slots are tracked per row: joins never match them, while
+//! aggregation groups them (NULL == NULL for grouping), which is why group
+//! keys carry an extra null-mask word.
+
+use crate::column::{Column, ColumnData, StringPool};
+use crate::relation::Relation;
+use std::collections::HashMap;
+
+/// Word marking a probe-side string with no build-side dictionary code.
+/// Real codes are `< DICT_MAX`, so this never collides.
+const MISS: u64 = u64::MAX;
+
+/// Encoded keys for one side of a join (or one relation's group-by):
+/// `width` words per row, row-major, plus a per-row "usable" flag.
+pub(crate) struct SideKeys {
+    pub words: Vec<u64>,
+    /// False when the row's key can never match (a NULL slot or a string
+    /// missing from the build dictionary).
+    pub ok: Vec<bool>,
+    pub width: usize,
+}
+
+impl SideKeys {
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.width..(i + 1) * self.width]
+    }
+}
+
+pub(crate) enum JoinKeyPlan {
+    /// Some key column pair can never hold equal values: no row matches.
+    Never,
+    /// A `Mixed` column is involved: fall back to `Value`-row keys.
+    Values,
+    Encoded {
+        left: SideKeys,
+        right: SideKeys,
+    },
+}
+
+/// Plans fixed-width keys for `left ⋈ right` on the given column indices.
+/// `right` is the build side: string words are its dictionary codes.
+pub(crate) fn plan_join_keys(left: &Relation, right: &Relation, l_idx: &[usize], r_idx: &[usize]) -> JoinKeyPlan {
+    let width = l_idx.len();
+    let mut lw = vec![0u64; left.len() * width];
+    let mut rw = vec![0u64; right.len() * width];
+    let mut l_ok = vec![true; left.len()];
+    let mut r_ok = vec![true; right.len()];
+    for (j, (&lc, &rc)) in l_idx.iter().zip(r_idx).enumerate() {
+        let l = left.column(lc).as_ref();
+        let r = right.column(rc).as_ref();
+        match classify(l.data(), r.data()) {
+            Pair::Values => return JoinKeyPlan::Values,
+            Pair::Never => return JoinKeyPlan::Never,
+            Pair::Exact => {
+                encode_exact(l, j, width, &mut lw, &mut l_ok);
+                encode_exact(r, j, width, &mut rw, &mut r_ok);
+            }
+            Pair::F64 => {
+                encode_f64(l, j, width, &mut lw, &mut l_ok);
+                encode_f64(r, j, width, &mut rw, &mut r_ok);
+            }
+            Pair::Str => {
+                let resolve = build_str_words(r, j, width, &mut rw, &mut r_ok);
+                probe_str_words(l, &resolve, j, width, &mut lw, &mut l_ok);
+            }
+        }
+    }
+    JoinKeyPlan::Encoded {
+        left: SideKeys { words: lw, ok: l_ok, width },
+        right: SideKeys { words: rw, ok: r_ok, width },
+    }
+}
+
+pub(crate) enum GroupKeyPlan {
+    /// A `Mixed` group column: fall back to `Value`-row keys.
+    Values,
+    /// `g + 1` words per row: one per group column plus a null-mask word
+    /// (bit `j` set = column `j` is NULL in that row). NULL payload words
+    /// are normalized to zero so all NULLs land in one group.
+    Encoded(SideKeys),
+}
+
+/// Plans fixed-width group keys over one relation's columns. Within a
+/// single column, word equality coincides with `Value` equality: an `Int`
+/// column never meets a `Float` cross-type (that would be `Mixed`), and a
+/// dictionary column's equal strings always share a code.
+pub(crate) fn plan_group_keys(input: &Relation, g_idx: &[usize]) -> GroupKeyPlan {
+    let width = g_idx.len() + 1;
+    let n = input.len();
+    let mut words = vec![0u64; n * width];
+    for (j, &gc) in g_idx.iter().enumerate() {
+        let c = input.column(gc).as_ref();
+        match c.data() {
+            ColumnData::Mixed(_) => return GroupKeyPlan::Values,
+            ColumnData::Int(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    words[i * width + j] = x as u64;
+                }
+            }
+            ColumnData::Float(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    words[i * width + j] = x.to_bits();
+                }
+            }
+            ColumnData::Date(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    words[i * width + j] = x as i64 as u64;
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    words[i * width + j] = x as u64;
+                }
+            }
+            ColumnData::Dict { codes, .. } => {
+                for (i, &c) in codes.iter().enumerate() {
+                    words[i * width + j] = c as u64;
+                }
+            }
+            ColumnData::Str(v) => {
+                // Dictionary-overflow column: intern on the fly so equal
+                // strings share a word (id by first occurrence).
+                let mut ids: HashMap<&str, u64> = HashMap::new();
+                for (i, s) in v.iter().enumerate() {
+                    let next = ids.len() as u64;
+                    words[i * width + j] = *ids.entry(s.as_str()).or_insert(next);
+                }
+            }
+        }
+        if let Some(bm) = c.validity() {
+            for i in 0..n {
+                if !bm.get(i) {
+                    words[i * width + j] = 0;
+                    words[i * width + width - 1] |= 1 << j;
+                }
+            }
+        }
+    }
+    GroupKeyPlan::Encoded(SideKeys { words, ok: Vec::new(), width })
+}
+
+enum Pair {
+    /// Raw payload bits compare exactly (Int/Int, Date/Date, Bool/Bool).
+    Exact,
+    /// Compare through `f64` bits (a numeric pair involving Float).
+    F64,
+    /// String pair: build-side dictionary codes.
+    Str,
+    /// Runtime types that are never equal: the join is matchless.
+    Never,
+    /// Mixed (dirty) column: no fixed-width encoding exists.
+    Values,
+}
+
+fn classify(l: &ColumnData, r: &ColumnData) -> Pair {
+    use ColumnData::*;
+    match (l, r) {
+        (Mixed(_), _) | (_, Mixed(_)) => Pair::Values,
+        (Int(_), Int(_)) => Pair::Exact,
+        (Int(_) | Float(_), Int(_) | Float(_)) => Pair::F64,
+        (Date(_), Date(_)) => Pair::Exact,
+        (Bool(_), Bool(_)) => Pair::Exact,
+        (Dict { .. } | Str(_), Dict { .. } | Str(_)) => Pair::Str,
+        _ => Pair::Never,
+    }
+}
+
+fn encode_exact(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) {
+    match c.data() {
+        ColumnData::Int(v) => {
+            for (i, &x) in v.iter().enumerate() {
+                out[i * width + j] = x as u64;
+            }
+        }
+        ColumnData::Date(v) => {
+            for (i, &x) in v.iter().enumerate() {
+                out[i * width + j] = x as i64 as u64;
+            }
+        }
+        ColumnData::Bool(v) => {
+            for (i, &x) in v.iter().enumerate() {
+                out[i * width + j] = x as u64;
+            }
+        }
+        _ => unreachable!("classified Exact"),
+    }
+    mask_nulls(c, ok);
+}
+
+fn encode_f64(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) {
+    match c.data() {
+        ColumnData::Int(v) => {
+            for (i, &x) in v.iter().enumerate() {
+                out[i * width + j] = (x as f64).to_bits();
+            }
+        }
+        ColumnData::Float(v) => {
+            for (i, &x) in v.iter().enumerate() {
+                out[i * width + j] = x.to_bits();
+            }
+        }
+        _ => unreachable!("classified F64"),
+    }
+    mask_nulls(c, ok);
+}
+
+/// Encodes the build side's string words and returns a resolver mapping a
+/// probe string to the build word, if it exists on the build side.
+fn build_str_words<'a>(c: &'a Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) -> StrResolver<'a> {
+    let resolver = match c.data() {
+        ColumnData::Dict { codes, pool } => {
+            for (i, &code) in codes.iter().enumerate() {
+                out[i * width + j] = code as u64;
+            }
+            StrResolver::Pool(pool)
+        }
+        ColumnData::Str(v) => {
+            let mut ids: HashMap<&str, u64> = HashMap::new();
+            for (i, s) in v.iter().enumerate() {
+                let next = ids.len() as u64;
+                out[i * width + j] = *ids.entry(s.as_str()).or_insert(next);
+            }
+            StrResolver::Map(ids)
+        }
+        _ => unreachable!("classified Str"),
+    };
+    mask_nulls(c, ok);
+    resolver
+}
+
+enum StrResolver<'a> {
+    Pool(&'a StringPool),
+    Map(HashMap<&'a str, u64>),
+}
+
+impl StrResolver<'_> {
+    fn resolve(&self, s: &str) -> Option<u64> {
+        match self {
+            StrResolver::Pool(p) => p.code_of(s).map(u64::from),
+            StrResolver::Map(m) => m.get(s).copied(),
+        }
+    }
+}
+
+fn probe_str_words(c: &Column, resolve: &StrResolver<'_>, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) {
+    match c.data() {
+        ColumnData::Dict { codes, pool } => {
+            // Translate per distinct code, not per row.
+            let translated: Vec<u64> =
+                (0..pool.len() as u32).map(|code| resolve.resolve(pool.get(code)).unwrap_or(MISS)).collect();
+            for (i, &code) in codes.iter().enumerate() {
+                let w = translated[code as usize];
+                out[i * width + j] = w;
+                if w == MISS {
+                    ok[i] = false;
+                }
+            }
+        }
+        ColumnData::Str(v) => {
+            for (i, s) in v.iter().enumerate() {
+                match resolve.resolve(s) {
+                    Some(w) => out[i * width + j] = w,
+                    None => {
+                        out[i * width + j] = MISS;
+                        ok[i] = false;
+                    }
+                }
+            }
+        }
+        _ => unreachable!("classified Str"),
+    }
+    mask_nulls(c, ok);
+}
+
+fn mask_nulls(c: &Column, ok: &mut [bool]) {
+    if let Some(bm) = c.validity() {
+        for (i, slot) in ok.iter_mut().enumerate() {
+            if !bm.get(i) {
+                *slot = false;
+            }
+        }
+    }
+}
+
+/// Packs a fixed-width word slice into the narrowest hashable key type.
+/// The executor dispatches on width so one- and two-word keys (the common
+/// cases) hash without heap allocation.
+pub(crate) fn pack2(w: &[u64]) -> u128 {
+    (w[0] as u128) << 64 | w[1] as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::value::Value;
+    use quarry_etl::{ColType, Column as SchemaCol, Schema};
+
+    fn rel(cols: Vec<(&str, ColType, Vec<Value>)>) -> Relation {
+        let schema = Schema::new(cols.iter().map(|(n, ty, _)| SchemaCol::new(*n, *ty)).collect());
+        let columns = cols
+            .into_iter()
+            .map(|(_, ty, vals)| {
+                let mut b = ColumnBuilder::new(ty);
+                for v in vals {
+                    b.push(v);
+                }
+                std::sync::Arc::new(b.finish())
+            })
+            .collect();
+        Relation::from_columns(schema, columns)
+    }
+
+    #[test]
+    fn int_int_pairs_encode_exactly() {
+        let l = rel(vec![("k", ColType::Integer, vec![Value::Int(-1), Value::Int(7), Value::Null])]);
+        let r = rel(vec![("k", ColType::Integer, vec![Value::Int(7)])]);
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+            panic!("expected encoded plan")
+        };
+        assert_eq!(left.row(1), right.row(0));
+        assert_ne!(left.row(0), right.row(0));
+        assert!(!left.ok[2], "NULL key is unmatched");
+    }
+
+    #[test]
+    fn int_float_pairs_agree_with_value_equality() {
+        let l = rel(vec![("k", ColType::Integer, vec![Value::Int(5), Value::Int(6)])]);
+        let r = rel(vec![("k", ColType::Decimal, vec![Value::Float(5.0), Value::Float(6.5)])]);
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+            panic!("expected encoded plan")
+        };
+        assert_eq!(left.row(0), right.row(0), "Int(5) == Float(5.0)");
+        assert_ne!(left.row(1), right.row(1), "Int(6) != Float(6.5)");
+    }
+
+    #[test]
+    fn string_probe_resolves_to_build_codes_or_misses() {
+        let l = rel(vec![("s", ColType::Text, vec![Value::Str("a".into()), Value::Str("zzz".into())])]);
+        let r = rel(vec![("s", ColType::Text, vec![Value::Str("b".into()), Value::Str("a".into())])]);
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+            panic!("expected encoded plan")
+        };
+        assert_eq!(left.row(0), right.row(1), "same string, same word");
+        assert!(!left.ok[1], "string absent from build side can never match");
+    }
+
+    #[test]
+    fn incompatible_types_never_match_and_mixed_falls_back() {
+        let ints = rel(vec![("k", ColType::Integer, vec![Value::Int(1)])]);
+        let strs = rel(vec![("k", ColType::Text, vec![Value::Str("1".into())])]);
+        assert!(matches!(plan_join_keys(&ints, &strs, &[0], &[0]), JoinKeyPlan::Never));
+
+        let mixed = rel(vec![("k", ColType::Integer, vec![Value::Int(1), Value::Str("x".into())])]);
+        assert!(matches!(plan_join_keys(&mixed, &ints, &[0], &[0]), JoinKeyPlan::Values));
+    }
+
+    #[test]
+    fn group_keys_put_all_nulls_in_one_group() {
+        let input = rel(vec![("g", ColType::Integer, vec![Value::Int(1), Value::Null, Value::Null, Value::Int(1)])]);
+        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&input, &[0]) else { panic!("expected encoded plan") };
+        assert_eq!(keys.width, 2);
+        assert_eq!(keys.row(1), keys.row(2), "NULL groups with NULL");
+        assert_eq!(keys.row(0), keys.row(3));
+        assert_ne!(keys.row(0), keys.row(1));
+    }
+
+    #[test]
+    fn plain_string_group_keys_intern_consistently() {
+        let input = rel(vec![(
+            "g",
+            ColType::Text,
+            vec![Value::Str("x".into()), Value::Str("y".into()), Value::Str("x".into())],
+        )]);
+        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&input, &[0]) else { panic!("expected encoded plan") };
+        assert_eq!(keys.row(0), keys.row(2));
+        assert_ne!(keys.row(0), keys.row(1));
+    }
+}

@@ -10,13 +10,18 @@
 //!
 //! Components:
 //!
-//! - [`Value`], [`Relation`] — the runtime data model;
+//! - [`Value`], [`Relation`], [`column`] — the runtime data model: relations
+//!   hold `Arc`-shared typed columns (dictionary-encoded strings, validity
+//!   bitmaps), with a row-view shim for row-oriented consumers;
 //! - [`eval`] — evaluator for the `quarry-etl` expression language, and
 //!   [`eval_compiled`] — its positional counterpart over pre-compiled
 //!   expressions (column names bound once per operator);
-//! - [`Engine`], [`Catalog`] — the morsel-parallel flow executor (hash
-//!   joins, two-phase hash aggregation, surrogate-key assignment, loaders)
-//!   with per-operation timing in its [`RunReport`];
+//! - [`Engine`], [`Catalog`] — the morsel-parallel columnar flow executor
+//!   (vectorized expression kernels, hash joins and two-phase hash
+//!   aggregation over fixed-width encoded keys, surrogate-key assignment,
+//!   loaders) with per-operation timing in its [`RunReport`];
+//! - [`RowEngine`] — the retired row-at-a-time executor, kept as the
+//!   baseline for the row-vs-columnar equivalence suite and benchmarks;
 //! - [`pool`] — the shared scoped-thread worker pool both parallelism
 //!   layers (inter-operator and intra-operator) draw from;
 //! - [`tpch`] — a deterministic, scale-factor-parameterized generator for
@@ -25,15 +30,20 @@
 #![forbid(unsafe_code)]
 
 mod catalog;
+pub mod column;
 mod eval;
 mod exec;
+mod exec_row;
+mod keys;
 pub mod pool;
 mod relation;
 pub mod tpch;
 mod value;
+mod vector;
 
 pub use catalog::Catalog;
 pub use eval::{eval, eval_compiled, truthy, EvalError};
 pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport, MORSEL_ROWS};
-pub use relation::{assert_same_rows, Relation, Row};
+pub use exec_row::RowEngine;
+pub use relation::{assert_same_rows, Relation, RelationBuilder, Row};
 pub use value::Value;

@@ -359,9 +359,9 @@ mod tests {
     fn generation_is_deterministic() {
         let a = generate(0.001, 7);
         let b = generate(0.001, 7);
-        assert_eq!(a.get("lineitem").unwrap().rows, b.get("lineitem").unwrap().rows);
+        assert_eq!(a.get("lineitem").unwrap(), b.get("lineitem").unwrap());
         let c = generate(0.001, 8);
-        assert_ne!(a.get("lineitem").unwrap().rows, c.get("lineitem").unwrap().rows);
+        assert_ne!(a.get("lineitem").unwrap(), c.get("lineitem").unwrap());
     }
 
     #[test]
@@ -388,10 +388,10 @@ mod tests {
         let ps = c.get("partsupp").unwrap();
         let (pi, si) = (ps.col("ps_partkey"), ps.col("ps_suppkey"));
         let ps_keys: std::collections::HashSet<(Value, Value)> =
-            ps.rows.iter().map(|r| (r[pi].clone(), r[si].clone())).collect();
+            ps.iter_rows().map(|r| (r[pi].clone(), r[si].clone())).collect();
         let li = c.get("lineitem").unwrap();
         let (lpi, lsi) = (li.col("l_partkey"), li.col("l_suppkey"));
-        for r in &li.rows {
+        for r in li.iter_rows() {
             assert!(ps_keys.contains(&(r[lpi].clone(), r[lsi].clone())), "lineitem (part,supp) must exist in partsupp");
         }
     }
@@ -403,7 +403,7 @@ mod tests {
             let rel = c.get(t).unwrap();
             let schema = table_schema(t).unwrap();
             assert_eq!(rel.schema, schema, "{t}");
-            for row in rel.rows.iter().take(5) {
+            for row in rel.iter_rows().take(5) {
                 assert_eq!(row.len(), schema.len(), "{t} row width");
             }
         }

@@ -41,13 +41,15 @@ impl Value {
         Value::Date(days_from_civil(year, month, day))
     }
 
-    /// Parses `YYYY-MM-DD`.
+    /// Parses `YYYY-MM-DD`, rejecting impossible calendar dates: the day
+    /// must exist in that month of that year (leap years included), so
+    /// `2021-02-31` is an error rather than a silent roll-over.
     pub fn parse_date(s: &str) -> Option<Value> {
         let mut parts = s.splitn(3, '-');
         let y: i32 = parts.next()?.parse().ok()?;
         let m: u32 = parts.next()?.parse().ok()?;
         let d: u32 = parts.next()?.parse().ok()?;
-        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
             return None;
         }
         Some(Value::date(y, m, d))
@@ -156,8 +158,22 @@ impl fmt::Display for Value {
     }
 }
 
+fn is_leap_year(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
 /// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
-fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+pub(crate) fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
     let y = if m <= 2 { y - 1 } else { y };
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = (y - era * 400) as u32; // [0, 399]
@@ -168,7 +184,7 @@ fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
 }
 
 /// Civil date from days since 1970-01-01.
-fn civil_from_days(z: i32) -> (i32, u32, u32) {
+pub(crate) fn civil_from_days(z: i32) -> (i32, u32, u32) {
     let z = z + 719468;
     let era = if z >= 0 { z } else { z - 146096 } / 146097;
     let doe = (z - era * 146097) as u32; // [0, 146096]
@@ -207,6 +223,32 @@ mod tests {
         assert_eq!(d.to_string(), "1995-06-17");
         assert!(Value::parse_date("1995-13-01").is_none());
         assert!(Value::parse_date("junk").is_none());
+    }
+
+    #[test]
+    fn parse_date_rejects_impossible_calendar_dates() {
+        assert!(Value::parse_date("2021-02-31").is_none(), "February has no 31st");
+        assert!(Value::parse_date("2021-02-29").is_none(), "2021 is not a leap year");
+        assert!(Value::parse_date("2021-04-31").is_none(), "April has 30 days");
+        assert!(Value::parse_date("2021-06-00").is_none(), "day zero");
+        assert!(Value::parse_date("2000-02-29").is_some(), "2000 is a leap year (divisible by 400)");
+        assert!(Value::parse_date("1900-02-29").is_none(), "1900 is not a leap year (century rule)");
+        assert!(Value::parse_date("2024-02-29").is_some(), "plain leap year");
+        assert!(Value::parse_date("2021-12-31").is_some());
+    }
+
+    #[test]
+    fn parse_format_roundtrip_over_every_day_of_leap_and_common_years() {
+        for (y, last) in [(2020, 366), (2021, 365)] {
+            let start = days_from_civil(y, 1, 1);
+            for day in 0..last {
+                let v = Value::Date(start + day);
+                let text = v.to_string();
+                let parsed =
+                    Value::parse_date(&text).unwrap_or_else(|| panic!("formatted date `{text}` failed to re-parse"));
+                assert_eq!(parsed, v, "roundtrip of {text}");
+            }
+        }
     }
 
     #[test]

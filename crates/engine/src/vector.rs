@@ -1,0 +1,689 @@
+//! Vectorized expression evaluation: `CompiledExpr` column-at-a-time.
+//!
+//! [`eval_vector`] evaluates one compiled expression over a set of rows of a
+//! columnar relation and returns a [`Vek`] — either a constant or a freshly
+//! materialized column aligned with the row set. Typed kernels handle the
+//! hot shapes (numeric arithmetic and comparison, dictionary-string
+//! equality, date-vs-literal slicers, boolean logic); everything else drops
+//! to a scalar fallback that calls [`eval_compiled`] row by row, so the
+//! semantics — NULL propagation, short-circuiting, exact error messages —
+//! are those of the row engine by construction.
+//!
+//! One documented divergence: within a morsel, errors surface in
+//! *operand-major* order (the whole left operand evaluates before the right
+//! one), whereas the scalar path is row-major. Both are deterministic, and
+//! the first-error-in-morsel-order rule across morsels is unchanged.
+
+use crate::column::{Bitmap, Column, ColumnBuilder, ColumnData};
+use crate::eval::{arith, call_scalar, combine_logical, compare, eval_compiled, EvalError};
+use crate::relation::Row;
+use crate::value::{civil_from_days, Value};
+use quarry_etl::{BinOp, ColType, CompiledExpr, UnOp};
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The rows an evaluation covers: a contiguous morsel or an explicit subset
+/// (absolute row indices, ascending).
+#[derive(Debug, Clone)]
+pub(crate) enum RowSel<'a> {
+    Range(Range<usize>),
+    Subset(&'a [u32]),
+}
+
+impl RowSel<'_> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            RowSel::Range(rg) => rg.len(),
+            RowSel::Subset(s) => s.len(),
+        }
+    }
+
+    /// Absolute row index of ordinal `k`.
+    pub(crate) fn at(&self, k: usize) -> usize {
+        match self {
+            RowSel::Range(rg) => rg.start + k,
+            RowSel::Subset(s) => s[k] as usize,
+        }
+    }
+}
+
+/// An evaluated vector: one value per selected row, or one constant for all
+/// of them.
+#[derive(Debug, Clone)]
+pub(crate) enum Vek {
+    Const(Value),
+    Col(Arc<Column>),
+}
+
+impl Vek {
+    /// The value at ordinal `k` (not an absolute row index).
+    pub(crate) fn value(&self, k: usize) -> Value {
+        match self {
+            Vek::Const(v) => v.clone(),
+            Vek::Col(c) => c.value(k),
+        }
+    }
+
+    pub(crate) fn is_null(&self, k: usize) -> bool {
+        match self {
+            Vek::Const(v) => v.is_null(),
+            Vek::Col(c) => c.is_null(k),
+        }
+    }
+
+    /// Materializes the vector as a column of `n` rows.
+    pub(crate) fn into_column(self, n: usize) -> Column {
+        match self {
+            Vek::Col(c) => Arc::try_unwrap(c).unwrap_or_else(|c| (*c).clone()),
+            Vek::Const(v) => {
+                let mut b = ColumnBuilder::new(ColType::Integer);
+                for _ in 0..n {
+                    b.push(v.clone());
+                }
+                b.finish()
+            }
+        }
+    }
+}
+
+/// The input column restricted to the selected rows, sharing the original
+/// when the selection covers it whole.
+pub(crate) fn gather_col(c: &Arc<Column>, rows: &RowSel) -> Arc<Column> {
+    match rows {
+        RowSel::Range(rg) if rg.start == 0 && rg.end == c.len() => Arc::clone(c),
+        RowSel::Range(rg) => Arc::new(c.slice(rg.clone())),
+        RowSel::Subset(idx) => Arc::new(c.gather(idx)),
+    }
+}
+
+/// Evaluates `expr` over `rows` of `cols`, column-at-a-time.
+pub(crate) fn eval_vector(expr: &CompiledExpr, cols: &[Arc<Column>], rows: &RowSel) -> Result<Vek, EvalError> {
+    if rows.len() == 0 {
+        // Zero rows evaluate nothing — no kernel may raise an error.
+        return Ok(Vek::Const(Value::Null));
+    }
+    match expr {
+        CompiledExpr::Col(i) => Ok(Vek::Col(gather_col(&cols[*i], rows))),
+        CompiledExpr::Int(v) => Ok(Vek::Const(Value::Int(*v))),
+        CompiledExpr::Float(v) => Ok(Vek::Const(Value::Float(*v))),
+        CompiledExpr::Str(s) => Ok(Vek::Const(Value::Str(s.clone()))),
+        CompiledExpr::Bool(b) => Ok(Vek::Const(Value::Bool(*b))),
+        CompiledExpr::Null => Ok(Vek::Const(Value::Null)),
+        CompiledExpr::Unary(op, e) => {
+            let v = eval_vector(e, cols, rows)?;
+            unary_kernel(*op, v, rows.len())
+        }
+        CompiledExpr::Binary(op, l, r) => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                return logical_kernel(*op, l, r, cols, rows);
+            }
+            let lv = eval_vector(l, cols, rows)?;
+            let rv = eval_vector(r, cols, rows)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith_kernel(*op, &lv, &rv, rows.len()),
+                _ => compare_kernel(*op, &lv, &rv, rows.len()),
+            }
+        }
+        CompiledExpr::Call(upper, args) => {
+            if matches!(upper.as_str(), "YEAR" | "MONTH" | "DAY") && args.len() == 1 {
+                let v = eval_vector(&args[0], cols, rows)?;
+                return date_extract_kernel(upper, v, rows.len());
+            }
+            scalar_fallback(expr, cols, rows)
+        }
+    }
+}
+
+/// Row-at-a-time fallback with exact scalar semantics: materializes only the
+/// columns the expression references and calls [`eval_compiled`] per row.
+fn scalar_fallback(expr: &CompiledExpr, cols: &[Arc<Column>], rows: &RowSel) -> Result<Vek, EvalError> {
+    let mut used = Vec::new();
+    collect_used(expr, &mut used);
+    let mut buf: Row = vec![Value::Null; cols.len()];
+    let mut b = ColumnBuilder::new(ColType::Integer);
+    for k in 0..rows.len() {
+        let abs = rows.at(k);
+        for &j in &used {
+            buf[j] = cols[j].value(abs);
+        }
+        b.push(eval_compiled(expr, &buf)?);
+    }
+    Ok(Vek::Col(Arc::new(b.finish())))
+}
+
+fn collect_used(expr: &CompiledExpr, out: &mut Vec<usize>) {
+    match expr {
+        CompiledExpr::Col(i) if !out.contains(i) => out.push(*i),
+        CompiledExpr::Col(_) => {}
+        CompiledExpr::Unary(_, e) => collect_used(e, out),
+        CompiledExpr::Binary(_, l, r) => {
+            collect_used(l, out);
+            collect_used(r, out);
+        }
+        CompiledExpr::Call(_, args) => {
+            for a in args {
+                collect_used(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Builds a column by applying exact scalar semantics per row.
+fn map_unary(v: &Vek, n: usize, f: impl Fn(Value) -> Result<Value, EvalError>) -> Result<Vek, EvalError> {
+    if let Vek::Const(c) = v {
+        return f(c.clone()).map(Vek::Const);
+    }
+    let mut b = ColumnBuilder::new(ColType::Integer);
+    for k in 0..n {
+        b.push(f(v.value(k))?);
+    }
+    Ok(Vek::Col(Arc::new(b.finish())))
+}
+
+fn map_binary(
+    l: &Vek,
+    r: &Vek,
+    n: usize,
+    f: impl Fn(Value, Value) -> Result<Value, EvalError>,
+) -> Result<Vek, EvalError> {
+    if let (Vek::Const(a), Vek::Const(b)) = (l, r) {
+        return f(a.clone(), b.clone()).map(Vek::Const);
+    }
+    let mut b = ColumnBuilder::new(ColType::Integer);
+    for k in 0..n {
+        b.push(f(l.value(k), r.value(k))?);
+    }
+    Ok(Vek::Col(Arc::new(b.finish())))
+}
+
+fn unary_kernel(op: UnOp, v: Vek, n: usize) -> Result<Vek, EvalError> {
+    let scalar = |v: Value| match (op, v) {
+        (_, Value::Null) => Ok(Value::Null),
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnOp::Not, other) => Err(EvalError::Type(format!("NOT of non-boolean `{other}`"))),
+        (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+        (UnOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+        (UnOp::Neg, other) => Err(EvalError::Type(format!("negation of non-numeric `{other}`"))),
+    };
+    if let Vek::Col(c) = &v {
+        let out = match (op, c.data()) {
+            (UnOp::Not, ColumnData::Bool(bits)) => Some(ColumnData::Bool(bits.iter().map(|b| !b).collect())),
+            (UnOp::Neg, ColumnData::Int(vs)) => Some(ColumnData::Int(vs.iter().map(|x| -x).collect())),
+            (UnOp::Neg, ColumnData::Float(vs)) => Some(ColumnData::Float(vs.iter().map(|x| -x).collect())),
+            _ => None,
+        };
+        if let Some(data) = out {
+            return Ok(Vek::Col(Arc::new(Column::new(data, c.validity().cloned()))));
+        }
+    }
+    map_unary(&v, n, scalar)
+}
+
+/// Numeric source view over a [`Vek`]; NULL handling stays with the caller.
+enum Num<'a> {
+    I(&'a [i64]),
+    F(&'a [f64]),
+    CI(i64),
+    CF(f64),
+}
+
+impl Num<'_> {
+    fn f64_at(&self, k: usize) -> f64 {
+        match self {
+            Num::I(v) => v[k] as f64,
+            Num::F(v) => v[k],
+            Num::CI(v) => *v as f64,
+            Num::CF(v) => *v,
+        }
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, Num::I(_) | Num::CI(_))
+    }
+
+    fn i64_at(&self, k: usize) -> i64 {
+        match self {
+            Num::I(v) => v[k],
+            Num::CI(v) => *v,
+            _ => unreachable!("guarded by is_int"),
+        }
+    }
+}
+
+fn num_view(v: &Vek) -> Option<Num<'_>> {
+    match v {
+        Vek::Const(Value::Int(i)) => Some(Num::CI(*i)),
+        Vek::Const(Value::Float(f)) => Some(Num::CF(*f)),
+        Vek::Col(c) => match c.data() {
+            ColumnData::Int(v) => Some(Num::I(v)),
+            ColumnData::Float(v) => Some(Num::F(v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// A typed output assembled directly (no per-value enum round-trip).
+fn typed_out<T>(data: Vec<T>, nulls: Bitmap, any_null: bool, wrap: impl Fn(Vec<T>) -> ColumnData) -> Vek {
+    Vek::Col(Arc::new(Column::new(wrap(data), if any_null { Some(nulls) } else { None })))
+}
+
+fn arith_kernel(op: BinOp, l: &Vek, r: &Vek, n: usize) -> Result<Vek, EvalError> {
+    if matches!(l, Vek::Const(Value::Null)) || matches!(r, Vek::Const(Value::Null)) {
+        return Ok(Vek::Const(Value::Null));
+    }
+    if let (Some(a), Some(b)) = (num_view(l), num_view(r)) {
+        if a.is_int() && b.is_int() && !matches!(op, BinOp::Div) {
+            let mut out = Vec::with_capacity(n);
+            let mut bm = Bitmap::new();
+            let mut any_null = false;
+            for k in 0..n {
+                if l.is_null(k) || r.is_null(k) {
+                    out.push(0);
+                    bm.push(false);
+                    any_null = true;
+                    continue;
+                }
+                let (x, y) = (a.i64_at(k), b.i64_at(k));
+                out.push(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    _ => unreachable!(),
+                });
+                bm.push(true);
+            }
+            return Ok(typed_out(out, bm, any_null, ColumnData::Int));
+        }
+        // Mixed numeric (or any division): f64 lane. Division by zero is
+        // NULL, matching the scalar path for both the Int/Int and the
+        // float case.
+        let mut out = Vec::with_capacity(n);
+        let mut bm = Bitmap::new();
+        let mut any_null = false;
+        for k in 0..n {
+            if l.is_null(k) || r.is_null(k) {
+                out.push(0.0);
+                bm.push(false);
+                any_null = true;
+                continue;
+            }
+            let (x, y) = (a.f64_at(k), b.f64_at(k));
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        out.push(0.0);
+                        bm.push(false);
+                        any_null = true;
+                        continue;
+                    }
+                    x / y
+                }
+                _ => unreachable!(),
+            };
+            out.push(v);
+            bm.push(true);
+        }
+        return Ok(typed_out(out, bm, any_null, ColumnData::Float));
+    }
+    // Non-numeric somewhere: exact scalar semantics (NULL propagates before
+    // the type check, errors keep their wording).
+    map_binary(l, r, n, |a, b| {
+        if a.is_null() || b.is_null() {
+            return Ok(Value::Null);
+        }
+        arith(op, &a, &b)
+    })
+}
+
+fn ord_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("comparison op"),
+    }
+}
+
+/// String source view (dictionary, plain, or constant).
+enum Strs<'a> {
+    Dict(&'a [u32], &'a crate::column::StringPool),
+    Plain(&'a [String]),
+    Const(&'a str),
+}
+
+impl Strs<'_> {
+    fn at(&self, k: usize) -> &str {
+        match self {
+            Strs::Dict(codes, pool) => pool.get(codes[k]),
+            Strs::Plain(v) => &v[k],
+            Strs::Const(s) => s,
+        }
+    }
+}
+
+fn str_view(v: &Vek) -> Option<Strs<'_>> {
+    match v {
+        Vek::Const(Value::Str(s)) => Some(Strs::Const(s)),
+        Vek::Col(c) => match c.data() {
+            ColumnData::Dict { codes, pool } => Some(Strs::Dict(codes, pool)),
+            ColumnData::Str(v) => Some(Strs::Plain(v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Date source view (column of day counts or a constant date).
+enum Dates<'a> {
+    Col(&'a [i32]),
+    Const(i32),
+}
+
+impl Dates<'_> {
+    fn at(&self, k: usize) -> i32 {
+        match self {
+            Dates::Col(v) => v[k],
+            Dates::Const(d) => *d,
+        }
+    }
+}
+
+fn date_view(v: &Vek) -> Option<Dates<'_>> {
+    match v {
+        Vek::Const(Value::Date(d)) => Some(Dates::Const(*d)),
+        Vek::Col(c) => match c.data() {
+            ColumnData::Date(v) => Some(Dates::Col(v)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn bool_compare_out(n: usize, l: &Vek, r: &Vek, ord_at: impl Fn(usize) -> Ordering, op: BinOp) -> Vek {
+    let mut out = Vec::with_capacity(n);
+    let mut bm = Bitmap::new();
+    let mut any_null = false;
+    for k in 0..n {
+        if l.is_null(k) || r.is_null(k) {
+            out.push(false);
+            bm.push(false);
+            any_null = true;
+        } else {
+            out.push(ord_matches(op, ord_at(k)));
+            bm.push(true);
+        }
+    }
+    typed_out(out, bm, any_null, ColumnData::Bool)
+}
+
+fn first_valid_row(l: &Vek, r: &Vek, n: usize) -> Option<usize> {
+    (0..n).find(|&k| !l.is_null(k) && !r.is_null(k))
+}
+
+fn compare_kernel(op: BinOp, l: &Vek, r: &Vek, n: usize) -> Result<Vek, EvalError> {
+    if matches!(l, Vek::Const(Value::Null)) || matches!(r, Vek::Const(Value::Null)) {
+        return Ok(Vek::Const(Value::Null));
+    }
+    if let (Some(a), Some(b)) = (num_view(l), num_view(r)) {
+        if a.is_int() && b.is_int() {
+            return Ok(bool_compare_out(n, l, r, |k| a.i64_at(k).cmp(&b.i64_at(k)), op));
+        }
+        return Ok(bool_compare_out(n, l, r, |k| a.f64_at(k).total_cmp(&b.f64_at(k)), op));
+    }
+    if let (Some(a), Some(b)) = (str_view(l), str_view(r)) {
+        // Dictionary equality resolves per-code when both sides share a
+        // pool or one side is a constant; the general path compares the
+        // interned strings without materializing them.
+        if matches!(op, BinOp::Eq | BinOp::Ne) {
+            if let (Strs::Dict(codes, pool), Strs::Const(s)) | (Strs::Const(s), Strs::Dict(codes, pool)) = (&a, &b) {
+                let target = pool.code_of(s);
+                return Ok(bool_compare_out(
+                    n,
+                    l,
+                    r,
+                    |k| {
+                        if target == Some(codes[k]) {
+                            Ordering::Equal
+                        } else {
+                            Ordering::Less // any non-Equal works for Eq/Ne
+                        }
+                    },
+                    op,
+                ));
+            }
+        }
+        return Ok(bool_compare_out(n, l, r, |k| a.at(k).cmp(b.at(k)), op));
+    }
+    if let (Some(a), Some(b)) = (date_view(l), date_view(r)) {
+        return Ok(bool_compare_out(n, l, r, |k| a.at(k).cmp(&b.at(k)), op));
+    }
+    // Date column against a string literal (the xRQ slicer shape): parse
+    // the literal once. An unparseable literal errors on the first row
+    // where both operands are non-NULL, as the scalar path would.
+    if let (Some(d), Vek::Const(Value::Str(s))) = (date_view(l), r) {
+        match Value::parse_date(s) {
+            Some(Value::Date(lit)) => {
+                return Ok(bool_compare_out(n, l, r, |k| d.at(k).cmp(&lit), op));
+            }
+            _ => {
+                if first_valid_row(l, r, n).is_some() {
+                    return Err(EvalError::Type(format!("cannot compare date with `{s}`")));
+                }
+                return Ok(Vek::Const(Value::Null));
+            }
+        }
+    }
+    if let (Vek::Const(Value::Str(s)), Some(d)) = (l, date_view(r)) {
+        match Value::parse_date(s) {
+            Some(Value::Date(lit)) => {
+                return Ok(bool_compare_out(n, l, r, |k| lit.cmp(&d.at(k)), op));
+            }
+            _ => {
+                if first_valid_row(l, r, n).is_some() {
+                    return Err(EvalError::Type(format!("cannot compare `{s}` with date")));
+                }
+                return Ok(Vek::Const(Value::Null));
+            }
+        }
+    }
+    // Mixed columns, bool comparisons, genuine type errors: exact scalar
+    // semantics per row.
+    map_binary(l, r, n, |a, b| {
+        if a.is_null() || b.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(Value::Bool(ord_matches(op, compare(&a, &b)?)))
+    })
+}
+
+/// AND/OR with short-circuit preserved: the right operand is evaluated only
+/// over the rows the left operand does not decide, and skipped entirely
+/// when no such row exists — `false AND MYSTERY(x)` never evaluates
+/// `MYSTERY`, exactly like the scalar path.
+fn logical_kernel(
+    op: BinOp,
+    l: &CompiledExpr,
+    r: &CompiledExpr,
+    cols: &[Arc<Column>],
+    rows: &RowSel,
+) -> Result<Vek, EvalError> {
+    let n = rows.len();
+    let lv = eval_vector(l, cols, rows)?;
+    let decisive = |k: usize| -> bool {
+        matches!((op, lv.value(k)), (BinOp::And, Value::Bool(false)) | (BinOp::Or, Value::Bool(true)))
+    };
+    let mut undecided: Vec<u32> = Vec::new();
+    for k in 0..n {
+        if !decisive(k) {
+            undecided.push(rows.at(k) as u32);
+        }
+    }
+    if undecided.is_empty() {
+        return Ok(lv);
+    }
+    let rv = eval_vector(r, cols, &RowSel::Subset(&undecided))?;
+    let mut b = ColumnBuilder::new(ColType::Boolean);
+    let mut sub = 0usize;
+    for k in 0..n {
+        if decisive(k) {
+            b.push(lv.value(k));
+        } else {
+            let out = combine_logical(op, &lv.value(k), &rv.value(sub))?;
+            sub += 1;
+            b.push(out);
+        }
+    }
+    Ok(Vek::Col(Arc::new(b.finish())))
+}
+
+/// YEAR/MONTH/DAY over a date column without materializing values.
+fn date_extract_kernel(upper: &str, v: Vek, n: usize) -> Result<Vek, EvalError> {
+    let pick = |days: i32| -> i64 {
+        let (y, m, d) = civil_from_days(days);
+        match upper {
+            "YEAR" => y as i64,
+            "MONTH" => m as i64,
+            _ => d as i64,
+        }
+    };
+    if let Vek::Col(c) = &v {
+        if let ColumnData::Date(days) = c.data() {
+            let out: Vec<i64> = days.iter().map(|&d| pick(d)).collect();
+            return Ok(Vek::Col(Arc::new(Column::new(ColumnData::Int(out), c.validity().cloned()))));
+        }
+    }
+    map_unary(&v, n, |val| call_scalar(upper, 1, |_| Ok(val.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use quarry_etl::{parse_expr, Column as SchemaCol, Schema};
+
+    fn rel() -> Relation {
+        Relation::with_rows(
+            Schema::new(vec![
+                SchemaCol::new("price", ColType::Decimal),
+                SchemaCol::new("qty", ColType::Integer),
+                SchemaCol::new("name", ColType::Text),
+                SchemaCol::new("ship", ColType::Date),
+                SchemaCol::new("maybe", ColType::Decimal),
+            ]),
+            vec![
+                vec![
+                    Value::Float(10.5),
+                    Value::Int(3),
+                    Value::Str("Spain".into()),
+                    Value::date(1995, 6, 17),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Float(2.0),
+                    Value::Int(-1),
+                    Value::Str("France".into()),
+                    Value::date(2001, 1, 2),
+                    Value::Float(7.0),
+                ],
+                vec![Value::Null, Value::Int(0), Value::Str("Spain".into()), Value::Null, Value::Null],
+            ],
+        )
+    }
+
+    /// Vectorized evaluation must agree with scalar row-at-a-time
+    /// evaluation, value for value, over both a full range and a subset.
+    #[test]
+    fn vectorized_matches_scalar_everywhere() {
+        let r = rel();
+        let exprs = [
+            "price * qty",
+            "qty + 2",
+            "qty - 1",
+            "qty * qty",
+            "qty / 0",
+            "price / 2",
+            "-qty",
+            "-price",
+            "price > 10",
+            "qty = 3",
+            "qty <> 0",
+            "qty <= 0",
+            "name = 'Spain'",
+            "name <> 'France'",
+            "name < 'T'",
+            "ship >= '1995-01-01'",
+            "ship < '1999-12-31'",
+            "maybe + 1",
+            "maybe = maybe",
+            "NOT (qty = 3)",
+            "maybe > 0 OR price > 0",
+            "maybe > 0 AND price > 0",
+            "price > 10 AND qty <= 3",
+            "YEAR(ship)",
+            "MONTH(ship) + DAY(ship)",
+            "ABS(0 - qty)",
+            "CONCAT(name, '!')",
+            "COALESCE(maybe, price)",
+            "1 + 2",
+            "'a' = 'b'",
+        ];
+        let subset: Vec<u32> = vec![2, 0];
+        for src in exprs {
+            let e = parse_expr(src).unwrap();
+            let c = CompiledExpr::compile(&e, &r.schema).unwrap();
+            for rows in [RowSel::Range(0..r.len()), RowSel::Subset(&subset)] {
+                let got = eval_vector(&c, r.columns(), &rows).unwrap();
+                for k in 0..rows.len() {
+                    let expect = eval_compiled(&c, &r.row(rows.at(k))).unwrap();
+                    assert_eq!(got.value(k), expect, "`{src}` row {k} ({rows:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_short_circuit_skips_rhs_errors() {
+        let r = rel();
+        let e = parse_expr("qty < -100 AND MYSTERY(qty) = 1").unwrap();
+        let c = CompiledExpr::compile(&e, &r.schema).unwrap();
+        let got = eval_vector(&c, r.columns(), &RowSel::Range(0..r.len())).unwrap();
+        for k in 0..r.len() {
+            assert_eq!(got.value(k), Value::Bool(false));
+        }
+    }
+
+    #[test]
+    fn vectorized_errors_match_scalar_errors() {
+        let r = rel();
+        for src in ["name + 1", "MYSTERY(1)", "YEAR(name)", "NOT price", "ship > 'junk'"] {
+            let e = parse_expr(src).unwrap();
+            let c = CompiledExpr::compile(&e, &r.schema).unwrap();
+            let got = eval_vector(&c, r.columns(), &RowSel::Range(0..r.len())).unwrap_err();
+            let scalar = (0..r.len()).find_map(|i| eval_compiled(&c, &r.row(i)).err()).expect("scalar errs too");
+            assert_eq!(got, scalar, "error mismatch on `{src}`");
+        }
+    }
+
+    #[test]
+    fn dirty_date_column_falls_back_without_mangling() {
+        // Declared Date, carries text: the Mixed column drops to the scalar
+        // fallback and reproduces the exact scalar error.
+        let r = Relation::with_rows(
+            Schema::new(vec![SchemaCol::new("d", ColType::Date)]),
+            vec![vec![Value::date(1995, 6, 17)], vec![Value::Str("not-a-date".into())]],
+        );
+        let e = parse_expr("YEAR(d) >= 1995").unwrap();
+        let c = CompiledExpr::compile(&e, &r.schema).unwrap();
+        let err = eval_vector(&c, r.columns(), &RowSel::Range(0..2)).unwrap_err();
+        assert!(matches!(&err, EvalError::Type(m) if m.contains("not-a-date")), "{err:?}");
+    }
+}

@@ -12,10 +12,15 @@ use crate::flow::{Flow, FlowError, OpId};
 use crate::ops::OpKind;
 use std::collections::HashMap;
 
-/// Row-count statistics for source datastores.
+/// Row-count statistics for source datastores, plus observed per-operation
+/// cardinalities fed back from actual engine runs.
 #[derive(Debug, Clone, Default)]
 pub struct SourceStats {
     rows: HashMap<String, f64>,
+    /// Output cardinalities observed by executing a flow, keyed by operation
+    /// name. When present for an operation, [`cardinalities`] prefers the
+    /// observation over its static estimate.
+    observed: HashMap<String, f64>,
     /// Assumed number of distinct groups per aggregation when nothing better
     /// is known, as a fraction of input rows.
     pub group_fraction: f64,
@@ -25,7 +30,7 @@ pub struct SourceStats {
 
 impl SourceStats {
     pub fn new() -> Self {
-        SourceStats { rows: HashMap::new(), group_fraction: 0.1, default_rows: 1_000.0 }
+        SourceStats { rows: HashMap::new(), observed: HashMap::new(), group_fraction: 0.1, default_rows: 1_000.0 }
     }
 
     pub fn with_table(mut self, datastore: impl Into<String>, rows: f64) -> Self {
@@ -39,6 +44,24 @@ impl SourceStats {
 
     pub fn table_rows(&self, datastore: &str) -> f64 {
         self.rows.get(datastore).copied().unwrap_or(self.default_rows)
+    }
+
+    /// Records the output cardinality an engine run observed for the
+    /// operation named `op` (the engine's `RunReport::observe_into` calls
+    /// this for every timed operation).
+    pub fn observe_op(&mut self, op: impl Into<String>, rows: f64) {
+        self.observed.insert(op.into(), rows);
+    }
+
+    /// The observed output cardinality for `op`, if any run recorded one.
+    pub fn observed_op(&self, op: &str) -> Option<f64> {
+        self.observed.get(op).copied()
+    }
+
+    /// Drops all per-operation observations (e.g. after the flow is
+    /// restructured and old operation names no longer apply).
+    pub fn clear_observations(&mut self) {
+        self.observed.clear();
     }
 }
 
@@ -91,6 +114,14 @@ pub fn cardinalities(flow: &Flow, stats: &SourceStats) -> Result<HashMap<OpId, f
             OpKind::Distinct => (inputs[0].0 * 0.9, inputs[0].1),
             _ => inputs.first().copied().unwrap_or((0.0, 1.0)),
         };
+        // An observed cardinality from a real run overrides the estimate;
+        // `retained` is rescaled by the same factor so the correction also
+        // propagates through downstream joins that scale by this branch.
+        let (rows, retained) = match stats.observed_op(&flow.op(id).name) {
+            Some(observed) if rows > 0.0 => (observed, retained * (observed / rows)),
+            Some(observed) => (observed, retained),
+            None => (rows, retained),
+        };
         state.insert(id, (rows, retained));
     }
     Ok(state.into_iter().map(|(k, (rows, _))| (k, rows)).collect())
@@ -134,6 +165,27 @@ impl Default for TimeWeights {
             sort: 3.0,
             load: 1.5,
             key_gen: 1.0,
+        }
+    }
+}
+
+impl TimeWeights {
+    /// Weights calibrated to the columnar engine: projections are zero-copy
+    /// column picks, filters emit selection vectors, and derivations run
+    /// vectorized, so streaming operations cost far less per row relative to
+    /// the hash-building joins and aggregations that still dominate.
+    pub fn columnar() -> Self {
+        TimeWeights {
+            scan: 0.2,
+            filter: 0.15,
+            project: 0.02,
+            derive: 0.2,
+            join_build: 2.0,
+            join_probe: 0.8,
+            aggregate: 1.5,
+            sort: 3.0,
+            load: 0.6,
+            key_gen: 0.8,
         }
     }
 }
@@ -356,6 +408,34 @@ mod tests {
         assert!(cost > 0.0);
         let cards = cardinalities(&f, &stats()).unwrap();
         assert_eq!(cards[&j], 60_000.0, "FK join keeps probe-side cardinality");
+    }
+
+    #[test]
+    fn observed_cardinalities_override_estimates() {
+        let f = pipeline();
+        let mut s = stats();
+        let cards = cardinalities(&f, &s).unwrap();
+        let sel = f.id_by_name("SEL").unwrap();
+        assert!((cards[&sel] - 60_000.0 * 0.33).abs() < 1.0, "static estimate first");
+        // A run observed the filter keeping almost nothing.
+        s.observe_op("SEL", 120.0);
+        let cards = cardinalities(&f, &s).unwrap();
+        assert_eq!(cards[&sel], 120.0, "observation wins");
+        let agg = f.id_by_name("AGG").unwrap();
+        assert!(cards[&agg] <= 120.0 * s.group_fraction + 1.0, "correction propagates downstream");
+        s.clear_observations();
+        let cards = cardinalities(&f, &s).unwrap();
+        assert!((cards[&sel] - 60_000.0 * 0.33).abs() < 1.0, "cleared observations restore estimates");
+    }
+
+    #[test]
+    fn columnar_weights_discount_streaming_ops() {
+        let w = TimeWeights::columnar();
+        let d = TimeWeights::default();
+        assert!(w.project < d.project && w.filter < d.filter && w.scan < d.scan);
+        assert!(w.join_build >= 1.0 && w.sort >= d.sort * 0.5, "hash/sort work still dominates");
+        let m = EstimatedTime { weights: w };
+        assert!(m.cost(&pipeline(), &stats()).unwrap() < EstimatedTime::new().cost(&pipeline(), &stats()).unwrap());
     }
 
     #[test]

@@ -15,22 +15,20 @@ use std::collections::HashMap;
 fn expected_revenue(catalog: &quarry_engine::Catalog) -> HashMap<(i64, i64), (f64, u64)> {
     let nation = catalog.get("nation").expect("generated");
     let spain_key = nation
-        .rows
-        .iter()
+        .iter_rows()
         .find(|r| r[nation.col("n_name")] == Value::Str("Spain".into()))
         .map(|r| r[nation.col("n_nationkey")].clone())
         .expect("Spain exists");
     let supplier = catalog.get("supplier").expect("generated");
     let spanish: std::collections::HashSet<Value> = supplier
-        .rows
-        .iter()
+        .iter_rows()
         .filter(|r| r[supplier.col("s_nationkey")] == spain_key)
         .map(|r| r[supplier.col("s_suppkey")].clone())
         .collect();
     let li = catalog.get("lineitem").expect("generated");
     let (pk, sk, ep, dc) = (li.col("l_partkey"), li.col("l_suppkey"), li.col("l_extendedprice"), li.col("l_discount"));
     let mut acc: HashMap<(i64, i64), (f64, u64)> = HashMap::new();
-    for r in &li.rows {
+    for r in li.iter_rows() {
         if !spanish.contains(&r[sk]) {
             continue;
         }
@@ -58,8 +56,7 @@ fn figure4_pipeline_matches_an_independent_computation() {
     // Resolve fact FKs back to natural keys through the dimension tables.
     let dim_part = engine.catalog.get("dim_part").expect("dim loaded");
     let part_of: HashMap<Value, i64> = dim_part
-        .rows
-        .iter()
+        .iter_rows()
         .map(|r| {
             let Value::Int(natural) = r[dim_part.col("p_partkey")] else { panic!() };
             (r[dim_part.col("PartID")].clone(), natural)
@@ -67,8 +64,7 @@ fn figure4_pipeline_matches_an_independent_computation() {
         .collect();
     let dim_supp = engine.catalog.get("dim_supplier").expect("dim loaded");
     let supp_of: HashMap<Value, i64> = dim_supp
-        .rows
-        .iter()
+        .iter_rows()
         .map(|r| {
             let Value::Int(natural) = r[dim_supp.col("s_suppkey")] else { panic!() };
             (r[dim_supp.col("SupplierID")].clone(), natural)
@@ -76,7 +72,7 @@ fn figure4_pipeline_matches_an_independent_computation() {
         .collect();
 
     let (fk_p, fk_s, rev) = (fact.col("Part_PartID"), fact.col("Supplier_SupplierID"), fact.col("revenue"));
-    for row in &fact.rows {
+    for row in fact.iter_rows() {
         let p = part_of[&row[fk_p]];
         let s = supp_of[&row[fk_s]];
         let (sum, n) = expected[&(p, s)];

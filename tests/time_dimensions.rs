@@ -37,7 +37,7 @@ fn time_dimension_loads_and_keys_match() {
     // Day keys are integer yyyymmdd and consistent with the date column.
     let key_col = time.col("Time_o_orderdateID");
     let date_col = time.col("o_orderdate");
-    for row in &time.rows {
+    for row in time.iter_rows() {
         let Value::Int(key) = row[key_col] else { panic!("integer date key") };
         let (y, m, d) = row[date_col].date_parts().expect("date attribute");
         assert_eq!(key, y as i64 * 10000 + m as i64 * 100 + d as i64);
@@ -64,7 +64,7 @@ fn time_dimension_loads_and_keys_match() {
     let fact = engine.catalog.get("fact_table_revenue").expect("fact loaded");
     let fk = fact.col("Time_o_orderdate_Time_o_orderdateID");
     let members: std::collections::HashSet<i64> = keys.into_iter().collect();
-    for row in &fact.rows {
+    for row in fact.iter_rows() {
         let Value::Int(k) = row[fk] else { panic!() };
         assert!(members.contains(&k), "fact date key {k} exists in the dimension");
     }
