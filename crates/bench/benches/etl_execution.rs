@@ -8,7 +8,7 @@
 
 use criterion::{BenchmarkId, Criterion};
 use quarry::Quarry;
-use quarry_bench::{requirement_family, row_vs_columnar, EngineComparison};
+use quarry_bench::{join_heavy, requirement_family, row_vs_columnar, EngineComparison, JoinHeavyPoint};
 use quarry_engine::{tpch, Engine};
 use quarry_etl::Flow;
 use quarry_repository::Json;
@@ -114,11 +114,28 @@ fn row_vs_columnar_series() -> Vec<EngineComparison> {
     points
 }
 
+fn join_heavy_series() -> Vec<JoinHeavyPoint> {
+    println!("\n# E13: join-heavy selectivity sweep — late materialization + radix join, sf=0.01, serial");
+    println!("{:>6} {:>6} {:>12} {:>10}", "sf", "sel%", "columnar-ms", "rows-kept");
+    let mut points = Vec::new();
+    for pct in [1u32, 10, 90] {
+        let p = join_heavy(0.01, pct, 3);
+        println!("{:>6} {:>6} {:>12.3} {:>10}", p.sf, p.selectivity_pct, p.columnar_ms, p.rows_kept);
+        points.push(p);
+    }
+    points
+}
+
 fn ms(d: Duration) -> Json {
     Json::Number(d.as_secs_f64() * 1e3)
 }
 
-fn series_to_json(e7: &[E7Point], e7b: &[(usize, Duration)], e13: &[EngineComparison]) -> Json {
+fn series_to_json(
+    e7: &[E7Point],
+    e7b: &[(usize, Duration)],
+    e13: &[EngineComparison],
+    e13j: &[JoinHeavyPoint],
+) -> Json {
     let mut doc = Json::object();
     doc.set("experiment", Json::String("E7/E7b/E13 engine execution".into()));
     doc.set(
@@ -171,6 +188,21 @@ fn series_to_json(e7: &[E7Point], e7b: &[(usize, Duration)], e13: &[EngineCompar
                 .collect(),
         ),
     );
+    doc.set(
+        "e13_join_heavy",
+        Json::Array(
+            e13j.iter()
+                .map(|p| {
+                    let mut row = Json::object();
+                    row.set("sf", Json::Number(p.sf));
+                    row.set("selectivity_pct", Json::Number(f64::from(p.selectivity_pct)));
+                    row.set("columnar_ms", Json::Number(p.columnar_ms));
+                    row.set("rows_kept", Json::Number(p.rows_kept as f64));
+                    row
+                })
+                .collect(),
+        ),
+    );
     doc
 }
 
@@ -183,8 +215,9 @@ fn print_series() {
     e7.extend(series_for("low overlap — counterpoint", requirement_family));
     let e7b = thread_scaling_series();
     let e13 = row_vs_columnar_series();
+    let e13j = join_heavy_series();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    if let Err(e) = std::fs::write(path, series_to_json(&e7, &e7b, &e13).to_pretty_string()) {
+    if let Err(e) = std::fs::write(path, series_to_json(&e7, &e7b, &e13, &e13j).to_pretty_string()) {
         eprintln!("could not write {path}: {e}");
     }
 }

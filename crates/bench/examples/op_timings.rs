@@ -30,6 +30,6 @@ fn main() {
     let mut ops: Vec<_> = report.timings.iter().collect();
     ops.sort_by_key(|t| std::cmp::Reverse(t.elapsed));
     for t in ops.iter().take(25) {
-        println!("{:>12?}  {}", t.elapsed, t.op);
+        println!("{:>12?}  in={:>7} out={:>7}  {}", t.elapsed, t.rows_in, t.rows_out, t.op);
     }
 }

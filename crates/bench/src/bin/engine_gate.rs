@@ -10,7 +10,7 @@
 //! healthy build the columnar engine wins by well over the ≥1.5× the rework
 //! was accepted at, so a ratio above 1 is a genuine regression, not jitter.
 
-use quarry_bench::row_vs_columnar;
+use quarry_bench::{join_heavy, row_vs_columnar};
 
 /// The columnar engine must beat the row baseline outright. The accepted
 /// speedup is ≥1.5×, so gating at parity leaves generous headroom for noisy
@@ -19,6 +19,14 @@ const MAX_RATIO: f64 = 1.0;
 /// Floor for the denominator: below this the workload is too fast for a
 /// ratio to be meaningful on shared CI runners.
 const MIN_BASE_MS: f64 = 0.05;
+
+/// Frozen pre-late-materialization wall clocks for the E13 join-heavy sweep
+/// (sf=0.01, serial, best-of-5, this reference machine): the eager-gather
+/// engine as of the columnar-data-plane PR, per post-join filter selectivity.
+/// Late materialization + radix joins were accepted at ≥2× on this series;
+/// the gate demands ≥1.5× to absorb runner noise without letting the win rot.
+const JOIN_BASELINES_MS: [(u32, f64); 3] = [(1, 8.064), (10, 9.540), (90, 12.236)];
+const MIN_JOIN_SPEEDUP: f64 = 1.5;
 
 fn main() {
     let mut best: Option<quarry_bench::EngineComparison> = None;
@@ -48,4 +56,26 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: columnar engine beats the row baseline ({:.2}x faster)", p.speedup());
+
+    let mut failed = false;
+    for (pct, base_ms) in JOIN_BASELINES_MS {
+        let jp = join_heavy(0.01, pct, 3);
+        let speedup = base_ms / jp.columnar_ms;
+        println!(
+            "join gate: sf={} sel={pct}% columnar {:.3} ms vs frozen eager-gather {base_ms:.3} ms, \
+             {speedup:.2}x (floor {MIN_JOIN_SPEEDUP}x, {} rows kept)",
+            jp.sf, jp.columnar_ms, jp.rows_kept
+        );
+        if speedup < MIN_JOIN_SPEEDUP {
+            eprintln!(
+                "FAIL: join-heavy sweep at {pct}% selectivity ran only {speedup:.2}x over the frozen \
+                 eager-gather baseline — late materialization / radix join regressed"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: join-heavy sweep holds \u{2265}{MIN_JOIN_SPEEDUP}x over the eager-gather baseline");
 }

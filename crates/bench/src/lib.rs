@@ -207,6 +207,124 @@ pub fn row_vs_columnar(sf: f64, n: usize, reps: usize) -> EngineComparison {
     EngineComparison { sf, n, columnar_ms, row_ms }
 }
 
+/// One measured point of the E13 join-heavy selectivity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinHeavyPoint {
+    pub sf: f64,
+    /// Approximate selectivity of the post-join filter, percent of join rows.
+    pub selectivity_pct: u32,
+    /// Best wall time of the columnar engine, ms, serial.
+    pub columnar_ms: f64,
+    /// Rows surviving the post-join filter (sanity that the selectivity knob
+    /// actually selects).
+    pub rows_kept: usize,
+}
+
+/// Filter thresholds on `o_orderdate`, which the generator draws uniformly
+/// over 1992-01-01..1998-08-02 (~2406 days): a `< threshold` predicate keeps
+/// approximately the requested percentage of join output rows.
+fn orderdate_threshold(selectivity_pct: u32) -> &'static str {
+    match selectivity_pct {
+        1 => "1992-01-25",
+        10 => "1992-08-28",
+        _ => "1997-12-05",
+    }
+}
+
+/// The E13 join-heavy flow: lineitem (probe, 16 payload columns) joined to
+/// orders (build, 9 payload columns) on the order key, then a post-join
+/// filter on a *build-side* payload column at the requested selectivity, a
+/// narrow projection, and a global aggregation. The shape stresses exactly
+/// what late materialization optimizes: an eager join would gather all 24
+/// payload columns at every matched row before the filter discards most of
+/// them.
+pub fn join_heavy_flow(selectivity_pct: u32) -> Flow {
+    use quarry_etl::{parse_expr, AggSpec, JoinKind, OpKind};
+    let mut f = Flow::new("join_heavy");
+    let li = f
+        .add_op(
+            "LINEITEM",
+            OpKind::Datastore {
+                datastore: "lineitem".into(),
+                schema: quarry_engine::tpch::table_schema("lineitem").expect("known table"),
+            },
+        )
+        .expect("fresh flow");
+    let ord = f
+        .add_op(
+            "ORDERS",
+            OpKind::Datastore {
+                datastore: "orders".into(),
+                schema: quarry_engine::tpch::table_schema("orders").expect("known table"),
+            },
+        )
+        .expect("fresh flow");
+    let join = f
+        .add_op(
+            "JOIN",
+            OpKind::Join {
+                kind: JoinKind::Inner,
+                left_on: vec!["l_orderkey".into()],
+                right_on: vec!["o_orderkey".into()],
+            },
+        )
+        .expect("join");
+    f.connect(li, join).expect("probe input");
+    f.connect(ord, join).expect("build input");
+    let threshold = orderdate_threshold(selectivity_pct);
+    let sel = f
+        .append(
+            join,
+            "SEL",
+            OpKind::Selection { predicate: parse_expr(&format!("o_orderdate < '{threshold}'")).unwrap() },
+        )
+        .expect("filter");
+    let proj = f
+        .append(
+            sel,
+            "PROJ",
+            OpKind::Projection { columns: vec!["l_extendedprice".into(), "l_discount".into(), "o_totalprice".into()] },
+        )
+        .expect("project");
+    let agg = f
+        .append(
+            proj,
+            "AGG",
+            OpKind::Aggregation {
+                group_by: vec![],
+                aggregates: vec![
+                    AggSpec::new("SUM", parse_expr("l_extendedprice * (1 - l_discount)").unwrap(), "revenue"),
+                    AggSpec::new("SUM", parse_expr("o_totalprice").unwrap(), "volume"),
+                    AggSpec::new("COUNT", parse_expr("1").unwrap(), "n"),
+                ],
+            },
+        )
+        .expect("aggregate");
+    f.append(agg, "LOAD", OpKind::Loader { table: "join_heavy_out".into(), key: vec![] }).expect("load");
+    f
+}
+
+/// Experiment E13 (join-heavy leg): the [`join_heavy_flow`] at scale factor
+/// `sf` and the given post-join filter selectivity, executed serially by the
+/// columnar engine, best-of-`reps`. Catalog cloning happens outside the
+/// timed region.
+pub fn join_heavy(sf: f64, selectivity_pct: u32, reps: usize) -> JoinHeavyPoint {
+    let catalog = quarry_engine::tpch::generate(sf, 42);
+    let flow = join_heavy_flow(selectivity_pct);
+    let mut columnar_ms = f64::INFINITY;
+    let mut rows_kept = 0;
+    for _ in 0..reps.max(1) {
+        let mut engine = quarry_engine::Engine::new(catalog.clone());
+        let t = Instant::now();
+        let report = engine.run(&flow).expect("join-heavy run");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        columnar_ms = columnar_ms.min(ms);
+        rows_kept = report.timings.iter().find(|t| t.op == "SEL").map_or(0, |t| t.rows_out);
+        black_box(report);
+    }
+    JoinHeavyPoint { sf, selectivity_pct, columnar_ms, rows_kept }
+}
+
 /// The Figure 3 pair: revenue + netprofit over conformed Partsupp/Orders.
 pub fn figure3_pair() -> (Requirement, Requirement) {
     (

@@ -488,6 +488,198 @@ fn dictionary_overflow_row_vs_columnar() {
     assert_row_columnar_equivalent(&c, &[&f]);
 }
 
+/// Join followed by a filter on a *build-side* payload column: the late-
+/// materialized join output must compose its selection with the downstream
+/// filter and still gather exactly the rows the row engine keeps.
+#[test]
+fn join_then_build_side_filter_row_vs_columnar() {
+    let catalog = tpch::generate(SF, 42);
+    let mut f = Flow::new("build_filter");
+    let li = f
+        .add_op(
+            "LI",
+            OpKind::Datastore { datastore: "lineitem".into(), schema: tpch::table_schema("lineitem").unwrap() },
+        )
+        .unwrap();
+    let o = f
+        .add_op("ORD", OpKind::Datastore { datastore: "orders".into(), schema: tpch::table_schema("orders").unwrap() })
+        .unwrap();
+    let j = f
+        .add_op(
+            "J",
+            OpKind::Join {
+                kind: JoinKind::Inner,
+                left_on: vec!["l_orderkey".into()],
+                right_on: vec!["o_orderkey".into()],
+            },
+        )
+        .unwrap();
+    f.connect(li, j).unwrap();
+    f.connect(o, j).unwrap();
+    let sel =
+        f.append(j, "SEL", OpKind::Selection { predicate: parse_expr("o_totalprice > 150000").unwrap() }).unwrap();
+    let p = f
+        .append(
+            sel,
+            "PRJ",
+            OpKind::Projection { columns: vec!["l_orderkey".into(), "l_extendedprice".into(), "o_totalprice".into()] },
+        )
+        .unwrap();
+    f.append(p, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+    f.validate().expect("valid");
+    assert_row_columnar_equivalent(&catalog, &[&f]);
+}
+
+/// An empty probe side over a populated build side: inner joins produce
+/// nothing, left joins produce nothing, and neither engine may differ on
+/// schemas or loaded counts.
+#[test]
+fn empty_probe_side_row_vs_columnar() {
+    let mut catalog = tpch::generate(SF, 42);
+    catalog.get_mut("lineitem").unwrap().clear();
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        let mut f = Flow::new("empty_probe");
+        let li = f
+            .add_op(
+                "LI",
+                OpKind::Datastore { datastore: "lineitem".into(), schema: tpch::table_schema("lineitem").unwrap() },
+            )
+            .unwrap();
+        let o = f
+            .add_op(
+                "ORD",
+                OpKind::Datastore { datastore: "orders".into(), schema: tpch::table_schema("orders").unwrap() },
+            )
+            .unwrap();
+        let j = f
+            .add_op("J", OpKind::Join { kind, left_on: vec!["l_orderkey".into()], right_on: vec!["o_orderkey".into()] })
+            .unwrap();
+        f.connect(li, j).unwrap();
+        f.connect(o, j).unwrap();
+        let sel =
+            f.append(j, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
+        f.append(sel, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        f.validate().expect("valid");
+        assert_row_columnar_equivalent(&catalog, &[&f]);
+    }
+}
+
+/// A join whose string key column overflows the dictionary (> 2^16 distinct
+/// values) on both sides, with the build side spanning enough morsels to
+/// engage radix partitioning.
+#[test]
+fn dictionary_overflow_join_keys_row_vs_columnar() {
+    use quarry_etl::{ColType, Column, Schema};
+    let n = (1 << 16) + 4096;
+    let mut c = Catalog::new();
+    c.put(
+        "probe",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("tag", ColType::Text), Column::new("v", ColType::Integer)]),
+            (0..n).map(|i| vec![Value::Str(format!("tag-{:06}", (i * 7) % n)), Value::Int(i as i64)]).collect(),
+        ),
+    );
+    c.put(
+        "build",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("rtag", ColType::Text), Column::new("w", ColType::Integer)]),
+            (0..n).map(|i| vec![Value::Str(format!("tag-{i:06}")), Value::Int((i % 511) as i64)]).collect(),
+        ),
+    );
+    let mut f = Flow::new("overflow_join");
+    let p = f
+        .add_op(
+            "P",
+            OpKind::Datastore {
+                datastore: "probe".into(),
+                schema: Schema::new(vec![Column::new("tag", ColType::Text), Column::new("v", ColType::Integer)]),
+            },
+        )
+        .unwrap();
+    let b = f
+        .add_op(
+            "B",
+            OpKind::Datastore {
+                datastore: "build".into(),
+                schema: Schema::new(vec![Column::new("rtag", ColType::Text), Column::new("w", ColType::Integer)]),
+            },
+        )
+        .unwrap();
+    let j = f
+        .add_op("J", OpKind::Join { kind: JoinKind::Inner, left_on: vec!["tag".into()], right_on: vec!["rtag".into()] })
+        .unwrap();
+    f.connect(p, j).unwrap();
+    f.connect(b, j).unwrap();
+    let sel = f.append(j, "SEL", OpKind::Selection { predicate: parse_expr("w < 500").unwrap() }).unwrap();
+    let agg = f
+        .append(
+            sel,
+            "AGG",
+            OpKind::Aggregation {
+                group_by: vec![],
+                aggregates: vec![
+                    AggSpec::new("SUM", parse_expr("v").unwrap(), "total"),
+                    AggSpec::new("COUNT", parse_expr("1").unwrap(), "cnt"),
+                ],
+            },
+        )
+        .unwrap();
+    f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+    f.validate().expect("valid");
+    assert_row_columnar_equivalent(&c, &[&f]);
+}
+
+/// A join key column that is entirely NULL on the probe side: no probe row
+/// may ever match, so inner joins are empty and left joins pad every
+/// build-side column with NULL.
+#[test]
+fn all_null_join_key_column_row_vs_columnar() {
+    use quarry_etl::{ColType, Column, Schema};
+    let mut c = Catalog::new();
+    let n = 3 * MORSEL_ROWS + 17;
+    c.put(
+        "facts",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("k", ColType::Integer), Column::new("x", ColType::Decimal)]),
+            (0..n).map(|i| vec![Value::Null, Value::Float(i as f64)]).collect(),
+        ),
+    );
+    c.put(
+        "dims",
+        Relation::with_rows(
+            Schema::new(vec![Column::new("k", ColType::Integer), Column::new("label", ColType::Text)]),
+            (0..97).map(|i| vec![Value::Int(i), Value::Str(format!("L{i}"))]).collect(),
+        ),
+    );
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        let mut f = Flow::new("null_keys");
+        let facts = f
+            .add_op(
+                "F",
+                OpKind::Datastore {
+                    datastore: "facts".into(),
+                    schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("x", ColType::Decimal)]),
+                },
+            )
+            .unwrap();
+        let dims = f
+            .add_op(
+                "D",
+                OpKind::Datastore {
+                    datastore: "dims".into(),
+                    schema: Schema::new(vec![Column::new("k", ColType::Integer), Column::new("label", ColType::Text)]),
+                },
+            )
+            .unwrap();
+        let j = f.add_op("J", OpKind::Join { kind, left_on: vec!["k".into()], right_on: vec!["k".into()] }).unwrap();
+        f.connect(facts, j).unwrap();
+        f.connect(dims, j).unwrap();
+        f.append(j, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        f.validate().expect("valid");
+        assert_row_columnar_equivalent(&c, &[&f]);
+    }
+}
+
 #[test]
 fn lifecycle_facade_thread_pinning_agrees() {
     let catalog = tpch::generate(0.001, 42);

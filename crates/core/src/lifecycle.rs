@@ -14,7 +14,7 @@ use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
 use quarry_md::{MdSchema, MdViolation};
 use quarry_obs::serve::ObsServer;
-use quarry_obs::{Counter, Histogram, Metric, Obs, Span, Trace};
+use quarry_obs::{Counter, Histogram, HistogramSnapshot, Metric, Obs, Span, Trace};
 use quarry_ontology::mappings::SourceRegistry;
 use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, Repository};
@@ -211,13 +211,35 @@ impl Quarry {
         let mut platforms = PlatformRegistry::with_builtins();
         platforms.register(Box::new(crate::native::NativePlatform));
         let obs = Obs::disabled();
-        // The engine pool's always-on gauges ride along in every metrics
-        // snapshot; the engine itself stays free of any obs dependency.
+        // The engine pool's always-on gauges and kernel/radix stats ride
+        // along in every metrics snapshot; the engine itself stays free of
+        // any obs dependency.
         obs.register_collector(Box::new(|out| {
             let g = quarry_engine::pool::gauges();
             out.push(("pool.queue_depth".to_string(), Metric::Gauge(g.queue_depth)));
             out.push(("pool.active_workers".to_string(), Metric::Gauge(g.active_workers)));
             out.push(("pool.morsels_in_flight".to_string(), Metric::Gauge(g.in_flight)));
+            let k = quarry_engine::stats::kernel_stats();
+            out.push(("engine.kernel.vectorized".to_string(), Metric::Counter(k.vectorized)));
+            out.push(("engine.kernel.scalar_fallback".to_string(), Metric::Counter(k.scalar_fallback)));
+            let j = quarry_engine::stats::join_radix_stats();
+            if j.joins > 0 {
+                out.push((
+                    "engine.join.radix_partitions".to_string(),
+                    Metric::Histogram(HistogramSnapshot {
+                        count: j.joins,
+                        sum: j.partitions_sum as f64,
+                        min: j.partitions_min.map(|v| v as f64),
+                        max: j.partitions_max.map(|v| v as f64),
+                        buckets: j
+                            .buckets
+                            .iter()
+                            .filter(|&&(_, n)| n > 0)
+                            .map(|&(bound, n)| (bound as f64, n))
+                            .collect(),
+                    }),
+                ));
+            }
         }));
         let metrics = LifecycleMetrics::resolve(&obs);
         let mut consolidation = ConsolidationState::new();
@@ -967,6 +989,25 @@ mod tests {
         assert!(engine.catalog.get("dim_supplier").is_some());
         let fact = engine.catalog.get("fact_table_revenue").unwrap();
         assert_eq!(fact.schema.names().collect::<Vec<_>>(), ["Part_PartID", "Supplier_SupplierID", "revenue"]);
+    }
+
+    #[test]
+    fn engine_kernel_and_radix_stats_surface_in_metrics() {
+        let mut q = Quarry::tpch();
+        q.set_observability(true);
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let metrics = q.observability().metrics();
+        let find = |name: &str| metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m);
+        let vectorized = find("engine.kernel.vectorized").and_then(Metric::as_counter);
+        assert!(vectorized.unwrap() > 0, "the TPC-H flow must hit vectorized kernels");
+        assert!(find("engine.kernel.scalar_fallback").and_then(Metric::as_counter).is_some());
+        let Some(Metric::Histogram(h)) = find("engine.join.radix_partitions") else {
+            panic!("radix-partition histogram missing after a flow with joins");
+        };
+        assert!(h.count > 0, "the TPC-H flow runs joins");
+        assert!(!h.buckets.is_empty());
+        assert!(h.min.unwrap() >= 1.0 && h.max.unwrap() >= h.min.unwrap());
     }
 
     #[test]

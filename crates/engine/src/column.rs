@@ -87,6 +87,51 @@ impl Bitmap {
             }
         }
     }
+
+    /// Builds a bitmap from pre-packed words. Bits past `len` are cleared,
+    /// so callers may hand over words with dirty tails.
+    pub(crate) fn from_words(mut bits: Vec<u64>, len: usize) -> Self {
+        bits.truncate(len.div_ceil(64));
+        debug_assert_eq!(bits.len(), len.div_ceil(64));
+        let mut b = Bitmap { bits, len };
+        b.trim_tail();
+        b
+    }
+
+    /// Word-wise AND of two optional validity maps over `len` slots (`None`
+    /// = all valid). Returns `None` when the result is all-set, matching the
+    /// column-level normalization.
+    pub(crate) fn and_opt(a: Option<&Bitmap>, b: Option<&Bitmap>, len: usize) -> Option<Bitmap> {
+        let out = match (a, b) {
+            (None, None) => return None,
+            (Some(x), None) | (None, Some(x)) => x.clone(),
+            (Some(x), Some(y)) => {
+                debug_assert_eq!(x.len, len);
+                debug_assert_eq!(y.len, len);
+                Bitmap { bits: x.bits.iter().zip(&y.bits).map(|(p, q)| p & q).collect(), len }
+            }
+        };
+        if out.all_set() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+/// The contiguous ascending run covered by `indices`, if they are exactly
+/// `start, start+1, …` with no [`NULL_IDX`] padding entries. Gathers over
+/// such runs degrade to cheap slices (or whole-column shares).
+pub(crate) fn contiguous_run(indices: &[u32]) -> Option<std::ops::Range<usize>> {
+    let (&first, &last) = (indices.first()?, indices.last()?);
+    if last == NULL_IDX {
+        return None;
+    }
+    let start = first as usize;
+    // Equality against `start + k` rejects NULL_IDX interior entries too:
+    // every index equals `last - (len-1-k) < NULL_IDX`.
+    let run = indices.iter().enumerate().all(|(k, &i)| i as usize == start + k);
+    run.then(|| start..start + indices.len())
 }
 
 /// An interned pool of distinct strings backing dictionary-encoded columns.
@@ -272,6 +317,14 @@ impl Column {
     /// (left-join padding). Dictionary columns gather codes and share the
     /// pool `Arc` — no string is copied.
     pub fn gather(&self, indices: &[u32]) -> Column {
+        // High-selectivity filters and morsel splits routinely gather
+        // contiguous ascending runs; take the slice path instead of an
+        // element-wise gather.
+        if let Some(rg) = contiguous_run(indices) {
+            if rg.end <= self.len() {
+                return self.slice(rg);
+            }
+        }
         let validity = self.gathered_validity(indices);
         let data = match &self.data {
             ColumnData::Int(v) => ColumnData::Int(gather_data(v, indices, 0)),

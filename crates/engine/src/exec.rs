@@ -19,27 +19,68 @@
 //! Expressions are compiled once per operator ([`CompiledExpr`]) before any
 //! row is touched, so the hot loops do positional column access instead of
 //! name hashing.
+//!
+//! Operators exchange [`Batch`]es, not relations: a batch is either a
+//! materialized relation or a *late* relation — shared source columns plus a
+//! deferred selection vector per column ([`LateCol`]). Selections, joins,
+//! projections, and derivations stay late, composing their selection vectors
+//! instead of gathering, so a filter→project→join chain gathers each payload
+//! column exactly once, at the operator that actually consumes it (or at the
+//! loader). Each `LateCol` memoizes its gather, so a column consumed twice
+//! still gathers once.
+//!
+//! Joins and grouped aggregations radix-partition their keys on a Fibonacci
+//! hash ([`crate::keys::radix_of`]): every morsel scatters its rows into
+//! [`radix_partition_count`] buckets, and the per-partition tables build and
+//! merge in parallel with no synchronization, since a key lives in exactly
+//! one partition. The partition count is a pure function of the build-side
+//! length — never the thread count — so output order stays bit-identical to
+//! a serial run.
 
 use crate::catalog::Catalog;
-use crate::column::{Column as Col, ColumnBuilder, ColumnData, NULL_IDX};
+use crate::column::Bitmap;
+use crate::column::{contiguous_run, Column as Col, ColumnBuilder, ColumnData, NULL_IDX};
 use crate::eval::{truthy, EvalError};
-use crate::keys::{pack2, plan_group_keys, plan_join_keys, GroupKeyPlan, JoinKeyPlan};
+use crate::keys::{
+    fold128, fold_words, pack2, pack4, plan_group_keys, plan_join_keys, radix_of, FastMap, FastSet, GroupKeyPlan,
+    JoinKeyPlan, SideKeys,
+};
 use crate::pool;
 use crate::relation::{Relation, Row};
+use crate::stats;
 use crate::value::Value;
-use crate::vector::{eval_vector, RowSel, Vek};
+use crate::vector::{collect_used, eval_vector, RowSel, Vek};
 use quarry_etl::{AggSpec, CompiledExpr, Expr, Flow, FlowError, JoinKind, OpId, OpKind, Schema, UnboundColumn};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Rows per morsel. Fixed (not derived from the thread count) so that the
 /// same input always decomposes identically and results are reproducible
 /// under any parallelism.
 pub const MORSEL_ROWS: usize = 4096;
+
+/// Hard cap on radix partitions per join/aggregation build. Partition tables
+/// build in parallel, so more partitions than the machine has cores mostly
+/// buys scatter overhead.
+pub const MAX_RADIX_PARTITIONS: usize = 64;
+
+/// The radix partition count for a build side of `build_len` rows: one
+/// partition per morsel of build data, a power of two, capped at
+/// [`MAX_RADIX_PARTITIONS`]. Small builds (under two morsels) keep a single
+/// table — the scatter would cost more than it saves. A pure function of the
+/// input length, never the thread count, so partitioned runs stay
+/// bit-identical to serial ones.
+pub(crate) fn radix_partition_count(build_len: usize) -> usize {
+    if build_len < 2 * MORSEL_ROWS {
+        1
+    } else {
+        (build_len / MORSEL_ROWS).next_power_of_two().min(MAX_RADIX_PARTITIONS)
+    }
+}
 
 /// Errors raised during execution.
 #[derive(Debug)]
@@ -133,6 +174,185 @@ impl RunReport {
     }
 }
 
+/// A column whose gather is deferred: the source column plus an optional
+/// selection vector ([`NULL_IDX`] entries become NULL). The gather runs at
+/// most once — `done` memoizes it — so a column consumed by two downstream
+/// operators still materializes a single time.
+pub(crate) struct LateCol {
+    col: Arc<Col>,
+    sel: Option<Arc<Vec<u32>>>,
+    done: OnceLock<Arc<Col>>,
+}
+
+impl LateCol {
+    fn direct(col: Arc<Col>) -> Arc<LateCol> {
+        Arc::new(LateCol { col, sel: None, done: OnceLock::new() })
+    }
+
+    fn deferred(col: Arc<Col>, sel: Arc<Vec<u32>>) -> Arc<LateCol> {
+        Arc::new(LateCol { col, sel: Some(sel), done: OnceLock::new() })
+    }
+
+    /// Materializes (memoized). A selection that covers the whole source in
+    /// order is a pointer bump.
+    fn get(&self) -> Arc<Col> {
+        self.done
+            .get_or_init(|| match &self.sel {
+                None => Arc::clone(&self.col),
+                Some(sel) => match contiguous_run(sel) {
+                    Some(rg) if rg.start == 0 && rg.end == self.col.len() => Arc::clone(&self.col),
+                    _ => Arc::new(self.col.gather(sel)),
+                },
+            })
+            .clone()
+    }
+}
+
+/// A relation whose columns are [`LateCol`]s: the schema and row count are
+/// known, but per-column gathers wait for a consumer.
+pub(crate) struct LazyRel {
+    schema: Schema,
+    len: usize,
+    cols: Vec<Arc<LateCol>>,
+}
+
+/// What operators exchange: either a materialized relation or a late one.
+/// Cloning is a pointer bump either way.
+#[derive(Clone)]
+pub(crate) enum Batch {
+    Rel(Arc<Relation>),
+    Lazy(Arc<LazyRel>),
+}
+
+impl Batch {
+    fn lazy(schema: Schema, len: usize, cols: Vec<Arc<LateCol>>) -> Batch {
+        Batch::Lazy(Arc::new(LazyRel { schema, len, cols }))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Batch::Rel(r) => r.len(),
+            Batch::Lazy(lz) => lz.len,
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        match self {
+            Batch::Rel(r) => &r.schema,
+            Batch::Lazy(lz) => &lz.schema,
+        }
+    }
+
+    fn col(&self, name: &str) -> usize {
+        self.schema().index_of(name).expect("validated before execution")
+    }
+
+    /// Every column as a [`LateCol`], aligned with the schema. For a
+    /// materialized relation these are fresh no-op wrappers; for a lazy one
+    /// they are the shared columns themselves (preserving memoized gathers).
+    fn late_cols(&self) -> Vec<Arc<LateCol>> {
+        match self {
+            Batch::Rel(r) => r.columns().iter().map(|c| LateCol::direct(Arc::clone(c))).collect(),
+            Batch::Lazy(lz) => lz.cols.clone(),
+        }
+    }
+
+    /// Materializes exactly the columns an operator reads, in parallel,
+    /// leaving the rest untouched. The returned vector is schema-aligned;
+    /// slots outside `used` hold an empty placeholder that the caller's
+    /// compiled expressions never index.
+    fn cols_for(&self, used: &[usize]) -> Vec<Arc<Col>> {
+        match self {
+            Batch::Rel(r) => r.columns().to_vec(),
+            Batch::Lazy(lz) => {
+                let got = pool::run_indexed(used.len(), |k| lz.cols[used[k]].get());
+                let mut out = vec![placeholder_col(); lz.cols.len()];
+                for (c, &idx) in got.into_iter().zip(used) {
+                    out[idx] = c;
+                }
+                out
+            }
+        }
+    }
+
+    /// Materializes every column (in parallel) into a relation.
+    fn materialize(&self) -> Arc<Relation> {
+        match self {
+            Batch::Rel(r) => Arc::clone(r),
+            Batch::Lazy(lz) => {
+                let cols = pool::run_indexed(lz.cols.len(), |i| lz.cols[i].get());
+                Arc::new(Relation::from_columns(lz.schema.clone(), cols))
+            }
+        }
+    }
+
+    /// Applies a selection vector *lazily*: no column gathers, only
+    /// selection-vector composition. This is what fuses filter→project
+    /// chains — the rows survive as indices until something consumes them.
+    fn select(&self, kept: Vec<u32>) -> Batch {
+        let kept = Arc::new(kept);
+        match self {
+            Batch::Rel(r) => {
+                let cols = r.columns().iter().map(|c| LateCol::deferred(Arc::clone(c), Arc::clone(&kept))).collect();
+                Batch::lazy(r.schema.clone(), kept.len(), cols)
+            }
+            Batch::Lazy(lz) => Batch::lazy(lz.schema.clone(), kept.len(), compose_cols(&lz.cols, &kept)),
+        }
+    }
+}
+
+/// Shared zero-length stand-in for unread column slots (see
+/// [`Batch::cols_for`]).
+fn placeholder_col() -> Arc<Col> {
+    static EMPTY: OnceLock<Arc<Col>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Col::new(ColumnData::Int(Vec::new()), None))))
+}
+
+/// `outer ∘ inner`: row `k` of the result is `inner[outer[k]]`. A
+/// [`NULL_IDX`] in `outer` (a left join's unmatched pad) stays NULL.
+fn compose_sel(inner: &[u32], outer: &[u32]) -> Vec<u32> {
+    outer.iter().map(|&k| if k == NULL_IDX { NULL_IDX } else { inner[k as usize] }).collect()
+}
+
+/// Pushes a new selection under existing late columns. Columns sharing one
+/// inner selection vector (the common case: all survivors of one filter)
+/// share the composed vector too, computed once. A column whose gather
+/// already ran composes from the materialized column instead — never redo
+/// work the memo already paid for.
+fn compose_cols(cols: &[Arc<LateCol>], outer: &Arc<Vec<u32>>) -> Vec<Arc<LateCol>> {
+    let mut composed: HashMap<usize, Arc<Vec<u32>>> = HashMap::new();
+    cols.iter()
+        .map(|lc| {
+            if let Some(done) = lc.done.get() {
+                return LateCol::deferred(Arc::clone(done), Arc::clone(outer));
+            }
+            match &lc.sel {
+                None => LateCol::deferred(Arc::clone(&lc.col), Arc::clone(outer)),
+                Some(inner) => {
+                    let sel = Arc::clone(
+                        composed
+                            .entry(Arc::as_ptr(inner) as usize)
+                            .or_insert_with(|| Arc::new(compose_sel(inner, outer))),
+                    );
+                    LateCol::deferred(Arc::clone(&lc.col), sel)
+                }
+            }
+        })
+        .collect()
+}
+
+/// The column indices an operator reads: `extra` (key/group columns) plus
+/// every column referenced by `exprs`, sorted and deduplicated.
+fn used_columns(exprs: &[&CompiledExpr], extra: &[usize]) -> Vec<usize> {
+    let mut used: Vec<usize> = extra.to_vec();
+    for e in exprs {
+        collect_used(e, &mut used);
+    }
+    used.sort_unstable();
+    used.dedup();
+    used
+}
+
 /// The execution engine: owns a catalog and runs flows against it.
 #[derive(Debug, Default)]
 pub struct Engine {
@@ -154,17 +374,18 @@ impl Engine {
         let order = flow.topo_order()?;
         flow.schemas()?; // full static validation before touching data
         let start = Instant::now();
-        let mut results: HashMap<OpId, Arc<Relation>> = HashMap::with_capacity(order.len());
+        let mut results: HashMap<OpId, Batch> = HashMap::with_capacity(order.len());
         let mut report = RunReport::default();
         for id in order {
             let op = flow.op(id);
-            let inputs: Vec<Arc<Relation>> = flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
-            let rows_in = inputs.iter().map(|r| r.len()).sum();
+            let inputs: Vec<Batch> = flow.inputs_of(id).into_iter().map(|i| results[&i].clone()).collect();
+            let rows_in = inputs.iter().map(Batch::len).sum();
             let t0 = Instant::now();
-            let out: Arc<Relation> = match &op.kind {
+            let out: Batch = match &op.kind {
                 OpKind::Loader { table, key } => {
-                    self.load(table, key, &inputs[0], &mut report)?;
-                    Arc::clone(&inputs[0])
+                    let mat = inputs[0].materialize();
+                    self.load(table, key, &mat, &mut report)?;
+                    Batch::Rel(mat)
                 }
                 pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
             };
@@ -206,7 +427,7 @@ impl Engine {
         }
 
         let start = Instant::now();
-        let mut results: HashMap<OpId, Arc<Relation>> = HashMap::with_capacity(order.len());
+        let mut results: HashMap<OpId, Batch> = HashMap::with_capacity(order.len());
         let mut report = RunReport::default();
         for level in levels {
             let (pure_ops, sinks): (Vec<OpId>, Vec<OpId>) =
@@ -216,12 +437,12 @@ impl Engine {
             // recorded elapsed time is the operation's own work, not the
             // time it spent queued or waiting for siblings to finish.
             let catalog = &self.catalog;
-            let jobs: Vec<(OpId, Vec<Arc<Relation>>)> = pure_ops
+            let jobs: Vec<(OpId, Vec<Batch>)> = pure_ops
                 .into_iter()
-                .map(|id| (id, flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect()))
+                .map(|id| (id, flow.inputs_of(id).into_iter().map(|i| results[&i].clone()).collect()))
                 .collect();
-            // Output relation, measured elapsed time, and the pool lane that ran it.
-            type PureOutcome = (Arc<Relation>, Duration, usize);
+            // Output batch, measured elapsed time, and the pool lane that ran it.
+            type PureOutcome = (Batch, Duration, usize);
             let outcomes: Vec<Result<PureOutcome, EngineError>> = pool::run_indexed(jobs.len(), |i| {
                 let (id, inputs) = &jobs[i];
                 let op = flow.op(*id);
@@ -237,7 +458,7 @@ impl Engine {
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
                     kind: op.kind.type_name(),
-                    rows_in: inputs.iter().map(|r| r.len()).sum(),
+                    rows_in: inputs.iter().map(Batch::len).sum(),
                     rows_out: out.len(),
                     elapsed,
                     worker,
@@ -247,14 +468,14 @@ impl Engine {
             // Sinks take exclusive catalog access, in deterministic order.
             for id in sinks {
                 let op = flow.op(id);
-                let inputs: Vec<Arc<Relation>> =
-                    flow.inputs_of(id).into_iter().map(|i| Arc::clone(&results[&i])).collect();
-                let rows_in = inputs.iter().map(|r| r.len()).sum();
+                let inputs: Vec<Batch> = flow.inputs_of(id).into_iter().map(|i| results[&i].clone()).collect();
+                let rows_in = inputs.iter().map(Batch::len).sum();
                 let t0 = Instant::now();
-                let out: Arc<Relation> = match &op.kind {
+                let out: Batch = match &op.kind {
                     OpKind::Loader { table, key } => {
-                        self.load(table, key, &inputs[0], &mut report)?;
-                        Arc::clone(&inputs[0])
+                        let mat = inputs[0].materialize();
+                        self.load(table, key, &mat, &mut report)?;
+                        Batch::Rel(mat)
                     }
                     pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
                 };
@@ -384,16 +605,12 @@ fn check_row_capacity(len: usize) {
 
 /// Executes one catalog-read-only operation (everything but loaders).
 ///
-/// Returns a reference-counted relation so that pass-through operations —
-/// a datastore whose declared schema matches the catalog table, an
-/// extraction or projection that keeps every column in place, a selection
-/// that keeps every row — can share their input instead of copying.
-fn execute_pure(
-    catalog: &Catalog,
-    name: &str,
-    kind: &OpKind,
-    inputs: &[Arc<Relation>],
-) -> Result<Arc<Relation>, EngineError> {
+/// Returns a [`Batch`] so that pass-through operations — a datastore whose
+/// declared schema matches the catalog table, an extraction or projection
+/// that keeps every column in place, a selection that keeps every row — can
+/// share their input instead of copying, and so that row-dropping operators
+/// can stay late instead of gathering.
+fn execute_pure(catalog: &Catalog, name: &str, kind: &OpKind, inputs: &[Batch]) -> Result<Batch, EngineError> {
     let eval_err = |e: EvalError| EngineError::Eval { op: name.to_string(), error: e };
     match kind {
         OpKind::Datastore { datastore, schema } => {
@@ -401,7 +618,7 @@ fn execute_pure(
             if *schema == table.schema {
                 // The declared extraction schema is the table's own layout:
                 // hand out the table itself, zero rows copied.
-                return Ok(table);
+                return Ok(Batch::Rel(table));
             }
             // Project the catalog table onto the declared extraction schema
             // (catalog tables may carry more columns, e.g. FKs). Columns are
@@ -415,24 +632,37 @@ fn execute_pure(
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            Ok(Arc::new(Relation::from_columns(schema.clone(), columns)))
+            Ok(Batch::Rel(Arc::new(Relation::from_columns(schema.clone(), columns))))
         }
         OpKind::Extraction { columns } | OpKind::Projection { columns } => {
             let input = &inputs[0];
             let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
-            if indices.len() == input.schema.len() && indices.iter().enumerate().all(|(pos, &i)| pos == i) {
+            if indices.len() == input.schema().len() && indices.iter().enumerate().all(|(pos, &i)| pos == i) {
                 // Keeps every column in place: the output IS the input.
-                return Ok(Arc::clone(input));
+                return Ok(input.clone());
             }
-            let schema = input.schema.project(columns).expect("validated");
-            let picked = indices.iter().map(|&i| Arc::clone(input.column(i))).collect();
-            Ok(Arc::new(Relation::from_columns(schema, picked)))
+            let schema = input.schema().project(columns).expect("validated");
+            match input {
+                Batch::Rel(r) => {
+                    let picked = indices.iter().map(|&i| Arc::clone(r.column(i))).collect();
+                    Ok(Batch::Rel(Arc::new(Relation::from_columns(schema, picked))))
+                }
+                // A late input stays late: dropped columns simply never
+                // gather. Shared `LateCol`s keep their memoized gathers.
+                Batch::Lazy(lz) => {
+                    let picked = indices.iter().map(|&i| Arc::clone(&lz.cols[i])).collect();
+                    Ok(Batch::lazy(schema, lz.len, picked))
+                }
+            }
         }
         OpKind::Selection { predicate } => {
             let input = &inputs[0];
             check_row_capacity(input.len());
-            let predicate = compile(predicate, &input.schema, name)?;
-            let cols = input.columns();
+            let predicate = compile(predicate, input.schema(), name)?;
+            // Materialize only the columns the predicate reads; payload
+            // columns wait behind the (composed) selection vector.
+            let cols = input.cols_for(&used_columns(&[&predicate], &[]));
+            let cols = cols.as_slice();
             // Each morsel evaluates the predicate column-at-a-time and
             // produces a selection vector of absolute row indices.
             let chunks: Vec<Result<Vec<u32>, EvalError>> = per_morsel(input.len(), |rg| {
@@ -475,15 +705,19 @@ fn execute_pure(
             let kept = try_concat(chunks).map_err(eval_err)?;
             if kept.len() == input.len() {
                 // Every row survives: the output IS the input.
-                return Ok(Arc::clone(input));
+                return Ok(input.clone());
             }
-            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &kept))))
+            // No gather: survivors ride along as a selection vector. A
+            // following filter/projection composes with it, so chains touch
+            // each payload column exactly once.
+            Ok(input.select(kept))
         }
         OpKind::Derivation { column: _, expr } => {
             let input = &inputs[0];
-            let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
-            let expr = compile(expr, &input.schema, name)?;
-            let cols = input.columns();
+            let schema = kind.output_schema(name, std::slice::from_ref(input.schema()))?;
+            let expr = compile(expr, input.schema(), name)?;
+            let cols = input.cols_for(&used_columns(&[&expr], &[]));
+            let cols = cols.as_slice();
             let parts: Vec<Result<Col, EvalError>> = per_morsel(input.len(), |rg| {
                 let n = rg.len();
                 Ok(eval_vector(&expr, cols, &RowSel::Range(rg))?.into_column(n))
@@ -494,19 +728,17 @@ fn execute_pure(
             }
             let ty = schema.columns.last().expect("derivation appends a column").ty;
             let derived = Col::concat(&evaluated.iter().collect::<Vec<_>>(), ty);
-            // Output = all input columns shared + the one new column.
-            let mut columns = input.columns().to_vec();
-            columns.push(Arc::new(derived));
-            Ok(Arc::new(Relation::from_columns(schema, columns)))
+            // Output = all input columns (still late) + the one new column.
+            let mut columns = input.late_cols();
+            columns.push(LateCol::direct(Arc::new(derived)));
+            Ok(Batch::lazy(schema, input.len(), columns))
         }
-        OpKind::Join { kind: jk, left_on, right_on } => {
-            Ok(Arc::new(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk)))
-        }
+        OpKind::Join { kind: jk, left_on, right_on } => Ok(hash_join(&inputs[0], &inputs[1], left_on, right_on, *jk)),
         OpKind::Aggregation { group_by, aggregates } => {
-            hash_aggregate(&inputs[0], group_by, aggregates, name).map(Arc::new).map_err(eval_err)
+            hash_aggregate(&inputs[0], group_by, aggregates, name).map(|r| Batch::Rel(Arc::new(r))).map_err(eval_err)
         }
         OpKind::Union => {
-            let (l, r) = (&inputs[0], &inputs[1]);
+            let (l, r) = (&inputs[0].materialize(), &inputs[1].materialize());
             // Align the right input positionally by column name; same-layout
             // inputs (the common case) concatenate representation-to-
             // representation without value round-trips.
@@ -518,12 +750,13 @@ fn execute_pure(
                 .enumerate()
                 .map(|(i, sc)| Arc::new(Col::concat(&[l.column(i).as_ref(), r.column(indices[i]).as_ref()], sc.ty)))
                 .collect();
-            Ok(Arc::new(Relation::from_columns(l.schema.clone(), columns)))
+            Ok(Batch::Rel(Arc::new(Relation::from_columns(l.schema.clone(), columns))))
         }
         OpKind::Distinct => {
-            let input = &inputs[0];
+            // Row-wise dedup reads every column: materialize up front.
+            let input = inputs[0].materialize();
             check_row_capacity(input.len());
-            let mut seen = std::collections::HashSet::with_capacity(input.len());
+            let mut seen = FastSet::with_capacity_and_hasher(input.len(), Default::default());
             let mut kept: Vec<u32> = Vec::new();
             for i in 0..input.len() {
                 if seen.insert(input.row(i)) {
@@ -531,12 +764,13 @@ fn execute_pure(
                 }
             }
             if kept.len() == input.len() {
-                return Ok(Arc::clone(input));
+                return Ok(Batch::Rel(input));
             }
-            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &kept))))
+            Ok(Batch::Rel(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &kept)))))
         }
         OpKind::Sort { columns } => {
-            let input = &inputs[0];
+            // The output permutes every row anyway; materialize and gather.
+            let input = inputs[0].materialize();
             check_row_capacity(input.len());
             let indices: Vec<usize> = columns.iter().map(|c| input.col(c)).collect();
             // Materialize the sort-key columns once; the (stable) sort then
@@ -559,12 +793,15 @@ fn execute_pure(
                 }
                 std::cmp::Ordering::Equal
             });
-            Ok(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &order))))
+            Ok(Batch::Rel(Arc::new(Relation::from_columns(input.schema.clone(), gather_all(input.columns(), &order)))))
         }
         OpKind::SurrogateKey { natural, output: _ } => {
             let input = &inputs[0];
-            let schema = kind.output_schema(name, std::slice::from_ref(&input.schema))?;
+            let schema = kind.output_schema(name, std::slice::from_ref(input.schema()))?;
             let indices: Vec<usize> = natural.iter().map(|c| input.col(c)).collect();
+            // Only the natural-key columns materialize; the payload stays
+            // late behind the appended key column.
+            let cols = input.cols_for(&used_columns(&[], &indices));
             let chunks: Vec<Vec<i64>> = per_morsel(input.len(), |rg| {
                 rg.map(|i| {
                     // Content-addressed surrogate (FNV-1a over the natural
@@ -575,16 +812,16 @@ fn execute_pure(
                     // columns into the hash — no row materialization.
                     let mut fnv = FnvWriter::new();
                     for &c in &indices {
-                        input.column(c).write_display(i, &mut fnv).expect("hash writer never fails");
+                        cols[c].write_display(i, &mut fnv).expect("hash writer never fails");
                         fnv.sep();
                     }
                     fnv.finish()
                 })
                 .collect()
             });
-            let mut columns = input.columns().to_vec();
-            columns.push(Arc::new(Col::new(ColumnData::Int(concat(chunks)), None)));
-            Ok(Arc::new(Relation::from_columns(schema, columns)))
+            let mut columns = input.late_cols();
+            columns.push(LateCol::direct(Arc::new(Col::new(ColumnData::Int(concat(chunks)), None))));
+            Ok(Batch::lazy(schema, input.len(), columns))
         }
         OpKind::Loader { .. } => unreachable!("loaders are executed by Engine::load"),
     }
@@ -593,6 +830,24 @@ fn execute_pure(
 /// Upsert-merges `input` into the catalog table `table` keyed on `key`:
 /// the target schema takes the union of columns (old rows padded with NULL),
 /// and input rows overwrite/fill the columns they carry for matching keys.
+/// Dedups `0..n` by key, last write wins: returns, per surviving key in
+/// first-seen order, the index of the *last* row carrying that key.
+fn dedup_last_wins<K: Eq + std::hash::Hash>(n: usize, keyf: impl Fn(usize) -> K) -> Vec<u32> {
+    use std::collections::hash_map::Entry;
+    let mut index: FastMap<K, usize> = FastMap::with_capacity_and_hasher(n, Default::default());
+    let mut appended: Vec<u32> = Vec::new();
+    for i in 0..n {
+        match index.entry(keyf(i)) {
+            Entry::Occupied(e) => appended[*e.get()] = i as u32,
+            Entry::Vacant(e) => {
+                e.insert(appended.len());
+                appended.push(i as u32);
+            }
+        }
+    }
+    appended
+}
+
 fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) -> Result<(), String> {
     if !catalog.contains(table) {
         // Create empty, then run the merge below: the input itself may
@@ -624,9 +879,6 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
         .iter()
         .map(|k| input.schema.index_of(k).ok_or_else(|| format!("upsert key `{k}` missing from input")))
         .collect::<Result<_, _>>()?;
-    let mut index: HashMap<Row, usize> = (0..existing.nrows)
-        .map(|i| (key_idx_target.iter().map(|&c| existing.columns[c].value(i)).collect::<Row>(), i))
-        .collect();
     // Input column → target position.
     let positions: Vec<usize> =
         input.schema.columns.iter().map(|c| existing.schema.index_of(&c.name).expect("widened above")).collect();
@@ -635,28 +887,61 @@ fn upsert(catalog: &mut Catalog, table: &str, input: &Relation, key: &[String]) 
     // their old values, appended slots take the input row's values).
     let old_len = existing.nrows;
     let mut from_input: Vec<u32> = vec![NULL_IDX; old_len];
-    let mut appended: Vec<u32> = Vec::new();
-    for i in 0..input.len() {
-        let k: Row = key_idx_input.iter().map(|&c| input.columns()[c].value(i)).collect();
-        match index.get(&k) {
-            Some(&slot) => {
-                // Last write wins within the batch.
-                if slot < old_len {
-                    from_input[slot] = i as u32;
-                } else {
-                    appended[slot - old_len] = i as u32;
+    let appended: Vec<u32> = if old_len == 0 {
+        // Empty target: dedup within the input only. Fixed-width group-key
+        // encoding gives the same per-column equality as `Value` rows
+        // (NULL == NULL via the mask word, dictionary codes for strings)
+        // without a heap-allocated `Row` per row — this is every table's
+        // first load, the hot path of a fresh warehouse run.
+        let g_cols: Vec<&Col> = key_idx_input.iter().map(|&c| input.columns()[c].as_ref()).collect();
+        match plan_group_keys(&g_cols, input.len()) {
+            GroupKeyPlan::Encoded(sk) => match sk.width {
+                1 => dedup_last_wins(input.len(), |i| sk.words[i]),
+                2 => dedup_last_wins(input.len(), |i| pack2(sk.row(i))),
+                3 | 4 => dedup_last_wins(input.len(), |i| pack4(sk.row(i))),
+                _ => dedup_last_wins(input.len(), |i| sk.row(i).to_vec().into_boxed_slice()),
+            },
+            GroupKeyPlan::Values => dedup_last_wins(input.len(), |i| {
+                key_idx_input.iter().map(|&c| input.columns()[c].value(i)).collect::<Row>()
+            }),
+        }
+    } else {
+        let mut index: FastMap<Row, usize> = (0..existing.nrows)
+            .map(|i| (key_idx_target.iter().map(|&c| existing.columns[c].value(i)).collect::<Row>(), i))
+            .collect();
+        let mut appended: Vec<u32> = Vec::new();
+        for i in 0..input.len() {
+            let k: Row = key_idx_input.iter().map(|&c| input.columns()[c].value(i)).collect();
+            match index.get(&k) {
+                Some(&slot) => {
+                    // Last write wins within the batch.
+                    if slot < old_len {
+                        from_input[slot] = i as u32;
+                    } else {
+                        appended[slot - old_len] = i as u32;
+                    }
+                }
+                None => {
+                    index.insert(k, old_len + appended.len());
+                    appended.push(i as u32);
                 }
             }
-            None => {
-                index.insert(k, old_len + appended.len());
-                appended.push(i as u32);
-            }
         }
-    }
+        appended
+    };
     // Rebuild each target column from the plan. Columns the input does not
     // carry keep their values (appended slots pad with NULL); columns it
     // does carry splice input values over matched slots.
     let target_of_input: HashMap<usize, usize> = positions.iter().enumerate().map(|(ic, &tp)| (tp, ic)).collect();
+    if old_len == 0 && appended.len() == input.len() && existing.columns.len() == input.columns().len() {
+        // Empty target, unique input keys, no extra target columns: the
+        // merged table IS the input — adopt its columns without a per-row
+        // rebuild (the common first load of a dimension or fact table).
+        existing.columns =
+            (0..existing.columns.len()).map(|tp| Arc::clone(&input.columns()[target_of_input[&tp]])).collect();
+        existing.nrows = input.len();
+        return Ok(());
+    }
     let columns: Vec<Arc<Col>> = existing
         .columns
         .iter()
@@ -739,19 +1024,26 @@ pub fn surrogate_of<'a>(values: impl Iterator<Item = &'a Value>) -> i64 {
 /// fixed-width word keys when the key column types allow (the fast path —
 /// the hash tables then hash `u64`/`u128` instead of cloning `Value` rows),
 /// `Value`-row keys when a `Mixed` column forces it, and a no-op when some
-/// key column pair can never match. The output is assembled by gathering
-/// both sides' columns at the matched index pairs.
-fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[String], kind: JoinKind) -> Relation {
+/// key column pair can never match.
+///
+/// Only the key columns materialize here. The output is late: both sides'
+/// payload columns carry the matched index pairs as deferred selections, so
+/// a downstream filter or projection composes before anything gathers.
+fn hash_join(left: &Batch, right: &Batch, left_on: &[String], right_on: &[String], kind: JoinKind) -> Batch {
     check_row_capacity(left.len().max(right.len()));
     let l_idx: Vec<usize> = left_on.iter().map(|c| left.col(c)).collect();
     let r_idx: Vec<usize> = right_on.iter().map(|c| right.col(c)).collect();
     // Same-name equi-joined key columns are kept once (left copy), matching
     // the logical schema propagation.
-    let kept = quarry_etl::join_kept_right_indices(&right.schema, left_on, right_on);
-    let mut schema = left.schema.clone();
-    schema.columns.extend(kept.iter().map(|&i| right.schema.columns[i].clone()));
+    let kept = quarry_etl::join_kept_right_indices(right.schema(), left_on, right_on);
+    let mut schema = left.schema().clone();
+    schema.columns.extend(kept.iter().map(|&i| right.schema().columns[i].clone()));
 
-    let (l_out, r_out) = match plan_join_keys(left, right, &l_idx, &r_idx) {
+    let l_cols = left.cols_for(&used_columns(&[], &l_idx));
+    let r_cols = right.cols_for(&used_columns(&[], &r_idx));
+    let l_keys: Vec<&Col> = l_idx.iter().map(|&c| l_cols[c].as_ref()).collect();
+    let r_keys: Vec<&Col> = r_idx.iter().map(|&c| r_cols[c].as_ref()).collect();
+    let (l_out, r_out) = match plan_join_keys(&l_keys, left.len(), &r_keys, right.len()) {
         JoinKeyPlan::Never => {
             if kind == JoinKind::Left {
                 ((0..left.len() as u32).collect(), vec![NULL_IDX; left.len()])
@@ -759,47 +1051,153 @@ fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[
                 (Vec::new(), Vec::new())
             }
         }
-        JoinKeyPlan::Values => join_core(
-            left.len(),
-            right.len(),
-            kind,
-            |i| {
-                let key: Row = l_idx.iter().map(|&c| left.column(c).value(i)).collect();
-                (!key.iter().any(Value::is_null)).then_some(key)
-            },
-            |i| {
-                let key: Row = r_idx.iter().map(|&c| right.column(c).value(i)).collect();
-                (!key.iter().any(Value::is_null)).then_some(key)
-            },
-        ),
-        JoinKeyPlan::Encoded { left: lk, right: rk } => match lk.width {
-            1 => join_core(
+        JoinKeyPlan::Values => {
+            // Value-row keys don't hash cheaply enough to be worth a
+            // partition pass; build one table.
+            stats::record_join_partitions(1);
+            join_core(
                 left.len(),
                 right.len(),
                 kind,
-                |i| lk.ok[i].then_some(lk.words[i]),
-                |i| rk.ok[i].then_some(rk.words[i]),
-            ),
-            2 => join_core(
-                left.len(),
-                right.len(),
-                kind,
-                |i| lk.ok[i].then(|| pack2(lk.row(i))),
-                |i| rk.ok[i].then(|| pack2(rk.row(i))),
-            ),
-            _ => join_core(
-                left.len(),
-                right.len(),
-                kind,
-                |i| lk.ok[i].then(|| lk.row(i).to_vec().into_boxed_slice()),
-                |i| rk.ok[i].then(|| rk.row(i).to_vec().into_boxed_slice()),
-            ),
-        },
+                1,
+                |_: &Row| 0,
+                |i| {
+                    let key: Row = l_idx.iter().map(|&c| l_cols[c].value(i)).collect();
+                    (!key.iter().any(Value::is_null)).then_some(key)
+                },
+                |i| {
+                    let key: Row = r_idx.iter().map(|&c| r_cols[c].value(i)).collect();
+                    (!key.iter().any(Value::is_null)).then_some(key)
+                },
+            )
+        }
+        JoinKeyPlan::Encoded { left: lk, right: rk } => {
+            let npart = radix_partition_count(right.len());
+            if let Some(out) = (lk.width == 1).then(|| dense_join(&lk, &rk, kind)).flatten() {
+                stats::record_join_partitions(1);
+                out
+            } else {
+                stats::record_join_partitions(npart);
+                match lk.width {
+                    1 => join_core(
+                        left.len(),
+                        right.len(),
+                        kind,
+                        npart,
+                        move |k: &u64| radix_of(*k, npart),
+                        |i| lk.ok[i].then_some(lk.words[i]),
+                        |i| rk.ok[i].then_some(rk.words[i]),
+                    ),
+                    2 => join_core(
+                        left.len(),
+                        right.len(),
+                        kind,
+                        npart,
+                        move |k: &u128| radix_of(fold128(*k), npart),
+                        |i| lk.ok[i].then(|| pack2(lk.row(i))),
+                        |i| rk.ok[i].then(|| pack2(rk.row(i))),
+                    ),
+                    3 | 4 => join_core(
+                        left.len(),
+                        right.len(),
+                        kind,
+                        npart,
+                        move |k: &[u64; 4]| radix_of(fold_words(k), npart),
+                        |i| lk.ok[i].then(|| pack4(lk.row(i))),
+                        |i| rk.ok[i].then(|| pack4(rk.row(i))),
+                    ),
+                    _ => join_core::<Box<[u64]>, _, _, _>(
+                        left.len(),
+                        right.len(),
+                        kind,
+                        npart,
+                        move |k| radix_of(fold_words(k), npart),
+                        |i| lk.ok[i].then(|| lk.row(i).to_vec().into_boxed_slice()),
+                        |i| rk.ok[i].then(|| rk.row(i).to_vec().into_boxed_slice()),
+                    ),
+                }
+            }
+        }
     };
-    let mut columns = gather_all(left.columns(), &l_out);
-    let kept_cols: Vec<Arc<Col>> = kept.iter().map(|&i| Arc::clone(right.column(i))).collect();
-    columns.extend(gather_all(&kept_cols, &r_out));
-    Relation::from_columns(schema, columns)
+    let len = l_out.len();
+    let (l_sel, r_sel) = (Arc::new(l_out), Arc::new(r_out));
+    let mut cols = compose_cols(&left.late_cols(), &l_sel);
+    let right_late = right.late_cols();
+    let kept_late: Vec<Arc<LateCol>> = kept.iter().map(|&i| Arc::clone(&right_late[i])).collect();
+    cols.extend(compose_cols(&kept_late, &r_sel));
+    Batch::lazy(schema, len, cols)
+}
+
+/// Cap on the dense build array — past this the chain heads no longer fit
+/// hot cache and the hash path wins back.
+const DENSE_JOIN_MAX: usize = 1 << 21;
+
+/// Single-word equi-join against a *dense* build side: when the build keys
+/// span a small range (TPC-H-style foreign keys — consecutive integers — or
+/// dictionary codes, which are dense by construction), the hash table
+/// degrades to an array of chain heads indexed by `key - min`, and every
+/// probe is one range check plus one load instead of a hash. Build rows
+/// link in ascending order within each chain (the reverse-order build
+/// pushes to the head), so the emitted pairs are bit-identical to
+/// [`join_core`]'s serial table. Returns `None` when the key range is too
+/// sparse for the array to pay off — surrogate-hash keys land there.
+fn dense_join(lk: &SideKeys, rk: &SideKeys, kind: JoinKind) -> Option<(Vec<u32>, Vec<u32>)> {
+    let right_len = rk.ok.len();
+    let (mut min, mut max, mut any) = (u64::MAX, 0u64, false);
+    for i in 0..right_len {
+        if rk.ok[i] {
+            min = min.min(rk.words[i]);
+            max = max.max(rk.words[i]);
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    let size = (max - min) as usize + 1;
+    if size > DENSE_JOIN_MAX || size > (right_len * 8).max(1024) {
+        return None;
+    }
+    let mut heads = vec![NULL_IDX; size];
+    let mut next = vec![NULL_IDX; right_len];
+    for i in (0..right_len).rev() {
+        if rk.ok[i] {
+            let s = (rk.words[i] - min) as usize;
+            next[i] = heads[s];
+            heads[s] = i as u32;
+        }
+    }
+    let chunks: Vec<(Vec<u32>, Vec<u32>)> = per_morsel(lk.ok.len(), |rg| {
+        // A morsel of an FK join typically emits about one pair per probe
+        // row; reserving that up front skips the doubling reallocations.
+        let mut l_out = Vec::with_capacity(rg.len());
+        let mut r_out = Vec::with_capacity(rg.len());
+        for i in rg {
+            let d = lk.words[i].wrapping_sub(min);
+            let mut m = if lk.ok[i] && d < size as u64 { heads[d as usize] } else { NULL_IDX };
+            if m == NULL_IDX {
+                if kind == JoinKind::Left {
+                    l_out.push(i as u32);
+                    r_out.push(NULL_IDX);
+                }
+                continue;
+            }
+            while m != NULL_IDX {
+                l_out.push(i as u32);
+                r_out.push(m);
+                m = next[m as usize];
+            }
+        }
+        (l_out, r_out)
+    });
+    let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
+    let mut l_out = Vec::with_capacity(total);
+    let mut r_out = Vec::with_capacity(total);
+    for (mut l, mut r) in chunks {
+        l_out.append(&mut l);
+        r_out.append(&mut r);
+    }
+    Some((l_out, r_out))
 }
 
 /// The join skeleton, generic over the key type. `lkey`/`rkey` return `None`
@@ -808,37 +1206,71 @@ fn hash_join(left: &Relation, right: &Relation, left_on: &[String], right_on: &[
 /// [`NULL_IDX`].
 ///
 /// Builds on the right side, probes with the left (FK joins probe the big
-/// side in DW flows). The build is partitioned: each morsel hashes its rows
-/// into a local table, and the locals merge in morsel order, so every key's
-/// match list is in ascending row order — exactly what a serial build
-/// produces. The probe emits `(left row, right row)` index pairs per morsel,
-/// concatenated in morsel order.
-fn join_core<K, L, R>(left_len: usize, right_len: usize, kind: JoinKind, lkey: L, rkey: R) -> (Vec<u32>, Vec<u32>)
+/// side in DW flows). The build is radix-partitioned on `part` (a pure
+/// function of the key): each morsel scatters its keyed rows into `npart`
+/// buckets, the buckets transpose to partition-major, and each partition
+/// builds its own table from its buckets in morsel order — in parallel,
+/// with no synchronization, since a key lives in exactly one partition.
+/// Within each key the match list stays in ascending row order, exactly
+/// what a serial build produces. The probe walks the left side per morsel
+/// in original order, routing each key to its partition's table, so the
+/// emitted `(left row, right row)` pairs concatenate bit-identically to a
+/// single-table probe.
+fn join_core<K, P, L, R>(
+    left_len: usize,
+    right_len: usize,
+    kind: JoinKind,
+    npart: usize,
+    part: P,
+    lkey: L,
+    rkey: R,
+) -> (Vec<u32>, Vec<u32>)
 where
     K: Hash + Eq + Send + Sync,
+    P: Fn(&K) -> usize + Sync,
     L: Fn(usize) -> Option<K> + Sync,
     R: Fn(usize) -> Option<K> + Sync,
 {
-    let parts: Vec<HashMap<K, Vec<u32>>> = per_morsel(right_len, |rg| {
-        let mut m: HashMap<K, Vec<u32>> = HashMap::new();
+    // One partition's build entries, one inner Vec per source morsel.
+    type Buckets<K> = Vec<Vec<(K, u32)>>;
+    // Build, pass 1: per-morsel scatter into partition buckets.
+    let scattered: Vec<Buckets<K>> = per_morsel(right_len, |rg| {
+        let mut buckets: Buckets<K> = (0..npart).map(|_| Vec::new()).collect();
         for i in rg {
             if let Some(k) = rkey(i) {
-                m.entry(k).or_default().push(i as u32);
+                let p = part(&k);
+                buckets[p].push((k, i as u32));
+            }
+        }
+        buckets
+    });
+    // Transpose morsel-major → partition-major. Pure moves, no clones.
+    let mut by_part: Vec<Buckets<K>> = (0..npart).map(|_| Vec::with_capacity(scattered.len())).collect();
+    for morsel in scattered {
+        for (p, bucket) in morsel.into_iter().enumerate() {
+            by_part[p].push(bucket);
+        }
+    }
+    // Build, pass 2: per-partition tables in parallel. The mutexes only
+    // hand ownership of a partition's buckets to the one job that takes
+    // them — they are never contended.
+    let slots: Vec<Mutex<Buckets<K>>> = by_part.into_iter().map(Mutex::new).collect();
+    let tables: Vec<FastMap<K, Vec<u32>>> = pool::run_indexed(npart, |p| {
+        let buckets = std::mem::take(&mut *slots[p].lock().expect("bucket mutex never poisons"));
+        let mut m: FastMap<K, Vec<u32>> = FastMap::default();
+        for bucket in buckets {
+            for (k, i) in bucket {
+                m.entry(k).or_default().push(i);
             }
         }
         m
     });
-    let mut build: HashMap<K, Vec<u32>> = HashMap::with_capacity(right_len);
-    for part in parts {
-        for (k, mut ids) in part {
-            build.entry(k).or_default().append(&mut ids);
-        }
-    }
+    // Probe per morsel in original order, partition computed on the fly.
     let chunks: Vec<(Vec<u32>, Vec<u32>)> = per_morsel(left_len, |rg| {
-        let mut l_out = Vec::new();
-        let mut r_out = Vec::new();
+        let mut l_out = Vec::with_capacity(rg.len());
+        let mut r_out = Vec::with_capacity(rg.len());
         for i in rg {
-            match lkey(i).and_then(|k| build.get(&k)) {
+            match lkey(i).and_then(|k| tables[part(&k)].get(&k)) {
                 Some(ms) => {
                     for &m in ms {
                         l_out.push(i as u32);
@@ -855,8 +1287,9 @@ where
         }
         (l_out, r_out)
     });
-    let mut l_out = Vec::new();
-    let mut r_out = Vec::new();
+    let total: usize = chunks.iter().map(|(l, _)| l.len()).sum();
+    let mut l_out = Vec::with_capacity(total);
+    let mut r_out = Vec::with_capacity(total);
     for (mut l, mut r) in chunks {
         l_out.append(&mut l);
         r_out.append(&mut r);
@@ -875,6 +1308,42 @@ pub(crate) enum AggState {
     Min(Option<Value>),
     Max(Option<Value>),
     Count(u64),
+}
+
+/// A measure whose per-morsel fold runs column-at-a-time: `SUM`/`AVG` over
+/// a numeric vector (or numeric constant) reduce to plain `f64` adds, and
+/// `COUNT` needs no values at all. Anything else — `MIN`/`MAX` (which keep
+/// `Value`s), non-numeric vectors whose accumulation must surface a type
+/// error per row, `Mixed` columns — stays on the [`accumulate`] path.
+enum FastFold<'a> {
+    F64(NumSrc<'a>, Option<&'a Bitmap>),
+    Count,
+}
+
+/// The numeric view behind a [`FastFold::F64`] lane.
+enum NumSrc<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+    Const(f64),
+}
+
+fn fast_fold<'a>(fresh: &AggState, vek: &'a Vek) -> Option<FastFold<'a>> {
+    if matches!(fresh, AggState::Count(_)) {
+        return Some(FastFold::Count);
+    }
+    if !matches!(fresh, AggState::Sum(..) | AggState::Avg(..)) {
+        return None;
+    }
+    match vek {
+        Vek::Const(Value::Int(v)) => Some(FastFold::F64(NumSrc::Const(*v as f64), None)),
+        Vek::Const(Value::Float(v)) => Some(FastFold::F64(NumSrc::Const(*v), None)),
+        Vek::Col(c) => match c.data() {
+            ColumnData::Float(v) => Some(FastFold::F64(NumSrc::F(v), c.validity())),
+            ColumnData::Int(v) => Some(FastFold::F64(NumSrc::I(v), c.validity())),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 /// Folds one evaluated measure value into an accumulator.
@@ -959,64 +1428,171 @@ pub(crate) fn finalize_state(state: AggState) -> Value {
 
 /// The aggregation skeleton, generic over the group-key type: two-phase
 /// parallel aggregation keeping `(key, first-seen row, accumulators)` per
-/// group. Phase 1 folds each morsel into a local insertion-ordered table —
-/// measures evaluate column-at-a-time per morsel before the fold. Phase 2
-/// merges the locals in morsel order, keeping the earliest first-seen row,
-/// so group keys come out in global first-occurrence order and the combined
-/// accumulators are a pure function of the morsel structure — identical for
-/// serial and parallel runs at any thread count. (Within one morsel,
-/// evaluation errors surface measure-major rather than row-major — still
-/// deterministic, since morsel order breaks ties across morsels.)
-fn agg_core<K, F>(
-    input: &Relation,
+/// group. Phase 1 folds each morsel into `npart` local insertion-ordered
+/// tables, segregated by the key's radix partition — measures evaluate
+/// column-at-a-time per morsel before the fold. Phase 2 merges each
+/// partition's locals independently (in parallel), in morsel order within
+/// the partition, keeping the earliest first-seen row. A key lives in
+/// exactly one partition, so the final sort by first-seen row reproduces
+/// global first-occurrence order — the combined accumulators and their
+/// order are a pure function of the morsel structure and the key values,
+/// identical for serial and parallel runs at any thread count. (Within one
+/// morsel, evaluation errors surface measure-major rather than row-major —
+/// still deterministic, since morsel order breaks ties across morsels.)
+#[allow(clippy::too_many_arguments)]
+fn agg_core<K, P, F>(
+    cols: &[Arc<Col>],
+    len: usize,
     measures: &[CompiledExpr],
     fresh: &[AggState],
+    npart: usize,
+    part: P,
     keyf: F,
 ) -> Result<LocalAggTable<K>, EvalError>
 where
     K: Hash + Eq + Clone + Send,
+    P: Fn(&K) -> usize + Sync,
     F: Fn(usize) -> K + Sync,
 {
-    let cols = input.columns();
-    let locals: Vec<Result<LocalAggTable<K>, EvalError>> = per_morsel(input.len(), |rg| {
+    let locals: Vec<Result<Vec<LocalAggTable<K>>, EvalError>> = per_morsel(len, |rg| {
         let sel = RowSel::Range(rg.clone());
         let veks: Vec<Vek> = measures.iter().map(|m| eval_vector(m, cols, &sel)).collect::<Result<_, _>>()?;
-        let mut index: HashMap<K, usize> = HashMap::new();
-        let mut groups: LocalAggTable<K> = Vec::new();
-        for (off, i) in rg.enumerate() {
+        // Pass 1: resolve each row to a group id (first-seen order), one
+        // hash probe per row and nothing else.
+        let mut index: FastMap<K, u32> = FastMap::default();
+        let mut parts: Vec<LocalAggTable<K>> = (0..npart).map(|_| Vec::new()).collect();
+        let mut created: Vec<(u32, u32)> = Vec::new(); // gid → (partition, slot)
+        let mut gids: Vec<u32> = Vec::with_capacity(rg.len());
+        for i in rg.clone() {
             let key = keyf(i);
-            let slot = match index.get(&key) {
-                Some(&s) => s,
+            let gid = match index.get(&key) {
+                Some(&g) => g,
                 None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, i as u32, fresh.to_vec()));
-                    groups.len() - 1
+                    let p = part(&key);
+                    let g = created.len() as u32;
+                    created.push((p as u32, parts[p].len() as u32));
+                    index.insert(key.clone(), g);
+                    parts[p].push((key, i as u32, fresh.to_vec()));
+                    g
                 }
             };
-            for (state, vek) in groups[slot].2.iter_mut().zip(&veks) {
-                accumulate(state, vek.value(off))?;
-            }
+            gids.push(gid);
         }
-        Ok(groups)
-    });
-    // Phase 2: merge locals in morsel order.
-    let mut index: HashMap<K, usize> = HashMap::new();
-    let mut groups: LocalAggTable<K> = Vec::new();
-    for local in locals {
-        for (key, first, states) in local? {
-            match index.get(&key) {
-                Some(&slot) => {
-                    for (into, from) in groups[slot].2.iter_mut().zip(states) {
-                        merge_state(into, from);
+        // Pass 2: fold each measure column-at-a-time over the resolved
+        // slots. `SUM`/`AVG` over numeric vectors and `COUNT` run through
+        // flat buffers — the same adds in the same row order as the
+        // row-at-a-time fold, so the result bits are identical; everything
+        // else (MIN/MAX, non-numeric, dirty columns) takes the `Value`
+        // path per row.
+        for (m, vek) in veks.iter().enumerate() {
+            match fast_fold(&fresh[m], vek) {
+                Some(FastFold::Count) => {
+                    let mut counts = vec![0u64; created.len()];
+                    for &g in &gids {
+                        counts[g as usize] += 1;
+                    }
+                    for (g, &(p, s)) in created.iter().enumerate() {
+                        parts[p as usize][s as usize].2[m] = AggState::Count(counts[g]);
+                    }
+                }
+                Some(FastFold::F64(src, validity)) => {
+                    let mut acc = vec![0.0f64; created.len()];
+                    let mut cnt = vec![0u64; created.len()];
+                    match (src, validity) {
+                        (NumSrc::F(vs), None) => {
+                            for (off, &g) in gids.iter().enumerate() {
+                                acc[g as usize] += vs[off];
+                                cnt[g as usize] += 1;
+                            }
+                        }
+                        (NumSrc::F(vs), Some(bm)) => {
+                            for (off, &g) in gids.iter().enumerate() {
+                                if bm.get(off) {
+                                    acc[g as usize] += vs[off];
+                                    cnt[g as usize] += 1;
+                                }
+                            }
+                        }
+                        (NumSrc::I(vs), None) => {
+                            for (off, &g) in gids.iter().enumerate() {
+                                acc[g as usize] += vs[off] as f64;
+                                cnt[g as usize] += 1;
+                            }
+                        }
+                        (NumSrc::I(vs), Some(bm)) => {
+                            for (off, &g) in gids.iter().enumerate() {
+                                if bm.get(off) {
+                                    acc[g as usize] += vs[off] as f64;
+                                    cnt[g as usize] += 1;
+                                }
+                            }
+                        }
+                        (NumSrc::Const(c), _) => {
+                            for &g in &gids {
+                                acc[g as usize] += c;
+                                cnt[g as usize] += 1;
+                            }
+                        }
+                    }
+                    for (g, &(p, s)) in created.iter().enumerate() {
+                        parts[p as usize][s as usize].2[m] = match fresh[m] {
+                            AggState::Sum(..) => AggState::Sum(acc[g], cnt[g] > 0),
+                            _ => AggState::Avg(acc[g], cnt[g]),
+                        };
                     }
                 }
                 None => {
-                    index.insert(key.clone(), groups.len());
-                    groups.push((key, first, states));
+                    for (off, &g) in gids.iter().enumerate() {
+                        let (p, s) = created[g as usize];
+                        accumulate(&mut parts[p as usize][s as usize].2[m], vek.value(off))?;
+                    }
                 }
             }
         }
+        Ok(parts)
+    });
+    // Surface the first error in morsel order — deterministic under any
+    // thread count.
+    let mut per_morsel_parts: Vec<Vec<LocalAggTable<K>>> = Vec::with_capacity(locals.len());
+    for l in locals {
+        per_morsel_parts.push(l?);
     }
+    // Transpose morsel-major → partition-major (pure moves), then merge
+    // each partition's locals in morsel order, in parallel. The mutexes
+    // only hand ownership to the one merging job — never contended.
+    let mut by_part: Vec<Vec<LocalAggTable<K>>> =
+        (0..npart).map(|_| Vec::with_capacity(per_morsel_parts.len())).collect();
+    for morsel in per_morsel_parts {
+        for (p, t) in morsel.into_iter().enumerate() {
+            by_part[p].push(t);
+        }
+    }
+    let slots: Vec<Mutex<Vec<LocalAggTable<K>>>> = by_part.into_iter().map(Mutex::new).collect();
+    let merged: Vec<LocalAggTable<K>> = pool::run_indexed(npart, |p| {
+        let tables = std::mem::take(&mut *slots[p].lock().expect("partition mutex never poisons"));
+        let mut index: FastMap<K, usize> = FastMap::default();
+        let mut groups: LocalAggTable<K> = Vec::new();
+        for local in tables {
+            for (key, first, states) in local {
+                match index.get(&key) {
+                    Some(&slot) => {
+                        for (into, from) in groups[slot].2.iter_mut().zip(states) {
+                            merge_state(into, from);
+                        }
+                    }
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, first, states));
+                    }
+                }
+            }
+        }
+        groups
+    });
+    // First-seen rows are unique across groups (a row belongs to one
+    // group), so sorting by them restores exact serial insertion order.
+    let mut groups: LocalAggTable<K> = merged.into_iter().flatten().collect();
+    groups.sort_by_key(|g| g.1);
     Ok(groups)
 }
 
@@ -1033,22 +1609,26 @@ fn drop_keys<K>(groups: LocalAggTable<K>) -> Vec<(u32, Vec<AggState>)> {
 /// unless a `Mixed` column forces `Value`-row keys; measures evaluate
 /// vectorized per morsel; the output's group columns gather at each group's
 /// first-seen row and the aggregate columns build from finalized
-/// accumulators.
+/// accumulators. Only the group and measure columns materialize from a late
+/// input; encoded keys aggregate radix-partitioned ([`agg_core`]).
 fn hash_aggregate(
-    input: &Relation,
+    input: &Batch,
     group_by: &[String],
     aggregates: &[AggSpec],
     op_name: &str,
 ) -> Result<Relation, EvalError> {
-    check_row_capacity(input.len());
+    let len = input.len();
+    check_row_capacity(len);
     let schema = OpKind::Aggregation { group_by: group_by.to_vec(), aggregates: aggregates.to_vec() }
-        .output_schema(op_name, std::slice::from_ref(&input.schema))
+        .output_schema(op_name, std::slice::from_ref(input.schema()))
         .expect("validated before execution");
     let g_idx: Vec<usize> = group_by.iter().map(|c| input.col(c)).collect();
     // Bind measure expressions and aggregate functions once, up front.
     let measures: Vec<CompiledExpr> = aggregates
         .iter()
-        .map(|a| CompiledExpr::compile(&a.input, &input.schema).map_err(|UnboundColumn(c)| EvalError::UnknownColumn(c)))
+        .map(|a| {
+            CompiledExpr::compile(&a.input, input.schema()).map_err(|UnboundColumn(c)| EvalError::UnknownColumn(c))
+        })
         .collect::<Result<_, _>>()?;
     let fresh_states: Vec<AggState> = aggregates
         .iter()
@@ -1060,19 +1640,59 @@ fn hash_aggregate(
             _ => AggState::Count(0),
         })
         .collect();
+    let cols = input.cols_for(&used_columns(&measures.iter().collect::<Vec<_>>(), &g_idx));
+    let cols = cols.as_slice();
 
     let mut groups: Vec<(u32, Vec<AggState>)> = if g_idx.is_empty() {
-        drop_keys(agg_core(input, &measures, &fresh_states, |_| ())?)
+        drop_keys(agg_core(cols, len, &measures, &fresh_states, 1, |_: &()| 0, |_| ())?)
     } else {
-        match plan_group_keys(input, &g_idx) {
+        let g_cols: Vec<&Col> = g_idx.iter().map(|&c| cols[c].as_ref()).collect();
+        match plan_group_keys(&g_cols, len) {
             GroupKeyPlan::Values => {
-                let keyf = |i: usize| -> Row { g_idx.iter().map(|&c| input.column(c).value(i)).collect() };
-                drop_keys(agg_core(input, &measures, &fresh_states, keyf)?)
+                let keyf = |i: usize| -> Row { g_idx.iter().map(|&c| cols[c].value(i)).collect() };
+                drop_keys(agg_core(cols, len, &measures, &fresh_states, 1, |_: &Row| 0, keyf)?)
             }
-            GroupKeyPlan::Encoded(sk) => match sk.width {
-                2 => drop_keys(agg_core(input, &measures, &fresh_states, |i| pack2(sk.row(i)))?),
-                _ => drop_keys(agg_core(input, &measures, &fresh_states, |i| sk.row(i).to_vec().into_boxed_slice())?),
-            },
+            GroupKeyPlan::Encoded(sk) => {
+                let npart = radix_partition_count(len);
+                match sk.width {
+                    1 => drop_keys(agg_core(
+                        cols,
+                        len,
+                        &measures,
+                        &fresh_states,
+                        npart,
+                        move |k: &u64| radix_of(*k, npart),
+                        |i| sk.words[i],
+                    )?),
+                    2 => drop_keys(agg_core(
+                        cols,
+                        len,
+                        &measures,
+                        &fresh_states,
+                        npart,
+                        move |k: &u128| radix_of(fold128(*k), npart),
+                        |i| pack2(sk.row(i)),
+                    )?),
+                    3 | 4 => drop_keys(agg_core(
+                        cols,
+                        len,
+                        &measures,
+                        &fresh_states,
+                        npart,
+                        move |k: &[u64; 4]| radix_of(fold_words(k), npart),
+                        |i| pack4(sk.row(i)),
+                    )?),
+                    _ => drop_keys(agg_core::<Box<[u64]>, _, _>(
+                        cols,
+                        len,
+                        &measures,
+                        &fresh_states,
+                        npart,
+                        move |k| radix_of(fold_words(k), npart),
+                        |i| sk.row(i).to_vec().into_boxed_slice(),
+                    )?),
+                }
+            }
         }
     };
     // A global aggregation over zero rows still yields one row of neutral
@@ -1082,7 +1702,7 @@ fn hash_aggregate(
         groups.push((0, fresh_states.clone()));
     }
     let firsts: Vec<u32> = groups.iter().map(|(first, _)| *first).collect();
-    let mut columns: Vec<Arc<Col>> = g_idx.iter().map(|&c| Arc::new(input.column(c).gather(&firsts))).collect();
+    let mut columns: Vec<Arc<Col>> = g_idx.iter().map(|&c| Arc::new(cols[c].gather(&firsts))).collect();
     for (j, sc) in schema.columns[group_by.len()..].iter().enumerate() {
         let mut b = ColumnBuilder::new(sc.ty);
         for (_, states) in &groups {
@@ -1926,19 +2546,58 @@ mod tests {
             &c,
             "P",
             &OpKind::Projection { columns: vec!["l_discount".into()] },
-            std::slice::from_ref(&lineitem),
+            &[Batch::Rel(Arc::clone(&lineitem))],
         )
         .unwrap();
+        let Batch::Rel(out) = out else { panic!("projection of a materialized input stays materialized") };
         assert!(Arc::ptr_eq(out.column(0), lineitem.column(2)), "projection shares the picked column");
         // An all-true selection returns the input relation itself.
         let out = execute_pure(
             &c,
             "S",
             &OpKind::Selection { predicate: parse_expr("l_extendedprice > 0").unwrap() },
-            std::slice::from_ref(&lineitem),
+            &[Batch::Rel(Arc::clone(&lineitem))],
         )
         .unwrap();
+        let Batch::Rel(out) = out else { panic!("all-true selection stays materialized") };
         assert!(Arc::ptr_eq(&out, &lineitem), "all-true selection is a pass-through");
+    }
+
+    #[test]
+    fn filtered_join_composes_selections_and_gathers_payload_once() {
+        // A row-dropping selection, a projection, and a join all stay late;
+        // only materializing the final batch gathers the payload column —
+        // and doing it twice reuses the memoized gather.
+        let c = catalog();
+        let lineitem = Batch::Rel(c.get_shared("lineitem").unwrap());
+        let orders = Batch::Rel(c.get_shared("orders").unwrap());
+        let sel = execute_pure(
+            &c,
+            "S",
+            &OpKind::Selection { predicate: parse_expr("l_extendedprice < 150").unwrap() },
+            &[lineitem],
+        )
+        .unwrap();
+        assert!(matches!(sel, Batch::Lazy(_)), "row-dropping selection stays late");
+        let joined = hash_join(&sel, &orders, &["l_orderkey".into()], &["o_orderkey".into()], JoinKind::Inner);
+        let Batch::Lazy(lz) = &joined else { panic!("join output stays late") };
+        assert!(lz.cols.iter().all(|lc| lc.done.get().is_none()), "no payload gathered before a consumer asks");
+        let once = joined.materialize();
+        let twice = joined.materialize();
+        assert!(Arc::ptr_eq(once.column(1), twice.column(1)), "second materialization reuses the memoized gather");
+        assert_eq!(
+            once.to_rows(),
+            vec![vec![Value::Int(1), Value::Float(100.0), Value::Float(0.05), Value::Int(1), Value::Str("O".into()),]]
+        );
+    }
+
+    #[test]
+    fn radix_partition_count_is_a_pure_function_of_length() {
+        assert_eq!(radix_partition_count(0), 1);
+        assert_eq!(radix_partition_count(MORSEL_ROWS * 2 - 1), 1);
+        assert_eq!(radix_partition_count(MORSEL_ROWS * 2), 2);
+        assert_eq!(radix_partition_count(MORSEL_ROWS * 5), 8, "rounds up to a power of two");
+        assert_eq!(radix_partition_count(usize::MAX / 2), MAX_RADIX_PARTITIONS);
     }
 
     #[test]
@@ -1953,8 +2612,14 @@ mod tests {
             Schema::new(vec![Column::new("rk", ColType::Decimal)]),
             vec![vec![Value::Float(2.0)], vec![Value::Float(3.0)]],
         );
-        let out = hash_join(&left, &right, &["k".into()], &["rk".into()], JoinKind::Inner);
-        assert_eq!(out.to_rows(), vec![vec![Value::Int(2), Value::Float(2.0)]]);
+        let out = hash_join(
+            &Batch::Rel(Arc::new(left)),
+            &Batch::Rel(Arc::new(right)),
+            &["k".into()],
+            &["rk".into()],
+            JoinKind::Inner,
+        );
+        assert_eq!(out.materialize().to_rows(), vec![vec![Value::Int(2), Value::Float(2.0)]]);
     }
 
     #[test]
@@ -1969,9 +2634,15 @@ mod tests {
             Schema::new(vec![Column::new("rs", ColType::Text), Column::new("tag", ColType::Integer)]),
             vec![vec![Value::Str("b".into()), Value::Int(1)], vec![Value::Str("a".into()), Value::Int(2)]],
         );
-        let out = hash_join(&left, &right, &["s".into()], &["rs".into()], JoinKind::Inner);
+        let out = hash_join(
+            &Batch::Rel(Arc::new(left)),
+            &Batch::Rel(Arc::new(right)),
+            &["s".into()],
+            &["rs".into()],
+            JoinKind::Inner,
+        );
         assert_eq!(
-            out.to_rows(),
+            out.materialize().to_rows(),
             vec![
                 vec![Value::Str("a".into()), Value::Str("a".into()), Value::Int(2)],
                 vec![Value::Str("b".into()), Value::Str("b".into()), Value::Int(1)],

@@ -21,7 +21,6 @@
 //! keys carry an extra null-mask word.
 
 use crate::column::{Column, ColumnData, StringPool};
-use crate::relation::Relation;
 use std::collections::HashMap;
 
 /// Word marking a probe-side string with no build-side dictionary code.
@@ -55,17 +54,17 @@ pub(crate) enum JoinKeyPlan {
     },
 }
 
-/// Plans fixed-width keys for `left ⋈ right` on the given column indices.
-/// `right` is the build side: string words are its dictionary codes.
-pub(crate) fn plan_join_keys(left: &Relation, right: &Relation, l_idx: &[usize], r_idx: &[usize]) -> JoinKeyPlan {
-    let width = l_idx.len();
-    let mut lw = vec![0u64; left.len() * width];
-    let mut rw = vec![0u64; right.len() * width];
-    let mut l_ok = vec![true; left.len()];
-    let mut r_ok = vec![true; right.len()];
-    for (j, (&lc, &rc)) in l_idx.iter().zip(r_idx).enumerate() {
-        let l = left.column(lc).as_ref();
-        let r = right.column(rc).as_ref();
+/// Plans fixed-width keys for `left ⋈ right` over the picked key columns
+/// (pairwise, in key order). `right` is the build side: string words are
+/// its dictionary codes. Taking columns instead of whole relations lets a
+/// late-materializing caller gather only the key columns.
+pub(crate) fn plan_join_keys(l_cols: &[&Column], left_len: usize, r_cols: &[&Column], right_len: usize) -> JoinKeyPlan {
+    let width = l_cols.len();
+    let mut lw = vec![0u64; left_len * width];
+    let mut rw = vec![0u64; right_len * width];
+    let mut l_ok = vec![true; left_len];
+    let mut r_ok = vec![true; right_len];
+    for (j, (&l, &r)) in l_cols.iter().zip(r_cols).enumerate() {
         match classify(l.data(), r.data()) {
             Pair::Values => return JoinKeyPlan::Values,
             Pair::Never => return JoinKeyPlan::Never,
@@ -92,49 +91,30 @@ pub(crate) fn plan_join_keys(left: &Relation, right: &Relation, l_idx: &[usize],
 pub(crate) enum GroupKeyPlan {
     /// A `Mixed` group column: fall back to `Value`-row keys.
     Values,
-    /// `g + 1` words per row: one per group column plus a null-mask word
-    /// (bit `j` set = column `j` is NULL in that row). NULL payload words
-    /// are normalized to zero so all NULLs land in one group.
+    /// One word per group column, plus — only when some group column is
+    /// nullable — a trailing null-mask word (bit `j` set = column `j` is
+    /// NULL in that row). NULL payload words are normalized to zero so all
+    /// NULLs land in one group. All-non-null inputs skip the mask word
+    /// entirely, which drops common 1–2 column keys a width class.
     Encoded(SideKeys),
 }
 
-/// Plans fixed-width group keys over one relation's columns. Within a
+/// Plans fixed-width group keys over the picked group columns. Within a
 /// single column, word equality coincides with `Value` equality: an `Int`
 /// column never meets a `Float` cross-type (that would be `Mixed`), and a
 /// dictionary column's equal strings always share a code.
-pub(crate) fn plan_group_keys(input: &Relation, g_idx: &[usize]) -> GroupKeyPlan {
-    let width = g_idx.len() + 1;
-    let n = input.len();
+pub(crate) fn plan_group_keys(g_cols: &[&Column], n: usize) -> GroupKeyPlan {
+    let nullable = g_cols.iter().any(|c| c.validity().is_some());
+    let width = g_cols.len() + usize::from(nullable);
     let mut words = vec![0u64; n * width];
-    for (j, &gc) in g_idx.iter().enumerate() {
-        let c = input.column(gc).as_ref();
+    for (j, &c) in g_cols.iter().enumerate() {
         match c.data() {
             ColumnData::Mixed(_) => return GroupKeyPlan::Values,
-            ColumnData::Int(v) => {
-                for (i, &x) in v.iter().enumerate() {
-                    words[i * width + j] = x as u64;
-                }
-            }
-            ColumnData::Float(v) => {
-                for (i, &x) in v.iter().enumerate() {
-                    words[i * width + j] = x.to_bits();
-                }
-            }
-            ColumnData::Date(v) => {
-                for (i, &x) in v.iter().enumerate() {
-                    words[i * width + j] = x as i64 as u64;
-                }
-            }
-            ColumnData::Bool(v) => {
-                for (i, &x) in v.iter().enumerate() {
-                    words[i * width + j] = x as u64;
-                }
-            }
-            ColumnData::Dict { codes, .. } => {
-                for (i, &c) in codes.iter().enumerate() {
-                    words[i * width + j] = c as u64;
-                }
-            }
+            ColumnData::Int(v) => stride_write(v, j, width, &mut words, |x| x as u64),
+            ColumnData::Float(v) => stride_write(v, j, width, &mut words, |x| x.to_bits()),
+            ColumnData::Date(v) => stride_write(v, j, width, &mut words, |x| x as i64 as u64),
+            ColumnData::Bool(v) => stride_write(v, j, width, &mut words, |x| x as u64),
+            ColumnData::Dict { codes, .. } => stride_write(codes, j, width, &mut words, |c| c as u64),
             ColumnData::Str(v) => {
                 // Dictionary-overflow column: intern on the fly so equal
                 // strings share a word (id by first occurrence).
@@ -183,23 +163,27 @@ fn classify(l: &ColumnData, r: &ColumnData) -> Pair {
     }
 }
 
+/// Writes `f(src[i])` to `out[i * width + j]`. Single-column keys
+/// (`width == 1`) take a dense loop the compiler can vectorize; the strided
+/// multi-column form defeats autovectorization because `width` is runtime.
+#[inline]
+fn stride_write<T: Copy>(src: &[T], j: usize, width: usize, out: &mut [u64], f: impl Fn(T) -> u64) {
+    if width == 1 {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = f(x);
+        }
+    } else {
+        for (i, &x) in src.iter().enumerate() {
+            out[i * width + j] = f(x);
+        }
+    }
+}
+
 fn encode_exact(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) {
     match c.data() {
-        ColumnData::Int(v) => {
-            for (i, &x) in v.iter().enumerate() {
-                out[i * width + j] = x as u64;
-            }
-        }
-        ColumnData::Date(v) => {
-            for (i, &x) in v.iter().enumerate() {
-                out[i * width + j] = x as i64 as u64;
-            }
-        }
-        ColumnData::Bool(v) => {
-            for (i, &x) in v.iter().enumerate() {
-                out[i * width + j] = x as u64;
-            }
-        }
+        ColumnData::Int(v) => stride_write(v, j, width, out, |x| x as u64),
+        ColumnData::Date(v) => stride_write(v, j, width, out, |x| x as i64 as u64),
+        ColumnData::Bool(v) => stride_write(v, j, width, out, |x| x as u64),
         _ => unreachable!("classified Exact"),
     }
     mask_nulls(c, ok);
@@ -207,16 +191,8 @@ fn encode_exact(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [b
 
 fn encode_f64(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) {
     match c.data() {
-        ColumnData::Int(v) => {
-            for (i, &x) in v.iter().enumerate() {
-                out[i * width + j] = (x as f64).to_bits();
-            }
-        }
-        ColumnData::Float(v) => {
-            for (i, &x) in v.iter().enumerate() {
-                out[i * width + j] = x.to_bits();
-            }
-        }
+        ColumnData::Int(v) => stride_write(v, j, width, out, |x| (x as f64).to_bits()),
+        ColumnData::Float(v) => stride_write(v, j, width, out, |x| x.to_bits()),
         _ => unreachable!("classified F64"),
     }
     mask_nulls(c, ok);
@@ -227,9 +203,7 @@ fn encode_f64(c: &Column, j: usize, width: usize, out: &mut [u64], ok: &mut [boo
 fn build_str_words<'a>(c: &'a Column, j: usize, width: usize, out: &mut [u64], ok: &mut [bool]) -> StrResolver<'a> {
     let resolver = match c.data() {
         ColumnData::Dict { codes, pool } => {
-            for (i, &code) in codes.iter().enumerate() {
-                out[i * width + j] = code as u64;
-            }
+            stride_write(codes, j, width, out, |code| code as u64);
             StrResolver::Pool(pool)
         }
         ColumnData::Str(v) => {
@@ -307,12 +281,135 @@ pub(crate) fn pack2(w: &[u64]) -> u128 {
     (w[0] as u128) << 64 | w[1] as u128
 }
 
+/// Packs a three- or four-word key into an inline array (zero-padded), so
+/// mid-width group keys hash without a per-row heap allocation.
+pub(crate) fn pack4(w: &[u64]) -> [u64; 4] {
+    let mut k = [0u64; 4];
+    k[..w.len()].copy_from_slice(w);
+    k
+}
+
+/// Hasher state for the engine's internal hash tables (join builds, group
+/// indexes, upsert key indexes): a multiply-rotate fold per word. The keys
+/// hashed here are encoded words or engine-generated rows, so SipHash's
+/// flood resistance buys nothing while costing ~20 ns per probe — on a
+/// 60k-row probe side that is the join. Not for maps keyed by untrusted
+/// external input.
+pub(crate) struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn fold(&mut self, w: u64) {
+        self.0 = (self.0.rotate_left(26) ^ w).wrapping_mul(FIB);
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // hashbrown derives the bucket index from the low bits and the
+        // control byte from the top bits; the xor-fold feeds entropy to both.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(w) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FastHasher`]; plug into
+/// [`FastMap`]/[`FastSet`] via `Default`.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct FastHash;
+
+impl std::hash::BuildHasher for FastHash {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(0)
+    }
+}
+
+pub(crate) type FastMap<K, V> = HashMap<K, V, FastHash>;
+pub(crate) type FastSet<T> = std::collections::HashSet<T, FastHash>;
+
+/// Fibonacci multiplicative constant (the golden-ratio word) spreading key
+/// entropy into the high bits.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The radix partition of a hashed key word: the top `log2(npart)` bits
+/// after a Fibonacci multiply. Hashing before taking bits matters — the raw
+/// low bits of common keys are degenerate (the `f64` bit pattern of an
+/// integral float has an all-zero low mantissa; dictionary codes are dense
+/// from zero), and the multiply redistributes them. `npart` must be a power
+/// of two; a single partition short-circuits (and keeps the shift in
+/// range).
+pub(crate) fn radix_of(h: u64, npart: usize) -> usize {
+    debug_assert!(npart.is_power_of_two());
+    if npart == 1 {
+        return 0;
+    }
+    (h.wrapping_mul(FIB) >> (64 - npart.trailing_zeros())) as usize
+}
+
+/// Folds a packed two-word key into one word for partitioning.
+pub(crate) fn fold128(k: u128) -> u64 {
+    (k as u64) ^ ((k >> 64) as u64).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Folds an arbitrary-width key into one word for partitioning (FNV-style).
+pub(crate) fn fold_words(w: &[u64]) -> u64 {
+    w.iter().fold(0xcbf2_9ce4_8422_2325, |acc, &x| (acc ^ x).wrapping_mul(0x100_0000_01b3))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::column::ColumnBuilder;
+    use crate::relation::Relation;
     use crate::value::Value;
     use quarry_etl::{ColType, Column as SchemaCol, Schema};
+
+    /// Picks every column of `r` as a key column, in order.
+    fn keycols(r: &Relation) -> Vec<&Column> {
+        (0..r.columns().len()).map(|i| r.column(i).as_ref()).collect()
+    }
 
     fn rel(cols: Vec<(&str, ColType, Vec<Value>)>) -> Relation {
         let schema = Schema::new(cols.iter().map(|(n, ty, _)| SchemaCol::new(*n, *ty)).collect());
@@ -333,7 +430,7 @@ mod tests {
     fn int_int_pairs_encode_exactly() {
         let l = rel(vec![("k", ColType::Integer, vec![Value::Int(-1), Value::Int(7), Value::Null])]);
         let r = rel(vec![("k", ColType::Integer, vec![Value::Int(7)])]);
-        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&keycols(&l), l.len(), &keycols(&r), r.len()) else {
             panic!("expected encoded plan")
         };
         assert_eq!(left.row(1), right.row(0));
@@ -345,7 +442,7 @@ mod tests {
     fn int_float_pairs_agree_with_value_equality() {
         let l = rel(vec![("k", ColType::Integer, vec![Value::Int(5), Value::Int(6)])]);
         let r = rel(vec![("k", ColType::Decimal, vec![Value::Float(5.0), Value::Float(6.5)])]);
-        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&keycols(&l), l.len(), &keycols(&r), r.len()) else {
             panic!("expected encoded plan")
         };
         assert_eq!(left.row(0), right.row(0), "Int(5) == Float(5.0)");
@@ -356,7 +453,7 @@ mod tests {
     fn string_probe_resolves_to_build_codes_or_misses() {
         let l = rel(vec![("s", ColType::Text, vec![Value::Str("a".into()), Value::Str("zzz".into())])]);
         let r = rel(vec![("s", ColType::Text, vec![Value::Str("b".into()), Value::Str("a".into())])]);
-        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&l, &r, &[0], &[0]) else {
+        let JoinKeyPlan::Encoded { left, right } = plan_join_keys(&keycols(&l), l.len(), &keycols(&r), r.len()) else {
             panic!("expected encoded plan")
         };
         assert_eq!(left.row(0), right.row(1), "same string, same word");
@@ -367,20 +464,40 @@ mod tests {
     fn incompatible_types_never_match_and_mixed_falls_back() {
         let ints = rel(vec![("k", ColType::Integer, vec![Value::Int(1)])]);
         let strs = rel(vec![("k", ColType::Text, vec![Value::Str("1".into())])]);
-        assert!(matches!(plan_join_keys(&ints, &strs, &[0], &[0]), JoinKeyPlan::Never));
+        assert!(matches!(plan_join_keys(&keycols(&ints), ints.len(), &keycols(&strs), strs.len()), JoinKeyPlan::Never));
 
         let mixed = rel(vec![("k", ColType::Integer, vec![Value::Int(1), Value::Str("x".into())])]);
-        assert!(matches!(plan_join_keys(&mixed, &ints, &[0], &[0]), JoinKeyPlan::Values));
+        assert!(matches!(
+            plan_join_keys(&keycols(&mixed), mixed.len(), &keycols(&ints), ints.len()),
+            JoinKeyPlan::Values
+        ));
     }
 
     #[test]
     fn group_keys_put_all_nulls_in_one_group() {
         let input = rel(vec![("g", ColType::Integer, vec![Value::Int(1), Value::Null, Value::Null, Value::Int(1)])]);
-        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&input, &[0]) else { panic!("expected encoded plan") };
+        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&keycols(&input), input.len()) else {
+            panic!("expected encoded plan")
+        };
         assert_eq!(keys.width, 2);
         assert_eq!(keys.row(1), keys.row(2), "NULL groups with NULL");
         assert_eq!(keys.row(0), keys.row(3));
         assert_ne!(keys.row(0), keys.row(1));
+    }
+
+    #[test]
+    fn fast_hash_is_deterministic_and_separates_strings() {
+        use std::hash::{BuildHasher, Hash};
+        let h = |v: &dyn Fn(&mut FastHasher)| {
+            let mut hasher = FastHash.build_hasher();
+            v(&mut hasher);
+            std::hash::Hasher::finish(&hasher)
+        };
+        assert_eq!(h(&|s| 42u64.hash(s)), h(&|s| 42u64.hash(s)));
+        assert_ne!(h(&|s| 42u64.hash(s)), h(&|s| 43u64.hash(s)));
+        assert_ne!(h(&|s| ("ab", "c").hash(s)), h(&|s| ("a", "bc").hash(s)));
+        assert_ne!(h(&|s| pack4(&[1, 2, 3]).hash(s)), h(&|s| pack4(&[1, 2, 4]).hash(s)));
+        assert_eq!(h(&|s| pack4(&[1, 2, 3]).hash(s)), h(&|s| pack4(&[1, 2, 3, 0]).hash(s)));
     }
 
     #[test]
@@ -390,7 +507,9 @@ mod tests {
             ColType::Text,
             vec![Value::Str("x".into()), Value::Str("y".into()), Value::Str("x".into())],
         )]);
-        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&input, &[0]) else { panic!("expected encoded plan") };
+        let GroupKeyPlan::Encoded(keys) = plan_group_keys(&keycols(&input), input.len()) else {
+            panic!("expected encoded plan")
+        };
         assert_eq!(keys.row(0), keys.row(2));
         assert_ne!(keys.row(0), keys.row(1));
     }

@@ -37,13 +37,14 @@ mod exec_row;
 mod keys;
 pub mod pool;
 mod relation;
+pub mod stats;
 pub mod tpch;
 mod value;
 mod vector;
 
 pub use catalog::Catalog;
 pub use eval::{eval, eval_compiled, truthy, EvalError};
-pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport, MORSEL_ROWS};
+pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport, MAX_RADIX_PARTITIONS, MORSEL_ROWS};
 pub use exec_row::RowEngine;
 pub use relation::{assert_same_rows, Relation, RelationBuilder, Row};
 pub use value::Value;

@@ -1,0 +1,116 @@
+//! Always-on engine execution statistics.
+//!
+//! Like [`crate::pool::gauges`], these are plain relaxed atomics the engine
+//! updates unconditionally — the engine keeps zero dependency on the obs
+//! crate, and `quarry-core` snapshots them into every metrics collection via
+//! a registered collector. Two families live here:
+//!
+//! - kernel counters: how many expression-kernel invocations took a typed
+//!   vectorized path versus the row-at-a-time scalar fallback, so a change
+//!   that silently knocks a hot expression off the fast path shows up in
+//!   `quarry-cli metrics` as a `engine.kernel.scalar_fallback` jump;
+//! - join radix statistics: per-join partition counts (count/sum/min/max
+//!   plus a log2 histogram), exported as the
+//!   `engine.join.radix_partitions` histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static KERNEL_VECTORIZED: AtomicU64 = AtomicU64::new(0);
+static KERNEL_SCALAR_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+static JOINS: AtomicU64 = AtomicU64::new(0);
+static PARTITIONS_SUM: AtomicU64 = AtomicU64::new(0);
+static PARTITIONS_MIN: AtomicU64 = AtomicU64::new(u64::MAX);
+static PARTITIONS_MAX: AtomicU64 = AtomicU64::new(0);
+/// One bucket per log2(partition count); partition counts are powers of two
+/// between 1 and [`crate::MAX_RADIX_PARTITIONS`], so 11 buckets cover any
+/// count up to 1024 with room to spare.
+const LOG2_BUCKETS: usize = 11;
+static PARTITIONS_BY_LOG2: [AtomicU64; LOG2_BUCKETS] = [const { AtomicU64::new(0) }; LOG2_BUCKETS];
+
+/// One expression kernel invocation took a typed vectorized path.
+pub(crate) fn count_vectorized() {
+    KERNEL_VECTORIZED.fetch_add(1, Relaxed);
+}
+
+/// One expression kernel invocation dropped to row-at-a-time evaluation.
+pub(crate) fn count_scalar_fallback() {
+    KERNEL_SCALAR_FALLBACK.fetch_add(1, Relaxed);
+}
+
+/// Records the partition count chosen for one hash join.
+pub(crate) fn record_join_partitions(npart: usize) {
+    JOINS.fetch_add(1, Relaxed);
+    PARTITIONS_SUM.fetch_add(npart as u64, Relaxed);
+    PARTITIONS_MIN.fetch_min(npart as u64, Relaxed);
+    PARTITIONS_MAX.fetch_max(npart as u64, Relaxed);
+    let bucket = (npart.max(1).ilog2() as usize).min(LOG2_BUCKETS - 1);
+    PARTITIONS_BY_LOG2[bucket].fetch_add(1, Relaxed);
+}
+
+/// Snapshot of the expression-kernel dispatch counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    pub vectorized: u64,
+    pub scalar_fallback: u64,
+}
+
+pub fn kernel_stats() -> KernelStats {
+    KernelStats { vectorized: KERNEL_VECTORIZED.load(Relaxed), scalar_fallback: KERNEL_SCALAR_FALLBACK.load(Relaxed) }
+}
+
+/// Snapshot of the per-join radix-partition distribution.
+#[derive(Debug, Clone, Default)]
+pub struct JoinRadixStats {
+    /// Joins executed (each records one partition count).
+    pub joins: u64,
+    /// Sum of partition counts across all joins.
+    pub partitions_sum: u64,
+    pub partitions_min: Option<u64>,
+    pub partitions_max: Option<u64>,
+    /// Histogram buckets `(partition-count upper bound, joins)`, ascending:
+    /// bucket `i` counts joins that chose exactly `2^i` partitions.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+pub fn join_radix_stats() -> JoinRadixStats {
+    let joins = JOINS.load(Relaxed);
+    let min = PARTITIONS_MIN.load(Relaxed);
+    JoinRadixStats {
+        joins,
+        partitions_sum: PARTITIONS_SUM.load(Relaxed),
+        partitions_min: (min != u64::MAX).then_some(min),
+        partitions_max: (joins > 0).then(|| PARTITIONS_MAX.load(Relaxed)),
+        buckets: PARTITIONS_BY_LOG2.iter().enumerate().map(|(i, c)| (1u64 << i, c.load(Relaxed))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_partition_stats_accumulate() {
+        let before = join_radix_stats();
+        record_join_partitions(4);
+        record_join_partitions(16);
+        let after = join_radix_stats();
+        assert_eq!(after.joins - before.joins, 2);
+        assert_eq!(after.partitions_sum - before.partitions_sum, 20);
+        assert!(after.partitions_min.unwrap() <= 4);
+        assert!(after.partitions_max.unwrap() >= 16);
+        let idx = |s: &JoinRadixStats, b: u64| s.buckets.iter().find(|(ub, _)| *ub == b).unwrap().1;
+        assert_eq!(idx(&after, 4) - idx(&before, 4), 1);
+        assert_eq!(idx(&after, 16) - idx(&before, 16), 1);
+    }
+
+    #[test]
+    fn kernel_counters_tick() {
+        let before = kernel_stats();
+        count_vectorized();
+        count_scalar_fallback();
+        let after = kernel_stats();
+        assert!(after.vectorized > before.vectorized);
+        assert!(after.scalar_fallback > before.scalar_fallback);
+    }
+}
