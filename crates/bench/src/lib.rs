@@ -325,6 +325,74 @@ pub fn join_heavy(sf: f64, selectivity_pct: u32, reps: usize) -> JoinHeavyPoint 
     JoinHeavyPoint { sf, selectivity_pct, columnar_ms, rows_kept }
 }
 
+/// How the E15 repository-throughput workload persists its mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepoMode {
+    /// In-memory [`quarry_repository::Repository::new`] — the baseline.
+    Memory,
+    /// Durable with batched fsyncs (the default policy).
+    WalBatched,
+    /// Durable with an fsync on every append.
+    WalAlways,
+}
+
+impl RepoMode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RepoMode::Memory => "memory",
+            RepoMode::WalBatched => "wal-batched",
+            RepoMode::WalAlways => "wal-always",
+        }
+    }
+}
+
+/// One measured point of the E15 repository-durability experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RepoThroughputPoint {
+    pub mode: RepoMode,
+    /// Number of `put_artifact` calls in the timed region.
+    pub puts: usize,
+    /// Best wall time for the whole run, ms.
+    pub ms: f64,
+    pub puts_per_sec: f64,
+}
+
+/// Experiment E15: `puts` versioned `put_artifact` calls (xMD-sized payloads
+/// over a rotating key set, the lifecycle's write shape) against one
+/// repository mode, best-of-`reps`. Durable modes run in a fresh scratch
+/// directory per rep — setup, recovery, and cleanup stay outside the timed
+/// region, so the wall clock isolates the log-append + fsync cost the WAL
+/// adds to each acknowledged mutation.
+pub fn repository_throughput(mode: RepoMode, puts: usize, reps: usize) -> RepoThroughputPoint {
+    use quarry_repository::{ArtifactKind, DurabilityOptions, FsyncPolicy, Repository};
+    let content: String =
+        "<mdschema><fact name=\"fact_table_revenue\"/><dim name=\"dim_part\"/></mdschema>\n".repeat(4);
+    let mut best = f64::INFINITY;
+    for rep in 0..reps.max(1) {
+        let scratch = std::env::temp_dir().join(format!("quarry-e15-{}-{}-{rep}", mode.as_str(), std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let repo = match mode {
+            RepoMode::Memory => Repository::new(),
+            RepoMode::WalBatched | RepoMode::WalAlways => {
+                std::fs::create_dir_all(&scratch).expect("scratch dir");
+                let fsync = if mode == RepoMode::WalAlways { FsyncPolicy::Always } else { FsyncPolicy::Batched };
+                Repository::open(&scratch, DurabilityOptions { fsync, ..Default::default() })
+                    .expect("open scratch repository")
+            }
+        };
+        let t = Instant::now();
+        for i in 0..puts {
+            let key = format!("design-{}", i % 16);
+            black_box(repo.put_artifact(ArtifactKind::MdSchema, &key, &content).expect("put"));
+        }
+        repo.sync().expect("final sync");
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        drop(repo);
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    RepoThroughputPoint { mode, puts, ms: best, puts_per_sec: puts as f64 / (best / 1e3) }
+}
+
 /// The Figure 3 pair: revenue + netprofit over conformed Partsupp/Orders.
 pub fn figure3_pair() -> (Requirement, Requirement) {
     (

@@ -42,6 +42,9 @@ commands:
                            or emit Prometheus text exposition
   serve <addr>             start the live telemetry endpoint (GET /metrics,
                            /trace, /healthz); port 0 picks a free port
+  replay <dir>             read-only recovery of a durable repository
+                           directory: replay its snapshot + log and report
+                           what a restart would restore
   json (on|off)            toggle JSON response encoding
   help                     this text
   quit                     exit";
@@ -168,6 +171,30 @@ fn dispatch(
             Some(other) => return Some(format!("metrics: unknown format `{other}` — try `prometheus`")),
             None => ServiceRequest::GetMetrics,
         },
+        "replay" => {
+            if arg.is_empty() {
+                return Some("replay: usage `replay <repository-dir>`".to_string());
+            }
+            return Some(match quarry_repository::recover(arg) {
+                Ok((store, report)) => {
+                    let mut out = format!(
+                        "recovered `{arg}`: snapshot {}, {} segment(s), {} record(s) replayed, {} torn byte(s) truncated\n",
+                        report.snapshot_seq.map_or_else(|| "none".to_string(), |s| format!("#{s}")),
+                        report.segments_replayed.len(),
+                        report.records_replayed,
+                        report.torn_bytes_truncated,
+                    );
+                    for name in store.collection_names() {
+                        out.push_str(&format!("  {name}: {} document(s)\n", store.count(name)));
+                    }
+                    if !report.markers.is_empty() {
+                        out.push_str(&format!("  markers: {}\n", report.markers.join(", ")));
+                    }
+                    out
+                }
+                Err(e) => format!("replay failed: {e}"),
+            });
+        }
         "serve" => ServiceRequest::ServeMetrics { addr: (!arg.is_empty()).then(|| arg.to_string()) },
         "suggest" => ServiceRequest::SuggestDimensions { focus: arg.to_string() },
         "add" | "change" => match std::fs::read_to_string(arg) {
@@ -332,6 +359,11 @@ mod tests {
         assert!(metrics.contains("integrator.md_integrate_seconds"), "{metrics}");
         assert!(metrics.contains("integrator.etl_integrate_seconds"), "{metrics}");
         assert!(metrics.contains("\"p50\""), "histograms carry quantiles: {metrics}");
+        // The repository's write-ahead-log counters are always present (zero
+        // for this in-memory instance, nonzero once any durable repo ran).
+        assert!(metrics.contains("repository.wal.appends"), "{metrics}");
+        assert!(metrics.contains("repository.wal.fsyncs"), "{metrics}");
+        assert!(metrics.contains("repository.wal.recoveries"), "{metrics}");
         // Prometheus text exposition.
         let prom = run(&mut quarry, &mut json, "metrics --format prometheus");
         assert!(prom.contains("# TYPE quarry_engine_runs_total counter"), "{prom}");
@@ -356,6 +388,22 @@ mod tests {
         let mut plain = false;
         assert!(run(&mut quarry, &mut plain, "add /no/such/file.xrq").contains("cannot read"));
         assert!(run(&mut quarry, &mut plain, "run NaNx").contains("not a scale factor"));
+        // Replay: read-only recovery of a durable repository directory.
+        let tmp = std::env::temp_dir().join(format!("quarry-cli-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        {
+            let repo =
+                quarry_repository::Repository::open(&tmp, quarry_repository::DurabilityOptions::default()).unwrap();
+            repo.put_artifact(quarry_repository::ArtifactKind::Ontology, "domain", "<owl/>").unwrap();
+            repo.record_marker("demo-session").unwrap();
+        }
+        let replay = run(&mut quarry, &mut plain, &format!("replay {}", tmp.display()));
+        assert!(replay.contains("record(s) replayed"), "{replay}");
+        assert!(replay.contains("artifacts.ontology: 1 document(s)"), "{replay}");
+        assert!(replay.contains("markers: demo-session"), "{replay}");
+        let _ = std::fs::remove_dir_all(&tmp);
+        assert!(run(&mut quarry, &mut plain, "replay").contains("usage"));
+        assert!(run(&mut quarry, &mut plain, "replay /no/such/dir").contains("replay failed"));
         // Quit terminates.
         assert!(dispatch(&mut quarry, "quit", &mut plain, &mut engine).is_none());
     }

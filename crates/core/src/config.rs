@@ -5,6 +5,8 @@
 use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
 use quarry_integrator::etl::EtlIntegrationOptions;
 use quarry_md::{CostModel, StructuralComplexity};
+use quarry_repository::FsyncPolicy;
+use std::path::PathBuf;
 
 /// Configuration of a [`crate::Quarry`] instance.
 pub struct QuarryConfig {
@@ -27,6 +29,15 @@ pub struct QuarryConfig {
     /// the service layer starts one from this via
     /// [`crate::service::ServiceRequest::ServeMetrics`].
     pub metrics_addr: Option<String>,
+    /// Directory for the durable metadata repository (write-ahead log +
+    /// snapshots). `None` (the default) keeps the repository in memory —
+    /// metadata vanishes with the process. With a directory set, the
+    /// instance recovers all prior lifecycle state on construction and logs
+    /// every mutation before applying it.
+    pub repository_dir: Option<PathBuf>,
+    /// When repository log appends reach disk (only meaningful with
+    /// `repository_dir` set). Defaults to batched fsyncs.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for QuarryConfig {
@@ -39,6 +50,8 @@ impl Default for QuarryConfig {
             design_name: "unified".to_string(),
             interpreter: quarry_interpreter::InterpreterOptions::default(),
             metrics_addr: None,
+            repository_dir: None,
+            fsync: FsyncPolicy::Batched,
         }
     }
 }

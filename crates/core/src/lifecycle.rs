@@ -17,7 +17,7 @@ use quarry_obs::serve::ObsServer;
 use quarry_obs::{Counter, Histogram, HistogramSnapshot, Metric, Obs, Span, Trace};
 use quarry_ontology::mappings::SourceRegistry;
 use quarry_ontology::Ontology;
-use quarry_repository::{ArtifactKind, Repository};
+use quarry_repository::{ArtifactKind, DurabilityOptions, Repository, StoreError};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
@@ -42,6 +42,9 @@ pub enum QuarryError {
     /// The telemetry endpoint could not be started (bind failure, missing
     /// address configuration).
     Telemetry(String),
+    /// The metadata repository failed — in durable mode this includes
+    /// write-ahead-log I/O and recovery/corruption errors.
+    Store(StoreError),
 }
 
 impl fmt::Display for QuarryError {
@@ -64,6 +67,7 @@ impl fmt::Display for QuarryError {
             QuarryError::Engine(e) => write!(f, "{e}"),
             QuarryError::Format(e) => write!(f, "{e}"),
             QuarryError::Telemetry(e) => write!(f, "telemetry endpoint: {e}"),
+            QuarryError::Store(e) => write!(f, "repository: {e}"),
         }
     }
 }
@@ -112,6 +116,12 @@ impl From<EngineError> for QuarryError {
 impl From<FormatError> for QuarryError {
     fn from(e: FormatError) -> Self {
         QuarryError::Format(e)
+    }
+}
+
+impl From<StoreError> for QuarryError {
+    fn from(e: StoreError) -> Self {
+        QuarryError::Store(e)
     }
 }
 
@@ -201,11 +211,28 @@ impl Quarry {
         Quarry::with_config(ontology, sources, QuarryConfig::default())
     }
 
-    /// Creates a Quarry instance with explicit configuration.
+    /// Creates a Quarry instance with explicit configuration. Panics if a
+    /// configured `repository_dir` cannot be opened or recovered — use
+    /// [`Quarry::try_with_config`] to handle that at startup.
     pub fn with_config(ontology: Ontology, sources: SourceRegistry, config: QuarryConfig) -> Self {
-        let repository = Repository::new();
+        Quarry::try_with_config(ontology, sources, config).expect("repository open/recovery failed")
+    }
+
+    /// Creates a Quarry instance with explicit configuration. With
+    /// `config.repository_dir` set, opens the durable repository there:
+    /// recovers the latest snapshot plus log tail (truncating a torn final
+    /// record) and write-ahead-logs every mutation from then on.
+    pub fn try_with_config(
+        ontology: Ontology,
+        sources: SourceRegistry,
+        config: QuarryConfig,
+    ) -> Result<Self, QuarryError> {
+        let repository = match &config.repository_dir {
+            Some(dir) => Repository::open(dir, DurabilityOptions { fsync: config.fsync, ..Default::default() })?,
+            None => Repository::new(),
+        };
         // Persist the domain ontology as the first metadata artifact.
-        repository.put_artifact(ArtifactKind::Ontology, "domain", &quarry_ontology::owlx::to_string(&ontology));
+        repository.put_artifact(ArtifactKind::Ontology, "domain", &quarry_ontology::owlx::to_string(&ontology))?;
         let mut formats = FormatRegistry::with_builtins();
         formats.register_exporter(Box::new(SqlExporter));
         let mut platforms = PlatformRegistry::with_builtins();
@@ -240,11 +267,33 @@ impl Quarry {
                     }),
                 ));
             }
+            // The repository's write-ahead-log counters follow the same
+            // always-on-atomics idiom; zero for in-memory repositories.
+            let w = quarry_repository::wal_stats();
+            out.push(("repository.wal.appends".to_string(), Metric::Counter(w.appends)));
+            out.push(("repository.wal.appended_bytes".to_string(), Metric::Counter(w.appended_bytes)));
+            out.push(("repository.wal.fsyncs".to_string(), Metric::Counter(w.fsyncs)));
+            out.push(("repository.wal.compactions".to_string(), Metric::Counter(w.compactions)));
+            out.push(("repository.wal.recoveries".to_string(), Metric::Counter(w.recoveries)));
+            out.push(("repository.wal.replayed_records".to_string(), Metric::Counter(w.replayed_records)));
+            out.push(("repository.wal.torn_truncations".to_string(), Metric::Counter(w.torn_truncations)));
+            if w.fsyncs > 0 {
+                out.push((
+                    "repository.wal.fsync_seconds".to_string(),
+                    Metric::Histogram(HistogramSnapshot {
+                        count: w.fsyncs,
+                        sum: w.fsync_seconds_sum,
+                        min: None,
+                        max: None,
+                        buckets: w.fsync_buckets.iter().copied().filter(|&(_, n)| n > 0).collect(),
+                    }),
+                ));
+            }
         }));
         let metrics = LifecycleMetrics::resolve(&obs);
         let mut consolidation = ConsolidationState::new();
         consolidation.bind_metrics(&obs);
-        Quarry {
+        Ok(Quarry {
             unified_md: MdSchema::new(config.design_name.clone()),
             unified_etl: Flow::new(config.design_name.clone()),
             ontology,
@@ -258,7 +307,7 @@ impl Quarry {
             obs,
             metrics,
             obs_server: None,
-        }
+        })
     }
 
     /// A Quarry instance over the paper's running example: the TPC-H domain.
@@ -393,6 +442,7 @@ impl Quarry {
     }
 
     fn add_requirement_phases(&mut self, req: Requirement) -> Result<DesignUpdate, QuarryError> {
+        self.repository.record_marker(&format!("step:add_requirement:{}", req.id))?;
         let partial = {
             let phase = self.obs.span("interpret");
             let partial = self.interpret(&req)?;
@@ -402,19 +452,19 @@ impl Quarry {
         };
 
         // Persist the requirement and its partial designs.
-        self.repository.put_artifact(ArtifactKind::Requirement, &req.id, &req.to_string_pretty());
+        self.repository.put_artifact(ArtifactKind::Requirement, &req.id, &req.to_string_pretty())?;
         self.repository.put_artifact(
             ArtifactKind::MdSchema,
             &format!("partial-{}", req.id),
             &quarry_formats::xmd::to_string(&partial.md),
-        );
+        )?;
         self.repository.put_artifact(
             ArtifactKind::EtlFlow,
             &format!("partial-{}", req.id),
             &quarry_formats::xlm::to_string(&partial.etl),
-        );
-        self.repository.link_requirement(&req.id, ArtifactKind::MdSchema, &format!("partial-{}", req.id));
-        self.repository.link_requirement(&req.id, ArtifactKind::EtlFlow, &format!("partial-{}", req.id));
+        )?;
+        self.repository.link_requirement(&req.id, ArtifactKind::MdSchema, &format!("partial-{}", req.id))?;
+        self.repository.link_requirement(&req.id, ArtifactKind::EtlFlow, &format!("partial-{}", req.id))?;
 
         // Integrate through the maintained consolidation state, recording the
         // quality-factor deltas (structural design complexity and estimated
@@ -453,7 +503,7 @@ impl Quarry {
 
         self.unified_md = md_result.schema;
         self.requirements.insert(req.id.clone(), req.clone());
-        self.persist_unified();
+        self.persist_unified()?;
 
         let warnings = {
             let phase = self.obs.span("validate");
@@ -509,18 +559,27 @@ impl Quarry {
         md.stamp_requirement(requirement_id);
         etl.stamp_requirement(requirement_id);
 
+        self.repository.record_marker(&format!("step:add_partial_design:{requirement_id}"))?;
         self.repository.put_artifact(
             ArtifactKind::MdSchema,
             &format!("partial-{requirement_id}"),
             &quarry_formats::xmd::to_string(&md),
-        );
+        )?;
         self.repository.put_artifact(
             ArtifactKind::EtlFlow,
             &format!("partial-{requirement_id}"),
             &quarry_formats::xlm::to_string(&etl),
-        );
-        self.repository.link_requirement(requirement_id, ArtifactKind::MdSchema, &format!("partial-{requirement_id}"));
-        self.repository.link_requirement(requirement_id, ArtifactKind::EtlFlow, &format!("partial-{requirement_id}"));
+        )?;
+        self.repository.link_requirement(
+            requirement_id,
+            ArtifactKind::MdSchema,
+            &format!("partial-{requirement_id}"),
+        )?;
+        self.repository.link_requirement(
+            requirement_id,
+            ArtifactKind::EtlFlow,
+            &format!("partial-{requirement_id}"),
+        )?;
 
         let md_result = self.consolidation.md_step(&self.unified_md, &md, self.config.md_cost.as_ref())?;
         let etl_report = self.consolidation.etl_step(
@@ -534,7 +593,7 @@ impl Quarry {
         // Record a marker requirement so lifecycle bookkeeping (removal,
         // listing) treats the external design like any other.
         self.requirements.insert(requirement_id.to_string(), Requirement::new(requirement_id));
-        self.persist_unified();
+        self.persist_unified()?;
         let warnings = self.unified_md.validate();
         Ok(DesignUpdate {
             requirement_id: requirement_id.to_string(),
@@ -565,13 +624,14 @@ impl Quarry {
     }
 
     fn remove_requirement_phases(&mut self, id: &str) -> Result<DesignUpdate, QuarryError> {
+        self.repository.record_marker(&format!("step:remove_requirement:{id}"))?;
         let snapshot = self.snapshot(id);
         self.requirements.remove(id);
         {
             let _phase = self.obs.span("retract");
             self.unified_md.retract_requirement(id);
             self.unified_etl.retract_requirement(id);
-            self.repository.unlink_requirement(id);
+            self.repository.unlink_requirement(id)?;
             // Retraction splices the flow outside an integration step, so the
             // maintained ETL index no longer describes it.
             self.consolidation.invalidate();
@@ -582,18 +642,18 @@ impl Quarry {
         phase.attr("warnings", violations.len());
         drop(phase);
         if violations.iter().any(|v| v.kind.is_error()) {
-            self.restore(snapshot, id);
+            self.restore(snapshot, id)?;
             return Err(QuarryError::Integrate(IntegrateError::InvalidResult(
                 violations.iter().map(ToString::to_string).collect(),
             )));
         }
         if self.unified_etl.op_count() > 0 {
             if let Err(e) = self.unified_etl.validate() {
-                self.restore(snapshot, id);
+                self.restore(snapshot, id)?;
                 return Err(QuarryError::Integrate(IntegrateError::InvalidResult(vec![e.to_string()])));
             }
         }
-        self.persist_unified();
+        self.persist_unified()?;
         Ok(DesignUpdate {
             requirement_id: id.to_string(),
             md_cost: self.config.md_cost.cost(&self.unified_md),
@@ -616,10 +676,12 @@ impl Quarry {
         let step = self.obs.span("change_requirement");
         step.attr("requirement", id.as_str());
         let snapshot = self.snapshot(&id);
-        let result = self.remove_requirement(&id).and_then(|_| self.add_requirement(req));
-        if result.is_err() {
-            self.restore(snapshot, &id);
+        let mut result = self.remove_requirement(&id).and_then(|_| self.add_requirement(req));
+        if let Err(e) = result {
             step.attr("rolled_back", 1i64);
+            // A rollback that itself fails (durable-log I/O) outranks the
+            // original rejection — the caller must know state may be partial.
+            result = self.restore(snapshot, &id).and(Err(e));
         }
         self.finish_step(step, &result);
         result
@@ -638,18 +700,23 @@ impl Quarry {
         }
     }
 
-    fn restore(&mut self, snapshot: DesignSnapshot, id: &str) {
+    /// Restores live state unconditionally; the repository writes that make
+    /// the rollback durable (re-linking, re-persisting, and the rollback
+    /// marker in the log) can fail in durable mode and surface as `Store`.
+    fn restore(&mut self, snapshot: DesignSnapshot, id: &str) -> Result<(), QuarryError> {
         self.consolidation.invalidate();
         self.unified_md = snapshot.md;
         self.unified_etl = snapshot.etl;
         self.requirements = snapshot.requirements;
-        self.repository.unlink_requirement(id);
+        self.repository.record_marker(&format!("rollback:{id}"))?;
+        self.repository.unlink_requirement(id)?;
         for (kind, key) in &snapshot.links {
             if let Some(kind) = ArtifactKind::parse(kind) {
-                self.repository.link_requirement(id, kind, key);
+                self.repository.link_requirement(id, kind, key)?;
             }
         }
-        self.persist_unified();
+        self.persist_unified()?;
+        Ok(())
     }
 
     /// Cumulative consolidation-index traffic (ETL index hits/misses/rebuilds
@@ -669,7 +736,8 @@ impl Quarry {
     }
 
     /// Persists the current trace as a versioned repository document under
-    /// [`TRACE_KEY`] — one version per completed lifecycle step.
+    /// [`TRACE_KEY`] — one version per completed lifecycle step. Traces are
+    /// advisory, so a durable-log failure here is counted, not raised.
     fn persist_trace(&self) {
         if !self.obs.is_enabled() {
             return;
@@ -679,20 +747,23 @@ impl Quarry {
             return;
         }
         let doc = crate::tracedoc::trace_to_json(&trace);
-        self.repository.put_artifact(ArtifactKind::Trace, TRACE_KEY, &doc.to_pretty_string());
+        if self.repository.put_artifact(ArtifactKind::Trace, TRACE_KEY, &doc.to_pretty_string()).is_err() {
+            self.obs.counter("repository.trace_persist_failures").inc();
+        }
     }
 
-    fn persist_unified(&self) {
+    fn persist_unified(&self) -> Result<(), QuarryError> {
         self.repository.put_artifact(
             ArtifactKind::MdSchema,
             &self.config.design_name,
             &quarry_formats::xmd::to_string(&self.unified_md),
-        );
+        )?;
         self.repository.put_artifact(
             ArtifactKind::EtlFlow,
             &self.config.design_name,
             &quarry_formats::xlm::to_string(&self.unified_etl),
-        );
+        )?;
+        Ok(())
     }
 
     // ---- deployment & execution -----------------------------------------------
@@ -702,16 +773,18 @@ impl Quarry {
     pub fn deploy(&self, platform: &str) -> Result<DeploymentArtifacts, QuarryError> {
         let step = self.obs.span("deploy");
         step.attr("platform", platform);
-        let result =
-            self.platforms.deploy(platform, &self.unified_md, &self.unified_etl).map_err(QuarryError::Deploy).inspect(
-                |artifacts| {
-                    for (name, content) in &artifacts.files {
-                        self.repository.put_artifact(ArtifactKind::Deployment, &format!("{platform}/{name}"), content);
-                    }
-                    step.attr("files", artifacts.files.len());
-                    step.attr("bytes", artifacts.files.iter().map(|(_, c)| c.len()).sum::<usize>());
-                },
-            );
+        let result = self
+            .platforms
+            .deploy(platform, &self.unified_md, &self.unified_etl)
+            .map_err(QuarryError::Deploy)
+            .and_then(|artifacts| {
+                for (name, content) in &artifacts.files {
+                    self.repository.put_artifact(ArtifactKind::Deployment, &format!("{platform}/{name}"), content)?;
+                }
+                step.attr("files", artifacts.files.len());
+                step.attr("bytes", artifacts.files.iter().map(|(_, c)| c.len()).sum::<usize>());
+                Ok(artifacts)
+            });
         self.finish_step(step, &result);
         result
     }
@@ -1008,6 +1081,84 @@ mod tests {
         assert!(h.count > 0, "the TPC-H flow runs joins");
         assert!(!h.buckets.is_empty());
         assert!(h.min.unwrap() >= 1.0 && h.max.unwrap() >= h.min.unwrap());
+    }
+
+    /// Unique scratch directory for durable-repository tests, removed on drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!("quarry-core-{tag}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn durable_tpch(dir: &std::path::Path) -> Quarry {
+        let domain = quarry_ontology::tpch::domain();
+        let mut cfg = QuarryConfig::tpch(0.01);
+        cfg.repository_dir = Some(dir.to_path_buf());
+        cfg.fsync = quarry_repository::FsyncPolicy::Always;
+        Quarry::with_config(domain.ontology, domain.sources, cfg)
+    }
+
+    #[test]
+    fn durable_lifecycle_survives_restart() {
+        let tmp = TempDir::new("restart");
+        let (md_before, etl_before, links_before, bytes_before);
+        {
+            let mut q = durable_tpch(&tmp.0);
+            assert!(q.repository().is_durable());
+            q.add_requirement(figure4_requirement()).unwrap();
+            md_before = q.repository().latest(ArtifactKind::MdSchema, "unified").unwrap();
+            etl_before = q.repository().latest(ArtifactKind::EtlFlow, "unified").unwrap();
+            links_before = q.repository().links_for("IR1");
+            bytes_before = q.repository().with_store(quarry_repository::snapshot::snapshot_bytes);
+        }
+        // Read-only recovery reconstructs the exact same store from disk.
+        let (recovered, report) = quarry_repository::recover(&tmp.0).unwrap();
+        assert_eq!(quarry_repository::snapshot::snapshot_bytes(&recovered), bytes_before);
+        assert!(report.records_replayed > 0);
+        assert!(report.markers.iter().any(|m| m == "step:add_requirement:IR1"), "{:?}", report.markers);
+        // A new instance over the same directory sees the full history.
+        let q2 = durable_tpch(&tmp.0);
+        let report = q2.repository().recovery_report().expect("reopened from disk");
+        assert!(report.records_replayed > 0);
+        assert_eq!(q2.repository().latest(ArtifactKind::MdSchema, "unified").unwrap(), md_before);
+        assert_eq!(q2.repository().latest(ArtifactKind::EtlFlow, "unified").unwrap(), etl_before);
+        assert_eq!(q2.repository().links_for("IR1"), links_before);
+        assert!(!links_before.is_empty());
+    }
+
+    #[test]
+    fn failed_change_rollback_is_durable_across_restart() {
+        let tmp = TempDir::new("rollback");
+        let (md_after_rollback, bytes_after_rollback);
+        {
+            let mut q = durable_tpch(&tmp.0);
+            q.add_requirement(figure4_requirement()).unwrap();
+            let mut broken = figure4_requirement();
+            broken.measures[0].function = "Ghost_xATRIBUT".into();
+            assert!(matches!(q.change_requirement(broken), Err(QuarryError::Interpret(_))));
+            md_after_rollback = q.repository().latest(ArtifactKind::MdSchema, "unified").unwrap();
+            bytes_after_rollback = q.repository().with_store(quarry_repository::snapshot::snapshot_bytes);
+        }
+        let (recovered, report) = quarry_repository::recover(&tmp.0).unwrap();
+        assert_eq!(quarry_repository::snapshot::snapshot_bytes(&recovered), bytes_after_rollback);
+        assert!(report.markers.iter().any(|m| m == "rollback:IR1"), "{:?}", report.markers);
+        // The restored design survives the restart and still accepts work.
+        let mut q2 = durable_tpch(&tmp.0);
+        assert_eq!(q2.repository().latest(ArtifactKind::MdSchema, "unified").unwrap(), md_after_rollback);
+        q2.add_requirement(netprofit_requirement()).unwrap();
+        assert!(q2.repository().latest(ArtifactKind::Requirement, "IR2").is_ok());
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl fmt::Display for Json {
     }
 }
 
-fn write_string(s: &str, out: &mut String) {
+pub(crate) fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -128,7 +128,7 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+pub(crate) fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
     let pad = |out: &mut String, depth: usize| {
         if let Some(n) = indent {
             out.push('\n');
@@ -187,6 +187,16 @@ fn write_json(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
             }
             out.push('}');
         }
+    }
+}
+
+/// Exactly four ASCII hex digits. `u32::from_str_radix` alone is too
+/// permissive here — it accepts `+`/`-` prefixes, so `\u+12f` would parse.
+fn parse_hex4(hex: &str) -> Option<u32> {
+    if hex.len() == 4 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        None
     }
 }
 
@@ -298,14 +308,24 @@ impl<'a> Parser<'a> {
                                 .text
                                 .get(self.i + 1..self.i + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = parse_hex4(hex).ok_or_else(|| self.err("invalid \\u escape"))?;
                             // Surrogate pairs: decode when a high surrogate is
                             // followed by \uDC00..DFFF.
                             if (0xD800..0xDC00).contains(&code) {
+                                // `get` (not indexing) throughout: the six
+                                // bytes after the high escape may split a
+                                // multibyte char, and the four after `\u` may
+                                // be too short or non-hex — all must surface
+                                // as errors, never slice panics.
                                 let rest = self.text.get(self.i + 5..self.i + 11);
                                 if let Some(rest) = rest.filter(|r| r.starts_with("\\u")) {
-                                    let low = u32::from_str_radix(&rest[2..6], 16)
-                                        .map_err(|_| self.err("invalid low surrogate"))?;
+                                    let low = rest
+                                        .get(2..6)
+                                        .and_then(parse_hex4)
+                                        .ok_or_else(|| self.err("invalid low surrogate"))?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.err("expected a low surrogate"));
+                                    }
                                     let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     out.push(
                                         char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))?,
@@ -429,6 +449,26 @@ mod tests {
         assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::String("Aé".into()));
         assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::String("😀".into()));
         assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_error_instead_of_panicking() {
+        for bad in [
+            // high surrogate + BMP low escape: the `low - 0xDC00` underflow
+            concat!(r#""\ud83d\u"#, r#"0041""#),
+            r#""\ud83dA""#,            // high surrogate with no low escape at all
+            r#""\ud83d\ud83d""#,       // two high surrogates
+            r#""\udc00""#,             // lone low surrogate
+            r#""\u+12f""#,             // signed hex that from_str_radix would accept
+            r#""\u-bcd""#,             // negative hex likewise
+            r#""\ud83d\u+e00""#,       // signed hex in the low position
+            r#""\ud83d\u€x""#,         // multibyte char straddling the low-escape window
+            r#""\ud83d\u""#,           // truncated low escape
+            r#""\u12""#,               // truncated high escape
+            "\"\\ud83d\\u\u{10348}\"", // 4-byte char right after `\u`
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must be a JsonError, not a panic");
+        }
     }
 
     #[test]

@@ -10,13 +10,22 @@
 //! - [`convert`] — the generic, lossless XML↔JSON↔XML converter;
 //! - [`DocumentStore`] / [`Repository`] — a collection-oriented document
 //!   store with field-path queries, plus a thread-safe, versioned artifact
-//!   API used by the Quarry façade to persist every design generation.
+//!   API used by the Quarry façade to persist every design generation;
+//! - [`wal`] / [`snapshot`] / [`recover`] — durability: an append-only
+//!   write-ahead log of mutations with configurable fsync policy, crash-safe
+//!   snapshot compaction, and deterministic replay ([`Repository::open`]
+//!   recovers bit-identical state, truncating a torn final record).
 
 #![forbid(unsafe_code)]
 
 pub mod convert;
 mod json;
+pub mod recover;
+pub mod snapshot;
 mod store;
+pub mod wal;
 
 pub use json::{Json, JsonError};
+pub use recover::{recover, RecoveryReport};
 pub use store::{Artifact, ArtifactKind, DocId, DocumentStore, Repository, StoreError};
+pub use wal::{wal_stats, DurabilityOptions, FsyncPolicy, WalStats};

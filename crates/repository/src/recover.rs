@@ -1,0 +1,277 @@
+//! Crash-consistent recovery and snapshot compaction.
+//!
+//! ## Directory layout
+//!
+//! A durable repository directory holds numbered log segments and snapshots:
+//!
+//! ```text
+//! wal-1.log            log segment 1 (mutations appended in order)
+//! snapshot-3.json      state covering every segment with seq < 3
+//! wal-3.log            the active segment
+//! ```
+//!
+//! The invariant: `snapshot-<s>.json` captures the store after replaying all
+//! segments with sequence `< s`, so recovery loads the newest snapshot and
+//! replays only segments `>= s`, in ascending order. Only the *newest*
+//! segment can legally end in a torn record (a crash mid-append); recovery
+//! truncates that tail and reports it. A torn record anywhere else means the
+//! files were damaged after the fact and recovery refuses with
+//! [`StoreError::Corrupt`] rather than silently dropping acknowledged data.
+//!
+//! ## Compaction
+//!
+//! When the active segment `wal-<k>.log` outgrows the configured threshold:
+//!
+//! 1. fsync `wal-<k>.log` — everything the snapshot will contain is durable
+//!    before any new file appears,
+//! 2. create + fsync empty `wal-<k+1>.log`,
+//! 3. write `snapshot-<k+1>.json` crash-safely (tmp → fsync → rename),
+//! 4. switch appends to the new segment and delete the stale files.
+//!
+//! A crash in any window recovers correctly: before the rename the snapshot
+//! does not exist under its real name, so recovery replays `wal-<k>` plus the
+//! empty `wal-<k+1>`; after the rename the snapshot covers `wal-<k>`, which
+//! is skipped whether or not its deletion happened.
+
+use crate::json::Json;
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::store::{DocumentStore, StoreError};
+use crate::wal::{self, decode_records, io_err, DurabilityOptions, Mutation, WalWriter};
+use std::path::{Path, PathBuf};
+
+/// What recovery found and did while opening a durable repository.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot the store was seeded from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Log segments replayed on top of it, ascending.
+    pub segments_replayed: Vec<u64>,
+    /// Mutation records replayed across those segments.
+    pub records_replayed: u64,
+    /// Bytes of torn final record discarded from the newest segment.
+    pub torn_bytes_truncated: u64,
+    /// Labels of marker records encountered during replay, in log order.
+    pub markers: Vec<String>,
+}
+
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.log"))
+}
+
+/// Parses `prefix<seq>suffix` file names.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+#[derive(Debug, Default)]
+struct DirListing {
+    /// `(seq, path)` ascending by seq.
+    segments: Vec<(u64, PathBuf)>,
+    /// `(seq, path)` ascending by seq.
+    snapshots: Vec<(u64, PathBuf)>,
+    /// Leftover `.tmp` files from interrupted snapshot writes.
+    tmps: Vec<PathBuf>,
+}
+
+fn scan_dir(dir: &Path) -> Result<DirListing, StoreError> {
+    let mut listing = DirListing::default();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("scan", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("scan", dir, e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if let Some(seq) = parse_seq(name, "wal-", ".log") {
+            listing.segments.push((seq, path));
+        } else if let Some(seq) = parse_seq(name, "snapshot-", ".json") {
+            listing.snapshots.push((seq, path));
+        } else if name.ends_with(".tmp") {
+            listing.tmps.push(path);
+        }
+    }
+    listing.segments.sort();
+    listing.snapshots.sort();
+    Ok(listing)
+}
+
+/// The newest segment as recovery left it: where appends must resume.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSegment {
+    seq: u64,
+    /// Clean-prefix length; the on-disk file may still be longer until
+    /// [`open_for_append`] truncates it.
+    clean_len: u64,
+}
+
+fn replay_dir(dir: &Path) -> Result<(DocumentStore, RecoveryReport, ActiveSegment, DirListing), StoreError> {
+    let listing = scan_dir(dir)?;
+    let mut report = RecoveryReport::default();
+
+    // Seed from the newest snapshot. A snapshot under its real name was
+    // fsynced before the rename, so a parse failure is genuine damage.
+    let mut store = DocumentStore::new();
+    let mut base_seq = 0u64;
+    if let Some((seq, path)) = listing.snapshots.last() {
+        store = read_snapshot(path)?;
+        base_seq = *seq;
+        report.snapshot_seq = Some(*seq);
+    }
+
+    // Replay segments the snapshot does not cover, ascending.
+    let replayable: Vec<&(u64, PathBuf)> = listing.segments.iter().filter(|(seq, _)| *seq >= base_seq).collect();
+    let newest_seq = replayable.last().map(|(seq, _)| *seq);
+    let mut active = ActiveSegment { seq: newest_seq.unwrap_or(base_seq.max(1)), clean_len: 0 };
+    for (seq, path) in &replayable {
+        let bytes = std::fs::read(path).map_err(|e| io_err("segment read", path, e))?;
+        let (mutations, clean_len) = decode_records(&bytes);
+        let corrupt =
+            |offset: u64, message: String| StoreError::Corrupt { path: path.display().to_string(), offset, message };
+        if clean_len < bytes.len() {
+            if Some(*seq) == newest_seq {
+                report.torn_bytes_truncated += (bytes.len() - clean_len) as u64;
+            } else {
+                return Err(corrupt(clean_len as u64, "torn record in a non-final log segment".to_string()));
+            }
+        }
+        for m in &mutations {
+            if let Mutation::Marker { label } = m {
+                report.markers.push(label.clone());
+            }
+            m.replay_into(&mut store)
+                .map_err(|e| corrupt(clean_len as u64, format!("log does not replay against its base: {e}")))?;
+        }
+        report.records_replayed += mutations.len() as u64;
+        report.segments_replayed.push(*seq);
+        if Some(*seq) == newest_seq {
+            active.clean_len = clean_len as u64;
+        }
+    }
+
+    wal::record_recovery(report.records_replayed, report.torn_bytes_truncated > 0);
+    Ok((store, report, active, listing))
+}
+
+/// Read-only recovery: rebuilds the store a durable repository would open
+/// with, without touching any file. This is what `quarry-cli replay` runs.
+pub fn recover(dir: impl AsRef<Path>) -> Result<(DocumentStore, RecoveryReport), StoreError> {
+    let (store, report, _, _) = replay_dir(dir.as_ref())?;
+    Ok((store, report))
+}
+
+/// Full recovery for a repository that will keep writing: recover state,
+/// clear interrupted-snapshot leftovers, truncate the torn tail on disk, and
+/// open the newest segment for append (creating `wal-1.log` in a fresh
+/// directory).
+pub(crate) fn open_for_append(dir: &Path, options: DurabilityOptions) -> Result<(DocumentStore, Durable), StoreError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+    let (store, report, active, listing) = replay_dir(dir)?;
+
+    for tmp in &listing.tmps {
+        let _ = std::fs::remove_file(tmp);
+    }
+    // Files a snapshot already covers are dead weight left by a crashed
+    // compaction; removal is tidy-up, not correctness, so errors are ignored.
+    if let Some(base) = report.snapshot_seq {
+        for (seq, path) in listing.segments.iter().chain(&listing.snapshots) {
+            if *seq < base {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
+    let path = segment_path(dir, active.seq);
+    if path.exists() {
+        let len = std::fs::metadata(&path).map_err(|e| io_err("segment stat", &path, e))?.len();
+        if len > active.clean_len {
+            let f = std::fs::OpenOptions::new().write(true).open(&path).map_err(|e| io_err("truncate", &path, e))?;
+            f.set_len(active.clean_len).map_err(|e| io_err("truncate", &path, e))?;
+            f.sync_data().map_err(|e| io_err("truncate fsync", &path, e))?;
+        }
+    }
+    let writer = WalWriter::open(path, active.clean_len, &options)?;
+    Ok((store, Durable { dir: dir.to_path_buf(), seq: active.seq, writer, options, report }))
+}
+
+/// The durable half of an open repository: the active log writer plus the
+/// compaction state machine. Lives behind the repository's write lock, so
+/// log order always matches apply order.
+#[derive(Debug)]
+pub(crate) struct Durable {
+    dir: PathBuf,
+    seq: u64,
+    writer: WalWriter,
+    options: DurabilityOptions,
+    report: RecoveryReport,
+}
+
+impl Durable {
+    pub fn append(&mut self, record: &Json) -> Result<(), StoreError> {
+        self.writer.append(record)
+    }
+
+    /// Appends a pre-serialized record payload (the mutation hot path).
+    pub fn append_payload(&mut self, payload: &str) -> Result<(), StoreError> {
+        self.writer.append_payload(payload)
+    }
+
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()
+    }
+
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    pub fn should_compact(&self) -> bool {
+        self.writer.bytes() >= self.options.compact_bytes
+    }
+
+    /// Runs the compaction protocol documented at module level. `store` must
+    /// be the state the current log replays to — guaranteed by the caller
+    /// holding the repository write lock.
+    pub fn compact(&mut self, store: &DocumentStore) -> Result<(), StoreError> {
+        self.writer.sync()?;
+        let next = self.seq + 1;
+        let next_path = segment_path(&self.dir, next);
+        let f = std::fs::File::create(&next_path).map_err(|e| io_err("segment create", &next_path, e))?;
+        f.sync_all().map_err(|e| io_err("segment fsync", &next_path, e))?;
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        write_snapshot(&self.dir, next, store)?;
+        self.writer = WalWriter::open(next_path, 0, &self.options)?;
+        // The snapshot now covers everything below `next`; stale files are
+        // tidy-up only (recovery ignores them), so removal errors are fine.
+        if let Ok(listing) = scan_dir(&self.dir) {
+            for (seq, path) in listing.segments.iter().chain(&listing.snapshots) {
+                if *seq < next {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        self.seq = next;
+        wal::record_compaction();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_file_names_parse() {
+        assert_eq!(parse_seq("wal-12.log", "wal-", ".log"), Some(12));
+        assert_eq!(parse_seq("wal-x.log", "wal-", ".log"), None);
+        assert_eq!(parse_seq("snapshot-3.json", "snapshot-", ".json"), Some(3));
+        assert_eq!(parse_seq("snapshot-3.json.tmp", "snapshot-", ".json"), None);
+    }
+
+    #[test]
+    fn recover_on_missing_dir_is_an_io_error() {
+        let missing = std::env::temp_dir().join("quarry-definitely-missing-dir-xyz");
+        match recover(&missing) {
+            Err(StoreError::Io { op, .. }) => assert_eq!(op, "scan"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

@@ -1,9 +1,22 @@
 //! The document store and the versioned artifact repository built on it.
+//!
+//! A [`Repository`] runs in one of two modes. [`Repository::new`] is the
+//! in-memory mode the lifecycle tests and benches use: mutations apply
+//! directly to the [`DocumentStore`]. [`Repository::open`] is the durable
+//! mode: the same API, but every mutation is first appended to a write-ahead
+//! log ([`crate::wal`]) and the store is recovered from disk on open
+//! ([`crate::recover`]), so a crash never loses acknowledged metadata. The
+//! mutation discipline is *validate → log → apply*: a record only enters the
+//! log if the in-memory apply that follows cannot fail, which keeps the log
+//! a replayable prefix of exactly the applied mutations.
 
 use crate::json::Json;
+use crate::recover::{Durable, RecoveryReport};
+use crate::wal::{self, DurabilityOptions};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 /// Identifier of a document within a collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,7 +27,22 @@ pub struct DocId(pub u64);
 pub enum StoreError {
     UnknownCollection(String),
     UnknownDocument(DocId),
-    UnknownArtifact { kind: &'static str, key: String },
+    UnknownArtifact {
+        kind: &'static str,
+        key: String,
+    },
+    /// A write-ahead-log or snapshot file operation failed.
+    Io {
+        op: &'static str,
+        path: String,
+        message: String,
+    },
+    /// A log or snapshot file is damaged beyond the tolerated torn tail.
+    Corrupt {
+        path: String,
+        offset: u64,
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -23,22 +51,30 @@ impl fmt::Display for StoreError {
             StoreError::UnknownCollection(c) => write!(f, "unknown collection `{c}`"),
             StoreError::UnknownDocument(id) => write!(f, "unknown document #{}", id.0),
             StoreError::UnknownArtifact { kind, key } => write!(f, "no {kind} artifact stored for `{key}`"),
+            StoreError::Io { op, path, message } => write!(f, "repository {op} failed on `{path}`: {message}"),
+            StoreError::Corrupt { path, offset, message } => {
+                write!(f, "repository file `{path}` corrupt at byte {offset}: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-#[derive(Debug, Default, Clone)]
-struct Collection {
-    next_id: u64,
-    docs: BTreeMap<DocId, Json>,
+#[derive(Debug, Default, Clone, PartialEq)]
+pub(crate) struct Collection {
+    pub(crate) next_id: u64,
+    pub(crate) docs: BTreeMap<DocId, Json>,
 }
 
 /// A collection-oriented document store (the MongoDB stand-in).
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` compares full contents *including* the per-collection id
+/// counters, so two equal stores are bit-identical under snapshot
+/// serialization — the property the crash-recovery matrix asserts.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct DocumentStore {
-    collections: BTreeMap<String, Collection>,
+    pub(crate) collections: BTreeMap<String, Collection>,
 }
 
 impl DocumentStore {
@@ -54,6 +90,21 @@ impl DocumentStore {
         col.next_id += 1;
         col.docs.insert(id, doc);
         id
+    }
+
+    /// The id the next [`DocumentStore::insert`] into `collection` will
+    /// assign — what the WAL records *before* the insert applies.
+    pub fn peek_next_id(&self, collection: &str) -> DocId {
+        DocId(self.collections.get(collection).map(|c| c.next_id).unwrap_or(0))
+    }
+
+    /// Inserts a document under a *given* id, advancing the collection's id
+    /// counter past it. Replay uses this so recovered stores assign the same
+    /// ids the original run did, in the same order.
+    pub(crate) fn apply_insert(&mut self, collection: &str, id: DocId, doc: Json) {
+        let col = self.collections.entry(collection.to_string()).or_default();
+        col.next_id = col.next_id.max(id.0 + 1);
+        col.docs.insert(id, doc);
     }
 
     pub fn get(&self, collection: &str, id: DocId) -> Option<&Json> {
@@ -84,11 +135,21 @@ impl DocumentStore {
         self.collections.get(collection).map(|c| c.docs.iter().map(|(id, d)| (*id, d)).collect()).unwrap_or_default()
     }
 
-    /// Documents whose dotted `path` equals the given string value — the
-    /// field-path query shape the lifecycle uses (e.g. all designs for a
-    /// requirement id).
+    /// Documents whose dotted `path` equals the given value — the field-path
+    /// query shape the lifecycle uses (e.g. all designs for a requirement
+    /// id). Strings match by equality; numbers and booleans match by their
+    /// canonical JSON rendering (`"3"`, `"2.5"`, `"true"`), so queries over
+    /// numeric meta fields like versions work too. Nulls, arrays, and
+    /// objects never match.
     pub fn find_by(&self, collection: &str, path: &str, value: &str) -> Vec<(DocId, &Json)> {
-        self.scan(collection).into_iter().filter(|(_, d)| d.path(path).and_then(Json::as_str) == Some(value)).collect()
+        self.scan(collection)
+            .into_iter()
+            .filter(|(_, d)| match d.path(path) {
+                Some(Json::String(s)) => s == value,
+                Some(v @ (Json::Number(_) | Json::Bool(_))) => v.to_compact_string() == value,
+                _ => false,
+            })
+            .collect()
     }
 
     pub fn collection_names(&self) -> Vec<&str> {
@@ -155,23 +216,124 @@ pub struct Artifact {
     pub content: String,
 }
 
+/// The store plus, in durable mode, the open log it writes ahead of it.
+/// One lock guards both so the WAL order always matches the apply order.
+#[derive(Debug)]
+struct RepoInner {
+    store: DocumentStore,
+    durable: Option<Durable>,
+}
+
+impl RepoInner {
+    /// Validate → log → apply for an insert: the id is peeked and logged
+    /// first so replay reproduces it.
+    fn log_insert(&mut self, collection: &str, doc: Json) -> Result<DocId, StoreError> {
+        let id = self.store.peek_next_id(collection);
+        if let Some(d) = &mut self.durable {
+            d.append_payload(&wal::doc_payload("insert", collection, id, &doc))?;
+        }
+        self.store.apply_insert(collection, id, doc);
+        self.maybe_compact()?;
+        Ok(id)
+    }
+
+    fn log_update(&mut self, collection: &str, id: DocId, doc: Json) -> Result<(), StoreError> {
+        // Validate before logging so a failed update leaves no log record.
+        if self.store.get(collection, id).is_none() {
+            return if self.store.collections.contains_key(collection) {
+                Err(StoreError::UnknownDocument(id))
+            } else {
+                Err(StoreError::UnknownCollection(collection.to_string()))
+            };
+        }
+        if let Some(d) = &mut self.durable {
+            d.append_payload(&wal::doc_payload("update", collection, id, &doc))?;
+        }
+        self.store.update(collection, id, doc)?;
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    fn log_delete(&mut self, collection: &str, id: DocId) -> Result<bool, StoreError> {
+        if self.store.get(collection, id).is_none() {
+            return Ok(false);
+        }
+        if let Some(d) = &mut self.durable {
+            d.append(&wal::delete_record(collection, id))?;
+        }
+        self.store.delete(collection, id);
+        self.maybe_compact()?;
+        Ok(true)
+    }
+
+    fn log_marker(&mut self, label: &str) -> Result<(), StoreError> {
+        if let Some(d) = &mut self.durable {
+            d.append(&wal::marker_record(label))?;
+        }
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), StoreError> {
+        if let Some(d) = &mut self.durable {
+            if d.should_compact() {
+                d.compact(&self.store)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The thread-safe metadata repository: a document store plus the versioned
 /// artifact API and requirement↔design traceability links.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Repository {
-    store: RwLock<DocumentStore>,
+    inner: RwLock<RepoInner>,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository::new()
+    }
 }
 
 impl Repository {
+    /// An in-memory repository: no log, mutations vanish with the process.
     pub fn new() -> Self {
-        Repository::default()
+        Repository { inner: RwLock::new(RepoInner { store: DocumentStore::new(), durable: None }) }
+    }
+
+    /// Opens (or creates) a durable repository rooted at `dir`: recovers the
+    /// newest snapshot plus log tail — truncating a torn final record — and
+    /// appends every future mutation to the log before applying it.
+    pub fn open(dir: impl AsRef<Path>, options: DurabilityOptions) -> Result<Repository, StoreError> {
+        let (store, durable) = crate::recover::open_for_append(dir.as_ref(), options)?;
+        Ok(Repository { inner: RwLock::new(RepoInner { store, durable: Some(durable) }) })
+    }
+
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().durable.is_some()
+    }
+
+    /// What recovery found when this repository was opened (`None` for
+    /// in-memory repositories).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.inner.read().durable.as_ref().map(|d| d.report().clone())
+    }
+
+    /// Flushes any batched log records to disk regardless of fsync policy.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        match &mut self.inner.write().durable {
+            Some(d) => d.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Stores a new version of an artifact and returns it.
-    pub fn put_artifact(&self, kind: ArtifactKind, key: &str, content: &str) -> Artifact {
-        let mut store = self.store.write();
+    pub fn put_artifact(&self, kind: ArtifactKind, key: &str, content: &str) -> Result<Artifact, StoreError> {
+        let mut inner = self.inner.write();
         let collection = kind.collection();
-        let version = store
+        let version = inner
+            .store
             .find_by(&collection, "key", key)
             .into_iter()
             .filter_map(|(_, d)| d.path("version").and_then(Json::as_f64))
@@ -181,15 +343,16 @@ impl Repository {
         doc.set("key", Json::String(key.to_string()));
         doc.set("version", Json::Number(version as f64));
         doc.set("content", Json::String(content.to_string()));
-        store.insert(&collection, doc);
-        Artifact { kind, key: key.to_string(), version, content: content.to_string() }
+        inner.log_insert(&collection, doc)?;
+        Ok(Artifact { kind, key: key.to_string(), version, content: content.to_string() })
     }
 
     /// Latest version of an artifact.
     pub fn latest(&self, kind: ArtifactKind, key: &str) -> Result<Artifact, StoreError> {
-        let store = self.store.read();
+        let inner = self.inner.read();
         let collection = kind.collection();
-        store
+        inner
+            .store
             .find_by(&collection, "key", key)
             .into_iter()
             .filter_map(|(_, d)| {
@@ -206,8 +369,9 @@ impl Repository {
 
     /// Full version history of an artifact, oldest first.
     pub fn history(&self, kind: ArtifactKind, key: &str) -> Vec<Artifact> {
-        let store = self.store.read();
-        let mut out: Vec<Artifact> = store
+        let inner = self.inner.read();
+        let mut out: Vec<Artifact> = inner
+            .store
             .find_by(&kind.collection(), "key", key)
             .into_iter()
             .filter_map(|(_, d)| {
@@ -225,8 +389,9 @@ impl Repository {
 
     /// All keys currently stored for a kind.
     pub fn keys(&self, kind: ArtifactKind) -> Vec<String> {
-        let store = self.store.read();
-        let mut keys: Vec<String> = store
+        let inner = self.inner.read();
+        let mut keys: Vec<String> = inner
+            .store
             .scan(&kind.collection())
             .into_iter()
             .filter_map(|(_, d)| d.path("key").and_then(Json::as_str).map(str::to_string))
@@ -237,18 +402,20 @@ impl Repository {
     }
 
     /// Records that `requirement` is satisfied by the named design artifact.
-    pub fn link_requirement(&self, requirement: &str, kind: ArtifactKind, key: &str) {
+    pub fn link_requirement(&self, requirement: &str, kind: ArtifactKind, key: &str) -> Result<(), StoreError> {
         let mut doc = Json::object();
         doc.set("requirement", Json::String(requirement.to_string()));
         doc.set("kind", Json::String(kind.as_str().to_string()));
         doc.set("key", Json::String(key.to_string()));
-        self.store.write().insert("links", doc);
+        self.inner.write().log_insert("links", doc)?;
+        Ok(())
     }
 
     /// The design artifacts linked to a requirement as (kind-name, key).
     pub fn links_for(&self, requirement: &str) -> Vec<(String, String)> {
-        let store = self.store.read();
-        store
+        let inner = self.inner.read();
+        inner
+            .store
             .find_by("links", "requirement", requirement)
             .into_iter()
             .filter_map(|(_, d)| Some((d.path("kind")?.as_str()?.to_string(), d.path("key")?.as_str()?.to_string())))
@@ -256,19 +423,40 @@ impl Repository {
     }
 
     /// Removes all traceability links of a requirement (used on retraction).
-    pub fn unlink_requirement(&self, requirement: &str) -> usize {
-        let mut store = self.store.write();
+    pub fn unlink_requirement(&self, requirement: &str) -> Result<usize, StoreError> {
+        let mut inner = self.inner.write();
         let ids: Vec<DocId> =
-            store.find_by("links", "requirement", requirement).into_iter().map(|(id, _)| id).collect();
+            inner.store.find_by("links", "requirement", requirement).into_iter().map(|(id, _)| id).collect();
         for id in &ids {
-            store.delete("links", *id);
+            inner.log_delete("links", *id)?;
         }
-        ids.len()
+        Ok(ids.len())
+    }
+
+    /// Inserts a raw document into a collection (logged in durable mode).
+    pub fn insert_document(&self, collection: &str, doc: Json) -> Result<DocId, StoreError> {
+        self.inner.write().log_insert(collection, doc)
+    }
+
+    /// Replaces a raw document in place (logged in durable mode).
+    pub fn update_document(&self, collection: &str, id: DocId, doc: Json) -> Result<(), StoreError> {
+        self.inner.write().log_update(collection, id, doc)
+    }
+
+    /// Deletes a raw document; `Ok(false)` if it did not exist.
+    pub fn delete_document(&self, collection: &str, id: DocId) -> Result<bool, StoreError> {
+        self.inner.write().log_delete(collection, id)
+    }
+
+    /// Appends an informational marker record to the log (step boundaries,
+    /// rollbacks). A no-op for in-memory repositories.
+    pub fn record_marker(&self, label: &str) -> Result<(), StoreError> {
+        self.inner.write().log_marker(label)
     }
 
     /// Runs a closure with read access to the raw document store.
     pub fn with_store<R>(&self, f: impl FnOnce(&DocumentStore) -> R) -> R {
-        f(&self.store.read())
+        f(&self.inner.read().store)
     }
 }
 
@@ -318,10 +506,43 @@ mod tests {
     }
 
     #[test]
+    fn find_by_matches_numbers_and_bools_by_rendering() {
+        let mut s = DocumentStore::new();
+        s.insert("c", Json::parse(r#"{"version":3,"live":true}"#).unwrap());
+        s.insert("c", Json::parse(r#"{"version":2.5,"live":false}"#).unwrap());
+        s.insert("c", Json::parse(r#"{"version":"3","live":null}"#).unwrap());
+        // Numeric 3 and string "3" both render/compare as "3".
+        assert_eq!(s.find_by("c", "version", "3").len(), 2);
+        assert_eq!(s.find_by("c", "version", "2.5").len(), 1);
+        assert_eq!(s.find_by("c", "live", "true").len(), 1);
+        assert_eq!(s.find_by("c", "live", "false").len(), 1);
+        // null / missing fields never match anything, not even "null".
+        assert_eq!(s.find_by("c", "live", "null").len(), 0);
+    }
+
+    #[test]
+    fn peek_next_id_predicts_insert() {
+        let mut s = DocumentStore::new();
+        assert_eq!(s.peek_next_id("c"), DocId(0));
+        let id = s.insert("c", Json::Null);
+        assert_eq!(id, DocId(0));
+        assert_eq!(s.peek_next_id("c"), DocId(1));
+        s.delete("c", id);
+        assert_eq!(s.peek_next_id("c"), DocId(1), "ids are not reused after delete");
+    }
+
+    #[test]
+    fn apply_insert_advances_the_id_counter() {
+        let mut s = DocumentStore::new();
+        s.apply_insert("c", DocId(7), Json::Null);
+        assert_eq!(s.insert("c", Json::Null), DocId(8));
+    }
+
+    #[test]
     fn artifact_versions_increment() {
         let r = Repository::new();
-        let a1 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v1/>");
-        let a2 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v2/>");
+        let a1 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v1/>").unwrap();
+        let a2 = r.put_artifact(ArtifactKind::MdSchema, "unified", "<MDschema v2/>").unwrap();
         assert_eq!((a1.version, a2.version), (1, 2));
         assert_eq!(r.latest(ArtifactKind::MdSchema, "unified").unwrap().content, "<MDschema v2/>");
         let history = r.history(ArtifactKind::MdSchema, "unified");
@@ -332,8 +553,8 @@ mod tests {
     #[test]
     fn artifact_kinds_are_isolated() {
         let r = Repository::new();
-        r.put_artifact(ArtifactKind::MdSchema, "k", "md");
-        r.put_artifact(ArtifactKind::EtlFlow, "k", "etl");
+        r.put_artifact(ArtifactKind::MdSchema, "k", "md").unwrap();
+        r.put_artifact(ArtifactKind::EtlFlow, "k", "etl").unwrap();
         assert_eq!(r.latest(ArtifactKind::MdSchema, "k").unwrap().content, "md");
         assert_eq!(r.latest(ArtifactKind::EtlFlow, "k").unwrap().content, "etl");
         assert!(r.latest(ArtifactKind::Requirement, "k").is_err());
@@ -342,21 +563,35 @@ mod tests {
     #[test]
     fn keys_lists_unique_sorted() {
         let r = Repository::new();
-        r.put_artifact(ArtifactKind::Requirement, "IR2", "x");
-        r.put_artifact(ArtifactKind::Requirement, "IR1", "x");
-        r.put_artifact(ArtifactKind::Requirement, "IR1", "y");
+        r.put_artifact(ArtifactKind::Requirement, "IR2", "x").unwrap();
+        r.put_artifact(ArtifactKind::Requirement, "IR1", "x").unwrap();
+        r.put_artifact(ArtifactKind::Requirement, "IR1", "y").unwrap();
         assert_eq!(r.keys(ArtifactKind::Requirement), ["IR1", "IR2"]);
     }
 
     #[test]
     fn requirement_links_roundtrip() {
         let r = Repository::new();
-        r.link_requirement("IR1", ArtifactKind::MdSchema, "partial-IR1");
-        r.link_requirement("IR1", ArtifactKind::EtlFlow, "flow-IR1");
+        r.link_requirement("IR1", ArtifactKind::MdSchema, "partial-IR1").unwrap();
+        r.link_requirement("IR1", ArtifactKind::EtlFlow, "flow-IR1").unwrap();
         let links = r.links_for("IR1");
         assert_eq!(links.len(), 2);
-        assert_eq!(r.unlink_requirement("IR1"), 2);
+        assert_eq!(r.unlink_requirement("IR1").unwrap(), 2);
         assert!(r.links_for("IR1").is_empty());
+    }
+
+    #[test]
+    fn in_memory_document_ops_roundtrip() {
+        let r = Repository::new();
+        assert!(!r.is_durable());
+        assert!(r.recovery_report().is_none());
+        let id = r.insert_document("c", Json::parse(r#"{"a":1}"#).unwrap()).unwrap();
+        r.update_document("c", id, Json::parse(r#"{"a":2}"#).unwrap()).unwrap();
+        assert_eq!(r.with_store(|s| s.get("c", id).unwrap().to_compact_string()), r#"{"a":2}"#);
+        r.record_marker("step:test").unwrap();
+        r.sync().unwrap();
+        assert_eq!(r.delete_document("c", id), Ok(true));
+        assert_eq!(r.delete_document("c", id), Ok(false));
     }
 
     #[test]
@@ -367,7 +602,7 @@ mod tests {
                 let r = std::sync::Arc::clone(&r);
                 std::thread::spawn(move || {
                     for _ in 0..50 {
-                        r.put_artifact(ArtifactKind::EtlFlow, "shared", "v");
+                        r.put_artifact(ArtifactKind::EtlFlow, "shared", "v").unwrap();
                     }
                 })
             })

@@ -1,0 +1,109 @@
+//! Malformed `\u` escape regression suite: every hostile escape shape must
+//! come back as a `JsonError`, never a panic. The parser once underflowed on
+//! `low - 0xDC00` when a high surrogate was followed by a non-surrogate
+//! escape, and `u32::from_str_radix`'s tolerance for `+`/`-` prefixes let
+//! sign-prefixed "hex" through; the fuzz block below sweeps the surrounding
+//! space of truncated, boundary-splitting, and garbage tails.
+
+use proptest::prelude::*;
+use quarry_repository::Json;
+
+#[test]
+fn hostile_escape_corpus_returns_errors() {
+    let corpus: &[&str] = &[
+        // High surrogate + BMP low escape: the `low - 0xDC00` underflow.
+        concat!(r#""\ud83d\u"#, r#"0041""#),
+        concat!(r#""\ud800\u"#, r#"0000""#),
+        // The low escape is itself a high surrogate.
+        r#""\ud83d\ud83d""#,
+        r#""\ud800\ud800""#,
+        // Lone surrogates, both halves.
+        r#""\ud83d""#,
+        r#""\udc00""#,
+        r#""\udfff""#,
+        r#""\ud83dA""#,
+        // Sign-prefixed "hex" that from_str_radix would accept.
+        r#""\u+12f""#,
+        r#""\u-bcd""#,
+        r#""\u+fff""#,
+        r#""\ud83d\u+e00""#,
+        r#""\ud83d\u-c00""#,
+        // Multibyte characters straddling the escape windows.
+        r#""\u€xyz""#,
+        r#""\ud83d\u€x""#,
+        "\"\\ud83d\\u\u{10348}\"",
+        "\"\\u\u{10348}abc\"",
+        // Truncated tails at every interesting length.
+        r#""\u""#,
+        r#""\u1""#,
+        r#""\u12""#,
+        r#""\u123""#,
+        r#""\ud83d\u""#,
+        r#""\ud83d\ud""#,
+        r#""\ud83d\udc""#,
+        r#""\ud83d\udc0""#,
+        // Non-hex garbage in the code-point positions.
+        r#""\uzzzz""#,
+        r#""\ud83d\uzzzz""#,
+        r#""\u 123""#,
+    ];
+    for bad in corpus {
+        let err = Json::parse(bad).expect_err(&format!("`{bad}` must be rejected"));
+        // The error is a structured JsonError with a sensible offset.
+        assert!(err.offset <= bad.len(), "`{bad}` reported offset {} past input", err.offset);
+    }
+}
+
+#[test]
+fn valid_escapes_still_decode() {
+    // A proper surrogate pair decodes to the astral char.
+    assert_eq!(Json::parse(concat!(r#""\ud83d"#, r#"\ude00""#)).unwrap(), Json::String("😀".into()));
+    // BMP escapes (built with format! so the source holds no decodable
+    // literal): é and the euro sign.
+    for (code, expect) in [(0xe9u32, "é"), (0x20ac, "€"), (0x41, "A")] {
+        let doc = format!(r#""\u{code:04x}""#);
+        assert_eq!(Json::parse(&doc).unwrap(), Json::String(expect.into()), "{doc}");
+    }
+    // Escapes compose with surrounding text and other escape kinds.
+    let doc = concat!(r#""pre\t\ud83d"#, r#"\ude00\n€post""#);
+    assert_eq!(Json::parse(doc).unwrap(), Json::String("pre\t😀\n€post".into()));
+}
+
+/// Arbitrary (mostly malformed) escape-bearing documents. Each branch aims a
+/// different window: the four bytes after `\u`, the six bytes after a high
+/// surrogate, unterminated strings, and multi-escape pileups.
+fn arb_escape_doc() -> impl Strategy<Value = String> {
+    let tail = "[0-9a-fA-F+uUdD\" €😀-]{0,8}";
+    let hex = "[0-9a-fA-F]";
+    prop_oneof![
+        // One escape with an arbitrary tail.
+        tail.prop_map(|t| format!("\"\\u{t}\"")),
+        // A syntactically valid high surrogate, then an arbitrary escape.
+        ("[89abAB]", hex, hex, tail).prop_map(|(s, x, y, t)| format!("\"\\ud{s}{x}{y}\\u{t}\"")),
+        // Arbitrary hex after \ud — sweeps high/low/non-surrogate codes.
+        (hex, hex, hex, tail).prop_map(|(x, y, z, t)| format!("\"\\ud{x}{y}{z}{t}\"")),
+        // Unterminated documents cut inside the second escape.
+        "[0-9a-fA-F]{0,4}".prop_map(|t| format!("\"\\ud83d\\u{t}")),
+        // Escape pileups with no separators.
+        "[0-9a-fA-F]{2}".prop_map(|t| format!("\"\\u{t}\\u{t}\\u{t}\"")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn escape_fuzz_never_panics(doc in arb_escape_doc()) {
+        // The only acceptable outcomes are Ok or JsonError — any panic fails
+        // the test by itself. Parsing must also be deterministic, and
+        // anything accepted must round-trip through the writer.
+        let first = Json::parse(&doc);
+        let second = Json::parse(&doc);
+        prop_assert_eq!(&first, &second);
+        if let Ok(v) = first {
+            let text = v.to_compact_string();
+            let reparsed = Json::parse(&text).expect("writer output must parse");
+            prop_assert_eq!(reparsed, v);
+        }
+    }
+}
