@@ -34,6 +34,9 @@ commands:
                            (xmd, xlm, sql, summary)
   diff                     structural changes of the last lifecycle step
   run <scale-factor>       execute the unified flow on generated TPC-H data
+                           (measured cardinalities feed the optimizer)
+  optimize [--explain]     anneal the unified flow over equivalent rewrites;
+                           --explain prints the per-move search log
   query <file.xrq>         answer a requirement from the loaded warehouse
   trace [--format chrome]  render the recorded lifecycle span tree, or emit
                            Chrome trace-event JSON (load in about://tracing)
@@ -93,10 +96,61 @@ fn dispatch(
                     for (table, rows) in &report.loaded {
                         out.push_str(&format!("  {table}: {rows} rows\n"));
                     }
+                    // Feed the measured cardinalities back into the cost
+                    // model — `optimize` then searches with observed rows.
+                    quarry.observe_run(&report);
                     *engine = Some(loaded_engine); // keep the warehouse queryable
                     out
                 }
                 Err(e) => format!("run failed: {e}"),
+            });
+        }
+        "optimize" => {
+            let explain = arg == "--explain";
+            if !arg.is_empty() && !explain {
+                return Some(format!("optimize: unknown argument `{arg}` — try `--explain`"));
+            }
+            let before = quarry.unified().1.clone();
+            return Some(match quarry.optimize() {
+                Ok(report) => {
+                    let mut out = format!(
+                        "{}: modeled cost {:.0} -> {:.0} ({:.1}% better); {} proposed, {} accepted over {} chain(s) in {:.1} ms\n",
+                        if report.applied { "optimized" } else { "no improvement found" },
+                        report.before_cost,
+                        report.after_cost,
+                        report.improvement() * 100.0,
+                        report.proposed,
+                        report.accepted,
+                        report.chains,
+                        report.wall_ms,
+                    );
+                    if explain {
+                        out.push_str("before:\n");
+                        for op in before.ops() {
+                            out.push_str(&format!("  {}\n", op.name));
+                        }
+                        out.push_str("after:\n");
+                        for op in quarry.unified().1.ops() {
+                            out.push_str(&format!("  {}\n", op.name));
+                        }
+                        out.push_str("search log (capped):\n");
+                        for r in &report.log {
+                            out.push_str(&format!(
+                                "  chain {} step {:>4}  {:<40} {}  {}\n",
+                                r.chain,
+                                r.step,
+                                r.describe,
+                                match r.delta {
+                                    Some(d) => format!("delta {d:+.3}"),
+                                    None => "illegal".to_string(),
+                                },
+                                if r.accepted { "accepted" } else { "rejected" },
+                            ));
+                        }
+                    }
+                    out
+                }
+                Err(e) => format!("optimize failed: {e}"),
             });
         }
         "query" => {
@@ -352,7 +406,19 @@ mod tests {
         // An add while observability is on surfaces the consolidation
         // counters and per-stage integrate timings.
         run(&mut quarry, &mut json, &format!("add {xrq_path}"));
+        // The optimizer: plain and --explain flavors, then its counters.
+        let optimized = run(&mut quarry, &mut json, "optimize");
+        assert!(optimized.contains("modeled cost"), "{optimized}");
+        assert!(optimized.contains("chain(s)"), "{optimized}");
+        let explained = run(&mut quarry, &mut json, "optimize --explain");
+        assert!(explained.contains("before:") && explained.contains("after:"), "{explained}");
+        assert!(explained.contains("search log"), "{explained}");
+        assert!(run(&mut quarry, &mut json, "optimize --verbose").contains("unknown argument"));
         let metrics = run(&mut quarry, &mut json, "metrics");
+        assert!(metrics.contains("integrator.optimizer.runs"), "{metrics}");
+        assert!(metrics.contains("integrator.optimizer.moves_proposed"), "{metrics}");
+        assert!(metrics.contains("integrator.optimizer.moves_accepted"), "{metrics}");
+        assert!(metrics.contains("integrator.optimizer.optimize_seconds"), "{metrics}");
         assert!(metrics.contains("engine.runs"), "{metrics}");
         assert!(metrics.contains("integrator.etl_index_hits"), "{metrics}");
         assert!(metrics.contains("integrator.md_map_hits"), "{metrics}");

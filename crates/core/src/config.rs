@@ -3,6 +3,7 @@
 //! options.
 
 use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
+use quarry_integrator::anneal::AnnealOptions;
 use quarry_integrator::etl::EtlIntegrationOptions;
 use quarry_md::{CostModel, StructuralComplexity};
 use quarry_repository::FsyncPolicy;
@@ -38,6 +39,37 @@ pub struct QuarryConfig {
     /// When repository log appends reach disk (only meaningful with
     /// `repository_dir` set). Defaults to batched fsyncs.
     pub fsync: FsyncPolicy,
+    /// Cost-based flow optimizer settings (the `optimizer.*` keys).
+    pub optimizer: OptimizerConfig,
+}
+
+/// The `optimizer.*` configuration keys: the cost-based flow optimizer that
+/// anneals the unified ETL flow over semantically-equivalent rewrites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// `optimizer.enabled` — run the optimizer automatically after every
+    /// integration step. Off by default: [`crate::Quarry::optimize`] can
+    /// always be invoked explicitly.
+    pub enabled: bool,
+    /// `optimizer.budget_ms` — wall-clock safety valve per optimization.
+    pub budget_ms: u64,
+    /// `optimizer.chains` — independent annealing chains on the worker pool.
+    pub chains: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        let d = AnnealOptions::default();
+        OptimizerConfig { enabled: false, budget_ms: d.budget_ms, chains: d.chains }
+    }
+}
+
+impl OptimizerConfig {
+    /// The annealer options these keys select (search schedule knobs keep
+    /// their defaults, so results stay deterministic per seed).
+    pub fn anneal_options(&self) -> AnnealOptions {
+        AnnealOptions { chains: self.chains.max(1), budget_ms: self.budget_ms.max(1), ..AnnealOptions::default() }
+    }
 }
 
 impl Default for QuarryConfig {
@@ -52,6 +84,7 @@ impl Default for QuarryConfig {
             metrics_addr: None,
             repository_dir: None,
             fsync: FsyncPolicy::Batched,
+            optimizer: OptimizerConfig::default(),
         }
     }
 }
@@ -70,6 +103,15 @@ impl QuarryConfig {
         cfg.stats.set_table("customer", customer as f64);
         cfg.stats.set_table("orders", orders as f64);
         cfg.stats.set_table("lineitem", orders as f64 * 4.0);
+        // The TPC-H primary keys, declared so the optimizer's join-reorder
+        // legality analysis can prove build-side uniqueness.
+        cfg.stats.declare_unique("region", vec!["r_regionkey".into()]);
+        cfg.stats.declare_unique("nation", vec!["n_nationkey".into()]);
+        cfg.stats.declare_unique("supplier", vec!["s_suppkey".into()]);
+        cfg.stats.declare_unique("part", vec!["p_partkey".into()]);
+        cfg.stats.declare_unique("partsupp", vec!["ps_partkey".into(), "ps_suppkey".into()]);
+        cfg.stats.declare_unique("customer", vec!["c_custkey".into()]);
+        cfg.stats.declare_unique("orders", vec!["o_orderkey".into()]);
         cfg
     }
 }
@@ -92,5 +134,25 @@ mod tests {
         let large = QuarryConfig::tpch(0.1);
         assert!(small.stats.table_rows("lineitem") < large.stats.table_rows("lineitem"));
         assert_eq!(small.stats.table_rows("nation"), 25.0);
+    }
+
+    #[test]
+    fn tpch_declares_the_primary_keys() {
+        let cfg = QuarryConfig::tpch(0.01);
+        assert!(cfg.stats.datastore_unique_on("part", &["p_partkey".into()]));
+        assert!(cfg.stats.datastore_unique_on("supplier", &["s_suppkey".into()]));
+        assert!(cfg.stats.datastore_unique_on("partsupp", &["ps_partkey".into(), "ps_suppkey".into()]));
+        assert!(!cfg.stats.datastore_unique_on("partsupp", &["ps_partkey".into()]));
+        assert!(!cfg.stats.datastore_unique_on("lineitem", &["l_orderkey".into()]));
+    }
+
+    #[test]
+    fn optimizer_defaults_are_off_but_budgeted() {
+        let cfg = QuarryConfig::default();
+        assert!(!cfg.optimizer.enabled);
+        assert!(cfg.optimizer.budget_ms > 0 && cfg.optimizer.chains > 0);
+        let opts = cfg.optimizer.anneal_options();
+        assert_eq!(opts.chains, cfg.optimizer.chains);
+        assert_eq!(opts.budget_ms, cfg.optimizer.budget_ms);
     }
 }

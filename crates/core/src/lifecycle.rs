@@ -4,11 +4,13 @@ use crate::config::QuarryConfig;
 use quarry_deployer::{DeployError, DeploymentArtifacts, PlatformRegistry};
 use quarry_elicitor::{Elicitor, Session};
 use quarry_engine::{Catalog, Engine, EngineError, RunReport};
+use quarry_etl::cost::{EstimatedTime, TimeWeights};
 use quarry_etl::Flow;
 use quarry_formats::registry::FormatRegistry;
 use quarry_formats::{FormatError, Requirement};
 use quarry_integrator::etl::EtlIntegrationReport;
 use quarry_integrator::md::MdIntegrationReport;
+use quarry_integrator::optimize::{optimize_flow, OptimizeReport};
 use quarry_integrator::state::{ConsolidationState, ConsolidationStats};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
@@ -185,6 +187,11 @@ pub struct Quarry {
 struct LifecycleMetrics {
     md_integrate_seconds: Histogram,
     etl_integrate_seconds: Histogram,
+    optimize_seconds: Histogram,
+    optimizer_runs: Counter,
+    optimizer_applied: Counter,
+    optimizer_moves_proposed: Counter,
+    optimizer_moves_accepted: Counter,
     engine_op_seconds: Histogram,
     engine_runs: Counter,
     engine_ops: Counter,
@@ -196,6 +203,11 @@ impl LifecycleMetrics {
         LifecycleMetrics {
             md_integrate_seconds: obs.histogram("integrator.md_integrate_seconds"),
             etl_integrate_seconds: obs.histogram("integrator.etl_integrate_seconds"),
+            optimize_seconds: obs.histogram("integrator.optimizer.optimize_seconds"),
+            optimizer_runs: obs.counter("integrator.optimizer.runs"),
+            optimizer_applied: obs.counter("integrator.optimizer.applied"),
+            optimizer_moves_proposed: obs.counter("integrator.optimizer.moves_proposed"),
+            optimizer_moves_accepted: obs.counter("integrator.optimizer.moves_accepted"),
             engine_op_seconds: obs.histogram("engine.op_seconds"),
             engine_runs: obs.counter("engine.runs"),
             engine_ops: obs.counter("engine.ops"),
@@ -505,6 +517,16 @@ impl Quarry {
         self.requirements.insert(req.id.clone(), req.clone());
         self.persist_unified()?;
 
+        // `optimizer.enabled` folds the cost-based optimizer into every
+        // integration step (off by default; `Quarry::optimize` runs it on
+        // demand). An unimproved design passes through untouched.
+        if self.config.optimizer.enabled {
+            let phase = self.obs.span("optimize");
+            let report = self.optimize_phases()?;
+            phase.attr("applied", i64::from(report.applied));
+            phase.attr("cost_delta", report.after_cost - report.before_cost);
+        }
+
         let warnings = {
             let phase = self.obs.span("validate");
             let warnings = self.unified_md.validate();
@@ -717,6 +739,60 @@ impl Quarry {
         }
         self.persist_unified()?;
         Ok(())
+    }
+
+    /// Runs the cost-based flow optimizer over the unified ETL flow: a
+    /// simulated-annealing search across semantically-equivalent rewrites
+    /// (selection placement, join-spine order, projection pruning, duplicate
+    /// merging), scored by the engine-aware execution-time model rescaled
+    /// with any cardinalities observed by prior runs (see
+    /// [`Quarry::observe_run`]). The swap is transactional: either a
+    /// canonical, validated, strictly-cheaper flow replaces the unified one
+    /// — with the consolidation index invalidated and the new design
+    /// persisted — or the design is left untouched.
+    pub fn optimize(&mut self) -> Result<OptimizeReport, QuarryError> {
+        let step = self.obs.span("optimize");
+        let result = self.optimize_phases();
+        if let Ok(report) = &result {
+            step.attr("applied", i64::from(report.applied));
+            step.attr("cost_before", report.before_cost);
+            step.attr("cost_after", report.after_cost);
+            step.attr("moves_proposed", report.proposed as i64);
+            step.attr("moves_accepted", report.accepted as i64);
+        }
+        self.finish_step(step, &result);
+        result
+    }
+
+    fn optimize_phases(&mut self) -> Result<OptimizeReport, QuarryError> {
+        self.repository.record_marker("step:optimize")?;
+        // The native engine is columnar, so the optimizer scores with the
+        // engine-aware weight preset (which also prices column width,
+        // unlocking projection-pruning moves).
+        let model = EstimatedTime { weights: TimeWeights::columnar() };
+        let opts = self.config.optimizer.anneal_options();
+        let started = Instant::now();
+        let report = optimize_flow(&mut self.unified_etl, &mut self.config.stats, model, &opts)?;
+        self.metrics.optimize_seconds.observe(started.elapsed().as_secs_f64());
+        self.metrics.optimizer_runs.inc();
+        self.metrics.optimizer_moves_proposed.add(report.proposed);
+        self.metrics.optimizer_moves_accepted.add(report.accepted);
+        if report.applied {
+            self.metrics.optimizer_applied.inc();
+            // The rewritten flow was mutated outside an integration step, so
+            // the maintained index no longer describes it.
+            self.consolidation.invalidate();
+            self.persist_unified()?;
+        }
+        Ok(report)
+    }
+
+    /// Feeds a run's measured per-operation cardinalities back into the
+    /// configured source statistics ([`RunReport::observe_into`]): later
+    /// optimizations and integrations then estimate with what the engine
+    /// actually observed instead of static selectivity guesses.
+    pub fn observe_run(&mut self, report: &RunReport) {
+        report.observe_into(&mut self.config.stats);
     }
 
     /// Cumulative consolidation-index traffic (ETL index hits/misses/rebuilds
@@ -1159,6 +1235,75 @@ mod tests {
         assert_eq!(q2.repository().latest(ArtifactKind::MdSchema, "unified").unwrap(), md_after_rollback);
         q2.add_requirement(netprofit_requirement()).unwrap();
         assert!(q2.repository().latest(ArtifactKind::Requirement, "IR2").is_ok());
+    }
+
+    #[test]
+    fn optimize_keeps_the_design_sound_and_the_warehouse_identical() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+        let before_flow = q.unified().1.clone();
+        let catalog = quarry_engine::tpch::generate(0.002, 42);
+        let (baseline, _) = q.run_etl(catalog.clone()).unwrap();
+
+        let report = q.optimize().unwrap();
+        assert!(report.before_cost > 0.0 && report.after_cost <= report.before_cost);
+        if report.applied {
+            assert_ne!(*q.unified().1, before_flow);
+        } else {
+            assert_eq!(*q.unified().1, before_flow);
+        }
+        q.unified().1.validate().unwrap();
+
+        // Whatever the optimizer did, the warehouse is bit-identical.
+        let (optimized, _) = q.run_etl(catalog).unwrap();
+        for table in ["fact_table_revenue", "fact_table_netprofit", "dim_part", "dim_supplier"] {
+            assert_eq!(
+                format!("{}", baseline.catalog.get(table).unwrap()),
+                format!("{}", optimized.catalog.get(table).unwrap()),
+                "{table} must be unchanged by optimization"
+            );
+        }
+        // A later integration step still works (the index rebuilds).
+        q.remove_requirement("IR2").unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+    }
+
+    #[test]
+    fn observe_run_feeds_the_source_statistics() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let (_, report) = q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let gen_before = q.config().stats.generation();
+        q.observe_run(&report);
+        assert!(q.config().stats.generation() > gen_before, "observations must invalidate cached cardinalities");
+        assert!(
+            report.timings.iter().any(|t| q.config().stats.observed_op(&t.op).is_some()),
+            "at least one timed operation must be recorded"
+        );
+        // The optimizer runs fine with observed statistics in place.
+        let opt = q.optimize().unwrap();
+        assert!(opt.after_cost <= opt.before_cost);
+    }
+
+    #[test]
+    fn enabled_optimizer_runs_inside_every_add_step() {
+        let domain = quarry_ontology::tpch::domain();
+        let mut cfg = QuarryConfig::tpch(0.01);
+        cfg.optimizer.enabled = true;
+        let mut q = Quarry::with_config(domain.ontology, domain.sources, cfg);
+        q.set_observability(true);
+        q.add_requirement(figure4_requirement()).unwrap();
+        let metrics = q.observability().metrics();
+        let runs = metrics
+            .iter()
+            .find(|(n, _)| n == "integrator.optimizer.runs")
+            .and_then(|(_, m)| m.as_counter())
+            .unwrap_or(0);
+        assert!(runs >= 1, "optimizer.enabled must fold the optimizer into the add step");
+        // The design stays usable afterwards.
+        q.add_requirement(netprofit_requirement()).unwrap();
+        q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
     }
 
     #[test]

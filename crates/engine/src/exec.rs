@@ -169,7 +169,13 @@ impl RunReport {
     /// measured instead of static selectivity guesses.
     pub fn observe_into(&self, stats: &mut quarry_etl::cost::SourceStats) {
         for t in &self.timings {
-            stats.observe_op(&t.op, t.rows_out as f64);
+            if t.rows_in > 0 {
+                // Input/output pairs additionally carry an observed
+                // selectivity, which generalizes across flow rewrites.
+                stats.observe_op_io(&t.op, t.rows_in as f64, t.rows_out as f64);
+            } else {
+                stats.observe_op(&t.op, t.rows_out as f64);
+            }
         }
     }
 }

@@ -26,6 +26,7 @@ pub mod cost;
 mod expr;
 mod flow;
 mod ops;
+pub mod rewrite;
 pub mod rules;
 mod schema;
 

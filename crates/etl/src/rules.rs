@@ -159,7 +159,7 @@ pub fn dedupe(flow: &mut Flow) -> usize {
 
 /// Whether a selection with footprint `pred_cols` may move from *after* the
 /// unary operation `above` to *before* it without changing semantics.
-fn selection_moves_above(above: &OpKind, pred_cols: &[String]) -> bool {
+pub(crate) fn selection_moves_above(above: &OpKind, pred_cols: &[String]) -> bool {
     match above {
         // Adjacent selections are handled by merging (see
         // `merge_adjacent_selections`), never by swapping — a swap rule
@@ -204,18 +204,40 @@ pub fn push_selection_once(flow: &mut Flow, sel: OpId) -> Result<bool, FlowError
     }
     let above_kind = flow.op(input).kind.clone();
     match &above_kind {
-        OpKind::Join { .. } | OpKind::Union => {
-            // Route into the branch that supplies every predicate column.
+        OpKind::Union => {
+            // σ(A ∪ B) = σ(A) ∪ σ(B): the filter is *replicated* into both
+            // branches (routing it into just one would leave the other
+            // branch unfiltered). Bag union concatenates, and the filter
+            // preserves order within each branch, so the rewrite is
+            // bit-identical.
             let branches = flow.inputs_of(input);
             debug_assert_eq!(branches.len(), 2);
+            let reqs = flow.op(sel).satisfies.clone();
+            let base = flow.op(sel).name.clone();
+            for (i, &branch) in branches.iter().enumerate() {
+                let name = unique_op_name(flow, &format!("{base}_u{}", i + 1));
+                let copy = flow.add_op(name, OpKind::Selection { predicate: pred.clone() })?;
+                flow.op_mut(copy).satisfies = reqs.clone();
+                // Parallel edges (a self-union A ∪ A) need the occurrence of
+                // this particular (branch, union) edge, not the branch index.
+                let occurrence = branches[..i].iter().filter(|&&b| b == branch).count();
+                splice_on_edge(flow, copy, branch, input, occurrence);
+            }
+            flow.remove_bridging(sel);
+            Ok(true)
+        }
+        OpKind::Join { kind, .. } => {
+            // Route into the branch that supplies every predicate column.
+            // For left joins only the left (probe) branch is legal: a
+            // build-side filter would also have to drop the null-extended
+            // rows the outer join keeps.
+            let branches = flow.inputs_of(input);
+            debug_assert_eq!(branches.len(), 2);
+            let legal_branches: &[OpId] =
+                if *kind == crate::ops::JoinKind::Left { &branches[..1] } else { &branches[..] };
             let schemas = flow.schemas()?;
-            for &branch in &branches {
-                let covers = match &above_kind {
-                    // Union branches all share the full schema; route left.
-                    OpKind::Union => true,
-                    _ => pred_cols.iter().all(|c| schemas[&branch].has(c)),
-                };
-                if covers {
+            for &branch in legal_branches {
+                if pred_cols.iter().all(|c| schemas[&branch].has(c)) {
                     move_between(flow, sel, branch, input);
                     return Ok(true);
                 }
@@ -234,6 +256,44 @@ pub fn push_selection_once(flow: &mut Flow, sel: OpId) -> Result<bool, FlowError
         }
         _ => Ok(false),
     }
+}
+
+/// A name not yet used by any operation of `flow`: `base` itself, or
+/// `base~2`, `base~3`, … on collision.
+pub(crate) fn unique_op_name(flow: &Flow, base: &str) -> String {
+    if flow.id_by_name(base).is_none() {
+        return base.to_string();
+    }
+    let mut i = 2usize;
+    loop {
+        let name = format!("{base}~{i}");
+        if flow.id_by_name(&name).is_none() {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+/// Splices `op` onto the `occurrence`-th copy of the edge `from → to`
+/// (0-based; parallel edges exist when both inputs of a binary operation are
+/// the same op). Edge positions are preserved, so binary input order stays
+/// intact.
+pub(crate) fn splice_on_edge(flow: &mut Flow, op: OpId, from: OpId, to: OpId, occurrence: usize) {
+    let mut seen = 0usize;
+    let mut new_edges = Vec::with_capacity(flow.edge_count() + 1);
+    for &(f, t) in flow.edges() {
+        if (f, t) == (from, to) {
+            if seen == occurrence {
+                new_edges.push((from, op));
+                new_edges.push((op, to));
+                seen += 1;
+                continue;
+            }
+            seen += 1;
+        }
+        new_edges.push((f, t));
+    }
+    flow.replace_edges(new_edges);
 }
 
 /// Detaches unary `op` from its current position (bridging its input to its
@@ -554,6 +614,80 @@ mod tests {
         normalize(&mut f).unwrap();
         let sel_inputs = f.inputs_of(f.id_by_name("SEL").unwrap());
         assert_eq!(f.op(sel_inputs[0]).name, "J", "predicate spans both branches");
+    }
+
+    #[test]
+    fn selection_replicates_into_both_union_branches() {
+        let mut f = Flow::new("t");
+        let a = f.add_op("A", li()).unwrap();
+        let b = f.add_op("B", li()).unwrap();
+        let u = f.add_op("U", OpKind::Union).unwrap();
+        f.connect(a, u).unwrap();
+        f.connect(b, u).unwrap();
+        let s = f.append(u, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() }).unwrap();
+        f.op_mut(s).satisfies.insert("IR1".into());
+        f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        normalize(&mut f).unwrap();
+        f.validate().unwrap();
+        // One filter copy sits on each branch; the original is gone.
+        let u = f.id_by_name("U").unwrap();
+        let branch_kinds: Vec<_> = f.inputs_of(u).iter().map(|&i| f.op(i).kind.type_name()).collect();
+        assert_eq!(branch_kinds, ["Selection", "Selection"], "both branches filtered");
+        for &i in &f.inputs_of(u) {
+            assert!(f.op(i).satisfies.contains("IR1"), "copies keep the satisfier set");
+        }
+        assert!(f.id_by_name("SEL").is_none(), "original filter removed");
+        // The union feeds the loader directly now.
+        let load_in = f.inputs_of(f.id_by_name("LOAD").unwrap());
+        assert_eq!(f.op(load_in[0]).name, "U");
+    }
+
+    #[test]
+    fn left_join_blocks_build_side_pushdown() {
+        let mut f = Flow::new("t");
+        let l = f.add_op("L", li()).unwrap();
+        let o = f.add_op("O", ord()).unwrap();
+        let j = f
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Left,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
+            .unwrap();
+        f.connect(l, j).unwrap();
+        f.connect(o, j).unwrap();
+        // Predicate reads the build (right) side: it must stay above the
+        // left join, which keeps null-extended rows a pushed filter could
+        // not drop.
+        let s = f.append(j, "SEL", OpKind::Selection { predicate: parse_expr("o_totalprice > 100").unwrap() }).unwrap();
+        f.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        normalize(&mut f).unwrap();
+        let sel_inputs = f.inputs_of(f.id_by_name("SEL").unwrap());
+        assert_eq!(f.op(sel_inputs[0]).name, "J", "build-side filter stays above a left join");
+        // Probe-side predicates still push through.
+        let mut g = Flow::new("t2");
+        let l = g.add_op("L", li()).unwrap();
+        let o = g.add_op("O", ord()).unwrap();
+        let j = g
+            .add_op(
+                "J",
+                OpKind::Join {
+                    kind: JoinKind::Left,
+                    left_on: vec!["l_orderkey".into()],
+                    right_on: vec!["o_orderkey".into()],
+                },
+            )
+            .unwrap();
+        g.connect(l, j).unwrap();
+        g.connect(o, j).unwrap();
+        let s = g.append(j, "SEL", OpKind::Selection { predicate: parse_expr("l_discount > 0.01").unwrap() }).unwrap();
+        g.append(s, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+        normalize(&mut g).unwrap();
+        let sel_inputs = g.inputs_of(g.id_by_name("SEL").unwrap());
+        assert_eq!(g.op(sel_inputs[0]).name, "L", "probe-side filter pushes into the left branch");
     }
 
     #[test]

@@ -19,14 +19,22 @@
 //! proportional to the partial design instead of the whole unified one —
 //! with bit-identical results.
 //!
+//! [`optimize`] (with [`anneal`] underneath) is the cost-based flow
+//! optimizer: a simulated-annealing search over semantically-equivalent
+//! rewrites of the unified flow ([`quarry_etl::rewrite`]), scored by the
+//! estimated-execution-time model rescaled with observed run cardinalities,
+//! committing only canonical, validated, strictly-cheaper alternatives.
+//!
 //! Both integrators preserve requirement traceability: merged elements carry
 //! the union of the satisfier sets, so later retraction prunes exactly the
 //! right sub-designs.
 
 #![forbid(unsafe_code)]
 
+pub mod anneal;
 pub mod etl;
 pub mod md;
+pub mod optimize;
 pub mod state;
 
 use std::fmt;

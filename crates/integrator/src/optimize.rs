@@ -1,0 +1,307 @@
+//! The cost-based flow optimizer: annealing search + safe commit.
+//!
+//! [`optimize_flow`] wraps the annealing search ([`crate::anneal`]) with the
+//! discipline the lifecycle needs before it may swap the unified flow:
+//!
+//! 1. the annealer's best flow is **re-canonicalized** to a fixpoint
+//!    ([`quarry_etl::rules::canonicalize`]) — the consolidation index
+//!    requires canonical form, so only wins that survive normalization
+//!    (join-spine order, column pruning, sharing) are kept;
+//! 2. the candidate is **re-validated** and its loader interfaces are
+//!    compared against the original (same target tables, bit-identical sink
+//!    schemas) — a structural guarantee on top of the per-move
+//!    order-preservation proofs;
+//! 3. the candidate is **re-costed from scratch** and committed only when it
+//!    actually beats the input. Otherwise the report says `applied: false`
+//!    and the caller keeps its flow untouched.
+//!
+//! The caller (the lifecycle's `optimize` step) is responsible for the
+//! atomic swap and for invalidating its consolidation index afterwards.
+
+use crate::anneal::{anneal, AnnealOptions, MoveRecord};
+use crate::IntegrateError;
+use quarry_etl::cost::{EstimatedTime, EtlCostModel, SourceStats};
+use quarry_etl::{rules, Flow, OpKind, Schema};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Canonicalization fixpoint cap. Normalization itself is a fixpoint pass;
+/// the outer loop only re-runs it when dedupe unlocked further merges, which
+/// converges in one or two rounds on real flows.
+const CANONICAL_PASS_CAP: usize = 8;
+
+/// What one optimization run did.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    /// Modeled cost of the input flow.
+    pub before_cost: f64,
+    /// Modeled cost of the returned flow (equals `before_cost` when the
+    /// search found nothing that survives canonicalization).
+    pub after_cost: f64,
+    /// Whether the returned flow differs from the input.
+    pub applied: bool,
+    /// Moves proposed across all chains.
+    pub proposed: u64,
+    /// Moves accepted across all chains.
+    pub accepted: u64,
+    /// Chains run.
+    pub chains: usize,
+    /// Wall time of the whole optimization (search + canonicalize +
+    /// re-validate), milliseconds.
+    pub wall_ms: f64,
+    /// Capped per-chain move logs (for `optimize --explain`).
+    pub log: Vec<MoveRecord>,
+}
+
+impl OptimizeReport {
+    /// Fractional modeled-cost improvement in `[0, 1)`.
+    pub fn improvement(&self) -> f64 {
+        if self.before_cost > 0.0 {
+            (1.0 - self.after_cost / self.before_cost).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The loader interface of a flow: target table → input schema, the contract
+/// the optimizer must leave bit-identical. Multiple loaders into one table
+/// collect into a sorted multiset via the count suffix.
+fn sink_interfaces(flow: &Flow) -> Result<BTreeMap<(String, usize), Schema>, IntegrateError> {
+    let schemas = flow.schemas().map_err(|e| IntegrateError::InvalidResult(vec![e.to_string()]))?;
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    let mut loaders: Vec<_> = flow
+        .ops()
+        .filter_map(|op| match &op.kind {
+            OpKind::Loader { table, .. } => Some((table.clone(), op.id)),
+            _ => None,
+        })
+        .collect();
+    loaders.sort();
+    for (table, id) in loaders {
+        let inputs = flow.inputs_of(id);
+        let schema = inputs.first().map(|i| schemas[i].clone()).unwrap_or_else(|| Schema::new(vec![]));
+        let n = seen.entry(table.clone()).or_insert(0);
+        out.insert((table, *n), schema);
+        *n += 1;
+    }
+    Ok(out)
+}
+
+/// Optimizes `flow` in place. On `Ok(report)` the flow is either untouched
+/// (`applied: false`) or replaced by a canonical, validated,
+/// execution-equivalent flow with strictly lower modeled cost. On `Err` the
+/// flow is untouched.
+///
+/// `stats` is mutable because a commit also commits the winning chain's view
+/// of the statistics: absolute observations recorded for operations the
+/// winning moves restructured are dropped — a reshaped join's old measured
+/// cardinality no longer describes it, and keeping it would pin the new
+/// design's estimates to the old design's reality. The next observed run
+/// re-pins them. When nothing is applied, `stats` is untouched.
+pub fn optimize_flow(
+    flow: &mut Flow,
+    stats: &mut SourceStats,
+    model: EstimatedTime,
+    opts: &AnnealOptions,
+) -> Result<OptimizeReport, IntegrateError> {
+    let started = Instant::now();
+    let invalid = |e: quarry_etl::FlowError| IntegrateError::InvalidResult(vec![e.to_string()]);
+    let before_cost = model.cost(flow, stats).map_err(invalid)?;
+    let sinks_before = sink_interfaces(flow)?;
+
+    let outcome = anneal(flow, stats, model, opts).map_err(invalid)?;
+    let mut report = OptimizeReport {
+        before_cost,
+        after_cost: before_cost,
+        applied: false,
+        proposed: outcome.proposed,
+        accepted: outcome.accepted,
+        chains: outcome.chains,
+        wall_ms: 0.0,
+        log: outcome.log,
+    };
+
+    // Re-canonicalize the winner to a fixpoint: the lifecycle keeps the
+    // unified flow permanently canonical, so a win must survive this or it
+    // was only an artifact of non-canonical selection placement.
+    let mut candidate = outcome.flow;
+    for _ in 0..CANONICAL_PASS_CAP {
+        let changes = rules::canonicalize(&mut candidate, true).map_err(invalid)?;
+        if changes == 0 {
+            break;
+        }
+    }
+    candidate.validate().map_err(invalid)?;
+
+    // The loader contract must be bit-identical: same target tables, same
+    // sink schemas, column for column.
+    if sink_interfaces(&candidate)? != sinks_before {
+        report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        return Ok(report); // structural guard tripped: keep the input flow
+    }
+
+    // Commit only a from-scratch-verified strict improvement. The re-cost
+    // uses the winning chain's statistics: observations it invalidated by
+    // restructuring an operation must not pin the candidate's estimates.
+    let after_cost = model.cost(&candidate, &outcome.stats).map_err(invalid)?;
+    if after_cost < before_cost {
+        *flow = candidate;
+        *stats = outcome.stats;
+        report.after_cost = after_cost;
+        report.applied = true;
+    }
+    report.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quarry_etl::cost::TimeWeights;
+    use quarry_etl::{parse_expr, ColType, Column, JoinKind, OpKind, Schema};
+
+    fn spine() -> (Flow, SourceStats) {
+        let mut f = Flow::new("spine");
+        let ps = f
+            .add_op(
+                "DS_partsupp",
+                OpKind::Datastore {
+                    datastore: "partsupp".into(),
+                    schema: Schema::new(vec![
+                        Column::new("ps_partkey", ColType::Integer),
+                        Column::new("ps_suppkey", ColType::Integer),
+                        Column::new("ps_supplycost", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let pt = f
+            .add_op(
+                "DS_part",
+                OpKind::Datastore {
+                    datastore: "part".into(),
+                    schema: Schema::new(vec![
+                        Column::new("p_partkey", ColType::Integer),
+                        Column::new("p_name", ColType::Text),
+                    ]),
+                },
+            )
+            .unwrap();
+        let sp = f
+            .add_op(
+                "DS_supplier",
+                OpKind::Datastore {
+                    datastore: "supplier".into(),
+                    schema: Schema::new(vec![
+                        Column::new("s_suppkey", ColType::Integer),
+                        Column::new("s_nation", ColType::Text),
+                    ]),
+                },
+            )
+            .unwrap();
+        let j1 = f
+            .add_op(
+                "JOIN_part",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["ps_partkey".into()],
+                    right_on: vec!["p_partkey".into()],
+                },
+            )
+            .unwrap();
+        f.connect(ps, j1).unwrap();
+        f.connect(pt, j1).unwrap();
+        let sel = f
+            .append(sp, "SEL_spain", OpKind::Selection { predicate: parse_expr("s_nation = 'Spain'").unwrap() })
+            .unwrap();
+        let j2 = f
+            .add_op(
+                "JOIN_supp",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["ps_suppkey".into()],
+                    right_on: vec!["s_suppkey".into()],
+                },
+            )
+            .unwrap();
+        f.connect(j1, j2).unwrap();
+        f.connect(sel, j2).unwrap();
+        let agg = f
+            .append(
+                j2,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["p_name".into()],
+                    aggregates: vec![quarry_etl::AggSpec::new("SUM", parse_expr("ps_supplycost").unwrap(), "total")],
+                },
+            )
+            .unwrap();
+        f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        f.validate().unwrap();
+        let stats = SourceStats::new()
+            .with_table("partsupp", 8_000.0)
+            .with_table("part", 2_000.0)
+            .with_table("supplier", 100.0)
+            .with_unique("part", &["p_partkey"])
+            .with_unique("supplier", &["s_suppkey"]);
+        (f, stats)
+    }
+
+    #[test]
+    fn optimize_commits_a_canonical_improvement() {
+        let (mut flow, mut stats) = spine();
+        let original = flow.clone();
+        let model = EstimatedTime { weights: TimeWeights::columnar() };
+        let report = optimize_flow(&mut flow, &mut stats, model, &AnnealOptions::default()).unwrap();
+        assert!(report.applied, "the spine swap must survive canonicalization");
+        assert!(report.improvement() > 0.10, "improvement {}", report.improvement());
+        assert_ne!(flow, original);
+        flow.validate().unwrap();
+        // Canonical fixpoint: re-canonicalizing the committed flow is a no-op.
+        let mut again = flow.clone();
+        assert_eq!(rules::canonicalize(&mut again, true).unwrap(), 0);
+        assert_eq!(again, flow);
+        // The loader contract is untouched.
+        assert_eq!(sink_interfaces(&flow).unwrap(), sink_interfaces(&original).unwrap());
+    }
+
+    #[test]
+    fn optimize_leaves_an_already_optimal_flow_alone() {
+        let (mut flow, mut stats) = spine();
+        let model = EstimatedTime { weights: TimeWeights::columnar() };
+        // First run finds the win; the second starts from the optimum.
+        optimize_flow(&mut flow, &mut stats, model, &AnnealOptions::default()).unwrap();
+        let settled = flow.clone();
+        let report = optimize_flow(&mut flow, &mut stats, model, &AnnealOptions::default()).unwrap();
+        assert!(!report.applied, "no second win to find");
+        assert_eq!(report.after_cost.to_bits(), report.before_cost.to_bits());
+        assert_eq!(flow, settled, "applied: false leaves the flow untouched");
+    }
+
+    #[test]
+    fn optimize_handles_an_empty_flow() {
+        let mut flow = Flow::new("empty");
+        let mut stats = SourceStats::new();
+        let report = optimize_flow(&mut flow, &mut stats, EstimatedTime::new(), &AnnealOptions::default()).unwrap();
+        assert!(!report.applied);
+        assert_eq!(report.before_cost, 0.0);
+    }
+
+    #[test]
+    fn observed_cardinalities_steer_the_search() {
+        let (mut flow, mut stats) = spine();
+        // Pretend a run observed the Spain filter to be barely selective:
+        // 95 of 100 suppliers qualify. The swap's modeled win shrinks but
+        // the optimizer must keep using the observed ratio consistently.
+        stats.observe_op_io("SEL_spain", 100.0, 95.0);
+        let model = EstimatedTime { weights: TimeWeights::columnar() };
+        let report = optimize_flow(&mut flow, &mut stats, model, &AnnealOptions::default()).unwrap();
+        let (mut flow2, mut stats2) = spine();
+        let report2 = optimize_flow(&mut flow2, &mut stats2, model, &AnnealOptions::default()).unwrap();
+        // With the default 10% selectivity guess the win is much larger than
+        // with the observed 95%.
+        assert!(report2.improvement() > report.improvement());
+    }
+}
