@@ -37,6 +37,13 @@ commands:
                            (measured cardinalities feed the optimizer)
   optimize [--explain]     anneal the unified flow over equivalent rewrites;
                            --explain prints the per-move search log
+  explain [--analyze]      print the cost model's estimated cardinalities for
+                           the unified flow; --analyze renders the latest
+                           run's execution profile (estimated vs. actual rows,
+                           timings, kernel dispatch) as an annotated plan tree
+  events                   dump the flight recorder's recent event history
+                           (always on: spans, pool, WAL fsyncs, optimizer
+                           moves, kernel fallbacks, drift flags)
   query <file.xrq>         answer a requirement from the loaded warehouse
   trace [--format chrome]  render the recorded lifecycle span tree, or emit
                            Chrome trace-event JSON (load in about://tracing)
@@ -152,6 +159,54 @@ fn dispatch(
                 }
                 Err(e) => format!("optimize failed: {e}"),
             });
+        }
+        "explain" => {
+            let analyze = arg == "--analyze";
+            if !arg.is_empty() && !analyze {
+                return Some(format!("explain: unknown argument `{arg}` — try `--analyze`"));
+            }
+            if analyze {
+                return Some(match handle(quarry, ServiceRequest::GetProfile) {
+                    ServiceResponse::Document(doc) => match quarry_repository::Json::parse(&doc)
+                        .ok()
+                        .as_ref()
+                        .and_then(quarry::ExecutionProfile::from_json)
+                    {
+                        Some(profile) => profile.render(),
+                        None => "explain: the stored profile document is unreadable".to_string(),
+                    },
+                    ServiceResponse::Error(e) => format!("explain: {e}"),
+                    other => format!("explain: unexpected response {other:?}"),
+                });
+            }
+            let flow = quarry.unified().1;
+            return Some(match quarry_etl::cost::cardinalities(flow, &quarry.config().stats) {
+                Ok(cards) => {
+                    let mut out = format!(
+                        "{} — estimated plan ({} ops); run the flow, then `explain --analyze` for actuals:\n",
+                        flow.name,
+                        flow.ops().count(),
+                    );
+                    for id in flow.topo_order().unwrap_or_default() {
+                        let op = flow.op(id);
+                        out.push_str(&format!(
+                            "  {:<44} est {:>12.0} rows  {}\n",
+                            op.name,
+                            cards.get(&id).copied().unwrap_or(0.0),
+                            op.kind,
+                        ));
+                    }
+                    out
+                }
+                Err(e) => format!("explain: {e}"),
+            });
+        }
+        "events" => {
+            if *json {
+                ServiceRequest::GetEvents
+            } else {
+                return Some(quarry::obs::flight::recorder().render_tail(quarry::obs::flight::DUMP_TAIL));
+            }
         }
         "query" => {
             let Some(warehouse) = engine.as_mut() else {
@@ -384,8 +439,24 @@ mod tests {
         assert!(run(&mut quarry, &mut json, "etl").contains("DATASTORE_Lineitem"));
         assert!(run(&mut quarry, &mut json, "deploy postgres-pdi").contains("CREATE TABLE"));
         assert!(run(&mut quarry, &mut json, "query nowhere.xrq").contains("no warehouse"), "query before run");
+        // EXPLAIN before any execution: estimates render, analyze refuses.
+        let estimated = run(&mut quarry, &mut json, "explain");
+        assert!(estimated.contains("estimated plan"), "{estimated}");
+        assert!(estimated.contains("DATASTORE_Lineitem"), "{estimated}");
+        assert!(run(&mut quarry, &mut json, "explain --analyze").contains("no execution profile"));
         let executed = run(&mut quarry, &mut json, "run 0.001");
         assert!(executed.contains("rows processed"), "{executed}");
+        // EXPLAIN ANALYZE after a run: the annotated profile tree with
+        // estimated vs. actual cardinalities and kernel dispatch counts.
+        let analyzed = run(&mut quarry, &mut json, "explain --analyze");
+        assert!(analyzed.contains("est "), "{analyzed}");
+        assert!(analyzed.contains("kernels:"), "{analyzed}");
+        assert!(analyzed.contains("LOADER_fact_table_revenue"), "{analyzed}");
+        assert!(run(&mut quarry, &mut json, "explain --verbose").contains("unknown argument"));
+        // The flight recorder has been accumulating events all along.
+        let events = run(&mut quarry, &mut json, "events");
+        assert!(events.contains("flight recorder:"), "{events}");
+        assert!(events.contains("op_finish"), "{events}");
         let answered = run(&mut quarry, &mut json, &format!("query {xrq_path}"));
         assert!(answered.contains("revenue"), "{answered}");
         let exported = run(&mut quarry, &mut json, "export sql");
@@ -449,6 +520,8 @@ mod tests {
         assert!(run(&mut quarry, &mut json, "json on").contains("on"));
         let listing = run(&mut quarry, &mut json, "list");
         assert!(listing.contains("\"requirements\""), "{listing}");
+        let events_doc = run(&mut quarry, &mut json, "events");
+        assert!(events_doc.contains("\"document\""), "json mode routes events through the service: {events_doc}");
         // Errors render, never panic.
         assert!(run(&mut quarry, &mut json, "bogus").contains("unknown command"));
         let mut plain = false;

@@ -42,9 +42,11 @@ mod config;
 mod lifecycle;
 pub mod native;
 pub mod olap;
+pub mod profile;
 pub mod service;
 pub mod tracedoc;
 
 pub use config::QuarryConfig;
 pub use lifecycle::{DesignUpdate, Quarry, QuarryError};
+pub use profile::ExecutionProfile;
 pub use quarry_obs as obs;

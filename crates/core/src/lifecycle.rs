@@ -1,10 +1,11 @@
 //! The Quarry façade: incremental DW design lifecycle management.
 
 use crate::config::QuarryConfig;
+use crate::profile::{ExecutionProfile, KernelDelta};
 use quarry_deployer::{DeployError, DeploymentArtifacts, PlatformRegistry};
 use quarry_elicitor::{Elicitor, Session};
 use quarry_engine::{Catalog, Engine, EngineError, RunReport};
-use quarry_etl::cost::{EstimatedTime, TimeWeights};
+use quarry_etl::cost::{cardinality_state, EstimatedTime, TimeWeights};
 use quarry_etl::Flow;
 use quarry_formats::registry::FormatRegistry;
 use quarry_formats::{FormatError, Requirement};
@@ -15,6 +16,8 @@ use quarry_integrator::state::{ConsolidationState, ConsolidationStats};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
 use quarry_md::{MdSchema, MdViolation};
+use quarry_obs::drift::{DriftDetector, DriftReport};
+use quarry_obs::flight::{self, EventKind};
 use quarry_obs::serve::ObsServer;
 use quarry_obs::{Counter, Histogram, HistogramSnapshot, Metric, Obs, Span, Trace};
 use quarry_ontology::mappings::SourceRegistry;
@@ -22,6 +25,7 @@ use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, DurabilityOptions, Repository, StoreError};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Repository key under which the rolling lifecycle trace is versioned.
@@ -123,6 +127,10 @@ impl From<FormatError> for QuarryError {
 
 impl From<StoreError> for QuarryError {
     fn from(e: StoreError) -> Self {
+        // A failing metadata store is exactly when the recent event history
+        // matters: dump the flight-recorder tail to stderr before the error
+        // propagates (the in-process black box, same as the panic hook).
+        eprintln!("{}", flight::recorder().render_tail(flight::DUMP_TAIL));
         QuarryError::Store(e)
     }
 }
@@ -180,6 +188,11 @@ pub struct Quarry {
     /// The live scrape endpoint, if started (see [`Quarry::serve_metrics`]).
     /// Shuts down when the instance is dropped.
     obs_server: Option<ObsServer>,
+    /// Estimate-drift analyzer: fed per-operator estimated-vs-actual
+    /// cardinalities by [`Quarry::observe_run`], scraped by a metrics
+    /// collector (`obs.drift.*`). Shared so the collector closure can read
+    /// it without borrowing `self`.
+    drift: Arc<DriftDetector>,
 }
 
 /// Handles for the metrics the lifecycle itself records. Kept together so
@@ -216,6 +229,35 @@ impl LifecycleMetrics {
     }
 }
 
+/// Routes the obs-free crates' process-wide event hooks into the global
+/// flight recorder and arms the panic dump. Hooks are first-install-wins
+/// (`OnceLock`), so constructing many `Quarry` instances is harmless.
+fn install_event_bridges() {
+    flight::install_panic_dump();
+    let recorder = flight::recorder();
+    let pool = recorder.label("pool");
+    let kernel = recorder.label("kernel");
+    quarry_engine::events::set_event_hook(move |event| {
+        use quarry_engine::events::EngineEvent;
+        let recorder = flight::recorder();
+        match event {
+            EngineEvent::OpFinish { op, rows_in, rows_out, lane } => {
+                recorder.record_named(EventKind::OpFinish, op, lane, rows_in as i64, rows_out as i64);
+            }
+            EngineEvent::QueueDepth { depth, jobs } => {
+                recorder.record(EventKind::QueueDepth, pool, 0, depth, jobs as i64);
+            }
+            EngineEvent::KernelFallback { total } => {
+                recorder.record(EventKind::KernelFallback, kernel, 0, total as i64, 0);
+            }
+        }
+    });
+    let wal = recorder.label("wal");
+    quarry_repository::set_fsync_event_hook(move |latency_micros, fsyncs| {
+        flight::recorder().record(EventKind::WalFsync, wal, 0, latency_micros as i64, fsyncs as i64);
+    });
+}
+
 impl Quarry {
     /// Creates a Quarry instance over a domain ontology and its source
     /// mappings, with default quality factors.
@@ -239,6 +281,9 @@ impl Quarry {
         sources: SourceRegistry,
         config: QuarryConfig,
     ) -> Result<Self, QuarryError> {
+        // The flight recorder is always on; route the obs-free crates' event
+        // hooks into it (and arm the panic dump) before anything can fail.
+        install_event_bridges();
         let repository = match &config.repository_dir {
             Some(dir) => Repository::open(dir, DurabilityOptions { fsync: config.fsync, ..Default::default() })?,
             None => Repository::new(),
@@ -250,6 +295,24 @@ impl Quarry {
         let mut platforms = PlatformRegistry::with_builtins();
         platforms.register(Box::new(crate::native::NativePlatform));
         let obs = Obs::disabled();
+        obs.set_build_info(env!("CARGO_PKG_VERSION"), option_env!("QUARRY_GIT_HASH").unwrap_or("unknown"));
+        let drift = Arc::new(DriftDetector::default());
+        // Drift gauges: how many operators are tracked, how many currently
+        // exceed the misestimate threshold, and (per flagged op, worst
+        // first) the median actual/estimated ratio in permille.
+        let drift_src = Arc::clone(&drift);
+        obs.register_collector(Box::new(move |out| {
+            let report = drift_src.report();
+            out.push(("obs.drift.ops_tracked".to_string(), Metric::Gauge(report.ops.len() as i64)));
+            let flagged = report.flagged();
+            out.push(("obs.drift.flagged_ops".to_string(), Metric::Gauge(flagged.len() as i64)));
+            for op in flagged.iter().take(8) {
+                out.push((
+                    format!("obs.drift.ratio_permille.{}", op.op),
+                    Metric::Gauge((op.median_ratio * 1000.0).round() as i64),
+                ));
+            }
+        }));
         // The engine pool's always-on gauges and kernel/radix stats ride
         // along in every metrics snapshot; the engine itself stays free of
         // any obs dependency.
@@ -319,6 +382,7 @@ impl Quarry {
             obs,
             metrics,
             obs_server: None,
+            drift,
         })
     }
 
@@ -790,9 +854,45 @@ impl Quarry {
     /// Feeds a run's measured per-operation cardinalities back into the
     /// configured source statistics ([`RunReport::observe_into`]): later
     /// optimizations and integrations then estimate with what the engine
-    /// actually observed instead of static selectivity guesses.
+    /// actually observed instead of static selectivity guesses. This is the
+    /// correction the drift analyzer asks for — once the observations land,
+    /// re-runs estimate close to actual and the `obs.drift.*` flags decay.
     pub fn observe_run(&mut self, report: &RunReport) {
         report.observe_into(&mut self.config.stats);
+    }
+
+    /// Samples the drift analyzer with a run's estimated-vs-actual
+    /// per-operator cardinalities. Runs on every execution (not on
+    /// [`Quarry::observe_run`]): a plan that keeps executing on stale
+    /// estimates keeps accumulating evidence, and once an operator's median
+    /// misestimate exceeds the threshold it is flagged in `obs.drift.*` and
+    /// the flight recorder until a correction is observed.
+    fn digest_drift(&self, report: &RunReport) {
+        let Ok(estimates) = cardinality_state(&self.unified_etl, &self.config.stats) else {
+            return;
+        };
+        let mut sampled = false;
+        for t in &report.timings {
+            if let Some(op) = self.unified_etl.op_by_name(&t.op) {
+                if let Some(&(rows, _)) = estimates.get(&op.id) {
+                    self.drift.sample(&t.op, rows, t.rows_out as f64);
+                    sampled = true;
+                }
+            }
+        }
+        if !sampled {
+            return;
+        }
+        let recorder = flight::recorder();
+        for op in self.drift.report().flagged() {
+            recorder.record_named(EventKind::Drift, &op.op, 0, op.last_estimated as i64, op.last_actual as i64);
+        }
+    }
+
+    /// The estimate-drift analyzer's current view: per-operator median
+    /// misestimate ratios over a recent window, flagged outliers first.
+    pub fn drift_report(&self) -> DriftReport {
+        self.drift.report()
     }
 
     /// Cumulative consolidation-index traffic (ETL index hits/misses/rebuilds
@@ -883,16 +983,39 @@ impl Quarry {
         let step = self.obs.span("execute");
         step.attr("mode", if parallel { "parallel" } else { "serial" });
         let mut engine = crate::native::deploy(&self.unified_md, catalog);
+        let kernels_before = KernelDelta::snapshot();
         let run = if parallel { engine.run_parallel(&self.unified_etl) } else { engine.run(&self.unified_etl) };
+        let kernels_after = KernelDelta::snapshot();
         let result = match run {
             Ok(report) => {
                 self.record_run(&step, &report);
+                let profile = ExecutionProfile::capture(
+                    &self.unified_etl,
+                    &report,
+                    &self.config.stats,
+                    parallel,
+                    kernels_before,
+                    kernels_after,
+                );
+                self.persist_profile(&profile);
+                self.digest_drift(&report);
                 Ok((engine, report))
             }
             Err(e) => Err(QuarryError::Engine(e)),
         };
         self.finish_step(step, &result);
         result
+    }
+
+    /// Versions a run's execution profile in the repository under the design
+    /// name — the document behind `explain --analyze` and `GET /profile`.
+    /// Profiles are advisory like traces: a durable-log failure here is
+    /// counted, not raised.
+    fn persist_profile(&self, profile: &ExecutionProfile) {
+        let doc = profile.to_json().to_pretty_string();
+        if self.repository.put_artifact(ArtifactKind::Profile, &self.config.design_name, &doc).is_err() {
+            self.obs.counter("repository.profile_persist_failures").inc();
+        }
     }
 
     /// Lifts the engine's per-operator timings and row counts out of the
@@ -1304,6 +1427,215 @@ mod tests {
         // The design stays usable afterwards.
         q.add_requirement(netprofit_requirement()).unwrap();
         q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+    }
+
+    #[test]
+    fn execution_profiles_version_in_the_repository_and_round_trip() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let first = q.repository().latest(ArtifactKind::Profile, "unified").unwrap();
+        assert_eq!(first.version, 1);
+        q.run_etl_parallel(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let second = q.repository().latest(ArtifactKind::Profile, "unified").unwrap();
+        assert_eq!(second.version, 2, "every execution versions a new profile");
+        // The stored document parses back and re-serializes bit-identically.
+        let json = quarry_repository::Json::parse(&second.content).unwrap();
+        let profile = ExecutionProfile::from_json(&json).expect("stored profile parses");
+        assert!(profile.parallel, "second run was parallel");
+        assert_eq!(profile.to_json().to_pretty_string(), second.content, "round-trip is bit-identical");
+        // Estimated and actual cardinalities both survive, and the render
+        // annotates the plan tree with them.
+        assert!(profile.ops.iter().any(|op| op.estimated_rows > 0.0), "estimates present");
+        assert!(profile.ops.iter().any(|op| op.rows_out > 0), "actuals present");
+        let rendered = profile.render();
+        assert!(rendered.contains("est "), "{rendered}");
+        assert!(rendered.contains("LOADER_fact_table_revenue"), "{rendered}");
+    }
+
+    #[test]
+    fn execution_profiles_survive_a_durable_restart_bit_identically() {
+        let tmp = TempDir::new("profile");
+        let stored;
+        {
+            let mut q = durable_tpch(&tmp.0);
+            q.add_requirement(figure4_requirement()).unwrap();
+            q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+            stored = q.repository().latest(ArtifactKind::Profile, "unified").unwrap();
+        }
+        let q2 = durable_tpch(&tmp.0);
+        let recovered = q2.repository().latest(ArtifactKind::Profile, "unified").unwrap();
+        assert_eq!(recovered, stored, "the profile recovers bit-identically from the log");
+        let json = quarry_repository::Json::parse(&recovered.content).unwrap();
+        assert!(ExecutionProfile::from_json(&json).is_some());
+    }
+
+    /// The annealing tests' three-table join spine, plus real data that
+    /// contradicts stale statistics: the supplier table is claimed enormous
+    /// but actually tiny, with a Spain filter keeping almost nothing.
+    fn skewed_spine_flow() -> Flow {
+        use quarry_etl::{parse_expr, ColType, Column, JoinKind, OpKind, Schema};
+        let mut f = Flow::new("unified");
+        let ps = f
+            .add_op(
+                "DS_partsupp",
+                OpKind::Datastore {
+                    datastore: "partsupp".into(),
+                    schema: Schema::new(vec![
+                        Column::new("ps_partkey", ColType::Integer),
+                        Column::new("ps_suppkey", ColType::Integer),
+                        Column::new("ps_supplycost", ColType::Decimal),
+                    ]),
+                },
+            )
+            .unwrap();
+        let pt = f
+            .add_op(
+                "DS_part",
+                OpKind::Datastore {
+                    datastore: "part".into(),
+                    schema: Schema::new(vec![
+                        Column::new("p_partkey", ColType::Integer),
+                        Column::new("p_name", ColType::Text),
+                    ]),
+                },
+            )
+            .unwrap();
+        let sp = f
+            .add_op(
+                "DS_supplier",
+                OpKind::Datastore {
+                    datastore: "supplier".into(),
+                    schema: Schema::new(vec![
+                        Column::new("s_suppkey", ColType::Integer),
+                        Column::new("s_nation", ColType::Text),
+                    ]),
+                },
+            )
+            .unwrap();
+        let j1 = f
+            .add_op(
+                "JOIN_part",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["ps_partkey".into()],
+                    right_on: vec!["p_partkey".into()],
+                },
+            )
+            .unwrap();
+        f.connect(ps, j1).unwrap();
+        f.connect(pt, j1).unwrap();
+        let sel = f
+            .append(sp, "SEL_spain", OpKind::Selection { predicate: parse_expr("s_nation = 'Spain'").unwrap() })
+            .unwrap();
+        let j2 = f
+            .add_op(
+                "JOIN_supp",
+                OpKind::Join {
+                    kind: JoinKind::Inner,
+                    left_on: vec!["ps_suppkey".into()],
+                    right_on: vec!["s_suppkey".into()],
+                },
+            )
+            .unwrap();
+        f.connect(j1, j2).unwrap();
+        f.connect(sel, j2).unwrap();
+        let agg = f
+            .append(
+                j2,
+                "AGG",
+                OpKind::Aggregation {
+                    group_by: vec!["p_name".into()],
+                    aggregates: vec![quarry_etl::AggSpec::new(
+                        "SUM",
+                        quarry_etl::parse_expr("ps_supplycost").unwrap(),
+                        "total",
+                    )],
+                },
+            )
+            .unwrap();
+        f.append(agg, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        f.validate().unwrap();
+        f
+    }
+
+    fn skewed_spine_catalog() -> Catalog {
+        use quarry_engine::{Relation, Value};
+        use quarry_etl::{ColType, Column, Schema};
+        let mut catalog = Catalog::new();
+        let partsupp_schema = Schema::new(vec![
+            Column::new("ps_partkey", ColType::Integer),
+            Column::new("ps_suppkey", ColType::Integer),
+            Column::new("ps_supplycost", ColType::Decimal),
+        ]);
+        let partsupp_rows = (0..8_000)
+            .map(|i| vec![Value::Int(i % 2_000), Value::Int(i % 100), Value::Float((i % 97) as f64)])
+            .collect();
+        catalog.put("partsupp", Relation::with_rows(partsupp_schema, partsupp_rows));
+        let part_schema =
+            Schema::new(vec![Column::new("p_partkey", ColType::Integer), Column::new("p_name", ColType::Text)]);
+        let part_rows = (0..2_000).map(|i| vec![Value::Int(i), Value::Str(format!("part {i}"))]).collect();
+        catalog.put("part", Relation::with_rows(part_schema, part_rows));
+        let supplier_schema =
+            Schema::new(vec![Column::new("s_suppkey", ColType::Integer), Column::new("s_nation", ColType::Text)]);
+        let supplier_rows = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Str(if i < 2 { "Spain".into() } else { format!("nation {i}") })])
+            .collect();
+        catalog.put("supplier", Relation::with_rows(supplier_schema, supplier_rows));
+        catalog
+    }
+
+    #[test]
+    fn skewed_source_flags_drift_and_the_correction_changes_the_chosen_plan() {
+        let domain = quarry_ontology::tpch::domain();
+        let mut cfg = QuarryConfig::tpch(0.01);
+        // Stale statistics: the supplier table is claimed enormous, so the
+        // modeled-optimal plan keeps the selective branch out of the spine.
+        cfg.stats = quarry_etl::cost::SourceStats::new()
+            .with_table("partsupp", 8_000.0)
+            .with_table("part", 2_000.0)
+            .with_table("supplier", 500_000.0)
+            .with_unique("part", &["p_partkey"])
+            .with_unique("supplier", &["s_suppkey"]);
+        let mut q = Quarry::with_config(domain.ontology, domain.sources, cfg);
+        q.set_observability(true);
+        q.unified_etl = skewed_spine_flow();
+        q.optimize().unwrap();
+        let plan_stale = q.unified().1.clone();
+
+        // Three runs over the real (skewed) data accumulate drift evidence;
+        // nothing is observed back yet, so the estimates stay stale.
+        let mut last_report = None;
+        for _ in 0..3 {
+            let (_, report) = q.run_etl(skewed_spine_catalog()).unwrap();
+            last_report = Some(report);
+        }
+        let drift = q.drift_report();
+        let flagged = drift.flagged();
+        assert!(
+            flagged.iter().any(|o| o.op == "DS_supplier"),
+            "a 5000x supplier misestimate must be flagged after three runs: {flagged:?}"
+        );
+        let metrics = q.observability().metrics();
+        let gauge = |name: &str| {
+            metrics.iter().find(|(n, _)| n == name).and_then(|(_, m)| match m {
+                Metric::Gauge(v) => Some(*v),
+                _ => None,
+            })
+        };
+        assert!(gauge("obs.drift.flagged_ops").unwrap_or(0) >= 1, "flagged gauge must surface");
+        assert!(gauge("obs.drift.ops_tracked").unwrap_or(0) >= 3, "spine operators are tracked");
+        let log = flight::recorder().drain();
+        assert!(
+            log.events.iter().any(|e| e.kind == EventKind::Drift && e.label == "DS_supplier"),
+            "flagging lands a Drift event in the flight recorder"
+        );
+
+        // Feed the correction back: the annealer re-searches with observed
+        // cardinalities and commits to a different plan.
+        q.observe_run(&last_report.unwrap());
+        q.optimize().unwrap();
+        assert_ne!(plan_stale, *q.unified().1, "corrected statistics must change the chosen plan");
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub enum ServiceRequest {
     /// `/healthz`). With no explicit address, uses `metrics_addr` from the
     /// instance's config. Also enables recording.
     ServeMetrics { addr: Option<String> },
+    /// GET /observability/profile — the latest EXPLAIN ANALYZE execution
+    /// profile (JSON, see [`crate::profile::ExecutionProfile`]). Errors if
+    /// no flow has been executed yet.
+    GetProfile,
+    /// GET /debug/events — the flight recorder's event history as a JSON
+    /// document (read-only: draining does not clear the ring).
+    GetEvents,
 }
 
 /// A response from the Quarry service.
@@ -172,6 +179,23 @@ fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceRes
         }
         ServiceRequest::GetMetrics => {
             Ok(ServiceResponse::Document(crate::tracedoc::metrics_to_json(quarry.observability()).to_pretty_string()))
+        }
+        ServiceRequest::GetProfile => {
+            let key = quarry.config().design_name.clone();
+            // A missing profile is an expected state (nothing executed yet),
+            // not a store failure — answer with a structured error instead
+            // of routing through `From<StoreError>` (which dumps the flight
+            // recorder to stderr).
+            match quarry.repository().latest(quarry_repository::ArtifactKind::Profile, &key) {
+                Ok(artifact) => Ok(ServiceResponse::Document(artifact.content)),
+                Err(_) => Ok(ServiceResponse::Error(format!(
+                    "no execution profile recorded for `{key}` yet — run the flow first"
+                ))),
+            }
+        }
+        ServiceRequest::GetEvents => {
+            let log = quarry_obs::flight::recorder().drain();
+            Ok(ServiceResponse::Document(quarry_obs::export::events_json(&log)))
         }
         ServiceRequest::ServeMetrics { addr } => {
             let addr = addr
@@ -329,6 +353,37 @@ mod tests {
             }
         }
         assert!(q.requirement_ids().is_empty(), "no malformed body may mutate the design");
+    }
+
+    #[test]
+    fn profile_and_events_endpoints_return_documents() {
+        let mut q = Quarry::tpch();
+        // Before any run: a structured error, not a store failure (and no
+        // flight-recorder dump on stderr).
+        match handle(&mut q, ServiceRequest::GetProfile) {
+            ServiceResponse::Error(e) => assert!(e.contains("no execution profile"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        let xrq = figure4_requirement().to_string_pretty();
+        handle(&mut q, ServiceRequest::AddRequirement { xrq });
+        q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let doc = match handle(&mut q, ServiceRequest::GetProfile) {
+            ServiceResponse::Document(doc) => doc,
+            other => panic!("{other:?}"),
+        };
+        let json = quarry_repository::Json::parse(&doc).expect("profile is JSON");
+        let profile = crate::profile::ExecutionProfile::from_json(&json).expect("profile document parses");
+        assert!(!profile.ops.is_empty());
+        assert!(profile.ops.iter().any(|op| op.rows_out > 0));
+        // The events endpoint returns well-formed JSON carrying the engine's
+        // per-operator finish events from the run above.
+        let events = match handle(&mut q, ServiceRequest::GetEvents) {
+            ServiceResponse::Document(doc) => doc,
+            other => panic!("{other:?}"),
+        };
+        let parsed = quarry_repository::Json::parse(&events).expect("events are JSON");
+        assert!(parsed.path("capacity").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0, "{events}");
+        assert!(events.contains("\"op_finish\""), "engine events present: {events}");
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn attr_to_json(value: &AttrValue) -> Json {
 ///   "gauges": {"pool.queue_depth": 0, ...},
 ///   "histograms": {"engine.op_seconds": {"count": 9, "sum": ..., "min": ..., "max": ...,
 ///                                        "p50": ..., "p95": ..., "p99": ...}},
+///   "info": {"obs.build_info": {"version": "...", "git_hash": "..."}},
 ///   "pool": {"regions": ..., "jobs": ..., "helpersSpawned": ...}
 /// }
 /// ```
@@ -76,11 +77,19 @@ pub fn metrics_to_json(obs: &Obs) -> Json {
     let mut counters = Json::object();
     let mut gauges = Json::object();
     let mut histograms = Json::object();
+    let mut info = Json::object();
     for (name, metric) in obs.metrics() {
         match metric {
             Metric::Counter(n) => counters.set(name, Json::Number(n as f64)),
             Metric::Gauge(v) => gauges.set(name, Json::Number(v as f64)),
             Metric::Histogram(snap) => histograms.set(name, histogram_to_json(&snap)),
+            Metric::Info(labels) => {
+                let mut entry = Json::object();
+                for (key, value) in labels {
+                    entry.set(&key, Json::String(value));
+                }
+                info.set(name, entry);
+            }
         }
     }
     let pool = quarry_engine::pool::stats();
@@ -94,6 +103,7 @@ pub fn metrics_to_json(obs: &Obs) -> Json {
     doc.set("counters", counters);
     doc.set("gauges", gauges);
     doc.set("histograms", histograms);
+    doc.set("info", info);
     doc.set("pool", pool_doc);
     doc
 }

@@ -397,6 +397,12 @@ impl Engine {
             };
             let elapsed = t0.elapsed();
             report.rows_processed += out.len();
+            crate::events::emit(crate::events::EngineEvent::OpFinish {
+                op: &op.name,
+                rows_in: rows_in as u64,
+                rows_out: out.len() as u64,
+                lane: 0,
+            });
             report.timings.push(OpTiming {
                 op: op.name.clone(),
                 kind: op.kind.type_name(),
@@ -461,6 +467,12 @@ impl Engine {
                 let (out, elapsed, worker) = outcome?;
                 let op = flow.op(*id);
                 report.rows_processed += out.len();
+                crate::events::emit(crate::events::EngineEvent::OpFinish {
+                    op: &op.name,
+                    rows_in: inputs.iter().map(Batch::len).sum::<usize>() as u64,
+                    rows_out: out.len() as u64,
+                    lane: worker as u32,
+                });
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
                     kind: op.kind.type_name(),
@@ -486,6 +498,12 @@ impl Engine {
                     pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
                 };
                 report.rows_processed += out.len();
+                crate::events::emit(crate::events::EngineEvent::OpFinish {
+                    op: &op.name,
+                    rows_in: rows_in as u64,
+                    rows_out: out.len() as u64,
+                    lane: 0,
+                });
                 report.timings.push(OpTiming {
                     op: op.name.clone(),
                     kind: op.kind.type_name(),

@@ -32,6 +32,7 @@
 mod catalog;
 pub mod column;
 mod eval;
+pub mod events;
 mod exec;
 mod exec_row;
 mod keys;

@@ -148,7 +148,9 @@ where
     }
     REGIONS.fetch_add(1, Ordering::Relaxed);
     JOBS.fetch_add(jobs as u64, Ordering::Relaxed);
-    QUEUE_DEPTH.fetch_add(jobs as i64, Ordering::Relaxed);
+    let depth = QUEUE_DEPTH.fetch_add(jobs as i64, Ordering::Relaxed) + jobs as i64;
+    // One event per region transition (open/close), never per job.
+    crate::events::emit(crate::events::EngineEvent::QueueDepth { depth, jobs: jobs as u64 });
     let helpers = acquire(jobs - 1);
     if helpers == 0 {
         ACTIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
@@ -162,6 +164,10 @@ where
             })
             .collect();
         ACTIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
+        crate::events::emit(crate::events::EngineEvent::QueueDepth {
+            depth: QUEUE_DEPTH.load(Ordering::Relaxed),
+            jobs: 0,
+        });
         return out;
     }
     HELPERS_SPAWNED.fetch_add(helpers as u64, Ordering::Relaxed);
@@ -196,6 +202,7 @@ where
         all
     });
     release(helpers);
+    crate::events::emit(crate::events::EngineEvent::QueueDepth { depth: QUEUE_DEPTH.load(Ordering::Relaxed), jobs: 0 });
     all.sort_unstable_by_key(|(i, _)| *i);
     all.into_iter().map(|(_, v)| v).collect()
 }

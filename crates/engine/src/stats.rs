@@ -34,8 +34,12 @@ pub(crate) fn count_vectorized() {
 }
 
 /// One expression kernel invocation dropped to row-at-a-time evaluation.
+/// Also emits a [`crate::events::EngineEvent::KernelFallback`] — fallbacks
+/// are per-kernel-invocation (not per-row), and the slow path they announce
+/// dwarfs the hook call.
 pub(crate) fn count_scalar_fallback() {
-    KERNEL_SCALAR_FALLBACK.fetch_add(1, Relaxed);
+    let total = KERNEL_SCALAR_FALLBACK.fetch_add(1, Relaxed) + 1;
+    crate::events::emit(crate::events::EngineEvent::KernelFallback { total });
 }
 
 /// Records the partition count chosen for one hash join.

@@ -151,6 +151,12 @@ fn run_chain(base: &RewriteState, chain: usize, opts: &AnnealOptions, deadline: 
     let mut proposed = 0u64;
     let mut accepted = 0u64;
     let mut log = Vec::new();
+    // Accepted moves go to the flight recorder so a post-hoc drain shows
+    // *when* the search moved, interleaved with engine and WAL events. The
+    // label is interned once; recording is lock-free.
+    let flight = quarry_obs::flight::recorder();
+    let flight_label = flight.label("anneal");
+    let cost_scale = if start_cost > 0.0 { start_cost } else { 1.0 };
 
     for step in 0..opts.steps {
         // The deadline check is amortized: an `Instant::now()` per step would
@@ -173,6 +179,13 @@ fn run_chain(base: &RewriteState, chain: usize, opts: &AnnealOptions, deadline: 
                 let accept = delta <= 0.0 || rng.next_f64() < (-delta / temp).exp();
                 if accept {
                     accepted += 1;
+                    flight.record(
+                        quarry_obs::flight::EventKind::OptimizerMove,
+                        flight_label,
+                        chain as u32,
+                        chain as i64,
+                        (delta / cost_scale * 1000.0) as i64,
+                    );
                     if st.cost() < best_cost {
                         best_cost = st.cost();
                         best_flow = st.flow().clone();

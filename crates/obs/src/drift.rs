@@ -1,0 +1,299 @@
+//! Estimate-drift detection: per-operator digests of *estimated vs. actual*
+//! cardinality across recent execution profiles.
+//!
+//! The cost model's estimates steer the flow optimizer, so a consistently
+//! wrong estimate quietly pins the search to the wrong plan. This analyzer
+//! makes that failure observable: every profiled run feeds one
+//! `(estimated, actual)` sample per operator into a compact log₂-ratio
+//! digest (q-digest-style: fixed log buckets, quantiles exact to within one
+//! bucket — the same trade the metric histograms make), and an operator
+//! whose *median* misestimate ratio exceeds the threshold is flagged.
+//! Flagged operators surface as `obs.drift.*` metrics, as flight-recorder
+//! [`crate::flight::EventKind::Drift`] events, and to the lifecycle's
+//! `observe_run`, which re-pins the optimizer's statistics with the
+//! observed cardinalities so the annealer re-searches against reality.
+//!
+//! Using the **median** over a window (rather than the latest sample) keeps
+//! one noisy run from flagging a healthy operator; using log-ratio buckets
+//! keeps 10×-under and 10×-over symmetric.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// log₂-ratio digest layout: `RATIO_BUCKETS` buckets of `BUCKET_WIDTH`
+/// log₂-units each, centered on ratio 1.0, covering 2⁻⁸ … 2⁸ (256× under-
+/// to 256× over-estimate); beyond that clamps into the end buckets.
+const RATIO_SPAN_LOG2: f64 = 8.0;
+const BUCKET_WIDTH: f64 = 0.25;
+const RATIO_BUCKETS: usize = (2.0 * RATIO_SPAN_LOG2 / BUCKET_WIDTH) as usize + 1;
+
+/// Samples an operator must accumulate before it may be flagged — one
+/// surprising run is noise, three in a row is drift.
+pub const MIN_SAMPLES: u64 = 3;
+/// Median |log₂(actual/estimated)| beyond which an operator is flagged;
+/// 1.0 means "off by 2× either way".
+pub const DEFAULT_THRESHOLD_LOG2: f64 = 1.0;
+/// Samples kept per operator digest (ring of recent runs).
+const WINDOW: usize = 32;
+
+#[derive(Debug, Default, Clone)]
+struct OpDigest {
+    /// Ring of the last [`WINDOW`] log₂(actual/estimated) samples.
+    recent: Vec<f64>,
+    next: usize,
+    samples: u64,
+    last_estimated: f64,
+    last_actual: f64,
+}
+
+impl OpDigest {
+    fn push(&mut self, log2_ratio: f64) {
+        if self.recent.len() < WINDOW {
+            self.recent.push(log2_ratio);
+        } else {
+            self.recent[self.next] = log2_ratio;
+        }
+        self.next = (self.next + 1) % WINDOW;
+        self.samples += 1;
+    }
+
+    /// q-digest-style quantile: fold the window into fixed log buckets and
+    /// walk the cumulative counts — exact to within one bucket (≤ 2^0.25 ≈
+    /// 19% relative), independent of sample order.
+    fn quantile_log2(&self, q: f64) -> f64 {
+        let mut buckets = [0u64; RATIO_BUCKETS];
+        for &r in &self.recent {
+            buckets[bucket_index(r)] += 1;
+        }
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_center(i);
+            }
+        }
+        bucket_center(RATIO_BUCKETS - 1)
+    }
+}
+
+fn bucket_index(log2_ratio: f64) -> usize {
+    let clamped = log2_ratio.clamp(-RATIO_SPAN_LOG2, RATIO_SPAN_LOG2);
+    (((clamped + RATIO_SPAN_LOG2) / BUCKET_WIDTH).round() as usize).min(RATIO_BUCKETS - 1)
+}
+
+fn bucket_center(i: usize) -> f64 {
+    i as f64 * BUCKET_WIDTH - RATIO_SPAN_LOG2
+}
+
+/// One operator's drift summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDrift {
+    /// Operator fingerprint (name, unique within a flow).
+    pub op: String,
+    /// Samples ever recorded for this operator.
+    pub samples: u64,
+    /// Median `actual / estimated` over the recent window (1.0 = perfect,
+    /// quantized to the digest's bucket centers).
+    pub median_ratio: f64,
+    /// Whether the median misestimate exceeds the detector's threshold.
+    pub flagged: bool,
+    pub last_estimated: f64,
+    pub last_actual: f64,
+}
+
+/// Everything the detector currently knows, operators in name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftReport {
+    pub ops: Vec<OpDrift>,
+}
+
+impl DriftReport {
+    /// The flagged subset, worst (largest |log₂ ratio|) first.
+    pub fn flagged(&self) -> Vec<&OpDrift> {
+        let mut out: Vec<&OpDrift> = self.ops.iter().filter(|o| o.flagged).collect();
+        out.sort_by(|x, y| {
+            let (a, b) = (x.median_ratio.log2().abs(), y.median_ratio.log2().abs());
+            b.partial_cmp(&a).unwrap_or(std::cmp::Ordering::Equal).then_with(|| x.op.cmp(&y.op))
+        });
+        out
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The estimate-drift detector. Thread-safe; sampling takes one short lock
+/// (it runs once per operator per *run*, nowhere near a hot path).
+#[derive(Debug)]
+pub struct DriftDetector {
+    threshold_log2: f64,
+    ops: Mutex<BTreeMap<String, OpDigest>>,
+}
+
+impl Default for DriftDetector {
+    fn default() -> Self {
+        DriftDetector::new(DEFAULT_THRESHOLD_LOG2)
+    }
+}
+
+impl DriftDetector {
+    /// `threshold_log2` is the median |log₂(actual/estimated)| beyond which
+    /// an operator is flagged (1.0 = off by 2×).
+    pub fn new(threshold_log2: f64) -> DriftDetector {
+        DriftDetector { threshold_log2: threshold_log2.max(0.0), ops: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Feeds one run's `(estimated, actual)` output cardinality for `op`.
+    /// Zero rows are floored to one so empty runs compare as ratio-of-ones
+    /// instead of dividing by zero.
+    pub fn sample(&self, op: &str, estimated: f64, actual: f64) {
+        let est = estimated.max(1.0);
+        let act = actual.max(1.0);
+        let mut ops = self.ops.lock().unwrap_or_else(|p| p.into_inner());
+        let digest = ops.entry(op.to_string()).or_default();
+        digest.push((act / est).log2());
+        digest.last_estimated = estimated;
+        digest.last_actual = actual;
+    }
+
+    /// Snapshot of every tracked operator.
+    pub fn report(&self) -> DriftReport {
+        let ops = self.ops.lock().unwrap_or_else(|p| p.into_inner());
+        DriftReport {
+            ops: ops
+                .iter()
+                .map(|(name, d)| {
+                    let median_log2 = d.quantile_log2(0.5);
+                    OpDrift {
+                        op: name.clone(),
+                        samples: d.samples,
+                        median_ratio: median_log2.exp2(),
+                        flagged: d.samples >= MIN_SAMPLES && median_log2.abs() > self.threshold_log2,
+                        last_estimated: d.last_estimated,
+                        last_actual: d.last_actual,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Operators currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.ops.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Drops one operator's history (e.g. after the optimizer restructures
+    /// it — the old misestimate no longer describes the new shape).
+    pub fn forget(&self, op: &str) {
+        self.ops.lock().unwrap_or_else(|p| p.into_inner()).remove(op);
+    }
+
+    /// Drops all history.
+    pub fn clear(&self) {
+        self.ops.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_estimates_are_not_flagged() {
+        let d = DriftDetector::default();
+        for _ in 0..5 {
+            d.sample("SEL_ok", 1000.0, 1100.0); // 10% off: healthy
+        }
+        let report = d.report();
+        assert_eq!(report.ops.len(), 1);
+        let op = &report.ops[0];
+        assert!(!op.flagged, "{op:?}");
+        assert!((op.median_ratio - 1.1).abs() < 0.25, "{}", op.median_ratio);
+    }
+
+    #[test]
+    fn sustained_misestimates_are_flagged_both_ways() {
+        let d = DriftDetector::default();
+        for _ in 0..5 {
+            d.sample("SEL_under", 100.0, 950.0); // 9.5× more rows than modeled
+            d.sample("SEL_over", 4000.0, 180.0); // 22× fewer rows than modeled
+        }
+        let report = d.report();
+        let under = report.ops.iter().find(|o| o.op == "SEL_under").unwrap();
+        let over = report.ops.iter().find(|o| o.op == "SEL_over").unwrap();
+        assert!(under.flagged && under.median_ratio > 2.0, "{under:?}");
+        assert!(over.flagged && over.median_ratio < 0.5, "{over:?}");
+        // Worst first: 22× beats 9.5×.
+        let flagged = report.flagged();
+        assert_eq!(flagged.iter().map(|o| o.op.as_str()).collect::<Vec<_>>(), ["SEL_over", "SEL_under"]);
+    }
+
+    #[test]
+    fn one_noisy_run_does_not_flag() {
+        let d = DriftDetector::default();
+        d.sample("SEL_noisy", 100.0, 10_000.0);
+        assert!(!d.report().ops[0].flagged, "below MIN_SAMPLES");
+        d.sample("SEL_noisy", 100.0, 101.0);
+        d.sample("SEL_noisy", 100.0, 99.0);
+        d.sample("SEL_noisy", 100.0, 102.0);
+        let op = &d.report().ops[0];
+        assert!(!op.flagged, "median shrugs off the one outlier: {op:?}");
+    }
+
+    #[test]
+    fn zero_cardinalities_do_not_divide_by_zero() {
+        let d = DriftDetector::default();
+        for _ in 0..4 {
+            d.sample("SEL_empty", 0.0, 0.0);
+        }
+        let op = &d.report().ops[0];
+        assert!(op.median_ratio.is_finite());
+        assert!(!op.flagged);
+    }
+
+    #[test]
+    fn window_evicts_ancient_history() {
+        let d = DriftDetector::default();
+        // An operator that was badly misestimated, then fixed: after WINDOW
+        // healthy samples the old shame is gone.
+        for _ in 0..10 {
+            d.sample("SEL_healed", 10.0, 1000.0);
+        }
+        assert!(d.report().ops[0].flagged);
+        for _ in 0..WINDOW {
+            d.sample("SEL_healed", 1000.0, 1000.0);
+        }
+        let op = &d.report().ops[0];
+        assert!(!op.flagged, "{op:?}");
+        assert_eq!(op.samples, 10 + WINDOW as u64);
+    }
+
+    #[test]
+    fn forget_and_clear_drop_history() {
+        let d = DriftDetector::default();
+        d.sample("a", 1.0, 100.0);
+        d.sample("b", 1.0, 100.0);
+        assert_eq!(d.tracked(), 2);
+        d.forget("a");
+        assert_eq!(d.tracked(), 1);
+        d.clear();
+        assert!(d.report().is_empty());
+    }
+
+    #[test]
+    fn extreme_ratios_clamp_into_the_end_buckets() {
+        let d = DriftDetector::default();
+        for _ in 0..4 {
+            d.sample("SEL_wild", 1.0, 1e12);
+        }
+        let op = &d.report().ops[0];
+        assert!(op.flagged);
+        assert!((op.median_ratio - RATIO_SPAN_LOG2.exp2()).abs() < 1e-6, "clamped to 2^8: {}", op.median_ratio);
+    }
+}

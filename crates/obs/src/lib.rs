@@ -32,11 +32,18 @@
 //! For getting the data out, [`export`] renders metric snapshots as
 //! Prometheus text exposition and span trees as Chrome `trace_event` JSON,
 //! and [`serve`] exposes both on a std-only HTTP scrape endpoint
-//! (`GET /metrics`, `/trace`, `/healthz`).
+//! (`GET /metrics`, `/trace`, `/healthz`, `/debug/events`).
+//!
+//! Two deeper layers build on the substrate: [`flight`] is the always-on
+//! fixed-capacity ring buffer of structured events (the "black box"), and
+//! [`drift`] compares the cost model's cardinality estimates against what
+//! executions actually produced.
 
 #![forbid(unsafe_code)]
 
+pub mod drift;
 pub mod export;
+pub mod flight;
 mod registry;
 pub mod serve;
 
@@ -223,6 +230,11 @@ struct Inner {
     /// (see [`Obs::type_conflicts`]). Not gated on `enabled`: losing data to
     /// a naming bug is worth surfacing even on an otherwise idle recorder.
     type_conflicts: Arc<registry::CounterSentinel>,
+    /// Construction instant — the epoch [`UPTIME_METRIC`] counts from.
+    started: Instant,
+    /// `(label, value)` identity pairs set by [`Obs::set_build_info`];
+    /// surfaced as [`BUILD_INFO_METRIC`] once set.
+    build_info: Mutex<Option<Vec<(String, String)>>>,
 }
 
 impl fmt::Debug for Inner {
@@ -242,6 +254,8 @@ impl Default for Inner {
             registry: Registry::default(),
             collectors: Mutex::new(Vec::new()),
             type_conflicts: Arc::new(registry::CounterSentinel::default()),
+            started: Instant::now(),
+            build_info: Mutex::new(None),
         }
     }
 }
@@ -254,6 +268,15 @@ pub struct Obs {
 
 /// Name under which metric-type conflicts are surfaced in snapshots.
 pub const TYPE_CONFLICTS_METRIC: &str = "obs.type_conflicts";
+
+/// Name of the build-identity info metric (`version`/`git_hash` labels),
+/// emitted once [`Obs::set_build_info`] was called — so `/metrics` scrapes
+/// are self-identifying across daemon restarts.
+pub const BUILD_INFO_METRIC: &str = "obs.build_info";
+
+/// Name of the process-uptime gauge (seconds since the recorder was
+/// constructed), emitted alongside [`BUILD_INFO_METRIC`].
+pub const UPTIME_METRIC: &str = "obs.uptime_seconds";
 
 impl Obs {
     pub fn new(enabled: bool) -> Self {
@@ -424,6 +447,21 @@ impl Obs {
         self.inner.collectors.lock().expect("collector lock").push(collector);
     }
 
+    /// Declares this process's build identity. From then on every enabled
+    /// snapshot carries [`BUILD_INFO_METRIC`] (an info metric with
+    /// `version`/`git_hash` labels, constant value 1) and [`UPTIME_METRIC`]
+    /// (seconds since this recorder was constructed), so a scrape identifies
+    /// which build — and which incarnation — it is talking to.
+    pub fn set_build_info(&self, version: &str, git_hash: &str) {
+        let labels = vec![("version".to_string(), version.to_string()), ("git_hash".to_string(), git_hash.to_string())];
+        *self.inner.build_info.lock().expect("build info lock") = Some(labels);
+    }
+
+    /// Seconds since this recorder was constructed.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.inner.started.elapsed().as_secs()
+    }
+
     /// Snapshot of all metrics with recorded data, in name order: registry
     /// entries, then collector output, then [`TYPE_CONFLICTS_METRIC`] if any
     /// conflict occurred. Eagerly registered but untouched metrics (zero
@@ -433,6 +471,10 @@ impl Obs {
         if self.is_enabled() {
             for collector in self.inner.collectors.lock().expect("collector lock").iter() {
                 collector(&mut out);
+            }
+            if let Some(labels) = self.inner.build_info.lock().expect("build info lock").as_ref() {
+                out.push((BUILD_INFO_METRIC.to_string(), Metric::Info(labels.clone())));
+                out.push((UPTIME_METRIC.to_string(), Metric::Gauge(self.uptime_seconds() as i64)));
             }
         }
         let conflicts = self.inner.type_conflicts.value();

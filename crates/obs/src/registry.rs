@@ -111,6 +111,10 @@ pub enum Metric {
     Gauge(i64),
     /// Distribution of observed values over fixed log buckets.
     Histogram(HistogramSnapshot),
+    /// Identity labels with constant value 1 (Prometheus info-metric
+    /// convention, e.g. `obs.build_info{version=…,git_hash=…}`). Snapshot-
+    /// only: provided by the recorder, not backed by registry cells.
+    Info(Vec<(String, String)>),
 }
 
 impl Metric {
@@ -131,6 +135,13 @@ impl Metric {
     pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
         match self {
             Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    pub fn as_info(&self) -> Option<&[(String, String)]> {
+        match self {
+            Metric::Info(labels) => Some(labels),
             _ => None,
         }
     }

@@ -28,4 +28,4 @@ pub mod wal;
 pub use json::{Json, JsonError};
 pub use recover::{recover, RecoveryReport};
 pub use store::{Artifact, ArtifactKind, DocId, DocumentStore, Repository, StoreError};
-pub use wal::{wal_stats, DurabilityOptions, FsyncPolicy, WalStats};
+pub use wal::{set_fsync_event_hook, wal_stats, DurabilityOptions, FsyncPolicy, WalStats};

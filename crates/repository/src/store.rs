@@ -172,6 +172,10 @@ pub enum ArtifactKind {
     /// A completed lifecycle span tree (JSON trace document, paper §2.6
     /// traceability metadata extended with runtime observations).
     Trace,
+    /// An EXPLAIN ANALYZE execution profile of one engine run (JSON): the
+    /// plan tree annotated with estimated vs. observed cardinalities, wall
+    /// time, worker lanes, and kernel dispatch counts.
+    Profile,
 }
 
 impl ArtifactKind {
@@ -183,6 +187,7 @@ impl ArtifactKind {
             ArtifactKind::Ontology => "ontology",
             ArtifactKind::Deployment => "deployment",
             ArtifactKind::Trace => "trace",
+            ArtifactKind::Profile => "profile",
         }
     }
 
@@ -195,6 +200,7 @@ impl ArtifactKind {
             "ontology" => Some(ArtifactKind::Ontology),
             "deployment" => Some(ArtifactKind::Deployment),
             "trace" => Some(ArtifactKind::Trace),
+            "profile" => Some(ArtifactKind::Profile),
             _ => None,
         }
     }

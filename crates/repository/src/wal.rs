@@ -36,6 +36,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// When appends reach the disk platter.
@@ -439,12 +440,28 @@ static TORN_TRUNCATIONS: AtomicU64 = AtomicU64::new(0);
 const FSYNC_BUCKETS: usize = 22;
 static FSYNC_BY_LOG2_US: [AtomicU64; FSYNC_BUCKETS] = [const { AtomicU64::new(0) }; FSYNC_BUCKETS];
 
+/// Process-wide fsync event hook, installed once by `quarry-core` to feed
+/// flight-recorder [`WalFsync`] events; the crate itself stays obs-free.
+/// Arguments: `(latency_micros, fsyncs_so_far)`. Called from the batch's
+/// background flusher thread as well as the synchronous barrier path, so
+/// installed hooks must be thread-safe and cheap.
+static FSYNC_HOOK: OnceLock<Box<dyn Fn(u64, u64) + Send + Sync>> = OnceLock::new();
+
+/// Installs the fsync event hook. First caller wins; returns whether this
+/// call installed its hook.
+pub fn set_fsync_event_hook(hook: impl Fn(u64, u64) + Send + Sync + 'static) -> bool {
+    FSYNC_HOOK.set(Box::new(hook)).is_ok()
+}
+
 fn record_fsync(seconds: f64) {
-    FSYNCS.fetch_add(1, Relaxed);
+    let total = FSYNCS.fetch_add(1, Relaxed) + 1;
     FSYNC_NANOS.fetch_add((seconds * 1e9) as u64, Relaxed);
     let micros = (seconds * 1e6) as u64;
     let bucket = (64 - micros.max(1).leading_zeros() as usize).min(FSYNC_BUCKETS - 1);
     FSYNC_BY_LOG2_US[bucket].fetch_add(1, Relaxed);
+    if let Some(hook) = FSYNC_HOOK.get() {
+        hook(micros, total);
+    }
 }
 
 pub(crate) fn record_compaction() {
