@@ -41,6 +41,8 @@ pub struct QuarryConfig {
     pub fsync: FsyncPolicy,
     /// Cost-based flow optimizer settings (the `optimizer.*` keys).
     pub optimizer: OptimizerConfig,
+    /// Cross-run subflow result cache settings (the `cache.*` keys).
+    pub cache: CacheConfig,
 }
 
 /// The `optimizer.*` configuration keys: the cost-based flow optimizer that
@@ -72,6 +74,27 @@ impl OptimizerConfig {
     }
 }
 
+/// The `cache.*` configuration keys: the cross-run subflow result cache that
+/// serves materialized intermediates keyed by recursive operator fingerprint
+/// (epoch-invalidated, cost-admitted, budget-evicted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// `cache.enabled` — consult and populate the result cache on every ETL
+    /// run. On by default: correctness is guaranteed by fingerprinting (a
+    /// stale entry cannot hit), so the only cost of `true` is the admission
+    /// bookkeeping.
+    pub enabled: bool,
+    /// `cache.budget_bytes` — upper bound on resident cached bytes; the
+    /// cache evicts cost-weighted-LRU victims past it. Default 256 MiB.
+    pub budget_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { enabled: true, budget_bytes: 256 << 20 }
+    }
+}
+
 impl Default for QuarryConfig {
     fn default() -> Self {
         QuarryConfig {
@@ -85,6 +108,7 @@ impl Default for QuarryConfig {
             repository_dir: None,
             fsync: FsyncPolicy::Batched,
             optimizer: OptimizerConfig::default(),
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -144,6 +168,13 @@ mod tests {
         assert!(cfg.stats.datastore_unique_on("partsupp", &["ps_partkey".into(), "ps_suppkey".into()]));
         assert!(!cfg.stats.datastore_unique_on("partsupp", &["ps_partkey".into()]));
         assert!(!cfg.stats.datastore_unique_on("lineitem", &["l_orderkey".into()]));
+    }
+
+    #[test]
+    fn cache_defaults_are_on_and_budgeted() {
+        let cfg = QuarryConfig::default();
+        assert!(cfg.cache.enabled);
+        assert_eq!(cfg.cache.budget_bytes, 256 << 20);
     }
 
     #[test]

@@ -4,14 +4,14 @@ use crate::config::QuarryConfig;
 use crate::profile::{ExecutionProfile, KernelDelta};
 use quarry_deployer::{DeployError, DeploymentArtifacts, PlatformRegistry};
 use quarry_elicitor::{Elicitor, Session};
-use quarry_engine::{Catalog, Engine, EngineError, RunReport};
-use quarry_etl::cost::{cardinality_state, EstimatedTime, TimeWeights};
+use quarry_engine::{CachePlan, CacheStats, Catalog, Engine, EngineError, ResultCache, RunReport};
+use quarry_etl::cost::{cardinality_state, op_fingerprint, EstimatedTime, TimeWeights};
 use quarry_etl::Flow;
 use quarry_formats::registry::FormatRegistry;
 use quarry_formats::{FormatError, Requirement};
 use quarry_integrator::etl::EtlIntegrationReport;
 use quarry_integrator::md::MdIntegrationReport;
-use quarry_integrator::optimize::{optimize_flow, OptimizeReport};
+use quarry_integrator::optimize::{optimize_flow_with_discount, OptimizeReport};
 use quarry_integrator::state::{ConsolidationState, ConsolidationStats};
 use quarry_integrator::IntegrateError;
 use quarry_interpreter::{InterpretError, Interpreter, PartialDesign};
@@ -23,13 +23,19 @@ use quarry_obs::{Counter, Histogram, HistogramSnapshot, Metric, Obs, Span, Trace
 use quarry_ontology::mappings::SourceRegistry;
 use quarry_ontology::Ontology;
 use quarry_repository::{ArtifactKind, DurabilityOptions, Repository, StoreError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Repository key under which the rolling lifecycle trace is versioned.
 pub(crate) const TRACE_KEY: &str = "session";
+
+/// WAL marker prefix persisting the unified-flow epoch (see
+/// [`Quarry::persist_unified`]): durable recovery fast-forwards the
+/// consolidation epoch from the highest such marker, so a restarted
+/// repository never hands the result cache a pre-commit epoch.
+const CACHE_EPOCH_MARKER: &str = "cache-epoch:flow:";
 
 /// Lifecycle failures.
 #[derive(Debug)]
@@ -193,6 +199,31 @@ pub struct Quarry {
     /// collector (`obs.drift.*`). Shared so the collector closure can read
     /// it without borrowing `self`.
     drift: Arc<DriftDetector>,
+    /// Cross-run subflow result cache: fingerprint-keyed materialized
+    /// intermediates shared by every ETL run of this instance (see
+    /// `quarry_engine::cache`). Shared so the metrics collector closure can
+    /// read its stats without borrowing `self`.
+    result_cache: Arc<ResultCache>,
+    /// Per-source invalidation epochs, folded into the cache fingerprints
+    /// alongside the catalog table stamps. Bumped by
+    /// [`Quarry::bump_source_epoch`] when a datastore is registered or
+    /// mutated behind the catalog's back.
+    source_epochs: HashMap<String, u64>,
+    /// Canonical per-op fingerprints (`op name → signature hash`) of the
+    /// unified flow as of the last ETL run — the routing table
+    /// [`Quarry::observe_run`] uses so observations never fold into an op
+    /// the optimizer has since rewritten under the same name.
+    run_fingerprints: Mutex<HashMap<String, u64>>,
+    /// The resolved per-source epoch values (counter mixed with table stamp)
+    /// of the last ETL run — what the optimizer's cache discount keys its
+    /// probe fingerprints on, since no catalog is in scope at optimize time.
+    last_source_epochs: Mutex<HashMap<String, u64>>,
+    /// Memo of the last [`CachePlan`] built for a run. Valid while the flow
+    /// epoch, flow shape, and resolved source epochs are unchanged —
+    /// rebuilding it (fingerprints + modeled cone costs) is the dominant
+    /// fixed cost of a cache-enabled run, and repeated runs over the same
+    /// warehouse data need not pay it twice.
+    cached_plan: Mutex<Option<CachePlan>>,
 }
 
 /// Handles for the metrics the lifecycle itself records. Kept together so
@@ -249,6 +280,18 @@ fn install_event_bridges() {
             }
             EngineEvent::KernelFallback { total } => {
                 recorder.record(EventKind::KernelFallback, kernel, 0, total as i64, 0);
+            }
+            EngineEvent::CacheHit { op, rows } => {
+                recorder.record_named(EventKind::CacheHit, op, 0, rows as i64, 0);
+            }
+            EngineEvent::CacheMiss { op } => {
+                recorder.record_named(EventKind::CacheMiss, op, 0, 0, 0);
+            }
+            EngineEvent::CacheInsert { op, bytes } => {
+                recorder.record_named(EventKind::CacheInsert, op, 0, bytes as i64, 0);
+            }
+            EngineEvent::CacheEvict { bytes } => {
+                recorder.record_named(EventKind::CacheEvict, "cache", 0, bytes as i64, 0);
             }
         }
     });
@@ -365,9 +408,41 @@ impl Quarry {
                 ));
             }
         }));
+        // The cross-run result cache and its always-on stats: hit/miss/insert
+        // traffic, resident bytes, and the cardinality-memo eviction counter
+        // ride along in every metrics snapshot.
+        let result_cache = Arc::new(ResultCache::new(config.cache.enabled, config.cache.budget_bytes));
+        let cache_src = Arc::clone(&result_cache);
+        obs.register_collector(Box::new(move |out| {
+            let s = cache_src.stats();
+            out.push(("engine.cache.entries".to_string(), Metric::Gauge(s.entries as i64)));
+            out.push(("engine.cache.bytes".to_string(), Metric::Gauge(s.bytes as i64)));
+            out.push(("engine.cache.hits".to_string(), Metric::Counter(s.hits)));
+            out.push(("engine.cache.misses".to_string(), Metric::Counter(s.misses)));
+            out.push(("engine.cache.inserts".to_string(), Metric::Counter(s.inserts)));
+            out.push(("engine.cache.rejects".to_string(), Metric::Counter(s.rejects)));
+            out.push(("engine.cache.evictions".to_string(), Metric::Counter(s.evictions)));
+            out.push((
+                "integrator.optimizer.card_cache_evictions".to_string(),
+                Metric::Counter(quarry_etl::cost::card_cache_evictions()),
+            ));
+        }));
         let metrics = LifecycleMetrics::resolve(&obs);
         let mut consolidation = ConsolidationState::new();
         consolidation.bind_metrics(&obs);
+        // Durable recovery: fast-forward the flow epoch past every persisted
+        // commit so entries admitted before the restart can never hit.
+        if let Some(report) = repository.recovery_report() {
+            let recovered = report
+                .markers
+                .iter()
+                .filter_map(|m| m.strip_prefix(CACHE_EPOCH_MARKER))
+                .filter_map(|n| n.parse::<u64>().ok())
+                .max();
+            if let Some(epoch) = recovered {
+                consolidation.set_flow_epoch(epoch);
+            }
+        }
         Ok(Quarry {
             unified_md: MdSchema::new(config.design_name.clone()),
             unified_etl: Flow::new(config.design_name.clone()),
@@ -383,6 +458,11 @@ impl Quarry {
             metrics,
             obs_server: None,
             drift,
+            result_cache,
+            source_epochs: HashMap::new(),
+            run_fingerprints: Mutex::new(HashMap::new()),
+            last_source_epochs: Mutex::new(HashMap::new()),
+            cached_plan: Mutex::new(None),
         })
     }
 
@@ -836,7 +916,49 @@ impl Quarry {
         let model = EstimatedTime { weights: TimeWeights::columnar() };
         let opts = self.config.optimizer.anneal_options();
         let started = Instant::now();
-        let report = optimize_flow(&mut self.unified_etl, &mut self.config.stats, model, &opts)?;
+        // The result cache makes the subflows it holds near-free on the next
+        // run, and committing a rewrite invalidates every entry — so the
+        // commit comparison discounts whatever the cache would serve. The
+        // discount walks like the executor's prepass: from the sinks down,
+        // a cached op contributes its cone's modeled cost and is not
+        // descended into, so overlapping cones are never double-counted.
+        let cache = Arc::clone(&self.result_cache);
+        let epoch = self.consolidation.flow_epoch();
+        let stats_probe = self.config.stats.clone();
+        let sources = self.last_source_epochs.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let discount = move |flow: &Flow| -> f64 {
+            if !cache.enabled() || cache.stats().entries == 0 {
+                return 0.0;
+            }
+            let source_epoch = |name: &str| sources.get(name).copied().unwrap_or(0);
+            let Ok(plan) = CachePlan::for_flow(flow, &stats_probe, epoch, &source_epoch) else {
+                return 0.0;
+            };
+            let Ok(order) = flow.topo_order() else {
+                return 0.0;
+            };
+            let mut needed = std::collections::HashSet::new();
+            let mut saved = 0.0;
+            for id in order.iter().rev() {
+                let op = flow.op(*id);
+                if op.kind.is_sink() {
+                    needed.insert(*id);
+                }
+                if !needed.contains(id) {
+                    continue;
+                }
+                if plan.fingerprint(*id).is_some_and(|fp| cache.peek(fp)) {
+                    saved += plan.saved_cost(*id);
+                    continue;
+                }
+                for input in flow.inputs_of(*id) {
+                    needed.insert(input);
+                }
+            }
+            saved
+        };
+        let report =
+            optimize_flow_with_discount(&mut self.unified_etl, &mut self.config.stats, model, &opts, &discount)?;
         self.metrics.optimize_seconds.observe(started.elapsed().as_secs_f64());
         self.metrics.optimizer_runs.inc();
         self.metrics.optimizer_moves_proposed.add(report.proposed);
@@ -857,8 +979,32 @@ impl Quarry {
     /// actually observed instead of static selectivity guesses. This is the
     /// correction the drift analyzer asks for — once the observations land,
     /// re-runs estimate close to actual and the `obs.drift.*` flags decay.
+    /// Observations route through the canonical op fingerprint: a timing is
+    /// folded only when the op name still exists in the unified flow *and*
+    /// its semantic signature matches what the run executed. After an
+    /// optimizer commit (or a requirement change) rewrites an operation
+    /// under a surviving name, that op's stale observation is dropped
+    /// instead of pinning the rewritten op's estimates to the old reality.
     pub fn observe_run(&mut self, report: &RunReport) {
-        report.observe_into(&mut self.config.stats);
+        let recorded = {
+            let fps = self.run_fingerprints.lock().unwrap_or_else(|p| p.into_inner());
+            fps.clone()
+        };
+        for t in &report.timings {
+            let Some(op) = self.unified_etl.op_by_name(&t.op) else {
+                continue; // the op no longer exists: nothing to pin
+            };
+            if let Some(&fp) = recorded.get(&t.op) {
+                if fp != op_fingerprint(&op.kind) {
+                    continue; // rewritten since the run: the observation is stale
+                }
+            }
+            if t.rows_in > 0 {
+                self.config.stats.observe_op_io(&t.op, t.rows_in as f64, t.rows_out as f64);
+            } else {
+                self.config.stats.observe_op(&t.op, t.rows_out as f64);
+            }
+        }
     }
 
     /// Samples the drift analyzer with a run's estimated-vs-actual
@@ -939,6 +1085,10 @@ impl Quarry {
             &self.config.design_name,
             &quarry_formats::xlm::to_string(&self.unified_etl),
         )?;
+        // Every site that commits a new unified design persists here, so this
+        // one marker keeps the durable log's flow epoch current: recovery
+        // fast-forwards past it and a restart never serves pre-commit hits.
+        self.repository.record_marker(&format!("{CACHE_EPOCH_MARKER}{}", self.consolidation.flow_epoch()))?;
         Ok(())
     }
 
@@ -983,11 +1133,13 @@ impl Quarry {
         let step = self.obs.span("execute");
         step.attr("mode", if parallel { "parallel" } else { "serial" });
         let mut engine = crate::native::deploy(&self.unified_md, catalog);
+        self.install_result_cache(&mut engine);
         let kernels_before = KernelDelta::snapshot();
         let run = if parallel { engine.run_parallel(&self.unified_etl) } else { engine.run(&self.unified_etl) };
         let kernels_after = KernelDelta::snapshot();
         let result = match run {
             Ok(report) => {
+                self.remember_run_fingerprints();
                 self.record_run(&step, &report);
                 let profile = ExecutionProfile::capture(
                     &self.unified_etl,
@@ -1056,6 +1208,88 @@ impl Quarry {
     ) -> Result<(Engine, RunReport), QuarryError> {
         quarry_engine::pool::set_threads(threads);
         self.run_etl_parallel(catalog)
+    }
+
+    // ---- result cache ---------------------------------------------------------
+
+    /// Installs the cross-run result cache on `engine` for the unified flow:
+    /// purges entries from older flow epochs, then keys this run's plan on
+    /// the current epoch plus per-source epochs mixed with the catalog's
+    /// table stamps (data identity). A flow the plan cannot be computed for
+    /// simply runs uncached.
+    fn install_result_cache(&self, engine: &mut Engine) {
+        if !self.config.cache.enabled || self.unified_etl.op_count() == 0 {
+            return;
+        }
+        let epoch = self.consolidation.flow_epoch();
+        self.result_cache.set_flow_epoch(epoch);
+        let catalog = &engine.catalog;
+        let source_epochs = &self.source_epochs;
+        let source_epoch = move |name: &str| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            source_epochs.get(name).copied().unwrap_or(0).hash(&mut h);
+            quarry_engine::table_stamp(catalog, name).hash(&mut h);
+            h.finish()
+        };
+        // Resolve the per-source epochs first (cheap table stamps): they key
+        // the optimizer's cache discount and the plan memo below.
+        let mut resolved = HashMap::new();
+        for op in self.unified_etl.ops() {
+            if let quarry_etl::OpKind::Datastore { datastore, .. } = &op.kind {
+                resolved.insert(datastore.clone(), source_epoch(datastore));
+            }
+        }
+        // Reuse the memoized plan when nothing it depends on changed: same
+        // flow epoch (which bumps on every design mutation), same flow
+        // shape, same resolved source epochs. Otherwise rebuild.
+        let reusable = {
+            let memo = self.cached_plan.lock().unwrap_or_else(|p| p.into_inner());
+            let last = self.last_source_epochs.lock().unwrap_or_else(|p| p.into_inner());
+            memo.as_ref()
+                .filter(|p| p.flow_epoch == epoch && *last == resolved && p.matches(&self.unified_etl))
+                .cloned()
+        };
+        *self.last_source_epochs.lock().unwrap_or_else(|p| p.into_inner()) = resolved;
+        let plan = match reusable {
+            Some(plan) => Some(plan),
+            None => CachePlan::for_flow(&self.unified_etl, &self.config.stats, epoch, &source_epoch).ok(),
+        };
+        if let Some(plan) = plan {
+            *self.cached_plan.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan.clone());
+            engine.set_result_cache(Arc::clone(&self.result_cache), plan);
+        }
+    }
+
+    /// Snapshots the unified flow's canonical per-op fingerprints right after
+    /// a run, so a later [`Quarry::observe_run`] can tell whether an op name
+    /// still denotes the operation the run actually measured.
+    fn remember_run_fingerprints(&self) {
+        let mut fps = self.run_fingerprints.lock().unwrap_or_else(|p| p.into_inner());
+        fps.clear();
+        for op in self.unified_etl.ops() {
+            fps.insert(op.name.clone(), op_fingerprint(&op.kind));
+        }
+    }
+
+    /// Current result-cache counters (entries, bytes, hit/miss/insert/evict
+    /// traffic) — the numbers behind the CLI's `cache` command and the
+    /// `engine.cache.*` metrics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.result_cache.stats()
+    }
+
+    /// Drops every cached subflow result (the budget and counters survive).
+    pub fn clear_result_cache(&self) {
+        self.result_cache.clear();
+    }
+
+    /// Declares that the datastore `source` was registered or mutated outside
+    /// the engine's view: its per-source epoch is bumped, which re-keys (and
+    /// thereby invalidates) every cached subflow reading it. Catalog-visible
+    /// mutations are caught by table stamps even without this call.
+    pub fn bump_source_epoch(&mut self, source: &str) {
+        *self.source_epochs.entry(source.to_string()).or_insert(0) += 1;
     }
 }
 
@@ -1407,6 +1641,132 @@ mod tests {
         // The optimizer runs fine with observed statistics in place.
         let opt = q.optimize().unwrap();
         assert!(opt.after_cost <= opt.before_cost);
+    }
+
+    #[test]
+    fn observe_run_routes_through_canonical_fingerprints() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let (_, report) = q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        // Rewrite the slicer under the same op name: France instead of Spain.
+        // The selection keeps its name but its predicate — and therefore its
+        // canonical fingerprint — changes.
+        let mut v2 = figure4_requirement();
+        v2.slicers[0].value = "France".into();
+        q.change_requirement(v2).unwrap();
+        let sel = q
+            .unified()
+            .1
+            .ops()
+            .find(|o| o.name.contains("SELECTION") && o.name.contains("n_name"))
+            .expect("the slicer selection survives the change")
+            .name
+            .clone();
+        assert!(report.timings.iter().any(|t| t.op == sel), "the old run timed the selection");
+
+        q.observe_run(&report);
+        assert!(
+            q.config().stats.observed_op(&sel).is_none() && q.config().stats.observed_selectivity(&sel).is_none(),
+            "a stale observation must not fold into the rewritten `{sel}`"
+        );
+        assert!(
+            report.timings.iter().any(|t| q.config().stats.observed_op(&t.op).is_some()),
+            "untouched operations still fold"
+        );
+    }
+
+    #[test]
+    fn observe_run_after_an_optimizer_commit_skips_rewritten_ops() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        q.add_requirement(netprofit_requirement()).unwrap();
+        let (_, report) = q.run_etl(quarry_engine::tpch::generate(0.002, 42)).unwrap();
+        let fingerprints_before: std::collections::HashMap<String, u64> =
+            q.unified().1.ops().map(|o| (o.name.clone(), op_fingerprint(&o.kind))).collect();
+        let opt = q.optimize().unwrap();
+        q.observe_run(&report);
+        for t in &report.timings {
+            let Some(op) = q.unified().1.op_by_name(&t.op) else { continue };
+            if fingerprints_before.get(&t.op) != Some(&op_fingerprint(&op.kind)) {
+                assert!(opt.applied, "an op only changes under a commit");
+                assert!(
+                    q.config().stats.observed_op(&t.op).is_none()
+                        && q.config().stats.observed_selectivity(&t.op).is_none(),
+                    "`{}` was rewritten by the commit; its stale observation must be dropped",
+                    t.op
+                );
+            }
+        }
+        // The run itself still contributed: at least one surviving op folded.
+        assert!(report.timings.iter().any(|t| q.config().stats.observed_op(&t.op).is_some()));
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_result_cache_with_identical_output() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let catalog = quarry_engine::tpch::generate(0.002, 42);
+        let (cold, _) = q.run_etl(catalog.clone()).unwrap();
+        let stats = q.cache_stats();
+        assert!(stats.enabled && stats.inserts > 0, "the cold run must populate the cache: {stats:?}");
+        let (warm, _) = q.run_etl(catalog.clone()).unwrap();
+        assert!(q.cache_stats().hits > stats.hits, "the warm run must hit");
+        assert_eq!(
+            cold.catalog.get("fact_table_revenue").unwrap(),
+            warm.catalog.get("fact_table_revenue").unwrap(),
+            "cache-served output is bit-identical"
+        );
+        // An explicit source-epoch bump re-keys every subflow reading that
+        // source: bumping all of them leaves nothing stale to hit.
+        let hits_before = q.cache_stats().hits;
+        let sources: Vec<String> = q
+            .unified()
+            .1
+            .ops()
+            .filter_map(|o| match &o.kind {
+                quarry_etl::OpKind::Datastore { datastore, .. } => Some(datastore.clone()),
+                _ => None,
+            })
+            .collect();
+        for s in &sources {
+            q.bump_source_epoch(s);
+        }
+        let (bumped, _) = q.run_etl(catalog).unwrap();
+        assert_eq!(q.cache_stats().hits, hits_before, "bumped source epochs must miss");
+        assert_eq!(cold.catalog.get("fact_table_revenue").unwrap(), bumped.catalog.get("fact_table_revenue").unwrap());
+    }
+
+    #[test]
+    fn integration_steps_invalidate_the_result_cache_via_the_flow_epoch() {
+        let mut q = Quarry::tpch();
+        q.add_requirement(figure4_requirement()).unwrap();
+        let catalog = quarry_engine::tpch::generate(0.002, 42);
+        q.run_etl(catalog.clone()).unwrap();
+        let hits_before = q.cache_stats().hits;
+        // Integrating a second requirement bumps the flow epoch: the next
+        // run's fingerprints are all re-keyed, so nothing stale can hit.
+        q.add_requirement(netprofit_requirement()).unwrap();
+        q.run_etl(catalog).unwrap();
+        assert_eq!(q.cache_stats().hits, hits_before, "post-commit run must not reuse pre-commit entries");
+    }
+
+    #[test]
+    fn durable_restart_fast_forwards_the_cache_epoch() {
+        let tmp = TempDir::new("cache-epoch");
+        let epoch_before;
+        {
+            let mut q = durable_tpch(&tmp.0);
+            q.add_requirement(figure4_requirement()).unwrap();
+            q.add_requirement(netprofit_requirement()).unwrap();
+            epoch_before = q.consolidation.flow_epoch();
+            assert!(epoch_before >= 2, "each integration step advances the epoch");
+        }
+        let q = durable_tpch(&tmp.0);
+        assert!(
+            q.consolidation.flow_epoch() >= epoch_before,
+            "recovery must fast-forward past every persisted commit ({} < {epoch_before})",
+            q.consolidation.flow_epoch()
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub enum ServiceRequest {
     /// GET /debug/events — the flight recorder's event history as a JSON
     /// document (read-only: draining does not clear the ring).
     GetEvents,
+    /// GET /observability/cache — the result cache's live statistics
+    /// (entries, resident bytes, hit/miss/insert/reject/evict counters) as
+    /// a JSON document.
+    GetCacheStats,
 }
 
 /// A response from the Quarry service.
@@ -196,6 +200,22 @@ fn try_handle(quarry: &mut Quarry, request: ServiceRequest) -> Result<ServiceRes
         ServiceRequest::GetEvents => {
             let log = quarry_obs::flight::recorder().drain();
             Ok(ServiceResponse::Document(quarry_obs::export::events_json(&log)))
+        }
+        ServiceRequest::GetCacheStats => {
+            use quarry_repository::Json;
+            let stats = quarry.cache_stats();
+            let mut obj = Json::object();
+            obj.set("enabled", Json::Bool(stats.enabled));
+            obj.set("budgetBytes", Json::Number(stats.budget_bytes as f64));
+            obj.set("entries", Json::Number(stats.entries as f64));
+            obj.set("bytes", Json::Number(stats.bytes as f64));
+            obj.set("hits", Json::Number(stats.hits as f64));
+            obj.set("misses", Json::Number(stats.misses as f64));
+            obj.set("inserts", Json::Number(stats.inserts as f64));
+            obj.set("rejects", Json::Number(stats.rejects as f64));
+            obj.set("evictions", Json::Number(stats.evictions as f64));
+            obj.set("hitRate", Json::Number(stats.hit_rate()));
+            Ok(ServiceResponse::Document(obj.to_pretty_string()))
         }
         ServiceRequest::ServeMetrics { addr } => {
             let addr = addr
@@ -384,6 +404,26 @@ mod tests {
         let parsed = quarry_repository::Json::parse(&events).expect("events are JSON");
         assert!(parsed.path("capacity").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0, "{events}");
         assert!(events.contains("\"op_finish\""), "engine events present: {events}");
+    }
+
+    #[test]
+    fn cache_stats_endpoint_reports_live_counters() {
+        let mut q = Quarry::tpch();
+        let xrq = figure4_requirement().to_string_pretty();
+        handle(&mut q, ServiceRequest::AddRequirement { xrq });
+        let data = quarry_engine::tpch::generate(0.002, 42);
+        q.run_etl(data.clone()).unwrap();
+        q.run_etl(data).unwrap();
+        let doc = match handle(&mut q, ServiceRequest::GetCacheStats) {
+            ServiceResponse::Document(doc) => doc,
+            other => panic!("{other:?}"),
+        };
+        let json = quarry_repository::Json::parse(&doc).expect("cache stats are JSON");
+        assert_eq!(json.path("enabled"), Some(&quarry_repository::Json::Bool(true)));
+        assert!(json.path("budgetBytes").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0);
+        // The second identical run must have hit the warm cache.
+        assert!(json.path("hits").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0, "{doc}");
+        assert!(json.path("hitRate").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! The cross-run subflow result cache.
+//!
+//! Quarry's consolidation story makes shared subflows cheap *within* one run;
+//! this module extends the saving *across* runs: a memory-budgeted store of
+//! materialized operator outputs (`Arc<Relation>`, zero-copy to publish)
+//! keyed by the recursive subflow fingerprint of
+//! [`quarry_etl::cost::subflow_fingerprints`]. A fingerprint covers the
+//! operator's canonical form, its inputs' fingerprints, the per-flow epoch
+//! and the per-source epochs — so a hit is only possible when the same
+//! computation over the same source state is requested again, and
+//! invalidation is pure key rotation: epoch bumps make old entries
+//! unreachable (and [`ResultCache::set_flow_epoch`] purges them for hygiene).
+//!
+//! Admission is cost-based: an output is cached only when the modeled time
+//! of its upstream cone ([`EstimatedTime::subtree_costs`]) times the
+//! observed hit-likelihood (how often this fingerprint has been requested)
+//! exceeds what admitting costs — nothing for outputs the executor already
+//! materialized, a modeled gather for late-materialized ones. Eviction under
+//! the byte budget is cost-weighted LRU: the entry with the least modeled
+//! saving per byte, discounted by staleness, goes first.
+
+use crate::catalog::Catalog;
+use crate::relation::Relation;
+use quarry_etl::cost::{flow_fingerprint, subflow_fingerprints, EstimatedTime, SourceStats, TimeWeights};
+use quarry_etl::{Flow, FlowError, OpId, OpKind};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Bound on the fingerprint-demand map (a hit-likelihood heuristic, not
+/// correctness state); past it the counts reset wholesale.
+const DEMAND_CAP: usize = 1 << 16;
+
+/// Operator kinds whose outputs are worth keying: pipeline breakers (join
+/// builds feed them, aggregations collapse them) and post-filter scans.
+/// Streaming pass-throughs (projection, derivation) are never cached — their
+/// upstream breaker already is, and their own cost is near zero.
+pub(crate) fn cacheable(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Join { .. }
+            | OpKind::Aggregation { .. }
+            | OpKind::Selection { .. }
+            | OpKind::Distinct
+            | OpKind::Sort { .. }
+            | OpKind::Union
+    )
+}
+
+/// Hit-likelihood from demand: how often this fingerprint has been asked for
+/// and missed. Saturates toward 1 — a subflow requested run after run is
+/// near-certain to be requested again.
+fn likelihood(demand: u32) -> f64 {
+    1.0 - 0.5f64.powi(demand.min(30) as i32)
+}
+
+/// Misses a fingerprint must accumulate before admission will pay a
+/// non-zero materialization price for it. Free offers (results the executor
+/// already holds materialized) are admitted from the first miss; paying a
+/// gather for a late-materialized batch on the very first run would tax
+/// every cold run for a reuse that is still speculative.
+const COSTLY_ADMIT_MIN_DEMAND: u32 = 2;
+
+/// Modeled cost (in [`EstimatedTime`] units) of eagerly materializing a late
+/// `rows × cols` batch for admission: one gather per column per row. Charged
+/// against the modeled cross-run saving so the cold run never pays a gather
+/// that the cache is unlikely to amortize.
+pub fn materialize_cost(rows: usize, cols: usize) -> f64 {
+    0.1 * rows as f64 * cols as f64
+}
+
+/// A content stamp for one catalog table: row count, schema, and the
+/// identities of its shared columns. Folding this into the per-source epoch
+/// makes a cache hit physically contingent on the very column vectors the
+/// cached result was computed from — replacing a table's data rotates its
+/// column `Arc`s and therefore the stamp, so stale data cannot hit (at worst
+/// an unchanged table re-generated from scratch misses: false negatives
+/// only).
+pub fn table_stamp(catalog: &Catalog, name: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    match catalog.get_shared(name) {
+        Some(rel) => {
+            1u8.hash(&mut h);
+            rel.len().hash(&mut h);
+            for col in rel.schema.columns.iter() {
+                col.name.hash(&mut h);
+                format!("{:?}", col.ty).hash(&mut h);
+            }
+            for col in rel.columns() {
+                (Arc::as_ptr(col) as usize).hash(&mut h);
+            }
+        }
+        None => 0u8.hash(&mut h),
+    }
+    h.finish()
+}
+
+/// Everything the executor needs to consult the cache for one flow: per-op
+/// fingerprints and per-op modeled cone costs, pinned to the exact flow
+/// shape they were computed for.
+#[derive(Debug, Clone)]
+pub struct CachePlan {
+    flow_fp: u64,
+    /// The flow epoch the fingerprints were computed under; admitted entries
+    /// are tagged with it so [`ResultCache::set_flow_epoch`] can purge.
+    pub flow_epoch: u64,
+    fingerprints: HashMap<OpId, u64>,
+    saved: HashMap<OpId, f64>,
+}
+
+impl CachePlan {
+    /// Builds the plan for `flow`: recursive fingerprints under the given
+    /// epochs plus modeled upstream-cone costs (columnar weights) under
+    /// `stats`.
+    pub fn for_flow(
+        flow: &Flow,
+        stats: &SourceStats,
+        flow_epoch: u64,
+        source_epoch: &dyn Fn(&str) -> u64,
+    ) -> Result<CachePlan, FlowError> {
+        let fingerprints = subflow_fingerprints(flow, flow_epoch, source_epoch)?;
+        let model = EstimatedTime { weights: TimeWeights::columnar() };
+        let saved = model.subtree_costs(flow, stats)?;
+        Ok(CachePlan { flow_fp: flow_fingerprint(flow), flow_epoch, fingerprints, saved })
+    }
+
+    /// A plan for engine-only callers (benchmarks, tests): source epochs are
+    /// the catalog's table stamps and the flow epoch is fixed.
+    pub fn for_catalog(flow: &Flow, catalog: &Catalog, flow_epoch: u64) -> Result<CachePlan, FlowError> {
+        CachePlan::for_flow(flow, &catalog.statistics(), flow_epoch, &|name| table_stamp(catalog, name))
+    }
+
+    /// Whether this plan was computed for exactly `flow`'s shape.
+    pub fn matches(&self, flow: &Flow) -> bool {
+        self.flow_fp == flow_fingerprint(flow)
+    }
+
+    pub fn fingerprint(&self, id: OpId) -> Option<u64> {
+        self.fingerprints.get(&id).copied()
+    }
+
+    /// Modeled cost of the op's upstream cone — what a hit on it saves.
+    pub fn saved_cost(&self, id: OpId) -> f64 {
+        self.saved.get(&id).copied().unwrap_or(0.0)
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    relation: Arc<Relation>,
+    bytes: usize,
+    saved: f64,
+    last_used: u64,
+    flow_epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+    /// Times each fingerprint was looked up and missed — the hit-likelihood
+    /// signal for admission.
+    demand: HashMap<u64, u32>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    rejects: u64,
+    evictions: u64,
+}
+
+/// Snapshot of one cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    pub enabled: bool,
+    pub budget_bytes: usize,
+    pub entries: usize,
+    pub bytes: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    /// Lookups that missed and whose results admission then declined.
+    pub rejects: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; zero before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The budgeted fingerprint-keyed store. Shareable across engines and runs
+/// via `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct ResultCache {
+    enabled: bool,
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    pub fn new(enabled: bool, budget_bytes: usize) -> Self {
+        ResultCache { enabled, budget_bytes, inner: Mutex::new(Inner::default()) }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a fingerprint. A miss also records demand — the admission
+    /// signal that this subflow keeps being asked for.
+    pub fn lookup(&self, fp: u64) -> Option<Arc<Relation>> {
+        if !self.enabled {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&fp) {
+            entry.last_used = tick;
+            let relation = Arc::clone(&entry.relation);
+            inner.hits += 1;
+            return Some(relation);
+        }
+        inner.misses += 1;
+        if inner.demand.len() >= DEMAND_CAP {
+            inner.demand.clear();
+        }
+        *inner.demand.entry(fp).or_insert(0) += 1;
+        None
+    }
+
+    /// Whether a live entry exists for `fp`, without touching the
+    /// hit/miss/demand accounting — the optimizer's discount probe.
+    pub fn peek(&self, fp: u64) -> bool {
+        self.enabled && self.lock().entries.contains_key(&fp)
+    }
+
+    /// The admission economics without the entry itself: would an offer with
+    /// this modeled saving and materialization price currently clear the
+    /// `saved × hit-likelihood > cost` bar? The executor asks this *before*
+    /// paying a gather for a late batch.
+    pub fn would_admit(&self, fp: u64, saved: f64, materialize_cost: f64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let inner = self.lock();
+        let demand = inner.demand.get(&fp).copied().unwrap_or(1).max(1);
+        if materialize_cost > 0.0 && demand < COSTLY_ADMIT_MIN_DEMAND {
+            return false;
+        }
+        saved * likelihood(demand) > materialize_cost
+    }
+
+    /// Offers one computed result for admission. `saved` is the modeled cost
+    /// of the result's upstream cone (the win per future hit),
+    /// `materialize_cost` the modeled price of storing it now (zero when the
+    /// executor already holds it materialized). Admitted only when
+    /// `saved × hit-likelihood > materialize_cost` and the entry fits the
+    /// budget; then evicts cost-weighted-LRU until under budget. Returns
+    /// whether the entry is resident afterwards.
+    pub fn admit(&self, fp: u64, relation: &Arc<Relation>, saved: f64, materialize_cost: f64, flow_epoch: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let bytes = relation.estimated_bytes();
+        let mut inner = self.lock();
+        if inner.entries.contains_key(&fp) {
+            return true; // already resident (a concurrent lane admitted it)
+        }
+        let demand = inner.demand.get(&fp).copied().unwrap_or(1).max(1);
+        if (materialize_cost > 0.0 && demand < COSTLY_ADMIT_MIN_DEMAND)
+            || saved * likelihood(demand) <= materialize_cost
+            || bytes > self.budget_bytes
+        {
+            inner.rejects += 1;
+            return false;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.bytes += bytes;
+        inner.inserts += 1;
+        inner.entries.insert(fp, Entry { relation: Arc::clone(relation), bytes, saved, last_used: tick, flow_epoch });
+        self.evict_over_budget(&mut inner);
+        inner.entries.contains_key(&fp)
+    }
+
+    /// Evicts until total bytes fit the budget. The victim is the entry with
+    /// the least modeled saving per byte, discounted by how long ago it was
+    /// last used — cost-weighted LRU.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        while inner.bytes > self.budget_bytes && !inner.entries.is_empty() {
+            let now = inner.tick;
+            let victim = inner
+                .entries
+                .iter()
+                .map(|(&fp, e)| {
+                    let age = now.saturating_sub(e.last_used) as f64;
+                    (fp, (e.saved / e.bytes.max(1) as f64) / (1.0 + age))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(fp, _)| fp);
+            let Some(fp) = victim else { break };
+            if let Some(entry) = inner.entries.remove(&fp) {
+                inner.bytes -= entry.bytes;
+                inner.evictions += 1;
+                crate::events::emit(crate::events::EngineEvent::CacheEvict { bytes: entry.bytes as u64 });
+            }
+        }
+    }
+
+    /// Announces the current flow epoch: entries admitted under any other
+    /// epoch are purged. Their fingerprints could never hit again anyway
+    /// (the epoch folds into every key); purging frees their memory the
+    /// moment the lifecycle commits a new design.
+    pub fn set_flow_epoch(&self, epoch: u64) {
+        let mut inner = self.lock();
+        let stale: Vec<u64> = inner.entries.iter().filter(|(_, e)| e.flow_epoch != epoch).map(|(&fp, _)| fp).collect();
+        for fp in stale {
+            if let Some(entry) = inner.entries.remove(&fp) {
+                inner.bytes -= entry.bytes;
+                inner.evictions += 1;
+            }
+        }
+        inner.demand.clear();
+    }
+
+    /// Drops every entry (and the demand heuristics).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.entries.clear();
+        inner.demand.clear();
+        inner.bytes = 0;
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            enabled: self.enabled,
+            budget_bytes: self.budget_bytes,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts: inner.inserts,
+            rejects: inner.rejects,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::value::Value;
+    use quarry_etl::{ColType, Column, Schema};
+
+    fn rel(n: usize) -> Arc<Relation> {
+        let schema = Schema::new(vec![Column::new("x", ColType::Integer)]);
+        Arc::new(Relation::with_rows(schema, (0..n).map(|i| vec![Value::Int(i as i64)]).collect()))
+    }
+
+    #[test]
+    fn lookup_miss_then_admit_then_hit() {
+        let cache = ResultCache::new(true, 1 << 20);
+        assert!(cache.lookup(7).is_none());
+        assert!(cache.admit(7, &rel(10), 1000.0, 0.0, 1));
+        let hit = cache.lookup(7).expect("admitted entry hits");
+        assert_eq!(hit.len(), 10);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+        assert!(s.bytes > 0 && s.entries == 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_or_counts() {
+        let cache = ResultCache::new(false, 1 << 20);
+        assert!(cache.lookup(1).is_none());
+        assert!(!cache.admit(1, &rel(4), 1e9, 0.0, 1));
+        assert!(cache.lookup(1).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn admission_weighs_saving_against_materialization() {
+        let cache = ResultCache::new(true, 1 << 20);
+        // Demand 1 → likelihood 0.5; a saving of 10 against a
+        // materialization cost of 8 does not clear the bar…
+        cache.lookup(1);
+        assert!(!cache.admit(1, &rel(4), 10.0, 8.0, 1));
+        assert_eq!(cache.stats().rejects, 1);
+        // …but after repeated demand the likelihood approaches 1 and the
+        // same offer is admitted.
+        cache.lookup(1);
+        cache.lookup(1);
+        assert!(cache.admit(1, &rel(4), 10.0, 8.0, 1));
+    }
+
+    #[test]
+    fn costly_admission_requires_repeated_demand() {
+        let cache = ResultCache::new(true, 1 << 20);
+        // One miss is not enough history to pay a gather, no matter the
+        // modeled saving…
+        cache.lookup(9);
+        assert!(!cache.would_admit(9, 1e9, 1.0));
+        assert!(!cache.admit(9, &rel(4), 1e9, 1.0, 1));
+        // …a second miss is.
+        cache.lookup(9);
+        assert!(cache.would_admit(9, 1e9, 1.0));
+        assert!(cache.admit(9, &rel(4), 1e9, 1.0, 1));
+        // Free offers clear the bar from the very first miss.
+        cache.lookup(10);
+        assert!(cache.would_admit(10, 1.0, 0.0));
+    }
+
+    #[test]
+    fn budget_eviction_prefers_low_value_entries() {
+        let budget = rel(64).estimated_bytes() * 2 + 64;
+        let cache = ResultCache::new(true, budget);
+        assert!(cache.admit(1, &rel(64), 10.0, 0.0, 1), "low value");
+        assert!(cache.admit(2, &rel(64), 1e6, 0.0, 1), "high value");
+        // A third entry forces an eviction; the low-value entry goes.
+        assert!(cache.admit(3, &rel(64), 1e6, 0.0, 1));
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.lookup(1).is_none(), "low-value entry evicted");
+        assert!(cache.lookup(2).is_some() || cache.lookup(3).is_some());
+        assert!(cache.stats().bytes <= budget, "occupancy within budget");
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_outright() {
+        let cache = ResultCache::new(true, 16);
+        assert!(!cache.admit(1, &rel(1024), 1e9, 0.0, 1));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn flow_epoch_change_purges_old_entries() {
+        let cache = ResultCache::new(true, 1 << 20);
+        assert!(cache.admit(1, &rel(8), 100.0, 0.0, 1));
+        assert!(cache.admit(2, &rel(8), 100.0, 0.0, 1));
+        cache.set_flow_epoch(2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 0, "stale-epoch entries purged");
+        assert_eq!(s.bytes, 0);
+        assert!(cache.lookup(1).is_none() && cache.lookup(2).is_none());
+    }
+
+    #[test]
+    fn table_stamp_tracks_data_identity() {
+        let mut catalog = Catalog::new();
+        let schema = Schema::new(vec![Column::new("x", ColType::Integer)]);
+        catalog.put("t", Relation::with_rows(schema.clone(), vec![vec![Value::Int(1)]]));
+        let a = table_stamp(&catalog, "t");
+        assert_eq!(a, table_stamp(&catalog, "t"), "stamps are stable");
+        let shared = catalog.clone();
+        assert_eq!(a, table_stamp(&shared, "t"), "clones share columns, so stamps agree");
+        // Replacing the data rotates the stamp even at equal row counts.
+        catalog.put("t", Relation::with_rows(schema, vec![vec![Value::Int(2)]]));
+        assert_ne!(a, table_stamp(&catalog, "t"));
+        assert_ne!(a, table_stamp(&catalog, "missing"));
+    }
+
+    #[test]
+    fn plans_pin_the_flow_shape() {
+        let mut f = Flow::new("p");
+        let schema = Schema::new(vec![Column::new("x", ColType::Integer)]);
+        let d = f.add_op("DS", OpKind::Datastore { datastore: "t".into(), schema }).unwrap();
+        f.append(d, "LOAD", OpKind::Loader { table: "out".into(), key: vec![] }).unwrap();
+        let catalog = Catalog::new();
+        let plan = CachePlan::for_catalog(&f, &catalog, 1).unwrap();
+        assert!(plan.matches(&f));
+        assert!(plan.fingerprint(d).is_some());
+        assert!(plan.saved_cost(d) >= 0.0);
+        let mut other = f.clone();
+        let e = other.add_op("DS2", OpKind::Datastore { datastore: "u".into(), schema: Schema::empty() }).unwrap();
+        other.append(e, "LOAD2", OpKind::Loader { table: "out2".into(), key: vec![] }).unwrap();
+        assert!(!plan.matches(&other), "a different shape rejects the plan");
+    }
+}

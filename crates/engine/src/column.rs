@@ -177,6 +177,13 @@ impl StringPool {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// Estimated heap footprint of the pool (strings plus the intern index).
+    pub fn estimated_bytes(&self) -> usize {
+        // Each distinct string is stored twice (vector + index key), plus
+        // `String` headers and the index entry itself.
+        self.strings.iter().map(|s| 2 * s.len() + 2 * 24 + 8).sum()
+    }
 }
 
 /// The typed storage behind one column.
@@ -257,6 +264,24 @@ impl Column {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Estimated heap footprint of the column in bytes: typed vector plus
+    /// dictionary pool (counted in full — pools may be `Arc`-shared across
+    /// columns, so sums over relations can overcount shared storage) plus
+    /// the validity bitmap. An estimate for budget accounting, not an exact
+    /// allocator measurement.
+    pub fn estimated_bytes(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::Dict { codes, pool } => codes.len() * 4 + pool.estimated_bytes(),
+            ColumnData::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnData::Mixed(v) => v.iter().map(|cell| 32 + if let Value::Str(s) = cell { s.len() } else { 0 }).sum(),
+        };
+        data + self.validity.as_ref().map_or(0, |b| b.bits.len() * 8)
     }
 
     pub fn is_null(&self, i: usize) -> bool {

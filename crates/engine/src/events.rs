@@ -33,6 +33,15 @@ pub enum EngineEvent<'a> {
     /// An expression kernel dropped to the row-at-a-time scalar path;
     /// `total` is the process-lifetime fallback count after this one.
     KernelFallback { total: u64 },
+    /// The result cache served one operator's output without executing its
+    /// upstream cone.
+    CacheHit { op: &'a str, rows: u64 },
+    /// The result cache was consulted for an operator and had nothing.
+    CacheMiss { op: &'a str },
+    /// The result cache admitted one operator output.
+    CacheInsert { op: &'a str, bytes: u64 },
+    /// The result cache evicted one entry under budget pressure.
+    CacheEvict { bytes: u64 },
 }
 
 type Hook = Box<dyn Fn(EngineEvent<'_>) + Send + Sync>;

@@ -50,7 +50,9 @@ use crate::relation::{Relation, Row};
 use crate::stats;
 use crate::value::Value;
 use crate::vector::{collect_used, eval_vector, RowSel, Vek};
-use quarry_etl::{AggSpec, CompiledExpr, Expr, Flow, FlowError, JoinKind, OpId, OpKind, Schema, UnboundColumn};
+use quarry_etl::{
+    AggSpec, CompiledExpr, Expr, Flow, FlowError, JoinKind, OpId, OpKind, Operation, Schema, UnboundColumn,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
@@ -363,11 +365,139 @@ fn used_columns(exprs: &[&CompiledExpr], extra: &[usize]) -> Vec<usize> {
 #[derive(Debug, Default)]
 pub struct Engine {
     pub catalog: Catalog,
+    /// The cross-run result cache plus the plan (fingerprints, cone costs)
+    /// for the flow about to run; consulted at pipeline-breaker boundaries.
+    cache: Option<(Arc<crate::cache::ResultCache>, crate::cache::CachePlan)>,
+}
+
+/// The executor-facing outcome of one pre-run cache consultation: which ops
+/// the cache already answers and which ops still have to execute.
+struct CachePass {
+    /// Cache-served results, published without executing the op.
+    hits: HashMap<OpId, Arc<Relation>>,
+    /// Ops whose results must be *available*: sinks, plus — transitively —
+    /// the inputs of every available op the cache did not answer. Everything
+    /// else is skipped: it only feeds subflows the cache already holds.
+    needed: std::collections::HashSet<OpId>,
+}
+
+impl CachePass {
+    /// Whether `id` executes this run (a cache hit is published, not run).
+    fn executes(&self, id: OpId) -> bool {
+        self.needed.contains(&id) && !self.hits.contains_key(&id)
+    }
 }
 
 impl Engine {
     pub fn new(catalog: Catalog) -> Self {
-        Engine { catalog }
+        Engine { catalog, cache: None }
+    }
+
+    /// Installs the cross-run result cache together with the [`CachePlan`]
+    /// computed for the flow this engine is about to run. A plan whose shape
+    /// does not match the executed flow is ignored for that run (the cache
+    /// is then bypassed entirely), so a stale plan can never mis-key.
+    ///
+    /// [`CachePlan`]: crate::cache::CachePlan
+    pub fn set_result_cache(&mut self, cache: Arc<crate::cache::ResultCache>, plan: crate::cache::CachePlan) {
+        self.cache = Some((cache, plan));
+    }
+
+    /// Uninstalls the result cache.
+    pub fn clear_result_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Consults the cache for `flow` before execution: walks the ops in
+    /// reverse topological order, looks up every *reachable* cacheable
+    /// operator (one not already covered by a downstream hit) and derives
+    /// the set of ops that still execute. Returns `None` when no cache is
+    /// installed, it is disabled, or the plan does not match the flow.
+    fn cache_prepass(&self, flow: &Flow, order: &[OpId]) -> Option<CachePass> {
+        let (cache, plan) = self.cache.as_ref()?;
+        if !cache.enabled() || !plan.matches(flow) {
+            return None;
+        }
+        let mut pass = CachePass { hits: HashMap::new(), needed: std::collections::HashSet::new() };
+        for &id in order.iter().rev() {
+            let op = flow.op(id);
+            if op.kind.is_sink() {
+                pass.needed.insert(id);
+            }
+            if !pass.needed.contains(&id) {
+                continue; // feeds only cache-served subflows: never runs
+            }
+            if crate::cache::cacheable(&op.kind) {
+                if let Some(fp) = plan.fingerprint(id) {
+                    if let Some(rel) = cache.lookup(fp) {
+                        crate::events::emit(crate::events::EngineEvent::CacheHit {
+                            op: &op.name,
+                            rows: rel.len() as u64,
+                        });
+                        pass.hits.insert(id, rel);
+                        continue; // inputs stay un-needed unless used elsewhere
+                    }
+                    crate::events::emit(crate::events::EngineEvent::CacheMiss { op: &op.name });
+                }
+            }
+            for input in flow.inputs_of(id) {
+                pass.needed.insert(input);
+            }
+        }
+        Some(pass)
+    }
+
+    /// Publishes one cache-served result exactly as if the op had executed:
+    /// into `results`, the report, and the event stream (zero rows in, the
+    /// cached relation out, no measurable elapsed work).
+    fn publish_hit(results: &mut HashMap<OpId, Batch>, report: &mut RunReport, op: &Operation, rel: Arc<Relation>) {
+        report.rows_processed += rel.len();
+        crate::events::emit(crate::events::EngineEvent::OpFinish {
+            op: &op.name,
+            rows_in: 0,
+            rows_out: rel.len() as u64,
+            lane: 0,
+        });
+        report.timings.push(OpTiming {
+            op: op.name.clone(),
+            kind: op.kind.type_name(),
+            rows_in: 0,
+            rows_out: rel.len(),
+            elapsed: Duration::ZERO,
+            worker: 0,
+        });
+        results.insert(op.id, Batch::Rel(rel));
+    }
+
+    /// Offers one freshly computed batch for admission. Materialized batches
+    /// admit for free (storing is an `Arc` clone); late batches are charged
+    /// a modeled gather, so caching never forces an eager materialization
+    /// unless the modeled cross-run saving clearly pays for it.
+    fn cache_offer(&self, flow: &Flow, id: OpId, out: &Batch) -> Option<Batch> {
+        let (cache, plan) = self.cache.as_ref()?;
+        let op = flow.op(id);
+        if !cache.enabled() || !crate::cache::cacheable(&op.kind) {
+            return None;
+        }
+        let fp = plan.fingerprint(id)?;
+        let mat_cost = match out {
+            Batch::Rel(_) => 0.0,
+            Batch::Lazy(_) => crate::cache::materialize_cost(out.len(), out.schema().len()),
+        };
+        if mat_cost > 0.0 && !cache.would_admit(fp, plan.saved_cost(id), mat_cost) {
+            return None; // the gather itself would not pay — stay late
+        }
+        let rel = out.materialize();
+        let admitted = cache.admit(fp, &rel, plan.saved_cost(id), mat_cost, plan.flow_epoch);
+        if admitted {
+            crate::events::emit(crate::events::EngineEvent::CacheInsert {
+                op: &op.name,
+                bytes: rel.estimated_bytes() as u64,
+            });
+        }
+        // Hand the materialized form back so the run itself also reuses the
+        // gather the admission just paid for.
+        Some(Batch::Rel(rel))
     }
 
     /// Executes a flow: sources read from the catalog, loaders append to
@@ -379,15 +509,25 @@ impl Engine {
     pub fn run(&mut self, flow: &Flow) -> Result<RunReport, EngineError> {
         let order = flow.topo_order()?;
         flow.schemas()?; // full static validation before touching data
+        let cache_pass = self.cache_prepass(flow, &order);
         let start = Instant::now();
         let mut results: HashMap<OpId, Batch> = HashMap::with_capacity(order.len());
         let mut report = RunReport::default();
         for id in order {
             let op = flow.op(id);
+            if let Some(pass) = &cache_pass {
+                if !pass.needed.contains(&id) {
+                    continue; // feeds only cache-served subflows
+                }
+                if let Some(rel) = pass.hits.get(&id) {
+                    Engine::publish_hit(&mut results, &mut report, op, Arc::clone(rel));
+                    continue;
+                }
+            }
             let inputs: Vec<Batch> = flow.inputs_of(id).into_iter().map(|i| results[&i].clone()).collect();
             let rows_in = inputs.iter().map(Batch::len).sum();
             let t0 = Instant::now();
-            let out: Batch = match &op.kind {
+            let mut out: Batch = match &op.kind {
                 OpKind::Loader { table, key } => {
                     let mat = inputs[0].materialize();
                     self.load(table, key, &mat, &mut report)?;
@@ -395,6 +535,11 @@ impl Engine {
                 }
                 pure => execute_pure(&self.catalog, &op.name, pure, &inputs)?,
             };
+            if cache_pass.is_some() {
+                if let Some(cached) = self.cache_offer(flow, id, &out) {
+                    out = cached;
+                }
+            }
             let elapsed = t0.elapsed();
             report.rows_processed += out.len();
             crate::events::emit(crate::events::EngineEvent::OpFinish {
@@ -438,10 +583,23 @@ impl Engine {
             levels[level].push(id);
         }
 
+        let cache_pass = self.cache_prepass(flow, &order);
         let start = Instant::now();
         let mut results: HashMap<OpId, Batch> = HashMap::with_capacity(order.len());
         let mut report = RunReport::default();
-        for level in levels {
+        if let Some(pass) = &cache_pass {
+            // Cache-served results publish up front; the level loop then
+            // schedules only the ops that actually execute.
+            for &id in &order {
+                if let Some(rel) = pass.hits.get(&id) {
+                    Engine::publish_hit(&mut results, &mut report, flow.op(id), Arc::clone(rel));
+                }
+            }
+        }
+        for mut level in levels {
+            if let Some(pass) = &cache_pass {
+                level.retain(|&id| pass.executes(id));
+            }
             let (pure_ops, sinks): (Vec<OpId>, Vec<OpId>) =
                 level.into_iter().partition(|&id| !flow.op(id).kind.is_sink());
             // Pure operations of one level run concurrently on the pool.
@@ -464,7 +622,12 @@ impl Engine {
                 Ok((out, t0.elapsed(), worker))
             });
             for ((id, inputs), outcome) in jobs.iter().zip(outcomes) {
-                let (out, elapsed, worker) = outcome?;
+                let (mut out, elapsed, worker) = outcome?;
+                if cache_pass.is_some() {
+                    if let Some(cached) = self.cache_offer(flow, *id, &out) {
+                        out = cached;
+                    }
+                }
                 let op = flow.op(*id);
                 report.rows_processed += out.len();
                 crate::events::emit(crate::events::EngineEvent::OpFinish {

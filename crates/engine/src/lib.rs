@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 mod catalog;
 pub mod column;
 mod eval;
@@ -43,6 +44,7 @@ pub mod tpch;
 mod value;
 mod vector;
 
+pub use cache::{table_stamp, CachePlan, CacheStats, ResultCache};
 pub use catalog::Catalog;
 pub use eval::{eval, eval_compiled, truthy, EvalError};
 pub use exec::{surrogate_of, Engine, EngineError, OpTiming, RunReport, MAX_RADIX_PARTITIONS, MORSEL_ROWS};

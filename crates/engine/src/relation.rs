@@ -106,6 +106,14 @@ impl Relation {
         rows.sort_by(row_cmp);
         rows
     }
+
+    /// Estimated heap footprint of the relation: the sum of its columns'
+    /// estimates (see [`Col::estimated_bytes`]) plus a small fixed overhead
+    /// per column. Columns are `Arc`-shared, so this counts shared storage
+    /// in full — a deliberate overestimate for cache-budget accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.estimated_bytes() + 64).sum()
+    }
 }
 
 /// Cell-wise logical equality: representations may differ (a dictionary

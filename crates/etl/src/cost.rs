@@ -19,6 +19,7 @@ use crate::ops::OpKind;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
 /// Cardinality state per operation: `(rows, retained)` where `retained` is
@@ -26,9 +27,53 @@ use std::sync::{Arc, Mutex};
 pub type CardState = (f64, f64);
 
 /// Bound on the number of distinct flow shapes cached per [`SourceStats`];
-/// beyond it the cache resets (the optimizer's working set is far smaller —
-/// it re-costs the same handful of shapes while deltas cover the rest).
+/// past it the least-recently-used shape is evicted (the optimizer's working
+/// set is far smaller — it re-costs the same handful of shapes while deltas
+/// cover the rest).
 const CARD_CACHE_CAP: usize = 128;
+
+/// Process-wide count of cardinality-memo LRU evictions, exported through
+/// the lifecycle's metrics collector as
+/// `integrator.optimizer.card_cache_evictions`.
+static CARD_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Cardinality-memo entries evicted by the LRU cap since process start.
+pub fn card_cache_evictions() -> u64 {
+    CARD_CACHE_EVICTIONS.load(Relaxed)
+}
+
+/// The memoized [`cardinality_state`] results: flow fingerprint → state,
+/// with a logical clock for least-recently-used eviction at
+/// [`CARD_CACHE_CAP`].
+#[derive(Debug, Default)]
+struct CardCache {
+    map: HashMap<u64, (u64, Arc<HashMap<OpId, CardState>>)>,
+    tick: u64,
+}
+
+impl CardCache {
+    fn get(&mut self, fp: u64) -> Option<Arc<HashMap<OpId, CardState>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&fp).map(|slot| {
+            slot.0 = tick;
+            Arc::clone(&slot.1)
+        })
+    }
+
+    fn insert(&mut self, fp: u64, state: Arc<HashMap<OpId, CardState>>) {
+        self.tick += 1;
+        while self.map.len() >= CARD_CACHE_CAP && !self.map.contains_key(&fp) {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k) {
+                self.map.remove(&oldest);
+                CARD_CACHE_EVICTIONS.fetch_add(1, Relaxed);
+            } else {
+                break;
+            }
+        }
+        self.map.insert(fp, (self.tick, state));
+    }
+}
 
 /// Row-count statistics for source datastores, plus observed per-operation
 /// cardinalities fed back from actual engine runs.
@@ -58,8 +103,9 @@ pub struct SourceStats {
     /// dropped wholesale (the cache is cleared on mutation, so the counter
     /// mostly serves tests and debugging).
     generation: u64,
-    /// Memoized [`cardinality_state`] results keyed by flow fingerprint.
-    cache: Mutex<HashMap<u64, Arc<HashMap<OpId, CardState>>>>,
+    /// Memoized [`cardinality_state`] results keyed by flow fingerprint,
+    /// LRU-bounded at [`CARD_CACHE_CAP`] shapes.
+    cache: Mutex<CardCache>,
 }
 
 impl Clone for SourceStats {
@@ -72,7 +118,7 @@ impl Clone for SourceStats {
             group_fraction: self.group_fraction,
             default_rows: self.default_rows,
             generation: self.generation,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CardCache::default()),
         }
     }
 }
@@ -84,7 +130,7 @@ impl SourceStats {
 
     fn touch(&mut self) {
         self.generation = self.generation.wrapping_add(1);
-        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
+        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).map.clear();
     }
 
     /// The mutation counter; bumped whenever table rows, observations or key
@@ -298,6 +344,54 @@ pub fn flow_fingerprint(flow: &Flow) -> u64 {
     h.finish()
 }
 
+/// A stable semantic fingerprint of one operation *kind*: the hash of its
+/// canonical signature. Names and positions are excluded — two ops with the
+/// same fingerprint compute the same function of their inputs. Observation
+/// routing uses this to detect that a name now denotes a different operation
+/// (after an optimizer commit rewrote the flow).
+pub fn op_fingerprint(kind: &OpKind) -> u64 {
+    let mut h = DefaultHasher::new();
+    crate::rules::op_signature(kind).hash(&mut h);
+    h.finish()
+}
+
+/// Recursive subflow fingerprints: for every operation, a hash of its
+/// canonical signature, the fingerprints of its inputs (in edge order), the
+/// flow epoch, and — for datastores — the source's epoch. Two operations with
+/// equal fingerprints denote the same computation over the same source state,
+/// which is what makes the fingerprint a sound cross-run result-cache key:
+///
+/// - operation *names* are excluded, so renames don't shed cached results;
+/// - the per-source epoch folds into every subflow that reads the source, so
+///   a registration/mutation of one datastore invalidates exactly the
+///   subflows that depend on it;
+/// - the per-flow epoch folds into everything, so an integrate/optimize
+///   commit invalidates wholesale (conservative: the committed flow may
+///   recompute once, but can never reuse a stale intermediate).
+pub fn subflow_fingerprints(
+    flow: &Flow,
+    flow_epoch: u64,
+    source_epoch: &dyn Fn(&str) -> u64,
+) -> Result<HashMap<OpId, u64>, FlowError> {
+    let order = flow.topo_order()?;
+    let mut fps: HashMap<OpId, u64> = HashMap::with_capacity(order.len());
+    for id in order {
+        let op = flow.op(id);
+        let mut h = DefaultHasher::new();
+        0x0051_a717u64.hash(&mut h); // domain tag: subflow fingerprints
+        flow_epoch.hash(&mut h);
+        crate::rules::op_signature(&op.kind).hash(&mut h);
+        if let OpKind::Datastore { datastore, .. } = &op.kind {
+            source_epoch(datastore).hash(&mut h);
+        }
+        for input in flow.inputs_of(id) {
+            fps[&input].hash(&mut h);
+        }
+        fps.insert(id, h.finish());
+    }
+    Ok(fps)
+}
+
 /// Full `(rows, retained)` state for every operation of a flow, memoized per
 /// flow fingerprint inside `stats` (invalidated by any stats mutation).
 ///
@@ -309,9 +403,9 @@ pub fn flow_fingerprint(flow: &Flow) -> u64 {
 pub fn cardinality_state(flow: &Flow, stats: &SourceStats) -> Result<Arc<HashMap<OpId, CardState>>, FlowError> {
     let fp = flow_fingerprint(flow);
     {
-        let cache = stats.cache.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(hit) = cache.get(&fp) {
-            return Ok(Arc::clone(hit));
+        let mut cache = stats.cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = cache.get(fp) {
+            return Ok(hit);
         }
     }
     let order = flow.topo_order()?;
@@ -323,9 +417,6 @@ pub fn cardinality_state(flow: &Flow, stats: &SourceStats) -> Result<Arc<HashMap
     }
     let state = Arc::new(state);
     let mut cache = stats.cache.lock().unwrap_or_else(|e| e.into_inner());
-    if cache.len() >= CARD_CACHE_CAP {
-        cache.clear();
-    }
     cache.insert(fp, Arc::clone(&state));
     Ok(state)
 }
@@ -481,6 +572,27 @@ impl EstimatedTime {
             });
         }
         Ok(parts)
+    }
+
+    /// Modeled cost of every operation's *upstream cone* (the op itself plus
+    /// everything it transitively reads), with shared upstream work counted
+    /// once per cone. This is what a result-cache hit on the operation's
+    /// output saves: the whole cone need not run.
+    pub fn subtree_costs(&self, flow: &Flow, stats: &SourceStats) -> Result<HashMap<OpId, f64>, FlowError> {
+        let parts: HashMap<OpId, f64> = self.parts(flow, stats)?.into_iter().map(|p| (p.id, p.cost)).collect();
+        let order = flow.topo_order()?;
+        let mut cones: HashMap<OpId, std::collections::HashSet<OpId>> = HashMap::with_capacity(order.len());
+        let mut costs = HashMap::with_capacity(order.len());
+        for id in order {
+            let mut cone: std::collections::HashSet<OpId> = std::collections::HashSet::new();
+            cone.insert(id);
+            for input in flow.inputs_of(id) {
+                cone.extend(cones[&input].iter().copied());
+            }
+            costs.insert(id, cone.iter().map(|op| parts[op]).sum::<f64>());
+            cones.insert(id, cone);
+        }
+        Ok(costs)
     }
 }
 
@@ -816,5 +928,100 @@ mod tests {
         assert_eq!(OpCount.cost(&f, &stats()).unwrap(), 4.0);
         assert_eq!(OpCount.name(), "operation-count");
         assert_eq!(EstimatedTime::new().name(), "estimated-execution-time");
+    }
+
+    #[test]
+    fn cardinality_memo_evicts_least_recently_used_past_the_cap() {
+        let s = stats();
+        // Distinct flows (distinct fingerprints) up to one past the cap; the
+        // first flow is kept warm by re-reading it between inserts.
+        let flow_n = |n: usize| {
+            let mut f = Flow::new("lru");
+            let mut prev = f.add_op("DS", li()).unwrap();
+            for i in 0..n {
+                prev = f
+                    .append(
+                        prev,
+                        format!("SEL{i}"),
+                        OpKind::Selection { predicate: parse_expr("l_discount > 0.05").unwrap() },
+                    )
+                    .unwrap();
+            }
+            f.append(prev, "LOAD", OpKind::Loader { table: "t".into(), key: vec![] }).unwrap();
+            f
+        };
+        let warm = flow_n(0);
+        let warm_state = cardinality_state(&warm, &s).unwrap();
+        let evicted_before = card_cache_evictions();
+        for n in 1..CARD_CACHE_CAP + 8 {
+            cardinality_state(&flow_n(n), &s).unwrap();
+            // Re-read the warm entry so it is never the LRU victim.
+            cardinality_state(&warm, &s).unwrap();
+        }
+        assert!(card_cache_evictions() > evicted_before, "inserting past the cap must evict");
+        let still = cardinality_state(&warm, &s).unwrap();
+        assert!(Arc::ptr_eq(&warm_state, &still), "the recently-used entry survives eviction");
+    }
+
+    #[test]
+    fn subflow_fingerprints_ignore_names_and_track_epochs() {
+        let f = pipeline();
+        let epochs = |_: &str| 7u64;
+        let fps = subflow_fingerprints(&f, 1, &epochs).unwrap();
+        assert_eq!(fps.len(), f.op_count());
+        // Renaming an op changes nothing: the computation is identical.
+        let mut renamed = f.clone();
+        let sel = renamed.id_by_name("SEL").unwrap();
+        renamed.rename_op(sel, "SEL_RENAMED").unwrap();
+        let fps2 = subflow_fingerprints(&renamed, 1, &epochs).unwrap();
+        assert_eq!(fps[&sel], fps2[&sel], "names are excluded from the key");
+        // A flow-epoch bump changes every fingerprint.
+        let fps3 = subflow_fingerprints(&f, 2, &epochs).unwrap();
+        for (id, fp) in &fps {
+            assert_ne!(fp, &fps3[id], "flow epoch folds into {id:?}");
+        }
+        // A source-epoch bump changes every dependent subflow.
+        let fps4 = subflow_fingerprints(&f, 1, &|_: &str| 8u64).unwrap();
+        for (id, fp) in &fps {
+            assert_ne!(fp, &fps4[id], "source epoch folds into {id:?}");
+        }
+        // Changing a predicate changes the op and everything downstream, but
+        // not the upstream datastore.
+        let mut altered = f.clone();
+        let sel_id = altered.id_by_name("SEL").unwrap();
+        for op in altered.ops_mut() {
+            if op.id == sel_id {
+                op.kind = OpKind::Selection { predicate: parse_expr("l_discount > 0.5").unwrap() };
+            }
+        }
+        let fps5 = subflow_fingerprints(&altered, 1, &epochs).unwrap();
+        let ds = f.id_by_name("DS").unwrap();
+        assert_eq!(fps[&ds], fps5[&ds], "upstream untouched");
+        assert_ne!(fps[&sel_id], fps5[&sel_id], "the altered op re-keys");
+        let load = f.id_by_name("LOAD").unwrap();
+        assert_ne!(fps[&load], fps5[&load], "downstream re-keys transitively");
+    }
+
+    #[test]
+    fn subtree_costs_cover_the_upstream_cone_once() {
+        let f = pipeline();
+        let s = stats();
+        let m = EstimatedTime::new();
+        let costs = m.subtree_costs(&f, &s).unwrap();
+        let load = f.id_by_name("LOAD").unwrap();
+        let total = m.cost(&f, &s).unwrap();
+        assert!((costs[&load] - total).abs() <= 1e-9 * total, "the sink's cone is the whole linear flow");
+        let sel = f.id_by_name("SEL").unwrap();
+        let ds = f.id_by_name("DS").unwrap();
+        assert!(costs[&ds] < costs[&sel] && costs[&sel] < costs[&load], "cones nest along the pipeline");
+    }
+
+    #[test]
+    fn op_fingerprint_tracks_semantics_not_identity() {
+        let a = OpKind::Selection { predicate: parse_expr("x > 1").unwrap() };
+        let b = OpKind::Selection { predicate: parse_expr("x > 1").unwrap() };
+        let c = OpKind::Selection { predicate: parse_expr("x > 2").unwrap() };
+        assert_eq!(op_fingerprint(&a), op_fingerprint(&b));
+        assert_ne!(op_fingerprint(&a), op_fingerprint(&c));
     }
 }

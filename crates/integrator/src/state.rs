@@ -97,6 +97,12 @@ pub struct ConsolidationState {
     etl: Option<EtlState>,
     stats: ConsolidationStats,
     metrics: Option<BoundMetrics>,
+    /// Monotonic unified-flow epoch: bumped on every successful ETL step and
+    /// on every [`ConsolidationState::invalidate`]. The engine-side result
+    /// cache folds this into its fingerprints, so any consolidation commit
+    /// or out-of-band mutation re-keys (and thereby invalidates) every
+    /// cached subflow.
+    flow_epoch: u64,
 }
 
 impl ConsolidationState {
@@ -129,6 +135,21 @@ impl ConsolidationState {
     /// integrator's per-step behavior.
     pub fn invalidate(&mut self) {
         self.etl = None;
+        self.flow_epoch += 1;
+    }
+
+    /// The current unified-flow epoch (see the field docs). Exposed so the
+    /// lifecycle can key its result cache on it; restored via
+    /// [`ConsolidationState::set_flow_epoch`] after durable recovery.
+    pub fn flow_epoch(&self) -> u64 {
+        self.flow_epoch
+    }
+
+    /// Restores the flow epoch to `epoch` (used by durable recovery so a
+    /// restarted repository never reuses an epoch that pre-dates a commit).
+    /// Only ever moves forward.
+    pub fn set_flow_epoch(&mut self, epoch: u64) {
+        self.flow_epoch = self.flow_epoch.max(epoch);
     }
 
     /// One incremental ETL consolidation step: integrates `partial` into
@@ -148,6 +169,8 @@ impl ConsolidationState {
         if result.is_err() {
             *unified = backup;
             self.invalidate();
+        } else {
+            self.flow_epoch += 1;
         }
         result
     }
@@ -308,6 +331,23 @@ mod tests {
         state.etl_step(&mut unified, &pipeline("l_discount > 0.06", "t2", "IR2"), &model, &stats(), opts).unwrap();
         assert_eq!(state.stats().etl_index_rebuilds, 2, "shape change triggers a rebuild");
         unified.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_epoch_advances_on_steps_and_invalidation() {
+        let model = EstimatedTime::new();
+        let opts = EtlIntegrationOptions::default();
+        let mut state = ConsolidationState::new();
+        assert_eq!(state.flow_epoch(), 0);
+        let mut unified = Flow::new("unified");
+        state.etl_step(&mut unified, &pipeline("l_discount > 0.05", "t1", "IR1"), &model, &stats(), opts).unwrap();
+        assert_eq!(state.flow_epoch(), 1, "successful step bumps the epoch");
+        state.invalidate();
+        assert_eq!(state.flow_epoch(), 2, "out-of-band mutation bumps the epoch");
+        state.set_flow_epoch(10);
+        assert_eq!(state.flow_epoch(), 10, "recovery fast-forwards");
+        state.set_flow_epoch(3);
+        assert_eq!(state.flow_epoch(), 10, "recovery never rewinds");
     }
 
     #[test]

@@ -72,6 +72,14 @@ pub enum EventKind {
     KernelFallback,
     /// A drift analyzer flagged an operator (`a` = estimated rows, `b` = actual rows).
     Drift,
+    /// The result cache served an operator's output (`a` = rows).
+    CacheHit,
+    /// The result cache was consulted and had nothing (`a`/`b` unused).
+    CacheMiss,
+    /// The result cache admitted an operator output (`a` = bytes).
+    CacheInsert,
+    /// The result cache evicted an entry under budget pressure (`a` = bytes).
+    CacheEvict,
     /// Anything else (tests, ad-hoc markers).
     Custom,
 }
@@ -87,6 +95,10 @@ impl EventKind {
             EventKind::OptimizerMove => "optimizer_move",
             EventKind::KernelFallback => "kernel_fallback",
             EventKind::Drift => "drift",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::CacheInsert => "cache_insert",
+            EventKind::CacheEvict => "cache_evict",
             EventKind::Custom => "custom",
         }
     }
@@ -102,6 +114,10 @@ impl EventKind {
             EventKind::KernelFallback => 7,
             EventKind::Drift => 8,
             EventKind::Custom => 9,
+            EventKind::CacheHit => 10,
+            EventKind::CacheMiss => 11,
+            EventKind::CacheInsert => 12,
+            EventKind::CacheEvict => 13,
         }
     }
 
@@ -116,6 +132,10 @@ impl EventKind {
             7 => EventKind::KernelFallback,
             8 => EventKind::Drift,
             9 => EventKind::Custom,
+            10 => EventKind::CacheHit,
+            11 => EventKind::CacheMiss,
+            12 => EventKind::CacheInsert,
+            13 => EventKind::CacheEvict,
             _ => return None,
         })
     }
@@ -548,6 +568,10 @@ mod tests {
             EventKind::OptimizerMove,
             EventKind::KernelFallback,
             EventKind::Drift,
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::CacheInsert,
+            EventKind::CacheEvict,
             EventKind::Custom,
         ] {
             assert_eq!(EventKind::from_code(kind.code()), Some(kind));
